@@ -1,0 +1,189 @@
+// Command vyrd exercises one of the repository's concurrent data structures
+// under the random test harness of the paper's Section 7.1 and checks the
+// recorded execution for refinement violations.
+//
+// Usage:
+//
+//	vyrd -subject BLinkTree -bug -threads 8 -ops 400 -mode view
+//	vyrd -list
+//
+// With -bug the subject runs with its Table 1 injected concurrency error;
+// without it, the correct implementation runs and the expected outcome is a
+// clean report. -mode selects I/O or view refinement; -online checks
+// concurrently with the workload on a verification goroutine instead of
+// offline from the recorded log; -save persists the log for later offline
+// checking with -load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/vyrd"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list subjects and exit")
+		subject = flag.String("subject", "Multiset-Vector", "subject to exercise (see -list)")
+		bug     = flag.Bool("bug", false, "enable the subject's injected concurrency error")
+		threads = flag.Int("threads", 8, "application threads")
+		ops     = flag.Int("ops", 400, "method calls per thread")
+		pool    = flag.Int("pool", 16, "key pool size (shrinks over the run)")
+		seed    = flag.Int64("seed", 1, "harness random seed")
+		mode    = flag.String("mode", "view", "refinement mode: io or view")
+		online  = flag.Bool("online", false, "check online, concurrently with the workload")
+		failFst = flag.Bool("failfast", true, "stop at the first violation")
+		save    = flag.String("save", "", "persist the recorded log to this file")
+		load    = flag.String("load", "", "skip the run; offline-check a previously saved log")
+		dump    = flag.Bool("dump", false, "print the witness interleaving before the report (Section 4.1 debugging view)")
+		quiesc  = flag.Bool("quiescent", false, "compare views only at quiescent states (the commit-atomicity ablation of Section 8)")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	jsonOutput = *asJSON
+
+	if *list {
+		for _, s := range bench.AllSubjects() {
+			fmt.Printf("%-24s injected error: %s\n", s.Name, s.BugName)
+		}
+		return
+	}
+
+	s, ok := bench.SubjectByName(*subject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vyrd: unknown subject %q (try -list)\n", *subject)
+		os.Exit(2)
+	}
+	target := s.Correct
+	if *bug {
+		target = s.Buggy
+	}
+
+	var checkMode core.Mode
+	switch *mode {
+	case "io":
+		checkMode = core.ModeIO
+	case "view":
+		checkMode = core.ModeView
+	default:
+		fmt.Fprintf(os.Stderr, "vyrd: unknown mode %q (io or view)\n", *mode)
+		os.Exit(2)
+	}
+
+	opts := []vyrd.Option{vyrd.WithMode(checkMode), vyrd.WithFailFast(*failFst), vyrd.WithDiagnostics(true)}
+	if checkMode == core.ModeView {
+		opts = append(opts, vyrd.WithReplayer(target.NewReplayer()))
+	}
+	if *quiesc {
+		opts = append(opts, vyrd.WithQuiescentViewOnly(true))
+	}
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		entries, err := vyrd.ReadLog(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *dump {
+			core.WriteWitness(os.Stdout, entries)
+		}
+		report, err := vyrd.CheckEntries(entries, target.NewSpec(), opts...)
+		if err != nil {
+			fatal(err)
+		}
+		finish(report)
+	}
+
+	cfg := harness.Config{
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		KeyPool:      *pool,
+		Shrink:       true,
+		Seed:         *seed,
+		Level:        levelFor(checkMode),
+	}
+
+	log := vyrd.NewLog(cfg.Level)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := log.AttachSink(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	var wait func() *vyrd.Report
+	if *online {
+		var err error
+		wait, err = log.StartChecker(target.NewSpec(), opts...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res := harness.RunOnLog(target, cfg, log)
+	fmt.Printf("ran %s: %d threads x %d ops = %d methods in %v (%d log entries)\n",
+		target.Name, cfg.Threads, cfg.OpsPerThread, res.Methods, res.Elapsed, log.Len())
+	if err := log.SinkErr(); err != nil {
+		fatal(err)
+	}
+
+	if *dump {
+		core.WriteWitness(os.Stdout, log.Snapshot())
+	}
+	var report *vyrd.Report
+	if *online {
+		report = wait()
+	} else {
+		var err error
+		report, err = vyrd.CheckEntries(log.Snapshot(), target.NewSpec(), opts...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	finish(report)
+}
+
+func levelFor(m core.Mode) vyrd.Level {
+	if m == core.ModeView {
+		return vyrd.LevelView
+	}
+	return vyrd.LevelIO
+}
+
+func finish(report *vyrd.Report) {
+	if jsonOutput {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println(report)
+	}
+	if !report.Ok() {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// jsonOutput mirrors the -json flag for finish (set in main).
+var jsonOutput bool
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vyrd:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,77 @@
+// Javalib: the known concurrency errors in java.util.Vector and
+// java.util.StringBuffer (Section 7.4.1 of the paper), reproduced in the
+// Go analogues and caught by VYRD.
+//
+// The Vector bug lives in an observer (lastIndexOf reads the element count
+// non-atomically), so view refinement is no better at catching it than I/O
+// refinement (Section 7.5). The StringBuffer bug corrupts state (append
+// copies from an unprotected source buffer), so view refinement catches it
+// at the corrupting commit.
+//
+// Run with: go run ./examples/javalib
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/jsbuffer"
+	"repro/internal/jvector"
+	"repro/vyrd"
+)
+
+func main() {
+	fmt.Println("== java.util.Vector: taking length non-atomically in lastIndexOf() ==")
+	detect(jvector.Target(jvector.BugLastIndexOf), core.ModeIO)
+	fmt.Println()
+
+	fmt.Println("== java.util.StringBuffer: copying from an unprotected StringBuffer ==")
+	detect(jsbuffer.Target(jsbuffer.BugUnprotectedCopy), core.ModeView)
+	fmt.Println()
+
+	fmt.Println("== both correct implementations verify cleanly ==")
+	for _, t := range []harness.Target{
+		jvector.Target(jvector.BugNone),
+		jsbuffer.Target(jsbuffer.BugNone),
+	} {
+		report, err := harness.Check(t, harness.Run(t, config(1)), core.ModeView, false)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s\n", t.Name, verdict(report))
+	}
+}
+
+func config(seed int64) harness.Config {
+	return harness.Config{
+		Threads:      8,
+		OpsPerThread: 300,
+		KeyPool:      16,
+		Shrink:       true,
+		Seed:         seed,
+		Level:        vyrd.LevelView,
+	}
+}
+
+func detect(t harness.Target, mode core.Mode) {
+	for seed := int64(1); seed <= 100; seed++ {
+		res := harness.Run(t, config(seed))
+		report, err := harness.Check(t, res, mode, true)
+		if err != nil {
+			panic(err)
+		}
+		if !report.Ok() {
+			fmt.Printf("detected (seed %d, %v mode):\n%s\n", seed, mode, report)
+			return
+		}
+	}
+	fmt.Println("the race did not manifest within 100 runs")
+}
+
+func verdict(r *vyrd.Report) string {
+	if r.Ok() {
+		return "no refinement violations"
+	}
+	return r.First().String()
+}

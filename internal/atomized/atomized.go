@@ -1,0 +1,77 @@
+// Package atomized implements Section 4.4 of the paper: when a separate
+// specification does not exist, an "atomized" interpretation of the
+// implementation itself — every method executed to completion under a
+// global lock, with the observed return value supplied as an argument —
+// serves as the specification for refinement checking.
+//
+// Wrap adapts any Sequential (a single-threaded re-interpretation of the
+// data structure) into a core.Spec. The global lock of the paper's
+// construction is implicit here: the checker drives the specification from
+// a single verification goroutine, so each Apply call is method-atomic by
+// construction; Wrap still serializes defensively so a Sequential shared
+// across checkers stays safe.
+package atomized
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Sequential is a non-concurrent interpretation of a data structure. It
+// receives the return value observed in the concurrent execution and must
+// either perform the corresponding atomic transition or reject it.
+type Sequential interface {
+	// Apply executes mutator method atomically with the observed return
+	// value; it rejects impossible transitions with a non-nil error and
+	// must leave the state unchanged in that case.
+	Apply(method string, args []event.Value, ret event.Value) error
+	// Check reports whether ret is a permitted observer result at the
+	// current state.
+	Check(method string, args []event.Value, ret event.Value) bool
+	// IsMutator classifies methods.
+	IsMutator(method string) bool
+	// View returns the canonical digest of the current abstract contents,
+	// or nil when the atomized interpretation does not support views.
+	View() *view.Table
+	// Reset re-initializes the state.
+	Reset()
+}
+
+// Wrap turns a Sequential into a core.Spec.
+func Wrap(s Sequential) core.Spec { return &atomizedSpec{seq: s} }
+
+type atomizedSpec struct {
+	mu  sync.Mutex
+	seq Sequential
+}
+
+var _ core.Spec = (*atomizedSpec)(nil)
+
+func (a *atomizedSpec) ApplyMutator(method string, args []event.Value, ret event.Value) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq.Apply(method, args, ret)
+}
+
+func (a *atomizedSpec) CheckObserver(method string, args []event.Value, ret event.Value) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq.Check(method, args, ret)
+}
+
+func (a *atomizedSpec) IsMutator(method string) bool { return a.seq.IsMutator(method) }
+
+func (a *atomizedSpec) View() *view.Table {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq.View()
+}
+
+func (a *atomizedSpec) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq.Reset()
+}

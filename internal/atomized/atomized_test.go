@@ -1,0 +1,155 @@
+package atomized
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/multiset"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func TestAtomizedMultisetBasicTransitions(t *testing.T) {
+	s := MultisetSpec(8)
+	if err := s.ApplyMutator("Insert", []event.Value{3}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CheckObserver("LookUp", []event.Value{3}, true) {
+		t.Fatal("LookUp(3) -> true rejected")
+	}
+	if err := s.ApplyMutator("InsertPair", []event.Value{4, 5}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyMutator("Delete", []event.Value{4}, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.CheckObserver("LookUp", []event.Value{4}, true) {
+		t.Fatal("deleted element still visible")
+	}
+	// Failure terminations leave the state unchanged.
+	h := s.View().Hash()
+	if err := s.ApplyMutator("Insert", []event.Value{9}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyMutator("InsertPair", []event.Value{9, 9}, event.Exceptional{Reason: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.View().Hash() != h {
+		t.Fatal("failed operations changed the atomized state")
+	}
+}
+
+func TestAtomizedRejectsImpossibleTransitions(t *testing.T) {
+	s := MultisetSpec(2) // capacity 2
+	if err := s.ApplyMutator("Delete", []event.Value{7}, true); err == nil {
+		t.Fatal("Delete(absent) -> true accepted")
+	}
+	// Fill the capacity; a successful insert beyond it is impossible for
+	// the atomized implementation.
+	mustOK(t, s.ApplyMutator("Insert", []event.Value{1}, true))
+	mustOK(t, s.ApplyMutator("Insert", []event.Value{2}, true))
+	if err := s.ApplyMutator("Insert", []event.Value{3}, true); err == nil {
+		t.Fatal("insert beyond the atomized capacity accepted")
+	}
+	// Delete(x) -> false is always permitted (see spec.Multiset).
+	mustOK(t, s.ApplyMutator("Delete", []event.Value{1}, false))
+}
+
+func TestAtomizedReset(t *testing.T) {
+	s := MultisetSpec(4)
+	mustOK(t, s.ApplyMutator("Insert", []event.Value{1}, true))
+	s.Reset()
+	if s.CheckObserver("LookUp", []event.Value{1}, true) {
+		t.Fatal("reset did not clear")
+	}
+	if s.View().Hash() != 0 {
+		t.Fatal("view not cleared")
+	}
+}
+
+// TestAtomizedAgreesWithHandWrittenSpec: on the same correct concurrent
+// traces, the atomized implementation-as-spec and the hand-written
+// specification reach the same verdict (Section 4.4's decomposition).
+func TestAtomizedAgreesWithHandWrittenSpec(t *testing.T) {
+	target := multiset.Target(32, multiset.BugNone)
+	for seed := int64(1); seed <= 3; seed++ {
+		res := harness.Run(target, harness.Config{
+			Threads: 6, OpsPerThread: 200, KeyPool: 16, Shrink: true,
+			Seed: seed, Level: vyrd.LevelView,
+		})
+		entries := res.Log.Snapshot()
+
+		handRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(),
+			vyrd.WithReplayer(multiset.NewReplayer()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		atomRep, err := vyrd.CheckEntries(entries, MultisetSpec(32),
+			vyrd.WithReplayer(multiset.NewReplayer()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if handRep.Ok() != atomRep.Ok() {
+			t.Fatalf("seed %d: verdicts differ: hand=%v atomized=%v\n%s\n%s",
+				seed, handRep.Ok(), atomRep.Ok(), handRep, atomRep)
+		}
+		if !handRep.Ok() {
+			t.Fatalf("seed %d: correct run flagged:\n%s", seed, handRep)
+		}
+	}
+}
+
+// TestAtomizedDetectsBuggyTraces: the atomized spec catches the FindSlot
+// bug on traces the hand-written spec also flags.
+func TestAtomizedDetectsBuggyTraces(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	target := multiset.Target(16, multiset.BugFindSlotAcquire)
+	detected := false
+	for seed := int64(1); seed <= 30 && !detected; seed++ {
+		res := harness.Run(target, harness.Config{
+			Threads: 8, OpsPerThread: 300, KeyPool: 8, Shrink: true,
+			Seed: seed, Level: vyrd.LevelView,
+		})
+		rep, err := vyrd.CheckEntries(res.Log.Snapshot(), MultisetSpec(16),
+			vyrd.WithReplayer(multiset.NewReplayer()), vyrd.WithFailFast(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatal("atomized spec never detected the injected bug")
+	}
+}
+
+// TestWrapSerializes: the wrapper is safe for a Sequential shared across
+// goroutines (defensive serialization).
+func TestWrapSerializes(t *testing.T) {
+	s := MultisetSpec(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.ApplyMutator("Insert", []event.Value{g*100 + i}, true)
+				s.CheckObserver("LookUp", []event.Value{g*100 + i}, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package atomized
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/multiset"
+	"repro/internal/spec"
+	"repro/internal/view"
+)
+
+// MultisetSpec returns an atomized interpretation of the array-based
+// multiset implementation itself (internal/multiset run single-threaded
+// with a nil probe), usable as the specification for checking the
+// concurrent multiset — the Section 4.4 construction where the same code
+// serves as both implementation and specification. capacity is the slot
+// capacity of the sequential instance.
+func MultisetSpec(capacity int) core.Spec {
+	s := &seqMultiset{capacity: capacity}
+	s.Reset()
+	return Wrap(s)
+}
+
+// seqMultiset drives a multiset.Multiset sequentially. The view table is
+// maintained alongside, since the implementation exposes only its concrete
+// slot state.
+type seqMultiset struct {
+	capacity int
+	impl     *multiset.Multiset
+	table    *view.Table
+	counts   map[int]int
+}
+
+func (s *seqMultiset) Reset() {
+	s.impl = multiset.New(s.capacity, multiset.BugNone)
+	s.table = view.NewTable()
+	s.counts = make(map[int]int)
+}
+
+func (s *seqMultiset) View() *view.Table { return s.table }
+
+func (s *seqMultiset) IsMutator(method string) bool {
+	return method != "LookUp"
+}
+
+func (s *seqMultiset) bump(x, delta int) {
+	n := s.counts[x] + delta
+	key := "e:" + strconv.Itoa(x)
+	if n <= 0 {
+		delete(s.counts, x)
+		s.table.Delete(key)
+		return
+	}
+	s.counts[x] = n
+	s.table.Set(key, strconv.Itoa(n))
+}
+
+func (s *seqMultiset) Apply(method string, args []event.Value, ret event.Value) error {
+	fail := func(why string) error {
+		return fmt.Errorf("atomized multiset: %s%v -> %v: %s", method, args, ret, why)
+	}
+	success := func() (bool, error) {
+		if event.IsExceptional(ret) {
+			return false, nil
+		}
+		b, ok := ret.(bool)
+		if !ok {
+			return false, fail("return value must be bool or exceptional")
+		}
+		return b, nil
+	}
+
+	switch method {
+	case "Insert":
+		if len(args) != 1 {
+			return fail("expected one argument")
+		}
+		x, ok := event.Int(args[0])
+		if !ok {
+			return fail("non-integer argument")
+		}
+		want, err := success()
+		if err != nil {
+			return err
+		}
+		if !want {
+			return nil // unsuccessful terminations leave the state unchanged
+		}
+		if !s.impl.Insert(nil, x) {
+			return fail("the atomized implementation cannot insert (capacity exhausted)")
+		}
+		s.bump(x, 1)
+		return nil
+
+	case "InsertPair":
+		if len(args) != 2 {
+			return fail("expected two arguments")
+		}
+		x, okx := event.Int(args[0])
+		y, oky := event.Int(args[1])
+		if !okx || !oky {
+			return fail("non-integer arguments")
+		}
+		want, err := success()
+		if err != nil {
+			return err
+		}
+		if !want {
+			return nil
+		}
+		if !s.impl.InsertPair(nil, x, y) {
+			return fail("the atomized implementation cannot insert the pair")
+		}
+		s.bump(x, 1)
+		s.bump(y, 1)
+		return nil
+
+	case "Delete":
+		if len(args) != 1 {
+			return fail("expected one argument")
+		}
+		x, ok := event.Int(args[0])
+		if !ok {
+			return fail("non-integer argument")
+		}
+		removed, ok := ret.(bool)
+		if !ok {
+			return fail("return value must be bool")
+		}
+		if !removed {
+			return nil // "not found" is always permitted (see spec.Multiset)
+		}
+		if !s.impl.Delete(nil, x) {
+			return fail("claims removal but the atomized implementation does not contain the element")
+		}
+		s.bump(x, -1)
+		return nil
+
+	case spec.MethodCompress:
+		return nil
+	}
+	return fail("unknown mutator")
+}
+
+func (s *seqMultiset) Check(method string, args []event.Value, ret event.Value) bool {
+	if method != "LookUp" || len(args) != 1 {
+		return false
+	}
+	x, ok := event.Int(args[0])
+	if !ok {
+		return false
+	}
+	found, ok := ret.(bool)
+	if !ok {
+		return false
+	}
+	return found == s.impl.LookUp(nil, x)
+}

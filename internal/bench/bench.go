@@ -1,0 +1,145 @@
+// Package bench regenerates the paper's evaluation tables (Section 7): the
+// time-to-detection comparison of I/O vs view refinement (Table 1), the
+// logging overhead by level (Table 2), and the running-time breakdown of
+// program / logging / online checking / offline checking (Table 3).
+//
+// Absolute times are this machine's, not the paper's 2.4 GHz Pentium; the
+// comparisons of interest are the shapes: view refinement detects
+// state-corrupting bugs after fewer methods than I/O refinement (but no
+// earlier for the Vector observer bug), view-level logging costs more than
+// I/O-level logging (markedly so for write-heavy subjects), and online
+// checking adds tolerable overhead.
+package bench
+
+import (
+	"time"
+
+	"repro/internal/blinkstore"
+	"repro/internal/blinktree"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/jsbuffer"
+	"repro/internal/jvector"
+	"repro/internal/mstree"
+	"repro/internal/msvector"
+	"repro/internal/multiset"
+	"repro/internal/scanfs"
+	"repro/vyrd"
+)
+
+// Subject pairs a buggy and a correct target for one paper row.
+type Subject struct {
+	Name    string
+	BugName string
+	Correct harness.Target
+	Buggy   harness.Target
+}
+
+// Subjects returns the paper's evaluation subjects in Table 1 order.
+func Subjects() []Subject {
+	return []Subject{
+		{
+			Name:    "Multiset-Vector",
+			BugName: "Moving acquire in FindSlot",
+			Correct: msvector.Target(msvector.BugNone),
+			Buggy:   msvector.Target(msvector.BugFindSlotAcquire),
+		},
+		{
+			Name:    "Multiset-BinaryTree",
+			BugName: "Unlocking parent before insertion",
+			Correct: mstree.Target(mstree.BugNone),
+			Buggy:   mstree.Target(mstree.BugUnlockParent),
+		},
+		{
+			Name:    "java.util.Vector",
+			BugName: "Taking length non-atomically in lastIndexOf()",
+			Correct: jvector.Target(jvector.BugNone),
+			Buggy:   jvector.Target(jvector.BugLastIndexOf),
+		},
+		{
+			Name:    "java.util.StringBuffer",
+			BugName: "Copying from an unprotected StringBuffer",
+			Correct: jsbuffer.Target(jsbuffer.BugNone),
+			Buggy:   jsbuffer.Target(jsbuffer.BugUnprotectedCopy),
+		},
+		{
+			Name:    "BLinkTree",
+			BugName: "Allowing duplicated data nodes",
+			Correct: blinktree.Target(6, blinktree.BugNone),
+			Buggy:   blinktree.Target(6, blinktree.BugDuplicateInsert),
+		},
+		{
+			Name:    "Cache",
+			BugName: "Writing an unprotected dirty cache entry",
+			Correct: cache.Target(cache.BugNone),
+			Buggy:   cache.Target(cache.BugUnprotectedWrite),
+		},
+	}
+}
+
+// ExtraSubjects returns checkable subjects beyond the paper's Table 1
+// rows: the array multiset of the running example (Figs. 2-6) and the Scan
+// file system of Section 7.3.
+func ExtraSubjects() []Subject {
+	return []Subject{
+		{
+			Name:    "Multiset-Array",
+			BugName: "Fig. 5: acquire moved after the emptiness check",
+			Correct: multiset.Target(64, multiset.BugNone),
+			Buggy:   multiset.Target(32, multiset.BugFindSlotAcquire),
+		},
+		{
+			Name:    "ScanFS",
+			BugName: "Writing an unprotected dirty cache block (Section 7.3)",
+			Correct: scanfs.Target(scanfs.BugNone),
+			Buggy:   scanfs.Target(scanfs.BugUnprotectedBlockWrite),
+		},
+		{
+			Name:    "BLinkTree-on-Cache",
+			BugName: "Allowing duplicated data nodes (over the Fig. 10 storage stack)",
+			Correct: blinkstore.Target(6, blinkstore.BugNone),
+			Buggy:   blinkstore.Target(6, blinkstore.BugDuplicateInsert),
+		},
+	}
+}
+
+// AllSubjects returns the Table 1 subjects followed by the extras.
+func AllSubjects() []Subject {
+	return append(Subjects(), ExtraSubjects()...)
+}
+
+// SubjectByName returns the subject with the given name, or false.
+func SubjectByName(name string) (Subject, bool) {
+	for _, s := range AllSubjects() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Subject{}, false
+}
+
+// baseConfig is the shared harness shape for table runs.
+func baseConfig(threads, ops int, seed int64, level vyrd.Level) harness.Config {
+	return harness.Config{
+		Threads:      threads,
+		OpsPerThread: ops,
+		KeyPool:      16,
+		Shrink:       true,
+		Seed:         seed,
+		Level:        level,
+	}
+}
+
+// checkTimed offline-checks a trace and measures the CPU-side wall time of
+// the check itself (the verification thread's work).
+func checkTimed(t harness.Target, res harness.Result, mode core.Mode, failFast bool) (*core.Report, time.Duration, error) {
+	entries := res.Log.Snapshot()
+	opts := []core.Option{core.WithMode(mode), core.WithFailFast(failFast)}
+	if mode == core.ModeView {
+		opts = append(opts, core.WithReplayer(t.NewReplayer()))
+	}
+	start := time.Now()
+	rep, err := core.CheckEntries(entries, t.NewSpec(), opts...)
+	return rep, time.Since(start), err
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/racecheck"
+)
+
+// The bench package is exercised at full scale by cmd/vyrdbench; these
+// tests validate the machinery at miniature scale.
+
+func TestSubjectsComplete(t *testing.T) {
+	subjects := Subjects()
+	if len(subjects) != 6 {
+		t.Fatalf("expected the 6 Table 1 subjects, got %d", len(subjects))
+	}
+	for _, s := range subjects {
+		if s.Correct.New == nil || s.Buggy.New == nil || s.Correct.NewSpec == nil || s.Correct.NewReplayer == nil {
+			t.Fatalf("subject %s incompletely wired", s.Name)
+		}
+		if _, ok := SubjectByName(s.Name); !ok {
+			t.Fatalf("SubjectByName misses %s", s.Name)
+		}
+	}
+	if _, ok := SubjectByName("nope"); ok {
+		t.Fatal("SubjectByName invented a subject")
+	}
+}
+
+func TestTable1SingleCellRuns(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	s, _ := SubjectByName("Multiset-Vector")
+	row := table1Cell(s, 4, Table1Config{Reps: 2, OpsPerThread: 150, Seed: 1})
+	if row.Subject != "Multiset-Vector" || row.Threads != 4 {
+		t.Fatalf("row metadata: %+v", row)
+	}
+	if row.ViewAvg == 0 && row.ViewMiss == row.Reps {
+		t.Log("bug did not manifest at this tiny scale; acceptable for the sanity test")
+	}
+	if row.CPURatio <= 0 {
+		t.Fatalf("CPU ratio not measured: %+v", row)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, []Table1Row{row})
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatalf("rendering: %s", buf.String())
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	rows := Table2(Table2Config{Threads: 2, OpsPerThread: 60, Reps: 1, Seed: 1})
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 Table 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ProgAlone <= 0 {
+			t.Fatalf("row %s has no baseline time", r.Subject)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Overhead of logging") {
+		t.Fatalf("rendering: %s", buf.String())
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	rows := Table3(Table3Config{Scale: 1, Reps: 1, Seed: 1})
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 Table 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ProgAlone <= 0 || r.ProgLogging <= 0 || r.ProgPlusVyrd <= 0 || r.VyrdOffline <= 0 {
+			t.Fatalf("row %s has an unmeasured stage: %+v", r.Subject, r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Running time breakdown") {
+		t.Fatalf("rendering: %s", buf.String())
+	}
+}

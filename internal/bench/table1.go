@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/vyrd"
+)
+
+// Table1Row is one cell row of the paper's Table 1: the average number of
+// methods executed before the first error was detected, per refinement
+// mode, plus the CPU-time ratio of view-mode checking to I/O-mode checking
+// on the same traces.
+type Table1Row struct {
+	Subject  string
+	Bug      string
+	Threads  int
+	Reps     int // traces that contributed to the averages
+	IOAvg    float64
+	ViewAvg  float64
+	IOMiss   int // traces where I/O refinement found nothing
+	ViewMiss int // traces where view refinement found nothing
+	CPURatio float64
+}
+
+// Table1Config parameterizes the experiment.
+type Table1Config struct {
+	Reps         int // traces per (subject, threads) cell
+	OpsPerThread int
+	Seed         int64
+}
+
+// DefaultTable1Config mirrors the scale of the paper's runs, scaled to this
+// machine.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{Reps: 5, OpsPerThread: 400, Seed: 1}
+}
+
+// table1Threads reproduces the thread counts of the paper's rows.
+func table1Threads(subject string) []int {
+	switch subject {
+	case "BLinkTree":
+		return []int{2, 4, 8, 10, 16, 25, 32}
+	case "Cache":
+		return []int{4, 8, 10, 16, 25, 32}
+	}
+	return []int{4, 8, 16, 32}
+}
+
+// Table1 runs the time-to-detection experiment for every subject and thread
+// count of the paper's Table 1.
+func Table1(cfg Table1Config) []Table1Row {
+	var rows []Table1Row
+	for _, s := range Subjects() {
+		for _, threads := range table1Threads(s.Name) {
+			rows = append(rows, table1Cell(s, threads, cfg))
+		}
+	}
+	return rows
+}
+
+// Table1Subject runs the experiment for a single subject (all of its
+// thread counts).
+func Table1Subject(s Subject, cfg Table1Config) []Table1Row {
+	var rows []Table1Row
+	for _, threads := range table1Threads(s.Name) {
+		rows = append(rows, table1Cell(s, threads, cfg))
+	}
+	return rows
+}
+
+func table1Cell(s Subject, threads int, cfg Table1Config) Table1Row {
+	row := Table1Row{Subject: s.Name, Bug: s.BugName, Threads: threads, Reps: cfg.Reps}
+	var ioSum, viewSum float64
+	var ioN, viewN int
+	var ioTime, viewTime float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + int64(rep)*104729
+		res := harness.Run(s.Buggy, baseConfig(threads, cfg.OpsPerThread, seed, vyrd.LevelView))
+
+		ioRep, _, err := checkTimed(s.Buggy, res, core.ModeIO, true)
+		if err != nil {
+			panic(err)
+		}
+		viewRep, _, err := checkTimed(s.Buggy, res, core.ModeView, true)
+		if err != nil {
+			panic(err)
+		}
+		if v := ioRep.First(); v != nil {
+			ioSum += float64(v.MethodsCompleted)
+			ioN++
+		} else {
+			row.IOMiss++
+		}
+		if v := viewRep.First(); v != nil {
+			viewSum += float64(v.MethodsCompleted)
+			viewN++
+		} else {
+			row.ViewMiss++
+		}
+
+		// CPU ratio is measured over the whole trace (no fail-fast), as in
+		// the paper: "running VYRD in view refinement mode to ... I/O
+		// refinement only mode on the same trace".
+		_, ioFull, err := checkTimed(s.Buggy, res, core.ModeIO, false)
+		if err != nil {
+			panic(err)
+		}
+		_, viewFull, err := checkTimed(s.Buggy, res, core.ModeView, false)
+		if err != nil {
+			panic(err)
+		}
+		ioTime += ioFull.Seconds()
+		viewTime += viewFull.Seconds()
+	}
+	if ioN > 0 {
+		row.IOAvg = ioSum / float64(ioN)
+	}
+	if viewN > 0 {
+		row.ViewAvg = viewSum / float64(viewN)
+	}
+	if ioTime > 0 {
+		row.CPURatio = viewTime / ioTime
+	}
+	return row
+}
+
+// WriteTable1 renders the rows in the paper's layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 1. Time to detection of error")
+	fmt.Fprintln(tw, "Program\tError\t#Thrd\t#Mthds I/O Ref.\t#Mthds View Ref.\tCPU view/IO")
+	prev := ""
+	for _, r := range rows {
+		name, bug := "", ""
+		if r.Subject != prev {
+			name, bug = r.Subject, r.Bug
+			prev = r.Subject
+		}
+		io := "not detected"
+		if r.IOAvg > 0 {
+			io = fmt.Sprintf("%.0f", r.IOAvg)
+			if r.IOMiss > 0 {
+				io += fmt.Sprintf(" (%d/%d missed)", r.IOMiss, r.Reps)
+			}
+		}
+		view := "not detected"
+		if r.ViewAvg > 0 {
+			view = fmt.Sprintf("%.0f", r.ViewAvg)
+			if r.ViewMiss > 0 {
+				view += fmt.Sprintf(" (%d/%d missed)", r.ViewMiss, r.Reps)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.2f\n", name, bug, r.Threads, io, view, r.CPURatio)
+	}
+	tw.Flush()
+}

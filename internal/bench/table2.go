@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/harness"
+	"repro/vyrd"
+)
+
+// Table2Row is one row of the paper's Table 2: the running time of the
+// unmodified program (logging off) and the added cost of logging at the
+// I/O and view levels, for the correct implementation of each subject.
+type Table2Row struct {
+	Subject   string
+	Threads   int
+	Ops       int // per thread
+	ProgAlone time.Duration
+	IOLog     time.Duration // additional time with I/O-level logging
+	ViewLog   time.Duration // additional time with view-level logging
+}
+
+// Table2Config parameterizes the experiment.
+type Table2Config struct {
+	Threads      int
+	OpsPerThread int
+	Reps         int // medians over this many runs
+	Seed         int64
+}
+
+// DefaultTable2Config scales the paper's workloads to this machine.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{Threads: 8, OpsPerThread: 2000, Reps: 5, Seed: 1}
+}
+
+// table2Subjects lists the paper's Table 2 rows.
+func table2Subjects() []string {
+	return []string{"Multiset-Vector", "java.util.Vector", "java.util.StringBuffer", "BLinkTree", "Cache"}
+}
+
+// Table2 measures logging overhead per level for every Table 2 subject.
+func Table2(cfg Table2Config) []Table2Row {
+	var rows []Table2Row
+	for _, name := range table2Subjects() {
+		s, ok := SubjectByName(name)
+		if !ok {
+			continue
+		}
+		rows = append(rows, table2Row(s, cfg))
+	}
+	return rows
+}
+
+func table2Row(s Subject, cfg Table2Config) Table2Row {
+	measure := func(level vyrd.Level) time.Duration {
+		durs := make([]time.Duration, 0, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			res := harness.Run(s.Correct, baseConfig(cfg.Threads, cfg.OpsPerThread, cfg.Seed+int64(rep), level))
+			durs = append(durs, res.Elapsed)
+		}
+		return median(durs)
+	}
+	alone := measure(vyrd.LevelOff)
+	io := measure(vyrd.LevelIO)
+	view := measure(vyrd.LevelView)
+	return Table2Row{
+		Subject:   s.Name,
+		Threads:   cfg.Threads,
+		Ops:       cfg.OpsPerThread,
+		ProgAlone: alone,
+		IOLog:     maxDuration(0, io-alone),
+		ViewLog:   maxDuration(0, view-alone),
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[len(ds)/2]
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteTable2 renders the rows in the paper's layout.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 2. Overhead of logging")
+	fmt.Fprintln(tw, "Implementation\tProgram\tI/O Ref. logging\tView Ref. logging")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t+%v\t+%v\n", r.Subject, r.ProgAlone.Round(time.Microsecond),
+			r.IOLog.Round(time.Microsecond), r.ViewLog.Round(time.Microsecond))
+	}
+	tw.Flush()
+}

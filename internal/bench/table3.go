@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/vyrd"
+)
+
+// Table3Row is one row of the paper's Table 3: the running-time breakdown
+// of the program alone, the program with logging, the program with logging
+// plus the online VYRD verification thread, and offline VYRD checking of
+// the recorded trace.
+type Table3Row struct {
+	Subject string
+	Threads int
+	Methods int // per thread, as the paper reports "#Thrd/#Mthd"
+
+	ProgAlone    time.Duration
+	ProgLogging  time.Duration
+	ProgPlusVyrd time.Duration // program + logging + online view checking
+	VyrdOffline  time.Duration // offline view checking of the same trace
+}
+
+// Table3Config parameterizes the experiment. Scale multiplies the paper's
+// per-thread method counts (its absolute counts finish too quickly on a
+// modern machine to measure; scale >= 1 keeps the thread/method ratios).
+type Table3Config struct {
+	Scale int
+	Reps  int
+	Seed  int64
+}
+
+// DefaultTable3Config uses the paper's exact thread/method counts scaled
+// 10x.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{Scale: 10, Reps: 3, Seed: 1}
+}
+
+// table3Cells reproduces the paper's "#Thrd/#Mthd" configurations.
+func table3Cells() []struct {
+	Subject string
+	Threads int
+	Methods int
+} {
+	return []struct {
+		Subject string
+		Threads int
+		Methods int
+	}{
+		{"java.util.Vector", 20, 200},
+		{"java.util.StringBuffer", 10, 30},
+		{"BLinkTree", 10, 600},
+		{"Cache", 10, 500},
+	}
+}
+
+// Table3 runs the breakdown for every configuration of the paper's Table 3.
+func Table3(cfg Table3Config) []Table3Row {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	var rows []Table3Row
+	for _, cell := range table3Cells() {
+		s, ok := SubjectByName(cell.Subject)
+		if !ok {
+			continue
+		}
+		rows = append(rows, table3Row(s, cell.Threads, cell.Methods*cfg.Scale, cfg))
+	}
+	return rows
+}
+
+func table3Row(s Subject, threads, ops int, cfg Table3Config) Table3Row {
+	row := Table3Row{Subject: s.Name, Threads: threads, Methods: ops}
+
+	medianOf := func(f func(rep int) time.Duration) time.Duration {
+		durs := make([]time.Duration, 0, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			durs = append(durs, f(rep))
+		}
+		return median(durs)
+	}
+
+	// Program alone: logging off.
+	row.ProgAlone = medianOf(func(rep int) time.Duration {
+		res := harness.Run(s.Correct, baseConfig(threads, ops, cfg.Seed+int64(rep), vyrd.LevelOff))
+		return res.Elapsed
+	})
+
+	// Program + logging (view level, as offline checking will need it).
+	var recorded harness.Result
+	row.ProgLogging = medianOf(func(rep int) time.Duration {
+		res := harness.Run(s.Correct, baseConfig(threads, ops, cfg.Seed+int64(rep), vyrd.LevelView))
+		recorded = res
+		return res.Elapsed
+	})
+
+	// Program + logging + VYRD online: the verification thread consumes the
+	// log concurrently; measured end to end (workload plus checker drain).
+	row.ProgPlusVyrd = medianOf(func(rep int) time.Duration {
+		log := vyrd.NewLog(vyrd.LevelView)
+		wait, err := log.StartChecker(s.Correct.NewSpec(),
+			vyrd.WithMode(core.ModeView), vyrd.WithReplayer(s.Correct.NewReplayer()))
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		harness.RunOnLog(s.Correct, baseConfig(threads, ops, cfg.Seed+int64(rep), vyrd.LevelView), log)
+		rep2 := wait()
+		elapsed := time.Since(start)
+		if !rep2.Ok() {
+			panic(fmt.Sprintf("table 3: unexpected violations in correct %s:\n%s", s.Name, rep2))
+		}
+		return elapsed
+	})
+
+	// VYRD alone (offline): check the recorded trace.
+	entries := recorded.Log.Snapshot()
+	row.VyrdOffline = medianOf(func(rep int) time.Duration {
+		start := time.Now()
+		r, err := core.CheckEntries(entries, s.Correct.NewSpec(),
+			core.WithMode(core.ModeView), core.WithReplayer(s.Correct.NewReplayer()))
+		if err != nil {
+			panic(err)
+		}
+		if !r.Ok() {
+			panic(fmt.Sprintf("table 3: unexpected violations in correct %s:\n%s", s.Name, r))
+		}
+		return time.Since(start)
+	})
+	return row
+}
+
+// WriteTable3 renders the rows in the paper's layout.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 3. Running time breakdown")
+	fmt.Fprintln(tw, "Program\t#Thrd/#Mthd\tProg. alone\tProg.+logging\tProg.+logging+VYRD\tVYRD alone (off-line)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%v\t%v\t%v\t%v\n", r.Subject, r.Threads, r.Methods,
+			r.ProgAlone.Round(time.Microsecond), r.ProgLogging.Round(time.Microsecond),
+			r.ProgPlusVyrd.Round(time.Microsecond), r.VyrdOffline.Round(time.Microsecond))
+	}
+	tw.Flush()
+}

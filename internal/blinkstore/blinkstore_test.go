@@ -1,0 +1,322 @@
+package blinkstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blinktree"
+	"repro/internal/core"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(blinktree.NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewKV(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	cases := []*node{
+		{level: 0, high: maxKey},
+		{level: 0, high: 50, right: 7, ver: 3, keys: []int64{1, 2, 3}, vals: []int64{10, 20, 30}},
+		{level: 2, high: maxKey, right: 0, keys: []int64{100}, kids: []int64{4, 5}},
+	}
+	for _, n := range cases {
+		got, err := unmarshal(n.marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.level != n.level || got.high != n.high || got.right != n.right || got.ver != n.ver {
+			t.Fatalf("header round trip: %+v vs %+v", got, n)
+		}
+		if len(got.keys) != len(n.keys) {
+			t.Fatalf("keys round trip: %v vs %v", got.keys, n.keys)
+		}
+		for i := range n.keys {
+			if got.keys[i] != n.keys[i] {
+				t.Fatalf("keys round trip: %v vs %v", got.keys, n.keys)
+			}
+		}
+	}
+}
+
+func TestNodeCodecRejectsCorrupt(t *testing.T) {
+	if _, err := unmarshal(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	if _, err := unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	n := &node{level: 0, high: 5, keys: []int64{1}, vals: []int64{2}}
+	blob := n.marshal()
+	if _, err := unmarshal(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+// TestQuickNodeCodec: arbitrary leaves survive the byte round trip.
+func TestQuickNodeCodec(t *testing.T) {
+	f := func(high, right, ver int64, pairs map[int8]int8) bool {
+		n := &node{level: 0, high: high, right: right, ver: ver}
+		for k, v := range pairs {
+			n.keys = append(n.keys, int64(k))
+			n.vals = append(n.vals, int64(v))
+		}
+		got, err := unmarshal(n.marshal())
+		if err != nil || got.high != high || got.right != right || got.ver != ver || len(got.keys) != len(n.keys) {
+			return false
+		}
+		for i := range n.keys {
+			if got.keys[i] != n.keys[i] || got.vals[i] != n.vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialOverStore(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	tr := New(4, BugNone)
+	for i := 0; i < 60; i++ {
+		tr.Insert(p, (i*7)%60, i)
+	}
+	for i := 0; i < 60; i++ {
+		k := (i * 7) % 60
+		if tr.Lookup(p, k) == -1 {
+			t.Fatalf("Lookup(%d) = -1", k)
+		}
+	}
+	if tr.Lookup(p, 999) != -1 {
+		t.Fatal("phantom key")
+	}
+	tr.Insert(p, 5, 777) // overwrite path
+	if tr.Lookup(p, 5) != 777 {
+		t.Fatal("overwrite lost")
+	}
+	if !tr.Delete(p, 5) || tr.Delete(p, 5) {
+		t.Fatal("delete semantics wrong")
+	}
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations: %d", bad)
+	}
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+func TestCompressOverStorePreservesPairs(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	wp := log.NewWorkerProbe()
+	tr := New(4, BugNone)
+	for i := 0; i < 40; i++ {
+		tr.Insert(p, i, i*10)
+	}
+	before, _ := tr.Contents()
+	for i := 0; i < 8; i++ {
+		tr.Compress(wp)
+	}
+	after, dups := tr.Contents()
+	if dups != 0 || len(after) != len(before) {
+		t.Fatalf("compression changed contents (%d vs %d, dups %d)", len(after), len(before), dups)
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+// TestStorageMaintenanceIsTransparent: flushing and reclaiming the cache
+// below the tree must not disturb the tree's contents or its refinement.
+func TestStorageMaintenanceIsTransparent(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	tr := New(4, BugNone)
+	for i := 0; i < 30; i++ {
+		tr.Insert(p, i, i)
+	}
+	before, _ := tr.Contents()
+	tr.Cache().Flush(nil)
+	tr.Cache().Reclaim(nil) // every node now reloads from the chunk manager
+	after, dups := tr.Contents()
+	if dups != 0 || len(after) != len(before) {
+		t.Fatal("storage maintenance changed the tree")
+	}
+	for i := 0; i < 30; i++ {
+		if tr.Lookup(p, i) != i {
+			t.Fatalf("Lookup(%d) after eviction", i)
+		}
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+// TestBugDeterministicDuplicate: the duplicated-data-nodes bug over stored
+// nodes, caught by view refinement exactly as for the in-memory tree.
+func TestBugDeterministicDuplicate(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	tr := New(6, BugDuplicateInsert)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	tr.RaceWindow = func(key int) {
+		once.Do(func() {
+			close(paused)
+			<-resume
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Insert(p2, 42, 1)
+	}()
+	<-paused
+	tr.RaceWindow = func(int) {}
+	tr.Insert(p1, 42, 2)
+	close(resume)
+	<-done
+	log.Close()
+
+	if _, dups := tr.Contents(); dups == 0 {
+		t.Fatal("schedule did not produce a duplicate")
+	}
+	rep := checkLog(t, log, vyrd.ModeView)
+	if rep.Ok() || rep.First().Kind != vyrd.ViolationView {
+		t.Fatalf("view refinement missed the duplicate:\n%s", rep)
+	}
+}
+
+func TestConcurrentCorrectFullStack(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	tr := New(4, BugNone)
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	wp := log.NewWorkerProbe()
+	go func() {
+		defer wwg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				switch i % 3 {
+				case 0:
+					tr.Compress(wp)
+				case 1:
+					tr.Cache().Flush(nil)
+				case 2:
+					tr.Cache().Reclaim(nil)
+				}
+				i++
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int) {
+			defer wg.Done()
+			x := seed*53 + 11
+			for i := 0; i < 250; i++ {
+				x = (x*1103515245 + 12345) & 0x7fffffff
+				k := x % 24
+				switch x % 3 {
+				case 0:
+					tr.Insert(p, k, x%1000)
+				case 1:
+					tr.Delete(p, k)
+				case 2:
+					tr.Lookup(p, k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	wwg.Wait()
+	log.Close()
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations: %d", bad)
+	}
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive, %v:\n%s", mode, rep)
+		}
+	}
+}
+
+// TestQuickSequentialAgainstMap: the stored tree agrees with a map model.
+func TestQuickSequentialAgainstMap(t *testing.T) {
+	f := func(seed int64, orderSel uint8, n uint8) bool {
+		order := 3 + int(orderSel)%5
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(order, BugNone)
+		model := map[int]int{}
+		for i := 0; i < int(n); i++ {
+			k := rng.Intn(25)
+			switch rng.Intn(3) {
+			case 0:
+				d := rng.Intn(100)
+				tr.Insert(nil, k, d)
+				model[k] = d
+			case 1:
+				_, present := model[k]
+				if tr.Delete(nil, k) != present {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				want := -1
+				if d, ok := model[k]; ok {
+					want = d
+				}
+				if tr.Lookup(nil, k) != want {
+					return false
+				}
+			}
+		}
+		pairs, dups := tr.Contents()
+		if dups != 0 || len(pairs) != len(model) {
+			return false
+		}
+		for k, d := range model {
+			if pairs[k] != d {
+				return false
+			}
+		}
+		return tr.CheckStructure() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package blinkstore composes the Boxwood stack the way Fig. 10 of the
+// paper draws it: a concurrent B-link tree whose nodes are serialized byte
+// arrays stored in the Cache + Chunk Manager data store, rather than
+// in-memory structs. It is the modular-verification counterpart of
+// internal/blinktree (Section 7.2: "We treated Cache as a separate data
+// structure ... The verification of BLinkTree was performed assuming that
+// the Cache+Chunk Manager combination works correctly"): when this tree is
+// the verification subject, the cache below it runs uninstrumented (nil
+// probe) and is assumed correct; the cache is verified separately by its
+// own package.
+//
+// The tree-level instrumentation, log vocabulary and replica are identical
+// to internal/blinktree, so the same Replayer and KV specification check
+// both implementations — node storage is exactly the kind of detail viewI
+// abstracts away.
+package blinkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// node is the in-memory form of a tree node; on the store it lives as the
+// byte array produced by marshal.
+type node struct {
+	level int32 // 0 for leaves
+	high  int64 // exclusive upper bound of the key range
+	right int64 // right sibling handle (0 = none)
+	ver   int64 // content version (leaves)
+	keys  []int64
+	vals  []int64 // leaves: data; internal: unused
+	kids  []int64 // internal: len(keys)+1 child handles
+}
+
+// maxKey is the high key of rightmost nodes.
+const maxKey = math.MaxInt64
+
+// marshal serializes the node. Layout (little endian):
+//
+//	level int32 | high int64 | right int64 | ver int64 |
+//	nkeys int32 | keys ... |
+//	leaves: vals ... (nkeys)
+//	internal: kids ... (nkeys+1)
+func (n *node) marshal() []byte {
+	size := 4 + 8 + 8 + 8 + 4 + 8*len(n.keys)
+	if n.level == 0 {
+		size += 8 * len(n.vals)
+	} else {
+		size += 8 * len(n.kids)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(n.level))
+	off += 4
+	binary.LittleEndian.PutUint64(buf[off:], uint64(n.high))
+	off += 8
+	binary.LittleEndian.PutUint64(buf[off:], uint64(n.right))
+	off += 8
+	binary.LittleEndian.PutUint64(buf[off:], uint64(n.ver))
+	off += 8
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(n.keys)))
+	off += 4
+	for _, k := range n.keys {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+		off += 8
+	}
+	if n.level == 0 {
+		for _, v := range n.vals {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+			off += 8
+		}
+	} else {
+		for _, c := range n.kids {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// unmarshal parses a stored node.
+func unmarshal(data []byte) (*node, error) {
+	if len(data) < 4+8+8+8+4 {
+		return nil, fmt.Errorf("blinkstore: node blob too short (%d bytes)", len(data))
+	}
+	n := &node{}
+	off := 0
+	n.level = int32(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	n.high = int64(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	n.right = int64(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	n.ver = int64(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	nkeys := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	extra := nkeys
+	if n.level != 0 {
+		extra = nkeys + 1
+	}
+	if len(data) != off+8*(nkeys+extra) {
+		return nil, fmt.Errorf("blinkstore: node blob size %d inconsistent with %d keys", len(data), nkeys)
+	}
+	n.keys = make([]int64, nkeys)
+	for i := range n.keys {
+		n.keys[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	if n.level == 0 {
+		n.vals = make([]int64, nkeys)
+		for i := range n.vals {
+			n.vals[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	} else {
+		n.kids = make([]int64, nkeys+1)
+		for i := range n.kids {
+			n.kids[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+// keyIndex returns the position of key in a leaf, or -1.
+func (n *node) keyIndex(key int64) int {
+	for i, k := range n.keys {
+		if k == key {
+			return i
+		}
+		if k > key {
+			return -1
+		}
+	}
+	return -1
+}
+
+// childFor returns the child handle covering key in an internal node
+// (boundaries left-inclusive on the right child, as in internal/blinktree).
+func (n *node) childFor(key int64) int64 {
+	i := 0
+	for i < len(n.keys) && n.keys[i] <= key {
+		i++
+	}
+	return n.kids[i]
+}

@@ -1,0 +1,57 @@
+package blinkstore
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/blinktree"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the cache-backed B-link tree to the random test harness.
+// The worker interleaves the tree's compression pass with the underlying
+// cache's flush and reclaim daemons, exercising the full Fig. 10 stack.
+// The tree-level log vocabulary matches internal/blinktree, so its
+// Replayer and the KV specification check this composition unchanged.
+func Target(order int, bug Bug) harness.Target {
+	return harness.Target{
+		Name: "BLinkTree-on-Cache",
+		New: func(log *vyrd.Log) harness.Instance {
+			t := New(order, bug)
+			step := 0
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Insert", Weight: 40, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						t.Insert(p, pick(), rng.Intn(1000))
+					}},
+					{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Delete(p, pick())
+					}},
+					{Name: "Lookup", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Lookup(p, pick())
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					// The tree's compressor plus the storage daemons below
+					// it (uninstrumented: the store is assumed correct in
+					// this modular setup).
+					switch step % 3 {
+					case 0:
+						t.Compress(p)
+					case 1:
+						t.Cache().Flush(nil)
+					case 2:
+						t.Cache().Reclaim(nil)
+					}
+					step++
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewKV() },
+		NewReplayer: func() core.Replayer { return blinktree.NewReplayer() },
+	}
+}

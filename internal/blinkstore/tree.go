@@ -1,0 +1,439 @@
+package blinkstore
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/chunk"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugDuplicateInsert checks key presence before acquiring the leaf lock
+	// (the same "allowing duplicated data nodes" error as the in-memory
+	// tree, here over stored nodes).
+	BugDuplicateInsert
+)
+
+// Tree is the cache-backed concurrent B-link tree.
+type Tree struct {
+	store *nodeStore
+	order int
+
+	rootMu sync.Mutex
+	root   int64
+
+	bug Bug
+	// RaceWindow, when non-nil, runs in the buggy Insert between the
+	// unlocked presence check and the re-descent.
+	RaceWindow func(key int)
+}
+
+// New returns an empty tree over a fresh Cache + Chunk Manager stack.
+// order is the maximum keys per node (minimum 3).
+func New(order int, bug Bug) *Tree {
+	return NewOnCache(cache.New(chunk.New(), cache.BugNone), order, bug)
+}
+
+// NewOnCache builds the tree over a caller-provided cache (Fig. 10's
+// composition; the cache is used uninstrumented and assumed correct).
+func NewOnCache(c *cache.Cache, order int, bug Bug) *Tree {
+	if order < 3 {
+		order = 3
+	}
+	t := &Tree{store: newNodeStore(c), order: order, bug: bug}
+	rootH := t.store.alloc()
+	t.store.write(rootH, &node{level: 0, high: maxKey})
+	t.root = rootH
+	return t
+}
+
+// Cache exposes the underlying cache so harnesses can run its maintenance
+// daemons alongside the tree.
+func (t *Tree) Cache() *cache.Cache { return t.store.cache }
+
+// mustRead reads a node or panics: an unreadable handle means the
+// composition itself (not the workload) is broken.
+func (t *Tree) mustRead(h int64) *node {
+	n, err := t.store.read(h)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// descendToLeaf walks to the leaf covering key, moving right past splits,
+// returning its handle and decoded contents with the handle locked.
+func (t *Tree) descendToLeaf(key int64) (int64, *node) {
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	for {
+		t.store.lock(h)
+		n := t.mustRead(h)
+		if key >= n.high && n.right != 0 {
+			next := n.right
+			t.store.unlock(h)
+			h = next
+			continue
+		}
+		if n.level == 0 {
+			return h, n
+		}
+		next := n.childFor(key)
+		t.store.unlock(h)
+		h = next
+	}
+}
+
+// Insert sets key to data (void return, as Boxwood's INSERT).
+func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
+	inv := p.Call("Insert", key, data)
+	k, d := int64(key), int64(data)
+
+	if t.bug == BugDuplicateInsert {
+		h, n := t.descendToLeaf(k)
+		present := n.keyIndex(k) >= 0
+		t.store.unlock(h)
+		if t.RaceWindow != nil {
+			t.RaceWindow(key)
+		} else {
+			runtime.Gosched() // model preemption in the race window
+		}
+		h, n = t.descendToLeaf(k)
+		if present {
+			if i := n.keyIndex(k); i >= 0 {
+				n.vals[i] = d
+				n.ver++
+				t.store.write(h, n)
+				inv.CommitWrite("cp1-overwrite", "leaf-set", int(h), key, data, int(n.ver))
+				t.store.unlock(h)
+				inv.Return(nil)
+				return
+			}
+		}
+		// BUG: blind add without re-checking presence under the lock.
+		t.insertIntoLeaf(p, inv, h, n, k, d)
+		inv.Return(nil)
+		return
+	}
+
+	h, n := t.descendToLeaf(k)
+	if i := n.keyIndex(k); i >= 0 {
+		n.vals[i] = d
+		n.ver++
+		t.store.write(h, n)
+		inv.CommitWrite("cp1-overwrite", "leaf-set", int(h), key, data, int(n.ver))
+		t.store.unlock(h)
+		inv.Return(nil)
+		return
+	}
+	t.insertIntoLeaf(p, inv, h, n, k, d)
+	inv.Return(nil)
+}
+
+// insertIntoLeaf adds (key, data) to the locked leaf, splitting when full,
+// and completes separator propagation after releasing the leaf.
+func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, h int64, n *node, key, data int64) {
+	insertSorted := func(n *node, key, data int64) {
+		i := 0
+		for i < len(n.keys) && n.keys[i] < key {
+			i++
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = data
+	}
+
+	if len(n.keys) < t.order {
+		insertSorted(n, key, data)
+		n.ver++
+		t.store.write(h, n)
+		inv.CommitWrite("cp2-insert", "leaf-add", int(h), int(key), int(data), int(n.ver))
+		t.store.unlock(h)
+		return
+	}
+
+	// Split: the upper half moves to a fresh stored node, published via the
+	// left node's right pointer before the leaf lock is released.
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		level: 0,
+		high:  n.high,
+		right: n.right,
+		keys:  append([]int64(nil), n.keys[mid:]...),
+		vals:  append([]int64(nil), n.vals[mid:]...),
+	}
+	rh := t.store.alloc()
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.high = sep
+	n.right = rh
+	n.ver++
+	p.Write("leaf-split", int(h), int(rh), int(sep), int(n.ver), int(right.ver))
+
+	target, targetH, label := n, h, "cp3-insert-split-left"
+	if key >= sep {
+		target, targetH, label = right, rh, "cp4-insert-split-right"
+	}
+	insertSorted(target, key, data)
+	target.ver++
+	t.store.write(rh, right)
+	t.store.write(h, n)
+	inv.CommitWrite(label, "leaf-add", int(targetH), int(key), int(data), int(target.ver))
+	t.store.unlock(h)
+
+	t.insertSeparator(1, sep, rh)
+}
+
+// insertSeparator installs (sep, right) at the parent level, splitting
+// internal nodes and growing the root as needed. Internal restructuring is
+// outside the view's support and not logged.
+func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
+	for {
+		t.rootMu.Lock()
+		rootH := t.root
+		rootN := t.mustRead(rootH) // level is immutable per node
+		if rootN.level < level {
+			nr := &node{
+				level: level,
+				high:  maxKey,
+				keys:  []int64{sep},
+				kids:  []int64{rootH, right},
+			}
+			nh := t.store.alloc()
+			t.store.write(nh, nr)
+			t.root = nh
+			t.rootMu.Unlock()
+			return
+		}
+		t.rootMu.Unlock()
+
+		ph, pn := t.parentAt(level, sep)
+		i := 0
+		for i < len(pn.keys) && pn.keys[i] < sep {
+			i++
+		}
+		pn.keys = append(pn.keys, 0)
+		copy(pn.keys[i+1:], pn.keys[i:])
+		pn.keys[i] = sep
+		pn.kids = append(pn.kids, 0)
+		copy(pn.kids[i+2:], pn.kids[i+1:])
+		pn.kids[i+1] = right
+
+		if len(pn.keys) <= t.order {
+			t.store.write(ph, pn)
+			t.store.unlock(ph)
+			return
+		}
+
+		mid := len(pn.keys) / 2
+		promote := pn.keys[mid]
+		newRight := &node{
+			level: pn.level,
+			high:  pn.high,
+			right: pn.right,
+			keys:  append([]int64(nil), pn.keys[mid+1:]...),
+			kids:  append([]int64(nil), pn.kids[mid+1:]...),
+		}
+		nrh := t.store.alloc()
+		pn.keys = pn.keys[:mid:mid]
+		pn.kids = pn.kids[: mid+1 : mid+1]
+		pn.high = promote
+		pn.right = nrh
+		t.store.write(nrh, newRight)
+		t.store.write(ph, pn)
+		t.store.unlock(ph)
+
+		level, sep, right = level+1, promote, nrh
+	}
+}
+
+// parentAt walks to the node at the given level covering key, locked.
+func (t *Tree) parentAt(level int32, key int64) (int64, *node) {
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	for {
+		t.store.lock(h)
+		n := t.mustRead(h)
+		if key >= n.high && n.right != 0 {
+			next := n.right
+			t.store.unlock(h)
+			h = next
+			continue
+		}
+		if n.level == level {
+			return h, n
+		}
+		next := n.childFor(key)
+		t.store.unlock(h)
+		h = next
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(p *vyrd.Probe, key int) bool {
+	inv := p.Call("Delete", key)
+	k := int64(key)
+	h, n := t.descendToLeaf(k)
+	i := n.keyIndex(k)
+	if i < 0 {
+		inv.Commit("not-found")
+		t.store.unlock(h)
+		inv.Return(false)
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.ver++
+	t.store.write(h, n)
+	inv.CommitWrite("deleted", "leaf-del", int(h), key, int(n.ver))
+	t.store.unlock(h)
+	inv.Return(true)
+	return true
+}
+
+// Lookup returns the data stored under key, or -1 (observer).
+func (t *Tree) Lookup(p *vyrd.Probe, key int) int {
+	inv := p.Call("Lookup", key)
+	k := int64(key)
+	h, n := t.descendToLeaf(k)
+	data := -1
+	if i := n.keyIndex(k); i >= 0 {
+		data = int(n.vals[i])
+	}
+	t.store.unlock(h)
+	inv.Return(data)
+	return data
+}
+
+// Compress shifts the top key of an overfull-ish leaf to its right sibling
+// when the sibling has room, as the in-memory tree's compression thread
+// does. The move is the commit block of the Compress pseudo-method.
+func (t *Tree) Compress(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	// Find the leftmost leaf.
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	for {
+		t.store.lock(h)
+		n := t.mustRead(h)
+		if n.level == 0 {
+			t.store.unlock(h)
+			break
+		}
+		next := n.kids[0]
+		t.store.unlock(h)
+		h = next
+	}
+	// Walk the leaf chain looking for a movable pair.
+	for {
+		t.store.lock(h)
+		n := t.mustRead(h)
+		if n.right == 0 {
+			t.store.unlock(h)
+			inv.Commit("nothing")
+			inv.Return(nil)
+			return
+		}
+		rh := n.right
+		t.store.lock(rh)
+		rn := t.mustRead(rh)
+		if len(n.keys) >= 2 && len(rn.keys)+1 <= t.order {
+			sep := n.keys[len(n.keys)-1]
+			inv.BeginCommitBlock()
+			rn.keys = append([]int64{sep}, rn.keys...)
+			rn.vals = append([]int64{n.vals[len(n.vals)-1]}, rn.vals...)
+			n.keys = n.keys[:len(n.keys)-1]
+			n.vals = n.vals[:len(n.vals)-1]
+			n.high = sep
+			n.ver++
+			rn.ver++
+			t.store.write(rh, rn)
+			t.store.write(h, n)
+			p.Write("leaf-move", int(h), int(rh), int(sep), int(n.ver), int(rn.ver))
+			inv.Commit("moved")
+			inv.EndCommitBlock()
+			t.store.unlock(rh)
+			t.store.unlock(h)
+			inv.Return(nil)
+			return
+		}
+		t.store.unlock(rh)
+		t.store.unlock(h)
+		h = rh
+	}
+}
+
+// Contents returns the reachable (key, data) pairs; for quiesced tests
+// only. Duplicate keys are counted in dups.
+func (t *Tree) Contents() (pairs map[int]int, dups int) {
+	pairs = make(map[int]int)
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	n := t.mustRead(h)
+	for n.level != 0 {
+		h = n.kids[0]
+		n = t.mustRead(h)
+	}
+	for {
+		for i, k := range n.keys {
+			if _, seen := pairs[int(k)]; seen {
+				dups++
+				continue
+			}
+			pairs[int(k)] = int(n.vals[i])
+		}
+		if n.right == 0 {
+			return pairs, dups
+		}
+		n = t.mustRead(n.right)
+	}
+}
+
+// CheckStructure verifies sorted leaves and range consistency on a
+// quiesced tree, returning a violation count.
+func (t *Tree) CheckStructure() int {
+	bad := 0
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	n := t.mustRead(h)
+	for n.level != 0 {
+		n = t.mustRead(n.kids[0])
+	}
+	for {
+		var prev int64 = math.MinInt64
+		for _, k := range n.keys {
+			if k < prev {
+				bad++
+			}
+			prev = k
+			if k >= n.high {
+				bad++
+			}
+		}
+		if n.right == 0 {
+			if n.high != maxKey {
+				bad++
+			}
+			return bad
+		}
+		n = t.mustRead(n.right)
+	}
+}

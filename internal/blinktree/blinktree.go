@@ -1,0 +1,478 @@
+// Package blinktree reimplements the Boxwood B-link tree module
+// (Section 7.2.3): a highly concurrent B-link tree in the style of Sagiv
+// and Lehman-Yao, with per-node locks, right links and high keys, move-right
+// traversal, node splits that never block readers, and an internal
+// compression thread that re-arranges leaf contents without modifying the
+// set of (key, data) pairs.
+//
+// Commit points follow Fig. 9: each mutator's effect is reflected in the
+// data structure state by a single write to a leaf — overwriting an
+// existing key (commit point 1), adding a key to a leaf with room (2), or
+// adding it to one of the halves of a split (3/4, including the root-leaf
+// case) — while the remaining writes restructure the tree and are abstracted
+// away by viewI, the sorted list of (key, data) pairs (Section 7.2.4). This
+// is exactly the Section 8 example of a structure that reduction-based
+// atomicity checking cannot handle but refinement checking can.
+//
+// The injected bug is the one named in Table 1 — "Allowing duplicated data
+// nodes": the buggy Insert performs its key-presence check against the leaf
+// before acquiring the leaf's lock, so two concurrent inserts of the same
+// fresh key can both conclude the key is absent and both add a data entry.
+//
+// Log-replay vocabulary (see Replayer). Every leaf content write carries
+// the leaf's post-write version number, mirroring Boxwood's versioned
+// variables (Section 7.2.4's viewI includes version numbers); the replica
+// checks they increase strictly per leaf:
+//
+//	"leaf-add" leaf key data ver     add a (key, data) entry (commits)
+//	"leaf-set" leaf key data ver     overwrite the entry for key (commit)
+//	"leaf-del" leaf key ver          remove the entry for key (commit)
+//	"leaf-split" old new sep over nver  move entries with key >= sep to the
+//	                                 fresh leaf `new` (restructuring)
+//	"leaf-move" src dst sep sver dver   move entries with key >= sep to the
+//	                                 right sibling (compression)
+package blinktree
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugDuplicateInsert checks key presence before acquiring the leaf lock
+	// (Table 1: "Allowing duplicated data nodes").
+	BugDuplicateInsert
+)
+
+// maxInt is the high key of rightmost nodes.
+const maxInt = math.MaxInt
+
+type node struct {
+	mu    sync.Mutex
+	id    int
+	level int // 0 for leaves
+	keys  []int
+	vals  []int   // leaves: data for keys[i]
+	kids  []*node // internal: len(keys)+1 children
+	high  int     // exclusive upper bound of this node's key range
+	right *node   // right sibling at the same level
+	// ver counts content writes to a leaf, mirroring Boxwood's versioned
+	// variables: Section 7.2.4 includes version numbers in viewI, and the
+	// replica checks they increase monotonically per node.
+	ver int
+}
+
+// Tree is the concurrent B-link tree.
+type Tree struct {
+	rootMu sync.Mutex // guards the root pointer only
+	root   *node
+	order  int // maximum keys per node before splitting
+	nextID atomic.Int64
+	bug    Bug
+
+	// RaceWindow, when non-nil, runs in the buggy Insert between the
+	// unlocked presence check and the leaf lock acquisition.
+	RaceWindow func(key int)
+}
+
+// New returns an empty tree. order is the maximum number of keys per node
+// (minimum 3).
+func New(order int, bug Bug) *Tree {
+	if order < 3 {
+		order = 3
+	}
+	t := &Tree{order: order, bug: bug}
+	t.root = &node{id: t.newID(), level: 0, high: maxInt}
+	return t
+}
+
+func (t *Tree) newID() int { return int(t.nextID.Add(1)) }
+
+// childFor returns the child covering key in an internal node. Boundaries
+// are left-inclusive on the right child: child i covers [keys[i-1], keys[i]).
+func (n *node) childFor(key int) *node {
+	i := sort.SearchInts(n.keys, key+1)
+	return n.kids[i]
+}
+
+// leafIndex returns the position of key in a leaf, or -1.
+func (n *node) leafIndex(key int) int {
+	i := sort.SearchInts(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+// descendToLeaf walks from the root to the leaf covering key, moving right
+// past splits, and returns that leaf locked.
+func (t *Tree) descendToLeaf(key int) *node {
+	t.rootMu.Lock()
+	cur := t.root
+	t.rootMu.Unlock()
+	for {
+		cur.mu.Lock()
+		if key >= cur.high && cur.right != nil {
+			next := cur.right
+			cur.mu.Unlock()
+			cur = next
+			continue
+		}
+		if cur.level == 0 {
+			return cur
+		}
+		next := cur.childFor(key)
+		cur.mu.Unlock()
+		cur = next
+	}
+}
+
+// Insert sets key to data, inserting or overwriting. Like Boxwood's INSERT
+// it returns nothing observable; the commit carries the single leaf write.
+func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
+	inv := p.Call("Insert", key, data)
+
+	if t.bug == BugDuplicateInsert {
+		t.insertBuggy(p, inv, key, data)
+		return
+	}
+
+	leaf := t.descendToLeaf(key)
+	if i := leaf.leafIndex(key); i >= 0 {
+		leaf.vals[i] = data
+		leaf.ver++
+		inv.CommitWrite("cp1-overwrite", "leaf-set", leaf.id, key, data, leaf.ver)
+		leaf.mu.Unlock()
+		inv.Return(nil)
+		return
+	}
+	t.insertIntoLeaf(p, inv, leaf, key, data)
+	inv.Return(nil)
+}
+
+// insertBuggy checks presence against the leaf before locking it; two
+// concurrent inserts of the same fresh key both take the blind-add path.
+func (t *Tree) insertBuggy(p *vyrd.Probe, inv *vyrd.Invocation, key, data int) {
+	// Unlocked pre-check: walk to the leaf, peek, release.
+	leaf := t.descendToLeaf(key)
+	present := leaf.leafIndex(key) >= 0
+	leaf.mu.Unlock()
+
+	if t.RaceWindow != nil {
+		t.RaceWindow(key)
+	} else {
+		runtime.Gosched() // model preemption in the race window
+	}
+
+	leaf = t.descendToLeaf(key)
+	if present {
+		// Overwrite path: trusts the stale pre-check, but re-locates the
+		// key; if it vanished, fall through to a blind add.
+		if i := leaf.leafIndex(key); i >= 0 {
+			leaf.vals[i] = data
+			leaf.ver++
+			inv.CommitWrite("cp1-overwrite", "leaf-set", leaf.id, key, data, leaf.ver)
+			leaf.mu.Unlock()
+			inv.Return(nil)
+			return
+		}
+	}
+	// BUG: blind add without re-checking presence under the lock.
+	t.insertIntoLeaf(p, inv, leaf, key, data)
+	inv.Return(nil)
+}
+
+// insertIntoLeaf adds (key, data) to the locked leaf, splitting when full.
+// It unlocks the leaf (and completes any separator propagation) before
+// returning.
+func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, leaf *node, key, data int) {
+	if len(leaf.keys) < t.order {
+		i := sort.SearchInts(leaf.keys, key)
+		leaf.keys = append(leaf.keys, 0)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		leaf.keys[i] = key
+		leaf.vals = append(leaf.vals, 0)
+		copy(leaf.vals[i+1:], leaf.vals[i:])
+		leaf.vals[i] = data
+		leaf.ver++
+		inv.CommitWrite("cp2-insert", "leaf-add", leaf.id, key, data, leaf.ver)
+		leaf.mu.Unlock()
+		return
+	}
+
+	// Split the leaf: the upper half moves to a fresh right sibling. The
+	// split itself is restructuring (view-neutral); the commit is the add
+	// of the new key into the appropriate half (Fig. 9 commit points 3/4).
+	mid := len(leaf.keys) / 2
+	sep := leaf.keys[mid]
+	right := &node{
+		id:    t.newID(),
+		level: 0,
+		keys:  append([]int(nil), leaf.keys[mid:]...),
+		vals:  append([]int(nil), leaf.vals[mid:]...),
+		high:  leaf.high,
+		right: leaf.right,
+	}
+	leaf.ver++
+	p.Write("leaf-split", leaf.id, right.id, sep, leaf.ver, right.ver)
+	leaf.keys = leaf.keys[:mid:mid]
+	leaf.vals = leaf.vals[:mid:mid]
+	leaf.high = sep
+	leaf.right = right
+
+	target := leaf
+	label := "cp3-insert-split-left"
+	if key >= sep {
+		target = right
+		label = "cp4-insert-split-right"
+	}
+	i := sort.SearchInts(target.keys, key)
+	target.keys = append(target.keys, 0)
+	copy(target.keys[i+1:], target.keys[i:])
+	target.keys[i] = key
+	target.vals = append(target.vals, 0)
+	copy(target.vals[i+1:], target.vals[i:])
+	target.vals[i] = data
+	target.ver++
+	inv.CommitWrite(label, "leaf-add", target.id, key, data, target.ver)
+	level := leaf.level
+	leaf.mu.Unlock()
+
+	t.insertSeparator(level+1, sep, right)
+}
+
+// insertSeparator installs (sep, right) into the parent level, splitting
+// internal nodes and growing the root as needed. Internal restructuring is
+// outside the view's support and is not logged.
+func (t *Tree) insertSeparator(level, sep int, right *node) {
+	for {
+		t.rootMu.Lock()
+		if t.root.level < level {
+			// The split node was the root: grow the tree.
+			old := t.root
+			t.root = &node{
+				id:    t.newID(),
+				level: level,
+				keys:  []int{sep},
+				kids:  []*node{old, right},
+				high:  maxInt,
+			}
+			t.rootMu.Unlock()
+			return
+		}
+		t.rootMu.Unlock()
+
+		parent := t.parentAt(level, sep)
+		i := sort.SearchInts(parent.keys, sep)
+		parent.keys = append(parent.keys, 0)
+		copy(parent.keys[i+1:], parent.keys[i:])
+		parent.keys[i] = sep
+		parent.kids = append(parent.kids, nil)
+		copy(parent.kids[i+2:], parent.kids[i+1:])
+		parent.kids[i+1] = right
+
+		if len(parent.keys) <= t.order {
+			parent.mu.Unlock()
+			return
+		}
+
+		// Split the internal node; the median key is promoted.
+		mid := len(parent.keys) / 2
+		promote := parent.keys[mid]
+		newRight := &node{
+			id:    t.newID(),
+			level: parent.level,
+			keys:  append([]int(nil), parent.keys[mid+1:]...),
+			kids:  append([]*node(nil), parent.kids[mid+1:]...),
+			high:  parent.high,
+			right: parent.right,
+		}
+		parent.keys = parent.keys[:mid:mid]
+		parent.kids = parent.kids[: mid+1 : mid+1]
+		parent.high = promote
+		parent.right = newRight
+		parent.mu.Unlock()
+
+		level, sep, right = level+1, promote, newRight
+	}
+}
+
+// parentAt walks to the node at the given level whose range covers key,
+// moving right as needed, and returns it locked.
+func (t *Tree) parentAt(level, key int) *node {
+	t.rootMu.Lock()
+	cur := t.root
+	t.rootMu.Unlock()
+	for {
+		cur.mu.Lock()
+		if key >= cur.high && cur.right != nil {
+			next := cur.right
+			cur.mu.Unlock()
+			cur = next
+			continue
+		}
+		if cur.level == level {
+			return cur
+		}
+		next := cur.childFor(key)
+		cur.mu.Unlock()
+		cur = next
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(p *vyrd.Probe, key int) bool {
+	inv := p.Call("Delete", key)
+	leaf := t.descendToLeaf(key)
+	i := leaf.leafIndex(key)
+	if i < 0 {
+		inv.Commit("not-found")
+		leaf.mu.Unlock()
+		inv.Return(false)
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	leaf.ver++
+	inv.CommitWrite("deleted", "leaf-del", leaf.id, key, leaf.ver)
+	leaf.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// Lookup returns the data stored under key, or -1 (observer).
+func (t *Tree) Lookup(p *vyrd.Probe, key int) int {
+	inv := p.Call("Lookup", key)
+	leaf := t.descendToLeaf(key)
+	data := -1
+	if i := leaf.leafIndex(key); i >= 0 {
+		data = leaf.vals[i]
+	}
+	leaf.mu.Unlock()
+	inv.Return(data)
+	return data
+}
+
+// Compress performs one compression pass as the tree's internal maintenance
+// thread (Section 7.2.3): it shifts the top keys of an overfull-ish leaf to
+// its right sibling when the sibling has room, re-arranging the structure
+// without modifying the set of (key, data) pairs. The move is the commit
+// block of the Compress pseudo-method, so view refinement checks that the
+// abstract contents are indeed unchanged.
+func (t *Tree) Compress(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	// Find the leftmost leaf.
+	t.rootMu.Lock()
+	cur := t.root
+	t.rootMu.Unlock()
+	for {
+		cur.mu.Lock()
+		if cur.level == 0 {
+			break
+		}
+		next := cur.kids[0]
+		cur.mu.Unlock()
+		cur = next
+	}
+	// Walk the leaf chain left to right looking for a movable pair.
+	for {
+		r := cur.right
+		if r == nil {
+			cur.mu.Unlock()
+			inv.Commit("nothing")
+			inv.Return(nil)
+			return
+		}
+		r.mu.Lock()
+		if len(cur.keys) >= 2 && len(r.keys)+1 <= t.order {
+			sep := cur.keys[len(cur.keys)-1]
+			inv.BeginCommitBlock()
+			// Move the top key of cur into r (r's keys are all >= cur's,
+			// so it lands at the front) and shrink cur's range.
+			r.keys = append([]int{sep}, r.keys...)
+			r.vals = append([]int{cur.vals[len(cur.vals)-1]}, r.vals...)
+			cur.keys = cur.keys[:len(cur.keys)-1]
+			cur.vals = cur.vals[:len(cur.vals)-1]
+			cur.high = sep
+			cur.ver++
+			r.ver++
+			p.Write("leaf-move", cur.id, r.id, sep, cur.ver, r.ver)
+			inv.Commit("moved")
+			inv.EndCommitBlock()
+			r.mu.Unlock()
+			cur.mu.Unlock()
+			inv.Return(nil)
+			return
+		}
+		cur.mu.Unlock()
+		cur = r
+	}
+}
+
+// Contents returns the reachable (key, data) pairs; for quiesced tests
+// only. Duplicate keys (only possible under the injected bug) are reported
+// with the leftmost occurrence winning and counted in dups.
+func (t *Tree) Contents() (pairs map[int]int, dups int) {
+	pairs = make(map[int]int)
+	t.rootMu.Lock()
+	cur := t.root
+	t.rootMu.Unlock()
+	for cur.level != 0 {
+		cur = cur.kids[0]
+	}
+	for cur != nil {
+		for i, k := range cur.keys {
+			if _, seen := pairs[k]; seen {
+				dups++
+				continue
+			}
+			pairs[k] = cur.vals[i]
+		}
+		cur = cur.right
+	}
+	return pairs, dups
+}
+
+// CheckStructure verifies the tree's structural invariants on a quiesced
+// instance: sorted leaves, ranges respecting high keys, and right-link
+// reachability of every key. It returns a count of violations (0 for a
+// healthy tree).
+func (t *Tree) CheckStructure() int {
+	bad := 0
+	t.rootMu.Lock()
+	cur := t.root
+	t.rootMu.Unlock()
+	for cur.level != 0 {
+		cur = cur.kids[0]
+	}
+	low := math.MinInt
+	for cur != nil {
+		prev := low
+		for _, k := range cur.keys {
+			if k < prev {
+				bad++
+			}
+			prev = k
+			if k >= cur.high {
+				bad++
+			}
+		}
+		low = cur.high
+		if low == maxInt && cur.right != nil {
+			bad++
+		}
+		cur = cur.right
+	}
+	return bad
+}

@@ -1,0 +1,388 @@
+package blinktree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewKV(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestSequentialInsertLookupDelete(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	tr := New(4, BugNone)
+	for i := 0; i < 50; i++ {
+		tr.Insert(p, i*3%50, i)
+	}
+	for i := 0; i < 50; i++ {
+		k := i * 3 % 50
+		if got := tr.Lookup(p, k); got == -1 {
+			t.Fatalf("Lookup(%d) = -1", k)
+		}
+	}
+	if tr.Lookup(p, 999) != -1 {
+		t.Fatal("phantom key")
+	}
+	if !tr.Delete(p, 0) || tr.Delete(p, 0) {
+		t.Fatal("delete semantics wrong")
+	}
+	if tr.Lookup(p, 0) != -1 {
+		t.Fatal("deleted key still present")
+	}
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations: %d", bad)
+	}
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+func TestOverwriteKeepsSingleEntry(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	tr := New(4, BugNone)
+	tr.Insert(p, 5, 100)
+	tr.Insert(p, 5, 200) // commit point 1: overwrite
+	if got := tr.Lookup(p, 5); got != 200 {
+		t.Fatalf("Lookup(5) = %d", got)
+	}
+	pairs, dups := tr.Contents()
+	if dups != 0 || len(pairs) != 1 {
+		t.Fatalf("pairs %v dups %d", pairs, dups)
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestSplitsProduceValidStructure(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	tr := New(3, BugNone) // tiny order: splits constantly
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Insert(p, (i*37)%n, i)
+	}
+	pairs, dups := tr.Contents()
+	if dups != 0 {
+		t.Fatalf("%d duplicate keys", dups)
+	}
+	if len(pairs) > n {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations: %d", bad)
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestCompressPreservesPairs(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	wp := log.NewWorkerProbe()
+	tr := New(4, BugNone)
+	for i := 0; i < 60; i++ {
+		tr.Insert(p, i, i*10)
+	}
+	before, _ := tr.Contents()
+	for i := 0; i < 10; i++ {
+		tr.Compress(wp)
+	}
+	after, dups := tr.Contents()
+	if dups != 0 || len(after) != len(before) {
+		t.Fatalf("compression changed contents: %d vs %d (dups %d)", len(after), len(before), dups)
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("compression changed pair %d", k)
+		}
+	}
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations after compression: %d", bad)
+	}
+	log.Close()
+	// View refinement verifies each Compress commit left the view unchanged.
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+// TestBugDeterministicDuplicate forces the duplicated-data-nodes scenario:
+// two inserts of the same fresh key race through the unlocked presence
+// check and both add an entry.
+func TestBugDeterministicDuplicate(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	tr := New(6, BugDuplicateInsert)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	tr.RaceWindow = func(key int) {
+		once.Do(func() {
+			close(paused)
+			<-resume
+		})
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Insert(p2, 42, 1) // pauses after its presence pre-check
+	}()
+	<-paused
+	tr.RaceWindow = func(int) {}
+	tr.Insert(p1, 42, 2) // inserts 42 first
+	close(resume)        // T2 blind-adds a duplicate 42
+	<-done
+	log.Close()
+
+	if _, dups := tr.Contents(); dups == 0 {
+		t.Fatal("schedule did not produce a duplicate")
+	}
+	rep := checkLog(t, log, vyrd.ModeView)
+	if rep.Ok() {
+		t.Fatalf("view refinement missed the duplicate:\n%s", rep)
+	}
+	if rep.First().Kind != vyrd.ViolationView {
+		t.Fatalf("expected a view violation, got %v", rep.First())
+	}
+	// I/O refinement cannot reject anything on this trace: Insert returns
+	// nothing, and no observer ran after the duplicate (the paper's reason
+	// Table 1 shows late I/O detection for this bug).
+	ioRep := checkLog(t, log, vyrd.ModeIO)
+	if !ioRep.Ok() {
+		t.Fatalf("I/O refinement unexpectedly flagged the observer-free trace:\n%s", ioRep)
+	}
+}
+
+func TestReplayerDuplicateEncoding(t *testing.T) {
+	r := NewReplayer()
+	apply := func(op string, args ...event.Value) {
+		t.Helper()
+		if err := r.Apply(op, args); err != nil {
+			t.Fatalf("%s%v: %v", op, args, err)
+		}
+	}
+	apply("leaf-add", 1, 42, 100, 1)
+	if v, _ := r.View().Get("k:42"); v != "100" {
+		t.Fatalf("single entry renders as %q", v)
+	}
+	apply("leaf-add", 2, 42, 200, 1)
+	if v, _ := r.View().Get("k:42"); v != "dup(100*1,200*1)" {
+		t.Fatalf("duplicate renders as %q", v)
+	}
+	apply("leaf-del", 2, 42, 2)
+	if v, _ := r.View().Get("k:42"); v != "100" {
+		t.Fatalf("after removing one dup: %q", v)
+	}
+	pairs, dups := r.Pairs()
+	if dups != 0 || pairs[42] != 100 {
+		t.Fatalf("pairs %v dups %d", pairs, dups)
+	}
+}
+
+func TestReplayerSplitAndMoveAreViewNeutral(t *testing.T) {
+	r := NewReplayer()
+	apply := func(op string, args ...event.Value) {
+		t.Helper()
+		if err := r.Apply(op, args); err != nil {
+			t.Fatalf("%s%v: %v", op, args, err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		apply("leaf-add", 1, i*10, i, i+1)
+	}
+	h := r.View().Hash()
+	apply("leaf-split", 1, 2, 30, 7, 0) // move keys >= 30 to leaf 2
+	if r.View().Hash() != h {
+		t.Fatal("split changed the view")
+	}
+	apply("leaf-move", 1, 2, 20, 8, 1) // compression move
+	if r.View().Hash() != h {
+		t.Fatal("move changed the view")
+	}
+	if err := r.Invariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Moved pairs live in the destination afterwards.
+	apply("leaf-del", 2, 30, 2)
+	if _, ok := r.View().Get("k:30"); ok {
+		t.Fatal("delete from destination leaf failed")
+	}
+}
+
+func TestReplayerRejectsMalformed(t *testing.T) {
+	r := NewReplayer()
+	if err := r.Apply("leaf-set", []event.Value{1, 5, 5, 1}); err == nil {
+		t.Fatal("leaf-set on an absent key accepted")
+	}
+	if err := r.Apply("leaf-del", []event.Value{1, 5, 1}); err == nil {
+		t.Fatal("leaf-del on an absent key accepted")
+	}
+	if err := r.Apply("nope", nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := r.Apply("leaf-add", []event.Value{1, 1, 1}); err == nil {
+		t.Fatal("leaf-add without a version accepted")
+	}
+	if err := r.Apply("leaf-add", []event.Value{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("leaf-split", []event.Value{1, 1, 1, 2, 0}); err == nil {
+		t.Fatal("split onto an existing leaf accepted")
+	}
+}
+
+// TestReplayerVersionMonotonicity: repeated or regressing leaf versions are
+// an invariant violation — the property Boxwood's per-variable version
+// numbers provide (Section 7.2.4).
+func TestReplayerVersionMonotonicity(t *testing.T) {
+	r := NewReplayer()
+	if err := r.Apply("leaf-add", []event.Value{1, 10, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("leaf-add", []event.Value{1, 20, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Invariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A stale version (2 again) marks the leaf non-monotonic.
+	if err := r.Apply("leaf-add", []event.Value{1, 30, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Invariants(); err == nil {
+		t.Fatal("version regression not reported")
+	}
+}
+
+func TestConcurrentCorrectWithCompression(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	tr := New(4, BugNone)
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	wp := log.NewWorkerProbe()
+	go func() {
+		defer wwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Compress(wp)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int) {
+			defer wg.Done()
+			x := seed*89 + 3
+			for i := 0; i < 300; i++ {
+				x = (x*1103515245 + 12345) & 0x7fffffff
+				k := x % 24
+				switch x % 3 {
+				case 0:
+					tr.Insert(p, k, x%1000)
+				case 1:
+					tr.Delete(p, k)
+				case 2:
+					tr.Lookup(p, k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	wwg.Wait()
+	log.Close()
+	if bad := tr.CheckStructure(); bad != 0 {
+		t.Fatalf("structure violations: %d", bad)
+	}
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive, %v:\n%s", mode, rep)
+		}
+	}
+}
+
+// TestQuickSequentialAgainstMap: the tree agrees with a map model under
+// random single-threaded operations across orders.
+func TestQuickSequentialAgainstMap(t *testing.T) {
+	f := func(seed int64, orderSel uint8, n uint8) bool {
+		order := 3 + int(orderSel)%6
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(order, BugNone)
+		model := map[int]int{}
+		for i := 0; i < int(n); i++ {
+			k := rng.Intn(30)
+			switch rng.Intn(3) {
+			case 0:
+				d := rng.Intn(100)
+				tr.Insert(nil, k, d)
+				model[k] = d
+			case 1:
+				_, present := model[k]
+				if tr.Delete(nil, k) != present {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				want := -1
+				if d, ok := model[k]; ok {
+					want = d
+				}
+				if tr.Lookup(nil, k) != want {
+					return false
+				}
+			}
+		}
+		pairs, dups := tr.Contents()
+		if dups != 0 || len(pairs) != len(model) {
+			return false
+		}
+		for k, d := range model {
+			if pairs[k] != d {
+				return false
+			}
+		}
+		return tr.CheckStructure() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package blinktree
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the tree's leaf contents from the logged writes and
+// maintains viewI: the set of (key, data) pairs across all leaves, in the
+// same canonical form as the KV specification's viewS — except that a key
+// stored more than once renders as a "dup(...)" value, which can never
+// equal a specification value. That is how "allowing duplicated data nodes"
+// surfaces at the very commit that creates the duplicate, while I/O
+// refinement has to wait for an unlucky observer (the Table 1 contrast).
+//
+// Restructuring entries ("leaf-split", "leaf-move") relocate pairs between
+// leaves without touching the key index, so they can never change the view
+// — mirroring Section 7.2.4's abstraction of the indexing structure.
+type Replayer struct {
+	leaves map[int][]rpair
+	keys   map[int]*keyinfo
+	table  *view.Table
+	// unsorted counts leaves whose pair list violates sortedness, tracked
+	// per mutation of the affected leaf.
+	unsorted map[int]bool
+	// vers holds the last version number seen per leaf; nonMonotonic counts
+	// leaves whose logged versions failed to increase strictly — the
+	// invariant Boxwood's per-variable version numbers provide.
+	vers         map[int]int
+	nonMonotonic map[int]bool
+}
+
+type rpair struct {
+	key, val int
+}
+
+type keyinfo struct {
+	count int
+	vals  map[int]int // data value -> multiplicity
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	r := &Replayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.leaves = make(map[int][]rpair)
+	r.keys = make(map[int]*keyinfo)
+	r.table = view.NewTable()
+	r.unsorted = make(map[int]bool)
+	r.vers = make(map[int]int)
+	r.nonMonotonic = make(map[int]bool)
+}
+
+// View implements core.Replayer. Keys are "k:<key>"; values are the data,
+// or a dup(...) marker when a key occurs more than once.
+func (r *Replayer) View() *view.Table { return r.table }
+
+func (r *Replayer) refreshKey(key int) {
+	ki := r.keys[key]
+	tk := "k:" + strconv.Itoa(key)
+	if ki == nil || ki.count == 0 {
+		delete(r.keys, key)
+		r.table.Delete(tk)
+		return
+	}
+	if ki.count == 1 {
+		for v, n := range ki.vals {
+			if n > 0 {
+				r.table.Set(tk, strconv.Itoa(v))
+				return
+			}
+		}
+	}
+	// Duplicate occurrences: render a canonical marker.
+	vals := make([]string, 0, len(ki.vals))
+	for v, n := range ki.vals {
+		if n > 0 {
+			vals = append(vals, fmt.Sprintf("%d*%d", v, n))
+		}
+	}
+	sort.Strings(vals)
+	r.table.Set(tk, fmt.Sprintf("dup(%s)", strings.Join(vals, ",")))
+}
+
+func (r *Replayer) addOccurrence(key, val, delta int) {
+	ki := r.keys[key]
+	if ki == nil {
+		ki = &keyinfo{vals: make(map[int]int)}
+		r.keys[key] = ki
+	}
+	ki.count += delta
+	ki.vals[val] += delta
+	if ki.vals[val] <= 0 {
+		delete(ki.vals, val)
+	}
+	r.refreshKey(key)
+}
+
+// bumpVer records a logged leaf version, flagging non-monotonic sequences.
+func (r *Replayer) bumpVer(leaf, ver int) {
+	if ver <= r.vers[leaf] {
+		r.nonMonotonic[leaf] = true
+	}
+	r.vers[leaf] = ver
+}
+
+func (r *Replayer) checkSorted(leaf int) {
+	ps := r.leaves[leaf]
+	for i := 1; i < len(ps); i++ {
+		if ps[i].key < ps[i-1].key {
+			r.unsorted[leaf] = true
+			return
+		}
+	}
+	delete(r.unsorted, leaf)
+}
+
+func threeInts(op string, args []event.Value) (a, b, c int, err error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("blinktree replay: %s wants three integers, got %v", op, args)
+	}
+	var ok [3]bool
+	a, ok[0] = event.Int(args[0])
+	b, ok[1] = event.Int(args[1])
+	c, ok[2] = event.Int(args[2])
+	if !ok[0] || !ok[1] || !ok[2] {
+		return 0, 0, 0, fmt.Errorf("blinktree replay: %s non-integer args %v", op, args)
+	}
+	return a, b, c, nil
+}
+
+func fourInts(op string, args []event.Value) (a, b, c, d int, err error) {
+	if len(args) != 4 {
+		return 0, 0, 0, 0, fmt.Errorf("blinktree replay: %s wants four integers, got %v", op, args)
+	}
+	a, b, c, err = threeInts(op, args[:3])
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var ok bool
+	d, ok = event.Int(args[3])
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("blinktree replay: %s non-integer version %v", op, args[3])
+	}
+	return a, b, c, d, nil
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "leaf-add":
+		leaf, key, data, ver, err := fourInts(op, args)
+		if err != nil {
+			return err
+		}
+		r.bumpVer(leaf, ver)
+		ps := r.leaves[leaf]
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].key >= key })
+		ps = append(ps, rpair{})
+		copy(ps[i+1:], ps[i:])
+		ps[i] = rpair{key: key, val: data}
+		r.leaves[leaf] = ps
+		r.addOccurrence(key, data, 1)
+		r.checkSorted(leaf)
+		return nil
+
+	case "leaf-set":
+		leaf, key, data, ver, err := fourInts(op, args)
+		if err != nil {
+			return err
+		}
+		r.bumpVer(leaf, ver)
+		ps := r.leaves[leaf]
+		for i := range ps {
+			if ps[i].key == key {
+				old := ps[i].val
+				ps[i].val = data
+				r.addOccurrence(key, old, -1)
+				r.addOccurrence(key, data, 1)
+				return nil
+			}
+		}
+		return fmt.Errorf("blinktree replay: leaf-set for key %d absent from leaf %d", key, leaf)
+
+	case "leaf-del":
+		leaf, key, ver, err := threeInts(op, args)
+		if err != nil {
+			return err
+		}
+		r.bumpVer(leaf, ver)
+		ps := r.leaves[leaf]
+		for i := range ps {
+			if ps[i].key == key {
+				val := ps[i].val
+				r.leaves[leaf] = append(ps[:i], ps[i+1:]...)
+				r.addOccurrence(key, val, -1)
+				r.checkSorted(leaf)
+				return nil
+			}
+		}
+		return fmt.Errorf("blinktree replay: leaf-del for key %d absent from leaf %d", key, leaf)
+
+	case "leaf-split", "leaf-move":
+		if len(args) != 5 {
+			return fmt.Errorf("blinktree replay: %s wants src, dst, sep, srcVer, dstVer, got %v", op, args)
+		}
+		src, dst, sep, err := threeInts(op, args[:3])
+		if err != nil {
+			return err
+		}
+		srcVer, ok1 := event.Int(args[3])
+		dstVer, ok2 := event.Int(args[4])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("blinktree replay: %s non-integer versions %v", op, args)
+		}
+		r.bumpVer(src, srcVer)
+		if op == "leaf-move" {
+			r.bumpVer(dst, dstVer)
+		} else {
+			r.vers[dst] = dstVer // fresh leaf's initial version
+		}
+		ps := r.leaves[src]
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].key >= sep })
+		moved := append([]rpair(nil), ps[i:]...)
+		r.leaves[src] = ps[:i:i]
+		if op == "leaf-split" {
+			if _, exists := r.leaves[dst]; exists {
+				return fmt.Errorf("blinktree replay: leaf-split target %d already exists", dst)
+			}
+			r.leaves[dst] = moved
+		} else {
+			// Compression moves to an existing right sibling; the moved
+			// pairs precede its contents.
+			r.leaves[dst] = append(moved, r.leaves[dst]...)
+		}
+		r.checkSorted(src)
+		r.checkSorted(dst)
+		return nil
+	}
+	return fmt.Errorf("blinktree replay: unknown op %q", op)
+}
+
+// Invariants implements core.Replayer: every leaf's pair list must be
+// sorted by key, and every leaf's logged version numbers must increase
+// strictly.
+func (r *Replayer) Invariants() error {
+	for leaf := range r.unsorted {
+		return fmt.Errorf("leaf %d is not sorted by key", leaf)
+	}
+	for leaf := range r.nonMonotonic {
+		return fmt.Errorf("leaf %d version numbers are not strictly increasing", leaf)
+	}
+	return nil
+}
+
+// Pairs exposes the reconstructed key index: key -> data for unique keys;
+// duplicated keys are reported in dups. For tests.
+func (r *Replayer) Pairs() (pairs map[int]int, dups int) {
+	pairs = make(map[int]int)
+	for key, ki := range r.keys {
+		if ki.count == 1 {
+			for v := range ki.vals {
+				pairs[key] = v
+			}
+		} else if ki.count > 1 {
+			dups++
+		}
+	}
+	return pairs, dups
+}

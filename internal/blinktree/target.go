@@ -1,0 +1,43 @@
+package blinktree
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the B-link tree to the random test harness (Section 7.1),
+// including its continuously running compression thread. order is the
+// maximum keys per node (small orders split often, exercising the
+// restructuring paths).
+func Target(order int, bug Bug) harness.Target {
+	return harness.Target{
+		Name: "BLinkTree",
+		New: func(log *vyrd.Log) harness.Instance {
+			t := New(order, bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Insert", Weight: 40, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						t.Insert(p, pick(), rng.Intn(1000))
+					}},
+					{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Delete(p, pick())
+					}},
+					{Name: "Lookup", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Lookup(p, pick())
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					t.Compress(p)
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewKV() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}

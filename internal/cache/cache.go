@@ -1,0 +1,286 @@
+// Package cache reimplements the Boxwood Cache module of Fig. 8
+// (Section 7.2.1): a write-back cache between clients and the Chunk
+// Manager, with clean and dirty entry lists guarded by LOCK(clean), a
+// reader-writer RECLAIMLOCK, a FLUSH that writes dirty entries through and
+// moves them to the clean list, and a reclaim daemon that evicts clean
+// entries.
+//
+// Together with the Chunk Manager the cache provides an abstract data
+// store: a map from handles to byte arrays (the Store specification). Its
+// viewI takes each handle's bytes from the cache entry when one exists and
+// from the Chunk Manager otherwise, and two invariants are checked on the
+// replica at runtime (Section 7.2.1): (i) a clean entry's bytes equal the
+// Chunk Manager's, and (ii) no entry is in both lists.
+//
+// The injected bug is the one the paper found in Boxwood (Section 7.2.2):
+// the COPY-TO-CACHE call on the dirty-entry path (Fig. 8 line 23, commit
+// point 3) is not protected by LOCK(clean), so a concurrent FLUSH can write
+// a torn byte array — partly old, partly new — to the Chunk Manager and
+// then mark the entry clean.
+package cache
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/event"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation (line 23 holds LOCK(clean)).
+	BugNone Bug = iota
+	// BugUnprotectedWrite omits LOCK(clean) around the in-place dirty-entry
+	// copy (Section 7.2.2).
+	BugUnprotectedWrite
+)
+
+type entry struct {
+	handle int
+	data   []byte
+}
+
+// Cache is the write-back cache over a Chunk Manager.
+type Cache struct {
+	chunk *chunk.Manager
+
+	reclaim sync.RWMutex // RECLAIMLOCK: writers = the reclaim daemon
+	cleanMu sync.Mutex   // LOCK(clean): guards both entry lists
+	clean   map[int]*entry
+	dirty   map[int]*entry
+
+	bug Bug
+
+	// RaceWindow, when non-nil, runs between each byte of the buggy
+	// unprotected copy, letting tests force a torn flush deterministically.
+	RaceWindow func(handle, i int)
+}
+
+// New returns an empty cache over the given Chunk Manager.
+func New(cm *chunk.Manager, bug Bug) *Cache {
+	return &Cache{
+		chunk: cm,
+		clean: make(map[int]*entry),
+		dirty: make(map[int]*entry),
+		bug:   bug,
+	}
+}
+
+// copyToCache is Fig. 8's COPY-TO-CACHE: an in-place, byte-by-byte copy
+// into the entry's buffer.
+func (c *Cache) copyToCache(e *entry, buf []byte) {
+	if len(e.data) != len(buf) {
+		e.data = make([]byte, len(buf))
+	}
+	for i := 0; i < len(buf); i++ {
+		if c.RaceWindow != nil {
+			c.RaceWindow(e.handle, i)
+		}
+		e.data[i] = buf[i]
+	}
+}
+
+// copyToCacheUnprotected is the buggy in-place copy: it additionally yields
+// periodically to model OS preemption mid-copy, which is what lets a
+// concurrent FLUSH snapshot a torn buffer on a single core.
+func (c *Cache) copyToCacheUnprotected(e *entry, buf []byte) {
+	if len(e.data) != len(buf) {
+		e.data = make([]byte, len(buf))
+	}
+	for i := 0; i < len(buf); i++ {
+		if c.RaceWindow != nil {
+			c.RaceWindow(e.handle, i)
+		} else if i%16 == 8 {
+			runtime.Gosched()
+		}
+		e.data[i] = buf[i]
+	}
+}
+
+// Write stores buf under handle, through the cache (Fig. 8 WRITE). The
+// commit point depends on the path taken: a fresh dirty entry (cp1), a
+// clean entry moved to the dirty list (cp2), or an in-place update of an
+// existing dirty entry (cp3) — the path carrying the injected bug.
+func (c *Cache) Write(p *vyrd.Probe, handle int, buf []byte) {
+	logBuf := event.CloneBytes(buf)
+	inv := p.Call("Write", handle, logBuf)
+	c.reclaim.RLock()
+
+	c.cleanMu.Lock()
+	ce := c.clean[handle]
+	de := c.dirty[handle]
+	switch {
+	case ce == nil && de == nil:
+		te := &entry{handle: handle}
+		c.copyToCache(te, buf)
+		c.dirty[handle] = te
+		inv.BeginCommitBlock()
+		p.Write("mk-dirty", handle, logBuf)
+		inv.Commit("cp1")
+		inv.EndCommitBlock()
+		c.cleanMu.Unlock()
+
+	case ce != nil:
+		delete(c.clean, handle)
+		c.copyToCache(ce, buf)
+		c.dirty[handle] = ce
+		inv.BeginCommitBlock()
+		p.Write("rm-clean", handle)
+		p.Write("mk-dirty", handle, logBuf)
+		inv.Commit("cp2")
+		inv.EndCommitBlock()
+		c.cleanMu.Unlock()
+
+	default: // dirty entry exists: update it in place
+		if c.bug == BugUnprotectedWrite {
+			c.cleanMu.Unlock()
+			// BUG: the copy should be protected by LOCK(clean); a
+			// concurrent FLUSH can snapshot the buffer mid-copy.
+			c.copyToCacheUnprotected(de, buf)
+			inv.CommitWrite("cp3", "mk-dirty", handle, logBuf)
+		} else {
+			c.copyToCache(de, buf)
+			inv.CommitWrite("cp3", "mk-dirty", handle, logBuf)
+			c.cleanMu.Unlock()
+		}
+	}
+
+	c.reclaim.RUnlock()
+	inv.Return(nil)
+}
+
+// Flush writes every dirty entry to the Chunk Manager and moves it to the
+// clean list (Fig. 8 FLUSH). The whole pass holds LOCK(clean) and is the
+// method's commit block; the logged flush-write entries carry the bytes
+// actually written, so a torn buffer reaches the replica exactly as it
+// reached the Chunk Manager.
+func (c *Cache) Flush(p *vyrd.Probe) {
+	inv := p.Call("Flush")
+	c.cleanMu.Lock()
+	inv.BeginCommitBlock()
+	handles := make([]int, 0, len(c.dirty))
+	for h := range c.dirty {
+		handles = append(handles, h)
+	}
+	sort.Ints(handles)
+	for _, h := range handles {
+		te := c.dirty[h]
+		data := event.CloneBytes(te.data) // may be torn under the bug
+		c.chunk.Write(h, data)
+		p.Write("flush-write", h, data)
+	}
+	for _, h := range handles {
+		te := c.dirty[h]
+		delete(c.dirty, h)
+		c.clean[h] = te
+		p.Write("mk-clean", h)
+	}
+	inv.Commit("flushed")
+	inv.EndCommitBlock()
+	c.cleanMu.Unlock()
+	inv.Return(nil)
+}
+
+// Revoke writes a single dirty entry through to the Chunk Manager and moves
+// it to the clean list (the paper's revoke method).
+func (c *Cache) Revoke(p *vyrd.Probe, handle int) {
+	inv := p.Call("Revoke", handle)
+	c.cleanMu.Lock()
+	te := c.dirty[handle]
+	if te == nil {
+		inv.Commit("no-op")
+		c.cleanMu.Unlock()
+		inv.Return(nil)
+		return
+	}
+	inv.BeginCommitBlock()
+	data := event.CloneBytes(te.data)
+	c.chunk.Write(handle, data)
+	p.Write("flush-write", handle, data)
+	delete(c.dirty, handle)
+	c.clean[handle] = te
+	p.Write("mk-clean", handle)
+	inv.Commit("revoked")
+	inv.EndCommitBlock()
+	c.cleanMu.Unlock()
+	inv.Return(nil)
+}
+
+// Read returns the bytes stored under handle, consulting the dirty list,
+// then the clean list, then the Chunk Manager — loading a miss into the
+// clean list (observer; only call and return are logged, plus the
+// view-support load write).
+func (c *Cache) Read(p *vyrd.Probe, handle int) ([]byte, bool) {
+	inv := p.Call("Read", handle)
+	c.reclaim.RLock()
+	c.cleanMu.Lock()
+	if de := c.dirty[handle]; de != nil {
+		data := event.CloneBytes(de.data)
+		c.cleanMu.Unlock()
+		c.reclaim.RUnlock()
+		inv.Return(data)
+		return data, true
+	}
+	if ce := c.clean[handle]; ce != nil {
+		data := event.CloneBytes(ce.data)
+		c.cleanMu.Unlock()
+		c.reclaim.RUnlock()
+		inv.Return(data)
+		return data, true
+	}
+	// Miss: consult the Chunk Manager and load the entry into the clean
+	// list. The chunk read happens under LOCK(clean) so the loaded entry is
+	// consistent with the store at load time (a simplification relative to
+	// production caches, which matters only for invariant (i)).
+	data, _, ok := c.chunk.Read(handle)
+	if ok {
+		c.clean[handle] = &entry{handle: handle, data: event.CloneBytes(data)}
+		p.Write("load-clean", handle, data)
+	}
+	c.cleanMu.Unlock()
+	c.reclaim.RUnlock()
+	if !ok {
+		inv.Return(nil)
+		return nil, false
+	}
+	inv.Return(data)
+	return data, true
+}
+
+// Reclaim evicts every clean entry, modeling the cache's reclaim daemon. It
+// runs as the Compress pseudo-method under the write side of RECLAIMLOCK;
+// evicting clean entries must not change the abstract store (invariant (i)
+// guarantees the Chunk Manager holds the same bytes).
+func (c *Cache) Reclaim(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	c.reclaim.Lock()
+	c.cleanMu.Lock()
+	inv.BeginCommitBlock()
+	handles := make([]int, 0, len(c.clean))
+	for h := range c.clean {
+		handles = append(handles, h)
+	}
+	sort.Ints(handles)
+	for _, h := range handles {
+		delete(c.clean, h)
+		p.Write("rm-clean", h)
+	}
+	inv.Commit("reclaimed")
+	inv.EndCommitBlock()
+	c.cleanMu.Unlock()
+	c.reclaim.Unlock()
+	inv.Return(nil)
+}
+
+// Stats reports the current list sizes, for tests.
+func (c *Cache) Stats() (cleanEntries, dirtyEntries int) {
+	c.cleanMu.Lock()
+	defer c.cleanMu.Unlock()
+	return len(c.clean), len(c.dirty)
+}

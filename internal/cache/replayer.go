@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the cache's clean list, dirty list and the Chunk
+// Manager contents from the logged writes, and maintains viewI over them:
+// for each handle the bytes come from the dirty entry, else the clean
+// entry, else the Chunk Manager (Section 7.2.1's view for Cache + Chunk
+// Manager).
+//
+// Two invariants are verified after every committed update (Section 7.2.1):
+//
+//	(i)  a clean entry's bytes equal the Chunk Manager's bytes, and
+//	(ii) no handle is in both the clean and the dirty list.
+//
+// Both are tracked incrementally in per-handle sets so Invariants is O(1).
+//
+// Write operations:
+//
+//	"mk-dirty" h bytes     install/update the dirty entry for h
+//	"rm-clean" h           drop h from the clean list
+//	"mk-clean" h           move h's dirty entry to the clean list
+//	"load-clean" h bytes   load h into the clean list from the store
+//	"flush-write" h bytes  write-through to the Chunk Manager
+type Replayer struct {
+	clean map[int][]byte
+	dirty map[int][]byte
+	chunk map[int][]byte
+	table *view.Table
+
+	// mismatched holds handles violating invariant (i); overlapping holds
+	// handles violating invariant (ii).
+	mismatched  map[int]bool
+	overlapping map[int]bool
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	r := &Replayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.clean = make(map[int][]byte)
+	r.dirty = make(map[int][]byte)
+	r.chunk = make(map[int][]byte)
+	r.table = view.NewTable()
+	r.mismatched = make(map[int]bool)
+	r.overlapping = make(map[int]bool)
+}
+
+// View implements core.Replayer. Keys are "h:<handle>"; values are the
+// bytes in the same canonical form as the Store specification.
+func (r *Replayer) View() *view.Table { return r.table }
+
+// refresh re-derives the view entry and invariant membership for handle.
+func (r *Replayer) refresh(h int) {
+	key := fmt.Sprintf("h:%d", h)
+	if b, ok := r.dirty[h]; ok {
+		r.table.Set(key, event.Format(b))
+	} else if b, ok := r.clean[h]; ok {
+		r.table.Set(key, event.Format(b))
+	} else if b, ok := r.chunk[h]; ok {
+		r.table.Set(key, event.Format(b))
+	} else {
+		r.table.Delete(key)
+	}
+
+	cb, inClean := r.clean[h]
+	_, inDirty := r.dirty[h]
+	if inClean && inDirty {
+		r.overlapping[h] = true
+	} else {
+		delete(r.overlapping, h)
+	}
+	if inClean {
+		if sb, ok := r.chunk[h]; !ok || string(sb) != string(cb) {
+			r.mismatched[h] = true
+		} else {
+			delete(r.mismatched, h)
+		}
+	} else {
+		delete(r.mismatched, h)
+	}
+}
+
+func handleAndBytes(op string, args []event.Value) (int, []byte, error) {
+	if len(args) != 2 {
+		return 0, nil, fmt.Errorf("cache replay: %s wants handle and bytes, got %v", op, args)
+	}
+	h, ok := event.Int(args[0])
+	if !ok {
+		return 0, nil, fmt.Errorf("cache replay: %s non-integer handle %v", op, args[0])
+	}
+	b, ok := event.Bytes(args[1])
+	if !ok {
+		return 0, nil, fmt.Errorf("cache replay: %s payload is not bytes: %T", op, args[1])
+	}
+	return h, b, nil
+}
+
+func handleOnly(op string, args []event.Value) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("cache replay: %s wants a handle, got %v", op, args)
+	}
+	h, ok := event.Int(args[0])
+	if !ok {
+		return 0, fmt.Errorf("cache replay: %s non-integer handle %v", op, args[0])
+	}
+	return h, nil
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "mk-dirty":
+		h, b, err := handleAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.dirty[h] = b
+		r.refresh(h)
+		return nil
+
+	case "rm-clean":
+		h, err := handleOnly(op, args)
+		if err != nil {
+			return err
+		}
+		delete(r.clean, h)
+		r.refresh(h)
+		return nil
+
+	case "mk-clean":
+		h, err := handleOnly(op, args)
+		if err != nil {
+			return err
+		}
+		b, ok := r.dirty[h]
+		if !ok {
+			return fmt.Errorf("cache replay: mk-clean for handle %d with no dirty entry", h)
+		}
+		delete(r.dirty, h)
+		r.clean[h] = b
+		r.refresh(h)
+		return nil
+
+	case "load-clean":
+		h, b, err := handleAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.clean[h] = b
+		r.refresh(h)
+		return nil
+
+	case "flush-write":
+		h, b, err := handleAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.chunk[h] = b
+		r.refresh(h)
+		return nil
+	}
+	return fmt.Errorf("cache replay: unknown op %q", op)
+}
+
+// Invariants implements core.Replayer.
+func (r *Replayer) Invariants() error {
+	if len(r.mismatched) > 0 {
+		for h := range r.mismatched {
+			return fmt.Errorf("invariant (i) violated: clean entry for handle %d differs from the chunk manager", h)
+		}
+	}
+	if len(r.overlapping) > 0 {
+		for h := range r.overlapping {
+			return fmt.Errorf("invariant (ii) violated: handle %d is in both the clean and dirty lists", h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// targetHandles bounds the handle space so writes collide, and bufLen keeps
+// buffers a fixed size so dirty-entry updates copy in place (the shape the
+// Section 7.2.2 bug needs).
+const (
+	targetHandles = 8
+	bufLen        = 64
+)
+
+// Target adapts the Cache + Chunk Manager combination to the random test
+// harness (Section 7.1). The reclaim daemon runs continuously as the
+// worker, and flushes happen both from application threads and the worker,
+// as in Boxwood.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Cache",
+		New: func(log *vyrd.Log) harness.Instance {
+			c := New(chunk.New(), bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Write", Weight: 40, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						buf := make([]byte, bufLen)
+						for i := range buf {
+							buf[i] = byte(rng.Intn(256))
+						}
+						c.Write(p, pick()%targetHandles, buf)
+					}},
+					{Name: "Read", Weight: 35, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						c.Read(p, pick()%targetHandles)
+					}},
+					{Name: "Flush", Weight: 15, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+						c.Flush(p)
+					}},
+					{Name: "Revoke", Weight: 10, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						c.Revoke(p, pick()%targetHandles)
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					c.Flush(p)
+					c.Reclaim(p)
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewStore() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}

@@ -1,0 +1,91 @@
+// Package chunk implements the Boxwood Chunk Manager abstraction the paper
+// builds on (Section 7.2, Fig. 10): a thread-safe store of byte arrays,
+// each identified by a unique handle and carrying a version number that is
+// incremented after each write.
+//
+// As in the paper's modular verification of Cache + Chunk Manager
+// (Section 7.2.1), this module is assumed correct: the cache above it is
+// the instrumented subject. The package nonetheless carries its own test
+// suite, since the whole stack rests on it.
+package chunk
+
+import (
+	"sort"
+	"sync"
+)
+
+// Manager is the handle-addressed byte-array store.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[int]*entry
+}
+
+type entry struct {
+	data    []byte
+	version int64
+}
+
+// New returns an empty manager.
+func New() *Manager {
+	return &Manager{entries: make(map[int]*entry)}
+}
+
+// Write stores a copy of data under handle and returns the new version
+// number (1 for the first write).
+func (m *Manager) Write(handle int, data []byte) int64 {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[handle]
+	if e == nil {
+		e = &entry{}
+		m.entries[handle] = e
+	}
+	e.data = cp
+	e.version++
+	return e.version
+}
+
+// Read returns a copy of the bytes stored under handle and their version.
+// ok is false when the handle has never been written.
+func (m *Manager) Read(handle int) (data []byte, version int64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[handle]
+	if e == nil {
+		return nil, 0, false
+	}
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, e.version, true
+}
+
+// Version returns the version of handle (0 when unwritten).
+func (m *Manager) Version(handle int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.entries[handle]; e != nil {
+		return e.version
+	}
+	return 0
+}
+
+// Handles returns the written handles in ascending order.
+func (m *Manager) Handles() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.entries))
+	for h := range m.entries {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the number of written handles.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

@@ -1,0 +1,126 @@
+package chunk
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New()
+	if v := m.Write(1, []byte{1, 2, 3}); v != 1 {
+		t.Fatalf("first write version %d", v)
+	}
+	data, version, ok := m.Read(1)
+	if !ok || version != 1 || !bytes.Equal(data, []byte{1, 2, 3}) {
+		t.Fatalf("Read = %x v%d %v", data, version, ok)
+	}
+}
+
+func TestVersionsIncrement(t *testing.T) {
+	m := New()
+	for i := 1; i <= 5; i++ {
+		if v := m.Write(7, []byte{byte(i)}); v != int64(i) {
+			t.Fatalf("write %d got version %d", i, v)
+		}
+	}
+	if m.Version(7) != 5 {
+		t.Fatalf("Version = %d", m.Version(7))
+	}
+	if m.Version(99) != 0 {
+		t.Fatal("unwritten handle has a version")
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	m := New()
+	if _, _, ok := m.Read(42); ok {
+		t.Fatal("read of an unwritten handle succeeded")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	m := New()
+	m.Write(1, []byte{9})
+	data, _, _ := m.Read(1)
+	data[0] = 0
+	again, _, _ := m.Read(1)
+	if again[0] != 9 {
+		t.Fatal("Read aliases the stored bytes")
+	}
+}
+
+func TestWriteStoresCopy(t *testing.T) {
+	m := New()
+	buf := []byte{1}
+	m.Write(1, buf)
+	buf[0] = 2
+	data, _, _ := m.Read(1)
+	if data[0] != 1 {
+		t.Fatal("Write aliases the caller's bytes")
+	}
+}
+
+func TestHandlesSorted(t *testing.T) {
+	m := New()
+	for _, h := range []int{5, 1, 9, 3} {
+		m.Write(h, nil)
+	}
+	hs := m.Handles()
+	want := []int{1, 3, 5, 9}
+	if len(hs) != len(want) {
+		t.Fatalf("handles %v", hs)
+	}
+	for i := range want {
+		if hs[i] != want[i] {
+			t.Fatalf("handles %v", hs)
+		}
+	}
+	if m.Len() != 4 {
+		t.Fatalf("len %d", m.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := i % 4
+				m.Write(h, []byte{byte(g), byte(i)})
+				if data, _, ok := m.Read(h); ok && len(data) != 2 {
+					t.Errorf("torn read: %x", data)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != 4 {
+		t.Fatalf("len %d", m.Len())
+	}
+}
+
+// TestQuickLastWriteWins: sequentially, a read always returns the most
+// recently written bytes and the version equals the write count.
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(writes [][]byte) bool {
+		m := New()
+		for i, w := range writes {
+			if v := m.Write(3, w); v != int64(i+1) {
+				return false
+			}
+			got, v, ok := m.Read(3)
+			if !ok || v != int64(i+1) || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

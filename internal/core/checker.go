@@ -1,0 +1,590 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// invocation tracks one method execution from its call action to the point
+// its effects have been fully checked.
+type invocation struct {
+	tid    int32
+	method string
+	args   []event.Value
+	worker bool
+
+	callSeq  int64
+	retSeq   int64
+	ret      event.Value
+	retKnown bool
+
+	mutator     bool
+	committed   bool
+	commitSeq   int64
+	commitLabel string
+
+	// Observer bookkeeping: resolved means some spec state in the window
+	// accepted the return value.
+	resolved bool
+
+	// Commit-block bookkeeping (view mode).
+	inBlock     bool
+	sawBlock    bool
+	blockWrites []event.Entry
+
+	// viewS fingerprint snapshotted when the spec executed this method.
+	viewSHash uint64
+	// viewSClone is kept only under WithDiagnostics, for exact diffs.
+	viewSClone *view.Table
+}
+
+// item pairs a buffered log entry with the invocation it belongs to.
+type item struct {
+	e   event.Entry
+	inv *invocation
+}
+
+// flushTask is one committed update awaiting application to the replica, in
+// commit order. ready becomes true when all of the update's writes are known
+// (immediately for commit-writes; at end-of-block for commit blocks).
+type flushTask struct {
+	inv    *invocation
+	writes []event.Entry
+	ready  bool
+}
+
+// Checker is the refinement verification engine. It is not safe for
+// concurrent use; the verification thread owns it.
+type Checker struct {
+	spec     Spec
+	replayer Replayer
+	mode     Mode
+
+	failFast      bool
+	maxViolations int
+	diagnostics   bool
+	quiescentOnly bool
+
+	// openCount tracks in-flight method executions at the current pipeline
+	// position; zero means the state is quiescent (Section 3.1).
+	openCount int
+
+	// open maps each thread to its currently executing method (well-formed
+	// runs have at most one; Section 3.2).
+	open map[int32]*invocation
+
+	// buf holds entries that have been fed but not yet processed. head
+	// indexes the next entry to process; the head entry may stall until
+	// its invocation's return value is known (lookahead, Section 4).
+	buf  []item
+	head int
+
+	// pending holds unresolved observers whose window is open: each new
+	// specification state (each applied commit) re-checks them
+	// (Section 4.3).
+	pending []*invocation
+
+	// flushQ holds committed updates awaiting replica application, in
+	// commit order (Section 5.2: blocks are atomic at their commit action).
+	flushQ []*flushTask
+
+	report   Report
+	done     bool
+	finished bool
+}
+
+// New constructs a checker over the given specification. The spec is Reset
+// before use. In ModeView a replayer must be supplied and the spec must
+// support views.
+func New(spec Spec, opts ...Option) (*Checker, error) {
+	c := &Checker{
+		spec:          spec,
+		maxViolations: 64,
+		open:          make(map[int32]*invocation),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.mode == 0 {
+		if c.replayer != nil {
+			c.mode = ModeView
+		} else {
+			c.mode = ModeIO
+		}
+	}
+	if c.mode == ModeView {
+		if c.replayer == nil {
+			return nil, fmt.Errorf("core: view mode requires a replayer")
+		}
+		if spec.View() == nil {
+			return nil, fmt.Errorf("core: view mode requires a spec with view support")
+		}
+		c.replayer.Reset()
+	}
+	spec.Reset()
+	c.report.Mode = c.mode
+	return c, nil
+}
+
+// Done reports whether the checker stopped early (fail-fast after a
+// violation).
+func (c *Checker) Done() bool { return c.done }
+
+// Report returns the current report. It is only complete after Finish.
+func (c *Checker) Report() *Report { return &c.report }
+
+func (c *Checker) violate(kind ViolationKind, seq int64, tid int32, method, detail string) {
+	c.report.TotalViolations++
+	if len(c.report.Violations) < c.maxViolations {
+		c.report.Violations = append(c.report.Violations, Violation{
+			Kind:             kind,
+			Seq:              seq,
+			Tid:              tid,
+			Method:           method,
+			Detail:           detail,
+			MethodsCompleted: c.report.MethodsCompleted,
+		})
+	}
+	if c.failFast {
+		c.done = true
+	}
+}
+
+// Feed consumes one log entry. Entries must be fed in sequence order.
+// Feeding a finished checker panics: a Checker verifies one execution.
+func (c *Checker) Feed(e event.Entry) {
+	if c.finished {
+		panic("core: Feed after Finish; construct a new Checker per execution")
+	}
+	if c.done {
+		return
+	}
+	c.report.EntriesProcessed++
+	it := item{e: e}
+
+	// Intake phase: maintain the per-thread open-invocation map and record
+	// return values as soon as they are seen, so that stalled head entries
+	// (commits and observer calls awaiting their return value) can proceed.
+	switch e.Kind {
+	case event.KindCall:
+		if prev := c.open[e.Tid]; prev != nil {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+				fmt.Sprintf("call while %s is still executing: run is not well-formed", prev.method))
+			return
+		}
+		inv := &invocation{
+			tid:     e.Tid,
+			method:  e.Method,
+			args:    e.Args,
+			worker:  e.Worker,
+			callSeq: e.Seq,
+			mutator: c.spec.IsMutator(e.Method),
+		}
+		c.open[e.Tid] = inv
+		it.inv = inv
+	case event.KindReturn:
+		inv := c.open[e.Tid]
+		if inv == nil {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method, "return without a matching call")
+			return
+		}
+		if inv.method != e.Method {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+				fmt.Sprintf("return from %s while %s is executing", e.Method, inv.method))
+			return
+		}
+		inv.ret = e.Ret
+		inv.retKnown = true
+		inv.retSeq = e.Seq
+		delete(c.open, e.Tid)
+		it.inv = inv
+	default:
+		// Commit, write and block entries belong to the thread's open
+		// invocation, if any (writes by worker threads between their
+		// pseudo-method executions apply immediately).
+		it.inv = c.open[e.Tid]
+	}
+
+	c.buf = append(c.buf, it)
+	c.pump()
+}
+
+// pump processes buffered entries in order while the head is processable.
+func (c *Checker) pump() {
+	for !c.done && c.head < len(c.buf) {
+		it := c.buf[c.head]
+		if !c.processable(it) {
+			return
+		}
+		c.buf[c.head] = item{} // release references
+		c.head++
+		c.process(it)
+	}
+	// Compact the buffer once the consumed prefix dominates.
+	if c.head > 1024 && c.head*2 > len(c.buf) {
+		c.buf = append(c.buf[:0], c.buf[c.head:]...)
+		c.head = 0
+	}
+}
+
+// processable reports whether the head entry can be processed now. Commits
+// of mutators and calls of observers stall until the invocation's return
+// value is known: the specification is driven with the observed return value
+// (Section 4: "derived by looking ahead in the implementation's execution").
+func (c *Checker) processable(it item) bool {
+	switch it.e.Kind {
+	case event.KindCall:
+		if it.inv != nil && !it.inv.mutator {
+			return it.inv.retKnown
+		}
+	case event.KindCommit:
+		if it.inv != nil {
+			return it.inv.retKnown
+		}
+	}
+	return true
+}
+
+func (c *Checker) process(it item) {
+	e := it.e
+	inv := it.inv
+	switch e.Kind {
+	case event.KindCall:
+		c.openCount++
+		if inv != nil && !inv.mutator {
+			// Observer: check at the state s0 in effect at its call; if not
+			// yet acceptable keep it pending for the states s1..sn produced
+			// by commits inside its window (Section 4.3).
+			c.report.ObserversChecked++
+			if c.spec.CheckObserver(inv.method, inv.args, inv.ret) {
+				inv.resolved = true
+			} else {
+				c.pending = append(c.pending, inv)
+			}
+		}
+
+	case event.KindReturn:
+		c.report.MethodsCompleted++
+		c.openCount--
+		defer c.maybeQuiescentCheck(e)
+		if inv == nil {
+			return
+		}
+		if inv.mutator {
+			if !inv.committed {
+				c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+					"mutator execution finished without a commit action: re-examine the commit-point annotation")
+			}
+			if inv.sawBlock && inv.inBlock {
+				c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+					"commit block not closed before return")
+			}
+			return
+		}
+		// Observer: last chance at the current state sn.
+		if !inv.resolved {
+			if c.spec.CheckObserver(inv.method, inv.args, inv.ret) {
+				inv.resolved = true
+			} else {
+				c.violate(ViolationObserver, e.Seq, e.Tid, e.Method,
+					fmt.Sprintf("return value not permitted at any specification state in the window: %s",
+						signatureString(inv.tid, inv.method, inv.args, inv.ret)))
+			}
+		}
+		c.removePending(inv)
+
+	case event.KindCommit:
+		if inv == nil {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method, "commit action outside any method execution")
+			return
+		}
+		if !inv.mutator {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+				"commit action in an observer method: observers must not be annotated (Section 4.3)")
+			return
+		}
+		if inv.committed {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+				"second commit action in one method execution: exactly one is required")
+			return
+		}
+		inv.committed = true
+		inv.commitSeq = e.Seq
+		inv.commitLabel = e.Label
+
+		// Drive the specification at this point of the witness
+		// interleaving. Commit actions are processed in log order, which is
+		// their order of occurrence, so this realizes the serialization the
+		// commit points define.
+		if err := c.spec.ApplyMutator(inv.method, inv.args, inv.ret); err != nil {
+			c.violate(ViolationIO, e.Seq, e.Tid, e.Method,
+				fmt.Sprintf("specification cannot execute %s: %v",
+					signatureString(inv.tid, inv.method, inv.args, inv.ret), err))
+			if c.done {
+				return
+			}
+		}
+		c.report.CommitsApplied++
+
+		if c.mode == ModeView {
+			inv.viewSHash = c.spec.View().Hash()
+			if c.diagnostics {
+				inv.viewSClone = c.spec.View().Clone()
+			}
+			task := &flushTask{inv: inv}
+			switch {
+			case inv.inBlock:
+				// Writes arrive until the block closes (markBlockReady).
+			case inv.sawBlock:
+				// Block closed before the commit action (e.g. the commit is
+				// the lock release following the block): flush its writes.
+				task.writes = inv.blockWrites
+				inv.blockWrites = nil
+				task.ready = true
+			default:
+				if e.WOp != "" {
+					task.writes = []event.Entry{{Seq: e.Seq, Tid: e.Tid, Kind: event.KindWrite, Method: e.WOp, Args: e.WArgs}}
+				}
+				task.ready = true
+			}
+			c.flushQ = append(c.flushQ, task)
+			c.drainFlush()
+			if c.done {
+				return
+			}
+		}
+
+		// The new specification state may validate pending observers.
+		c.recheckPending()
+
+	case event.KindWrite:
+		if c.mode != ModeView {
+			return
+		}
+		if inv != nil && inv.inBlock {
+			inv.blockWrites = append(inv.blockWrites, e)
+			return
+		}
+		// Writes outside commit blocks apply to the replica immediately:
+		// they are restructuring updates outside the view's support, or
+		// preparation writes (e.g. reserving a slot before its valid bit is
+		// set) whose view effect is gated by a committed write.
+		c.applyWrite(e)
+
+	case event.KindBeginBlock:
+		if c.mode != ModeView {
+			return
+		}
+		if inv == nil {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, "", "commit block outside any method execution")
+			return
+		}
+		if inv.inBlock {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, inv.method, "nested commit block")
+			return
+		}
+		inv.inBlock = true
+		inv.sawBlock = true
+
+	case event.KindEndBlock:
+		if c.mode != ModeView {
+			return
+		}
+		if inv == nil || !inv.inBlock {
+			c.violate(ViolationInstrumentation, e.Seq, e.Tid, "", "end of commit block without a beginning")
+			return
+		}
+		inv.inBlock = false
+		// The block's writes become flushable once the block has committed;
+		// a block that ends without having committed keeps its writes until
+		// the commit arrives (the commit may follow the block's end only if
+		// the annotation places it there; normally it is inside).
+		if inv.committed {
+			c.markBlockReady(inv)
+			c.drainFlush()
+		}
+	}
+}
+
+// markBlockReady transfers the block's buffered writes to its flush task.
+func (c *Checker) markBlockReady(inv *invocation) {
+	for _, t := range c.flushQ {
+		if t.inv == inv {
+			t.writes = inv.blockWrites
+			inv.blockWrites = nil
+			t.ready = true
+			return
+		}
+	}
+}
+
+// drainFlush applies ready committed updates to the replica in commit order
+// and performs the view comparison and invariant checks for each
+// (Section 5.2: conceptually the checker constructs the equivalent trace t'
+// in which each commit block executes atomically at its commit action).
+func (c *Checker) drainFlush() {
+	for len(c.flushQ) > 0 && c.flushQ[0].ready && !c.done {
+		t := c.flushQ[0]
+		c.flushQ = c.flushQ[1:]
+		for _, w := range t.writes {
+			c.applyWrite(w)
+		}
+		c.compareViews(t.inv)
+		if c.done {
+			return
+		}
+		if !c.quiescentOnly {
+			if err := c.replayer.Invariants(); err != nil {
+				c.violate(ViolationInvariant, t.inv.commitSeq, t.inv.tid, t.inv.method,
+					fmt.Sprintf("replica invariant failed after commit: %v", err))
+			}
+		}
+	}
+}
+
+func (c *Checker) applyWrite(e event.Entry) {
+	c.report.WritesReplayed++
+	if err := c.replayer.Apply(e.Method, e.Args); err != nil {
+		c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
+			fmt.Sprintf("replayer cannot apply write: %v", err))
+	}
+}
+
+// maybeQuiescentCheck performs the commit-atomicity-style state comparison
+// at quiescent log positions when WithQuiescentViewOnly is set.
+func (c *Checker) maybeQuiescentCheck(e event.Entry) {
+	if !c.quiescentOnly || c.mode != ModeView || c.openCount != 0 || c.done {
+		return
+	}
+	c.report.ViewsCompared++
+	vi := c.replayer.View()
+	vs := c.spec.View()
+	if vi.Hash() != vs.Hash() {
+		detail := fmt.Sprintf("viewI fingerprint %016x != viewS fingerprint %016x at the quiescent state after %s",
+			vi.Hash(), vs.Hash(), e.Method)
+		if c.diagnostics {
+			detail += ": " + view.FormatDeltas(vi.Diff(vs, 8))
+		}
+		c.violate(ViolationView, e.Seq, e.Tid, e.Method, detail)
+		if c.done {
+			return
+		}
+	}
+	if err := c.replayer.Invariants(); err != nil {
+		c.violate(ViolationInvariant, e.Seq, e.Tid, e.Method,
+			fmt.Sprintf("replica invariant failed at a quiescent state: %v", err))
+	}
+}
+
+func (c *Checker) compareViews(inv *invocation) {
+	if c.quiescentOnly {
+		return
+	}
+	c.report.ViewsCompared++
+	vi := c.replayer.View()
+	if vi.Hash() == inv.viewSHash {
+		return
+	}
+	detail := fmt.Sprintf("viewI fingerprint %016x != viewS fingerprint %016x after %s",
+		vi.Hash(), inv.viewSHash, signatureString(inv.tid, inv.method, inv.args, inv.ret))
+	if inv.viewSClone != nil {
+		detail += ": " + view.FormatDeltas(vi.Diff(inv.viewSClone, 8))
+	}
+	c.violate(ViolationView, inv.commitSeq, inv.tid, inv.method, detail)
+}
+
+// recheckPending re-validates unresolved observers against the new
+// specification state, dropping the ones that pass.
+func (c *Checker) recheckPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	kept := c.pending[:0]
+	for _, obs := range c.pending {
+		if c.spec.CheckObserver(obs.method, obs.args, obs.ret) {
+			obs.resolved = true
+			continue
+		}
+		kept = append(kept, obs)
+	}
+	c.pending = kept
+}
+
+func (c *Checker) removePending(inv *invocation) {
+	for i, obs := range c.pending {
+		if obs == inv {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Finish completes checking after the last entry has been fed and returns
+// the final report. Entries still stalled at the head (method executions the
+// log ends in the middle of) are diagnosed.
+func (c *Checker) Finish() *Report {
+	if !c.done {
+		// Anything still buffered is stalled on a return value the log
+		// never delivered: the execution ended mid-method. This is normal
+		// for crashed programs; diagnose only entries that would have been
+		// checked.
+		for _, it := range c.buf[c.head:] {
+			if it.e.Kind == event.KindCommit && it.inv != nil && !it.inv.retKnown {
+				c.violate(ViolationInstrumentation, it.e.Seq, it.e.Tid, it.e.Method,
+					"log ends before the committed method returned; cannot validate its return value")
+				if c.done {
+					break
+				}
+			}
+		}
+		if !c.done {
+			for _, t := range c.flushQ {
+				if !t.ready {
+					c.violate(ViolationInstrumentation, t.inv.commitSeq, t.inv.tid, t.inv.method,
+						"log ends before the commit block closed")
+					if c.done {
+						break
+					}
+				}
+			}
+		}
+	}
+	c.buf = nil
+	c.head = 0
+	c.finished = true
+	return &c.report
+}
+
+// Run consumes entries from the cursor until the log is closed and drained
+// (or a violation stops a fail-fast checker) and returns the final report.
+// This is the online mode of Table 3: the verification thread runs
+// concurrently with the instrumented program.
+func (c *Checker) Run(cur *wal.Cursor) *Report {
+	for !c.done {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		c.Feed(e)
+	}
+	return c.Finish()
+}
+
+// CheckEntries checks a completed execution offline: the log was recorded
+// (possibly to a file, Section 4.2) and is verified afterwards.
+func CheckEntries(entries []event.Entry, spec Spec, opts ...Option) (*Report, error) {
+	c, err := New(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		c.Feed(e)
+		if c.done {
+			break
+		}
+	}
+	return c.Finish(), nil
+}

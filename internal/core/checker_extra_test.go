@@ -1,0 +1,200 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// Additional edge-case coverage for the checker pipeline beyond the main
+// semantics tests in checker_test.go.
+
+func TestEndBlockWithoutBegin(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 1)
+	b.end(1) // no matching begin
+	b.commit(1, "Insert")
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInstrumentation, "without a beginning")
+}
+
+func TestBlockOutsideMethod(t *testing.T) {
+	var b logBuilder
+	b.begin(7)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInstrumentation, "outside any method")
+}
+
+func TestNestedBlockRejected(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 1)
+	b.begin(1)
+	b.begin(1)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInstrumentation, "nested")
+}
+
+// TestIOModeIgnoresViewEntries: a view-level log checked in I/O mode skips
+// writes and blocks entirely.
+func TestIOModeIgnoresViewEntries(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3)
+	b.begin(1)
+	b.write(1, "bump", 3, 1)
+	b.commit(1, "Insert")
+	b.end(1)
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithMode(ModeIO))
+	wantOk(t, rep)
+	if rep.WritesReplayed != 0 || rep.ViewsCompared != 0 {
+		t.Fatalf("I/O mode touched the replica: %+v", rep)
+	}
+}
+
+// TestWorkerWriteOutsideMethod: a write by a thread with no open invocation
+// applies to the replica immediately (maintenance threads may perform
+// view-neutral bookkeeping between pseudo-method executions).
+func TestWorkerWriteOutsideMethod(t *testing.T) {
+	var b logBuilder
+	// The write changes the replica view, and the next commit's comparison
+	// sees the divergence — proving it was applied.
+	b.write(9, "bump", 5, 1)
+	b.call(1, "Insert", 1)
+	b.commitWrite(1, "Insert", "bump", 1, 1)
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationView, "Insert")
+	if rep.WritesReplayed != 2 {
+		t.Fatalf("writes replayed: %+v", rep)
+	}
+}
+
+// TestSpecStateSurvivesRejectedMutator: a rejected transition leaves the
+// spec state unchanged, so subsequent checking continues coherently when
+// not failing fast.
+func TestSpecStateSurvivesRejectedMutator(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Delete", 5).commit(1, "Delete").ret(1, "Delete", true) // invalid: 5 absent
+	b.call(1, "Insert", 5).commit(1, "Insert").ret(1, "Insert", true)
+	b.call(1, "LookUp", 5).ret(1, "LookUp", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	if rep.TotalViolations != 1 {
+		t.Fatalf("expected exactly the delete violation:\n%s", rep)
+	}
+	if rep.First().Method != "Delete" {
+		t.Fatalf("wrong violation: %v", rep.First())
+	}
+}
+
+// TestExceptionalDeleteRejected: the multiset spec requires a bool from
+// Delete; an exceptional termination is not permitted.
+func TestExceptionalDeleteRejected(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Delete", 5).commit(1, "Delete")
+	b.ret(1, "Delete", event.Exceptional{Reason: "boom"})
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationIO, "bool")
+}
+
+// TestManyPendingObservers: several unresolved observers across windows
+// with interleaved commits all resolve at their respective valid states.
+func TestManyPendingObservers(t *testing.T) {
+	var b logBuilder
+	// Observers 1..4 each claim element i present; element i is inserted
+	// while observer i's window is open.
+	for i := 1; i <= 4; i++ {
+		b.call(int32(i), "LookUp", i)
+	}
+	for i := 1; i <= 4; i++ {
+		tid := int32(i + 10)
+		b.call(tid, "Insert", i)
+		b.commit(tid, "Insert")
+		b.ret(tid, "Insert", true)
+		b.ret(int32(i), "LookUp", true)
+	}
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantOk(t, rep)
+	if rep.ObserversChecked != 4 {
+		t.Fatalf("observers checked: %+v", rep)
+	}
+}
+
+// TestObserverResolvedEarlyNotRecheckedToFailure: once an observer's return
+// value is valid at some window state, later commits cannot invalidate it.
+func TestObserverResolvedEarlyNotRecheckedToFailure(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 7).commit(1, "Insert").ret(1, "Insert", true)
+	b.call(2, "LookUp", 7) // s0 has 7: true is valid immediately
+	b.call(3, "Delete", 7)
+	b.commit(3, "Delete")
+	b.ret(3, "Delete", true)
+	b.ret(2, "LookUp", true) // still fine: validated at s0
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestCommitWriteInsideBlockPrefersBlockWrites: a CommitWrite issued inside
+// an open block contributes the block's writes, not the WOp payload (the
+// probe API uses one or the other; the checker defines the precedence).
+func TestCommitWriteInsideBlockPrefersBlockWrites(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3)
+	b.begin(1)
+	b.write(1, "bump", 3, 1)
+	// Commit carrying a (redundant, conflicting) WOp while the block is
+	// open: the block's writes win.
+	b.commitWrite(1, "Insert", "bump", 999, 1)
+	b.end(1)
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantOk(t, rep) // had the WOp applied too, viewI would hold a phantom 999
+}
+
+// TestViolationStringRendering sanity-checks the human-readable output the
+// CLI prints.
+func TestViolationStringRendering(t *testing.T) {
+	var b logBuilder
+	b.call(4, "Delete", 9).commit(4, "Delete").ret(4, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	out := rep.String()
+	for _, want := range []string{"io-refinement", "t4", "Delete", "violation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+	v := rep.First().String()
+	if !strings.Contains(v, "Delete") || !strings.Contains(v, "#") {
+		t.Fatalf("violation rendering: %s", v)
+	}
+}
+
+// TestEmptyLog: checking an empty trace yields a clean report.
+func TestEmptyLog(t *testing.T) {
+	rep := mustCheck(t, nil, spec.NewMultiset())
+	wantOk(t, rep)
+	if rep.EntriesProcessed != 0 || rep.MethodsCompleted != 0 {
+		t.Fatalf("counters on empty log: %+v", rep)
+	}
+}
+
+// TestModeStringAndKindString cover the enum renderings.
+func TestModeStringAndKindString(t *testing.T) {
+	if ModeIO.String() != "io" || ModeView.String() != "view" || Mode(9).String() != "mode(9)" {
+		t.Fatal("mode strings")
+	}
+	kinds := map[ViolationKind]string{
+		ViolationIO:              "io-refinement",
+		ViolationObserver:        "observer",
+		ViolationView:            "view-refinement",
+		ViolationInvariant:       "invariant",
+		ViolationInstrumentation: "instrumentation",
+		ViolationKind(99):        "violation(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d renders as %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+	"repro/internal/view"
+)
+
+// logBuilder assembles synthetic logs for checker tests.
+type logBuilder struct {
+	seq     int64
+	entries []event.Entry
+}
+
+func (b *logBuilder) add(e event.Entry) *logBuilder {
+	b.seq++
+	e.Seq = b.seq
+	b.entries = append(b.entries, e)
+	return b
+}
+
+func (b *logBuilder) call(tid int32, m string, args ...event.Value) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindCall, Method: m, Args: args})
+}
+
+func (b *logBuilder) ret(tid int32, m string, v event.Value) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindReturn, Method: m, Ret: v})
+}
+
+func (b *logBuilder) commit(tid int32, m string) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindCommit, Method: m})
+}
+
+func (b *logBuilder) commitWrite(tid int32, m, op string, args ...event.Value) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindCommit, Method: m, WOp: op, WArgs: args})
+}
+
+func (b *logBuilder) write(tid int32, op string, args ...event.Value) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindWrite, Method: op, Args: args})
+}
+
+func (b *logBuilder) begin(tid int32) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindBeginBlock})
+}
+
+func (b *logBuilder) end(tid int32) *logBuilder {
+	return b.add(event.Entry{Tid: tid, Kind: event.KindEndBlock})
+}
+
+func mustCheck(t *testing.T, entries []event.Entry, s Spec, opts ...Option) *Report {
+	t.Helper()
+	rep, err := CheckEntries(entries, s, opts...)
+	if err != nil {
+		t.Fatalf("CheckEntries: %v", err)
+	}
+	return rep
+}
+
+func wantOk(t *testing.T, rep *Report) {
+	t.Helper()
+	if !rep.Ok() {
+		t.Fatalf("unexpected violations:\n%s", rep)
+	}
+}
+
+func wantViolation(t *testing.T, rep *Report, kind ViolationKind, substr string) {
+	t.Helper()
+	if rep.Ok() {
+		t.Fatalf("expected a %v violation, report clean:\n%s", kind, rep)
+	}
+	v := rep.First()
+	if v.Kind != kind {
+		t.Fatalf("expected %v violation, got %v:\n%s", kind, v.Kind, rep)
+	}
+	if substr != "" && !strings.Contains(v.Detail, substr) {
+		t.Fatalf("violation detail %q does not contain %q", v.Detail, substr)
+	}
+}
+
+// TestFig3Witness reproduces the Fig. 3 scenario: LookUp(3) starts before
+// Insert(3) and returns before Insert(3) returns, yet returning true is
+// correct because Insert(3)'s commit precedes a state in LookUp's window.
+func TestFig3Witness(t *testing.T) {
+	var b logBuilder
+	// Threads: 1 LookUp(3), 2 Insert(3), 3 Insert(4), 4 Delete(3).
+	b.call(1, "LookUp", 3)
+	b.call(2, "Insert", 3)
+	b.call(3, "Insert", 4)
+	b.call(4, "Delete", 3)
+	b.commit(2, "Insert") // Insert(3) commits
+	b.ret(1, "LookUp", true)
+	b.ret(2, "Insert", true)
+	b.commit(3, "Insert")
+	b.ret(3, "Insert", true)
+	b.commit(4, "Delete") // Delete(3) commits after Insert(3)
+	b.ret(4, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantOk(t, rep)
+	if rep.CommitsApplied != 3 || rep.ObserversChecked != 1 {
+		t.Fatalf("unexpected counters: %+v", rep)
+	}
+}
+
+// TestFig3LookupFalseAlsoValid checks the dual: LookUp(3) -> false is valid
+// at the state before Insert(3)'s commit (s0 of its window).
+func TestFig3LookupFalseAlsoValid(t *testing.T) {
+	var b logBuilder
+	b.call(1, "LookUp", 3)
+	b.call(2, "Insert", 3)
+	b.commit(2, "Insert")
+	b.ret(2, "Insert", true)
+	b.ret(1, "LookUp", false)
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestObserverOutsideWindow: a LookUp performed entirely after Insert(3) and
+// Delete(3) must return false; true is a violation.
+func TestObserverOutsideWindow(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert").ret(1, "Insert", true)
+	b.call(1, "Delete", 3).commit(1, "Delete").ret(1, "Delete", true)
+	b.call(1, "LookUp", 3).ret(1, "LookUp", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationObserver, "LookUp")
+}
+
+// TestObserverWindowMidState: the observer's return value is valid only at
+// an intermediate state of its window (after one commit, before the next).
+func TestObserverWindowMidState(t *testing.T) {
+	var b logBuilder
+	b.call(1, "LookUp", 7)
+	b.call(2, "Insert", 7)
+	b.commit(2, "Insert")
+	b.ret(2, "Insert", true)
+	b.call(2, "Delete", 7)
+	b.commit(2, "Delete")
+	b.ret(2, "Delete", true)
+	b.ret(1, "LookUp", true) // valid at the state between the two commits
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestIOViolationReturnValue: the spec rejects a Delete(x) -> true when x
+// was never inserted.
+func TestIOViolationReturnValue(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Delete", 9).commit(1, "Delete").ret(1, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationIO, "absent")
+}
+
+// TestInsertFailureIsPermitted: unsuccessful Insert terminations are allowed
+// and leave the state unchanged (the refinement-vs-atomicity point of
+// Section 1).
+func TestInsertFailureIsPermitted(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 5).commit(1, "Insert").ret(1, "Insert", false)
+	b.call(1, "LookUp", 5).ret(1, "LookUp", false)
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestExceptionalInsertPermitted: exceptional termination is a special
+// return value accepted as an unsuccessful outcome.
+func TestExceptionalInsertPermitted(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 5).commit(1, "Insert")
+	b.ret(1, "Insert", event.Exceptional{Reason: "contention"})
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestCommitOrderDecides: Insert(3) and Delete(3) overlap; the commit order
+// Insert-then-Delete makes Delete(3) -> true valid even though Delete was
+// called first.
+func TestCommitOrderDecides(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Delete", 3)
+	b.call(2, "Insert", 3)
+	b.commit(2, "Insert")
+	b.commit(1, "Delete")
+	b.ret(1, "Delete", true)
+	b.ret(2, "Insert", true)
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}
+
+// TestMissingCommit: a mutator execution without a commit action is an
+// instrumentation violation (Section 4.1: exactly one per execution path).
+func TestMissingCommit(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "without a commit action")
+}
+
+// TestDoubleCommit: two commit actions in one execution are rejected.
+func TestDoubleCommit(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert").commit(1, "Insert").ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "second commit")
+}
+
+// TestCommitInObserver: observers must not be annotated with commits.
+func TestCommitInObserver(t *testing.T) {
+	var b logBuilder
+	b.call(1, "LookUp", 3).commit(1, "LookUp").ret(1, "LookUp", false)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "observer")
+}
+
+// TestCommitOutsideMethod: a commit with no open invocation is rejected.
+func TestCommitOutsideMethod(t *testing.T) {
+	var b logBuilder
+	b.commit(1, "Insert")
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "outside")
+}
+
+// TestReturnWithoutCall and mismatched method names are malformed runs.
+func TestReturnWithoutCall(t *testing.T) {
+	var b logBuilder
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "without a matching call")
+}
+
+func TestMismatchedReturn(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).ret(1, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "while")
+}
+
+func TestNestedCallSameThread(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).call(1, "Insert", 4)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "well-formed")
+}
+
+// TestLogEndsMidMethod: a commit whose method never returns is diagnosed at
+// Finish rather than hanging the pipeline.
+func TestLogEndsMidMethod(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert")
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	wantViolation(t, rep, ViolationInstrumentation, "log ends")
+}
+
+// kvReplayer is a minimal replica for view-mechanics tests: op "set" k v
+// maintains element counts in the multiset's canonical form ("e:<x>" ->
+// count), op "bump" x d adjusts a count, op "fail" always errors, and op
+// "poison" arms an invariant failure.
+type kvReplayer struct {
+	tbl      *view.Table
+	counts   map[int]int
+	poisoned bool
+}
+
+func newKVReplayer() *kvReplayer {
+	r := &kvReplayer{}
+	r.Reset()
+	return r
+}
+
+func (r *kvReplayer) Reset() {
+	r.tbl = view.NewTable()
+	r.counts = make(map[int]int)
+	r.poisoned = false
+}
+
+func (r *kvReplayer) View() *view.Table { return r.tbl }
+
+func (r *kvReplayer) Invariants() error {
+	if r.poisoned {
+		return errPoisoned
+	}
+	return nil
+}
+
+var errPoisoned = fmt.Errorf("replica poisoned")
+
+func (r *kvReplayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "bump":
+		x := event.MustInt(args[0])
+		d := event.MustInt(args[1])
+		n := r.counts[x] + d
+		key := fmt.Sprintf("e:%d", x)
+		if n <= 0 {
+			delete(r.counts, x)
+			r.tbl.Delete(key)
+		} else {
+			r.counts[x] = n
+			r.tbl.Set(key, fmt.Sprintf("%d", n))
+		}
+		return nil
+	case "poison":
+		r.poisoned = true
+		return nil
+	case "fail":
+		return fmt.Errorf("cannot apply")
+	}
+	return fmt.Errorf("unknown op %q", op)
+}
+
+// TestViewMatchCommitWrite: a commit-write that mirrors the spec transition
+// keeps the views equal.
+func TestViewMatchCommitWrite(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3)
+	b.commitWrite(1, "Insert", "bump", 3, 1)
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantOk(t, rep)
+	if rep.Mode != ModeView || rep.ViewsCompared != 1 || rep.WritesReplayed != 1 {
+		t.Fatalf("unexpected counters: %+v", rep)
+	}
+}
+
+// TestViewMismatchDetected: the implementation's committed write disagrees
+// with the spec transition (wrong element), so viewI != viewS.
+func TestViewMismatchDetected(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3)
+	b.commitWrite(1, "Insert", "bump", 4, 1) // wrote 4, claimed to insert 3
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()), WithDiagnostics(true))
+	wantViolation(t, rep, ViolationView, "viewI")
+	if !strings.Contains(rep.First().Detail, "e:4") {
+		t.Fatalf("diagnostic diff missing key detail: %s", rep.First().Detail)
+	}
+}
+
+// TestViewMismatchEarlyDetection is the Section 5 claim: with no observers
+// at all, I/O refinement passes while view refinement catches the error.
+func TestViewMismatchEarlyDetection(t *testing.T) {
+	var b logBuilder
+	b.call(1, "InsertPair", 2, 2)
+	// The implementation only inserted one copy of 2.
+	b.commitWrite(1, "InsertPair", "bump", 2, 1)
+	b.ret(1, "InsertPair", true)
+	entries := b.entries
+
+	io := mustCheck(t, entries, spec.NewMultiset())
+	wantOk(t, io)
+
+	vw := mustCheck(t, entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, vw, ViolationView, "InsertPair")
+}
+
+// TestCommitBlockAtomicity: writes inside a commit block are applied
+// atomically at the commit, so a pair insert never exposes a dirty
+// one-element state (the Section 5.2 scenario).
+func TestCommitBlockAtomicity(t *testing.T) {
+	var b logBuilder
+	// Thread 1 inserts (1,2) in a block; thread 2's commit lands in the log
+	// between thread 1's first and second block write. Thread 1's block
+	// must nonetheless flush atomically in commit order.
+	b.call(1, "InsertPair", 1, 2)
+	b.call(2, "Insert", 5)
+	b.begin(1)
+	b.write(1, "bump", 1, 1)
+	b.commitWrite(2, "Insert", "bump", 5, 1)
+	b.ret(2, "Insert", true)
+	b.write(1, "bump", 2, 1)
+	b.commit(1, "InsertPair")
+	b.end(1)
+	b.ret(1, "InsertPair", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantOk(t, rep)
+	if rep.ViewsCompared != 2 {
+		t.Fatalf("expected 2 view comparisons, got %+v", rep)
+	}
+}
+
+// TestOverlappingBlocksFlushInCommitOrder: block B1 commits before B2 but
+// ends after B2 ends; the flush queue must nevertheless apply B1 first and
+// compare each block against the viewS snapshot taken at its own commit.
+func TestOverlappingBlocksFlushInCommitOrder(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 1)
+	b.call(2, "Insert", 2)
+	b.begin(1)
+	b.write(1, "bump", 1, 1)
+	b.commit(1, "Insert") // B1 commits first
+	b.begin(2)
+	b.write(2, "bump", 2, 1)
+	b.commit(2, "Insert") // B2 commits second...
+	b.end(2)              // ...but ends first
+	b.end(1)
+	b.ret(1, "Insert", true)
+	b.ret(2, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantOk(t, rep)
+}
+
+// TestInvariantViolation: replica invariants are checked after each
+// committed flush.
+func TestInvariantViolation(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Compress")
+	b.commitWrite(1, "Compress", "poison")
+	b.ret(1, "Compress", nil)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInvariant, "poisoned")
+}
+
+// TestReplayFailure: an inapplicable write is an instrumentation violation.
+func TestReplayFailure(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3)
+	b.commitWrite(1, "Insert", "fail")
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInstrumentation, "cannot apply")
+}
+
+// TestUnclosedBlockDiagnosed: a block that never ends is caught at Finish.
+func TestUnclosedBlockDiagnosed(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 1)
+	b.begin(1)
+	b.write(1, "bump", 1, 1)
+	b.commit(1, "Insert")
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	wantViolation(t, rep, ViolationInstrumentation, "")
+}
+
+// TestFailFastStopsAtFirst: fail-fast checking records exactly one
+// violation and stops consuming entries.
+func TestFailFastStopsAtFirst(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Delete", 9).commit(1, "Delete").ret(1, "Delete", true)
+	b.call(1, "Delete", 8).commit(1, "Delete").ret(1, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithFailFast(true))
+	if rep.TotalViolations != 1 {
+		t.Fatalf("expected exactly one violation, got %d", rep.TotalViolations)
+	}
+}
+
+// TestMaxViolationsCaps: without fail-fast, violations beyond the cap are
+// counted but not stored.
+func TestMaxViolationsCaps(t *testing.T) {
+	var b logBuilder
+	for i := 0; i < 5; i++ {
+		b.call(1, "Delete", 100+i).commit(1, "Delete").ret(1, "Delete", true)
+	}
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithMaxViolations(2))
+	if rep.TotalViolations != 5 || len(rep.Violations) != 2 {
+		t.Fatalf("expected 5 total / 2 stored, got %d / %d", rep.TotalViolations, len(rep.Violations))
+	}
+}
+
+// TestViewModeRequiresReplayer validates constructor checks.
+func TestViewModeRequiresReplayer(t *testing.T) {
+	if _, err := New(spec.NewMultiset(), WithMode(ModeView)); err == nil {
+		t.Fatal("expected an error constructing view mode without a replayer")
+	}
+}
+
+// TestMethodsCompletedAtDetection tracks the Table 1 metric.
+func TestMethodsCompletedAtDetection(t *testing.T) {
+	var b logBuilder
+	for i := 0; i < 3; i++ {
+		b.call(1, "Insert", i).commit(1, "Insert").ret(1, "Insert", true)
+	}
+	b.call(1, "Delete", 99).commit(1, "Delete").ret(1, "Delete", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	if rep.First() == nil || rep.First().MethodsCompleted != 3 {
+		t.Fatalf("expected detection after 3 completed methods, got %+v", rep.First())
+	}
+}
+
+// TestWorkerCompressNoOp: worker pseudo-methods drive a no-op spec
+// transition and must not disturb the abstract state.
+func TestWorkerCompressNoOp(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert").ret(1, "Insert", true)
+	b.add(event.Entry{Tid: 9, Kind: event.KindCall, Method: spec.MethodCompress, Worker: true})
+	b.add(event.Entry{Tid: 9, Kind: event.KindCommit, Method: spec.MethodCompress, Worker: true})
+	b.add(event.Entry{Tid: 9, Kind: event.KindReturn, Method: spec.MethodCompress, Worker: true})
+	b.call(1, "LookUp", 3).ret(1, "LookUp", true)
+	wantOk(t, mustCheck(t, b.entries, spec.NewMultiset()))
+}

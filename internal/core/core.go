@@ -1,0 +1,144 @@
+// Package core implements the VYRD refinement checker (Sections 3-5 of the
+// paper): a verification engine that consumes the totally ordered execution
+// log of an instrumented concurrent implementation and checks that the
+// execution refines a method-atomic, deterministic executable specification.
+//
+// Two refinement notions are supported. In I/O refinement mode the checker
+// builds the witness interleaving from the order of commit actions and
+// drives the specification one method at a time with the observed arguments
+// and return values; observer methods, which carry no commit annotation, are
+// accepted if their return value is legal at any specification state between
+// their call and return (Section 4.3). In view refinement mode the checker
+// additionally reconstructs a replica of the implementation state from the
+// logged writes, computes the viewI digest at every mutator commit (with
+// commit blocks applied atomically, Section 5.2), and requires it to equal
+// the viewS digest of the specification at the corresponding point of the
+// witness interleaving.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Spec is an executable specification: a method-atomic, deterministic state
+// transition system (Section 3.2). The checker owns the Spec instance and
+// calls it from a single goroutine.
+//
+// Determinism here is the paper's notion: given a method, its arguments and
+// its return value, the successor state is unique. Nondeterminism in return
+// values (e.g. an Insert that may terminate exceptionally) is expressed by
+// ApplyMutator accepting several ret values at the same state.
+type Spec interface {
+	// ApplyMutator atomically executes mutator method with the given
+	// arguments and the return value observed in the implementation. It
+	// returns a non-nil error, and leaves the state unchanged, if the
+	// return value is not permitted at the current state or the transition
+	// is otherwise impossible.
+	ApplyMutator(method string, args []event.Value, ret event.Value) error
+
+	// CheckObserver reports whether ret is a permitted return value for the
+	// observer method with the given arguments at the current state. It
+	// must not modify the state.
+	CheckObserver(method string, args []event.Value, ret event.Value) bool
+
+	// IsMutator reports whether the named method is a mutator. Observer
+	// methods must not modify specification state (Section 3).
+	IsMutator(method string) bool
+
+	// View returns the specification's live view table (viewS). The checker
+	// snapshots its fingerprint at each commit. Specs that do not support
+	// view refinement may return nil, restricting them to ModeIO.
+	View() *view.Table
+
+	// Reset returns the specification to its initial state.
+	Reset()
+}
+
+// Replayer reconstructs implementation state (the replica) from logged write
+// actions, and exposes the viewI digest over it. Replay methods that
+// reconstruct data-structure state from coarse-grained log entries are
+// provided by the data structure's author (Section 6.2). The checker owns
+// the Replayer instance and calls it from a single goroutine.
+type Replayer interface {
+	// Apply replays one logged write into the replica. A non-nil error is
+	// reported as a replay violation (typically a malformed or impossible
+	// entry, indicating an instrumentation or logging bug).
+	Apply(op string, args []event.Value) error
+
+	// View returns the live viewI table over the replica.
+	View() *view.Table
+
+	// Invariants checks the data-structure invariants the author chose to
+	// verify at runtime on the replica state (Section 7.2.1 checks, for
+	// example, that clean cache entries match the chunk manager). It is
+	// invoked after each committed update is applied. A nil Replayer
+	// invariant error means the state is consistent.
+	Invariants() error
+
+	// Reset returns the replica to the initial state.
+	Reset()
+}
+
+// Mode selects the refinement notion to check.
+type Mode uint8
+
+const (
+	// ModeIO checks I/O refinement (Section 4).
+	ModeIO Mode = iota + 1
+	// ModeView checks view refinement (Section 5), which subsumes the I/O
+	// checks and additionally compares viewI against viewS at each commit.
+	ModeView
+)
+
+// String returns the name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIO:
+		return "io"
+	case ModeView:
+		return "view"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// MarshalJSON renders the mode by name in machine-readable reports.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", m.String())), nil
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithMode forces the refinement mode. The default is ModeView when a
+// replayer is configured and ModeIO otherwise.
+func WithMode(m Mode) Option { return func(c *Checker) { c.mode = m } }
+
+// WithReplayer supplies the replica used for view refinement.
+func WithReplayer(r Replayer) Option { return func(c *Checker) { c.replayer = r } }
+
+// WithFailFast stops checking at the first violation. This is how the
+// time-to-first-detection experiments (Table 1) run.
+func WithFailFast(on bool) Option { return func(c *Checker) { c.failFast = on } }
+
+// WithMaxViolations caps the number of recorded violations when not failing
+// fast (default 64); checking continues but further violations are counted,
+// not stored.
+func WithMaxViolations(n int) Option { return func(c *Checker) { c.maxViolations = n } }
+
+// WithDiagnostics makes the checker keep a clone of viewS at each commit so
+// that view violations report an exact key-level diff. Costs a table copy
+// per commit; intended for debugging and small runs, not benchmarks.
+func WithDiagnostics(on bool) Option { return func(c *Checker) { c.diagnostics = on } }
+
+// WithQuiescentViewOnly restricts view comparison to quiescent states —
+// log positions where no method execution is in flight — instead of every
+// mutator commit. This reproduces the state-checking granularity of
+// Flanagan's commit-atomicity (Section 8: "refinement checking is done
+// only at quiescent points rather than at each commit point") as an
+// ablation: under realistic continuous load quiescent points are very rare
+// (Section 5.2), so errors are detected late or not at all. Replica
+// invariants are likewise only checked at quiescent points in this mode.
+func WithQuiescentViewOnly(on bool) Option { return func(c *Checker) { c.quiescentOnly = on } }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// FuzzCheckerRobustness feeds arbitrary (including thoroughly malformed)
+// entry sequences to the checker in both modes and requires that it never
+// panics and never hangs: malformed logs must surface as instrumentation
+// violations or be ignored, not crash the verification thread. The fuzzer
+// drives the byte string as a little program over a small alphabet of
+// entry shapes.
+func FuzzCheckerRobustness(f *testing.F) {
+	// Seeds: a well-formed trace, a truncated one, and adversarial noise.
+	f.Add([]byte{0, 10, 2, 20, 1, 30, 3, 40})
+	f.Add([]byte{2, 2, 2, 5, 5, 4, 4, 3, 3})
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Add([]byte{6, 7, 8, 9, 250, 13})
+	f.Add([]byte{0, 3, 4, 2, 5, 1})
+
+	methods := []string{"Insert", "Delete", "LookUp", "InsertPair", "Compress", "Bogus"}
+	rets := []event.Value{nil, true, false, 7, "x", event.Exceptional{Reason: "f"}}
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var entries []event.Entry
+		seq := int64(0)
+		add := func(e event.Entry) {
+			seq++
+			e.Seq = seq
+			entries = append(entries, e)
+		}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], program[i+1]
+			tid := int32(arg%4) + 1
+			switch op % 8 {
+			case 0:
+				add(event.Entry{Tid: tid, Kind: event.KindCall,
+					Method: methods[int(arg)%len(methods)], Args: []event.Value{int(arg)}})
+			case 1:
+				add(event.Entry{Tid: tid, Kind: event.KindReturn,
+					Method: methods[int(arg)%len(methods)], Ret: rets[int(arg)%len(rets)]})
+			case 2:
+				add(event.Entry{Tid: tid, Kind: event.KindCommit,
+					Method: methods[int(arg)%len(methods)]})
+			case 3:
+				add(event.Entry{Tid: tid, Kind: event.KindCommit,
+					Method: methods[int(arg)%len(methods)], WOp: "bump",
+					WArgs: []event.Value{int(arg), 1}})
+			case 4:
+				add(event.Entry{Tid: tid, Kind: event.KindWrite,
+					Method: "bump", Args: []event.Value{int(arg), 1}})
+			case 5:
+				add(event.Entry{Tid: tid, Kind: event.KindWrite,
+					Method: "nonsense-op", Args: []event.Value{"junk"}})
+			case 6:
+				add(event.Entry{Tid: tid, Kind: event.KindBeginBlock})
+			case 7:
+				add(event.Entry{Tid: tid, Kind: event.KindEndBlock})
+			}
+		}
+
+		for _, opts := range [][]Option{
+			nil,
+			{WithReplayer(newKVReplayer())},
+			{WithReplayer(newKVReplayer()), WithQuiescentViewOnly(true)},
+		} {
+			rep, err := CheckEntries(entries, spec.NewMultiset(), opts...)
+			if err != nil {
+				t.Fatalf("constructor error on options: %v", err)
+			}
+			if rep == nil {
+				t.Fatal("nil report")
+			}
+			// Counters must stay coherent even on garbage.
+			if int64(len(rep.Violations)) > rep.TotalViolations {
+				t.Fatalf("stored violations exceed the total: %+v", rep)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// The WithQuiescentViewOnly ablation reproduces the state-checking
+// granularity of commit-atomicity (Section 8). These tests pin down the
+// paper's two arguments for per-commit checking (Section 5.2): quiescent
+// checking detects persistent corruption late, and transient corruption —
+// overwritten before the system next quiesces — not at all.
+
+// quiescentOpts builds view-mode options with the ablation enabled.
+func quiescentOpts(extra ...Option) []Option {
+	return append([]Option{WithReplayer(newKVReplayer()), WithQuiescentViewOnly(true)}, extra...)
+}
+
+// TestQuiescentDetectsPersistentCorruptionLate: a corrupted commit inside a
+// busy span is detected by per-commit checking at the commit, but by
+// quiescent-only checking only when the last in-flight method returns.
+func TestQuiescentDetectsPersistentCorruptionLate(t *testing.T) {
+	var b logBuilder
+	// A long-running method keeps the system non-quiescent.
+	b.call(9, "Insert", 99)
+	// The corrupting commit: claims Insert(3), writes element 4.
+	b.call(1, "Insert", 3)
+	b.commitWrite(1, "Insert", "bump", 4, 1)
+	b.ret(1, "Insert", true)
+	// More correct work while still non-quiescent.
+	for i := 0; i < 5; i++ {
+		b.call(2, "Insert", i)
+		b.commitWrite(2, "Insert", "bump", i, 1)
+		b.ret(2, "Insert", true)
+	}
+	// The long-running method finally commits and returns: quiescence.
+	b.commitWrite(9, "Insert", "bump", 99, 1)
+	b.ret(9, "Insert", true)
+	entries := b.entries
+
+	perCommit := mustCheck(t, entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	if perCommit.Ok() || perCommit.First().Kind != ViolationView {
+		t.Fatalf("per-commit checking missed the corruption:\n%s", perCommit)
+	}
+	if perCommit.First().MethodsCompleted != 0 {
+		t.Fatalf("per-commit detection should precede any completed method, got %d",
+			perCommit.First().MethodsCompleted)
+	}
+
+	quiescent := mustCheck(t, entries, spec.NewMultiset(), quiescentOpts()...)
+	if quiescent.Ok() || quiescent.First().Kind != ViolationView {
+		t.Fatalf("quiescent checking missed persistent corruption:\n%s", quiescent)
+	}
+	if quiescent.First().MethodsCompleted != 7 {
+		t.Fatalf("quiescent detection should wait for the system to quiesce (7 methods), got %d",
+			quiescent.First().MethodsCompleted)
+	}
+}
+
+// TestQuiescentMissesTransientCorruption: corruption that is overwritten
+// before the next quiescent point is invisible to quiescent-only checking —
+// the Section 5.2 "errors may be overwritten" argument.
+func TestQuiescentMissesTransientCorruption(t *testing.T) {
+	var b logBuilder
+	b.call(9, "Insert", 99) // keeps the system busy
+	// Corruption: Insert(3) writes element 4.
+	b.call(1, "Insert", 3)
+	b.commitWrite(1, "Insert", "bump", 4, 1)
+	b.ret(1, "Insert", true)
+	// The corruption is "repaired" before quiescence: a delete of 4 that
+	// claims (and spec-removes) 3 — mirroring a later operation that
+	// happens to cancel the discrepancy.
+	b.call(1, "Delete", 3)
+	b.commitWrite(1, "Delete", "bump", 4, -1)
+	b.ret(1, "Delete", true)
+	b.commitWrite(9, "Insert", "bump", 99, 1)
+	b.ret(9, "Insert", true)
+	entries := b.entries
+
+	perCommit := mustCheck(t, entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	if perCommit.Ok() {
+		t.Fatalf("per-commit checking missed the transient corruption:\n%s", perCommit)
+	}
+
+	quiescent := mustCheck(t, entries, spec.NewMultiset(), quiescentOpts()...)
+	if !quiescent.Ok() {
+		t.Fatalf("quiescent-only checking was expected to miss the overwritten corruption:\n%s", quiescent)
+	}
+}
+
+// TestQuiescentCleanRunsStayClean: correct overlapped traces pass under the
+// ablation too (no false positives at quiescent points).
+func TestQuiescentCleanRunsStayClean(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := newViewTraceGen(seed, 4)
+		for i := 0; i < 150; i++ {
+			g.step()
+		}
+		g.drain()
+		rep := mustCheck(t, g.b.entries, spec.NewMultiset(), quiescentOpts()...)
+		if !rep.Ok() {
+			t.Fatalf("seed %d: false positive under quiescent-only checking:\n%s", seed, rep)
+		}
+	}
+}
+
+// TestQuiescentComparisonCountsAreSparse: under continuous overlapped load,
+// quiescent points are far rarer than commits (the Section 5.2 rationale).
+func TestQuiescentComparisonCountsAreSparse(t *testing.T) {
+	g := newViewTraceGen(3, 8) // 8 threads: near-continuous overlap
+	for i := 0; i < 2000; i++ {
+		g.step()
+	}
+	g.drain()
+	entries := g.b.entries
+
+	perCommit := mustCheck(t, entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+	quiescent := mustCheck(t, entries, spec.NewMultiset(), quiescentOpts()...)
+	if !perCommit.Ok() || !quiescent.Ok() {
+		t.Fatalf("clean traces flagged: %v %v", perCommit.Ok(), quiescent.Ok())
+	}
+	if quiescent.ViewsCompared >= perCommit.ViewsCompared/4 {
+		t.Fatalf("quiescent points not rare under load: %d quiescent vs %d commits",
+			quiescent.ViewsCompared, perCommit.ViewsCompared)
+	}
+	t.Logf("comparisons: per-commit %d, quiescent-only %d", perCommit.ViewsCompared, quiescent.ViewsCompared)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// ViolationKind classifies a refinement violation.
+type ViolationKind uint8
+
+const (
+	// ViolationIO: the specification cannot execute the committing method
+	// with the observed return value at the current state of the witness
+	// interleaving (Section 4).
+	ViolationIO ViolationKind = iota + 1
+	// ViolationObserver: an observer's return value is not permitted at any
+	// specification state between its call and return (Section 4.3).
+	ViolationObserver
+	// ViolationView: viewI differs from viewS at a mutator commit
+	// (Section 5).
+	ViolationView
+	// ViolationInvariant: a replica invariant failed after a committed
+	// update was applied (Section 7.2.1).
+	ViolationInvariant
+	// ViolationInstrumentation: the log itself is malformed — a mutator
+	// execution without a commit action, a commit outside a method, a
+	// commit in an observer, an unterminated commit block, or a write the
+	// replayer cannot apply. These usually mean the commit-point annotation
+	// must be re-examined (Section 4.1).
+	ViolationInstrumentation
+)
+
+// String returns the name of the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationIO:
+		return "io-refinement"
+	case ViolationObserver:
+		return "observer"
+	case ViolationView:
+		return "view-refinement"
+	case ViolationInvariant:
+		return "invariant"
+	case ViolationInstrumentation:
+		return "instrumentation"
+	}
+	return fmt.Sprintf("violation(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind by name in machine-readable reports.
+func (k ViolationKind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// Violation describes one detected refinement violation.
+type Violation struct {
+	Kind   ViolationKind
+	Seq    int64  // log sequence number of the entry that triggered detection
+	Tid    int32  // thread whose action triggered detection
+	Method string // method involved, when known
+	Detail string // human-readable diagnosis
+
+	// MethodsCompleted is the number of method executions that had
+	// completed (returned) in the witness interleaving when the violation
+	// was detected; the paper's Table 1 metric.
+	MethodsCompleted int64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation at #%d (t%d %s): %s", v.Kind, v.Seq, v.Tid, v.Method, v.Detail)
+}
+
+// Report summarizes one checking run.
+type Report struct {
+	Mode Mode
+
+	// Violations holds the recorded violations in detection order, capped
+	// by WithMaxViolations. TotalViolations counts all of them.
+	Violations      []Violation
+	TotalViolations int64
+
+	// MethodsCompleted counts processed return actions (application and
+	// worker threads combined).
+	MethodsCompleted int64
+	// CommitsApplied counts mutator commits driven through the spec.
+	CommitsApplied int64
+	// ObserversChecked counts observer executions validated.
+	ObserversChecked int64
+	// WritesReplayed counts write actions applied to the replica.
+	WritesReplayed int64
+	// ViewsCompared counts viewI/viewS comparisons performed.
+	ViewsCompared int64
+	// EntriesProcessed counts log entries consumed.
+	EntriesProcessed int64
+}
+
+// Ok reports whether no violation was detected.
+func (r *Report) Ok() bool { return r.TotalViolations == 0 }
+
+// First returns the first detected violation, or nil if none.
+func (r *Report) First() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// String renders a summary suitable for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s entries=%d methods=%d commits=%d observers=%d",
+		r.Mode, r.EntriesProcessed, r.MethodsCompleted, r.CommitsApplied, r.ObserversChecked)
+	if r.Mode == ModeView {
+		fmt.Fprintf(&b, " writes=%d view-compares=%d", r.WritesReplayed, r.ViewsCompared)
+	}
+	if r.Ok() {
+		b.WriteString("\nno refinement violations detected")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\n%d violation(s) detected:", r.TotalViolations)
+	for i := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(r.Violations[i].String())
+	}
+	if int64(len(r.Violations)) < r.TotalViolations {
+		fmt.Fprintf(&b, "\n  ... and %d more", r.TotalViolations-int64(len(r.Violations)))
+	}
+	return b.String()
+}
+
+// signatureString renders the signature of an invocation for diagnostics.
+func signatureString(tid int32, method string, args []event.Value, ret event.Value) string {
+	return event.Signature{Tid: tid, Method: method, Args: args, Ret: ret}.String()
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// traceGen generates random well-formed multiset traces that are correct by
+// construction: mutator effects are applied to a model at their commit
+// actions, and observer return values are captured from the model at their
+// call or return (both inside the observer's window). The checker must
+// accept every generated trace; targeted mutations of a generated trace
+// must be rejected. This is the oracle test of the checker pipeline itself:
+// overlap structure, lookahead stalls, witness ordering and window checks
+// are all exercised by construction rather than by real scheduling.
+type traceGen struct {
+	rng    *rand.Rand
+	b      logBuilder
+	counts map[int]int
+	// inflight invocations per thread.
+	inflight map[int32]*genInv
+	tids     []int32
+}
+
+type genInv struct {
+	tid      int32
+	method   string
+	arg      int
+	ret      event.Value
+	retKnown bool
+	// committed marks that the commit action has been emitted (observers
+	// are created committed: they never emit one).
+	committed bool
+}
+
+func newTraceGen(seed int64, threads int) *traceGen {
+	g := &traceGen{
+		rng:      rand.New(rand.NewSource(seed)),
+		counts:   map[int]int{},
+		inflight: map[int32]*genInv{},
+	}
+	for t := 1; t <= threads; t++ {
+		g.tids = append(g.tids, int32(t))
+	}
+	return g
+}
+
+// step performs one random action: start, commit or return an invocation.
+func (g *traceGen) step() {
+	tid := g.tids[g.rng.Intn(len(g.tids))]
+	inv := g.inflight[tid]
+	if inv == nil {
+		g.start(tid)
+		return
+	}
+	if inv.method == "LookUp" || inv.retKnown {
+		g.finish(inv)
+		return
+	}
+	g.commit(inv)
+}
+
+func (g *traceGen) start(tid int32) {
+	x := g.rng.Intn(8)
+	switch g.rng.Intn(4) {
+	case 0:
+		inv := &genInv{tid: tid, method: "Insert", arg: x}
+		g.inflight[tid] = inv
+		g.b.call(tid, "Insert", x)
+	case 1:
+		inv := &genInv{tid: tid, method: "Delete", arg: x}
+		g.inflight[tid] = inv
+		g.b.call(tid, "Delete", x)
+	case 2:
+		// Observer capturing its return value at call time (state s0).
+		inv := &genInv{tid: tid, method: "LookUp", arg: x, ret: g.counts[x] > 0, retKnown: true, committed: true}
+		g.inflight[tid] = inv
+		g.b.call(tid, "LookUp", x)
+	case 3:
+		// Observer capturing its return value at return time (state sn):
+		// retKnown stays false until finish.
+		inv := &genInv{tid: tid, method: "LookUp", arg: x, committed: true}
+		g.inflight[tid] = inv
+		g.b.call(tid, "LookUp", x)
+	}
+}
+
+func (g *traceGen) commit(inv *genInv) {
+	switch inv.method {
+	case "Insert":
+		success := g.rng.Intn(4) != 0 // occasionally fail, as contention would
+		if success {
+			g.counts[inv.arg]++
+		}
+		inv.ret = success
+	case "Delete":
+		if g.counts[inv.arg] > 0 && g.rng.Intn(3) != 0 {
+			g.counts[inv.arg]--
+			inv.ret = true
+		} else {
+			inv.ret = false // always permitted
+		}
+	}
+	inv.retKnown = true
+	inv.committed = true
+	g.b.commit(inv.tid, inv.method)
+}
+
+func (g *traceGen) finish(inv *genInv) {
+	if !inv.retKnown { // observer capturing at return time
+		inv.ret = g.counts[inv.arg] > 0
+		inv.retKnown = true
+	}
+	g.b.ret(inv.tid, inv.method, inv.ret)
+	delete(g.inflight, inv.tid)
+}
+
+// drain completes all in-flight invocations.
+func (g *traceGen) drain() {
+	for _, tid := range g.tids {
+		inv := g.inflight[tid]
+		if inv == nil {
+			continue
+		}
+		if inv.method != "LookUp" && !inv.committed {
+			g.commit(inv)
+		}
+		g.finish(inv)
+	}
+}
+
+// TestStressGeneratedTracesAccepted: thousands of random correct traces
+// with heavy overlap must all pass I/O refinement.
+func TestStressGeneratedTracesAccepted(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := newTraceGen(seed, 2+int(seed%6))
+		steps := 50 + g.rng.Intn(300)
+		for i := 0; i < steps; i++ {
+			g.step()
+		}
+		g.drain()
+		rep := mustCheck(t, g.b.entries, spec.NewMultiset())
+		if !rep.Ok() {
+			t.Fatalf("seed %d: correct-by-construction trace rejected:\n%s", seed, rep)
+		}
+	}
+}
+
+// TestStressMutatedTracesRejected applies targeted corruptions to correct
+// traces and requires each to be flagged.
+func TestStressMutatedTracesRejected(t *testing.T) {
+	base := func(seed int64) []event.Entry {
+		g := newTraceGen(seed, 4)
+		for i := 0; i < 200; i++ {
+			g.step()
+		}
+		g.drain()
+		return g.b.entries
+	}
+
+	t.Run("drop-commit", func(t *testing.T) {
+		for seed := int64(0); seed < 30; seed++ {
+			entries := base(seed)
+			idx := -1
+			for i, e := range entries {
+				if e.Kind == event.KindCommit {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			mutated := append(append([]event.Entry{}, entries[:idx]...), entries[idx+1:]...)
+			rep := mustCheck(t, mutated, spec.NewMultiset())
+			if rep.Ok() {
+				t.Fatalf("seed %d: dropped commit not flagged", seed)
+			}
+		}
+	})
+
+	t.Run("duplicate-commit", func(t *testing.T) {
+		for seed := int64(0); seed < 30; seed++ {
+			entries := base(seed)
+			idx := -1
+			for i, e := range entries {
+				if e.Kind == event.KindCommit {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			mutated := make([]event.Entry, 0, len(entries)+1)
+			mutated = append(mutated, entries[:idx+1]...)
+			mutated = append(mutated, entries[idx]) // duplicate commit
+			mutated = append(mutated, entries[idx+1:]...)
+			rep := mustCheck(t, mutated, spec.NewMultiset())
+			if rep.Ok() {
+				t.Fatalf("seed %d: duplicated commit not flagged", seed)
+			}
+		}
+	})
+
+	t.Run("flip-quiet-observer", func(t *testing.T) {
+		flipped := 0
+		for seed := int64(0); seed < 60 && flipped < 20; seed++ {
+			entries := base(seed)
+			// Find a LookUp whose window contains no commits: its answer is
+			// unique, so flipping it must be flagged.
+			idx := -1
+			for i, e := range entries {
+				if e.Kind != event.KindReturn || e.Method != "LookUp" {
+					continue
+				}
+				callIdx := -1
+				for j := i - 1; j >= 0; j-- {
+					if entries[j].Tid == e.Tid && entries[j].Kind == event.KindCall {
+						callIdx = j
+						break
+					}
+				}
+				quiet := true
+				for j := callIdx + 1; j < i; j++ {
+					if entries[j].Kind == event.KindCommit {
+						quiet = false
+						break
+					}
+				}
+				if quiet {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			mutated := append([]event.Entry{}, entries...)
+			mutated[idx].Ret = !mutated[idx].Ret.(bool)
+			rep := mustCheck(t, mutated, spec.NewMultiset())
+			if rep.Ok() {
+				t.Fatalf("seed %d: flipped commit-free observer not flagged", seed)
+			}
+			flipped++
+		}
+		if flipped == 0 {
+			t.Fatal("no quiet observer found across seeds; generator broken")
+		}
+	})
+
+	t.Run("insert-claims-success-spec-rejects-delete", func(t *testing.T) {
+		// Appending Delete(x) -> true for a never-inserted element is the
+		// canonical I/O violation.
+		for seed := int64(0); seed < 10; seed++ {
+			entries := base(seed)
+			var b logBuilder
+			b.seq = int64(len(entries))
+			b.entries = entries
+			b.call(99, "Delete", 777).commit(99, "Delete").ret(99, "Delete", true)
+			rep := mustCheck(t, b.entries, spec.NewMultiset())
+			if rep.Ok() {
+				t.Fatalf("seed %d: impossible delete not flagged", seed)
+			}
+		}
+	})
+}
+
+// TestStressPipelineBufferCompaction exercises the internal buffer
+// compaction path: one thread's invocation stays open (stalling nothing,
+// since observers stall only until their own return) while thousands of
+// entries stream past.
+func TestStressPipelineBufferCompaction(t *testing.T) {
+	var b logBuilder
+	// A long-running mutator: call now, commit and return at the very end.
+	b.call(1, "Insert", 1)
+	for i := 0; i < 5000; i++ {
+		tid := int32(2 + i%4)
+		b.call(tid, "Insert", i%8)
+		b.commit(tid, "Insert")
+		b.ret(tid, "Insert", true)
+	}
+	b.commit(1, "Insert")
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	if !rep.Ok() {
+		t.Fatalf("long-lived invocation broke the pipeline:\n%s", rep)
+	}
+	if rep.MethodsCompleted != 5001 {
+		t.Fatalf("methods completed: %d", rep.MethodsCompleted)
+	}
+}
+
+// TestStressLongStalledCommit: a commit whose return value arrives after
+// thousands of interleaved entries exercises the lookahead buffer.
+func TestStressLongStalledCommit(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 5)
+	b.commit(1, "Insert") // stalls until the return at the very end
+	for i := 0; i < 3000; i++ {
+		tid := int32(2 + i%3)
+		b.call(tid, "LookUp", 5)
+		// The commit entry precedes every observer's call in the log, so in
+		// the witness interleaving the insert has already happened: every
+		// observer must see the element, even though the checker's pipeline
+		// is still stalled waiting for the insert's return value.
+		b.ret(tid, "LookUp", true)
+	}
+	b.ret(1, "Insert", true)
+	rep := mustCheck(t, b.entries, spec.NewMultiset())
+	if !rep.Ok() {
+		t.Fatalf("stalled commit broke the pipeline:\n%s", rep)
+	}
+}

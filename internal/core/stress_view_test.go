@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// viewTraceGen extends the I/O trace generator to view refinement: every
+// successful mutator carries a commit-write (or a commit block) whose
+// replayed effect on the kvReplayer replica matches the specification
+// transition, so generated traces are view-correct by construction.
+type viewTraceGen struct {
+	rng      *rand.Rand
+	b        logBuilder
+	counts   map[int]int
+	inflight map[int32]*viewGenInv
+	tids     []int32
+}
+
+type viewGenInv struct {
+	tid      int32
+	method   string
+	x, y     int
+	ret      event.Value
+	retKnown bool
+	phase    int // 0 = called, 1 = committed (mutators)
+}
+
+func newViewTraceGen(seed int64, threads int) *viewTraceGen {
+	g := &viewTraceGen{
+		rng:      rand.New(rand.NewSource(seed)),
+		counts:   map[int]int{},
+		inflight: map[int32]*viewGenInv{},
+	}
+	for t := 1; t <= threads; t++ {
+		g.tids = append(g.tids, int32(t))
+	}
+	return g
+}
+
+func (g *viewTraceGen) step() {
+	tid := g.tids[g.rng.Intn(len(g.tids))]
+	inv := g.inflight[tid]
+	if inv == nil {
+		g.start(tid)
+		return
+	}
+	switch {
+	case inv.method == "LookUp":
+		g.finish(inv)
+	case inv.phase == 0:
+		g.commit(inv)
+	default:
+		g.finish(inv)
+	}
+}
+
+func (g *viewTraceGen) start(tid int32) {
+	x := g.rng.Intn(8)
+	switch g.rng.Intn(4) {
+	case 0:
+		g.inflight[tid] = &viewGenInv{tid: tid, method: "Insert", x: x}
+		g.b.call(tid, "Insert", x)
+	case 1:
+		g.inflight[tid] = &viewGenInv{tid: tid, method: "InsertPair", x: x, y: (x + 1) % 8}
+		g.b.call(tid, "InsertPair", x, (x+1)%8)
+	case 2:
+		g.inflight[tid] = &viewGenInv{tid: tid, method: "Delete", x: x}
+		g.b.call(tid, "Delete", x)
+	case 3:
+		g.inflight[tid] = &viewGenInv{tid: tid, method: "LookUp", x: x, ret: g.counts[x] > 0, retKnown: true}
+		g.b.call(tid, "LookUp", x)
+	}
+}
+
+func (g *viewTraceGen) commit(inv *viewGenInv) {
+	inv.phase = 1
+	switch inv.method {
+	case "Insert":
+		success := g.rng.Intn(4) != 0
+		inv.ret = success
+		if success {
+			g.counts[inv.x]++
+			g.b.commitWrite(inv.tid, "Insert", "bump", inv.x, 1)
+		} else {
+			g.b.commit(inv.tid, "Insert")
+		}
+	case "InsertPair":
+		success := g.rng.Intn(4) != 0
+		inv.ret = success
+		if success {
+			g.counts[inv.x]++
+			g.counts[inv.y]++
+			// A commit block carrying both updates atomically (§5.2).
+			g.b.begin(inv.tid)
+			g.b.write(inv.tid, "bump", inv.x, 1)
+			g.b.write(inv.tid, "bump", inv.y, 1)
+			g.b.commit(inv.tid, "InsertPair")
+			g.b.end(inv.tid)
+		} else {
+			g.b.commit(inv.tid, "InsertPair")
+		}
+	case "Delete":
+		if g.counts[inv.x] > 0 && g.rng.Intn(3) != 0 {
+			g.counts[inv.x]--
+			inv.ret = true
+			g.b.commitWrite(inv.tid, "Delete", "bump", inv.x, -1)
+		} else {
+			inv.ret = false
+			g.b.commit(inv.tid, "Delete")
+		}
+	}
+	inv.retKnown = true
+}
+
+func (g *viewTraceGen) finish(inv *viewGenInv) {
+	if !inv.retKnown {
+		inv.ret = g.counts[inv.x] > 0
+		inv.retKnown = true
+	}
+	g.b.ret(inv.tid, inv.method, inv.ret)
+	delete(g.inflight, inv.tid)
+}
+
+func (g *viewTraceGen) drain() {
+	for _, tid := range g.tids {
+		inv := g.inflight[tid]
+		if inv == nil {
+			continue
+		}
+		if inv.method != "LookUp" && inv.phase == 0 {
+			g.commit(inv)
+		}
+		g.finish(inv)
+	}
+}
+
+// TestStressViewGeneratedTracesAccepted: random view-correct traces with
+// overlapping commit blocks must pass view refinement.
+func TestStressViewGeneratedTracesAccepted(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		g := newViewTraceGen(seed, 2+int(seed%6))
+		steps := 50 + g.rng.Intn(300)
+		for i := 0; i < steps; i++ {
+			g.step()
+		}
+		g.drain()
+		rep := mustCheck(t, g.b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+		if !rep.Ok() {
+			t.Fatalf("seed %d: view-correct trace rejected:\n%s", seed, rep)
+		}
+		if rep.ViewsCompared != rep.CommitsApplied {
+			t.Fatalf("seed %d: %d views compared for %d commits", seed, rep.ViewsCompared, rep.CommitsApplied)
+		}
+	}
+}
+
+// TestStressViewMutationsRejected corrupts view-correct traces in ways I/O
+// refinement cannot see and requires view refinement to flag each.
+func TestStressViewMutationsRejected(t *testing.T) {
+	base := func(seed int64) []event.Entry {
+		g := newViewTraceGen(seed, 4)
+		for i := 0; i < 200; i++ {
+			g.step()
+		}
+		g.drain()
+		return g.b.entries
+	}
+
+	t.Run("corrupt-commit-write-element", func(t *testing.T) {
+		tested := 0
+		for seed := int64(0); seed < 40 && tested < 15; seed++ {
+			entries := base(seed)
+			idx := -1
+			for i, e := range entries {
+				if e.Kind == event.KindCommit && e.WOp == "bump" {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			mutated := append([]event.Entry{}, entries...)
+			// The implementation wrote a different element than the method
+			// claims: a silent corruption invisible to I/O refinement on
+			// this trace prefix.
+			wargs := append([]event.Value{}, mutated[idx].WArgs...)
+			wargs[0] = event.MustInt(wargs[0]) + 100
+			mutated[idx].WArgs = wargs
+
+			viewRep := mustCheck(t, mutated, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+			if viewRep.Ok() {
+				t.Fatalf("seed %d: corrupted commit-write not flagged by view refinement", seed)
+			}
+			if viewRep.First().Kind != ViolationView {
+				t.Fatalf("seed %d: expected a view violation, got %v", seed, viewRep.First())
+			}
+			tested++
+		}
+		if tested == 0 {
+			t.Fatal("no commit-write found to corrupt")
+		}
+	})
+
+	t.Run("drop-block-write", func(t *testing.T) {
+		tested := 0
+		for seed := int64(0); seed < 40 && tested < 15; seed++ {
+			entries := base(seed)
+			// Drop one write inside a commit block: the pair insert then
+			// only inserted one element — the Section 5 early-detection
+			// scenario, invisible to I/O refinement without observers.
+			idx := -1
+			for i := 1; i < len(entries); i++ {
+				if entries[i].Kind == event.KindWrite && entries[i-1].Kind == event.KindBeginBlock {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			mutated := append(append([]event.Entry{}, entries[:idx]...), entries[idx+1:]...)
+			viewRep := mustCheck(t, mutated, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+			if viewRep.Ok() {
+				t.Fatalf("seed %d: dropped block write not flagged", seed)
+			}
+			if viewRep.First().Kind != ViolationView {
+				t.Fatalf("seed %d: expected a view violation, got %v", seed, viewRep.First())
+			}
+			tested++
+		}
+		if tested == 0 {
+			t.Fatal("no block write found to drop")
+		}
+	})
+
+	t.Run("extra-phantom-write", func(t *testing.T) {
+		for seed := int64(0); seed < 10; seed++ {
+			entries := base(seed)
+			// Insert a phantom committed update: a worker-style commit whose
+			// write has no specification counterpart.
+			var b logBuilder
+			b.seq = int64(len(entries))
+			b.entries = entries
+			b.call(77, spec.MethodCompress)
+			b.commitWrite(77, spec.MethodCompress, "bump", 3, 1)
+			b.ret(77, spec.MethodCompress, nil)
+			viewRep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newKVReplayer()))
+			if viewRep.Ok() {
+				t.Fatalf("seed %d: maintenance that modified the view not flagged", seed)
+			}
+			if viewRep.First().Kind != ViolationView {
+				t.Fatalf("seed %d: expected a view violation, got %v", seed, viewRep.First())
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/event"
+)
+
+// Section 4.1 of the paper: "The runtime refinement check could fail either
+// because the implementation truly does not refine the specification or
+// because the witness interleaving obtained using the commit actions is
+// wrong. Comparing the witness interleaving with the implementation trace
+// reveals which one is the case." This file provides that comparison as a
+// reusable analysis: the witness interleaving extracted from a log, plus a
+// rendering that shows each method execution's span and commit position.
+
+// WitnessEntry is one method execution, positioned in the witness
+// interleaving.
+type WitnessEntry struct {
+	Tid    int32
+	Method string
+	Args   []event.Value
+	Ret    event.Value
+	Worker bool
+
+	CallSeq   int64
+	CommitSeq int64 // 0 for observers (no commit action)
+	RetSeq    int64 // 0 if the log ended mid-method
+	Label     string
+
+	// Position is the execution's index in the witness interleaving:
+	// mutators are ordered by commit action; an observer is placed after
+	// the last mutator whose commit precedes the observer's return (its
+	// latest possible position, sn of its window).
+	Position int
+}
+
+// Mutator reports whether the execution carries a commit action.
+func (w WitnessEntry) Mutator() bool { return w.CommitSeq != 0 }
+
+// Witness extracts the witness interleaving from a recorded log: the
+// method executions serialized in commit-action order (Section 4). It does
+// not validate the trace; pair it with a Checker for that.
+func Witness(entries []event.Entry) []WitnessEntry {
+	open := make(map[int32]*WitnessEntry)
+	var done []*WitnessEntry
+	for _, e := range entries {
+		switch e.Kind {
+		case event.KindCall:
+			w := &WitnessEntry{
+				Tid: e.Tid, Method: e.Method, Args: e.Args,
+				Worker: e.Worker, CallSeq: e.Seq,
+			}
+			open[e.Tid] = w
+		case event.KindCommit:
+			if w := open[e.Tid]; w != nil && w.CommitSeq == 0 {
+				w.CommitSeq = e.Seq
+				w.Label = e.Label
+			}
+		case event.KindReturn:
+			if w := open[e.Tid]; w != nil {
+				w.Ret = e.Ret
+				w.RetSeq = e.Seq
+				done = append(done, w)
+				delete(open, e.Tid)
+			}
+		}
+	}
+	// Unreturned executions still appear, at the end of per-thread order.
+	for _, w := range open {
+		done = append(done, w)
+	}
+
+	// Order: mutators by commit; an execution without a commit (observer or
+	// unfinished) by the latest state of its window — its return (or call,
+	// when unreturned).
+	sort.SliceStable(done, func(i, j int) bool {
+		return witnessKey(done[i]) < witnessKey(done[j])
+	})
+	out := make([]WitnessEntry, len(done))
+	for i, w := range done {
+		w.Position = i
+		out[i] = *w
+	}
+	return out
+}
+
+func witnessKey(w *WitnessEntry) int64 {
+	if w.CommitSeq != 0 {
+		return w.CommitSeq
+	}
+	if w.RetSeq != 0 {
+		return w.RetSeq
+	}
+	return w.CallSeq
+}
+
+// WriteWitness renders the witness interleaving next to the implementation
+// trace spans, the Section 4.1 debugging view for commit-point selection.
+func WriteWitness(w io.Writer, entries []event.Entry) {
+	ws := Witness(entries)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tthread\tmethod\tcall@\tcommit@\treturn@\tresult")
+	for _, e := range ws {
+		tid := fmt.Sprintf("t%d", e.Tid)
+		if e.Worker {
+			tid += "*"
+		}
+		commit := "-"
+		if e.CommitSeq != 0 {
+			commit = fmt.Sprintf("%d", e.CommitSeq)
+			if e.Label != "" {
+				commit += " [" + e.Label + "]"
+			}
+		}
+		ret := "-"
+		if e.RetSeq != 0 {
+			ret = fmt.Sprintf("%d", e.RetSeq)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s%v\t%d\t%s\t%s\t%v\n",
+			e.Position, tid, e.Method, e.Args, e.CallSeq, commit, ret, e.Ret)
+	}
+	tw.Flush()
+}
+
+// OverlapStats summarizes the concurrency structure of a trace: how many
+// method executions overlapped each execution's span. Useful for judging
+// whether a harness actually produced contention.
+type OverlapStats struct {
+	Executions  int
+	MaxOverlap  int
+	MeanOverlap float64
+}
+
+// Overlaps computes overlap statistics over a recorded log.
+func Overlaps(entries []event.Entry) OverlapStats {
+	ws := Witness(entries)
+	var stats OverlapStats
+	stats.Executions = len(ws)
+	if len(ws) == 0 {
+		return stats
+	}
+	total := 0
+	for i, a := range ws {
+		if a.RetSeq == 0 {
+			continue
+		}
+		n := 0
+		for j, b := range ws {
+			if i == j || b.RetSeq == 0 {
+				continue
+			}
+			if a.CallSeq < b.RetSeq && b.CallSeq < a.RetSeq {
+				n++
+			}
+		}
+		total += n
+		if n > stats.MaxOverlap {
+			stats.MaxOverlap = n
+		}
+	}
+	stats.MeanOverlap = float64(total) / float64(len(ws))
+	return stats
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestWitnessOrdersByCommit: the Fig. 3 trace serializes in commit order,
+// not call or return order.
+func TestWitnessOrdersByCommit(t *testing.T) {
+	var b logBuilder
+	b.call(1, "LookUp", 3) // observer
+	b.call(2, "Insert", 3) // commits first
+	b.call(3, "Insert", 4) // commits second
+	b.call(4, "Delete", 3) // commits third
+	b.commit(2, "Insert")
+	b.ret(1, "LookUp", true)
+	b.ret(2, "Insert", true)
+	b.commit(3, "Insert")
+	b.ret(3, "Insert", true)
+	b.commit(4, "Delete")
+	b.ret(4, "Delete", true)
+
+	ws := Witness(b.entries)
+	if len(ws) != 4 {
+		t.Fatalf("%d entries", len(ws))
+	}
+	// Order: Insert(3) committed at seq 5; LookUp returned at seq 6 (its
+	// latest window state is after Insert(3)); Insert(4); Delete(3).
+	wantMethods := []string{"Insert", "LookUp", "Insert", "Delete"}
+	wantTids := []int32{2, 1, 3, 4}
+	for i := range ws {
+		if ws[i].Method != wantMethods[i] || ws[i].Tid != wantTids[i] {
+			t.Fatalf("position %d: t%d %s", i, ws[i].Tid, ws[i].Method)
+		}
+		if ws[i].Position != i {
+			t.Fatalf("position field %d at index %d", ws[i].Position, i)
+		}
+	}
+	if !ws[0].Mutator() || ws[1].Mutator() {
+		t.Fatal("mutator classification wrong")
+	}
+}
+
+func TestWitnessHandlesUnfinishedExecutions(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 1)
+	b.commit(1, "Insert")
+	b.call(2, "LookUp", 1) // never returns
+	ws := Witness(b.entries)
+	if len(ws) != 2 {
+		t.Fatalf("%d entries", len(ws))
+	}
+	for _, w := range ws {
+		if w.Method == "LookUp" && w.RetSeq != 0 {
+			t.Fatal("unfinished execution has a return seq")
+		}
+	}
+}
+
+func TestWriteWitnessRendering(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 7)
+	b.add(entryCommitLabeled(1, "Insert", "cp2"))
+	b.ret(1, "Insert", true)
+	var buf bytes.Buffer
+	WriteWitness(&buf, b.entries)
+	out := buf.String()
+	for _, want := range []string{"Insert[7]", "cp2", "t1", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverlapStats(t *testing.T) {
+	var b logBuilder
+	// Two fully overlapped executions plus one disjoint.
+	b.call(1, "Insert", 1)
+	b.call(2, "Insert", 2)
+	b.commit(1, "Insert")
+	b.commit(2, "Insert")
+	b.ret(1, "Insert", true)
+	b.ret(2, "Insert", true)
+	b.call(3, "Insert", 3)
+	b.commit(3, "Insert")
+	b.ret(3, "Insert", true)
+
+	stats := Overlaps(b.entries)
+	if stats.Executions != 3 || stats.MaxOverlap != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.MeanOverlap <= 0 {
+		t.Fatalf("mean overlap: %+v", stats)
+	}
+	if s := Overlaps(nil); s.Executions != 0 {
+		t.Fatalf("empty trace stats: %+v", s)
+	}
+}
+
+// entryCommitLabeled builds a labeled commit entry (helper beyond
+// logBuilder's plain commit).
+func entryCommitLabeled(tid int32, m, label string) event.Entry {
+	return event.Entry{Tid: tid, Kind: event.KindCommit, Method: m, Label: label}
+}

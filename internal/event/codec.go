@@ -1,0 +1,84 @@
+package event
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The paper's logging mechanism uses the binary object serialization of the
+// .NET platform to restore record objects as they were saved at runtime
+// (Section 6.1). This codec plays the same role with encoding/gob.
+
+func init() {
+	// Concrete types that may appear in Entry.Args/Entry.Ret. Anything else
+	// must be registered by the package that logs it (RegisterValue).
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]string(nil))
+	gob.Register(Exceptional{})
+}
+
+// RegisterValue registers a concrete value type for log persistence. It must
+// be called (typically from an init function) by any package that logs
+// values of types not covered by the defaults.
+func RegisterValue(v Value) { gob.Register(v) }
+
+// Encoder serializes entries to a stream.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode appends one entry to the stream.
+func (e *Encoder) Encode(entry Entry) error {
+	if err := e.enc.Encode(entry); err != nil {
+		return fmt.Errorf("event: encode entry #%d: %w", entry.Seq, err)
+	}
+	return nil
+}
+
+// Decoder deserializes entries from a stream produced by Encoder.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads the next entry. It returns io.EOF at end of stream.
+func (d *Decoder) Decode() (Entry, error) {
+	var entry Entry
+	if err := d.dec.Decode(&entry); err != nil {
+		if err == io.EOF {
+			return Entry{}, io.EOF
+		}
+		return Entry{}, fmt.Errorf("event: decode entry: %w", err)
+	}
+	return entry, nil
+}
+
+// DecodeAll reads every remaining entry from the stream.
+func (d *Decoder) DecodeAll() ([]Entry, error) {
+	var entries []Entry
+	for {
+		e, err := d.Decode()
+		if err == io.EOF {
+			return entries, nil
+		}
+		if err != nil {
+			return entries, err
+		}
+		entries = append(entries, e)
+	}
+}

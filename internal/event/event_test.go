@@ -1,0 +1,252 @@
+package event
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindCall:       "call",
+		KindReturn:     "return",
+		KindCommit:     "commit",
+		KindWrite:      "write",
+		KindBeginBlock: "begin-block",
+		KindEndBlock:   "end-block",
+		Kind(99):       "kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	cases := []struct {
+		e    Entry
+		want string
+	}{
+		{Entry{Seq: 1, Tid: 2, Kind: KindCall, Method: "Insert", Args: []Value{3}}, "call Insert[3]"},
+		{Entry{Seq: 2, Tid: 2, Kind: KindReturn, Method: "Insert", Ret: true}, "return Insert -> true"},
+		{Entry{Seq: 3, Tid: 2, Kind: KindCommit, Method: "Insert", Label: "cp1"}, "commit Insert [cp1]"},
+		{Entry{Seq: 4, Tid: 2, Kind: KindCommit, Method: "Insert"}, "commit Insert"},
+		{Entry{Seq: 5, Tid: 2, Kind: KindWrite, Method: "slot-elt", Args: []Value{0, 5}}, "write slot-elt[0 5]"},
+		{Entry{Seq: 6, Tid: 2, Kind: KindBeginBlock}, "begin-block"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Fatalf("entry %v renders as %q, missing %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	s := Signature{Tid: 4, Method: "LookUp", Args: []Value{3}, Ret: true}
+	if got := s.String(); !strings.Contains(got, "t4") || !strings.Contains(got, "LookUp") {
+		t.Fatalf("signature renders as %q", got)
+	}
+}
+
+func TestExceptional(t *testing.T) {
+	e := Exceptional{Reason: "index out of range"}
+	if !IsExceptional(e) {
+		t.Fatal("IsExceptional(Exceptional{}) = false")
+	}
+	if IsExceptional(nil) || IsExceptional(42) || IsExceptional("x") {
+		t.Fatal("IsExceptional accepted a non-exceptional value")
+	}
+	if !strings.Contains(e.Error(), "index out of range") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, 0, false},
+		{1, 1, true},
+		{1, 2, false},
+		{int64(1), int64(1), true},
+		{"a", "a", true},
+		{"a", "b", false},
+		{true, true, true},
+		{true, false, false},
+		{[]byte{1, 2}, []byte{1, 2}, true},
+		{[]byte{1, 2}, []byte{1, 3}, false},
+		{Exceptional{Reason: "x"}, Exceptional{Reason: "x"}, true},
+		{Exceptional{Reason: "x"}, Exceptional{Reason: "y"}, false},
+		{1, "1", false},
+		{[]int{1, 2}, []int{1, 2}, true}, // DeepEqual fallback
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Fatalf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFormatCanonical(t *testing.T) {
+	if s := Format(nil); s != "<nil>" {
+		t.Fatalf("Format(nil) = %q", s)
+	}
+	if s := Format("hi"); s != `"hi"` {
+		t.Fatalf("Format(string) = %q", s)
+	}
+	if s := Format([]byte{0xde, 0xad}); s != "0xdead" {
+		t.Fatalf("Format(bytes) = %q", s)
+	}
+	if s := Format(Exceptional{Reason: "r"}); s != "exceptional(r)" {
+		t.Fatalf("Format(exceptional) = %q", s)
+	}
+	// Maps render with sorted keys, so the form is canonical.
+	m := map[string]string{"b": "2", "a": "1"}
+	if s := Format(m); s != "{a:1 b:2}" {
+		t.Fatalf("Format(map) = %q", s)
+	}
+}
+
+func TestIntConversions(t *testing.T) {
+	for _, v := range []Value{int(7), int8(7), int16(7), int32(7), int64(7)} {
+		n, ok := Int(v)
+		if !ok || n != 7 {
+			t.Fatalf("Int(%T) = %d, %v", v, n, ok)
+		}
+	}
+	if _, ok := Int("7"); ok {
+		t.Fatal("Int accepted a string")
+	}
+	if MustInt(int64(9)) != 9 {
+		t.Fatal("MustInt failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInt on a string did not panic")
+		}
+	}()
+	MustInt("x")
+}
+
+func TestStringBytesBoolExtractors(t *testing.T) {
+	if s, ok := String("x"); !ok || s != "x" {
+		t.Fatal("String extractor")
+	}
+	if _, ok := String(1); ok {
+		t.Fatal("String accepted an int")
+	}
+	if b, ok := Bytes([]byte{1}); !ok || len(b) != 1 {
+		t.Fatal("Bytes extractor")
+	}
+	if v, ok := Bool(true); !ok || !v {
+		t.Fatal("Bool extractor")
+	}
+	if MustString("s") != "s" || MustBool(true) != true || string(MustBytes([]byte("b"))) != "b" {
+		t.Fatal("Must* extractors")
+	}
+}
+
+func TestCloneBytes(t *testing.T) {
+	if CloneBytes(nil) != nil {
+		t.Fatal("CloneBytes(nil) != nil")
+	}
+	src := []byte{1, 2, 3}
+	c := CloneBytes(src)
+	src[0] = 9
+	if c[0] != 1 {
+		t.Fatal("clone aliases the source")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Seq: 1, Tid: 1, Kind: KindCall, Method: "Write", Args: []Value{7, []byte{1, 2, 3}}},
+		{Seq: 2, Tid: 1, Kind: KindCommit, Method: "Write", Label: "cp1", WOp: "mk-dirty", WArgs: []Value{7, []byte{1, 2, 3}}},
+		{Seq: 3, Tid: 1, Kind: KindReturn, Method: "Write"},
+		{Seq: 4, Tid: 2, Kind: KindReturn, Method: "Bad", Ret: Exceptional{Reason: "oops"}},
+		{Seq: 5, Tid: 3, Kind: KindWrite, Method: "sb-append", Args: []Value{0, "text"}, Worker: true},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	got, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		a, b := entries[i], got[i]
+		if a.Seq != b.Seq || a.Tid != b.Tid || a.Kind != b.Kind || a.Method != b.Method ||
+			a.Label != b.Label || a.WOp != b.WOp || a.Worker != b.Worker {
+			t.Fatalf("entry %d fields differ:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// Exceptional survives the interface round trip.
+	if !IsExceptional(got[3].Ret) {
+		t.Fatalf("exceptional ret decoded as %T", got[3].Ret)
+	}
+}
+
+func TestDecodeEmptyStream(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader(nil))
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	got, err := NewDecoder(bytes.NewReader(nil)).DecodeAll()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("DecodeAll on empty stream: %v, %v", got, err)
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(Entry{Seq: 1, Tid: 1, Kind: KindCall, Method: "M", Args: []Value{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-4]
+	dec := NewDecoder(bytes.NewReader(truncated))
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("expected a decode error on a truncated stream, got %v", err)
+	}
+}
+
+// TestQuickCodecIntRoundTrip: integer arguments survive serialization with
+// their numeric value intact (possibly as a different Go integer width).
+func TestQuickCodecIntRoundTrip(t *testing.T) {
+	f := func(tid int32, vals []int64) bool {
+		args := make([]Value, len(vals))
+		for i, v := range vals {
+			args[i] = int(v)
+		}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(Entry{Seq: 1, Tid: tid, Kind: KindWrite, Method: "w", Args: args}); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		if err != nil || got.Tid != tid || len(got.Args) != len(args) {
+			return false
+		}
+		for i := range args {
+			n, ok := Int(got.Args[i])
+			if !ok || n != int(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package harness implements the paper's test-harness recipe
+// (Section 7.1): each test program generates a random pool of keys shared
+// by all threads, creates a number of threads that concurrently issue
+// random method calls with arguments drawn from the pool against the same
+// data structure instance, and gradually reduces the pool over time to
+// focus contention on a smaller region of the structure. Implementations
+// with compression mechanisms run their compression thread continuously.
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/vyrd"
+)
+
+// Method is one operation the harness can issue: a name (for reporting), a
+// selection weight, and the call itself. pick draws a key from the shared
+// (shrinking) pool.
+type Method struct {
+	Name   string
+	Weight int
+	Run    func(p *vyrd.Probe, rng *rand.Rand, pick func() int)
+}
+
+// Instance is a data structure bound to a log, ready to be exercised.
+type Instance struct {
+	// Methods is the operation mix.
+	Methods []Method
+	// WorkerStep, when non-nil, performs one pass of the structure's
+	// internal maintenance (compression, flushing, reclaiming); the harness
+	// runs it continuously on a worker thread for the duration of the run.
+	WorkerStep func(p *vyrd.Probe)
+}
+
+// Target describes a checkable subject: how to build an instance over a
+// log, and how to build its specification and replica.
+type Target struct {
+	Name        string
+	New         func(log *vyrd.Log) Instance
+	NewSpec     func() core.Spec
+	NewReplayer func() core.Replayer // nil when view refinement is unsupported
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Threads      int
+	OpsPerThread int
+	// KeyPool is the size of the initial random key pool; the pool shrinks
+	// to roughly a fifth of this over the run when Shrink is set.
+	KeyPool int
+	Shrink  bool
+	Seed    int64
+	Level   vyrd.Level
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread <= 0 {
+		c.OpsPerThread = 100
+	}
+	if c.KeyPool <= 0 {
+		c.KeyPool = 64
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Log     *vyrd.Log
+	Elapsed time.Duration
+	Methods int64 // application method calls issued
+}
+
+// Run exercises the target under the configuration and returns the closed
+// log. The run itself performs no checking; pair it with Check, or with
+// vyrd online checking started by the caller before Run.
+func Run(t Target, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	log := vyrd.NewLog(cfg.Level)
+	return RunOnLog(t, cfg, log)
+}
+
+// RunOnLog is Run against a caller-provided log (so a caller can attach an
+// online checker or a persistence sink first).
+func RunOnLog(t Target, cfg Config, log *vyrd.Log) Result {
+	cfg = cfg.withDefaults()
+	inst := t.New(log)
+
+	// The shared key pool (Section 7.1). Threads index a prefix whose
+	// length shrinks as the run progresses.
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	pool := make([]int, cfg.KeyPool)
+	for i := range pool {
+		pool[i] = seedRng.Intn(cfg.KeyPool * 4)
+	}
+
+	totalWeight := 0
+	for _, m := range inst.Methods {
+		totalWeight += m.Weight
+	}
+	if totalWeight == 0 {
+		panic("harness: target has no weighted methods")
+	}
+
+	stopWorker := make(chan struct{})
+	var workerWg sync.WaitGroup
+	if inst.WorkerStep != nil {
+		workerWg.Add(1)
+		wp := log.NewWorkerProbe()
+		go func() {
+			defer workerWg.Done()
+			// The maintenance thread runs continuously (Section 7.1) but is
+			// paced like a real daemon: an unthrottled loop over an
+			// exclusive-lock pass would starve the application threads and
+			// distort the logging-overhead measurements of Table 2.
+			ticker := time.NewTicker(100 * time.Microsecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopWorker:
+					return
+				case <-ticker.C:
+					inst.WorkerStep(wp)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(th)*7919 + 1))
+		go func() {
+			defer wg.Done()
+			for op := 0; op < cfg.OpsPerThread; op++ {
+				// Shrink the effective pool from 100% to ~20% over the run.
+				limit := len(pool)
+				if cfg.Shrink {
+					progress := float64(op) / float64(cfg.OpsPerThread)
+					limit = int(float64(len(pool)) * (1.0 - 0.8*progress))
+					if limit < 1 {
+						limit = 1
+					}
+				}
+				pick := func() int { return pool[rng.Intn(limit)] }
+				w := rng.Intn(totalWeight)
+				for _, m := range inst.Methods {
+					if w < m.Weight {
+						m.Run(p, rng, pick)
+						break
+					}
+					w -= m.Weight
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopWorker)
+	workerWg.Wait()
+	elapsed := time.Since(start)
+	log.Close()
+
+	return Result{
+		Log:     log,
+		Elapsed: elapsed,
+		Methods: int64(cfg.Threads) * int64(cfg.OpsPerThread),
+	}
+}
+
+// Check verifies a run's log offline in the given mode, fail-fast. It
+// returns the checker's report.
+func Check(t Target, res Result, mode core.Mode, failFast bool) (*core.Report, error) {
+	opts := []core.Option{core.WithMode(mode), core.WithFailFast(failFast)}
+	if mode == core.ModeView {
+		r := t.NewReplayer()
+		if r == nil {
+			return nil, errNoReplayer(t.Name)
+		}
+		opts = append(opts, core.WithReplayer(r))
+	}
+	return core.CheckEntries(res.Log.Snapshot(), t.NewSpec(), opts...)
+}
+
+type errNoReplayer string
+
+func (e errNoReplayer) Error() string {
+	return "harness: target " + string(e) + " does not support view refinement"
+}

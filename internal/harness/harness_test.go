@@ -1,0 +1,204 @@
+package harness_test
+
+import (
+	"testing"
+
+	"repro/internal/blinkstore"
+	"repro/internal/blinktree"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/jsbuffer"
+	"repro/internal/jvector"
+	"repro/internal/mstree"
+	"repro/internal/msvector"
+	"repro/internal/multiset"
+	"repro/internal/racecheck"
+	"repro/internal/scanfs"
+	"repro/vyrd"
+)
+
+// correctTargets enumerates every subject's correct implementation.
+func correctTargets() []harness.Target {
+	return []harness.Target{
+		multiset.Target(128, multiset.BugNone),
+		msvector.Target(msvector.BugNone),
+		mstree.Target(mstree.BugNone),
+		jvector.Target(jvector.BugNone),
+		jsbuffer.Target(jsbuffer.BugNone),
+		cache.Target(cache.BugNone),
+		blinktree.Target(6, blinktree.BugNone),
+		scanfs.Target(scanfs.BugNone),
+		blinkstore.Target(6, blinkstore.BugNone),
+	}
+}
+
+// buggyTargets enumerates every subject's injected bug (the Table 1 rows).
+func buggyTargets() []harness.Target {
+	return []harness.Target{
+		multiset.Target(32, multiset.BugFindSlotAcquire),
+		msvector.Target(msvector.BugFindSlotAcquire),
+		mstree.Target(mstree.BugUnlockParent),
+		jvector.Target(jvector.BugLastIndexOf),
+		jsbuffer.Target(jsbuffer.BugUnprotectedCopy),
+		cache.Target(cache.BugUnprotectedWrite),
+		blinktree.Target(6, blinktree.BugDuplicateInsert),
+		scanfs.Target(scanfs.BugUnprotectedBlockWrite),
+		blinkstore.Target(6, blinkstore.BugDuplicateInsert),
+	}
+}
+
+// TestCorrectTargetsNoFalsePositives is the load-bearing soundness test:
+// every correct implementation, hammered concurrently with the shrinking
+// key pool and its compression thread running, must produce zero
+// violations in both refinement modes across several seeds.
+func TestCorrectTargetsNoFalsePositives(t *testing.T) {
+	for _, target := range correctTargets() {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := harness.Config{
+					Threads:      8,
+					OpsPerThread: 250,
+					KeyPool:      48,
+					Shrink:       true,
+					Seed:         seed,
+					Level:        vyrd.LevelView,
+				}
+				res := harness.Run(target, cfg)
+				for _, mode := range []core.Mode{core.ModeIO, core.ModeView} {
+					rep, err := harness.Check(target, res, mode, false)
+					if err != nil {
+						t.Fatalf("seed %d %v: %v", seed, mode, err)
+					}
+					if !rep.Ok() {
+						t.Fatalf("seed %d %v: false positive:\n%s", seed, mode, rep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuggyTargetsDetected runs each injected bug under heavy contention
+// until a violation is found in view mode (and, with more repetitions
+// allowed, in I/O mode). A bug that never manifests within the budget fails
+// the test.
+func TestBuggyTargetsDetected(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	for _, target := range buggyTargets() {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			t.Parallel()
+			detected := false
+			for seed := int64(1); seed <= 40 && !detected; seed++ {
+				cfg := harness.Config{
+					Threads:      8,
+					OpsPerThread: 400,
+					KeyPool:      16,
+					Shrink:       true,
+					Seed:         seed,
+					Level:        vyrd.LevelView,
+				}
+				res := harness.Run(target, cfg)
+				rep, err := harness.Check(target, res, core.ModeView, true)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.Ok() {
+					detected = true
+					t.Logf("seed %d: detected after %d methods: %s",
+						seed, rep.First().MethodsCompleted, rep.First())
+				}
+			}
+			if !detected {
+				t.Fatalf("bug in %s never detected across seeds", target.Name)
+			}
+		})
+	}
+}
+
+// TestViewSubsumesIO: on any trace where I/O refinement (fail-fast) finds a
+// violation, view refinement must find one too, at the same point or
+// earlier in the witness interleaving.
+func TestViewSubsumesIO(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	for _, target := range buggyTargets() {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 20; seed++ {
+				cfg := harness.Config{
+					Threads:      8,
+					OpsPerThread: 400,
+					KeyPool:      16,
+					Shrink:       true,
+					Seed:         seed,
+					Level:        vyrd.LevelView,
+				}
+				res := harness.Run(target, cfg)
+				ioRep, err := harness.Check(target, res, core.ModeIO, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ioRep.Ok() {
+					continue
+				}
+				viewRep, err := harness.Check(target, res, core.ModeView, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if viewRep.Ok() {
+					t.Fatalf("seed %d: I/O refinement found %s but view refinement found nothing",
+						seed, ioRep.First())
+				}
+				if viewRep.First().MethodsCompleted > ioRep.First().MethodsCompleted {
+					t.Fatalf("seed %d: view refinement detected later (%d methods) than I/O (%d methods)",
+						seed, viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+				}
+				return // one informative trace per target suffices
+			}
+			t.Skip("no I/O-detectable trace within the seed budget")
+		})
+	}
+}
+
+// TestOnlineCheckerMatchesOffline runs the checker online (concurrently
+// with the workload, Table 3's architecture) and offline on the same trace
+// and requires identical verdicts.
+func TestOnlineCheckerMatchesOffline(t *testing.T) {
+	target := multiset.Target(128, multiset.BugNone)
+	cfg := harness.Config{
+		Threads:      6,
+		OpsPerThread: 200,
+		KeyPool:      32,
+		Shrink:       true,
+		Seed:         7,
+		Level:        vyrd.LevelView,
+	}
+	log := vyrd.NewLog(cfg.Level)
+	wait, err := log.StartChecker(target.NewSpec(),
+		vyrd.WithReplayer(target.NewReplayer()), vyrd.WithMode(vyrd.ModeView))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := harness.RunOnLog(target, cfg, log)
+	onlineRep := wait()
+	if !onlineRep.Ok() {
+		t.Fatalf("online checker reported violations on a correct run:\n%s", onlineRep)
+	}
+	offlineRep, err := harness.Check(target, res, core.ModeView, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offlineRep.Ok() != onlineRep.Ok() ||
+		offlineRep.CommitsApplied != onlineRep.CommitsApplied ||
+		offlineRep.ObserversChecked != onlineRep.ObserversChecked {
+		t.Fatalf("online/offline divergence:\nonline:  %s\noffline: %s", onlineRep, offlineRep)
+	}
+}

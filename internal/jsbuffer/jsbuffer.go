@@ -1,0 +1,218 @@
+// Package jsbuffer reimplements the subset of java.util.StringBuffer the
+// paper checks (Section 7.4.1): synchronized growable character buffers,
+// including the previously reported concurrency error in append(StringBuffer).
+//
+// The injected bug is the one named in Table 1 — "Copying from an
+// unprotected StringBuffer": AppendBuffer(dst, src) reads src's length and
+// then copies src's characters in two separately synchronized steps without
+// holding src's lock across both. If another thread shrinks src in between,
+// the copy terminates exceptionally (Java throws
+// ArrayIndexOutOfBoundsException), which the specification does not permit;
+// if src merely changes, the destination receives a mixture the atomic
+// specification could never produce, which view refinement catches at the
+// commit.
+//
+// The package manages a small family of buffers addressed by integer ids so
+// the cross-buffer append is a method of one instrumented structure.
+package jsbuffer
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugUnprotectedCopy performs the length read and the character copy of
+	// the source buffer as two separately locked steps (Table 1: "Copying
+	// from an unprotected StringBuffer").
+	BugUnprotectedCopy
+)
+
+type buffer struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// Buffers is a family of string buffers with identifiers 0..n-1.
+type Buffers struct {
+	bufs []*buffer
+	bug  Bug
+
+	// RaceWindow, when non-nil, runs in the buggy AppendBuffer between the
+	// length read and the character copy.
+	RaceWindow func(staleLen int)
+}
+
+// New returns n empty buffers.
+func New(n int, bug Bug) *Buffers {
+	b := &Buffers{bug: bug}
+	for i := 0; i < n; i++ {
+		b.bufs = append(b.bufs, &buffer{})
+	}
+	return b
+}
+
+// Count returns the number of buffers.
+func (b *Buffers) Count() int { return len(b.bufs) }
+
+// length is the synchronized length read (java length()).
+func (bf *buffer) length() int {
+	bf.mu.Lock()
+	defer bf.mu.Unlock()
+	return len(bf.data)
+}
+
+// getChars is the synchronized bounded copy (java getChars(0, n, ...)): it
+// fails when n exceeds the current length.
+func (bf *buffer) getChars(n int) ([]byte, bool) {
+	bf.mu.Lock()
+	defer bf.mu.Unlock()
+	if n > len(bf.data) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, bf.data[:n])
+	return out, true
+}
+
+// Append appends the string s to buffer id.
+func (b *Buffers) Append(p *vyrd.Probe, id int, s string) {
+	inv := p.Call("Append", id, s)
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	bf.data = append(bf.data, s...)
+	inv.CommitWrite("appended", "sb-append", id, s)
+	bf.mu.Unlock()
+	inv.Return(nil)
+}
+
+// AppendBuffer appends the contents of buffer src to buffer dst. The
+// correct version holds both buffer locks (in id order) across the whole
+// copy; the buggy version reads src's length and characters in two
+// separately synchronized steps.
+func (b *Buffers) AppendBuffer(p *vyrd.Probe, dst, src int) error {
+	inv := p.Call("AppendBuffer", dst, src)
+	d, s := b.bufs[dst], b.bufs[src]
+
+	if b.bug == BugUnprotectedCopy {
+		n := s.length() // BUG: src can change before the copy below
+		if b.RaceWindow != nil {
+			b.RaceWindow(n)
+		} else {
+			runtime.Gosched() // model preemption in the race window
+		}
+		copied, ok := s.getChars(n)
+		d.mu.Lock()
+		if !ok {
+			inv.Commit("exceptional")
+			d.mu.Unlock()
+			exc := event.Exceptional{Reason: "array index out of bounds"}
+			inv.Return(exc)
+			return exc
+		}
+		d.data = append(d.data, copied...)
+		inv.CommitWrite("copied", "sb-append", dst, string(copied))
+		d.mu.Unlock()
+		inv.Return(nil)
+		return nil
+	}
+
+	// Correct: lock both buffers in id order (one lock when dst == src).
+	lo, hi := d, s
+	if dst > src {
+		lo, hi = s, d
+	}
+	lo.mu.Lock()
+	if hi != lo {
+		hi.mu.Lock()
+	}
+	copied := make([]byte, len(s.data))
+	copy(copied, s.data)
+	d.data = append(d.data, copied...)
+	inv.CommitWrite("copied", "sb-append", dst, string(copied))
+	if hi != lo {
+		hi.mu.Unlock()
+	}
+	lo.mu.Unlock()
+	inv.Return(nil)
+	return nil
+}
+
+// Delete removes the characters in [start, end) from buffer id, clipping
+// end to the current length; invalid ranges terminate exceptionally, as in
+// Java.
+func (b *Buffers) Delete(p *vyrd.Probe, id, start, end int) error {
+	inv := p.Call("Delete", id, start, end)
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	n := len(bf.data)
+	if start < 0 || start > n || start > end {
+		inv.Commit("exceptional")
+		bf.mu.Unlock()
+		exc := event.Exceptional{Reason: "string index out of range"}
+		inv.Return(exc)
+		return exc
+	}
+	if end > n {
+		end = n
+	}
+	bf.data = append(bf.data[:start], bf.data[end:]...)
+	inv.CommitWrite("deleted", "sb-del", id, start, end)
+	bf.mu.Unlock()
+	inv.Return(nil)
+	return nil
+}
+
+// SetLength truncates or zero-extends buffer id to length n; a negative
+// length terminates exceptionally.
+func (b *Buffers) SetLength(p *vyrd.Probe, id, n int) error {
+	inv := p.Call("SetLength", id, n)
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	if n < 0 {
+		inv.Commit("exceptional")
+		bf.mu.Unlock()
+		exc := event.Exceptional{Reason: "negative length"}
+		inv.Return(exc)
+		return exc
+	}
+	if n <= len(bf.data) {
+		bf.data = bf.data[:n]
+	} else {
+		bf.data = append(bf.data, make([]byte, n-len(bf.data))...)
+	}
+	inv.CommitWrite("set-length", "sb-setlen", id, n)
+	bf.mu.Unlock()
+	inv.Return(nil)
+	return nil
+}
+
+// ToString returns the contents of buffer id (observer).
+func (b *Buffers) ToString(p *vyrd.Probe, id int) string {
+	inv := p.Call("ToString", id)
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	s := string(bf.data)
+	bf.mu.Unlock()
+	inv.Return(s)
+	return s
+}
+
+// Length returns the length of buffer id (observer).
+func (b *Buffers) Length(p *vyrd.Probe, id int) int {
+	inv := p.Call("Length", id)
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	n := len(bf.data)
+	bf.mu.Unlock()
+	inv.Return(n)
+	return n
+}

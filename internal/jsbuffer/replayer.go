@@ -1,0 +1,130 @@
+package jsbuffer
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the buffer family from the logged writes and
+// maintains viewI in the canonical form of the StringBuffers specification:
+// "sb:<id>" -> contents.
+//
+// Write operations:
+//
+//	"sb-append" id s        append string
+//	"sb-del" id start end   delete range (end already validated; clipped here)
+//	"sb-setlen" id n        truncate or zero-extend
+type Replayer struct {
+	n     int
+	bufs  []string
+	table *view.Table
+}
+
+// NewReplayer returns a replica of n empty buffers.
+func NewReplayer(n int) *Replayer {
+	r := &Replayer{n: n}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.bufs = make([]string, r.n)
+	r.table = view.NewTable()
+	for i := 0; i < r.n; i++ {
+		r.table.Set("sb:"+strconv.Itoa(i), "")
+	}
+}
+
+// View implements core.Replayer.
+func (r *Replayer) View() *view.Table { return r.table }
+
+func (r *Replayer) set(id int, content string) {
+	r.bufs[id] = content
+	r.table.Set("sb:"+strconv.Itoa(id), content)
+}
+
+func (r *Replayer) id(args []event.Value) (int, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("jsbuffer replay: missing buffer id")
+	}
+	id, ok := event.Int(args[0])
+	if !ok || id < 0 || id >= r.n {
+		return 0, fmt.Errorf("jsbuffer replay: bad buffer id %v", args[0])
+	}
+	return id, nil
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "sb-append":
+		id, err := r.id(args)
+		if err != nil {
+			return err
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("jsbuffer replay: sb-append wants id and string, got %v", args)
+		}
+		s, ok := args[1].(string)
+		if !ok {
+			return fmt.Errorf("jsbuffer replay: sb-append non-string payload %v", args[1])
+		}
+		r.set(id, r.bufs[id]+s)
+		return nil
+
+	case "sb-del":
+		id, err := r.id(args)
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("jsbuffer replay: sb-del wants id, start, end, got %v", args)
+		}
+		start, ok1 := event.Int(args[1])
+		end, ok2 := event.Int(args[2])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("jsbuffer replay: sb-del non-integer range %v", args)
+		}
+		content := r.bufs[id]
+		if start < 0 || start > len(content) || start > end {
+			return fmt.Errorf("jsbuffer replay: sb-del range [%d,%d) invalid for length %d", start, end, len(content))
+		}
+		if end > len(content) {
+			end = len(content)
+		}
+		r.set(id, content[:start]+content[end:])
+		return nil
+
+	case "sb-setlen":
+		id, err := r.id(args)
+		if err != nil {
+			return err
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("jsbuffer replay: sb-setlen wants id and length, got %v", args)
+		}
+		n, ok := event.Int(args[1])
+		if !ok || n < 0 {
+			return fmt.Errorf("jsbuffer replay: sb-setlen bad length %v", args[1])
+		}
+		content := r.bufs[id]
+		if n <= len(content) {
+			r.set(id, content[:n])
+		} else {
+			r.set(id, content+string(make([]byte, n-len(content))))
+		}
+		return nil
+	}
+	return fmt.Errorf("jsbuffer replay: unknown op %q", op)
+}
+
+// Invariants implements core.Replayer; buffers have no internal invariants
+// beyond their view.
+func (r *Replayer) Invariants() error { return nil }
+
+// Content exposes a reconstructed buffer, for tests.
+func (r *Replayer) Content(id int) string { return r.bufs[id] }

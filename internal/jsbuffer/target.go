@@ -1,0 +1,69 @@
+package jsbuffer
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// targetBuffers is the number of buffers in the harness family.
+const targetBuffers = 4
+
+// Target adapts the StringBuffer family to the random test harness
+// (Section 7.1). The mix interleaves cross-buffer appends with shrinking
+// operations on the source buffers, the combination that triggers the
+// known bug.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "java.util.StringBuffer",
+		New: func(log *vyrd.Log) harness.Instance {
+			b := New(targetBuffers, bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Append", Weight: 30, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						b.Append(p, rng.Intn(targetBuffers), strconv.Itoa(pick()))
+					}},
+					{Name: "AppendBuffer", Weight: 20, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						dst := rng.Intn(targetBuffers)
+						src := rng.Intn(targetBuffers)
+						// Keep contents from growing without bound.
+						if b.contentLen(src) < 512 {
+							b.AppendBuffer(p, dst, src)
+						} else {
+							b.SetLength(p, src, 8)
+						}
+					}},
+					{Name: "Delete", Weight: 15, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						id := rng.Intn(targetBuffers)
+						start := rng.Intn(16)
+						b.Delete(p, id, start, start+rng.Intn(16))
+					}},
+					{Name: "SetLength", Weight: 10, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						b.SetLength(p, rng.Intn(targetBuffers), rng.Intn(32))
+					}},
+					{Name: "ToString", Weight: 15, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						b.ToString(p, rng.Intn(targetBuffers))
+					}},
+					{Name: "Length", Weight: 10, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						b.Length(p, rng.Intn(targetBuffers))
+					}},
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewStringBuffers(targetBuffers) },
+		NewReplayer: func() core.Replayer { return NewReplayer(targetBuffers) },
+	}
+}
+
+// contentLen reads a buffer's length without logging, for harness-internal
+// flow control.
+func (b *Buffers) contentLen(id int) int {
+	bf := b.bufs[id]
+	bf.mu.Lock()
+	defer bf.mu.Unlock()
+	return len(bf.data)
+}

@@ -1,0 +1,215 @@
+// Package jvector reimplements the subset of java.util.Vector the paper
+// checks (Section 7.4.1): a growable synchronized sequence backed by an
+// explicit element array and element count, including the previously
+// reported concurrency error in lastIndexOf.
+//
+// The injected bug is the one named in Table 1 — "Taking length
+// non-atomically in lastIndexOf()": lastIndexOf(x) reads the element count
+// without holding the lock and then scans from that stale index; if another
+// thread shrinks the vector in between, the scan starts beyond the current
+// bounds and the method terminates exceptionally (java.util.Vector throws
+// ArrayIndexOutOfBoundsException), which the specification does not permit
+// for an observer. Because the bug lives in an observer method and does not
+// corrupt the data structure state, view refinement is no better at
+// detecting it than I/O refinement (Section 7.5) — the experiment this
+// subject exists to demonstrate.
+package jvector
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugLastIndexOf reads the element count without synchronization in
+	// LastIndexOf (Table 1: "Taking length non-atomically in
+	// lastIndexOf()").
+	BugLastIndexOf
+)
+
+// Vector is the synchronized growable sequence. All public methods take the
+// calling goroutine's probe.
+type Vector struct {
+	mu    sync.Mutex
+	data  []int
+	count int
+	bug   Bug
+
+	// RaceWindow, when non-nil, runs in the buggy LastIndexOf between the
+	// unsynchronized count read and the lock acquisition.
+	RaceWindow func(staleCount int)
+}
+
+// New returns an empty vector.
+func New(bug Bug) *Vector {
+	return &Vector{data: make([]int, 8), bug: bug}
+}
+
+func (v *Vector) ensureCapacity(n int) {
+	if n <= len(v.data) {
+		return
+	}
+	grown := make([]int, max(n, 2*len(v.data)))
+	copy(grown, v.data[:v.count])
+	v.data = grown
+}
+
+// AddElement appends x.
+func (v *Vector) AddElement(p *vyrd.Probe, x int) {
+	inv := p.Call("AddElement", x)
+	v.mu.Lock()
+	v.ensureCapacity(v.count + 1)
+	v.data[v.count] = x
+	v.count++
+	inv.CommitWrite("appended", "vec-add", x)
+	v.mu.Unlock()
+	inv.Return(nil)
+}
+
+// InsertElementAt inserts x at index i, shifting later elements right. An
+// out-of-range index terminates exceptionally, as in Java.
+func (v *Vector) InsertElementAt(p *vyrd.Probe, x, i int) error {
+	inv := p.Call("InsertElementAt", x, i)
+	v.mu.Lock()
+	if i < 0 || i > v.count {
+		inv.Commit("out-of-range")
+		v.mu.Unlock()
+		exc := event.Exceptional{Reason: "index out of range"}
+		inv.Return(exc)
+		return exc
+	}
+	v.ensureCapacity(v.count + 1)
+	copy(v.data[i+1:v.count+1], v.data[i:v.count])
+	v.data[i] = x
+	v.count++
+	inv.CommitWrite("inserted", "vec-ins", i, x)
+	v.mu.Unlock()
+	inv.Return(nil)
+	return nil
+}
+
+// RemoveElementAt removes the element at index i, shifting later elements
+// left. An out-of-range index terminates exceptionally.
+func (v *Vector) RemoveElementAt(p *vyrd.Probe, i int) error {
+	inv := p.Call("RemoveElementAt", i)
+	v.mu.Lock()
+	if i < 0 || i >= v.count {
+		inv.Commit("out-of-range")
+		v.mu.Unlock()
+		exc := event.Exceptional{Reason: "index out of range"}
+		inv.Return(exc)
+		return exc
+	}
+	copy(v.data[i:v.count-1], v.data[i+1:v.count])
+	v.count--
+	inv.CommitWrite("removed", "vec-rm", i)
+	v.mu.Unlock()
+	inv.Return(nil)
+	return nil
+}
+
+// RemoveAllElements clears the vector.
+func (v *Vector) RemoveAllElements(p *vyrd.Probe) {
+	inv := p.Call("RemoveAllElements")
+	v.mu.Lock()
+	v.count = 0
+	inv.CommitWrite("cleared", "vec-clear")
+	v.mu.Unlock()
+	inv.Return(nil)
+}
+
+// TrimToSize shrinks the backing array to the element count. The abstract
+// state is unchanged; the commit carries no write.
+func (v *Vector) TrimToSize(p *vyrd.Probe) {
+	inv := p.Call("TrimToSize")
+	v.mu.Lock()
+	trimmed := make([]int, v.count)
+	copy(trimmed, v.data[:v.count])
+	v.data = trimmed
+	inv.Commit("trimmed")
+	v.mu.Unlock()
+	inv.Return(nil)
+}
+
+// Size reports the element count (observer).
+func (v *Vector) Size(p *vyrd.Probe) int {
+	inv := p.Call("Size")
+	v.mu.Lock()
+	n := v.count
+	v.mu.Unlock()
+	inv.Return(n)
+	return n
+}
+
+// ElementAt returns the element at index i, terminating exceptionally when
+// out of range (observer).
+func (v *Vector) ElementAt(p *vyrd.Probe, i int) (int, error) {
+	inv := p.Call("ElementAt", i)
+	v.mu.Lock()
+	if i < 0 || i >= v.count {
+		v.mu.Unlock()
+		exc := event.Exceptional{Reason: "index out of range"}
+		inv.Return(exc)
+		return 0, exc
+	}
+	x := v.data[i]
+	v.mu.Unlock()
+	inv.Return(x)
+	return x, nil
+}
+
+// LastIndexOf returns the highest index holding x, or -1 (observer). The
+// correct version reads the count under the lock; the buggy version reads
+// it before acquiring the lock and, as in java.util.Vector, terminates
+// exceptionally when the stale index is beyond the current bounds.
+func (v *Vector) LastIndexOf(p *vyrd.Probe, x int) (int, error) {
+	inv := p.Call("LastIndexOf", x)
+	var start int
+	if v.bug == BugLastIndexOf {
+		start = v.count - 1 // BUG: unsynchronized read of the element count
+		if v.RaceWindow != nil {
+			v.RaceWindow(start + 1)
+		} else {
+			runtime.Gosched() // model preemption in the race window
+		}
+		v.mu.Lock()
+		if start >= v.count {
+			// java.util.Vector.lastIndexOf(Object, int) throws when the
+			// start index is at or beyond the element count.
+			v.mu.Unlock()
+			exc := event.Exceptional{Reason: "array index out of bounds"}
+			inv.Return(exc)
+			return 0, exc
+		}
+	} else {
+		v.mu.Lock()
+		start = v.count - 1
+	}
+	idx := -1
+	for i := start; i >= 0; i-- {
+		if v.data[i] == x {
+			idx = i
+			break
+		}
+	}
+	v.mu.Unlock()
+	inv.Return(idx)
+	return idx, nil
+}
+
+// Snapshot returns the current contents; for quiesced tests only.
+func (v *Vector) Snapshot() []int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]int, v.count)
+	copy(out, v.data[:v.count])
+	return out
+}

@@ -1,0 +1,283 @@
+package jvector
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewVector(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestSequentialOperations(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	v := New(BugNone)
+	v.AddElement(p, 10)
+	v.AddElement(p, 20)
+	v.AddElement(p, 10)
+	if n := v.Size(p); n != 3 {
+		t.Fatalf("size %d", n)
+	}
+	if x, err := v.ElementAt(p, 1); err != nil || x != 20 {
+		t.Fatalf("ElementAt(1) = %d, %v", x, err)
+	}
+	if _, err := v.ElementAt(p, 9); err == nil {
+		t.Fatal("ElementAt out of range succeeded")
+	}
+	if idx, err := v.LastIndexOf(p, 10); err != nil || idx != 2 {
+		t.Fatalf("LastIndexOf(10) = %d, %v", idx, err)
+	}
+	if idx, _ := v.LastIndexOf(p, 99); idx != -1 {
+		t.Fatalf("LastIndexOf(absent) = %d", idx)
+	}
+	if err := v.InsertElementAt(p, 15, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.InsertElementAt(p, 9, 100); err == nil {
+		t.Fatal("out-of-range insert succeeded")
+	}
+	if err := v.RemoveElementAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RemoveElementAt(p, 50); err == nil {
+		t.Fatal("out-of-range remove succeeded")
+	}
+	v.TrimToSize(p)
+	v.RemoveAllElements(p)
+	if n := v.Size(p); n != 0 {
+		t.Fatalf("size after clear: %d", n)
+	}
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	v := New(BugNone)
+	for i := 0; i < 100; i++ {
+		v.AddElement(p, i)
+	}
+	for i := 0; i < 100; i++ {
+		if x, err := v.ElementAt(p, i); err != nil || x != i {
+			t.Fatalf("ElementAt(%d) = %d, %v", i, x, err)
+		}
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+// TestBugDeterministic forces the known lastIndexOf race: the count is read
+// before the lock; RemoveAllElements runs in the window; the scan then
+// starts beyond the bounds and terminates exceptionally.
+func TestBugDeterministic(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelIO)
+	v := New(BugLastIndexOf)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	for i := 0; i < 5; i++ {
+		v.AddElement(p1, i)
+	}
+
+	inWindow := make(chan struct{})
+	cleared := make(chan struct{})
+	var once sync.Once
+	v.RaceWindow = func(staleCount int) {
+		once.Do(func() {
+			close(inWindow)
+			<-cleared
+		})
+	}
+
+	type result struct {
+		idx int
+		err error
+	}
+	done := make(chan result)
+	go func() {
+		idx, err := v.LastIndexOf(p2, 3)
+		done <- result{idx, err}
+	}()
+	<-inWindow
+	v.RemoveAllElements(p1) // shrink while LastIndexOf holds the stale count
+	close(cleared)
+	r := <-done
+	if r.err == nil {
+		t.Fatalf("expected an exceptional termination, got index %d", r.idx)
+	}
+	log.Close()
+
+	rep := checkLog(t, log, vyrd.ModeIO)
+	if rep.Ok() {
+		t.Fatalf("I/O refinement missed the exceptional LastIndexOf:\n%s", rep)
+	}
+	if rep.First().Kind != vyrd.ViolationObserver {
+		t.Fatalf("expected an observer violation, got %v", rep.First())
+	}
+}
+
+// TestObserverBugViewParity is the Section 7.5 observation: the bug lives
+// in an observer and does not corrupt state, so view refinement detects it
+// at exactly the same point as I/O refinement.
+func TestObserverBugViewParity(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	v := New(BugLastIndexOf)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+	for i := 0; i < 5; i++ {
+		v.AddElement(p1, i)
+	}
+	inWindow := make(chan struct{})
+	cleared := make(chan struct{})
+	var once sync.Once
+	v.RaceWindow = func(int) {
+		once.Do(func() {
+			close(inWindow)
+			<-cleared
+		})
+	}
+	done := make(chan error)
+	go func() {
+		_, err := v.LastIndexOf(p2, 3)
+		done <- err
+	}()
+	<-inWindow
+	v.RemoveAllElements(p1)
+	close(cleared)
+	if err := <-done; err == nil {
+		t.Fatal("bug did not trigger")
+	}
+	log.Close()
+
+	ioRep := checkLog(t, log, vyrd.ModeIO)
+	viewRep := checkLog(t, log, vyrd.ModeView)
+	if ioRep.Ok() || viewRep.Ok() {
+		t.Fatalf("bug missed: io=%v view=%v", ioRep.Ok(), viewRep.Ok())
+	}
+	if ioRep.First().MethodsCompleted != viewRep.First().MethodsCompleted {
+		t.Fatalf("view should be no better than I/O for an observer bug: io=%d view=%d",
+			ioRep.First().MethodsCompleted, viewRep.First().MethodsCompleted)
+	}
+	if ioRep.First().Kind != vyrd.ViolationObserver || viewRep.First().Kind != vyrd.ViolationObserver {
+		t.Fatalf("kinds: io=%v view=%v", ioRep.First().Kind, viewRep.First().Kind)
+	}
+}
+
+func TestReplayerMatchesImplementation(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	v := New(BugNone)
+	v.AddElement(p, 1)
+	v.AddElement(p, 2)
+	v.InsertElementAt(p, 9, 1)
+	v.RemoveElementAt(p, 0)
+	v.AddElement(p, 7)
+	log.Close()
+
+	r := NewReplayer()
+	for _, e := range log.Snapshot() {
+		if e.Kind == event.KindWrite {
+			if err := r.Apply(e.Method, e.Args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.WOp != "" {
+			if err := r.Apply(e.WOp, e.WArgs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := r.Snapshot()
+	want := v.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("replica %v, impl %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica %v, impl %v", got, want)
+		}
+	}
+}
+
+func TestReplayerRejectsMalformed(t *testing.T) {
+	r := NewReplayer()
+	bad := []struct {
+		op   string
+		args []event.Value
+	}{
+		{"vec-add", nil},
+		{"vec-ins", []event.Value{5, 1}}, // index out of range
+		{"vec-rm", []event.Value{0}},     // empty
+		{"nope", nil},
+	}
+	for _, c := range bad {
+		if err := r.Apply(c.op, c.args); err == nil {
+			t.Fatalf("accepted %s%v", c.op, c.args)
+		}
+	}
+}
+
+func TestConcurrentCorrect(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	v := New(BugNone)
+	var wg sync.WaitGroup
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int) {
+			defer wg.Done()
+			x := seed*31 + 1
+			for i := 0; i < 250; i++ {
+				x = (x*1103515245 + 12345) & 0x7fffffff
+				switch x % 6 {
+				case 0, 1:
+					v.AddElement(p, x%50)
+				case 2:
+					v.RemoveElementAt(p, x%10)
+				case 3:
+					v.LastIndexOf(p, x%50)
+				case 4:
+					v.ElementAt(p, x%10)
+				case 5:
+					v.Size(p)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive, %v:\n%s", mode, rep)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package jvector
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the Vector to the random test harness (Section 7.1). The
+// mix leans on LastIndexOf racing the shrinking operations, the combination
+// that triggers the known bug.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "java.util.Vector",
+		New: func(log *vyrd.Log) harness.Instance {
+			v := New(bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "AddElement", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						v.AddElement(p, pick())
+					}},
+					{Name: "InsertElementAt", Weight: 5, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						v.InsertElementAt(p, pick(), rng.Intn(8))
+					}},
+					{Name: "RemoveElementAt", Weight: 10, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						v.RemoveElementAt(p, rng.Intn(8))
+					}},
+					{Name: "RemoveAllElements", Weight: 5, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+						v.RemoveAllElements(p)
+					}},
+					{Name: "TrimToSize", Weight: 5, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+						v.TrimToSize(p)
+					}},
+					{Name: "Size", Weight: 5, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+						v.Size(p)
+					}},
+					{Name: "ElementAt", Weight: 10, Run: func(p *vyrd.Probe, rng *rand.Rand, _ func() int) {
+						v.ElementAt(p, rng.Intn(12))
+					}},
+					{Name: "LastIndexOf", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						v.LastIndexOf(p, pick())
+					}},
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewVector() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}

@@ -1,0 +1,113 @@
+package linearize
+
+import (
+	"sort"
+
+	"repro/internal/event"
+)
+
+// KVModel is the purely functional ordered-map specification for the
+// linearizability baseline, mirroring spec.KV's semantics (the B-link
+// tree's abstract type: void Insert, strict Delete, Lookup observer).
+type KVModel struct {
+	m  map[int]int
+	fp uint64
+}
+
+// NewKVModel returns the empty map state.
+func NewKVModel() *KVModel {
+	return &KVModel{m: map[int]int{}, fp: fingerprintKV(nil)}
+}
+
+func fingerprintKV(m map[int]int) uint64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	const prime = 1099511628211
+	h := uint64(14695981039346656037) ^ 0x5bd1e995
+	for _, k := range keys {
+		h ^= uint64(k) * 0x9e3779b97f4a7c15
+		h *= prime
+		h ^= uint64(m[k]) + 0x85ebca6b
+		h *= prime
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *KVModel) Fingerprint() uint64 { return m.fp }
+
+func (m *KVModel) withSet(k, v int) *KVModel {
+	next := make(map[int]int, len(m.m)+1)
+	for kk, vv := range m.m {
+		next[kk] = vv
+	}
+	next[k] = v
+	return &KVModel{m: next, fp: fingerprintKV(next)}
+}
+
+func (m *KVModel) withDelete(k int) *KVModel {
+	next := make(map[int]int, len(m.m))
+	for kk, vv := range m.m {
+		if kk != k {
+			next[kk] = vv
+		}
+	}
+	return &KVModel{m: next, fp: fingerprintKV(next)}
+}
+
+// Step implements Model for the map's mutators.
+func (m *KVModel) Step(op Op) (Model, bool) {
+	switch op.Method {
+	case "Insert":
+		if len(op.Args) != 2 || op.Ret != nil {
+			return nil, false
+		}
+		k, okk := event.Int(op.Args[0])
+		v, okv := event.Int(op.Args[1])
+		if !okk || !okv {
+			return nil, false
+		}
+		return m.withSet(k, v), true
+
+	case "Delete":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		k, okk := event.Int(op.Args[0])
+		removed, okr := op.Ret.(bool)
+		if !okk || !okr {
+			return nil, false
+		}
+		_, present := m.m[k]
+		if removed != present {
+			return nil, false
+		}
+		if !removed {
+			return m, true
+		}
+		return m.withDelete(k), true
+
+	case "Compress":
+		return m, op.Ret == nil
+	}
+	return nil, false
+}
+
+// Check implements Model for the map's observer.
+func (m *KVModel) Check(op Op) bool {
+	if op.Method != "Lookup" || len(op.Args) != 1 {
+		return false
+	}
+	k, okk := event.Int(op.Args[0])
+	got, okr := event.Int(op.Ret)
+	if !okk || !okr {
+		return false
+	}
+	if v, present := m.m[k]; present {
+		return got == v
+	}
+	return got == -1
+}

@@ -1,0 +1,282 @@
+// Package linearize implements the baseline VYRD's Section 2 argues
+// against: a naive linearizability check that, given only the call and
+// return actions of a trace (no commit annotations), searches for some
+// serialization of the method executions that is consistent with their
+// real-time order and accepted by the specification. A window of k
+// mutually overlapping executions admits up to k! candidate orders —
+// "clearly, this method would not scale as the number of methods being
+// executed concurrently increases" — which is exactly what the commit
+// actions of I/O refinement eliminate by pinning a unique witness
+// interleaving.
+//
+// The checker cuts the trace at quiescent points (positions no execution
+// spans), searches each segment exhaustively with memoization on (set of
+// linearized executions, specification state), and carries every reachable
+// end state across the cut — sound and complete, but exponential in the
+// overlap width within a segment. The benchmark comparing it against the
+// VYRD checker quantifies the paper's scalability claim.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Op is one method execution extracted from a trace.
+type Op struct {
+	Tid     int32
+	Method  string
+	Args    []event.Value
+	Ret     event.Value
+	CallSeq int64
+	RetSeq  int64
+	Mutator bool
+}
+
+// Model is a purely functional specification state: Step returns the
+// successor state for a mutator (or nil if the transition is impossible),
+// and Check validates an observer at the current state. Fingerprint keys
+// the memoization table; states with equal fingerprints must be equal.
+type Model interface {
+	Step(op Op) (Model, bool)
+	Check(op Op) bool
+	Fingerprint() uint64
+}
+
+// Extract pulls the completed method executions out of a recorded trace,
+// classifying mutators with the given predicate. Executions the log ends
+// in the middle of are ignored: this baseline handles complete traces, as
+// the Section 2 discussion assumes.
+func Extract(entries []event.Entry, isMutator func(string) bool) []Op {
+	open := make(map[int32]*Op)
+	var ops []Op
+	for _, e := range entries {
+		switch e.Kind {
+		case event.KindCall:
+			open[e.Tid] = &Op{
+				Tid: e.Tid, Method: e.Method, Args: e.Args,
+				CallSeq: e.Seq, Mutator: isMutator(e.Method),
+			}
+		case event.KindReturn:
+			if op := open[e.Tid]; op != nil {
+				op.Ret = e.Ret
+				op.RetSeq = e.Seq
+				ops = append(ops, *op)
+				delete(open, e.Tid)
+			}
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].CallSeq < ops[j].CallSeq })
+	return ops
+}
+
+// Result reports the outcome of a linearizability search.
+type Result struct {
+	// Linearizable is true when some valid serialization exists.
+	Linearizable bool
+	// Witness holds one valid order (indices into the op list) when found.
+	Witness []int
+	// StatesExplored counts DFS states visited across all segments — the
+	// cost the paper's commit actions avoid.
+	StatesExplored int64
+	// MaxSegment is the widest segment searched (the overlap width that
+	// drives the exponential).
+	MaxSegment int
+	// Aborted is set when the search hit the state budget (or a segment
+	// exceeded the representable width) before deciding.
+	Aborted bool
+}
+
+// maxSegmentOps bounds a segment's width (the done-set is a bitmask).
+const maxSegmentOps = 63
+
+// Check searches for a linearization of ops starting from the initial
+// model. maxStates bounds the total search (0 means no bound); exceeding
+// it aborts with Aborted set — the expected outcome for wide overlaps,
+// which is the point of the baseline.
+func Check(ops []Op, initial Model, maxStates int64) Result {
+	segments := cutAtQuiescence(ops)
+	res := Result{}
+	// Every reachable end state of the prefix, with one witness order each.
+	states := []carried{{model: initial}}
+	base := 0
+	for _, seg := range segments {
+		if len(seg) > maxSegmentOps {
+			res.Aborted = true
+			return res
+		}
+		if len(seg) > res.MaxSegment {
+			res.MaxSegment = len(seg)
+		}
+		var next []carried
+		seen := make(map[uint64]bool)
+		for _, st := range states {
+			s := &searcher{
+				ops:       seg,
+				base:      base,
+				budget:    maxStates,
+				spent:     &res.StatesExplored,
+				ends:      &next,
+				endSeen:   seen,
+				prefix:    st,
+				memo:      make(map[memoKey]bool),
+				collected: make(map[uint64]bool),
+			}
+			s.collect(st.model, 0, make([]int, 0, len(seg)))
+			if s.aborted {
+				res.Aborted = true
+				return res
+			}
+		}
+		if len(next) == 0 {
+			return res // no serialization survives this segment
+		}
+		states = next
+		base += len(seg)
+	}
+	res.Linearizable = true
+	res.Witness = states[0].order
+	return res
+}
+
+// carried is one reachable specification state at a quiescent cut, with a
+// witness order reaching it.
+type carried struct {
+	model Model
+	order []int
+}
+
+// cutAtQuiescence splits ops (sorted by call) at points where every earlier
+// execution has returned before every later one is called.
+func cutAtQuiescence(ops []Op) [][]Op {
+	var segments [][]Op
+	start := 0
+	var maxRet int64
+	for i, op := range ops {
+		if i > start && op.CallSeq > maxRet {
+			segments = append(segments, ops[start:i])
+			start = i
+		}
+		if op.RetSeq > maxRet {
+			maxRet = op.RetSeq
+		}
+	}
+	if start < len(ops) {
+		segments = append(segments, ops[start:])
+	}
+	return segments
+}
+
+type memoKey struct {
+	done  uint64
+	state uint64
+}
+
+type searcher struct {
+	ops    []Op
+	base   int // index of ops[0] in the global op list
+	budget int64
+	spent  *int64
+
+	prefix    carried
+	ends      *[]carried
+	endSeen   map[uint64]bool
+	memo      map[memoKey]bool
+	collected map[uint64]bool
+	aborted   bool
+}
+
+// collect explores every linearization of the segment, recording each
+// distinct reachable end state (exhaustive, since a later segment may be
+// satisfiable from only some of them).
+func (s *searcher) collect(m Model, done uint64, order []int) {
+	if s.aborted {
+		return
+	}
+	if len(order) == len(s.ops) {
+		fp := m.Fingerprint()
+		if !s.endSeen[fp] {
+			s.endSeen[fp] = true
+			full := make([]int, 0, len(s.prefix.order)+len(order))
+			full = append(full, s.prefix.order...)
+			for _, idx := range order {
+				full = append(full, s.base+idx)
+			}
+			*s.ends = append(*s.ends, carried{model: m, order: full})
+		}
+		return
+	}
+	key := memoKey{done: done, state: m.Fingerprint()}
+	if s.memo[key] {
+		return
+	}
+	s.memo[key] = true
+	*s.spent++
+	if s.budget > 0 && *s.spent > s.budget {
+		s.aborted = true
+		return
+	}
+
+	// An op may be linearized next iff every op that returned before its
+	// call has already been linearized (real-time order preservation).
+	for i, op := range s.ops {
+		bit := uint64(1) << uint(i)
+		if done&bit != 0 {
+			continue
+		}
+		eligible := true
+		for j, prev := range s.ops {
+			pbit := uint64(1) << uint(j)
+			if done&pbit != 0 || i == j {
+				continue
+			}
+			if prev.RetSeq < op.CallSeq {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		var next Model
+		if op.Mutator {
+			var ok bool
+			next, ok = m.Step(op)
+			if !ok {
+				continue
+			}
+		} else {
+			if !m.Check(op) {
+				continue
+			}
+			next = m
+		}
+		s.collect(next, done|bit, append(order, i))
+		if s.aborted {
+			return
+		}
+	}
+}
+
+// CheckTrace is the convenience entry point: extract the ops of a recorded
+// trace and search, using the spec-derived mutator classification.
+func CheckTrace(entries []event.Entry, spec core.Spec, initial Model, maxStates int64) Result {
+	ops := Extract(entries, spec.IsMutator)
+	return Check(ops, initial, maxStates)
+}
+
+// String renders the result.
+func (r Result) String() string {
+	switch {
+	case r.Aborted:
+		return fmt.Sprintf("aborted after %d states (budget or width exhausted; widest segment %d)",
+			r.StatesExplored, r.MaxSegment)
+	case r.Linearizable:
+		return fmt.Sprintf("linearizable (%d states explored; widest segment %d)", r.StatesExplored, r.MaxSegment)
+	default:
+		return fmt.Sprintf("NOT linearizable (%d states explored; widest segment %d)", r.StatesExplored, r.MaxSegment)
+	}
+}

@@ -1,0 +1,294 @@
+package linearize
+
+import (
+	"testing"
+
+	"repro/internal/blinktree"
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/multiset"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// traceBuilder assembles call/return-only traces for the baseline.
+type traceBuilder struct {
+	seq     int64
+	entries []event.Entry
+}
+
+func (b *traceBuilder) call(tid int32, m string, args ...event.Value) {
+	b.seq++
+	b.entries = append(b.entries, event.Entry{Seq: b.seq, Tid: tid, Kind: event.KindCall, Method: m, Args: args})
+}
+
+func (b *traceBuilder) ret(tid int32, m string, v event.Value) {
+	b.seq++
+	b.entries = append(b.entries, event.Entry{Seq: b.seq, Tid: tid, Kind: event.KindReturn, Method: m, Ret: v})
+}
+
+func check(t *testing.T, b *traceBuilder) Result {
+	t.Helper()
+	return CheckTrace(b.entries, spec.NewMultiset(), NewMultisetModel(), 1_000_000)
+}
+
+// TestSequentialTraceLinearizable: a serial history checks trivially.
+func TestSequentialTraceLinearizable(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "Insert", 3)
+	b.ret(1, "Insert", true)
+	b.call(1, "LookUp", 3)
+	b.ret(1, "LookUp", true)
+	b.call(1, "Delete", 3)
+	b.ret(1, "Delete", true)
+	b.call(1, "LookUp", 3)
+	b.ret(1, "LookUp", false)
+	res := check(t, &b)
+	if !res.Linearizable {
+		t.Fatalf("serial trace rejected: %s", res)
+	}
+	if len(res.Witness) != 4 {
+		t.Fatalf("witness %v", res.Witness)
+	}
+}
+
+// TestFig3TraceLinearizable: the paper's Fig. 3 overlap — LookUp(3) -> true
+// overlapping Insert(3) — is linearizable without any commit annotations,
+// but requires search.
+func TestFig3TraceLinearizable(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "LookUp", 3)
+	b.call(2, "Insert", 3)
+	b.call(3, "Insert", 4)
+	b.call(4, "Delete", 3)
+	b.ret(1, "LookUp", true)
+	b.ret(2, "Insert", true)
+	b.ret(3, "Insert", true)
+	b.ret(4, "Delete", true)
+	res := check(t, &b)
+	if !res.Linearizable {
+		t.Fatalf("Fig. 3 trace rejected: %s", res)
+	}
+}
+
+// TestRealTimeOrderRespected: a LookUp that starts strictly after Delete(3)
+// returned cannot see 3.
+func TestRealTimeOrderRespected(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "Insert", 3)
+	b.ret(1, "Insert", true)
+	b.call(1, "Delete", 3)
+	b.ret(1, "Delete", true)
+	b.call(1, "LookUp", 3)
+	b.ret(1, "LookUp", true) // impossible: 3 was deleted before the call
+	res := check(t, &b)
+	if res.Linearizable {
+		t.Fatalf("non-linearizable trace accepted: witness %v", res.Witness)
+	}
+}
+
+// TestImpossibleDeleteRejected: Delete -> true with nothing ever inserted.
+func TestImpossibleDeleteRejected(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "Delete", 9)
+	b.ret(1, "Delete", true)
+	res := check(t, &b)
+	if res.Linearizable {
+		t.Fatal("impossible delete accepted")
+	}
+}
+
+// TestOverlappedAmbiguityAccepted: with Insert(3) and Delete(3) fully
+// overlapped, both LookUp answers are linearizable — the imprecision
+// Section 2 attributes to pure testing, which commit actions remove.
+func TestOverlappedAmbiguityAccepted(t *testing.T) {
+	for _, answer := range []bool{true, false} {
+		var b traceBuilder
+		b.call(1, "Insert", 3)
+		b.call(2, "Delete", 3)
+		b.call(3, "LookUp", 3)
+		b.ret(3, "LookUp", answer)
+		b.ret(1, "Insert", true)
+		b.ret(2, "Delete", true)
+		res := check(t, &b)
+		if !res.Linearizable {
+			t.Fatalf("overlapped LookUp -> %v rejected: %s", answer, res)
+		}
+	}
+}
+
+// TestMemoizationPrunes: a wide but state-collapsing trace (many identical
+// failed inserts) stays cheap thanks to (done-set, state) memoization.
+func TestMemoizationPrunes(t *testing.T) {
+	var b traceBuilder
+	const k = 12
+	for i := 0; i < k; i++ {
+		b.call(int32(i+1), "Insert", 7)
+	}
+	for i := 0; i < k; i++ {
+		b.ret(int32(i+1), "Insert", false) // all unsuccessful: state never changes
+	}
+	res := check(t, &b)
+	if !res.Linearizable {
+		t.Fatalf("trace rejected: %s", res)
+	}
+	if res.StatesExplored > 10_000 {
+		t.Fatalf("memoization ineffective: %d states for a collapsing trace", res.StatesExplored)
+	}
+}
+
+// TestStateBudgetAborts: the search reports abortion instead of hanging on
+// wide overlaps with a tiny budget. The trace is unsatisfiable, so the
+// search cannot short-circuit on a lucky witness.
+func TestStateBudgetAborts(t *testing.T) {
+	var b traceBuilder
+	const k = 14
+	for i := 0; i < k; i++ {
+		b.call(int32(i+1), "Insert", i)
+	}
+	for i := k - 1; i >= 0; i-- {
+		b.ret(int32(i+1), "Insert", true)
+	}
+	b.call(99, "LookUp", 999)
+	b.ret(99, "LookUp", true) // impossible: forces exhaustive backtracking
+	res := CheckTrace(b.entries, spec.NewMultiset(), NewMultisetModel(), 50)
+	if !res.Aborted {
+		t.Fatalf("expected an aborted search, got %s", res)
+	}
+}
+
+// TestExponentialGrowthWithOverlapWidth quantifies the Section 2 argument:
+// the number of explored states grows rapidly with the number of mutually
+// overlapping method executions, while VYRD's commit-driven check is linear
+// in the trace (the comparison benchmark measures the latter).
+func TestExponentialGrowthWithOverlapWidth(t *testing.T) {
+	explored := make([]int64, 0, 4)
+	for _, k := range []int{4, 6, 8, 10} {
+		var b traceBuilder
+		// k fully-overlapped inserts of distinct elements followed by an
+		// impossible observation: deciding the observer's validity requires
+		// visiting every reachable (subset, state) pair — 2^k even with
+		// memoization, and k! without it.
+		for i := 0; i < k; i++ {
+			b.call(int32(i+1), "Insert", i)
+		}
+		for i := 0; i < k; i++ {
+			b.ret(int32(i+1), "Insert", true)
+		}
+		b.call(99, "LookUp", 999)
+		b.ret(99, "LookUp", true)
+		res := check(t, &b)
+		if res.Linearizable {
+			t.Fatalf("k=%d accepted an impossible observation", k)
+		}
+		explored = append(explored, res.StatesExplored)
+	}
+	t.Logf("states explored by overlap width 4/6/8/10: %v", explored)
+	for i := 1; i < len(explored); i++ {
+		if explored[i] <= explored[i-1] {
+			t.Fatalf("expected growth with overlap width: %v", explored)
+		}
+	}
+	if explored[len(explored)-1] < 16*explored[0] {
+		t.Fatalf("growth too slow to demonstrate the blow-up: %v", explored)
+	}
+}
+
+// TestExtractIgnoresIncomplete: executions without a return are dropped.
+func TestExtractIgnoresIncomplete(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "Insert", 1)
+	b.ret(1, "Insert", true)
+	b.call(2, "Insert", 2) // never returns
+	ops := Extract(b.entries, spec.NewMultiset().IsMutator)
+	if len(ops) != 1 || ops[0].Method != "Insert" || ops[0].Tid != 1 {
+		t.Fatalf("ops %v", ops)
+	}
+}
+
+// TestAgreementWithVYRDOnCorrectTraces: on real traces of the correct
+// multiset implementation, the commit-driven VYRD check and the naive
+// enumeration baseline agree (both clean) — VYRD just gets there without
+// the search.
+func TestAgreementWithVYRDOnCorrectTraces(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		target := multiset.Target(32, multiset.BugNone)
+		res := harness.Run(target, harness.Config{
+			Threads: 3, OpsPerThread: 30, KeyPool: 8, Shrink: true,
+			Seed: seed, Level: vyrd.LevelIO,
+		})
+		entries := res.Log.Snapshot()
+
+		vyrdRep, err := vyrd.CheckEntries(entries, spec.NewMultiset())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vyrdRep.Ok() {
+			t.Fatalf("seed %d: VYRD flagged a correct run:\n%s", seed, vyrdRep)
+		}
+		lin := CheckTrace(entries, spec.NewMultiset(), NewMultisetModel(), 5_000_000)
+		if lin.Aborted {
+			t.Logf("seed %d: baseline aborted after %d states (expected for wide overlaps)", seed, lin.StatesExplored)
+			continue
+		}
+		if !lin.Linearizable {
+			t.Fatalf("seed %d: baseline rejected a trace VYRD accepts", seed)
+		}
+	}
+}
+
+// TestKVModelAgreementOnBLinkTreeTraces: the baseline also handles the
+// B-link tree's abstract type, agreeing with VYRD on correct traces (where
+// it finishes within the state budget).
+func TestKVModelAgreementOnBLinkTreeTraces(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		target := blinktree.Target(4, blinktree.BugNone)
+		res := harness.Run(target, harness.Config{
+			Threads: 3, OpsPerThread: 25, KeyPool: 8, Shrink: true,
+			Seed: seed, Level: vyrd.LevelIO,
+		})
+		entries := res.Log.Snapshot()
+
+		vyrdRep, err := vyrd.CheckEntries(entries, spec.NewKV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vyrdRep.Ok() {
+			t.Fatalf("seed %d: VYRD flagged a correct run:\n%s", seed, vyrdRep)
+		}
+		lin := CheckTrace(entries, spec.NewKV(), NewKVModel(), 5_000_000)
+		if lin.Aborted {
+			t.Logf("seed %d: baseline aborted (widest segment %d)", seed, lin.MaxSegment)
+			continue
+		}
+		if !lin.Linearizable {
+			t.Fatalf("seed %d: baseline rejected a trace VYRD accepts: %s", seed, lin)
+		}
+	}
+}
+
+// TestKVModelRejectsImpossible: a Lookup after a quiescent delete cannot
+// see the key.
+func TestKVModelRejectsImpossible(t *testing.T) {
+	var b traceBuilder
+	b.call(1, "Insert", 5, 50)
+	b.ret(1, "Insert", nil)
+	b.call(1, "Delete", 5)
+	b.ret(1, "Delete", true)
+	b.call(1, "Lookup", 5)
+	b.ret(1, "Lookup", 50)
+	res := CheckTrace(b.entries, spec.NewKV(), NewKVModel(), 1_000_000)
+	if res.Linearizable {
+		t.Fatal("impossible lookup accepted")
+	}
+	// The valid dual passes.
+	b = traceBuilder{}
+	b.call(1, "Insert", 5, 50)
+	b.ret(1, "Insert", nil)
+	b.call(1, "Lookup", 5)
+	b.ret(1, "Lookup", 50)
+	res = CheckTrace(b.entries, spec.NewKV(), NewKVModel(), 1_000_000)
+	if !res.Linearizable {
+		t.Fatalf("valid lookup rejected: %s", res)
+	}
+}

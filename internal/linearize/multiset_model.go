@@ -1,0 +1,148 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// MultisetModel is the purely functional multiset specification for the
+// linearizability baseline, mirroring spec.Multiset's semantics (including
+// its permissive unsuccessful terminations).
+type MultisetModel struct {
+	counts map[int]int
+	fp     uint64
+}
+
+// NewMultisetModel returns the empty multiset state.
+func NewMultisetModel() *MultisetModel {
+	return &MultisetModel{counts: map[int]int{}, fp: fingerprintCounts(nil)}
+}
+
+// fingerprintCounts hashes a counts map order-independently.
+func fingerprintCounts(counts map[int]int) uint64 {
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		h ^= uint64(k) * 0x9e3779b97f4a7c15
+		h *= prime
+		h ^= uint64(counts[k])
+		h *= prime
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *MultisetModel) Fingerprint() uint64 { return m.fp }
+
+func (m *MultisetModel) with(deltas map[int]int) *MultisetModel {
+	next := make(map[int]int, len(m.counts)+len(deltas))
+	for k, v := range m.counts {
+		next[k] = v
+	}
+	for k, d := range deltas {
+		n := next[k] + d
+		if n <= 0 {
+			delete(next, k)
+		} else {
+			next[k] = n
+		}
+	}
+	return &MultisetModel{counts: next, fp: fingerprintCounts(next)}
+}
+
+func retSuccess(ret event.Value) (bool, bool) {
+	if event.IsExceptional(ret) {
+		return false, true
+	}
+	b, ok := ret.(bool)
+	return b, ok
+}
+
+// Step implements Model for the multiset's mutators.
+func (m *MultisetModel) Step(op Op) (Model, bool) {
+	switch op.Method {
+	case "Insert":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		x, okx := event.Int(op.Args[0])
+		success, okr := retSuccess(op.Ret)
+		if !okx || !okr {
+			return nil, false
+		}
+		if !success {
+			return m, true
+		}
+		return m.with(map[int]int{x: 1}), true
+
+	case "InsertPair":
+		if len(op.Args) != 2 {
+			return nil, false
+		}
+		x, okx := event.Int(op.Args[0])
+		y, oky := event.Int(op.Args[1])
+		success, okr := retSuccess(op.Ret)
+		if !okx || !oky || !okr {
+			return nil, false
+		}
+		if !success {
+			return m, true
+		}
+		return m.with(map[int]int{x: 1, y: 1}), true
+
+	case "Delete":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		x, okx := event.Int(op.Args[0])
+		removed, okr := op.Ret.(bool)
+		if !okx || !okr {
+			return nil, false
+		}
+		if !removed {
+			return m, true // "not found" is always permitted, as in spec.Multiset
+		}
+		if m.counts[x] == 0 {
+			return nil, false
+		}
+		return m.with(map[int]int{x: -1}), true
+
+	case "Compress":
+		return m, op.Ret == nil
+	}
+	return nil, false
+}
+
+// Check implements Model for the multiset's observer.
+func (m *MultisetModel) Check(op Op) bool {
+	if op.Method != "LookUp" || len(op.Args) != 1 {
+		return false
+	}
+	x, okx := event.Int(op.Args[0])
+	found, okr := op.Ret.(bool)
+	return okx && okr && found == (m.counts[x] > 0)
+}
+
+// String renders the state for diagnostics.
+func (m *MultisetModel) String() string {
+	keys := make([]int, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", k, m.counts[k])
+	}
+	return out + "}"
+}

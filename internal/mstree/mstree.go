@@ -1,0 +1,284 @@
+// Package mstree is the paper's "Multiset-BinaryTree" subject
+// (Section 7.4.2): a multiset represented as a binary search tree of
+// (element, count) nodes with hand-over-hand (lock-coupling) traversal and
+// an internal compression thread that splices out zero-count leaf nodes.
+//
+// The injected bug is the one named in Table 1 — "Unlocking parent before
+// insertion": the buggy Insert releases the parent node's lock before
+// linking the freshly created child, so a concurrent insert can link a
+// different node under the same child pointer and one of the two inserts is
+// silently lost (its node becomes unreachable).
+//
+// Log-replay vocabulary (see Replayer):
+//
+//	"node-new" id elt        create an unlinked node with count 1
+//	"root" id                install the tree root (0 clears it)
+//	"link" parent dir child  set parent's child pointer (dir 0=left 1=right)
+//	"unlink" parent dir      clear parent's child pointer
+//	"node-count" id delta    adjust a node's count
+package mstree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugUnlockParent releases the parent lock before linking the new node
+	// (Table 1: "Unlocking parent before insertion").
+	BugUnlockParent
+)
+
+// Dir identifies a child pointer.
+const (
+	dirLeft  = 0
+	dirRight = 1
+)
+
+type node struct {
+	mu    sync.Mutex
+	id    int
+	elt   int
+	count int
+	child [2]*node
+}
+
+// Multiset is the BST-based multiset.
+type Multiset struct {
+	rootMu sync.Mutex // guards the root pointer
+	root   *node
+	nextID atomic.Int64
+	bug    Bug
+
+	// RaceWindow, when non-nil, runs in the buggy Insert between unlocking
+	// the parent and linking the new node.
+	RaceWindow func(parentID int)
+}
+
+// New returns an empty multiset.
+func New(bug Bug) *Multiset { return &Multiset{bug: bug} }
+
+func (m *Multiset) newNode(p *vyrd.Probe, elt int) *node {
+	n := &node{id: int(m.nextID.Add(1)), elt: elt, count: 1}
+	p.Write("node-new", n.id, elt)
+	return n
+}
+
+// Insert adds one copy of x. It never fails (the tree grows on demand), so
+// it always returns true.
+func (m *Multiset) Insert(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Insert", x)
+	m.rootMu.Lock()
+	if m.root == nil {
+		n := m.newNode(p, x)
+		m.root = n
+		inv.CommitWrite("new-root", "root", n.id)
+		m.rootMu.Unlock()
+		inv.Return(true)
+		return true
+	}
+	cur := m.root
+	cur.mu.Lock()
+	m.rootMu.Unlock()
+	for {
+		if x == cur.elt {
+			cur.count++
+			inv.CommitWrite("bump", "node-count", cur.id, 1)
+			cur.mu.Unlock()
+			inv.Return(true)
+			return true
+		}
+		dir := dirLeft
+		if x > cur.elt {
+			dir = dirRight
+		}
+		next := cur.child[dir]
+		if next == nil {
+			n := m.newNode(p, x)
+			if m.bug == BugUnlockParent {
+				// BUG: the parent lock is released before the link, so a
+				// concurrent insert can install a different node here and
+				// this write silently discards it (or is discarded).
+				cur.mu.Unlock()
+				if m.RaceWindow != nil {
+					m.RaceWindow(cur.id)
+				} else {
+					runtime.Gosched() // model preemption in the race window
+				}
+				cur.child[dir] = n
+				inv.CommitWrite("link", "link", cur.id, dir, n.id)
+			} else {
+				cur.child[dir] = n
+				inv.CommitWrite("link", "link", cur.id, dir, n.id)
+				cur.mu.Unlock()
+			}
+			inv.Return(true)
+			return true
+		}
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+}
+
+// Delete removes one copy of x if present; false ("not found") is always a
+// permitted outcome for the specification.
+func (m *Multiset) Delete(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Delete", x)
+	m.rootMu.Lock()
+	cur := m.root
+	if cur == nil {
+		m.rootMu.Unlock()
+		inv.Commit("empty")
+		inv.Return(false)
+		return false
+	}
+	cur.mu.Lock()
+	m.rootMu.Unlock()
+	for {
+		if x == cur.elt {
+			if cur.count > 0 {
+				cur.count--
+				inv.CommitWrite("drop", "node-count", cur.id, -1)
+				cur.mu.Unlock()
+				inv.Return(true)
+				return true
+			}
+			cur.mu.Unlock()
+			inv.Commit("tombstone")
+			inv.Return(false)
+			return false
+		}
+		dir := dirLeft
+		if x > cur.elt {
+			dir = dirRight
+		}
+		next := cur.child[dir]
+		if next == nil {
+			cur.mu.Unlock()
+			inv.Commit("not-found")
+			inv.Return(false)
+			return false
+		}
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+}
+
+// LookUp reports membership of x (observer).
+func (m *Multiset) LookUp(p *vyrd.Probe, x int) bool {
+	inv := p.Call("LookUp", x)
+	found := false
+	m.rootMu.Lock()
+	cur := m.root
+	if cur != nil {
+		cur.mu.Lock()
+	}
+	m.rootMu.Unlock()
+	for cur != nil {
+		if x == cur.elt {
+			found = cur.count > 0
+			cur.mu.Unlock()
+			break
+		}
+		dir := dirLeft
+		if x > cur.elt {
+			dir = dirRight
+		}
+		next := cur.child[dir]
+		if next == nil {
+			cur.mu.Unlock()
+			break
+		}
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+	inv.Return(found)
+	return found
+}
+
+// Compress performs one compression pass: it splices out one zero-count
+// leaf node, if it finds one, without modifying the multiset contents
+// (Section 7.2.3). It runs as the Compress pseudo-method; the unlink is its
+// commit action.
+func (m *Multiset) Compress(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	m.rootMu.Lock()
+	cur := m.root
+	if cur == nil {
+		m.rootMu.Unlock()
+		inv.Commit("empty")
+		inv.Return(nil)
+		return
+	}
+	cur.mu.Lock()
+	m.rootMu.Unlock()
+	// Hand-over-hand search for a zero-count leaf child of cur.
+	for {
+		for dir := 0; dir < 2; dir++ {
+			ch := cur.child[dir]
+			if ch == nil {
+				continue
+			}
+			ch.mu.Lock()
+			if ch.count == 0 && ch.child[0] == nil && ch.child[1] == nil {
+				cur.child[dir] = nil
+				inv.CommitWrite("splice", "unlink", cur.id, dir)
+				ch.mu.Unlock()
+				cur.mu.Unlock()
+				inv.Return(nil)
+				return
+			}
+			ch.mu.Unlock()
+		}
+		// Descend toward the subtree more likely to hold garbage: walk
+		// left-to-right deterministically.
+		var next *node
+		if cur.child[0] != nil {
+			next = cur.child[0]
+		} else if cur.child[1] != nil {
+			next = cur.child[1]
+		}
+		if next == nil {
+			cur.mu.Unlock()
+			inv.Commit("nothing")
+			inv.Return(nil)
+			return
+		}
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+}
+
+// Contents returns the current reachable multiset contents; for quiesced
+// tests only.
+func (m *Multiset) Contents() map[int]int {
+	out := make(map[int]int)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.count > 0 {
+			out[n.elt] += n.count
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	m.rootMu.Lock()
+	defer m.rootMu.Unlock()
+	walk(m.root)
+	return out
+}

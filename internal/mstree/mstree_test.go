@@ -1,0 +1,292 @@
+package mstree
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewMultiset(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestSequentialOperations(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	m := New(BugNone)
+	for _, x := range []int{5, 3, 8, 1, 5} { // note: 5 twice
+		if !m.Insert(p, x) {
+			t.Fatalf("Insert(%d) failed", x)
+		}
+	}
+	if !m.LookUp(p, 5) || !m.LookUp(p, 1) || m.LookUp(p, 9) {
+		t.Fatal("lookup results wrong")
+	}
+	if !m.Delete(p, 5) || !m.LookUp(p, 5) { // one copy remains
+		t.Fatal("multiplicity broken")
+	}
+	if !m.Delete(p, 5) || m.LookUp(p, 5) {
+		t.Fatal("second delete broken")
+	}
+	if m.Delete(p, 5) {
+		t.Fatal("delete of absent element succeeded")
+	}
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+func TestCompressSplicesTombstones(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	m := New(BugNone)
+	for _, x := range []int{5, 3, 8, 1, 4, 9} {
+		m.Insert(p, x)
+	}
+	// Delete leaves: 1, 4, 9 become tombstones (count 0).
+	for _, x := range []int{1, 4, 9} {
+		if !m.Delete(p, x) {
+			t.Fatalf("Delete(%d) failed", x)
+		}
+	}
+	wp := log.NewWorkerProbe()
+	for i := 0; i < 6; i++ {
+		m.Compress(wp)
+	}
+	contents := m.Contents()
+	want := map[int]int{5: 1, 3: 1, 8: 1}
+	if len(contents) != len(want) {
+		t.Fatalf("contents after compression: %v", contents)
+	}
+	for k, v := range want {
+		if contents[k] != v {
+			t.Fatalf("contents[%d] = %d", k, contents[k])
+		}
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("compression must not change the view:\n%s", rep)
+	}
+}
+
+// TestBugDeterministicLostInsert forces the lost-insert interleaving: T2
+// pauses between unlocking the parent and linking its node; T1 links a
+// different node under the same child pointer; T2 then overwrites it.
+func TestBugDeterministicLostInsert(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(BugUnlockParent)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	if !m.Insert(p1, 50) { // root
+		t.Fatal("root insert failed")
+	}
+
+	t2Paused := make(chan struct{})
+	t1Done := make(chan struct{})
+	var once sync.Once
+	m.RaceWindow = func(parentID int) {
+		once.Do(func() {
+			close(t2Paused)
+			<-t1Done
+		})
+	}
+
+	done := make(chan bool)
+	go func() { done <- m.Insert(p2, 30) }() // will hang in the window
+	<-t2Paused
+
+	m.RaceWindow = func(int) {}
+	if !m.Insert(p1, 20) { // T1 links 20 under root's left pointer
+		t.Fatal("T1 insert failed")
+	}
+	close(t1Done) // T2 overwrites root.left with its node for 30: 20 is lost
+	if !<-done {
+		t.Fatal("T2 insert failed")
+	}
+	log.Close()
+
+	// The implementation lost 20.
+	if _, ok := m.Contents()[20]; ok {
+		t.Fatal("interleaving did not lose the insert; test schedule broken")
+	}
+	rep := checkLog(t, log, vyrd.ModeView)
+	if rep.Ok() {
+		t.Fatalf("view refinement missed the lost insert:\n%s", rep)
+	}
+	if rep.First().Kind != vyrd.ViolationView {
+		t.Fatalf("expected a view violation, got %v", rep.First())
+	}
+}
+
+func TestReplayerReachability(t *testing.T) {
+	r := NewReplayer()
+	apply := func(op string, args ...event.Value) {
+		t.Helper()
+		if err := r.Apply(op, args); err != nil {
+			t.Fatalf("%s%v: %v", op, args, err)
+		}
+	}
+	apply("node-new", 1, 50)
+	apply("root", 1)
+	apply("node-new", 2, 30)
+	apply("link", 1, 0, 2)
+	if got := r.Counts(); got[50] != 1 || got[30] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+	// Overwriting the left child detaches node 2's subtree.
+	apply("node-new", 3, 20)
+	apply("link", 1, 0, 3)
+	if got := r.Counts(); got[30] != 0 || got[20] != 1 {
+		t.Fatalf("detach not tracked: %v", got)
+	}
+	// Unlink removes the contribution.
+	apply("unlink", 1, 0)
+	if got := r.Counts(); got[20] != 0 {
+		t.Fatalf("unlink not tracked: %v", got)
+	}
+	// Re-linking an entire detached subtree re-adds it.
+	apply("link", 1, 0, 2)
+	if got := r.Counts(); got[30] != 1 {
+		t.Fatalf("re-attach not tracked: %v", got)
+	}
+}
+
+func TestReplayerSubtreeDetach(t *testing.T) {
+	r := NewReplayer()
+	apply := func(op string, args ...event.Value) {
+		t.Helper()
+		if err := r.Apply(op, args); err != nil {
+			t.Fatalf("%s%v: %v", op, args, err)
+		}
+	}
+	// Build root(50) -> left 30 -> left 20, then detach 30's subtree: both
+	// 30 and 20 leave the view.
+	apply("node-new", 1, 50)
+	apply("root", 1)
+	apply("node-new", 2, 30)
+	apply("link", 1, 0, 2)
+	apply("node-new", 3, 20)
+	apply("link", 2, 0, 3)
+	if got := r.Counts(); got[20] != 1 {
+		t.Fatalf("setup: %v", got)
+	}
+	apply("unlink", 1, 0)
+	got := r.Counts()
+	if got[30] != 0 || got[20] != 0 || got[50] != 1 {
+		t.Fatalf("subtree detach: %v", got)
+	}
+}
+
+func TestReplayerOrderInvariant(t *testing.T) {
+	r := NewReplayer()
+	if err := r.Apply("node-new", []event.Value{1, 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("root", []event.Value{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("node-new", []event.Value{2, 70}); err != nil {
+		t.Fatal(err)
+	}
+	// Linking 70 as the LEFT child of 50 violates BST order.
+	if err := r.Apply("link", []event.Value{1, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Invariants(); err == nil {
+		t.Fatal("order violation not reported")
+	}
+}
+
+func TestReplayerRejectsMalformed(t *testing.T) {
+	r := NewReplayer()
+	bad := [][]any{
+		{"node-new", []event.Value{1}},
+		{"link", []event.Value{1, 0, 2}},    // unknown nodes
+		{"node-count", []event.Value{9, 1}}, // unknown node
+		{"root", []event.Value{9}},          // unknown node
+		{"frob", []event.Value{}},
+	}
+	for _, c := range bad {
+		if err := r.Apply(c[0].(string), c[1].([]event.Value)); err == nil {
+			t.Fatalf("accepted %v", c)
+		}
+	}
+	// Duplicate node id.
+	if err := r.Apply("node-new", []event.Value{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("node-new", []event.Value{1, 5}); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+func TestConcurrentCorrectWithCompression(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(BugNone)
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	wp := log.NewWorkerProbe()
+	go func() {
+		defer wwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Compress(wp)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int) {
+			defer wg.Done()
+			x := seed*97 + 13
+			for i := 0; i < 300; i++ {
+				x = (x*1103515245 + 12345) & 0x7fffffff
+				k := x % 10
+				switch x % 3 {
+				case 0:
+					m.Insert(p, k)
+				case 1:
+					m.Delete(p, k)
+				case 2:
+					m.LookUp(p, k)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	wwg.Wait()
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive, %v mode:\n%s", mode, rep)
+		}
+	}
+}

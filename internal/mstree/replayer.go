@@ -1,0 +1,223 @@
+package mstree
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the BST from the logged structural writes and
+// maintains viewI incrementally: the multiset of elements held by nodes
+// *reachable from the root* with positive counts. Reachability is the
+// crucial fidelity: the "unlocking parent before insertion" bug loses an
+// insert by overwriting a child pointer, which detaches the earlier node —
+// a replica that merely counted node-count writes would never see the loss.
+//
+// Attaching or detaching a subtree walks only that subtree, so maintenance
+// cost is proportional to the size of the structural change (Section 6.4's
+// incremental computation), not to the tree.
+type Replayer struct {
+	nodes  map[int]*rnode
+	rootID int
+	counts map[int]int
+	table  *view.Table
+	// orderViolations counts links that break the BST ordering locally
+	// (child on the wrong side of its parent), an invariant of the tree.
+	orderViolations int
+}
+
+type rnode struct {
+	id        int
+	elt       int
+	count     int
+	child     [2]int
+	reachable bool
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	r := &Replayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.nodes = make(map[int]*rnode)
+	r.rootID = 0
+	r.counts = make(map[int]int)
+	r.table = view.NewTable()
+	r.orderViolations = 0
+}
+
+// View implements core.Replayer. Keys are "e:<element>"; values are
+// multiplicities, matching the multiset specification's viewS.
+func (r *Replayer) View() *view.Table { return r.table }
+
+func (r *Replayer) countDelta(elt, delta int) {
+	if delta == 0 {
+		return
+	}
+	n := r.counts[elt] + delta
+	key := fmt.Sprintf("e:%d", elt)
+	if n <= 0 {
+		delete(r.counts, elt)
+		r.table.Delete(key)
+		return
+	}
+	r.counts[elt] = n
+	r.table.Set(key, fmt.Sprintf("%d", n))
+}
+
+// setReachable walks the subtree rooted at id, marking reachability and
+// adjusting the view contributions. A visited set guards against cycles a
+// buggy implementation might create.
+func (r *Replayer) setReachable(id int, reachable bool, visited map[int]bool) {
+	if id == 0 || visited[id] {
+		return
+	}
+	visited[id] = true
+	n := r.nodes[id]
+	if n == nil || n.reachable == reachable {
+		return
+	}
+	n.reachable = reachable
+	if n.count > 0 {
+		if reachable {
+			r.countDelta(n.elt, n.count)
+		} else {
+			r.countDelta(n.elt, -n.count)
+		}
+	}
+	r.setReachable(n.child[0], reachable, visited)
+	r.setReachable(n.child[1], reachable, visited)
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "node-new":
+		if len(args) != 2 {
+			return fmt.Errorf("mstree replay: node-new wants id and element, got %v", args)
+		}
+		id, ok1 := event.Int(args[0])
+		elt, ok2 := event.Int(args[1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("mstree replay: node-new non-integer args %v", args)
+		}
+		if _, exists := r.nodes[id]; exists {
+			return fmt.Errorf("mstree replay: duplicate node id %d", id)
+		}
+		r.nodes[id] = &rnode{id: id, elt: elt, count: 1}
+		return nil
+
+	case "root":
+		if len(args) != 1 {
+			return fmt.Errorf("mstree replay: root wants id, got %v", args)
+		}
+		id, ok := event.Int(args[0])
+		if !ok {
+			return fmt.Errorf("mstree replay: root non-integer arg %v", args)
+		}
+		if r.rootID != 0 {
+			r.setReachable(r.rootID, false, map[int]bool{})
+		}
+		r.rootID = id
+		if id != 0 {
+			if r.nodes[id] == nil {
+				return fmt.Errorf("mstree replay: root references unknown node %d", id)
+			}
+			r.setReachable(id, true, map[int]bool{})
+		}
+		return nil
+
+	case "link":
+		if len(args) != 3 {
+			return fmt.Errorf("mstree replay: link wants parent, dir, child, got %v", args)
+		}
+		pid, ok1 := event.Int(args[0])
+		dir, ok2 := event.Int(args[1])
+		cid, ok3 := event.Int(args[2])
+		if !ok1 || !ok2 || !ok3 || dir < 0 || dir > 1 {
+			return fmt.Errorf("mstree replay: link bad args %v", args)
+		}
+		parent := r.nodes[pid]
+		child := r.nodes[cid]
+		if parent == nil || child == nil {
+			return fmt.Errorf("mstree replay: link references unknown node (%d -> %d)", pid, cid)
+		}
+		// Local BST-order invariant.
+		if (dir == dirLeft && child.elt >= parent.elt) || (dir == dirRight && child.elt <= parent.elt) {
+			r.orderViolations++
+		}
+		if old := parent.child[dir]; old != 0 && parent.reachable {
+			// Overwriting a populated child pointer detaches the old
+			// subtree — this is exactly how the lost insert manifests.
+			r.setReachable(old, false, map[int]bool{})
+		}
+		parent.child[dir] = cid
+		if parent.reachable {
+			r.setReachable(cid, true, map[int]bool{})
+		}
+		return nil
+
+	case "unlink":
+		if len(args) != 2 {
+			return fmt.Errorf("mstree replay: unlink wants parent and dir, got %v", args)
+		}
+		pid, ok1 := event.Int(args[0])
+		dir, ok2 := event.Int(args[1])
+		if !ok1 || !ok2 || dir < 0 || dir > 1 {
+			return fmt.Errorf("mstree replay: unlink bad args %v", args)
+		}
+		parent := r.nodes[pid]
+		if parent == nil {
+			return fmt.Errorf("mstree replay: unlink references unknown node %d", pid)
+		}
+		if old := parent.child[dir]; old != 0 {
+			if parent.reachable {
+				r.setReachable(old, false, map[int]bool{})
+			}
+			parent.child[dir] = 0
+		}
+		return nil
+
+	case "node-count":
+		if len(args) != 2 {
+			return fmt.Errorf("mstree replay: node-count wants id and delta, got %v", args)
+		}
+		id, ok1 := event.Int(args[0])
+		delta, ok2 := event.Int(args[1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("mstree replay: node-count non-integer args %v", args)
+		}
+		n := r.nodes[id]
+		if n == nil {
+			return fmt.Errorf("mstree replay: node-count references unknown node %d", id)
+		}
+		n.count += delta
+		if n.reachable {
+			r.countDelta(n.elt, delta)
+		}
+		return nil
+	}
+	return fmt.Errorf("mstree replay: unknown op %q", op)
+}
+
+// Invariants implements core.Replayer: links must respect BST ordering.
+func (r *Replayer) Invariants() error {
+	if r.orderViolations > 0 {
+		return fmt.Errorf("%d link(s) violate the search-tree ordering", r.orderViolations)
+	}
+	return nil
+}
+
+// Counts exposes the reconstructed reachable element counts, for tests.
+func (r *Replayer) Counts() map[int]int {
+	out := make(map[int]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}

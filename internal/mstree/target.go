@@ -1,0 +1,41 @@
+package mstree
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the Multiset-BinaryTree to the random test harness
+// (Section 7.1), including its continuously running compression thread.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Multiset-BinaryTree",
+		New: func(log *vyrd.Log) harness.Instance {
+			m := New(bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Insert", Weight: 35, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.Insert(p, pick())
+					}},
+					{Name: "Delete", Weight: 25, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.Delete(p, pick())
+					}},
+					{Name: "LookUp", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.LookUp(p, pick())
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					m.Compress(p)
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewMultiset() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}

@@ -1,0 +1,333 @@
+// Package msvector is the paper's "Multiset-Vector" subject (Section 7.4.2):
+// a multiset with a growable, vector-based slot representation, per-slot
+// locking, and an internal compression thread that compacts valid elements
+// toward the front of the vector without changing the multiset contents.
+//
+// The injected bug is the one named in Table 1 — "Moving acquire in
+// FindSlot": the slot-emptiness check is performed before the slot lock is
+// acquired (the Fig. 5 race), so concurrent FindSlot calls can reserve the
+// same slot and overwrite each other's element.
+//
+// The package shares the multiset specification and log-replay vocabulary
+// with internal/multiset ("slot-elt", "slot-valid", "slot-clear",
+// "slot-move"), so the same Replayer reconstructs viewI for both.
+package msvector
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugFindSlotAcquire performs the emptiness check before acquiring the
+	// slot lock (Table 1: "Moving acquire in FindSlot").
+	BugFindSlotAcquire
+)
+
+type slot struct {
+	mu       sync.Mutex
+	elt      int
+	occupied bool
+	valid    bool
+}
+
+// Multiset is the vector-based multiset. The header lock guards the slot
+// vector itself (growth and compaction); per-slot locks guard slot contents.
+// Method scans hold the header read lock so the vector cannot be compacted
+// under them; reservations (occupied, not yet valid) pin a slot in place —
+// the compressor only relocates valid slots.
+type Multiset struct {
+	header sync.RWMutex
+	slots  []*slot
+	bug    Bug
+
+	// RaceWindow, when non-nil, runs in the buggy FindSlot between the
+	// unprotected emptiness check and the lock acquisition.
+	RaceWindow func(i int)
+}
+
+// New returns an empty multiset with the given initial capacity.
+func New(initialCap int, bug Bug) *Multiset {
+	m := &Multiset{bug: bug}
+	m.slots = make([]*slot, 0, initialCap)
+	for i := 0; i < initialCap; i++ {
+		m.slots = append(m.slots, &slot{})
+	}
+	return m
+}
+
+// Len reports the current vector length (for tests).
+func (m *Multiset) Len() int {
+	m.header.RLock()
+	defer m.header.RUnlock()
+	return len(m.slots)
+}
+
+// grow appends fresh slots, doubling the vector, and returns the index of
+// the first new slot. Caller must not hold the header lock.
+func (m *Multiset) grow() int {
+	m.header.Lock()
+	defer m.header.Unlock()
+	first := len(m.slots)
+	n := len(m.slots)
+	if n == 0 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		m.slots = append(m.slots, &slot{})
+	}
+	return first
+}
+
+// findSlot reserves a slot for x and returns its index. The vector grows on
+// demand, so reservation only fails pathologically; -1 is still possible
+// under extreme contention and is treated as an unsuccessful termination.
+func (m *Multiset) findSlot(p *vyrd.Probe, x int) int {
+	for attempt := 0; attempt < 4; attempt++ {
+		m.header.RLock()
+		n := len(m.slots)
+		for i := 0; i < n; i++ {
+			s := m.slots[i]
+			if m.bug == BugFindSlotAcquire {
+				if !s.occupied { // BUG: the slot should be locked here
+					if m.RaceWindow != nil {
+						m.RaceWindow(i)
+					} else {
+						runtime.Gosched() // model preemption in the race window
+					}
+					s.mu.Lock()
+					s.occupied = true
+					s.elt = x
+					p.Write("slot-elt", i, x)
+					s.mu.Unlock()
+					m.header.RUnlock()
+					return i
+				}
+				continue
+			}
+			s.mu.Lock()
+			if !s.occupied {
+				s.occupied = true
+				s.elt = x
+				p.Write("slot-elt", i, x)
+				s.mu.Unlock()
+				m.header.RUnlock()
+				return i
+			}
+			s.mu.Unlock()
+		}
+		m.header.RUnlock()
+		m.grow()
+	}
+	return -1
+}
+
+func (m *Multiset) release(p *vyrd.Probe, i int) {
+	m.header.RLock()
+	if i >= len(m.slots) {
+		m.header.RUnlock()
+		return
+	}
+	s := m.slots[i]
+	s.mu.Lock()
+	s.occupied = false
+	s.valid = false
+	p.Write("slot-clear", i)
+	s.mu.Unlock()
+	m.header.RUnlock()
+}
+
+// Insert adds one copy of x.
+func (m *Multiset) Insert(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Insert", x)
+	i := m.findSlot(p, x)
+	if i == -1 {
+		inv.Commit("full")
+		inv.Return(false)
+		return false
+	}
+	m.header.RLock()
+	if i >= len(m.slots) {
+		// Only reachable under the injected FindSlot bug: the reservation
+		// was stolen, deleted and compacted away. The real system would
+		// crash here; model it as an exceptional (unsuccessful) termination.
+		m.header.RUnlock()
+		inv.Commit("lost-slot")
+		inv.Return(event.Exceptional{Reason: "slot reservation lost"})
+		return false
+	}
+	s := m.slots[i]
+	s.mu.Lock()
+	s.valid = true
+	inv.CommitWrite("validated", "slot-valid", i, true)
+	s.mu.Unlock()
+	m.header.RUnlock()
+	inv.Return(true)
+	return true
+}
+
+// InsertPair adds one copy of each of x and y, or neither.
+func (m *Multiset) InsertPair(p *vyrd.Probe, x, y int) bool {
+	inv := p.Call("InsertPair", x, y)
+	i := m.findSlot(p, x)
+	if i == -1 {
+		inv.Commit("full-x")
+		inv.Return(false)
+		return false
+	}
+	j := m.findSlot(p, y)
+	if j == -1 {
+		m.release(p, i)
+		inv.Commit("full-y")
+		inv.Return(false)
+		return false
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	m.header.RLock()
+	if hi >= len(m.slots) {
+		// See Insert: a stolen reservation was compacted away (injected
+		// bug only); terminate exceptionally without touching state.
+		m.header.RUnlock()
+		inv.Commit("lost-slot")
+		inv.Return(event.Exceptional{Reason: "slot reservation lost"})
+		return false
+	}
+	inv.BeginCommitBlock()
+	m.slots[lo].mu.Lock()
+	if hi != lo {
+		m.slots[hi].mu.Lock()
+	}
+	m.slots[i].valid = true
+	p.Write("slot-valid", i, true)
+	m.slots[j].valid = true
+	p.Write("slot-valid", j, true)
+	inv.Commit("pair")
+	if hi != lo {
+		m.slots[hi].mu.Unlock()
+	}
+	m.slots[lo].mu.Unlock()
+	inv.EndCommitBlock()
+	m.header.RUnlock()
+	inv.Return(true)
+	return true
+}
+
+// Delete removes one copy of x if found; false ("not found") is always a
+// permitted outcome.
+func (m *Multiset) Delete(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Delete", x)
+	m.header.RLock()
+	for i, s := range m.slots {
+		s.mu.Lock()
+		if s.occupied && s.valid && s.elt == x {
+			inv.BeginCommitBlock()
+			s.valid = false
+			p.Write("slot-valid", i, false)
+			s.occupied = false
+			p.Write("slot-clear", i)
+			inv.Commit("deleted")
+			inv.EndCommitBlock()
+			s.mu.Unlock()
+			m.header.RUnlock()
+			inv.Return(true)
+			return true
+		}
+		s.mu.Unlock()
+	}
+	m.header.RUnlock()
+	inv.Commit("not-found")
+	inv.Return(false)
+	return false
+}
+
+// LookUp reports membership of x (observer).
+func (m *Multiset) LookUp(p *vyrd.Probe, x int) bool {
+	inv := p.Call("LookUp", x)
+	found := false
+	m.header.RLock()
+	for _, s := range m.slots {
+		s.mu.Lock()
+		hit := s.occupied && s.valid && s.elt == x
+		s.mu.Unlock()
+		if hit {
+			found = true
+			break
+		}
+	}
+	m.header.RUnlock()
+	inv.Return(found)
+	return found
+}
+
+// Compress performs one compaction pass: valid elements are moved into
+// empty slots closer to the front and the empty tail is trimmed. It runs
+// under the exclusive header lock, so the whole pass is atomic; the moves
+// are logged inside a commit block of the Compress pseudo-method and must
+// leave the multiset contents — the view — unchanged (Section 7.2.3).
+func (m *Multiset) Compress(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	m.header.Lock()
+	inv.BeginCommitBlock()
+	dst := 0
+	for src := 0; src < len(m.slots); src++ {
+		s := m.slots[src]
+		if !s.occupied {
+			continue
+		}
+		if !s.valid {
+			// A reservation in flight pins its own index; leave it, but
+			// later valid slots may still move into free slots before it.
+			continue
+		}
+		// Advance dst to the first free slot before src.
+		for dst < src && m.slots[dst].occupied {
+			dst++
+		}
+		if dst >= src {
+			continue
+		}
+		d := m.slots[dst]
+		d.elt, d.occupied, d.valid = s.elt, true, true
+		s.elt, s.occupied, s.valid = 0, false, false
+		p.Write("slot-move", src, dst)
+		dst++
+	}
+	// Trim the empty tail, keeping a small minimum capacity.
+	last := len(m.slots)
+	for last > 4 && !m.slots[last-1].occupied {
+		last--
+	}
+	m.slots = m.slots[:last]
+	inv.Commit("compacted")
+	inv.EndCommitBlock()
+	m.header.Unlock()
+	inv.Return(nil)
+}
+
+// Contents returns the current multiset contents; for quiesced tests only.
+func (m *Multiset) Contents() map[int]int {
+	out := make(map[int]int)
+	m.header.RLock()
+	defer m.header.RUnlock()
+	for _, s := range m.slots {
+		s.mu.Lock()
+		if s.occupied && s.valid {
+			out[s.elt]++
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

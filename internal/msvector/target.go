@@ -1,0 +1,47 @@
+package msvector
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/multiset"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the Multiset-Vector to the random test harness
+// (Section 7.1), including its continuously running compression thread.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Multiset-Vector",
+		New: func(log *vyrd.Log) harness.Instance {
+			m := New(16, bug)
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Insert", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.Insert(p, pick())
+					}},
+					{Name: "InsertPair", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.InsertPair(p, pick(), pick())
+					}},
+					{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.Delete(p, pick())
+					}},
+					{Name: "LookUp", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						m.LookUp(p, pick())
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					m.Compress(p)
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec: func() core.Spec { return spec.NewMultiset() },
+		// The slot-array replayer from internal/multiset understands this
+		// package's log vocabulary, including compaction's "slot-move".
+		NewReplayer: func() core.Replayer { return multiset.NewReplayer() },
+	}
+}

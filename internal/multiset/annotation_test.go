@@ -1,0 +1,162 @@
+package multiset
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Section 4.1: "The runtime refinement check could fail either because the
+// implementation truly does not refine the specification or because the
+// witness interleaving obtained using the commit actions is wrong.
+// Comparing the witness interleaving with the implementation trace reveals
+// which one is the case."
+//
+// These tests reproduce that debugging workflow: a CORRECT multiset whose
+// Insert is annotated at the wrong action — the slot reservation in
+// FindSlot, before the valid bit is set — produces a refinement violation,
+// because the witness interleaving claims the element is visible earlier
+// than it actually is. Moving the annotation to the visibility point (the
+// valid-bit write) makes the same schedule pass.
+
+// misannotatedInsert is Insert with the commit action placed at the slot
+// reservation instead of the validation — correct code, wrong annotation.
+func misannotatedInsert(m *Multiset, p *vyrd.Probe, x int, pause func()) bool {
+	inv := p.Call("Insert", x)
+	// Reserve a slot, committing there (the wrong place).
+	i := -1
+	for idx := range m.slots {
+		s := &m.slots[idx]
+		s.mu.Lock()
+		if !s.occupied {
+			s.occupied = true
+			s.elt = x
+			p.Write("slot-elt", idx, x)
+			inv.Commit("reserved") // WRONG: the element is not yet visible
+			s.mu.Unlock()
+			i = idx
+			break
+		}
+		s.mu.Unlock()
+	}
+	if i == -1 {
+		inv.Commit("full")
+		inv.Return(false)
+		return false
+	}
+	if pause != nil {
+		pause()
+	}
+	s := &m.slots[i]
+	s.mu.Lock()
+	s.valid = true
+	p.Write("slot-valid", i, true)
+	s.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// annotatedInsert is the correctly annotated counterpart, with the same
+// pause point for an identical schedule.
+func annotatedInsert(m *Multiset, p *vyrd.Probe, x int, pause func()) bool {
+	inv := p.Call("Insert", x)
+	i := m.findSlot(p, x)
+	if i == -1 {
+		inv.Commit("full")
+		inv.Return(false)
+		return false
+	}
+	if pause != nil {
+		pause()
+	}
+	s := &m.slots[i]
+	s.mu.Lock()
+	s.valid = true
+	inv.CommitWrite("validated", "slot-valid", i, true)
+	s.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// runAnnotationSchedule drives the deterministic schedule: the inserter
+// pauses between its reservation and its validation; a concurrent LookUp
+// observes the element as absent in that window.
+func runAnnotationSchedule(t *testing.T, insert func(*Multiset, *vyrd.Probe, int, func()) bool) *vyrd.Log {
+	t.Helper()
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(8, BugNone)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	pause := func() {
+		once.Do(func() {
+			close(paused)
+			<-resume
+		})
+	}
+
+	done := make(chan bool)
+	go func() { done <- insert(m, p1, 5, pause) }()
+	<-paused
+	// The element is reserved but not valid: a lookup correctly misses it.
+	if m.LookUp(p2, 5) {
+		t.Fatal("element visible before validation; implementation broken")
+	}
+	close(resume)
+	if !<-done {
+		t.Fatal("insert failed")
+	}
+	log.Close()
+	return log
+}
+
+func TestMisannotatedCommitFailsCorrectCode(t *testing.T) {
+	log := runAnnotationSchedule(t, misannotatedInsert)
+	rep, err := vyrd.Check(log, spec.NewMultiset(),
+		vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("the misannotated commit should produce a (spurious) violation")
+	}
+	// The witness view is the diagnosis aid: it shows the Insert committed
+	// before the LookUp's window, revealing the annotation — not the
+	// implementation — as the culprit.
+	var buf bytes.Buffer
+	vyrd.WriteWitness(&buf, log.Snapshot())
+	out := buf.String()
+	if !strings.Contains(out, "reserved") {
+		t.Fatalf("witness dump does not show the suspect commit label:\n%s", out)
+	}
+	insertPos := strings.Index(out, "Insert[5]")
+	lookupPos := strings.Index(out, "LookUp[5]")
+	if insertPos < 0 || lookupPos < 0 || insertPos > lookupPos {
+		t.Fatalf("witness should order the (mis)committed Insert before the LookUp:\n%s", out)
+	}
+}
+
+func TestProperlyAnnotatedCommitPassesSameSchedule(t *testing.T) {
+	log := runAnnotationSchedule(t, annotatedInsert)
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		opts := []vyrd.Option{vyrd.WithMode(mode)}
+		if mode == vyrd.ModeView {
+			opts = append(opts, vyrd.WithReplayer(NewReplayer()))
+		}
+		rep, err := vyrd.Check(log, spec.NewMultiset(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("correct annotation flagged in %v mode:\n%s", mode, rep)
+		}
+	}
+}

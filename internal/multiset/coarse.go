@@ -1,0 +1,191 @@
+package multiset
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+	"repro/vyrd"
+)
+
+// This file implements the coarse-grained logging alternative of
+// Section 6.2: instead of recording every shared-variable write ("slot-elt",
+// "slot-valid", ...), each mutator logs a single data-structure-level entry
+// describing its abstract effect ("ms-add x", "ms-pair x y", "ms-del x").
+// Coarse logging is cheaper — and the paper's Section 7.2.1 observation is
+// that it can be *too* coarse: the Fig. 5 FindSlot bug corrupts a slot
+// another operation reserved, which fine-grained logging exposes to the
+// replica and coarse logging hides (the coarse entry records the intended
+// effect, not the observed slot state). TestCoarseLoggingMissesFindSlotBug
+// demonstrates exactly that trade-off.
+
+// Coarse wraps a Multiset with coarse-grained instrumentation. The
+// underlying implementation (and its injected bug) is unchanged; only the
+// logging granularity differs.
+type Coarse struct {
+	*Multiset
+}
+
+// NewCoarse returns a coarsely instrumented multiset.
+func NewCoarse(n int, bug Bug) *Coarse {
+	return &Coarse{Multiset: New(n, bug)}
+}
+
+// Insert adds one copy of x, logging its abstract effect only.
+func (m *Coarse) Insert(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Insert", x)
+	i := m.findSlot(nil, x) // slot writes are not logged at this granularity
+	if i == -1 {
+		inv.Commit("full")
+		inv.Return(false)
+		return false
+	}
+	s := &m.slots[i]
+	s.mu.Lock()
+	s.valid = true
+	inv.CommitWrite("validated", "ms-add", x)
+	s.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// InsertPair adds one copy of each of x and y, or neither.
+func (m *Coarse) InsertPair(p *vyrd.Probe, x, y int) bool {
+	inv := p.Call("InsertPair", x, y)
+	i := m.findSlot(nil, x)
+	if i == -1 {
+		inv.Commit("full-x")
+		inv.Return(false)
+		return false
+	}
+	j := m.findSlot(nil, y)
+	if j == -1 {
+		m.release(nil, i)
+		inv.Commit("full-y")
+		inv.Return(false)
+		return false
+	}
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	m.slots[lo].mu.Lock()
+	if hi != lo {
+		m.slots[hi].mu.Lock()
+	}
+	m.slots[i].valid = true
+	m.slots[j].valid = true
+	inv.CommitWrite("pair", "ms-pair", x, y)
+	if hi != lo {
+		m.slots[hi].mu.Unlock()
+	}
+	m.slots[lo].mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// Delete removes one copy of x if found.
+func (m *Coarse) Delete(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Delete", x)
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if s.occupied && s.valid && s.elt == x {
+			s.valid = false
+			s.occupied = false
+			inv.CommitWrite("deleted", "ms-del", x)
+			s.mu.Unlock()
+			inv.Return(true)
+			return true
+		}
+		s.mu.Unlock()
+	}
+	inv.Commit("not-found")
+	inv.Return(false)
+	return false
+}
+
+// LookUp reports membership (observer; identical to the fine-grained one).
+func (m *Coarse) LookUp(p *vyrd.Probe, x int) bool {
+	inv := p.Call("LookUp", x)
+	found := false
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if s.occupied && s.valid && s.elt == x {
+			found = true
+		}
+		s.mu.Unlock()
+		if found {
+			break
+		}
+	}
+	inv.Return(found)
+	return found
+}
+
+// CoarseReplayer reconstructs the multiset from coarse entries: the replica
+// is the abstract counts directly, with no slot structure — which is
+// precisely why slot-level corruption is invisible to it.
+type CoarseReplayer struct {
+	counts map[int]int
+	table  *view.Table
+}
+
+// NewCoarseReplayer returns an empty coarse replica.
+func NewCoarseReplayer() *CoarseReplayer {
+	r := &CoarseReplayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *CoarseReplayer) Reset() {
+	r.counts = make(map[int]int)
+	r.table = view.NewTable()
+}
+
+// View implements core.Replayer.
+func (r *CoarseReplayer) View() *view.Table { return r.table }
+
+// Invariants implements core.Replayer: the coarse replica has no internal
+// structure to check.
+func (r *CoarseReplayer) Invariants() error { return nil }
+
+func (r *CoarseReplayer) bump(x, delta int) {
+	n := r.counts[x] + delta
+	key := fmt.Sprintf("e:%d", x)
+	if n <= 0 {
+		delete(r.counts, x)
+		r.table.Delete(key)
+		return
+	}
+	r.counts[x] = n
+	r.table.Set(key, fmt.Sprintf("%d", n))
+}
+
+// Apply implements core.Replayer.
+func (r *CoarseReplayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "ms-add":
+		if len(args) != 1 {
+			return fmt.Errorf("coarse replay: ms-add wants one element, got %v", args)
+		}
+		r.bump(event.MustInt(args[0]), 1)
+		return nil
+	case "ms-pair":
+		if len(args) != 2 {
+			return fmt.Errorf("coarse replay: ms-pair wants two elements, got %v", args)
+		}
+		r.bump(event.MustInt(args[0]), 1)
+		r.bump(event.MustInt(args[1]), 1)
+		return nil
+	case "ms-del":
+		if len(args) != 1 {
+			return fmt.Errorf("coarse replay: ms-del wants one element, got %v", args)
+		}
+		r.bump(event.MustInt(args[0]), -1)
+		return nil
+	}
+	return fmt.Errorf("coarse replay: unknown op %q", op)
+}

@@ -1,0 +1,275 @@
+// Package multiset implements the paper's running example (Section 2): a
+// concurrently-accessed multiset of integers stored in an array of slots
+// with per-slot locks and valid bits (Figs. 2 and 4), instrumented for VYRD
+// refinement checking.
+//
+// Membership semantics: an element x is in the multiset iff some slot holds
+// x with its valid bit set. FindSlot reserves a slot (occupied, not yet
+// valid); the commit action of Insert/InsertPair is the setting of the valid
+// bit(s), which is where the modified abstract state becomes visible to
+// other threads (Section 2.1).
+//
+// The Bug parameter injects the buggy FindSlot of Fig. 5: the emptiness test
+// is performed before acquiring the slot lock, so two concurrent FindSlot
+// calls can both reserve the same slot and one element overwrites the other
+// (the Fig. 6 refinement violation).
+package multiset
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugFindSlotAcquire moves the slot-emptiness check before the lock
+	// acquisition (Fig. 5: "A[i] should be locked").
+	BugFindSlotAcquire
+	// BugDirtyPairVisibility sets InsertPair's two valid bits without
+	// holding the slot locks, breaking the atomicity of the commit block
+	// (Section 5.2's scenario: another thread can observe the dirty state
+	// where x is in the multiset but y is not yet). The instrumentation
+	// still declares the block, so the checker's replica stays atomic —
+	// the discrepancy surfaces through observers that see the dirty state
+	// the witness interleaving cannot produce.
+	BugDirtyPairVisibility
+)
+
+type slot struct {
+	mu       sync.Mutex
+	elt      int
+	occupied bool
+	valid    bool
+}
+
+// Multiset is the array-based implementation. All public methods take the
+// calling goroutine's probe; a nil probe runs the method uninstrumented.
+type Multiset struct {
+	slots []slot
+	bug   Bug
+
+	// RaceWindow, when non-nil, is invoked in the buggy FindSlot between
+	// the unprotected emptiness check and the lock acquisition. Tests use
+	// it to force the Fig. 6 interleaving deterministically.
+	RaceWindow func(i int)
+}
+
+// New returns an empty multiset with capacity n slots.
+func New(n int, bug Bug) *Multiset {
+	return &Multiset{slots: make([]slot, n), bug: bug}
+}
+
+// Cap returns the slot capacity.
+func (m *Multiset) Cap() int { return len(m.slots) }
+
+// findSlot looks for an available slot for element x, reserves it and
+// returns its index, or returns -1 if the array is full (Fig. 2). The
+// reservation write is logged as a plain (non-commit) write: a reserved
+// slot is not yet valid, so it is outside the view's membership support.
+func (m *Multiset) findSlot(p *vyrd.Probe, x int) int {
+	if m.bug == BugFindSlotAcquire {
+		return m.findSlotBuggy(p, x)
+	}
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if !s.occupied {
+			s.occupied = true
+			s.elt = x
+			p.Write("slot-elt", i, x)
+			s.mu.Unlock()
+			return i
+		}
+		s.mu.Unlock()
+	}
+	return -1
+}
+
+// findSlotBuggy is Fig. 5: the emptiness check happens without holding the
+// slot lock, so the subsequent reservation can overwrite another thread's.
+func (m *Multiset) findSlotBuggy(p *vyrd.Probe, x int) int {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.occupied { // BUG: A[i] should be locked for this check
+			if m.RaceWindow != nil {
+				m.RaceWindow(i)
+			} else {
+				// Model OS preemption inside the race window: without a
+				// yield, Go's cooperative scheduling on one core would make
+				// the unprotected check effectively atomic and the injected
+				// race unschedulable.
+				runtime.Gosched()
+			}
+			s.mu.Lock()
+			s.occupied = true
+			s.elt = x
+			p.Write("slot-elt", i, x)
+			s.mu.Unlock()
+			return i
+		}
+	}
+	return -1
+}
+
+// release frees a previously reserved (not yet valid) slot, used by the
+// failure path of InsertPair (Fig. 4 line 6).
+func (m *Multiset) release(p *vyrd.Probe, i int) {
+	s := &m.slots[i]
+	s.mu.Lock()
+	s.occupied = false
+	s.valid = false
+	p.Write("slot-clear", i)
+	s.mu.Unlock()
+}
+
+// Insert adds one copy of x. It returns false (an unsuccessful termination,
+// permitted by the specification) when no slot is available.
+func (m *Multiset) Insert(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Insert", x)
+	i := m.findSlot(p, x)
+	if i == -1 {
+		inv.Commit("full")
+		inv.Return(false)
+		return false
+	}
+	s := &m.slots[i]
+	s.mu.Lock()
+	s.valid = true
+	inv.CommitWrite("validated", "slot-valid", i, true)
+	s.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// InsertPair adds one copy of each of x and y, or neither (Fig. 4). The
+// valid bits of both slots are set inside the commit block of lines 9-14;
+// the commit action is the end of that block (Section 2.1).
+func (m *Multiset) InsertPair(p *vyrd.Probe, x, y int) bool {
+	inv := p.Call("InsertPair", x, y)
+	i := m.findSlot(p, x)
+	if i == -1 {
+		inv.Commit("full-x")
+		inv.Return(false)
+		return false
+	}
+	j := m.findSlot(p, y)
+	if j == -1 {
+		m.release(p, i)
+		inv.Commit("full-y")
+		inv.Return(false)
+		return false
+	}
+	if m.bug == BugDirtyPairVisibility {
+		// BUG: the valid bits are set without the slot locks (and hence
+		// without commit-block atomicity); between the two writes the
+		// multiset exposes a state containing x but not y.
+		inv.BeginCommitBlock()
+		m.slots[i].valid = true
+		p.Write("slot-valid", i, true)
+		if m.RaceWindow != nil {
+			m.RaceWindow(j)
+		} else {
+			runtime.Gosched() // model preemption between the two writes
+		}
+		m.slots[j].valid = true
+		p.Write("slot-valid", j, true)
+		inv.Commit("pair")
+		inv.EndCommitBlock()
+		inv.Return(true)
+		return true
+	}
+
+	// Lock both reserved slots in index order. (Fig. 4 locks A[i] then
+	// A[j]; index order additionally keeps the locking deadlock-free even
+	// when the injected FindSlot bug hands two threads the same slot.)
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	inv.BeginCommitBlock()
+	m.slots[lo].mu.Lock()
+	if hi != lo {
+		m.slots[hi].mu.Lock()
+	}
+	m.slots[i].valid = true
+	p.Write("slot-valid", i, true)
+	m.slots[j].valid = true
+	p.Write("slot-valid", j, true)
+	inv.Commit("pair")
+	if hi != lo {
+		m.slots[hi].mu.Unlock()
+	}
+	m.slots[lo].mu.Unlock()
+	inv.EndCommitBlock()
+	inv.Return(true)
+	return true
+}
+
+// Delete removes one copy of x if a valid slot holding x is found. A false
+// return ("not found") is always permitted by the specification: the scan
+// may correctly miss an element inserted behind its front.
+func (m *Multiset) Delete(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Delete", x)
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if s.occupied && s.valid && s.elt == x {
+			inv.BeginCommitBlock()
+			s.valid = false
+			p.Write("slot-valid", i, false)
+			s.occupied = false
+			p.Write("slot-clear", i)
+			inv.Commit("deleted")
+			inv.EndCommitBlock()
+			s.mu.Unlock()
+			inv.Return(true)
+			return true
+		}
+		s.mu.Unlock()
+	}
+	inv.Commit("not-found")
+	inv.Return(false)
+	return false
+}
+
+// LookUp reports whether x is in the multiset. It is an observer: only its
+// call and return actions are logged (Section 4.3).
+func (m *Multiset) LookUp(p *vyrd.Probe, x int) bool {
+	inv := p.Call("LookUp", x)
+	found := false
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if s.occupied && s.valid && s.elt == x {
+			found = true
+		}
+		s.mu.Unlock()
+		if found {
+			break
+		}
+	}
+	inv.Return(found)
+	return found
+}
+
+// Contents returns the current multiset contents as element counts. It is
+// not linearizable with concurrent mutators; tests use it on quiesced
+// instances.
+func (m *Multiset) Contents() map[int]int {
+	out := make(map[int]int)
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		if s.occupied && s.valid {
+			out[s.elt]++
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

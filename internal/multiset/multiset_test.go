@@ -1,0 +1,347 @@
+package multiset
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewMultiset(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+// TestSequentialOperations drives the full method surface single-threaded
+// and checks both refinement modes pass.
+func TestSequentialOperations(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	m := New(8, BugNone)
+
+	if !m.Insert(p, 3) {
+		t.Fatal("Insert(3) failed on an empty multiset")
+	}
+	if !m.InsertPair(p, 4, 5) {
+		t.Fatal("InsertPair(4,5) failed")
+	}
+	if !m.LookUp(p, 3) || !m.LookUp(p, 4) || !m.LookUp(p, 5) {
+		t.Fatal("inserted elements not found")
+	}
+	if m.LookUp(p, 9) {
+		t.Fatal("phantom element found")
+	}
+	if !m.Delete(p, 4) {
+		t.Fatal("Delete(4) failed")
+	}
+	if m.LookUp(p, 4) {
+		t.Fatal("deleted element still found")
+	}
+	if m.Delete(p, 4) {
+		t.Fatal("second Delete(4) succeeded")
+	}
+	log.Close()
+
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+// TestCapacityExhaustion: inserts beyond capacity fail and the failures
+// refine the spec (failure leaves the state unchanged).
+func TestCapacityExhaustion(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	m := New(2, BugNone)
+
+	if !m.Insert(p, 1) || !m.Insert(p, 2) {
+		t.Fatal("initial inserts failed")
+	}
+	if m.Insert(p, 3) {
+		t.Fatal("insert into a full multiset succeeded")
+	}
+	if m.InsertPair(p, 4, 5) {
+		t.Fatal("pair insert into a full multiset succeeded")
+	}
+	if !m.Delete(p, 1) {
+		t.Fatal("delete failed")
+	}
+	// One free slot: InsertPair must fail and release its reservation.
+	if m.InsertPair(p, 6, 7) {
+		t.Fatal("pair insert with one free slot succeeded")
+	}
+	if !m.Insert(p, 8) {
+		t.Fatal("slot was not released by the failing InsertPair")
+	}
+	log.Close()
+
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+// TestFig6Deterministic forces the Fig. 6 overwrite with a fully
+// deterministic schedule by driving the two threads through explicit
+// channels keyed on the racing slot.
+func TestFig6Deterministic(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(8, BugFindSlotAcquire)
+
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	t2Entered := make(chan struct{})
+	t1Done := make(chan struct{})
+	var gateOnce sync.Once
+
+	// T2 announces it is inside the race window for slot 0 and waits for T1
+	// to finish its whole InsertPair(5,6).
+	m.RaceWindow = func(i int) {
+		if i == 0 {
+			gateOnce.Do(func() {
+				close(t2Entered)
+				<-t1Done
+			})
+		}
+	}
+
+	done := make(chan bool)
+	go func() {
+		done <- m.InsertPair(p2, 7, 8)
+	}()
+
+	<-t2Entered // T2 has read slot 0 as empty and is paused.
+	m.RaceWindow = nil
+	if !m.InsertPair(p1, 5, 6) { // T1 inserts 5 at slot 0, 6 at slot 1.
+		t.Fatal("T1 InsertPair failed")
+	}
+	close(t1Done) // T2 overwrites slot 0 with 7, then reserves slot 2 for 8.
+	if !<-done {
+		t.Fatal("T2 InsertPair failed")
+	}
+	log.Close()
+
+	// View refinement detects the lost element 5 at T2's commit.
+	rep := checkLog(t, log, vyrd.ModeView)
+	if rep.Ok() {
+		t.Fatalf("view refinement missed the Fig. 6 bug:\n%s\nlog:\n%v", rep, log.Snapshot())
+	}
+	v := rep.First()
+	if v.Kind != vyrd.ViolationView {
+		t.Fatalf("expected a view violation, got %v", v)
+	}
+
+	// I/O refinement alone cannot see it on this trace (no observers ran).
+	ioRep := checkLog(t, log, vyrd.ModeIO)
+	if !ioRep.Ok() {
+		t.Fatalf("I/O refinement unexpectedly flagged the observer-free trace:\n%s", ioRep)
+	}
+}
+
+// TestFig6IODetectionViaLookup extends the deterministic schedule with the
+// paper's LookUp(5): I/O refinement then catches the bug as an observer
+// violation.
+func TestFig6IODetectionViaLookup(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelIO)
+	m := New(8, BugFindSlotAcquire)
+
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	t2Entered := make(chan struct{})
+	t1Done := make(chan struct{})
+	var gateOnce sync.Once
+	m.RaceWindow = func(i int) {
+		if i == 0 {
+			gateOnce.Do(func() {
+				close(t2Entered)
+				<-t1Done
+			})
+		}
+	}
+
+	done := make(chan bool)
+	go func() { done <- m.InsertPair(p2, 7, 8) }()
+	<-t2Entered
+	m.RaceWindow = nil
+	if !m.InsertPair(p1, 5, 6) {
+		t.Fatal("T1 InsertPair failed")
+	}
+	close(t1Done)
+	if !<-done {
+		t.Fatal("T2 InsertPair failed")
+	}
+
+	// The spec state is {5,6,7,8}; the implementation lost 5.
+	if m.LookUp(p1, 5) {
+		t.Fatal("implementation still contains 5; the bug did not trigger")
+	}
+	log.Close()
+
+	rep := checkLog(t, log, vyrd.ModeIO)
+	if rep.Ok() {
+		t.Fatalf("I/O refinement missed the LookUp(5) discrepancy:\n%s", rep)
+	}
+	if rep.First().Kind != vyrd.ViolationObserver {
+		t.Fatalf("expected an observer violation, got %v", rep.First())
+	}
+}
+
+// TestConcurrentCorrectPassesBothModes hammers the correct implementation
+// with concurrent threads; no violations may be reported (false-positive
+// freedom under contention).
+func TestConcurrentCorrectPassesBothModes(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(64, BugNone)
+
+	const threads = 8
+	const opsPerThread = 300
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int) {
+			defer wg.Done()
+			x := seed*31 + 7
+			for i := 0; i < opsPerThread; i++ {
+				x = (x*1103515245 + 12345) & 0x7fffffff
+				key := x % 16
+				switch x % 5 {
+				case 0:
+					m.Insert(p, key)
+				case 1:
+					m.InsertPair(p, key, (key+1)%16)
+				case 2:
+					m.Delete(p, key)
+				default:
+					m.LookUp(p, key)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	log.Close()
+
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive in %v mode:\n%s", mode, rep)
+		}
+	}
+}
+
+// TestReplayerMatchesImplementation replays a recorded run and compares the
+// replica's reconstructed counts against the quiesced implementation.
+func TestReplayerMatchesImplementation(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	m := New(32, BugNone)
+	for i := 0; i < 40; i++ {
+		switch i % 4 {
+		case 0, 1:
+			m.Insert(p, i%7)
+		case 2:
+			m.InsertPair(p, i%7, (i+1)%7)
+		case 3:
+			m.Delete(p, i%7)
+		}
+	}
+	log.Close()
+
+	r := NewReplayer()
+	for _, e := range log.Snapshot() {
+		if e.Kind == event.KindWrite {
+			if err := r.Apply(e.Method, e.Args); err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+		}
+		if e.WOp != "" {
+			if err := r.Apply(e.WOp, e.WArgs); err != nil {
+				t.Fatalf("replay commit-write: %v", err)
+			}
+		}
+	}
+	want := m.Contents()
+	got := r.Counts()
+	if len(want) != len(got) {
+		t.Fatalf("replica counts differ: got %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("replica count for %d: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestBugDirtyPairVisibility forces the Section 5.2 dirty-state scenario:
+// the buggy InsertPair sets its two valid bits without commit-block
+// atomicity, and a concurrent LookUp observes element x while the pair's
+// commit has not yet happened. The observer's return value is valid at no
+// state of its window, so I/O refinement flags it — demonstrating that the
+// checker detects violations of the commit-block atomicity assumption
+// rather than being fooled by them.
+func TestBugDirtyPairVisibility(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	m := New(8, BugDirtyPairVisibility)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	midBlock := make(chan struct{})
+	lookedUp := make(chan struct{})
+	var once sync.Once
+	m.RaceWindow = func(j int) {
+		once.Do(func() {
+			close(midBlock)
+			<-lookedUp
+		})
+	}
+
+	done := make(chan bool)
+	go func() { done <- m.InsertPair(p1, 5, 6) }()
+	<-midBlock
+	// T2 observes the dirty state: 5 is visible, the pair has not committed.
+	if !m.LookUp(p2, 5) {
+		t.Fatal("dirty state not visible; the schedule did not expose the bug")
+	}
+	close(lookedUp)
+	if !<-done {
+		t.Fatal("InsertPair failed")
+	}
+	log.Close()
+
+	rep := checkLog(t, log, vyrd.ModeIO)
+	if rep.Ok() {
+		t.Fatalf("I/O refinement missed the dirty read:\n%s", rep)
+	}
+	if rep.First().Kind != vyrd.ViolationObserver || rep.First().Method != "LookUp" {
+		t.Fatalf("expected an observer violation on LookUp, got %v", rep.First())
+	}
+	// View mode must agree (same observer machinery).
+	if rep := checkLog(t, log, vyrd.ModeView); rep.Ok() {
+		t.Fatalf("view refinement missed the dirty read:\n%s", rep)
+	}
+}

@@ -1,0 +1,198 @@
+package multiset
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the slot array from the logged writes and maintains
+// viewI over it: the multiset of elements held by valid slots, computed
+// incrementally as Section 6.4 prescribes (the counts table is updated in
+// O(1) per replayed write; the full array is never re-traversed).
+//
+// Write operations:
+//
+//	"slot-elt" i x     reserve slot i with element x (occupied, not valid)
+//	"slot-clear" i     free slot i
+//	"slot-valid" i b   set slot i's valid bit
+//	"slot-move" from to   move a slot's content (vector compaction)
+//
+// The replica grows on demand, so the same replayer serves the fixed-size
+// array of this package and the growable Multiset-Vector representation.
+type Replayer struct {
+	slots  []rslot
+	counts map[int]int
+	table  *view.Table
+	// badValid counts slots that are valid but unoccupied: an invariant
+	// violation tracked incrementally so Invariants is O(1).
+	badValid int
+}
+
+type rslot struct {
+	elt      int
+	occupied bool
+	valid    bool
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	r := &Replayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.slots = nil
+	r.counts = make(map[int]int)
+	r.table = view.NewTable()
+	r.badValid = 0
+}
+
+// View implements core.Replayer. Keys are "e:<element>"; values are
+// multiplicities — the same canonical form as the multiset specification's
+// viewS, abstracting away slot positions entirely.
+func (r *Replayer) View() *view.Table { return r.table }
+
+func (r *Replayer) slot(i int) *rslot {
+	for len(r.slots) <= i {
+		r.slots = append(r.slots, rslot{})
+	}
+	return &r.slots[i]
+}
+
+func (r *Replayer) count(elt, delta int) {
+	n := r.counts[elt] + delta
+	key := fmt.Sprintf("e:%d", elt)
+	if n <= 0 {
+		delete(r.counts, elt)
+		r.table.Delete(key)
+		return
+	}
+	r.counts[elt] = n
+	r.table.Set(key, fmt.Sprintf("%d", n))
+}
+
+func (r *Replayer) invariantDelta(before, after rslot) {
+	if before.valid && !before.occupied {
+		r.badValid--
+	}
+	if after.valid && !after.occupied {
+		r.badValid++
+	}
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "slot-elt":
+		if len(args) != 2 {
+			return fmt.Errorf("multiset replay: slot-elt wants index and element, got %v", args)
+		}
+		i, ok1 := event.Int(args[0])
+		x, ok2 := event.Int(args[1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("multiset replay: slot-elt non-integer args %v", args)
+		}
+		s := r.slot(i)
+		before := *s
+		// Overwriting a valid slot's element (only possible under the
+		// FindSlot bug) changes the multiset contents.
+		if s.valid && s.occupied {
+			r.count(s.elt, -1)
+			r.count(x, 1)
+		}
+		s.elt = x
+		s.occupied = true
+		r.invariantDelta(before, *s)
+		return nil
+
+	case "slot-clear":
+		if len(args) != 1 {
+			return fmt.Errorf("multiset replay: slot-clear wants index, got %v", args)
+		}
+		i, ok := event.Int(args[0])
+		if !ok {
+			return fmt.Errorf("multiset replay: slot-clear non-integer arg %v", args)
+		}
+		s := r.slot(i)
+		before := *s
+		if s.valid && s.occupied {
+			r.count(s.elt, -1)
+		}
+		s.occupied = false
+		s.valid = false
+		r.invariantDelta(before, *s)
+		return nil
+
+	case "slot-valid":
+		if len(args) != 2 {
+			return fmt.Errorf("multiset replay: slot-valid wants index and bool, got %v", args)
+		}
+		i, ok1 := event.Int(args[0])
+		b, ok2 := args[1].(bool)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("multiset replay: slot-valid bad args %v", args)
+		}
+		s := r.slot(i)
+		before := *s
+		if s.valid != b && s.occupied {
+			if b {
+				r.count(s.elt, 1)
+			} else {
+				r.count(s.elt, -1)
+			}
+		}
+		s.valid = b
+		r.invariantDelta(before, *s)
+		return nil
+
+	case "slot-move":
+		if len(args) != 2 {
+			return fmt.Errorf("multiset replay: slot-move wants from and to, got %v", args)
+		}
+		from, ok1 := event.Int(args[0])
+		to, ok2 := event.Int(args[1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("multiset replay: slot-move non-integer args %v", args)
+		}
+		if from == to {
+			return nil
+		}
+		src := r.slot(from)
+		dst := r.slot(to)
+		beforeSrc, beforeDst := *src, *dst
+		// Compaction moves a slot's content; the multiset contents are
+		// unchanged unless the destination held a valid element (which
+		// correct compaction never overwrites).
+		if dst.valid && dst.occupied {
+			r.count(dst.elt, -1)
+		}
+		*dst = *src
+		*src = rslot{}
+		r.invariantDelta(beforeSrc, *src)
+		r.invariantDelta(beforeDst, *dst)
+		return nil
+	}
+	return fmt.Errorf("multiset replay: unknown op %q", op)
+}
+
+// Invariants implements core.Replayer: no slot may be valid without being
+// occupied.
+func (r *Replayer) Invariants() error {
+	if r.badValid > 0 {
+		return fmt.Errorf("%d slot(s) valid but unoccupied", r.badValid)
+	}
+	return nil
+}
+
+// Counts exposes the reconstructed element counts, for tests.
+func (r *Replayer) Counts() map[int]int {
+	out := make(map[int]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package multiset
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the array-based multiset to the random test harness
+// (Section 7.1) with the operation mix used in the experiments.
+func Target(capacity int, bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Multiset-Array",
+		New: func(log *vyrd.Log) harness.Instance {
+			m := New(capacity, bug)
+			return harness.Instance{Methods: methods(m)}
+		},
+		NewSpec:     func() core.Spec { return spec.NewMultiset() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}
+
+func methods(m *Multiset) []harness.Method {
+	return []harness.Method{
+		{Name: "Insert", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			m.Insert(p, pick())
+		}},
+		{Name: "InsertPair", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			m.InsertPair(p, pick(), pick())
+		}},
+		{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			m.Delete(p, pick())
+		}},
+		{Name: "LookUp", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			m.LookUp(p, pick())
+		}},
+	}
+}

@@ -1,0 +1,340 @@
+package scanfs
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Replayer reconstructs the file system's directory, inodes, block cache
+// and block store from the logged writes and maintains viewI: each file's
+// contents assembled from its referenced blocks (dirty entry, else clean
+// entry, else store), truncated to the inode size — the same canonical form
+// as the FS specification's viewS.
+//
+// Replica invariants, checked after every committed update:
+//
+//	(i)   a clean cache block's bytes equal the store's
+//	(ii)  no block is in both cache lists
+//	(iii) no block is referenced by two files (allocator soundness)
+//
+// Invariant (i) is how the Scan cache bug surfaces at the flushing commit,
+// exactly as in the Boxwood cache (Section 7.2.2 / 7.3).
+type Replayer struct {
+	files map[string]*rfile
+	dirty map[int][]byte
+	clean map[int][]byte
+	store map[int][]byte
+	table *view.Table
+
+	// refs maps each referenced block to the set of files referencing it
+	// (more than one only under an allocator violation).
+	refs map[int]map[string]bool
+
+	mismatched  map[int]bool // invariant (i)
+	overlapping map[int]bool // invariant (ii)
+	shared      map[int]bool // invariant (iii)
+}
+
+type rfile struct {
+	blocks []int
+	size   int
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	r := &Replayer{}
+	r.Reset()
+	return r
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.files = make(map[string]*rfile)
+	r.dirty = make(map[int][]byte)
+	r.clean = make(map[int][]byte)
+	r.store = make(map[int][]byte)
+	r.table = view.NewTable()
+	r.refs = make(map[int]map[string]bool)
+	r.mismatched = make(map[int]bool)
+	r.overlapping = make(map[int]bool)
+	r.shared = make(map[int]bool)
+}
+
+// View implements core.Replayer.
+func (r *Replayer) View() *view.Table { return r.table }
+
+// effective returns the current bytes of a block (dirty > clean > store),
+// zero-filled when nowhere.
+func (r *Replayer) effective(blk int) []byte {
+	if b, ok := r.dirty[blk]; ok {
+		return b
+	}
+	if b, ok := r.clean[blk]; ok {
+		return b
+	}
+	if b, ok := r.store[blk]; ok {
+		return b
+	}
+	return make([]byte, BlockSize)
+}
+
+// refreshFile recomputes one file's view entry.
+func (r *Replayer) refreshFile(name string) {
+	f, ok := r.files[name]
+	if !ok {
+		r.table.Delete("f:" + name)
+		return
+	}
+	data := make([]byte, 0, f.size)
+	for _, blk := range f.blocks {
+		data = append(data, r.effective(blk)...)
+	}
+	if f.size <= len(data) {
+		data = data[:f.size]
+	} else {
+		data = append(data, make([]byte, f.size-len(data))...)
+	}
+	r.table.Set("f:"+name, event.Format(data))
+}
+
+// refreshBlock recomputes the invariant membership of one block and the
+// view entry of the file referencing it.
+func (r *Replayer) refreshBlock(blk int) {
+	cb, inClean := r.clean[blk]
+	_, inDirty := r.dirty[blk]
+	if inClean && inDirty {
+		r.overlapping[blk] = true
+	} else {
+		delete(r.overlapping, blk)
+	}
+	if inClean {
+		if sb, ok := r.store[blk]; !ok || string(sb) != string(cb) {
+			r.mismatched[blk] = true
+		} else {
+			delete(r.mismatched, blk)
+		}
+	} else {
+		delete(r.mismatched, blk)
+	}
+	for name := range r.refs[blk] {
+		r.refreshFile(name)
+	}
+}
+
+// setRefs rebinds a file's block references, flagging blocks referenced by
+// more than one file.
+func (r *Replayer) setRefs(name string, old, blocks []int) {
+	for _, blk := range old {
+		if owners := r.refs[blk]; owners != nil {
+			delete(owners, name)
+			if len(owners) == 0 {
+				delete(r.refs, blk)
+			}
+			r.markShared(blk)
+		}
+	}
+	for _, blk := range blocks {
+		owners := r.refs[blk]
+		if owners == nil {
+			owners = make(map[string]bool)
+			r.refs[blk] = owners
+		}
+		owners[name] = true
+		r.markShared(blk)
+	}
+}
+
+func (r *Replayer) markShared(blk int) {
+	if len(r.refs[blk]) > 1 {
+		r.shared[blk] = true
+	} else {
+		delete(r.shared, blk)
+	}
+}
+
+func blkAndBytes(op string, args []event.Value) (int, []byte, error) {
+	if len(args) != 2 {
+		return 0, nil, fmt.Errorf("scanfs replay: %s wants block and bytes, got %v", op, args)
+	}
+	blk, ok := event.Int(args[0])
+	if !ok {
+		return 0, nil, fmt.Errorf("scanfs replay: %s non-integer block %v", op, args[0])
+	}
+	b, ok := event.Bytes(args[1])
+	if !ok {
+		return 0, nil, fmt.Errorf("scanfs replay: %s payload is not bytes: %T", op, args[1])
+	}
+	return blk, b, nil
+}
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "dir-set":
+		if len(args) != 1 {
+			return fmt.Errorf("scanfs replay: dir-set wants a name, got %v", args)
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("scanfs replay: dir-set non-string name %v", args[0])
+		}
+		if _, exists := r.files[name]; exists {
+			return fmt.Errorf("scanfs replay: dir-set for existing file %q", name)
+		}
+		r.files[name] = &rfile{}
+		r.refreshFile(name)
+		return nil
+
+	case "dir-del":
+		if len(args) != 1 {
+			return fmt.Errorf("scanfs replay: dir-del wants a name, got %v", args)
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("scanfs replay: dir-del non-string name %v", args[0])
+		}
+		f, exists := r.files[name]
+		if !exists {
+			return fmt.Errorf("scanfs replay: dir-del for unknown file %q", name)
+		}
+		r.setRefs(name, f.blocks, nil)
+		delete(r.files, name)
+		r.refreshFile(name)
+		return nil
+
+	case "ino-set":
+		if len(args) != 3 {
+			return fmt.Errorf("scanfs replay: ino-set wants name, blocks, size, got %v", args)
+		}
+		name, okn := args[0].(string)
+		size, oks := event.Int(args[2])
+		if !okn || !oks {
+			return fmt.Errorf("scanfs replay: ino-set bad args %v", args)
+		}
+		blocks, err := intSlice(args[1])
+		if err != nil {
+			return fmt.Errorf("scanfs replay: ino-set blocks: %v", err)
+		}
+		f, exists := r.files[name]
+		if !exists {
+			return fmt.Errorf("scanfs replay: ino-set for unknown file %q", name)
+		}
+		old := f.blocks
+		f.blocks = blocks
+		f.size = size
+		r.setRefs(name, old, blocks)
+		r.refreshFile(name)
+		return nil
+
+	case "blk-dirty":
+		blk, b, err := blkAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.dirty[blk] = b
+		r.refreshBlock(blk)
+		return nil
+
+	case "blk-rm-clean":
+		if len(args) != 1 {
+			return fmt.Errorf("scanfs replay: blk-rm-clean wants a block, got %v", args)
+		}
+		blk, ok := event.Int(args[0])
+		if !ok {
+			return fmt.Errorf("scanfs replay: blk-rm-clean non-integer block %v", args[0])
+		}
+		delete(r.clean, blk)
+		r.refreshBlock(blk)
+		return nil
+
+	case "blk-clean":
+		if len(args) != 1 {
+			return fmt.Errorf("scanfs replay: blk-clean wants a block, got %v", args)
+		}
+		blk, ok := event.Int(args[0])
+		if !ok {
+			return fmt.Errorf("scanfs replay: blk-clean non-integer block %v", args[0])
+		}
+		b, ok := r.dirty[blk]
+		if !ok {
+			return fmt.Errorf("scanfs replay: blk-clean for block %d with no dirty entry", blk)
+		}
+		delete(r.dirty, blk)
+		r.clean[blk] = b
+		r.refreshBlock(blk)
+		return nil
+
+	case "blk-flush":
+		blk, b, err := blkAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.store[blk] = b
+		r.refreshBlock(blk)
+		return nil
+
+	case "blk-load":
+		blk, b, err := blkAndBytes(op, args)
+		if err != nil {
+			return err
+		}
+		r.clean[blk] = b
+		r.refreshBlock(blk)
+		return nil
+	}
+	return fmt.Errorf("scanfs replay: unknown op %q", op)
+}
+
+// intSlice decodes a logged []int value, tolerating the []any form gob may
+// produce.
+func intSlice(v event.Value) ([]int, error) {
+	switch vv := v.(type) {
+	case []int:
+		return append([]int(nil), vv...), nil
+	case []any:
+		out := make([]int, len(vv))
+		for i, e := range vv {
+			n, ok := event.Int(e)
+			if !ok {
+				return nil, fmt.Errorf("element %d is %T", i, e)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("not an integer slice: %T", v)
+}
+
+// Invariants implements core.Replayer.
+func (r *Replayer) Invariants() error {
+	for blk := range r.mismatched {
+		return fmt.Errorf("invariant (i) violated: clean block %d differs from the block store", blk)
+	}
+	for blk := range r.overlapping {
+		return fmt.Errorf("invariant (ii) violated: block %d is in both cache lists", blk)
+	}
+	for blk := range r.shared {
+		return fmt.Errorf("invariant (iii) violated: block %d is referenced by two files", blk)
+	}
+	return nil
+}
+
+// Files exposes the reconstructed file map, for tests.
+func (r *Replayer) Files() map[string][]byte {
+	out := make(map[string][]byte)
+	for name, f := range r.files {
+		data := make([]byte, 0, f.size)
+		for _, blk := range f.blocks {
+			data = append(data, r.effective(blk)...)
+		}
+		if f.size <= len(data) {
+			data = data[:f.size]
+		} else {
+			data = append(data, make([]byte, f.size-len(data))...)
+		}
+		out[name] = data
+	}
+	return out
+}

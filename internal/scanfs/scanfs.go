@@ -1,0 +1,583 @@
+// Package scanfs reimplements the data path of the Scan file system the
+// paper's earlier VYRD prototype was applied to (Section 7.3): a small
+// write-optimized file system with a directory, per-file inodes (block
+// lists), a write-back block cache over a block store, and background
+// maintenance — flushing, cache reclaim, and a scanning defragmenter that
+// relocates file blocks without changing file contents.
+//
+// The abstraction checked is the file map (spec.FS): names to contents.
+// Updates are copy-on-write at block granularity: a mutator writes fresh
+// blocks (unreferenced, hence outside the view) and then publishes them
+// with a single inode update — the commit action, in the same pattern as
+// the B-link tree's single visible leaf write.
+//
+// The injected bug is the one the paper reports finding in Scan: "these
+// bugs were also in the cache module and were very similar to those found
+// in Boxwood's Cache" — an in-place update of a dirty cached block without
+// the cache lock, so a concurrent flush writes a torn block to the store
+// and marks it clean.
+//
+// Log-replay vocabulary (see Replayer):
+//
+//	"dir-set" name            create an (empty) directory entry
+//	"dir-del" name            remove a directory entry
+//	"ino-set" name blocks size  publish a file's block list and size (commits)
+//	"blk-dirty" blk bytes     install/update a dirty cache block
+//	"blk-rm-clean" blk        drop a block from the clean list
+//	"blk-clean" blk           move a dirty block to the clean list
+//	"blk-flush" blk bytes     write-through to the block store
+//	"blk-load" blk bytes      load a block into the clean list
+package scanfs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// BlockSize is the fixed block size of the store; file sizes truncate the
+// final block.
+const BlockSize = 16
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation.
+	BugNone Bug = iota
+	// BugUnprotectedBlockWrite updates an existing dirty cache block in
+	// place without holding the cache lock (the Scan cache bug of
+	// Section 7.3, the sibling of Boxwood's Section 7.2.2 bug).
+	BugUnprotectedBlockWrite
+)
+
+// disk is the block store beneath the cache (assumed correct, like the
+// Chunk Manager in Section 7.2).
+type disk struct {
+	mu     sync.Mutex
+	blocks map[int][]byte
+}
+
+func newDisk() *disk { return &disk{blocks: make(map[int][]byte)} }
+
+func (d *disk) write(blk int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	d.blocks[blk] = cp
+	d.mu.Unlock()
+}
+
+func (d *disk) read(blk int) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.blocks[blk]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, true
+}
+
+// blockCache is the write-back block cache. Unlike the public Boxwood
+// cache module (internal/cache), its operations are internal to file
+// system methods: they log plain write actions through the caller's probe,
+// not call/commit pairs of their own.
+type blockCache struct {
+	disk *disk
+	mu   sync.Mutex // LOCK(clean)
+
+	clean map[int][]byte
+	dirty map[int][]byte
+
+	bug Bug
+	// RaceWindow, when non-nil, runs between the bytes of the buggy
+	// unprotected in-place copy.
+	RaceWindow func(blk, i int)
+}
+
+func newBlockCache(d *disk, bug Bug) *blockCache {
+	return &blockCache{
+		disk:  d,
+		clean: make(map[int][]byte),
+		dirty: make(map[int][]byte),
+		bug:   bug,
+	}
+}
+
+// write installs data (exactly BlockSize bytes) as the dirty contents of
+// blk.
+func (c *blockCache) write(p *vyrd.Probe, blk int, data []byte) {
+	logData := event.CloneBytes(data)
+	c.mu.Lock()
+	if buf, ok := c.dirty[blk]; ok {
+		// In-place update of an existing dirty block.
+		if c.bug == BugUnprotectedBlockWrite {
+			c.mu.Unlock()
+			// BUG: the copy should hold the cache lock; a concurrent flush
+			// can snapshot the block mid-copy.
+			c.copyInPlace(blk, buf, data)
+			p.Write("blk-dirty", blk, logData)
+			return
+		}
+		c.copyInPlace(blk, buf, data)
+		p.Write("blk-dirty", blk, logData)
+		c.mu.Unlock()
+		return
+	}
+	if buf, ok := c.clean[blk]; ok {
+		delete(c.clean, blk)
+		copy(buf, data)
+		c.dirty[blk] = buf
+		p.Write("blk-rm-clean", blk)
+		p.Write("blk-dirty", blk, logData)
+		c.mu.Unlock()
+		return
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.dirty[blk] = buf
+	p.Write("blk-dirty", blk, logData)
+	c.mu.Unlock()
+}
+
+func (c *blockCache) copyInPlace(blk int, dst, src []byte) {
+	for i := 0; i < len(src) && i < len(dst); i++ {
+		if c.RaceWindow != nil {
+			c.RaceWindow(blk, i)
+		} else if c.bug == BugUnprotectedBlockWrite && i == len(src)/2 {
+			runtime.Gosched() // model preemption mid-copy
+		}
+		dst[i] = src[i]
+	}
+}
+
+// read returns the block's current bytes, loading a miss into the clean
+// list.
+func (c *blockCache) read(p *vyrd.Probe, blk int) ([]byte, bool) {
+	c.mu.Lock()
+	if buf, ok := c.dirty[blk]; ok {
+		out := event.CloneBytes(buf)
+		c.mu.Unlock()
+		return out, true
+	}
+	if buf, ok := c.clean[blk]; ok {
+		out := event.CloneBytes(buf)
+		c.mu.Unlock()
+		return out, true
+	}
+	data, ok := c.disk.read(blk)
+	if ok {
+		c.clean[blk] = event.CloneBytes(data)
+		p.Write("blk-load", blk, data)
+	}
+	c.mu.Unlock()
+	return data, ok
+}
+
+// flushLocked writes every dirty block to the store and moves it to the
+// clean list. The caller holds c.mu for the whole enclosing commit block:
+// Section 5.2 requires the block to be atomic, and the lock is what makes
+// it so.
+func (c *blockCache) flushLocked(p *vyrd.Probe) {
+	blks := make([]int, 0, len(c.dirty))
+	for blk := range c.dirty {
+		blks = append(blks, blk)
+	}
+	sort.Ints(blks)
+	for _, blk := range blks {
+		data := event.CloneBytes(c.dirty[blk]) // may be torn under the bug
+		c.disk.write(blk, data)
+		p.Write("blk-flush", blk, data)
+	}
+	for _, blk := range blks {
+		c.clean[blk] = c.dirty[blk]
+		delete(c.dirty, blk)
+		p.Write("blk-clean", blk)
+	}
+}
+
+// evictLocked drops every clean block. The caller holds c.mu (see
+// flushLocked).
+func (c *blockCache) evictLocked(p *vyrd.Probe) {
+	blks := make([]int, 0, len(c.clean))
+	for blk := range c.clean {
+		blks = append(blks, blk)
+	}
+	sort.Ints(blks)
+	for _, blk := range blks {
+		delete(c.clean, blk)
+		p.Write("blk-rm-clean", blk)
+	}
+}
+
+// file is an inode: the block list and byte size, guarded by its own lock.
+type file struct {
+	mu      sync.Mutex
+	blocks  []int
+	size    int
+	deleted bool
+}
+
+// allocator hands out block numbers, reusing freed ones LIFO — which is
+// what routes rewrites onto blocks still sitting dirty in the cache, the
+// surface the injected bug needs.
+type allocator struct {
+	mu   sync.Mutex
+	next int
+	free []int
+}
+
+func (a *allocator) alloc(n int) []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, 0, n)
+	for len(out) < n && len(a.free) > 0 {
+		out = append(out, a.free[len(a.free)-1])
+		a.free = a.free[:len(a.free)-1]
+	}
+	for len(out) < n {
+		a.next++
+		out = append(out, a.next)
+	}
+	return out
+}
+
+func (a *allocator) release(blks []int) {
+	if len(blks) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free = append(a.free, blks...)
+	a.mu.Unlock()
+}
+
+// FS is the Scan-style file system.
+type FS struct {
+	dirMu sync.Mutex
+	dir   map[string]*file
+	cache *blockCache
+	alloc allocator
+	// defragCursor round-robins the defragmenter over files.
+	defragCursor int
+}
+
+// New returns an empty file system.
+func New(bug Bug) *FS {
+	return &FS{
+		dir:   make(map[string]*file),
+		cache: newBlockCache(newDisk(), bug),
+	}
+}
+
+// SetRaceWindow installs the deterministic-schedule hook of the buggy
+// in-place block copy.
+func (fs *FS) SetRaceWindow(f func(blk, i int)) { fs.cache.RaceWindow = f }
+
+// Create makes an empty file, returning false if the name exists.
+func (fs *FS) Create(p *vyrd.Probe, name string) bool {
+	inv := p.Call("Create", name)
+	fs.dirMu.Lock()
+	if _, ok := fs.dir[name]; ok {
+		inv.Commit("exists")
+		fs.dirMu.Unlock()
+		inv.Return(false)
+		return false
+	}
+	fs.dir[name] = &file{}
+	inv.CommitWrite("created", "dir-set", name)
+	fs.dirMu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// lookup fetches the live file object for name.
+func (fs *FS) lookup(name string) *file {
+	fs.dirMu.Lock()
+	f := fs.dir[name]
+	fs.dirMu.Unlock()
+	return f
+}
+
+// writeBlocks splits data into BlockSize chunks, writes them to freshly
+// allocated blocks through the cache and returns the block list. The
+// blocks are unreferenced until the caller's inode commit, so these writes
+// are view-neutral.
+func (fs *FS) writeBlocks(p *vyrd.Probe, data []byte) []int {
+	n := (len(data) + BlockSize - 1) / BlockSize
+	blks := fs.alloc.alloc(n)
+	for i, blk := range blks {
+		chunk := make([]byte, BlockSize)
+		copy(chunk, data[i*BlockSize:min(len(data), (i+1)*BlockSize)])
+		fs.cache.write(p, blk, chunk)
+	}
+	return blks
+}
+
+// blocksValue converts a block list to a loggable value.
+func blocksValue(blks []int) []int {
+	return append([]int(nil), blks...)
+}
+
+// WriteFile replaces the file's contents, returning false if the file does
+// not exist. The inode update is the commit action: it is the single write
+// that makes the new contents visible to readers.
+func (fs *FS) WriteFile(p *vyrd.Probe, name string, data []byte) bool {
+	logData := event.CloneBytes(data)
+	inv := p.Call("WriteFile", name, logData)
+	var f *file
+	for {
+		fs.dirMu.Lock()
+		f = fs.dir[name]
+		if f == nil {
+			// The absent-path commit must be atomic with the directory
+			// check: committing after releasing the lock would let a racing
+			// Create land before this commit in the witness interleaving
+			// and falsify the "absent" claim.
+			inv.Commit("absent")
+			fs.dirMu.Unlock()
+			inv.Return(false)
+			return false
+		}
+		fs.dirMu.Unlock()
+		f.mu.Lock()
+		if f.deleted {
+			// Stale handle: the file was deleted (and possibly re-created)
+			// after the directory lookup. Retry from the directory; a
+			// "deleted" commit here would race re-creation.
+			f.mu.Unlock()
+			continue
+		}
+		break
+	}
+	blks := fs.writeBlocks(p, data)
+	old := f.blocks
+	f.blocks = blks
+	f.size = len(data)
+	inv.CommitWrite("written", "ino-set", name, blocksValue(blks), len(data))
+	f.mu.Unlock()
+	fs.alloc.release(old)
+	inv.Return(true)
+	return true
+}
+
+// Append extends the file, copy-on-write at the tail block: the partially
+// filled last block is re-written into a fresh block, so no referenced
+// block is ever mutated in place by the file layer.
+func (fs *FS) Append(p *vyrd.Probe, name string, data []byte) bool {
+	logData := event.CloneBytes(data)
+	inv := p.Call("Append", name, logData)
+	var f *file
+	for {
+		fs.dirMu.Lock()
+		f = fs.dir[name]
+		if f == nil {
+			inv.Commit("absent") // atomic with the directory check
+			fs.dirMu.Unlock()
+			inv.Return(false)
+			return false
+		}
+		fs.dirMu.Unlock()
+		f.mu.Lock()
+		if f.deleted {
+			f.mu.Unlock() // stale handle: retry, as in WriteFile
+			continue
+		}
+		break
+	}
+	keep := f.size / BlockSize // fully used blocks stay
+	tailLen := f.size % BlockSize
+	tail := make([]byte, 0, tailLen+len(data))
+	if tailLen > 0 {
+		blkData, ok := fs.cache.read(p, f.blocks[keep])
+		if ok {
+			tail = append(tail, blkData[:tailLen]...)
+		} else {
+			tail = append(tail, make([]byte, tailLen)...)
+		}
+	}
+	tail = append(tail, data...)
+	newBlks := fs.writeBlocks(p, tail)
+
+	var replaced []int
+	blocks := append([]int(nil), f.blocks[:keep]...)
+	if tailLen > 0 {
+		replaced = f.blocks[keep:]
+	}
+	blocks = append(blocks, newBlks...)
+	f.blocks = blocks
+	f.size += len(data)
+	inv.CommitWrite("appended", "ino-set", name, blocksValue(blocks), f.size)
+	f.mu.Unlock()
+	fs.alloc.release(replaced)
+	inv.Return(true)
+	return true
+}
+
+// Delete removes the file, returning false if it does not exist.
+func (fs *FS) Delete(p *vyrd.Probe, name string) bool {
+	inv := p.Call("Delete", name)
+	fs.dirMu.Lock()
+	f := fs.dir[name]
+	if f == nil {
+		inv.Commit("absent")
+		fs.dirMu.Unlock()
+		inv.Return(false)
+		return false
+	}
+	f.mu.Lock()
+	delete(fs.dir, name)
+	f.deleted = true
+	inv.CommitWrite("deleted", "dir-del", name)
+	blks := f.blocks
+	f.blocks = nil
+	f.mu.Unlock()
+	fs.dirMu.Unlock()
+	fs.alloc.release(blks)
+	inv.Return(true)
+	return true
+}
+
+// ReadFile returns the file's contents, or nil when absent (observer).
+func (fs *FS) ReadFile(p *vyrd.Probe, name string) ([]byte, bool) {
+	inv := p.Call("ReadFile", name)
+	f := fs.lookup(name)
+	if f == nil {
+		inv.Return(nil)
+		return nil, false
+	}
+	f.mu.Lock()
+	if f.deleted {
+		f.mu.Unlock()
+		inv.Return(nil)
+		return nil, false
+	}
+	data := make([]byte, 0, f.size)
+	for _, blk := range f.blocks {
+		blkData, ok := fs.cache.read(p, blk)
+		if !ok {
+			blkData = make([]byte, BlockSize)
+		}
+		data = append(data, blkData...)
+	}
+	data = data[:f.size]
+	f.mu.Unlock()
+	inv.Return(event.CloneBytes(data))
+	return data, true
+}
+
+// Maintain flushes the block cache as the Compress pseudo-method: every
+// dirty block is written to the store and moved to the clean list. The
+// whole pass is one commit block under the cache lock; the view must be
+// unchanged, and replica invariant (i) — clean blocks match the store — is
+// checked at its commit, which is where the injected bug surfaces. Eviction
+// is a separate operation (Evict), as in Boxwood: folding it into the same
+// commit block would discard the mismatched clean entry before the
+// end-of-block invariant check could see it.
+func (fs *FS) Maintain(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	fs.cache.mu.Lock()
+	inv.BeginCommitBlock()
+	fs.cache.flushLocked(p)
+	inv.Commit("flushed")
+	inv.EndCommitBlock()
+	fs.cache.mu.Unlock()
+	inv.Return(nil)
+}
+
+// Evict drops every clean block from the cache (the reclaim daemon), as
+// the Compress pseudo-method. Clean blocks equal the store by invariant
+// (i), so eviction never changes the view.
+func (fs *FS) Evict(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	fs.cache.mu.Lock()
+	inv.BeginCommitBlock()
+	fs.cache.evictLocked(p)
+	inv.Commit("evicted")
+	inv.EndCommitBlock()
+	fs.cache.mu.Unlock()
+	inv.Return(nil)
+}
+
+// Defrag relocates one file's blocks to freshly allocated (contiguous-ish)
+// blocks — the "scan-based layout" maintenance — without changing its
+// contents. Runs as the Compress pseudo-method; the inode update is the
+// commit and the view must be unchanged.
+func (fs *FS) Defrag(p *vyrd.Probe) {
+	inv := p.Call(spec.MethodCompress)
+	fs.dirMu.Lock()
+	names := make([]string, 0, len(fs.dir))
+	for name := range fs.dir {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var f *file
+	var name string
+	if len(names) > 0 {
+		name = names[fs.defragCursor%len(names)]
+		fs.defragCursor++
+		f = fs.dir[name]
+	}
+	fs.dirMu.Unlock()
+	if f == nil {
+		inv.Commit("nothing")
+		inv.Return(nil)
+		return
+	}
+	f.mu.Lock()
+	if f.deleted || len(f.blocks) == 0 {
+		inv.Commit("nothing")
+		f.mu.Unlock()
+		inv.Return(nil)
+		return
+	}
+	data := make([]byte, 0, f.size)
+	for _, blk := range f.blocks {
+		blkData, ok := fs.cache.read(p, blk)
+		if !ok {
+			blkData = make([]byte, BlockSize)
+		}
+		data = append(data, blkData...)
+	}
+	data = data[:f.size]
+	newBlks := fs.writeBlocks(p, data)
+	old := f.blocks
+	f.blocks = newBlks
+	inv.CommitWrite("relocated", "ino-set", name, blocksValue(newBlks), f.size)
+	f.mu.Unlock()
+	fs.alloc.release(old)
+	inv.Return(nil)
+}
+
+// Contents returns the current file map; for quiesced tests only.
+func (fs *FS) Contents() map[string][]byte {
+	out := make(map[string][]byte)
+	fs.dirMu.Lock()
+	defer fs.dirMu.Unlock()
+	for name, f := range fs.dir {
+		f.mu.Lock()
+		data := make([]byte, 0, f.size)
+		for _, blk := range f.blocks {
+			blkData, ok := fs.cache.read(nil, blk)
+			if !ok {
+				blkData = make([]byte, BlockSize)
+			}
+			data = append(data, blkData...)
+		}
+		out[name] = data[:f.size]
+		f.mu.Unlock()
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

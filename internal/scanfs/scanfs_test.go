@@ -1,0 +1,428 @@
+package scanfs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/racecheck"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func checkLog(t *testing.T, log *vyrd.Log, mode core.Mode) *vyrd.Report {
+	t.Helper()
+	opts := []vyrd.Option{vyrd.WithMode(mode)}
+	if mode == vyrd.ModeView {
+		opts = append(opts, vyrd.WithReplayer(NewReplayer()), vyrd.WithDiagnostics(true))
+	}
+	rep, err := vyrd.Check(log, spec.NewFS(), opts...)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestSequentialFileLifecycle(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	fs := New(BugNone)
+
+	if !fs.Create(p, "a") || fs.Create(p, "a") {
+		t.Fatal("create semantics wrong")
+	}
+	if data, ok := fs.ReadFile(p, "a"); !ok || len(data) != 0 {
+		t.Fatalf("fresh file: %q %v", data, ok)
+	}
+	content := []byte("hello, scan file system! this spans multiple blocks.")
+	if !fs.WriteFile(p, "a", content) {
+		t.Fatal("write failed")
+	}
+	if data, _ := fs.ReadFile(p, "a"); !bytes.Equal(data, content) {
+		t.Fatalf("read back %q", data)
+	}
+	if !fs.Append(p, "a", []byte(" more")) {
+		t.Fatal("append failed")
+	}
+	if data, _ := fs.ReadFile(p, "a"); !bytes.Equal(data, append(append([]byte{}, content...), []byte(" more")...)) {
+		t.Fatalf("after append: %q", data)
+	}
+	if fs.WriteFile(p, "missing", []byte("x")) {
+		t.Fatal("write to a missing file succeeded")
+	}
+	if !fs.Delete(p, "a") || fs.Delete(p, "a") {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := fs.ReadFile(p, "a"); ok {
+		t.Fatal("deleted file still readable")
+	}
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("%v: %s", mode, rep)
+		}
+	}
+}
+
+func TestAppendAcrossBlockBoundaries(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	fs := New(BugNone)
+	fs.Create(p, "a")
+	var want []byte
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 1+i*3)
+		if !fs.Append(p, "a", chunk) {
+			t.Fatalf("append %d failed", i)
+		}
+		want = append(want, chunk...)
+	}
+	if data, _ := fs.ReadFile(p, "a"); !bytes.Equal(data, want) {
+		t.Fatalf("contents diverged:\n%q\n%q", data, want)
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestMaintainAndDefragPreserveContents(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	wp := log.NewWorkerProbe()
+	fs := New(BugNone)
+	fs.Create(p, "a")
+	fs.Create(p, "b")
+	fs.WriteFile(p, "a", []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	fs.WriteFile(p, "b", []byte("bb"))
+	before := fs.Contents()
+	for i := 0; i < 6; i++ {
+		fs.Maintain(wp)
+		fs.Evict(wp)
+		fs.Defrag(wp)
+	}
+	after := fs.Contents()
+	for name, want := range before {
+		if !bytes.Equal(after[name], want) {
+			t.Fatalf("maintenance changed %q: %q -> %q", name, want, after[name])
+		}
+	}
+	log.Close()
+	// View refinement verifies every maintenance commit left the view
+	// unchanged.
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestBlockReuseAfterDelete(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	fs := New(BugNone)
+	fs.Create(p, "a")
+	fs.WriteFile(p, "a", bytes.Repeat([]byte{1}, BlockSize*3))
+	fs.Delete(p, "a")
+	fs.Create(p, "b")
+	// Reuses a's freed blocks (LIFO allocator).
+	fs.WriteFile(p, "b", bytes.Repeat([]byte{2}, BlockSize*3))
+	if data, _ := fs.ReadFile(p, "b"); !bytes.Equal(data, bytes.Repeat([]byte{2}, BlockSize*3)) {
+		t.Fatalf("reused blocks corrupted: %x", data)
+	}
+	log.Close()
+	if rep := checkLog(t, log, vyrd.ModeView); !rep.Ok() {
+		t.Fatalf("%s", rep)
+	}
+}
+
+// TestBugDeterministicTornBlockFlush forces the Scan cache bug: an
+// unprotected in-place dirty-block update races a flush, the store receives
+// a torn block, and replica invariant (i) fails at the maintenance commit.
+func TestBugDeterministicTornBlockFlush(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("intentional data race: the injected bug would trip the race detector before VYRD sees it")
+	}
+	log := vyrd.NewLog(vyrd.LevelView)
+	fs := New(BugUnprotectedBlockWrite)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+	wp := log.NewWorkerProbe()
+
+	fs.Create(p1, "a")
+	old := bytes.Repeat([]byte{0xaa}, BlockSize)
+	new_ := bytes.Repeat([]byte{0xbb}, BlockSize)
+	// Two writes: the second frees the first write's block while it is
+	// still dirty in the cache, so the raced third write reallocates it
+	// (LIFO) and takes the in-place dirty-update path the bug lives on.
+	fs.WriteFile(p1, "a", bytes.Repeat([]byte{0xcc}, BlockSize))
+	fs.WriteFile(p1, "a", old)
+
+	halfway := make(chan struct{})
+	flushed := make(chan struct{})
+	var once sync.Once
+	fs.SetRaceWindow(func(blk, i int) {
+		if i == BlockSize/2 {
+			once.Do(func() {
+				close(halfway)
+				<-flushed
+			})
+		}
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Rewriting the same single-block file reuses the same block (the
+		// freed block is reallocated LIFO), hitting the in-place dirty
+		// update path.
+		fs.WriteFile(p2, "a", new_)
+	}()
+	<-halfway
+	fs.SetRaceWindow(nil)
+	fs.Maintain(wp) // flushes the half-copied block and marks it clean
+	close(flushed)
+	<-done
+	log.Close()
+
+	rep := checkLog(t, log, vyrd.ModeView)
+	if rep.Ok() {
+		t.Fatalf("view refinement missed the torn block flush:\n%s", rep)
+	}
+	v := rep.First()
+	if v.Kind != vyrd.ViolationInvariant && v.Kind != vyrd.ViolationView {
+		t.Fatalf("expected an invariant/view violation, got %v", v)
+	}
+}
+
+func TestReplayerMatchesImplementation(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	wp := log.NewWorkerProbe()
+	fs := New(BugNone)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 120; i++ {
+		name := fileName(rng.Intn(6))
+		switch rng.Intn(6) {
+		case 0:
+			fs.Create(p, name)
+		case 1, 2:
+			fs.WriteFile(p, name, randBytes(rng, 3))
+		case 3:
+			fs.Append(p, name, randBytes(rng, 1))
+		case 4:
+			fs.Delete(p, name)
+		case 5:
+			fs.Maintain(wp)
+			fs.Evict(wp)
+		}
+	}
+	log.Close()
+
+	r := NewReplayer()
+	for _, e := range log.Snapshot() {
+		if e.Kind == event.KindWrite {
+			if err := r.Apply(e.Method, e.Args); err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+		}
+		if e.WOp != "" {
+			if err := r.Apply(e.WOp, e.WArgs); err != nil {
+				t.Fatalf("replay commit-write: %v", err)
+			}
+		}
+	}
+	want := fs.Contents()
+	got := r.Files()
+	if len(want) != len(got) {
+		t.Fatalf("file sets differ: replica %d impl %d", len(got), len(want))
+	}
+	for name, data := range want {
+		if !bytes.Equal(got[name], data) {
+			t.Fatalf("file %q: replica %x impl %x", name, got[name], data)
+		}
+	}
+	if err := r.Invariants(); err != nil {
+		t.Fatalf("invariants on a correct run: %v", err)
+	}
+}
+
+func TestReplayerInvariantShared(t *testing.T) {
+	r := NewReplayer()
+	apply := func(op string, args ...event.Value) {
+		t.Helper()
+		if err := r.Apply(op, args); err != nil {
+			t.Fatalf("%s%v: %v", op, args, err)
+		}
+	}
+	apply("dir-set", "a")
+	apply("dir-set", "b")
+	apply("blk-dirty", 1, make([]byte, BlockSize))
+	apply("ino-set", "a", []int{1}, 4)
+	if err := r.Invariants(); err != nil {
+		t.Fatal(err)
+	}
+	apply("ino-set", "b", []int{1}, 4) // block 1 now shared
+	if err := r.Invariants(); err == nil {
+		t.Fatal("shared block not reported")
+	}
+	apply("ino-set", "b", []int{2}, 4)
+	if err := r.Invariants(); err != nil {
+		t.Fatalf("invariant did not clear: %v", err)
+	}
+}
+
+func TestReplayerRejectsMalformed(t *testing.T) {
+	r := NewReplayer()
+	bad := []struct {
+		op   string
+		args []event.Value
+	}{
+		{"dir-del", []event.Value{"ghost"}},
+		{"ino-set", []event.Value{"ghost", []int{1}, 4}},
+		{"blk-clean", []event.Value{7}}, // no dirty entry
+		{"dir-set", []event.Value{42}},  // non-string
+		{"nope", nil},
+	}
+	for _, c := range bad {
+		if err := r.Apply(c.op, c.args); err == nil {
+			t.Fatalf("accepted %s%v", c.op, c.args)
+		}
+	}
+	if err := r.Apply("dir-set", []event.Value{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply("dir-set", []event.Value{"a"}); err == nil {
+		t.Fatal("duplicate dir-set accepted")
+	}
+}
+
+func TestConcurrentCorrectWithMaintenance(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	fs := New(BugNone)
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	wp := log.NewWorkerProbe()
+	go func() {
+		defer wwg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				switch i % 3 {
+				case 0:
+					fs.Maintain(wp)
+				case 1:
+					fs.Evict(wp)
+				case 2:
+					fs.Defrag(wp)
+				}
+				i++
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for th := 0; th < 6; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				name := fileName(rng.Intn(6))
+				switch rng.Intn(5) {
+				case 0:
+					fs.Create(p, name)
+				case 1:
+					fs.WriteFile(p, name, randBytes(rng, 2))
+				case 2:
+					fs.Append(p, name, randBytes(rng, 1))
+				case 3:
+					fs.Delete(p, name)
+				case 4:
+					fs.ReadFile(p, name)
+				}
+			}
+		}(int64(th) + 1)
+	}
+	wg.Wait()
+	close(stop)
+	wwg.Wait()
+	log.Close()
+	for _, mode := range []core.Mode{vyrd.ModeIO, vyrd.ModeView} {
+		if rep := checkLog(t, log, mode); !rep.Ok() {
+			t.Fatalf("false positive, %v:\n%s", mode, rep)
+		}
+	}
+}
+
+// TestQuickSequentialAgainstModel: the file system agrees with a map model
+// under random single-threaded operations.
+func TestQuickSequentialAgainstModel(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New(BugNone)
+		model := map[string][]byte{}
+		for i := 0; i < int(n); i++ {
+			name := fileName(rng.Intn(4))
+			switch rng.Intn(5) {
+			case 0:
+				_, exists := model[name]
+				if fs.Create(nil, name) == exists {
+					return false
+				}
+				if !exists {
+					model[name] = nil
+				}
+			case 1:
+				data := randBytes(rng, 2)
+				_, exists := model[name]
+				if fs.WriteFile(nil, name, data) != exists {
+					return false
+				}
+				if exists {
+					model[name] = data
+				}
+			case 2:
+				data := randBytes(rng, 1)
+				old, exists := model[name]
+				if fs.Append(nil, name, data) != exists {
+					return false
+				}
+				if exists {
+					model[name] = append(append([]byte{}, old...), data...)
+				}
+			case 3:
+				_, exists := model[name]
+				if fs.Delete(nil, name) != exists {
+					return false
+				}
+				delete(model, name)
+			case 4:
+				want, exists := model[name]
+				got, ok := fs.ReadFile(nil, name)
+				if ok != exists || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+		}
+		contents := fs.Contents()
+		if len(contents) != len(model) {
+			return false
+		}
+		for name, want := range model {
+			if !bytes.Equal(contents[name], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package scanfs
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// targetFiles bounds the name space so operations collide.
+const targetFiles = 6
+
+func fileName(k int) string { return "f" + strconv.Itoa(k%targetFiles) }
+
+func randBytes(rng *rand.Rand, maxBlocks int) []byte {
+	n := rng.Intn(maxBlocks*BlockSize + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// Target adapts the Scan-style file system to the random test harness
+// (Section 7.1), with its maintenance daemons (flush/evict and the
+// defragmenter) running continuously as the worker.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "ScanFS",
+		New: func(log *vyrd.Log) harness.Instance {
+			fs := New(bug)
+			step := 0
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Create", Weight: 15, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						fs.Create(p, fileName(pick()))
+					}},
+					{Name: "WriteFile", Weight: 30, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						fs.WriteFile(p, fileName(pick()), randBytes(rng, 3))
+					}},
+					{Name: "Append", Weight: 15, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						fs.Append(p, fileName(pick()), randBytes(rng, 1))
+					}},
+					{Name: "Delete", Weight: 10, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						fs.Delete(p, fileName(pick()))
+					}},
+					{Name: "ReadFile", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						fs.ReadFile(p, fileName(pick()))
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					// Rotate the maintenance activities, as Scan's daemons
+					// would: flush, reclaim, defragment.
+					switch step % 3 {
+					case 0:
+						fs.Maintain(p)
+					case 1:
+						fs.Evict(p)
+					case 2:
+						fs.Defrag(p)
+					}
+					step++
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewFS() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}

@@ -1,0 +1,217 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// The checker relies on contracts every specification must honor
+// (Section 3.2 and the core.Spec documentation):
+//
+//  1. CheckObserver never modifies the state.
+//  2. A rejected ApplyMutator leaves the state unchanged.
+//  3. Reset returns to the initial state (same view fingerprint).
+//  4. IsMutator is consistent: observers rejected by ApplyMutator,
+//     mutators rejected by CheckObserver.
+//
+// This table drives the same contract checks over every specification in
+// the package.
+
+type specCase struct {
+	name string
+	make func() core.Spec
+	// warmup drives the spec into a non-trivial state.
+	warmup []call
+	// rejected is a mutator application the warmed-up spec must refuse.
+	rejected call
+	// observer is a valid observation at the warmed-up state.
+	observer call
+	// mutators/observers name at least one method of each class.
+	mutator, observerName string
+}
+
+type call struct {
+	m    string
+	args []event.Value
+	ret  event.Value
+}
+
+func conformanceCases() []specCase {
+	return []specCase{
+		{
+			name: "Multiset",
+			make: func() core.Spec { return NewMultiset() },
+			warmup: []call{
+				{"Insert", []event.Value{3}, true},
+				{"InsertPair", []event.Value{4, 5}, true},
+			},
+			rejected:     call{"Delete", []event.Value{99}, true},
+			observer:     call{"LookUp", []event.Value{3}, true},
+			mutator:      "Insert",
+			observerName: "LookUp",
+		},
+		{
+			name: "KV",
+			make: func() core.Spec { return NewKV() },
+			warmup: []call{
+				{"Insert", []event.Value{1, 10}, nil},
+				{"Insert", []event.Value{2, 20}, nil},
+			},
+			rejected:     call{"Delete", []event.Value{99}, true},
+			observer:     call{"Lookup", []event.Value{1}, 10},
+			mutator:      "Insert",
+			observerName: "Lookup",
+		},
+		{
+			name: "Vector",
+			make: func() core.Spec { return NewVector() },
+			warmup: []call{
+				{"AddElement", []event.Value{7}, nil},
+				{"AddElement", []event.Value{8}, nil},
+			},
+			rejected:     call{"RemoveElementAt", []event.Value{99}, nil},
+			observer:     call{"Size", nil, 2},
+			mutator:      "AddElement",
+			observerName: "Size",
+		},
+		{
+			name: "StringBuffers",
+			make: func() core.Spec { return NewStringBuffers(2) },
+			warmup: []call{
+				{"Append", []event.Value{0, "ab"}, nil},
+				{"Append", []event.Value{1, "cd"}, nil},
+			},
+			rejected:     call{"Delete", []event.Value{0, 9, 12}, nil},
+			observer:     call{"ToString", []event.Value{0}, "ab"},
+			mutator:      "Append",
+			observerName: "ToString",
+		},
+		{
+			name: "Store",
+			make: func() core.Spec { return NewStore() },
+			warmup: []call{
+				{"Write", []event.Value{1, []byte{1, 2}}, nil},
+			},
+			rejected:     call{"Write", []event.Value{1, "not-bytes"}, nil},
+			observer:     call{"Read", []event.Value{1}, []byte{1, 2}},
+			mutator:      "Write",
+			observerName: "Read",
+		},
+		{
+			name: "FS",
+			make: func() core.Spec { return NewFS() },
+			warmup: []call{
+				{"Create", []event.Value{"a"}, true},
+				{"WriteFile", []event.Value{"a", []byte{9}}, true},
+			},
+			rejected:     call{"Delete", []event.Value{"ghost"}, true},
+			observer:     call{"ReadFile", []event.Value{"a"}, []byte{9}},
+			mutator:      "Create",
+			observerName: "ReadFile",
+		},
+	}
+}
+
+func warmedUp(t *testing.T, c specCase) core.Spec {
+	t.Helper()
+	s := c.make()
+	for _, w := range c.warmup {
+		if err := s.ApplyMutator(w.m, w.args, w.ret); err != nil {
+			t.Fatalf("%s warmup %s: %v", c.name, w.m, err)
+		}
+	}
+	return s
+}
+
+func TestSpecObserverPurity(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s := warmedUp(t, c)
+			h := s.View().Hash()
+			if !s.CheckObserver(c.observer.m, c.observer.args, c.observer.ret) {
+				t.Fatalf("valid observation rejected: %+v", c.observer)
+			}
+			// Invalid observations must not mutate either.
+			s.CheckObserver(c.observer.m, c.observer.args, "garbage")
+			s.CheckObserver("NoSuchMethod", nil, nil)
+			if s.View().Hash() != h {
+				t.Fatal("CheckObserver modified the state")
+			}
+		})
+	}
+}
+
+func TestSpecRejectedMutatorLeavesStateUnchanged(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s := warmedUp(t, c)
+			h := s.View().Hash()
+			if err := s.ApplyMutator(c.rejected.m, c.rejected.args, c.rejected.ret); err == nil {
+				t.Fatalf("rejected case accepted: %+v", c.rejected)
+			}
+			if err := s.ApplyMutator("NoSuchMethod", nil, nil); err == nil {
+				t.Fatal("unknown mutator accepted")
+			}
+			if s.View().Hash() != h {
+				t.Fatal("rejected ApplyMutator modified the state")
+			}
+		})
+	}
+}
+
+func TestSpecResetRestoresInitialState(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			fresh := c.make()
+			initial := fresh.View().Hash()
+			s := warmedUp(t, c)
+			if s.View().Hash() == initial && len(c.warmup) > 0 {
+				t.Fatal("warmup did not change the view; the case is vacuous")
+			}
+			s.Reset()
+			if s.View().Hash() != initial {
+				t.Fatal("Reset did not restore the initial view")
+			}
+		})
+	}
+}
+
+func TestSpecMethodClassification(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s := c.make()
+			if !s.IsMutator(c.mutator) {
+				t.Fatalf("%s not classified as a mutator", c.mutator)
+			}
+			if s.IsMutator(c.observerName) {
+				t.Fatalf("%s not classified as an observer", c.observerName)
+			}
+			// Driving an observer through ApplyMutator must fail rather than
+			// silently succeed (the checker routes by IsMutator, but specs
+			// must be defensive).
+			if err := s.ApplyMutator(c.observerName, c.observer.args, c.observer.ret); err == nil {
+				t.Fatalf("ApplyMutator accepted observer %s", c.observerName)
+			}
+		})
+	}
+}
+
+func TestSpecCompressIsUniversallyNeutral(t *testing.T) {
+	for _, c := range conformanceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s := warmedUp(t, c)
+			h := s.View().Hash()
+			err := s.ApplyMutator(MethodCompress, nil, nil)
+			if s.View().Hash() != h {
+				t.Fatal("Compress changed the view")
+			}
+			if err != nil {
+				// Vector and StringBuffers have no maintenance thread, so
+				// their specs have no Compress pseudo-method.
+				t.Skipf("spec has no maintenance pseudo-method: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestFSCreateSemantics(t *testing.T) {
+	s := NewFS()
+	mustApply(t, s, "Create", []event.Value{"a"}, true)
+	if err := s.ApplyMutator("Create", []event.Value{"a"}, true); err == nil {
+		t.Fatal("re-creation claimed success")
+	}
+	mustApply(t, s, "Create", []event.Value{"a"}, false)
+	if err := s.ApplyMutator("Create", []event.Value{"b"}, false); err == nil {
+		t.Fatal("creation of a fresh name claimed failure")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestFSWriteAndAppend(t *testing.T) {
+	s := NewFS()
+	mustApply(t, s, "Create", []event.Value{"a"}, true)
+	mustApply(t, s, "WriteFile", []event.Value{"a", []byte("abc")}, true)
+	if b, _ := s.Get("a"); string(b) != "abc" {
+		t.Fatalf("contents %q", b)
+	}
+	mustApply(t, s, "Append", []event.Value{"a", []byte("def")}, true)
+	if b, _ := s.Get("a"); string(b) != "abcdef" {
+		t.Fatalf("after append: %q", b)
+	}
+	// Writes to missing files must claim failure and change nothing.
+	mustApply(t, s, "WriteFile", []event.Value{"ghost", []byte("x")}, false)
+	mustApply(t, s, "Append", []event.Value{"ghost", []byte("x")}, false)
+	if err := s.ApplyMutator("WriteFile", []event.Value{"ghost", []byte("x")}, true); err == nil {
+		t.Fatal("write to a missing file claimed success")
+	}
+	if err := s.ApplyMutator("Append", []event.Value{"a", []byte("x")}, false); err == nil {
+		t.Fatal("append to an existing file claimed failure")
+	}
+}
+
+func TestFSDeleteAndRead(t *testing.T) {
+	s := NewFS()
+	mustApply(t, s, "Create", []event.Value{"a"}, true)
+	mustApply(t, s, "WriteFile", []event.Value{"a", []byte{1, 2}}, true)
+	if !s.CheckObserver("ReadFile", []event.Value{"a"}, []byte{1, 2}) {
+		t.Fatal("ReadFile rejected the contents")
+	}
+	if s.CheckObserver("ReadFile", []event.Value{"a"}, []byte{9}) {
+		t.Fatal("ReadFile accepted wrong contents")
+	}
+	mustApply(t, s, "Delete", []event.Value{"a"}, true)
+	if !s.CheckObserver("ReadFile", []event.Value{"a"}, nil) {
+		t.Fatal("ReadFile of a deleted file must permit nil")
+	}
+	mustApply(t, s, "Delete", []event.Value{"a"}, false)
+	if err := s.ApplyMutator("Delete", []event.Value{"a"}, true); err == nil {
+		t.Fatal("delete of a missing file claimed success")
+	}
+}
+
+func TestFSViewCanonicalForm(t *testing.T) {
+	s := NewFS()
+	mustApply(t, s, "Create", []event.Value{"x"}, true)
+	if v, ok := s.View().Get("f:x"); !ok || v != event.Format([]byte(nil)) {
+		t.Fatalf("fresh file view entry: %q %v", v, ok)
+	}
+	mustApply(t, s, "WriteFile", []event.Value{"x", []byte{0xab}}, true)
+	if v, _ := s.View().Get("f:x"); v != "0xab" {
+		t.Fatalf("view entry %q", v)
+	}
+	mustApply(t, s, "Delete", []event.Value{"x"}, true)
+	if _, ok := s.View().Get("f:x"); ok {
+		t.Fatal("deleted file still in the view")
+	}
+}
+
+func TestFSMaintenanceNoOp(t *testing.T) {
+	s := NewFS()
+	mustApply(t, s, "Create", []event.Value{"x"}, true)
+	h := s.View().Hash()
+	mustApply(t, s, MethodCompress, nil, nil)
+	if s.View().Hash() != h {
+		t.Fatal("Compress changed the view")
+	}
+	if err := s.ApplyMutator(MethodCompress, nil, true); err == nil {
+		t.Fatal("Compress with a return value accepted")
+	}
+}
+
+func TestFSRejectsMalformed(t *testing.T) {
+	s := NewFS()
+	bad := []struct {
+		m    string
+		args []event.Value
+		ret  event.Value
+	}{
+		{"Create", nil, true},
+		{"Create", []event.Value{42}, true},
+		{"Create", []event.Value{"a"}, "yes"},
+		{"WriteFile", []event.Value{"a"}, true},
+		{"WriteFile", []event.Value{"a", "not-bytes"}, true},
+		{"Delete", []event.Value{"a"}, nil},
+		{"Unknown", nil, nil},
+	}
+	for _, c := range bad {
+		if err := s.ApplyMutator(c.m, c.args, c.ret); err == nil {
+			t.Fatalf("accepted %s%v -> %v", c.m, c.args, c.ret)
+		}
+	}
+	if s.CheckObserver("ReadFile", nil, nil) {
+		t.Fatal("ReadFile with no name accepted")
+	}
+	if s.CheckObserver("Nope", []event.Value{"a"}, nil) {
+		t.Fatal("unknown observer accepted")
+	}
+}
+
+// TestQuickFSAgainstModel compares the spec against a map model.
+func TestQuickFSAgainstModel(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewFS()
+		model := map[string][]byte{}
+		for i := 0; i < int(n); i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(5) {
+			case 0:
+				_, exists := model[name]
+				if s.ApplyMutator("Create", []event.Value{name}, !exists) != nil {
+					return false
+				}
+				if !exists {
+					model[name] = nil
+				}
+			case 1:
+				data := make([]byte, rng.Intn(6))
+				rng.Read(data)
+				_, exists := model[name]
+				if s.ApplyMutator("WriteFile", []event.Value{name, data}, exists) != nil {
+					return false
+				}
+				if exists {
+					model[name] = data
+				}
+			case 2:
+				data := make([]byte, rng.Intn(4))
+				rng.Read(data)
+				old, exists := model[name]
+				if s.ApplyMutator("Append", []event.Value{name, data}, exists) != nil {
+					return false
+				}
+				if exists {
+					model[name] = append(append([]byte{}, old...), data...)
+				}
+			case 3:
+				_, exists := model[name]
+				if s.ApplyMutator("Delete", []event.Value{name}, exists) != nil {
+					return false
+				}
+				delete(model, name)
+			case 4:
+				want, exists := model[name]
+				if exists {
+					if !s.CheckObserver("ReadFile", []event.Value{name}, want) {
+						return false
+					}
+				} else if !s.CheckObserver("ReadFile", []event.Value{name}, nil) {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for name, want := range model {
+			got, ok := s.Get(name)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

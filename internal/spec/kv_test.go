@@ -1,0 +1,157 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestKVInsertSetsAndOverwrites(t *testing.T) {
+	s := NewKV()
+	mustApply(t, s, "Insert", []event.Value{1, 10}, nil)
+	if v, ok := s.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+	mustApply(t, s, "Insert", []event.Value{1, 20}, nil)
+	if v, _ := s.Get(1); v != 20 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestKVInsertRejectsReturnValue(t *testing.T) {
+	s := NewKV()
+	if err := s.ApplyMutator("Insert", []event.Value{1, 10}, true); err == nil {
+		t.Fatal("Insert with a non-nil return value accepted")
+	}
+}
+
+func TestKVDeleteConsistency(t *testing.T) {
+	s := NewKV()
+	if err := s.ApplyMutator("Delete", []event.Value{5}, true); err == nil {
+		t.Fatal("Delete(absent) -> true accepted")
+	}
+	mustApply(t, s, "Delete", []event.Value{5}, false)
+	mustApply(t, s, "Insert", []event.Value{5, 50}, nil)
+	if err := s.ApplyMutator("Delete", []event.Value{5}, false); err == nil {
+		t.Fatal("Delete(present) -> false accepted: directed descent cannot miss")
+	}
+	mustApply(t, s, "Delete", []event.Value{5}, true)
+	if _, ok := s.Get(5); ok {
+		t.Fatal("delete did not remove")
+	}
+}
+
+func TestKVLookupObserver(t *testing.T) {
+	s := NewKV()
+	if !s.CheckObserver("Lookup", []event.Value{7}, -1) {
+		t.Fatal("Lookup(absent) -> -1 rejected")
+	}
+	if s.CheckObserver("Lookup", []event.Value{7}, 0) {
+		t.Fatal("Lookup(absent) -> 0 accepted")
+	}
+	mustApply(t, s, "Insert", []event.Value{7, 70}, nil)
+	if !s.CheckObserver("Lookup", []event.Value{7}, 70) {
+		t.Fatal("Lookup(present) rejected the stored data")
+	}
+	if s.CheckObserver("Lookup", []event.Value{7}, 71) {
+		t.Fatal("Lookup accepted wrong data")
+	}
+	if s.CheckObserver("Lookup", []event.Value{7}, "70") {
+		t.Fatal("Lookup accepted a non-integer return")
+	}
+}
+
+func TestKVViewMatchesContents(t *testing.T) {
+	s := NewKV()
+	mustApply(t, s, "Insert", []event.Value{1, 10}, nil)
+	mustApply(t, s, "Insert", []event.Value{2, 20}, nil)
+	mustApply(t, s, "Delete", []event.Value{1}, true)
+	if v, ok := s.View().Get("k:2"); !ok || v != "20" {
+		t.Fatalf("view entry k:2 = %q, %v", v, ok)
+	}
+	if _, ok := s.View().Get("k:1"); ok {
+		t.Fatal("deleted key still in the view")
+	}
+}
+
+func TestKVCompressNoOp(t *testing.T) {
+	s := NewKV()
+	mustApply(t, s, "Insert", []event.Value{1, 10}, nil)
+	h := s.View().Hash()
+	mustApply(t, s, MethodCompress, nil, nil)
+	if s.View().Hash() != h {
+		t.Fatal("Compress changed the view")
+	}
+}
+
+func TestKVRejectsMalformed(t *testing.T) {
+	s := NewKV()
+	bad := []struct {
+		m    string
+		args []event.Value
+		ret  event.Value
+	}{
+		{"Insert", []event.Value{1}, nil},
+		{"Insert", []event.Value{"k", 1}, nil},
+		{"Delete", nil, true},
+		{"Delete", []event.Value{1}, 1},
+		{"Unknown", nil, nil},
+	}
+	for _, c := range bad {
+		if err := s.ApplyMutator(c.m, c.args, c.ret); err == nil {
+			t.Fatalf("accepted %s%v -> %v", c.m, c.args, c.ret)
+		}
+	}
+}
+
+// TestQuickKVAgainstModel compares the spec against a map model under
+// random valid operation sequences, checking view fingerprints track.
+func TestQuickKVAgainstModel(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewKV()
+		model := map[int]int{}
+		for i := 0; i < int(n); i++ {
+			k := rng.Intn(10)
+			switch rng.Intn(3) {
+			case 0:
+				d := rng.Intn(100)
+				if s.ApplyMutator("Insert", []event.Value{k, d}, nil) != nil {
+					return false
+				}
+				model[k] = d
+			case 1:
+				_, present := model[k]
+				if s.ApplyMutator("Delete", []event.Value{k}, present) != nil {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				want := -1
+				if d, ok := model[k]; ok {
+					want = d
+				}
+				if !s.CheckObserver("Lookup", []event.Value{k}, want) {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, d := range model {
+			if got, ok := s.Get(k); !ok || got != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Multiset is the executable specification of the paper's running example
+// (Section 2): a multiset of integers with Insert, InsertPair, Delete and
+// LookUp. Insert and InsertPair are allowed to terminate unsuccessfully
+// under contention, in which case the multiset state must be unchanged;
+// InsertPair must insert both elements or neither.
+//
+// Methods and return values:
+//
+//	Insert(x) -> bool        mutator; true adds one copy of x
+//	InsertPair(x, y) -> bool mutator; true adds one copy of each of x and y
+//	Delete(x) -> bool        mutator; true removes one copy (requires presence);
+//	                         false (not found) is always permitted
+//	LookUp(x) -> bool        observer; membership
+//	Compress() -> nil        mutator pseudo-method; abstract no-op
+type Multiset struct {
+	counts map[int]int
+	table  *view.Table
+}
+
+// NewMultiset returns an empty multiset specification.
+func NewMultiset() *Multiset {
+	s := &Multiset{}
+	s.Reset()
+	return s
+}
+
+// Reset implements core.Spec.
+func (s *Multiset) Reset() {
+	s.counts = make(map[int]int)
+	s.table = view.NewTable()
+}
+
+// View implements core.Spec. Keys are "e:<element>"; values are
+// multiplicities.
+func (s *Multiset) View() *view.Table { return s.table }
+
+// IsMutator implements core.Spec.
+func (s *Multiset) IsMutator(method string) bool {
+	switch method {
+	case "Insert", "InsertPair", "Delete", MethodCompress:
+		return true
+	case "LookUp":
+		return false
+	}
+	// Unknown methods are treated as mutators so that they reach
+	// ApplyMutator and are rejected there with a useful message.
+	return true
+}
+
+func (s *Multiset) add(x, delta int) {
+	n := s.counts[x] + delta
+	key := "e:" + itoa(x)
+	if n <= 0 {
+		delete(s.counts, x)
+		s.table.Delete(key)
+		return
+	}
+	s.counts[x] = n
+	s.table.Set(key, itoa(n))
+}
+
+// Count returns the multiplicity of x.
+func (s *Multiset) Count(x int) int { return s.counts[x] }
+
+// Size returns the total number of elements (with multiplicity).
+func (s *Multiset) Size() int {
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// ApplyMutator implements core.Spec.
+func (s *Multiset) ApplyMutator(method string, args []event.Value, ret event.Value) error {
+	switch method {
+	case "Insert":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one argument")
+		}
+		x, ok := event.Int(args[0])
+		if !ok {
+			return errRet(method, args, ret, "non-integer argument")
+		}
+		success, ok := retSuccess(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool or exceptional")
+		}
+		if success {
+			s.add(x, 1)
+		}
+		return nil
+
+	case "InsertPair":
+		if len(args) != 2 {
+			return errRet(method, args, ret, "expected two arguments")
+		}
+		x, okx := event.Int(args[0])
+		y, oky := event.Int(args[1])
+		if !okx || !oky {
+			return errRet(method, args, ret, "non-integer arguments")
+		}
+		success, ok := retSuccess(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool or exceptional")
+		}
+		if success {
+			s.add(x, 1)
+			s.add(y, 1)
+		}
+		return nil
+
+	case "Delete":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one argument")
+		}
+		x, ok := event.Int(args[0])
+		if !ok {
+			return errRet(method, args, ret, "non-integer argument")
+		}
+		removed, ok := ret.(bool)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool")
+		}
+		// Delete(x) -> true requires x to be present. Delete(x) -> false is
+		// always permitted: a scan-based implementation may correctly miss
+		// an element inserted behind its scan front, and the specification
+		// deliberately models that contention outcome (Section 1 of the
+		// paper: refinement admits specifications permissive enough for
+		// concurrent executions where atomicity is too stringent).
+		if removed {
+			if s.counts[x] == 0 {
+				return errRet(method, args, ret, "claims removal but element is absent in the witness interleaving")
+			}
+			s.add(x, -1)
+		}
+		return nil
+
+	case MethodCompress:
+		return nil
+	}
+	return fmt.Errorf("unknown mutator %q", method)
+}
+
+// CheckObserver implements core.Spec.
+func (s *Multiset) CheckObserver(method string, args []event.Value, ret event.Value) bool {
+	if method != "LookUp" || len(args) != 1 {
+		return false
+	}
+	x, ok := event.Int(args[0])
+	if !ok {
+		return false
+	}
+	found, ok := ret.(bool)
+	if !ok {
+		return false
+	}
+	return found == (s.counts[x] > 0)
+}

@@ -1,0 +1,43 @@
+// Package spec provides the executable specifications used throughout the
+// repository: method-atomic, deterministic state transition systems in the
+// sense of Section 3.2 of the paper. Each specification validates observed
+// return values (ApplyMutator/CheckObserver) and maintains a live viewS
+// table for view refinement.
+//
+// Specifications are deliberately permissive where the paper's notion of
+// refinement demands it (Section 1): operations that may fail under
+// resource contention accept an unsuccessful return value with the state
+// left unchanged, which plain atomicity checking cannot express.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+)
+
+// MethodCompress is the pseudo-method under which internal maintenance
+// threads (compression, flushing, reclaiming) run. Its specification action
+// is a no-op: maintenance must not change the abstract state, and view
+// refinement checks exactly that at each of its commits (Section 7.2.3).
+const MethodCompress = "Compress"
+
+// errRet builds the standard "return value not permitted" error.
+func errRet(method string, args []event.Value, ret event.Value, why string) error {
+	return fmt.Errorf("%s%v -> %v: %s", method, args, ret, why)
+}
+
+// retSuccess interprets a mutator return value as success/failure, treating
+// an Exceptional value as failure (Section 3 models exceptional termination
+// as a special return value).
+func retSuccess(ret event.Value) (success, ok bool) {
+	if event.IsExceptional(ret) {
+		return false, true
+	}
+	b, ok := ret.(bool)
+	return b, ok
+}
+
+// itoa is the canonical rendering of integer keys in view tables.
+func itoa(n int) string { return strconv.Itoa(n) }

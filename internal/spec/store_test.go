@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestStoreWriteAndRead(t *testing.T) {
+	s := NewStore()
+	mustApply(t, s, "Write", []event.Value{7, []byte{1, 2, 3}}, nil)
+	if b, ok := s.Get(7); !ok || string(b) != "\x01\x02\x03" {
+		t.Fatalf("Get(7) = %x, %v", b, ok)
+	}
+	if !s.CheckObserver("Read", []event.Value{7}, []byte{1, 2, 3}) {
+		t.Fatal("Read rejected stored bytes")
+	}
+	if s.CheckObserver("Read", []event.Value{7}, []byte{1, 2, 4}) {
+		t.Fatal("Read accepted wrong bytes")
+	}
+	mustApply(t, s, "Write", []event.Value{7, []byte{9}}, nil)
+	if !s.CheckObserver("Read", []event.Value{7}, []byte{9}) {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestStoreReadUnwrittenHandle(t *testing.T) {
+	s := NewStore()
+	if !s.CheckObserver("Read", []event.Value{1}, nil) {
+		t.Fatal("Read of an unwritten handle must permit nil")
+	}
+	if s.CheckObserver("Read", []event.Value{1}, []byte{}) {
+		t.Fatal("Read of an unwritten handle accepted bytes")
+	}
+}
+
+func TestStoreMaintenanceIsAbstractNoOp(t *testing.T) {
+	s := NewStore()
+	mustApply(t, s, "Write", []event.Value{1, []byte{5}}, nil)
+	h := s.View().Hash()
+	mustApply(t, s, "Flush", nil, nil)
+	mustApply(t, s, "Revoke", []event.Value{1}, nil)
+	mustApply(t, s, MethodCompress, nil, nil)
+	if s.View().Hash() != h {
+		t.Fatal("maintenance changed the abstract store")
+	}
+	if err := s.ApplyMutator("Flush", nil, true); err == nil {
+		t.Fatal("Flush with a return value accepted")
+	}
+}
+
+func TestStoreRejectsMalformed(t *testing.T) {
+	s := NewStore()
+	bad := []struct {
+		m    string
+		args []event.Value
+		ret  event.Value
+	}{
+		{"Write", []event.Value{1}, nil},
+		{"Write", []event.Value{"h", []byte{1}}, nil},
+		{"Write", []event.Value{1, "not-bytes"}, nil},
+		{"Write", []event.Value{1, []byte{1}}, true},
+		{"Unknown", nil, nil},
+	}
+	for _, c := range bad {
+		if err := s.ApplyMutator(c.m, c.args, c.ret); err == nil {
+			t.Fatalf("accepted %s%v -> %v", c.m, c.args, c.ret)
+		}
+	}
+	if s.CheckObserver("Read", nil, nil) {
+		t.Fatal("Read with no handle accepted")
+	}
+}
+
+func TestStoreViewCanonicalForm(t *testing.T) {
+	s := NewStore()
+	mustApply(t, s, "Write", []event.Value{3, []byte{0xab}}, nil)
+	if v, ok := s.View().Get("h:3"); !ok || v != "0xab" {
+		t.Fatalf("view h:3 = %q, %v", v, ok)
+	}
+}
+
+// TestQuickStoreAgainstModel compares against a map model.
+func TestQuickStoreAgainstModel(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		model := map[int][]byte{}
+		for i := 0; i < int(n); i++ {
+			h := rng.Intn(6)
+			switch rng.Intn(3) {
+			case 0:
+				buf := make([]byte, rng.Intn(8))
+				rng.Read(buf)
+				if s.ApplyMutator("Write", []event.Value{h, buf}, nil) != nil {
+					return false
+				}
+				model[h] = buf
+			case 1:
+				want := model[h] // nil when absent
+				if _, present := model[h]; !present {
+					if !s.CheckObserver("Read", []event.Value{h}, nil) {
+						return false
+					}
+					continue
+				}
+				if !s.CheckObserver("Read", []event.Value{h}, want) {
+					return false
+				}
+			case 2:
+				if s.ApplyMutator("Flush", nil, nil) != nil {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestStringBuffersAppend(t *testing.T) {
+	s := NewStringBuffers(2)
+	mustApply(t, s, "Append", []event.Value{0, "hello"}, nil)
+	mustApply(t, s, "Append", []event.Value{0, " world"}, nil)
+	if s.Content(0) != "hello world" {
+		t.Fatalf("content = %q", s.Content(0))
+	}
+	if !s.CheckObserver("ToString", []event.Value{0}, "hello world") {
+		t.Fatal("ToString rejected the contents")
+	}
+	if !s.CheckObserver("Length", []event.Value{0}, 11) {
+		t.Fatal("Length rejected")
+	}
+	if s.CheckObserver("Length", []event.Value{1}, 11) {
+		t.Fatal("Length of the other buffer accepted")
+	}
+}
+
+func TestStringBuffersAppendBuffer(t *testing.T) {
+	s := NewStringBuffers(3)
+	mustApply(t, s, "Append", []event.Value{1, "abc"}, nil)
+	mustApply(t, s, "AppendBuffer", []event.Value{0, 1}, nil)
+	if s.Content(0) != "abc" {
+		t.Fatalf("content = %q", s.Content(0))
+	}
+	// Self-append doubles.
+	mustApply(t, s, "AppendBuffer", []event.Value{1, 1}, nil)
+	if s.Content(1) != "abcabc" {
+		t.Fatalf("self-append = %q", s.Content(1))
+	}
+	// Exceptional termination is never permitted for AppendBuffer — that is
+	// how the known bug surfaces (Section 7.4.1).
+	if err := s.ApplyMutator("AppendBuffer", []event.Value{0, 1}, event.Exceptional{Reason: "AIOOBE"}); err == nil {
+		t.Fatal("exceptional AppendBuffer accepted")
+	}
+}
+
+func TestStringBuffersDelete(t *testing.T) {
+	s := NewStringBuffers(1)
+	mustApply(t, s, "Append", []event.Value{0, "abcdef"}, nil)
+	mustApply(t, s, "Delete", []event.Value{0, 1, 3}, nil)
+	if s.Content(0) != "adef" {
+		t.Fatalf("after delete: %q", s.Content(0))
+	}
+	// End beyond length clips (java semantics).
+	mustApply(t, s, "Delete", []event.Value{0, 2, 99}, nil)
+	if s.Content(0) != "ad" {
+		t.Fatalf("after clipped delete: %q", s.Content(0))
+	}
+	// Invalid ranges must terminate exceptionally.
+	mustApply(t, s, "Delete", []event.Value{0, 5, 9}, event.Exceptional{Reason: "x"})
+	mustApply(t, s, "Delete", []event.Value{0, -1, 1}, event.Exceptional{Reason: "x"})
+	mustApply(t, s, "Delete", []event.Value{0, 2, 1}, event.Exceptional{Reason: "x"})
+	if err := s.ApplyMutator("Delete", []event.Value{0, 5, 9}, nil); err == nil {
+		t.Fatal("invalid range accepted as a normal return")
+	}
+	if err := s.ApplyMutator("Delete", []event.Value{0, 0, 1}, event.Exceptional{Reason: "x"}); err == nil {
+		t.Fatal("exceptional termination of a valid delete accepted")
+	}
+}
+
+func TestStringBuffersSetLength(t *testing.T) {
+	s := NewStringBuffers(1)
+	mustApply(t, s, "Append", []event.Value{0, "abc"}, nil)
+	mustApply(t, s, "SetLength", []event.Value{0, 5}, nil)
+	if s.Content(0) != "abc\x00\x00" {
+		t.Fatalf("zero-extension: %q", s.Content(0))
+	}
+	mustApply(t, s, "SetLength", []event.Value{0, 2}, nil)
+	if s.Content(0) != "ab" {
+		t.Fatalf("truncation: %q", s.Content(0))
+	}
+	mustApply(t, s, "SetLength", []event.Value{0, -1}, event.Exceptional{Reason: "x"})
+	if err := s.ApplyMutator("SetLength", []event.Value{0, -1}, nil); err == nil {
+		t.Fatal("negative length accepted as a normal return")
+	}
+}
+
+func TestStringBuffersViewCanonicalForm(t *testing.T) {
+	s := NewStringBuffers(2)
+	if _, ok := s.View().Get("sb:0"); !ok {
+		t.Fatal("view lacks the empty buffer entries")
+	}
+	mustApply(t, s, "Append", []event.Value{1, "zz"}, nil)
+	if v, _ := s.View().Get("sb:1"); v != "zz" {
+		t.Fatalf("view sb:1 = %q", v)
+	}
+}
+
+func TestStringBuffersRejectsBadIDs(t *testing.T) {
+	s := NewStringBuffers(2)
+	if err := s.ApplyMutator("Append", []event.Value{5, "x"}, nil); err == nil {
+		t.Fatal("out-of-range buffer id accepted")
+	}
+	if err := s.ApplyMutator("AppendBuffer", []event.Value{0, 9}, nil); err == nil {
+		t.Fatal("out-of-range source id accepted")
+	}
+	if s.CheckObserver("ToString", []event.Value{9}, "") {
+		t.Fatal("observer accepted an out-of-range id")
+	}
+}
+
+// TestQuickStringBuffersAgainstModel compares against a []string model.
+func TestQuickStringBuffersAgainstModel(t *testing.T) {
+	const nb = 3
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStringBuffers(nb)
+		model := make([]string, nb)
+		for i := 0; i < int(n); i++ {
+			id := rng.Intn(nb)
+			switch rng.Intn(5) {
+			case 0:
+				str := strconv.Itoa(rng.Intn(1000))
+				if s.ApplyMutator("Append", []event.Value{id, str}, nil) != nil {
+					return false
+				}
+				model[id] += str
+			case 1:
+				src := rng.Intn(nb)
+				if len(model[id])+len(model[src]) > 4096 {
+					continue
+				}
+				if s.ApplyMutator("AppendBuffer", []event.Value{id, src}, nil) != nil {
+					return false
+				}
+				model[id] += model[src]
+			case 2:
+				nl := rng.Intn(20)
+				if s.ApplyMutator("SetLength", []event.Value{id, nl}, nil) != nil {
+					return false
+				}
+				if nl <= len(model[id]) {
+					model[id] = model[id][:nl]
+				} else {
+					model[id] += strings.Repeat("\x00", nl-len(model[id]))
+				}
+			case 3:
+				if len(model[id]) == 0 {
+					continue
+				}
+				start := rng.Intn(len(model[id]))
+				end := start + rng.Intn(len(model[id])-start+3)
+				if s.ApplyMutator("Delete", []event.Value{id, start, end}, nil) != nil {
+					return false
+				}
+				e := end
+				if e > len(model[id]) {
+					e = len(model[id])
+				}
+				model[id] = model[id][:start] + model[id][e:]
+			case 4:
+				if !s.CheckObserver("ToString", []event.Value{id}, model[id]) {
+					return false
+				}
+			}
+		}
+		for id := 0; id < nb; id++ {
+			if s.Content(id) != model[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package view implements the hypothetical view variables of Section 5 of
+// the paper: canonical representations of abstract data-structure contents,
+// computed on both the specification state (viewS) and the replica state
+// reconstructed from the log (viewI), and compared at every mutator commit.
+//
+// A view is a Table: a finite map from canonical keys to canonical values.
+// For a multiset, keys are elements and values are multiplicities; for a
+// B-link tree, keys are the stored keys and values the stored data; the
+// indexing structure, hash functions and so on are abstracted away
+// (Section 5: "viewI might be defined as the list of the (key, value)
+// pairs, thus abstracting away the structure of the tree").
+//
+// To avoid re-traversing the entire state at each commit (Section 6.4), a
+// Table maintains an order-independent 64-bit fingerprint incrementally:
+// each (key, value) pair contributes a mixed hash, and the table fingerprint
+// is the XOR of the contributions. Set and Delete update the fingerprint in
+// O(1); equality of fingerprints is the fast path of view comparison, and
+// Diff provides the exact comparison used for diagnostics and as a
+// collision guard in tests.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an incrementally fingerprinted map from canonical keys to
+// canonical values. The zero value is not usable; construct with NewTable.
+type Table struct {
+	m    map[string]string
+	hash uint64
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{m: make(map[string]string)}
+}
+
+// pairHash mixes one (key, value) pair into a 64-bit contribution. It uses
+// FNV-1a over a length-prefixed encoding followed by a finalizer, so that
+// contributions of distinct pairs are effectively independent and the XOR
+// aggregate detects any single-pair discrepancy.
+func pairHash(k, v string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		// Length prefix prevents ("ab","c") colliding with ("a","bc").
+		n := uint64(len(s))
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(n >> (8 * i)))
+			h *= prime64
+		}
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix(k)
+	mix(v)
+	// splitmix64-style finalizer; XOR-aggregation needs well-spread bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Set maps key to value, replacing any previous value.
+func (t *Table) Set(key, value string) {
+	if old, ok := t.m[key]; ok {
+		if old == value {
+			return
+		}
+		t.hash ^= pairHash(key, old)
+	}
+	t.m[key] = value
+	t.hash ^= pairHash(key, value)
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (t *Table) Delete(key string) {
+	if old, ok := t.m[key]; ok {
+		t.hash ^= pairHash(key, old)
+		delete(t.m, key)
+	}
+}
+
+// Get returns the value for key and whether it is present.
+func (t *Table) Get(key string) (string, bool) {
+	v, ok := t.m[key]
+	return v, ok
+}
+
+// Len reports the number of pairs in the table.
+func (t *Table) Len() int { return len(t.m) }
+
+// Hash returns the order-independent fingerprint of the table contents.
+// Equal contents always have equal fingerprints; unequal contents collide
+// with probability ~2^-64 per comparison.
+func (t *Table) Hash() uint64 { return t.hash }
+
+// Reset removes all pairs.
+func (t *Table) Reset() {
+	t.m = make(map[string]string)
+	t.hash = 0
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{m: make(map[string]string, len(t.m)), hash: t.hash}
+	for k, v := range t.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Keys returns the keys in sorted order.
+func (t *Table) Keys() []string {
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Equal reports whether the two tables hold identical contents. It first
+// compares fingerprints and sizes, then verifies pair by pair, so it never
+// reports a false positive even under a fingerprint collision.
+func (t *Table) Equal(o *Table) bool {
+	if t.hash != o.hash || len(t.m) != len(o.m) {
+		return false
+	}
+	for k, v := range t.m {
+		if ov, ok := o.m[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaKind classifies one discrepancy between two tables.
+type DeltaKind uint8
+
+const (
+	// DeltaMissing: the key is present here but absent in the other table.
+	DeltaMissing DeltaKind = iota + 1
+	// DeltaExtra: the key is absent here but present in the other table.
+	DeltaExtra
+	// DeltaChanged: the key is present in both with different values.
+	DeltaChanged
+)
+
+// Delta is one discrepancy found by Diff.
+type Delta struct {
+	Kind         DeltaKind
+	Key          string
+	Value, Other string
+}
+
+// String renders the delta for diagnostics.
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaMissing:
+		return fmt.Sprintf("only in viewI: %s=%s", d.Key, d.Value)
+	case DeltaExtra:
+		return fmt.Sprintf("only in viewS: %s=%s", d.Key, d.Other)
+	case DeltaChanged:
+		return fmt.Sprintf("differs at %s: viewI=%s viewS=%s", d.Key, d.Value, d.Other)
+	}
+	return fmt.Sprintf("delta(%d) %s", d.Kind, d.Key)
+}
+
+// Diff returns the discrepancies between t (conventionally viewI) and o
+// (conventionally viewS), sorted by key, capped at limit entries (limit <= 0
+// means unlimited). An empty result means the tables are equal.
+func (t *Table) Diff(o *Table, limit int) []Delta {
+	var out []Delta
+	for k, v := range t.m {
+		if ov, ok := o.m[k]; !ok {
+			out = append(out, Delta{Kind: DeltaMissing, Key: k, Value: v})
+		} else if ov != v {
+			out = append(out, Delta{Kind: DeltaChanged, Key: k, Value: v, Other: ov})
+		}
+	}
+	for k, ov := range o.m {
+		if _, ok := t.m[k]; !ok {
+			out = append(out, Delta{Kind: DeltaExtra, Key: k, Other: ov})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// String renders the full table contents in sorted key order.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range t.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, t.m[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FormatDeltas renders a bounded diff for violation messages.
+func FormatDeltas(ds []Delta) string {
+	if len(ds) == 0 {
+		return "(views equal)"
+	}
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,208 @@
+// Package wal implements the VYRD execution log (Section 4.2 and 6.1 of the
+// paper): a totally ordered, concurrently appended record of the visible
+// actions of an instrumented implementation.
+//
+// Implementation threads append entries as they run; the verification thread
+// reads them through a Cursor and performs refinement checking, either
+// concurrently with the execution (online) or afterwards from a snapshot or
+// a persisted file (offline). To keep log order consistent with the
+// execution, instrumented code appends each entry while holding the locks
+// that make the logged action visible to other threads, so the sequence
+// numbers assigned here coincide with the order the actions take effect.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// Level selects how much of the execution is recorded (Section 6.2; Table 2
+// measures the cost of each level).
+type Level uint8
+
+const (
+	// LevelOff disables logging entirely; every probe operation is a no-op.
+	// This is the "program alone" baseline of Tables 2 and 3.
+	LevelOff Level = iota
+	// LevelIO records call, return and commit actions: everything I/O
+	// refinement checking needs (Section 4.2).
+	LevelIO
+	// LevelView additionally records shared-variable writes in the support
+	// of viewI and commit-block delimiters: everything view refinement
+	// checking needs (Section 5.1).
+	LevelView
+)
+
+// String returns the name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelIO:
+		return "io"
+	case LevelView:
+		return "view"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Log is the shared execution log. The zero value is not usable; construct
+// with New.
+type Log struct {
+	level Level
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []event.Entry
+	closed  bool
+
+	nextTid atomic.Int32
+
+	// sink, when non-nil, receives every appended entry (file persistence).
+	sink *event.Encoder
+	// sinkErr records the first persistence failure; subsequent appends
+	// keep the in-memory log usable.
+	sinkErr error
+}
+
+// New returns an empty log recording at the given level.
+func New(level Level) *Log {
+	l := &Log{level: level}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Level reports the recording level the log was created with.
+func (l *Log) Level() Level { return l.level }
+
+// NewTid allocates a fresh thread identifier. Each goroutine that performs
+// logged actions must use its own identifier (its own Probe).
+func (l *Log) NewTid() int32 { return l.nextTid.Add(1) }
+
+// Append adds an entry to the log, assigning and returning its sequence
+// number. Safe for concurrent use. Appending to a closed log panics: it
+// indicates the harness tore down the log while workers were still running.
+func (l *Log) Append(e event.Entry) int64 {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		panic("wal: append to closed log")
+	}
+	e.Seq = int64(len(l.entries)) + 1
+	l.entries = append(l.entries, e)
+	if l.sink != nil && l.sinkErr == nil {
+		l.sinkErr = l.sink.Encode(e)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return e.Seq
+}
+
+// Len reports the number of entries appended so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Snapshot returns a copy of the entries appended so far, for offline
+// checking of a completed (or quiesced) execution.
+func (l *Log) Snapshot() []event.Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]event.Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Close marks the log complete. Cursors observe end-of-log once they have
+// consumed every entry. Closing twice is a no-op.
+func (l *Log) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (l *Log) Closed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// SinkErr returns the first error encountered while persisting entries to
+// the attached sink, if any.
+func (l *Log) SinkErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinkErr
+}
+
+// AttachSink starts persisting every subsequently appended entry to w using
+// the event codec (the analogue of the paper's serialized log file). Entries
+// already in the log are written out first so the stream is complete.
+func (l *Log) AttachSink(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	enc := event.NewEncoder(w)
+	for _, e := range l.entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	l.sink = enc
+	return nil
+}
+
+// Cursor reads the log in order. A cursor is owned by a single goroutine
+// (the verification thread).
+type Cursor struct {
+	log *Log
+	pos int
+}
+
+// Cursor returns a new cursor positioned at the start of the log.
+func (l *Log) Cursor() *Cursor { return &Cursor{log: l} }
+
+// TryNext returns the next entry without blocking. ok is false if no entry
+// is available yet (or ever, if the log is closed and drained).
+func (c *Cursor) TryNext() (e event.Entry, ok bool) {
+	c.log.mu.Lock()
+	defer c.log.mu.Unlock()
+	if c.pos < len(c.log.entries) {
+		e = c.log.entries[c.pos]
+		c.pos++
+		return e, true
+	}
+	return event.Entry{}, false
+}
+
+// Next blocks until an entry is available or the log is closed and fully
+// consumed, in which case ok is false.
+func (c *Cursor) Next() (e event.Entry, ok bool) {
+	c.log.mu.Lock()
+	defer c.log.mu.Unlock()
+	for c.pos >= len(c.log.entries) {
+		if c.log.closed {
+			return event.Entry{}, false
+		}
+		c.log.cond.Wait()
+	}
+	e = c.log.entries[c.pos]
+	c.pos++
+	return e, true
+}
+
+// Pos reports how many entries the cursor has consumed.
+func (c *Cursor) Pos() int { return c.pos }
+
+// ReadFile decodes a persisted log stream into a slice of entries, the
+// input to offline checking.
+func ReadFile(r io.Reader) ([]event.Entry, error) {
+	return event.NewDecoder(r).DecodeAll()
+}

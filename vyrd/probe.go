@@ -1,0 +1,182 @@
+package vyrd
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// Log is the shared execution log of one instrumented run. It wraps the
+// internal write-ahead log and is the factory for per-goroutine probes and
+// for the verification thread's cursor.
+type Log struct {
+	wal *wal.Log
+}
+
+// NewLog returns an empty log recording at the given level.
+func NewLog(level Level) *Log { return &Log{wal: wal.New(level)} }
+
+// Level reports the recording level.
+func (l *Log) Level() Level { return l.wal.Level() }
+
+// Len reports the number of entries appended so far.
+func (l *Log) Len() int { return l.wal.Len() }
+
+// Close marks the execution complete; online checkers drain and stop.
+func (l *Log) Close() { l.wal.Close() }
+
+// Snapshot copies the entries appended so far, for offline checking.
+func (l *Log) Snapshot() []Entry { return l.wal.Snapshot() }
+
+// AttachSink persists every entry (including those already appended) to w.
+func (l *Log) AttachSink(w io.Writer) error { return l.wal.AttachSink(w) }
+
+// SinkErr returns the first persistence failure, if any.
+func (l *Log) SinkErr() error { return l.wal.SinkErr() }
+
+// NewProbe allocates a probe for an application thread (Tid_app). Each
+// goroutine performing logged actions needs its own probe.
+func (l *Log) NewProbe() *Probe {
+	return &Probe{log: l.wal, tid: l.wal.NewTid(), level: l.wal.Level()}
+}
+
+// NewWorkerProbe allocates a probe for an internal data-structure worker
+// thread (Tid_ds), e.g. a compression or flush daemon.
+func (l *Log) NewWorkerProbe() *Probe {
+	return &Probe{log: l.wal, tid: l.wal.NewTid(), level: l.wal.Level(), worker: true}
+}
+
+// StartChecker constructs a checker over spec and runs it on a fresh
+// verification goroutine reading this log from the beginning (the paper's
+// online architecture, Section 4.2). The returned function blocks until the
+// log is closed and drained (or the fail-fast checker stops) and yields the
+// final report.
+func (l *Log) StartChecker(spec Spec, opts ...Option) (wait func() *Report, err error) {
+	c, err := core.New(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan *Report, 1)
+	cur := l.wal.Cursor()
+	go func() { done <- c.Run(cur) }()
+	return func() *Report { return <-done }, nil
+}
+
+// Probe performs the logging for one thread. All methods are safe to call on
+// a nil probe (no-ops), so implementations can run uninstrumented; they are
+// not safe for concurrent use by multiple goroutines.
+type Probe struct {
+	log    *wal.Log
+	tid    int32
+	level  Level
+	worker bool
+}
+
+// Tid returns the probe's thread identifier (0 for a nil probe).
+func (p *Probe) Tid() int32 {
+	if p == nil {
+		return 0
+	}
+	return p.tid
+}
+
+// active reports whether the probe records anything at all.
+func (p *Probe) active() bool { return p != nil && p.level != LevelOff }
+
+// viewActive reports whether the probe records view-level actions.
+func (p *Probe) viewActive() bool { return p != nil && p.level == LevelView }
+
+// Call records the invocation of a public method and returns the invocation
+// handle used to record its commit and return. Arguments that alias mutable
+// buffers must be snapshotted by the caller (see event.CloneBytes): the log
+// records observed values.
+func (p *Probe) Call(method string, args ...Value) *Invocation {
+	if !p.active() {
+		return nil
+	}
+	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindCall, Method: method, Args: args, Worker: p.worker})
+	return &Invocation{p: p, method: method}
+}
+
+// Write records an update to a shared variable in the support of viewI.
+// Inside a commit block the checker buffers it and applies it atomically at
+// the block's commit; outside, it is applied to the replica immediately.
+// No-op below LevelView.
+func (p *Probe) Write(op string, args ...Value) {
+	if !p.viewActive() {
+		return
+	}
+	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindWrite, Method: op, Args: args, Worker: p.worker})
+}
+
+// Invocation records the actions of one method execution. A nil *Invocation
+// (from an inactive probe) is a valid no-op receiver.
+type Invocation struct {
+	p      *Probe
+	method string
+}
+
+// Commit records this execution's unique commit action (Section 4.1). label
+// distinguishes the commit points of a method with several exit paths, for
+// diagnostics.
+func (inv *Invocation) Commit(label string) {
+	if inv == nil {
+		return
+	}
+	inv.p.log.Append(event.Entry{
+		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method,
+		Label: label, Worker: inv.p.worker,
+	})
+}
+
+// CommitWrite records the commit action together with the single write
+// performed atomically with it — the common shape in which the commit is
+// "the write that makes the new abstract state visible". Below LevelView the
+// write payload is dropped and only the commit is recorded.
+func (inv *Invocation) CommitWrite(label, op string, args ...Value) {
+	if inv == nil {
+		return
+	}
+	e := event.Entry{
+		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method,
+		Label: label, Worker: inv.p.worker,
+	}
+	if inv.p.viewActive() {
+		e.WOp = op
+		e.WArgs = args
+	}
+	inv.p.log.Append(e)
+}
+
+// BeginCommitBlock marks the start of this execution's commit block
+// (Section 5.2). The caller must guarantee (by inspection, static analysis
+// or a runtime atomicity checker) that the block executes atomically; the
+// view replay relies on it. No-op below LevelView.
+func (inv *Invocation) BeginCommitBlock() {
+	if inv == nil || !inv.p.viewActive() {
+		return
+	}
+	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindBeginBlock, Worker: inv.p.worker})
+}
+
+// EndCommitBlock marks the end of the commit block.
+func (inv *Invocation) EndCommitBlock() {
+	if inv == nil || !inv.p.viewActive() {
+		return
+	}
+	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindEndBlock, Worker: inv.p.worker})
+}
+
+// Return records the method's return action and value, closing the
+// invocation.
+func (inv *Invocation) Return(ret Value) {
+	if inv == nil {
+		return
+	}
+	inv.p.log.Append(event.Entry{
+		Tid: inv.p.tid, Kind: event.KindReturn, Method: inv.method,
+		Ret: ret, Worker: inv.p.worker,
+	})
+}

@@ -1,0 +1,145 @@
+// Package vyrd is the public API of the VYRD runtime refinement checker
+// (Elmas, Tasiran, Qadeer: "VYRD: VerifYing Concurrent Programs by Runtime
+// Refinement-Violation Detection", PLDI 2005).
+//
+// VYRD checks, at runtime, that a concurrently-accessed data structure
+// implementation refines a method-atomic executable specification. Use is in
+// two phases:
+//
+//  1. Instrument the implementation. Create a Log, give each goroutine its
+//     own Probe, and bracket every public method execution with
+//     Probe.Call/Invocation.Return. Annotate exactly one commit action per
+//     mutator execution (Invocation.Commit or Invocation.CommitWrite), and,
+//     for view refinement, log the writes in the support of viewI
+//     (Probe.Write inside Invocation.BeginCommitBlock/EndCommitBlock where
+//     a group of writes must be treated as atomic).
+//  2. Check the log. Construct a Checker over a Spec (and, for view
+//     refinement, a Replayer) and either run it online on a verification
+//     goroutine (Checker.Run on a Log cursor) or offline over a snapshot or
+//     persisted file (Check / CheckEntries).
+//
+// A minimal round trip:
+//
+//	log := vyrd.NewLog(vyrd.LevelView)
+//	p := log.NewProbe()          // one per goroutine
+//	inv := p.Call("Insert", x)
+//	// ... implementation work ...
+//	inv.CommitWrite("inserted", "set-valid", slot)  // the commit action
+//	inv.Return(true)
+//	log.Close()
+//	report, err := vyrd.Check(log, spec, vyrd.WithReplayer(replayer))
+//
+// Probes are nil-safe and level-aware: a nil *Probe, or a log constructed
+// with LevelOff, makes every instrumentation call a no-op, so the same
+// implementation code serves both instrumented and bare execution (the
+// "program alone" baselines of the paper's Tables 2 and 3).
+package vyrd
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// Re-exported core vocabulary. These are aliases, so values flow freely
+// between the facade and the internal packages.
+type (
+	// Spec is an executable, method-atomic, deterministic specification.
+	Spec = core.Spec
+	// Replayer reconstructs implementation state from logged writes.
+	Replayer = core.Replayer
+	// Checker is the refinement verification engine.
+	Checker = core.Checker
+	// Report summarizes one checking run.
+	Report = core.Report
+	// Violation describes one detected refinement violation.
+	Violation = core.Violation
+	// ViolationKind classifies a violation.
+	ViolationKind = core.ViolationKind
+	// Mode selects the refinement notion (ModeIO or ModeView).
+	Mode = core.Mode
+	// Option configures a Checker.
+	Option = core.Option
+	// Entry is one logged action.
+	Entry = event.Entry
+	// Value is a logged argument, return value or written datum.
+	Value = event.Value
+	// Exceptional models exceptional method termination as a return value.
+	Exceptional = event.Exceptional
+	// Level selects how much of the execution is recorded.
+	Level = wal.Level
+	// Table is a view digest table (viewI / viewS).
+	Table = view.Table
+)
+
+// Violation kinds.
+const (
+	ViolationIO              = core.ViolationIO
+	ViolationObserver        = core.ViolationObserver
+	ViolationView            = core.ViolationView
+	ViolationInvariant       = core.ViolationInvariant
+	ViolationInstrumentation = core.ViolationInstrumentation
+)
+
+// Refinement modes.
+const (
+	ModeIO   = core.ModeIO
+	ModeView = core.ModeView
+)
+
+// Logging levels.
+const (
+	LevelOff  = wal.LevelOff
+	LevelIO   = wal.LevelIO
+	LevelView = wal.LevelView
+)
+
+// Checker options.
+var (
+	WithMode              = core.WithMode
+	WithReplayer          = core.WithReplayer
+	WithFailFast          = core.WithFailFast
+	WithMaxViolations     = core.WithMaxViolations
+	WithDiagnostics       = core.WithDiagnostics
+	WithQuiescentViewOnly = core.WithQuiescentViewOnly
+)
+
+// NewTable returns an empty view digest table.
+func NewTable() *Table { return view.NewTable() }
+
+// NewChecker constructs a refinement checker over spec.
+func NewChecker(spec Spec, opts ...Option) (*Checker, error) {
+	return core.New(spec, opts...)
+}
+
+// Check verifies a quiesced or closed log offline and returns the report.
+func Check(l *Log, spec Spec, opts ...Option) (*Report, error) {
+	return core.CheckEntries(l.wal.Snapshot(), spec, opts...)
+}
+
+// CheckEntries verifies a recorded entry sequence offline.
+func CheckEntries(entries []Entry, spec Spec, opts ...Option) (*Report, error) {
+	return core.CheckEntries(entries, spec, opts...)
+}
+
+// ReadLog decodes a persisted log stream (written via Log.AttachSink).
+func ReadLog(r io.Reader) ([]Entry, error) { return wal.ReadFile(r) }
+
+// WitnessEntry is one method execution positioned in the witness
+// interleaving (Section 4.1's debugging view).
+type WitnessEntry = core.WitnessEntry
+
+// Witness extracts the witness interleaving of a recorded trace: the
+// method executions serialized in commit-action order.
+func Witness(entries []Entry) []WitnessEntry { return core.Witness(entries) }
+
+// WriteWitness renders the witness interleaving next to the implementation
+// trace spans — the paper's Section 4.1 workflow for debugging commit-point
+// selection.
+func WriteWitness(w io.Writer, entries []Entry) { core.WriteWitness(w, entries) }
+
+// RegisterValue registers a concrete value type for log persistence.
+func RegisterValue(v Value) { event.RegisterValue(v) }

@@ -1,0 +1,210 @@
+package vyrd_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func TestNilProbeIsNoOp(t *testing.T) {
+	var p *vyrd.Probe
+	inv := p.Call("Insert", 1)
+	p.Write("op", 1)
+	inv.Commit("label")
+	inv.CommitWrite("label", "op", 1)
+	inv.BeginCommitBlock()
+	inv.EndCommitBlock()
+	inv.Return(true)
+	if p.Tid() != 0 {
+		t.Fatal("nil probe has a tid")
+	}
+}
+
+func TestLevelOffRecordsNothing(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelOff)
+	p := log.NewProbe()
+	inv := p.Call("Insert", 1)
+	p.Write("op", 1)
+	inv.Commit("x")
+	inv.Return(true)
+	if log.Len() != 0 {
+		t.Fatalf("LevelOff recorded %d entries", log.Len())
+	}
+}
+
+func TestLevelIODropsWrites(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelIO)
+	p := log.NewProbe()
+	inv := p.Call("Insert", 1)
+	p.Write("op", 1)           // dropped
+	inv.BeginCommitBlock()     // dropped
+	inv.CommitWrite("x", "op") // commit kept, write payload dropped
+	inv.EndCommitBlock()       // dropped
+	inv.Return(true)
+	entries := log.Snapshot()
+	if len(entries) != 3 {
+		t.Fatalf("LevelIO recorded %d entries: %v", len(entries), entries)
+	}
+	if entries[1].WOp != "" {
+		t.Fatal("LevelIO kept the commit-write payload")
+	}
+}
+
+func TestLevelViewRecordsEverything(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	inv := p.Call("Insert", 1)
+	inv.BeginCommitBlock()
+	p.Write("op", 1)
+	inv.Commit("x")
+	inv.EndCommitBlock()
+	inv.Return(true)
+	if log.Len() != 6 {
+		t.Fatalf("LevelView recorded %d entries", log.Len())
+	}
+}
+
+func TestProbesGetDistinctTids(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelIO)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+	w := log.NewWorkerProbe()
+	if p1.Tid() == p2.Tid() || p1.Tid() == w.Tid() {
+		t.Fatal("duplicate tids")
+	}
+	inv := w.Call("Compress")
+	inv.Commit("x")
+	inv.Return(nil)
+	for _, e := range log.Snapshot() {
+		if !e.Worker {
+			t.Fatal("worker probe entries not marked")
+		}
+	}
+}
+
+func TestEndToEndRoundTripThroughFacade(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+	inv := p.Call("Insert", 3)
+	inv.Commit("done")
+	inv.Return(true)
+	inv = p.Call("LookUp", 3)
+	inv.Return(true)
+	log.Close()
+
+	rep, err := vyrd.Check(log, spec.NewMultiset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.MethodsCompleted != 2 {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestOnlineCheckerViaFacade(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelIO)
+	wait, err := log.StartChecker(spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := log.NewProbe()
+	inv := p.Call("Insert", 1)
+	inv.Commit("x")
+	inv.Return(true)
+	log.Close()
+	rep := wait()
+	if !rep.Ok() || rep.CommitsApplied != 1 {
+		t.Fatalf("online report: %s", rep)
+	}
+}
+
+func TestPersistAndReload(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	var buf bytes.Buffer
+	if err := log.AttachSink(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := log.NewProbe()
+	inv := p.Call("Insert", 5)
+	inv.Commit("x")
+	inv.Return(true)
+	log.Close()
+	if err := log.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := vyrd.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := vyrd.CheckEntries(entries, spec.NewMultiset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("reloaded trace: %s", rep)
+	}
+}
+
+func TestViolationSurfacesThroughFacade(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelIO)
+	p := log.NewProbe()
+	inv := p.Call("Delete", 9)
+	inv.Commit("x")
+	inv.Return(true) // claims removal of an element never inserted
+	log.Close()
+	rep, err := vyrd.Check(log, spec.NewMultiset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() || rep.First().Kind != vyrd.ViolationIO {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+// TestPersistedFig6Artifact loads the committed trace artifact — the
+// Fig. 6 buggy-FindSlot execution recorded through a log sink — and checks
+// it offline in both modes: view refinement catches the lost element at
+// the overwriting commit, and the trailing LookUp(5) exposes it to I/O
+// refinement too. Guards the persistence format against drift.
+func TestPersistedFig6Artifact(t *testing.T) {
+	f, err := os.Open("testdata/fig6.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := vyrd.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty artifact")
+	}
+
+	ioRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ioRep.Ok() || ioRep.First().Kind != vyrd.ViolationObserver {
+		t.Fatalf("I/O check of the artifact: %s", ioRep)
+	}
+
+	viewRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(),
+		vyrd.WithReplayer(multiset.NewReplayer()), vyrd.WithDiagnostics(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viewRep.Ok() || viewRep.First().Kind != vyrd.ViolationView {
+		t.Fatalf("view check of the artifact: %s", viewRep)
+	}
+	// View detection precedes I/O detection in the witness, as the paper's
+	// Fig. 6 discussion describes.
+	if viewRep.First().MethodsCompleted > ioRep.First().MethodsCompleted {
+		t.Fatalf("view detected later than I/O: %d vs %d",
+			viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+	}
+}
