@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples check
+.PHONY: all build vet test race bench fuzz tables examples check
 
 all: check
 
@@ -24,6 +24,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Short fuzz smoke over the log codec: a few seconds per target keeps the
+# corpus seeds honest without turning CI into a fuzzing farm.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzEntryRoundTrip -fuzztime=10s ./internal/event/
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -35,4 +40,4 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race
+check: build vet test race fuzz

@@ -282,6 +282,38 @@ func overlappedTrace(batches, width int) []vyrd.Entry {
 	return log.Snapshot()
 }
 
+// BenchmarkOnlinePipeline measures the full online checking pipeline over
+// the bounded-memory log: harness threads appending through the lock-free
+// segmented log with a truncation window while the verification thread
+// replays view refinement concurrently. Reported metrics are the log
+// entries checked per second and the peak entries retained (which stays
+// O(window) no matter how long the run is).
+func BenchmarkOnlinePipeline(b *testing.B) {
+	s, _ := bench.SubjectByName("Multiset-Vector")
+	cfg := benchConfig(4, 2000, 1, vyrd.LevelView)
+	cfg.LogOptions = vyrd.LogOptions{SegmentSize: 256, Window: 1 << 12}
+	var entries, peak int64
+	for i := 0; i < b.N; i++ {
+		log := vyrd.NewLogWith(cfg.Level, cfg.LogOptions)
+		wait, err := log.StartChecker(s.Correct.NewSpec(),
+			vyrd.WithMode(core.ModeView), vyrd.WithReplayer(s.Correct.NewReplayer()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.RunOnLog(s.Correct, cfg, log)
+		if rep := wait(); !rep.Ok() {
+			b.Fatalf("unexpected violations:\n%s", rep)
+		}
+		st := log.Stats()
+		entries += st.Appends
+		if st.PeakRetainedEntries > peak {
+			peak = st.PeakRetainedEntries
+		}
+	}
+	b.ReportMetric(float64(entries)/b.Elapsed().Seconds(), "entries/sec")
+	b.ReportMetric(float64(peak), "peak-retained-entries")
+}
+
 // BenchmarkAblationDiagnostics measures the cost of keeping viewS clones
 // for exact diffs (WithDiagnostics) versus fingerprint-only comparison —
 // the incremental-computation design choice of Section 6.4.

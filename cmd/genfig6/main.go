@@ -1,0 +1,116 @@
+// Command genfig6 regenerates the committed trace artifact
+// vyrd/testdata/fig6.log: the paper's Fig. 6 buggy-FindSlot execution,
+// recorded at view level through a log sink, with the trailing LookUp(5)
+// that exposes the lost element to I/O refinement.
+//
+// The artifact pins the persisted log format: TestPersistedFig6Artifact
+// decodes it offline and checks it in both modes. Regenerate it (and bump
+// event.FormatVersion) whenever the wire shape of event.Entry changes:
+//
+//	go generate ./vyrd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/multiset"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+func main() {
+	out := flag.String("o", "vyrd/testdata/fig6.log", "output artifact path")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+
+	log := vyrd.NewLog(vyrd.LevelView)
+	if err := log.AttachSink(f); err != nil {
+		fatal(err)
+	}
+
+	// The Fig. 6 schedule, forced deterministically: T2's buggy FindSlot
+	// reads slot 0 as empty and pauses in the race window; T1 inserts (5,6)
+	// into slots 0 and 1; T2 resumes and overwrites slot 0 with 7, losing
+	// element 5.
+	m := multiset.New(8, multiset.BugFindSlotAcquire)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	t2Entered := make(chan struct{})
+	t1Done := make(chan struct{})
+	var gateOnce sync.Once
+	m.RaceWindow = func(i int) {
+		if i == 0 {
+			gateOnce.Do(func() {
+				close(t2Entered)
+				<-t1Done
+			})
+		}
+	}
+
+	done := make(chan bool)
+	go func() { done <- m.InsertPair(p2, 7, 8) }()
+	<-t2Entered
+	m.RaceWindow = nil
+	if !m.InsertPair(p1, 5, 6) {
+		fatal(fmt.Errorf("T1 InsertPair failed"))
+	}
+	close(t1Done)
+	if !<-done {
+		fatal(fmt.Errorf("T2 InsertPair failed"))
+	}
+
+	// The paper's LookUp(5): the implementation lost 5, so I/O refinement
+	// sees an observer violation here.
+	if m.LookUp(p1, 5) {
+		fatal(fmt.Errorf("implementation still contains 5; the bug did not trigger"))
+	}
+	log.Close()
+	if err := log.SinkErr(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	// Self-check: the artifact must reproduce the paper's detections.
+	g, err := os.Open(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer g.Close()
+	entries, err := vyrd.ReadLog(g)
+	if err != nil {
+		fatal(err)
+	}
+	ioRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+	if err != nil {
+		fatal(err)
+	}
+	viewRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(),
+		vyrd.WithReplayer(multiset.NewReplayer()), vyrd.WithDiagnostics(true))
+	if err != nil {
+		fatal(err)
+	}
+	if ioRep.Ok() || ioRep.First().Kind != vyrd.ViolationObserver {
+		fatal(fmt.Errorf("artifact does not reproduce the I/O observer violation:\n%s", ioRep))
+	}
+	if viewRep.Ok() || viewRep.First().Kind != vyrd.ViolationView {
+		fatal(fmt.Errorf("artifact does not reproduce the view violation:\n%s", viewRep))
+	}
+	fmt.Printf("genfig6: wrote %s (%d entries, format v%d; view detection after %d methods, I/O after %d)\n",
+		*out, len(entries), vyrd.LogFormatVersion,
+		viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genfig6:", err)
+	os.Exit(1)
+}

@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to regenerate: 1, 2, 3 or all")
+		table   = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log or all")
 		reps    = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
-		ops     = flag.Int("ops", 0, "Table 1/2 ops per thread (0 = default)")
+		ops     = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale   = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		subject = flag.String("subject", "", "restrict Table 1 to one subject")
+		window  = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,18 @@ func main() {
 		bench.WriteTable3(os.Stdout, bench.Table3(cfg))
 	}
 
+	runLogPipeline := func() {
+		cfg := bench.DefaultLogPipelineConfig()
+		cfg.Seed = *seed
+		if *ops > 0 {
+			cfg.OpsPerThread = *ops
+		}
+		if *window > 0 {
+			cfg.Window = *window
+		}
+		bench.WriteLogPipeline(os.Stdout, cfg, bench.LogPipeline(cfg))
+	}
+
 	switch *table {
 	case "1":
 		runTable1()
@@ -86,14 +99,18 @@ func main() {
 		runTable2()
 	case "3":
 		runTable3()
+	case "log":
+		runLogPipeline()
 	case "all":
 		runTable1()
 		fmt.Println()
 		runTable2()
 		fmt.Println()
 		runTable3()
+		fmt.Println()
+		runLogPipeline()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3 or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log or all)\n", *table)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/msvector"
+	"repro/internal/multiset"
+	"repro/vyrd"
+)
+
+// LogPipelineConfig parameterizes the log-pipeline stress report: a long
+// online checking run against correct subjects with consumed-prefix
+// truncation and a bounded retention window, reporting the log's pipeline
+// counters (wal.Stats) instead of detection times.
+type LogPipelineConfig struct {
+	Threads      int
+	OpsPerThread int
+	// Window bounds the entries retained ahead of the verification thread;
+	// appenders block past it (the O(window) memory mode).
+	Window int
+	// SegmentSize is the log's storage chunk; kept small relative to Window
+	// so truncation has segment boundaries to release.
+	SegmentSize int
+	Seed        int64
+}
+
+// DefaultLogPipelineConfig sizes the run long enough that truncation
+// releases storage many times over.
+func DefaultLogPipelineConfig() LogPipelineConfig {
+	return LogPipelineConfig{
+		Threads:      4,
+		OpsPerThread: 4000,
+		Window:       1 << 12,
+		SegmentSize:  256,
+		Seed:         1,
+	}
+}
+
+// LogPipelineRow is one subject's outcome.
+type LogPipelineRow struct {
+	Name    string
+	Methods int64
+	Elapsed time.Duration
+	Ok      bool
+	Stats   vyrd.LogStats
+}
+
+// LogPipeline runs correct subjects with view-level online checking over a
+// truncating, window-bounded log and collects the pipeline counters.
+func LogPipeline(cfg LogPipelineConfig) []LogPipelineRow {
+	targets := []harness.Target{
+		msvector.Target(msvector.BugNone),
+		multiset.Target(64, multiset.BugNone),
+	}
+	rows := make([]LogPipelineRow, 0, len(targets))
+	for _, t := range targets {
+		hcfg := baseConfig(cfg.Threads, cfg.OpsPerThread, cfg.Seed, vyrd.LevelView)
+		hcfg.LogOptions = vyrd.LogOptions{SegmentSize: cfg.SegmentSize, Window: cfg.Window}
+		log := vyrd.NewLogWith(hcfg.Level, hcfg.LogOptions)
+		wait, err := log.StartChecker(t.NewSpec(),
+			core.WithMode(core.ModeView), core.WithReplayer(t.NewReplayer()))
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		res := harness.RunOnLog(t, hcfg, log)
+		rep := wait()
+		rows = append(rows, LogPipelineRow{
+			Name:    t.Name,
+			Methods: res.Methods,
+			Elapsed: res.Elapsed,
+			Ok:      rep.Ok(),
+			Stats:   log.Stats(),
+		})
+	}
+	return rows
+}
+
+// WriteLogPipeline renders the log-pipeline report.
+func WriteLogPipeline(w io.Writer, cfg LogPipelineConfig, rows []LogPipelineRow) {
+	fmt.Fprintf(w, "Log pipeline: online view checking, truncation window %d entries (segments of %d)\n",
+		cfg.Window, cfg.SegmentSize)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Subject\tMethods\tEntries\tElapsed\tCheck\tPeakRetained\tTruncated\tBlockedWaits\tMaxLag")
+	for _, r := range rows {
+		check := "ok"
+		if !r.Ok {
+			check = "VIOLATION"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%d\t%dseg\t%d\t%d\n",
+			r.Name, r.Methods, r.Stats.Appends, r.Elapsed.Round(time.Millisecond),
+			check, r.Stats.PeakRetainedEntries, r.Stats.TruncatedSegments,
+			r.Stats.BlockedWaits, r.Stats.MaxVerifierLag)
+	}
+	tw.Flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s: %s\n", r.Name, r.Stats)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLogPipelineBoundedRetention is the end-to-end acceptance check for the
+// bounded-memory online mode: a full harness run with view-level online
+// checking over a windowed, truncating log must check clean, retain at most
+// Window plus two segments of entries at its peak, and actually release
+// storage along the way.
+func TestLogPipelineBoundedRetention(t *testing.T) {
+	cfg := DefaultLogPipelineConfig()
+	cfg.OpsPerThread = 800
+	cfg.Window = 1 << 10
+	cfg.SegmentSize = 128
+	rows := LogPipeline(cfg)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	bound := int64(cfg.Window + 2*cfg.SegmentSize)
+	for _, r := range rows {
+		if !r.Ok {
+			t.Errorf("%s: online check reported a violation on a correct subject", r.Name)
+		}
+		if r.Stats.PeakRetainedEntries > bound {
+			t.Errorf("%s: peak retained %d entries exceeds bound %d (stats: %s)",
+				r.Name, r.Stats.PeakRetainedEntries, bound, r.Stats)
+		}
+		if r.Stats.TruncatedSegments == 0 {
+			t.Errorf("%s: truncation never released a segment (stats: %s)", r.Name, r.Stats)
+		}
+		if r.Stats.Appends == 0 {
+			t.Errorf("%s: no entries logged", r.Name)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteLogPipeline(&buf, cfg, rows)
+	out := buf.String()
+	for _, want := range []string{"PeakRetained", "Truncated", "BlockedWaits", rows[0].Name} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

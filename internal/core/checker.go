@@ -368,10 +368,17 @@ func (c *Checker) process(it item) {
 			inv.blockWrites = append(inv.blockWrites, e)
 			return
 		}
-		// Writes outside commit blocks apply to the replica immediately:
-		// they are restructuring updates outside the view's support, or
-		// preparation writes (e.g. reserving a slot before its valid bit is
-		// set) whose view effect is gated by a committed write.
+		// Writes outside commit blocks apply at their log position: they are
+		// restructuring updates outside the view's support, or preparation
+		// writes (e.g. reserving a slot before its valid bit is set) whose
+		// view effect is gated by a committed write. If an open commit block
+		// is stalling the flush queue, the write queues behind it — in the
+		// witness trace t' it follows every commit action that precedes it
+		// in the log, so it must not overtake those blocks' queued writes.
+		if len(c.flushQ) > 0 {
+			c.flushQ = append(c.flushQ, &flushTask{writes: []event.Entry{e}, ready: true})
+			return
+		}
 		c.applyWrite(e)
 
 	case event.KindBeginBlock:
@@ -431,6 +438,9 @@ func (c *Checker) drainFlush() {
 		c.flushQ = c.flushQ[1:]
 		for _, w := range t.writes {
 			c.applyWrite(w)
+		}
+		if t.inv == nil {
+			continue // a queued non-block write; there is no commit to compare at
 		}
 		c.compareViews(t.inv)
 		if c.done {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+	"repro/internal/view"
+)
+
+// slotReplayer is a strict slot-protocol replica in the shape of the
+// multiset subjects: "selt" i x reserves an unoccupied slot, "svalid" i b
+// publishes or retracts it, "sclear" i frees it. Unlike kvReplayer's
+// additive counts, these ops do not commute, so misordered replay fails
+// loudly instead of cancelling out.
+type slotReplayer struct {
+	tbl   *view.Table
+	elt   map[int]int
+	occ   map[int]bool
+	valid map[int]bool
+	count map[int]int
+}
+
+func newSlotReplayer() *slotReplayer {
+	r := &slotReplayer{}
+	r.Reset()
+	return r
+}
+
+func (r *slotReplayer) Reset() {
+	r.tbl = view.NewTable()
+	r.elt = map[int]int{}
+	r.occ = map[int]bool{}
+	r.valid = map[int]bool{}
+	r.count = map[int]int{}
+}
+
+func (r *slotReplayer) View() *view.Table { return r.tbl }
+func (r *slotReplayer) Invariants() error { return nil }
+
+func (r *slotReplayer) bump(x, d int) {
+	n := r.count[x] + d
+	key := fmt.Sprintf("e:%d", x)
+	if n <= 0 {
+		delete(r.count, x)
+		r.tbl.Delete(key)
+	} else {
+		r.count[x] = n
+		r.tbl.Set(key, fmt.Sprintf("%d", n))
+	}
+}
+
+func (r *slotReplayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case "selt":
+		i, x := event.MustInt(args[0]), event.MustInt(args[1])
+		if r.occ[i] {
+			return fmt.Errorf("selt: slot %d already occupied", i)
+		}
+		r.occ[i], r.elt[i], r.valid[i] = true, x, false
+		return nil
+	case "svalid":
+		i, b := event.MustInt(args[0]), args[1].(bool)
+		if !r.occ[i] {
+			return fmt.Errorf("svalid: slot %d not occupied", i)
+		}
+		if b && !r.valid[i] {
+			r.bump(r.elt[i], 1)
+		}
+		if !b && r.valid[i] {
+			r.bump(r.elt[i], -1)
+		}
+		r.valid[i] = b
+		return nil
+	case "sclear":
+		i := event.MustInt(args[0])
+		if !r.occ[i] {
+			return fmt.Errorf("sclear: slot %d not occupied", i)
+		}
+		if r.valid[i] {
+			r.bump(r.elt[i], -1)
+		}
+		r.occ[i], r.valid[i] = false, false
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", op)
+}
+
+// TestWriteBehindStalledBlockKeepsLogOrder reproduces the misordering the
+// lock-free log's backpressure exposed: while one commit block is open
+// (committed but not yet ended, stalling the flush queue), another thread
+// completes a Delete block (queued behind the stall) and a third thread
+// re-reserves the just-freed slot with a non-block write. The reservation
+// follows the Delete in the log, so in the witness trace t' it must apply
+// after the Delete's queued writes — applying it immediately hits a
+// still-occupied slot and corrupts the replica.
+func TestWriteBehindStalledBlockKeepsLogOrder(t *testing.T) {
+	var b logBuilder
+	// t9 seeds slot 0 with element 5.
+	b.call(9, "Insert", 5)
+	b.write(9, "selt", 0, 5)
+	b.commitWrite(9, "Insert", "svalid", 0, true)
+	b.ret(9, "Insert", true)
+	// t1 opens an InsertPair block and commits; the block stays open.
+	b.call(1, "InsertPair", 1, 2)
+	b.write(1, "selt", 1, 1)
+	b.write(1, "selt", 2, 2)
+	b.begin(1)
+	b.write(1, "svalid", 1, true)
+	b.write(1, "svalid", 2, true)
+	b.commit(1, "InsertPair")
+	// t2 deletes element 5, freeing slot 0; its task queues behind t1's.
+	b.call(2, "Delete", 5)
+	b.begin(2)
+	b.write(2, "svalid", 0, false)
+	b.write(2, "sclear", 0)
+	b.commit(2, "Delete")
+	b.end(2)
+	b.ret(2, "Delete", true)
+	// t3 re-reserves slot 0 — legal in memory, and logged after the Delete.
+	b.call(3, "Insert", 7)
+	b.write(3, "selt", 0, 7)
+	b.commitWrite(3, "Insert", "svalid", 0, true)
+	b.ret(3, "Insert", true)
+	// t1's block finally closes.
+	b.end(1)
+	b.ret(1, "InsertPair", true)
+
+	rep := mustCheck(t, b.entries, spec.NewMultiset(), WithReplayer(newSlotReplayer()))
+	wantOk(t, rep)
+	if rep.ViewsCompared != 4 {
+		t.Fatalf("expected 4 view comparisons, got %+v", rep)
+	}
+}

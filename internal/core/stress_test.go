@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/spec"
+	"repro/internal/wal"
 )
 
 // traceGen generates random well-formed multiset traces that are correct by
@@ -313,5 +314,52 @@ func TestStressLongStalledCommit(t *testing.T) {
 	rep := mustCheck(t, b.entries, spec.NewMultiset())
 	if !rep.Ok() {
 		t.Fatalf("stalled commit broke the pipeline:\n%s", rep)
+	}
+}
+
+// TestStressOnlineTruncatedWindow: a long online run through a windowed,
+// truncating log. The checker consumes a cursor concurrently with the
+// producer; backpressure and consumed-prefix truncation must keep peak
+// retained entries at O(window) while the check still accepts the
+// correct-by-construction trace. This is the bounded-memory claim of the
+// log pipeline verified end to end against the real checker.
+func TestStressOnlineTruncatedWindow(t *testing.T) {
+	const (
+		segSize = 128
+		window  = 1 << 10
+	)
+	g := newTraceGen(1, 6)
+	for i := 0; i < 20_000; i++ {
+		g.step()
+	}
+	g.drain()
+	entries := g.b.entries
+	if len(entries) < 10*window {
+		t.Fatalf("trace too short to exercise truncation: %d entries", len(entries))
+	}
+
+	l := wal.NewWithOptions(wal.LevelIO, wal.Options{SegmentSize: segSize, Window: window})
+	cur := l.Cursor() // register the reader before the first append
+	c, err := New(spec.NewMultiset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Report, 1)
+	go func() { done <- c.Run(cur) }()
+	for _, e := range entries {
+		l.Append(e)
+	}
+	l.Close()
+	rep := <-done
+	if !rep.Ok() {
+		t.Fatalf("correct trace rejected under the windowed log:\n%s", rep)
+	}
+
+	st := l.Stats()
+	if bound := int64(window + 2*segSize); st.PeakRetainedEntries > bound {
+		t.Fatalf("peak retained %d entries exceeds window bound %d (stats: %s)", st.PeakRetainedEntries, bound, st)
+	}
+	if st.TruncatedSegments == 0 {
+		t.Fatalf("long run released nothing (stats: %s)", st)
 	}
 }

@@ -2,6 +2,7 @@ package event
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -9,6 +10,26 @@ import (
 // The paper's logging mechanism uses the binary object serialization of the
 // .NET platform to restore record objects as they were saved at runtime
 // (Section 6.1). This codec plays the same role with encoding/gob.
+//
+// Persisted streams start with a fixed header (magic + format version).
+// Entry layout drift — a field added to Entry, a renumbered kind — then
+// fails decoding with an explicit "log format version mismatch" instead of
+// an opaque "gob: bad data" deep in the stream. Bump FormatVersion whenever
+// the wire shape of Entry changes; committed artifacts are regenerated with
+// `go generate ./vyrd` (see cmd/genfig6).
+
+// FormatVersion is the current log stream format. Version history:
+//
+//	1: initial versioned format (header + gob-encoded Entry records)
+const FormatVersion = 1
+
+// formatMagic identifies a VYRD log stream; the byte after it carries the
+// format version.
+const formatMagic = "VYRDLOG"
+
+// ErrFormatMismatch reports that a stream is not a VYRD log of the version
+// this build reads. Use errors.Is to detect it.
+var ErrFormatMismatch = errors.New("log format version mismatch")
 
 func init() {
 	// Concrete types that may appear in Entry.Args/Entry.Ret. Anything else
@@ -28,18 +49,27 @@ func init() {
 // values of types not covered by the defaults.
 func RegisterValue(v Value) { gob.Register(v) }
 
-// Encoder serializes entries to a stream.
+// Encoder serializes entries to a stream, prefixed with the format header.
 type Encoder struct {
-	enc *gob.Encoder
+	w      io.Writer
+	enc    *gob.Encoder
+	headed bool
 }
 
-// NewEncoder returns an Encoder writing to w.
+// NewEncoder returns an Encoder writing to w. The header is written lazily
+// with the first entry, so constructing an encoder performs no I/O.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{enc: gob.NewEncoder(w)}
+	return &Encoder{w: w, enc: gob.NewEncoder(w)}
 }
 
 // Encode appends one entry to the stream.
 func (e *Encoder) Encode(entry Entry) error {
+	if !e.headed {
+		if _, err := e.w.Write(append([]byte(formatMagic), FormatVersion)); err != nil {
+			return fmt.Errorf("event: write stream header: %w", err)
+		}
+		e.headed = true
+	}
 	if err := e.enc.Encode(entry); err != nil {
 		return fmt.Errorf("event: encode entry #%d: %w", entry.Seq, err)
 	}
@@ -48,16 +78,43 @@ func (e *Encoder) Encode(entry Entry) error {
 
 // Decoder deserializes entries from a stream produced by Encoder.
 type Decoder struct {
-	dec *gob.Decoder
+	r      io.Reader
+	dec    *gob.Decoder
+	headed bool
 }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{dec: gob.NewDecoder(r)}
+	return &Decoder{r: r, dec: gob.NewDecoder(r)}
+}
+
+// readHeader consumes and validates the stream header.
+func (d *Decoder) readHeader() error {
+	hdr := make([]byte, len(formatMagic)+1)
+	n, err := io.ReadFull(d.r, hdr)
+	if err == io.EOF && n == 0 {
+		return io.EOF // empty stream: no entries, not a format error
+	}
+	if err != nil {
+		return fmt.Errorf("event: %w: stream too short for a VYRDLOG header", ErrFormatMismatch)
+	}
+	if string(hdr[:len(formatMagic)]) != formatMagic {
+		return fmt.Errorf("event: %w: stream has no VYRDLOG header (pre-versioning artifact? regenerate it, e.g. go generate ./vyrd)", ErrFormatMismatch)
+	}
+	if v := hdr[len(formatMagic)]; v != FormatVersion {
+		return fmt.Errorf("event: %w: stream has format version %d, this build reads version %d", ErrFormatMismatch, v, FormatVersion)
+	}
+	d.headed = true
+	return nil
 }
 
 // Decode reads the next entry. It returns io.EOF at end of stream.
 func (d *Decoder) Decode() (Entry, error) {
+	if !d.headed {
+		if err := d.readHeader(); err != nil {
+			return Entry{}, err
+		}
+	}
 	var entry Entry
 	if err := d.dec.Decode(&entry); err != nil {
 		if err == io.EOF {

@@ -54,6 +54,9 @@ type Config struct {
 	Shrink  bool
 	Seed    int64
 	Level   vyrd.Level
+	// LogOptions tunes the log's storage pipeline (segment size, truncation,
+	// bounded-memory window) for logs created by Run.
+	LogOptions vyrd.LogOptions
 }
 
 // withDefaults fills unset fields.
@@ -72,9 +75,10 @@ func (c Config) withDefaults() Config {
 
 // Result is the outcome of one run.
 type Result struct {
-	Log     *vyrd.Log
-	Elapsed time.Duration
-	Methods int64 // application method calls issued
+	Log      *vyrd.Log
+	Elapsed  time.Duration
+	Methods  int64 // application method calls issued
+	LogStats vyrd.LogStats
 }
 
 // Run exercises the target under the configuration and returns the closed
@@ -82,7 +86,7 @@ type Result struct {
 // vyrd online checking started by the caller before Run.
 func Run(t Target, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	log := vyrd.NewLog(cfg.Level)
+	log := vyrd.NewLogWith(cfg.Level, cfg.LogOptions)
 	return RunOnLog(t, cfg, log)
 }
 
@@ -169,9 +173,10 @@ func RunOnLog(t Target, cfg Config, log *vyrd.Log) Result {
 	log.Close()
 
 	return Result{
-		Log:     log,
-		Elapsed: elapsed,
-		Methods: int64(cfg.Threads) * int64(cfg.OpsPerThread),
+		Log:      log,
+		Elapsed:  elapsed,
+		Methods:  int64(cfg.Threads) * int64(cfg.OpsPerThread),
+		LogStats: log.Stats(),
 	}
 }
 

@@ -95,7 +95,12 @@ func (m *MultisetModel) Step(op Op) (Model, bool) {
 		if !success {
 			return m, true
 		}
-		return m.with(map[int]int{x: 1, y: 1}), true
+		// Accumulate rather than using a two-key literal: when x == y the
+		// literal would collapse to one key and lose a copy.
+		deltas := map[int]int{}
+		deltas[x]++
+		deltas[y]++
+		return m.with(deltas), true
 
 	case "Delete":
 		if len(op.Args) != 1 {

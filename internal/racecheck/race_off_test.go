@@ -1,0 +1,14 @@
+//go:build !race
+
+package racecheck
+
+import "testing"
+
+// Without -race the detector constant must be false: buggy-implementation
+// tests rely on it to run (and detect the violation in the log) in plain
+// `go test`.
+func TestDetectorReportedOff(t *testing.T) {
+	if Enabled {
+		t.Fatal("racecheck.Enabled = true in a build without -race")
+	}
+}

@@ -1,0 +1,14 @@
+//go:build race
+
+package racecheck
+
+import "testing"
+
+// Under -race the detector constant must be true: tests that exercise the
+// intentionally racy Table 1 bugs key their skip on it, which is what keeps
+// `go test -race ./...` green and meaningful.
+func TestDetectorReportedOn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("racecheck.Enabled = false in a -race build")
+	}
+}

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"sync"
+
+	"repro/internal/event"
+)
+
+// MutexLog is the original single-mutex execution log, retained for A/B
+// benchmarking against the segmented Log (BenchmarkAppendParallelMutex vs
+// BenchmarkAppendParallel). Every producer serializes through one mutex, a
+// condition variable is broadcast on each append, and the backing slice
+// grows without bound — the behavior the segmented log was built to
+// replace. It is not part of the checking pipeline.
+type MutexLog struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []event.Entry
+	closed  bool
+}
+
+// NewMutexLog returns an empty mutex-serialized log.
+func NewMutexLog() *MutexLog {
+	l := &MutexLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Append adds an entry, assigning and returning its sequence number.
+func (l *MutexLog) Append(e event.Entry) int64 {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		panic("wal: append to closed log")
+	}
+	e.Seq = int64(len(l.entries)) + 1
+	l.entries = append(l.entries, e)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return e.Seq
+}
+
+// Len reports the number of entries appended so far.
+func (l *MutexLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close marks the log complete and wakes blocked readers.
+func (l *MutexLog) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Next returns the entry after pos, blocking until it is appended or the
+// log is closed and drained.
+func (l *MutexLog) Next(pos int) (event.Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for pos >= len(l.entries) {
+		if l.closed {
+			return event.Entry{}, false
+		}
+		l.cond.Wait()
+	}
+	return l.entries[pos], true
+}

@@ -245,8 +245,19 @@ func BenchmarkAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendParallel measures the concurrent append path in isolation:
+// a truncating log with no registered reader discards consumed-by-nobody
+// segments from the append side and recycles them, so the live heap stays
+// at O(segment) and the measurement reflects sequence reservation and slot
+// publication rather than the garbage collector walking an ever-growing
+// log, and no serial consumer caps the aggregate rate. Its A/B partner over
+// the old single-mutex log is BenchmarkAppendParallelMutex
+// (pipeline_test.go); run both with -cpu 1,4 to compare scaling. The
+// end-to-end rate with a verifier draining the log is what
+// BenchmarkOnlinePipeline (repo root) measures.
 func BenchmarkAppendParallel(b *testing.B) {
-	l := New(LevelView)
+	l := NewWithOptions(LevelView, Options{SegmentSize: 1024, Truncate: true})
+	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		tid := l.NewTid()
 		e := entry(tid, "M")
@@ -254,4 +265,6 @@ func BenchmarkAppendParallel(b *testing.B) {
 			l.Append(e)
 		}
 	})
+	b.StopTimer()
+	l.Close()
 }

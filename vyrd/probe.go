@@ -15,8 +15,30 @@ type Log struct {
 	wal *wal.Log
 }
 
+// LogOptions tunes the log's storage pipeline: segment size, consumed-prefix
+// truncation, and the bounded-memory window (see wal.Options).
+type LogOptions = wal.Options
+
+// LogStats is a snapshot of the log's pipeline counters (see wal.Stats).
+type LogStats = wal.Stats
+
+// LogFormatVersion is the version of the persisted log stream format.
+const LogFormatVersion = event.FormatVersion
+
+// ErrLogFormatMismatch reports that a persisted stream is not a VYRD log of
+// the version this build reads (detect with errors.Is).
+var ErrLogFormatMismatch = event.ErrFormatMismatch
+
 // NewLog returns an empty log recording at the given level.
 func NewLog(level Level) *Log { return &Log{wal: wal.New(level)} }
+
+// NewLogWith returns an empty log with explicit storage options, e.g. for
+// bounded-memory online checking of long runs:
+//
+//	log := vyrd.NewLogWith(vyrd.LevelView, vyrd.LogOptions{Window: 1 << 16})
+func NewLogWith(level Level, opts LogOptions) *Log {
+	return &Log{wal: wal.NewWithOptions(level, opts)}
+}
 
 // Level reports the recording level.
 func (l *Log) Level() Level { return l.wal.Level() }
@@ -24,17 +46,24 @@ func (l *Log) Level() Level { return l.wal.Level() }
 // Len reports the number of entries appended so far.
 func (l *Log) Len() int { return l.wal.Len() }
 
-// Close marks the execution complete; online checkers drain and stop.
+// Close marks the execution complete; online checkers drain and stop, and
+// an attached sink is drained and flushed before Close returns.
 func (l *Log) Close() { l.wal.Close() }
 
-// Snapshot copies the entries appended so far, for offline checking.
+// Snapshot copies the retained entries appended so far, for offline
+// checking (the whole log unless truncation released a prefix).
 func (l *Log) Snapshot() []Entry { return l.wal.Snapshot() }
 
-// AttachSink persists every entry (including those already appended) to w.
+// AttachSink persists every entry (including those already appended) to w
+// through an asynchronous buffered pipeline; Close flushes it.
 func (l *Log) AttachSink(w io.Writer) error { return l.wal.AttachSink(w) }
 
-// SinkErr returns the first persistence failure, if any.
+// SinkErr returns the first persistence failure, if any. It is final once
+// Close has returned.
 func (l *Log) SinkErr() error { return l.wal.SinkErr() }
+
+// Stats returns a snapshot of the log's pipeline counters.
+func (l *Log) Stats() LogStats { return l.wal.Stats() }
 
 // NewProbe allocates a probe for an application thread (Tid_app). Each
 // goroutine performing logged actions needs its own probe.

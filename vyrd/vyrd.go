@@ -35,6 +35,11 @@
 // "program alone" baselines of the paper's Tables 2 and 3).
 package vyrd
 
+// The committed testdata/fig6.log artifact pins the persisted log format;
+// regenerate it whenever the wire shape of event.Entry (and so
+// LogFormatVersion) changes.
+//go:generate go run repro/cmd/genfig6 -o testdata/fig6.log
+
 import (
 	"io"
 
