@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz tables examples check
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz tables examples check
 
 all: check
 
@@ -24,10 +24,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz smoke over the log codec: a few seconds per target keeps the
-# corpus seeds honest without turning CI into a fuzzing farm.
+# One iteration per benchmark: proves the bench harness still runs without
+# measuring anything. CI runs this.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Table3 -benchtime=1x .
+
+# Regenerate the checked-in benchmark snapshot (environment + table rows).
+bench-snapshot:
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR2.json
+
+# Short fuzz smoke over the log codecs: a few seconds per target keeps the
+# corpus seeds honest without turning CI into a fuzzing farm. Each -fuzz
+# regex must match exactly one target, hence the anchors.
 fuzz:
-	$(GO) test -run=NONE -fuzz=FuzzEntryRoundTrip -fuzztime=10s ./internal/event/
+	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTrip$$' -fuzztime=10s ./internal/event/
+	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTripGob$$' -fuzztime=5s ./internal/event/
 
 # Regenerate the paper's evaluation tables (Section 7).
 tables:

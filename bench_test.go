@@ -8,11 +8,14 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/harness"
 	"repro/internal/linearize"
 	"repro/internal/spec"
@@ -40,6 +43,7 @@ func BenchmarkTable1TimeToDetection(b *testing.B) {
 		for _, mode := range []core.Mode{core.ModeIO, core.ModeView} {
 			mode := mode
 			b.Run(s.Name+"/"+mode.String(), func(b *testing.B) {
+				b.ReportAllocs()
 				var methods, detected int64
 				for i := 0; i < b.N; i++ {
 					res := harness.Run(s.Buggy, benchConfig(8, 400, int64(i)+1, vyrd.LevelView))
@@ -80,6 +84,7 @@ func BenchmarkTable2LoggingOverhead(b *testing.B) {
 			level := level
 			s := s
 			b.Run(s.Name+"/"+level.String(), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					harness.Run(s.Correct, benchConfig(8, 500, int64(i)+1, level))
 				}
@@ -111,16 +116,19 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 		cfgView := benchConfig(cell.threads, cell.ops, 1, vyrd.LevelView)
 
 		b.Run(s.Name+"/prog-alone", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				harness.Run(s.Correct, cfgOff)
 			}
 		})
 		b.Run(s.Name+"/prog+logging", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				harness.Run(s.Correct, cfgView)
 			}
 		})
 		b.Run(s.Name+"/prog+logging+vyrd-online", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				log := vyrd.NewLog(vyrd.LevelView)
 				wait, err := log.StartChecker(s.Correct.NewSpec(),
@@ -135,6 +143,7 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 			}
 		})
 		b.Run(s.Name+"/vyrd-offline", func(b *testing.B) {
+			b.ReportAllocs()
 			res := harness.Run(s.Correct, cfgView)
 			entries := res.Log.Snapshot()
 			b.ResetTimer()
@@ -160,6 +169,7 @@ func BenchmarkAblationCheckerModes(b *testing.B) {
 	res := harness.Run(s.Correct, benchConfig(8, 1000, 1, vyrd.LevelView))
 	entries := res.Log.Snapshot()
 	b.Run("io", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rep, err := core.CheckEntries(entries, s.Correct.NewSpec(), core.WithMode(core.ModeIO))
 			if err != nil || !rep.Ok() {
@@ -168,6 +178,7 @@ func BenchmarkAblationCheckerModes(b *testing.B) {
 		}
 	})
 	b.Run("view", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rep, err := core.CheckEntries(entries, s.Correct.NewSpec(),
 				core.WithMode(core.ModeView), core.WithReplayer(s.Correct.NewReplayer()))
@@ -292,7 +303,8 @@ func BenchmarkOnlinePipeline(b *testing.B) {
 	s, _ := bench.SubjectByName("Multiset-Vector")
 	cfg := benchConfig(4, 2000, 1, vyrd.LevelView)
 	cfg.LogOptions = vyrd.LogOptions{SegmentSize: 256, Window: 1 << 12}
-	var entries, peak int64
+	b.ReportAllocs()
+	var entries, peak, lag int64
 	for i := 0; i < b.N; i++ {
 		log := vyrd.NewLogWith(cfg.Level, cfg.LogOptions)
 		wait, err := log.StartChecker(s.Correct.NewSpec(),
@@ -309,9 +321,131 @@ func BenchmarkOnlinePipeline(b *testing.B) {
 		if st.PeakRetainedEntries > peak {
 			peak = st.PeakRetainedEntries
 		}
+		if st.MaxVerifierLag > lag {
+			lag = st.MaxVerifierLag
+		}
 	}
 	b.ReportMetric(float64(entries)/b.Elapsed().Seconds(), "entries/sec")
 	b.ReportMetric(float64(peak), "peak-retained-entries")
+	b.ReportMetric(float64(lag), "max-verifier-lag")
+}
+
+// codecTrace records one BLinkTree workload and returns the entries plus
+// both persisted encodings of them — the shared fixture for the codec and
+// offline-replay A/B benchmarks.
+func codecTrace(b *testing.B) (entries []vyrd.Entry, binBytes, gobBytes []byte) {
+	b.Helper()
+	s, _ := bench.SubjectByName("BLinkTree")
+	res := harness.Run(s.Correct, benchConfig(8, 500, 1, vyrd.LevelView))
+	entries = res.Log.Snapshot()
+	for _, c := range []vyrd.Codec{vyrd.CodecBinary, vyrd.CodecGob} {
+		var buf bytes.Buffer
+		enc := event.NewEncoderCodec(&buf, c)
+		for _, e := range entries {
+			if err := enc.Encode(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if c == vyrd.CodecBinary {
+			binBytes = buf.Bytes()
+		} else {
+			gobBytes = buf.Bytes()
+		}
+	}
+	return entries, binBytes, gobBytes
+}
+
+// BenchmarkCodecGobVsBinary is the pure serialization A/B behind the
+// FormatVersion 2 switch: encode and decode the same recorded trace with
+// the legacy gob codec and the framed binary codec. bytes/entry makes the
+// size cost visible alongside the speed and allocation differences.
+func BenchmarkCodecGobVsBinary(b *testing.B) {
+	entries, binBytes, gobBytes := codecTrace(b)
+	streams := map[string][]byte{"binary": binBytes, "gob": gobBytes}
+	for _, c := range []vyrd.Codec{vyrd.CodecBinary, vyrd.CodecGob} {
+		c := c
+		b.Run("encode/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc := event.NewEncoderCodec(io.Discard, c)
+				for _, e := range entries {
+					if err := enc.Encode(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(streams[c.String()]))/float64(len(entries)), "bytes/entry")
+		})
+		b.Run("decode/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			data := streams[c.String()]
+			for i := 0; i < b.N; i++ {
+				dec := event.NewDecoderCodec(bytes.NewReader(data), c)
+				n := 0
+				for {
+					if _, err := dec.Decode(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				if n != len(entries) {
+					b.Fatalf("decoded %d of %d entries", n, len(entries))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOfflineReplay measures end-to-end offline verification from a
+// persisted stream — decode plus view-mode check — across the three replay
+// paths: the legacy gob stream decoded sequentially, the binary stream
+// decoded sequentially, and the binary stream decoded on the parallel
+// worker pool feeding the sequential checker (CheckStream). The headline
+// metric is entries/sec of persisted log replayed.
+func BenchmarkOfflineReplay(b *testing.B) {
+	entries, binBytes, gobBytes := codecTrace(b)
+	s, _ := bench.SubjectByName("BLinkTree")
+	check := func(b *testing.B, rep *vyrd.Report, err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Ok() {
+			b.Fatalf("unexpected violations:\n%s", rep)
+		}
+	}
+	opts := func() []vyrd.Option {
+		return []vyrd.Option{vyrd.WithMode(vyrd.ModeView), vyrd.WithReplayer(s.Correct.NewReplayer())}
+	}
+	b.Run("gob-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decoded, err := vyrd.ReadLogCodec(bytes.NewReader(gobBytes), vyrd.CodecGob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := vyrd.CheckEntries(decoded, s.Correct.NewSpec(), opts()...)
+			check(b, rep, err)
+		}
+		b.ReportMetric(float64(len(entries)*b.N)/b.Elapsed().Seconds(), "entries/sec")
+	})
+	b.Run("binary-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := vyrd.CheckStream(bytes.NewReader(binBytes), 1, s.Correct.NewSpec(), opts()...)
+			check(b, rep, err)
+		}
+		b.ReportMetric(float64(len(entries)*b.N)/b.Elapsed().Seconds(), "entries/sec")
+	})
+	b.Run("binary-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := vyrd.CheckStream(bytes.NewReader(binBytes), 0, s.Correct.NewSpec(), opts()...)
+			check(b, rep, err)
+		}
+		b.ReportMetric(float64(len(entries)*b.N)/b.Elapsed().Seconds(), "entries/sec")
+	})
 }
 
 // BenchmarkAblationDiagnostics measures the cost of keeping viewS clones

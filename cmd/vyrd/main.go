@@ -12,7 +12,8 @@
 // clean report. -mode selects I/O or view refinement; -online checks
 // concurrently with the workload on a verification goroutine instead of
 // offline from the recorded log; -save persists the log for later offline
-// checking with -load.
+// checking with -load. Loaded binary logs decode on a parallel worker pool
+// (-decoders); version-1 gob artifacts are read with -codec gob.
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 		failFst = flag.Bool("failfast", true, "stop at the first violation")
 		save    = flag.String("save", "", "persist the recorded log to this file")
 		load    = flag.String("load", "", "skip the run; offline-check a previously saved log")
+		codec   = flag.String("codec", "binary", "persisted log codec for -load: binary (current) or gob (version-1 artifacts)")
+		workers = flag.Int("decoders", 0, "-load decode workers for binary logs (0 = GOMAXPROCS, 1 = sequential)")
 		dump    = flag.Bool("dump", false, "print the witness interleaving before the report (Section 4.1 debugging view)")
 		quiesc  = flag.Bool("quiescent", false, "compare views only at quiescent states (the commit-atomicity ablation of Section 8)")
 		asJSON  = flag.Bool("json", false, "emit the report as JSON")
@@ -89,7 +92,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		entries, err := vyrd.ReadLog(f)
+		var entries []vyrd.Entry
+		switch *codec {
+		case "binary":
+			// The framed binary format decodes on a worker pool, re-sequenced
+			// into log order before checking.
+			entries, err = vyrd.ReadLogParallel(f, *workers)
+		case "gob":
+			entries, err = vyrd.ReadLogCodec(f, vyrd.CodecGob)
+		default:
+			fmt.Fprintf(os.Stderr, "vyrd: unknown codec %q (binary or gob)\n", *codec)
+			os.Exit(2)
+		}
 		f.Close()
 		if err != nil {
 			fatal(err)

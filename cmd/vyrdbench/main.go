@@ -8,30 +8,55 @@
 //	vyrdbench -table all
 //	vyrdbench -table 1 -reps 10 -ops 800
 //	vyrdbench -table 3 -scale 20
+//	vyrdbench -table all -json bench.json
+//	vyrdbench -table 3 -cpuprofile cpu.out -memprofile mem.out
 //
 // Absolute times are this machine's; the paper's shapes are what the tables
-// are compared on (see EXPERIMENTS.md).
+// are compared on (see EXPERIMENTS.md). With -json the same rows are also
+// written as a machine-readable snapshot (environment + rows), which is how
+// checked-in artifacts like BENCH_PR2.json are produced.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log or all")
-		reps    = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
-		ops     = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
-		scale   = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		subject = flag.String("subject", "", "restrict Table 1 to one subject")
-		window  = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log or all")
+		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
+		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
+		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		subject    = flag.String("subject", "", "restrict Table 1 to one subject")
+		window     = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
+		jsonPath   = flag.String("json", "", "also write the rows as a JSON snapshot to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	snap := bench.NewSnapshot()
 
 	runTable1 := func() {
 		cfg := bench.DefaultTable1Config()
@@ -53,6 +78,7 @@ func main() {
 		} else {
 			rows = bench.Table1(cfg)
 		}
+		snap.Table1 = rows
 		bench.WriteTable1(os.Stdout, rows)
 	}
 
@@ -65,7 +91,8 @@ func main() {
 		if *ops > 0 {
 			cfg.OpsPerThread = *ops
 		}
-		bench.WriteTable2(os.Stdout, bench.Table2(cfg))
+		snap.Table2 = bench.Table2(cfg)
+		bench.WriteTable2(os.Stdout, snap.Table2)
 	}
 
 	runTable3 := func() {
@@ -77,7 +104,8 @@ func main() {
 		if *scale > 0 {
 			cfg.Scale = *scale
 		}
-		bench.WriteTable3(os.Stdout, bench.Table3(cfg))
+		snap.Table3 = bench.Table3(cfg)
+		bench.WriteTable3(os.Stdout, snap.Table3)
 	}
 
 	runLogPipeline := func() {
@@ -89,7 +117,8 @@ func main() {
 		if *window > 0 {
 			cfg.Window = *window
 		}
-		bench.WriteLogPipeline(os.Stdout, cfg, bench.LogPipeline(cfg))
+		snap.LogPipeline = bench.LogPipeline(cfg)
+		bench.WriteLogPipeline(os.Stdout, cfg, snap.LogPipeline)
 	}
 
 	switch *table {
@@ -112,5 +141,37 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log or all)\n", *table)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := snap.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vyrdbench: wrote snapshot to %s\n", *jsonPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -2,7 +2,6 @@ package atomized
 
 import (
 	"fmt"
-	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -45,16 +44,19 @@ func (s *seqMultiset) IsMutator(method string) bool {
 	return method != "LookUp"
 }
 
+// spaceE is the view key family of multiset elements, shared by name with
+// the concurrent multiset's replayer view.
+var spaceE = view.NewSpace("e")
+
 func (s *seqMultiset) bump(x, delta int) {
 	n := s.counts[x] + delta
-	key := "e:" + strconv.Itoa(x)
 	if n <= 0 {
 		delete(s.counts, x)
-		s.table.Delete(key)
+		s.table.DeleteInt(spaceE, int64(x))
 		return
 	}
 	s.counts[x] = n
-	s.table.Set(key, strconv.Itoa(n))
+	s.table.SetInt(spaceE, int64(x), int64(n))
 }
 
 func (s *seqMultiset) Apply(method string, args []event.Value, ret event.Value) error {

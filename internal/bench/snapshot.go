@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Snapshot is the machine-readable form of one vyrdbench run: the rows of
+// whichever tables were regenerated, plus enough environment description to
+// interpret the absolute numbers. Checked-in snapshots (BENCH_PR2.json)
+// record the box a PR's performance claims were measured on.
+type Snapshot struct {
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	NumCPU    int
+
+	Table1      []Table1Row      `json:",omitempty"`
+	Table2      []Table2Row      `json:",omitempty"`
+	Table3      []Table3Row      `json:",omitempty"`
+	LogPipeline []LogPipelineRow `json:",omitempty"`
+}
+
+// NewSnapshot returns a Snapshot describing the current environment, ready
+// for table rows.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,163 @@
+package blinkstore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/vyrd"
+)
+
+// runComposed exercises the composed tree+store target and returns the
+// recorded entries.
+func runComposed(t *testing.T, bug Bug, seed int64) []vyrd.Entry {
+	t.Helper()
+	res := harness.Run(ComposedTarget(4, bug), harness.Config{
+		Threads: 4, OpsPerThread: 150, KeyPool: 32, Seed: seed, Level: vyrd.LevelView,
+	})
+	return res.Log.Snapshot()
+}
+
+// sequentialReports runs each module's check alone over its projection of
+// the log — the reference the modular fan-out must agree with.
+func sequentialReports(t *testing.T, entries []vyrd.Entry) []core.ModuleReport {
+	t.Helper()
+	var out []core.ModuleReport
+	for _, mod := range Modules() {
+		f := core.FilterModule(mod.Name)
+		var projected []vyrd.Entry
+		for _, e := range entries {
+			if f(e) {
+				projected = append(projected, e)
+			}
+		}
+		rep, err := core.CheckEntries(projected, mod.Spec, mod.Opts...)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", mod.Name, err)
+		}
+		out = append(out, core.ModuleReport{Module: mod.Name, Report: rep})
+	}
+	return out
+}
+
+func diffReports(t *testing.T, multi, seq []core.ModuleReport) {
+	t.Helper()
+	if len(multi) != len(seq) {
+		t.Fatalf("module count: multi %d, sequential %d", len(multi), len(seq))
+	}
+	for i := range multi {
+		m, s := multi[i], seq[i]
+		if m.Module != s.Module {
+			t.Fatalf("module order: multi %q, sequential %q", m.Module, s.Module)
+		}
+		if m.Report.Ok() != s.Report.Ok() || m.Report.TotalViolations != s.Report.TotalViolations {
+			t.Errorf("module %s: multi ok=%v violations=%d, sequential ok=%v violations=%d",
+				m.Module, m.Report.Ok(), m.Report.TotalViolations,
+				s.Report.Ok(), s.Report.TotalViolations)
+		}
+		if m.Report.MethodsCompleted != s.Report.MethodsCompleted || m.Report.CommitsApplied != s.Report.CommitsApplied {
+			t.Errorf("module %s: multi saw %d methods/%d commits, sequential %d/%d",
+				m.Module, m.Report.MethodsCompleted, m.Report.CommitsApplied,
+				s.Report.MethodsCompleted, s.Report.CommitsApplied)
+		}
+	}
+}
+
+// TestMultiCheckerMatchesSequential: the concurrent fan-out must reach
+// exactly the verdicts of checking each module alone over its projection
+// of the log — on a correct run and on one with an injected tree bug.
+func TestMultiCheckerMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bug  Bug
+	}{
+		{"correct", BugNone},
+		{"duplicate-insert", BugDuplicateInsert},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			entries := runComposed(t, tc.bug, 7)
+			multi, err := core.CheckEntriesMulti(entries, Modules()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffReports(t, multi, sequentialReports(t, entries))
+		})
+	}
+}
+
+// TestComposedCorrectRunBothModulesPass: a correct composed run yields two
+// concurrently verified modules with no violations in either.
+func TestComposedCorrectRunBothModulesPass(t *testing.T) {
+	entries := runComposed(t, BugNone, 3)
+	reports, err := core.CheckEntriesMulti(entries, Modules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Ok(reports) {
+		for _, mr := range reports {
+			t.Logf("%s:\n%s", mr.Module, mr.Report)
+		}
+		t.Fatal("composed correct run reported violations")
+	}
+	for _, mr := range reports {
+		if mr.Report.MethodsCompleted == 0 {
+			t.Fatalf("module %s saw no methods — projection broken", mr.Module)
+		}
+	}
+}
+
+// TestComposedTreeBugIsolatedToTreeModule: the duplicated-insert bug lives
+// in the tree layer; the storage module underneath executes correctly and
+// its check must stay clean while the tree module reports the violation.
+func TestComposedTreeBugIsolatedToTreeModule(t *testing.T) {
+	var treeCaught bool
+	for seed := int64(0); seed < 10 && !treeCaught; seed++ {
+		entries := runComposed(t, BugDuplicateInsert, seed)
+		reports, err := core.CheckEntriesMulti(entries, Modules()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mr := range reports {
+			switch mr.Module {
+			case ModuleTree:
+				if !mr.Report.Ok() {
+					treeCaught = true
+				}
+			case ModuleStore:
+				if !mr.Report.Ok() {
+					t.Fatalf("store module flagged a tree-level bug:\n%s", mr.Report)
+				}
+			}
+		}
+	}
+	if !treeCaught {
+		t.Fatal("duplicate-insert bug never detected by the tree module")
+	}
+}
+
+// TestComposedOnlineMultiChecker: the online fan-out (one goroutine per
+// module fed by a router from the live log) reaches the same verdicts as
+// the offline fan-out over the same snapshot.
+func TestComposedOnlineMultiChecker(t *testing.T) {
+	log := vyrd.NewLog(vyrd.LevelView)
+	wait, err := log.StartMultiChecker(Modules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := harness.RunOnLog(ComposedTarget(4, BugNone), harness.Config{
+		Threads: 4, OpsPerThread: 100, KeyPool: 32, Seed: 11, Level: vyrd.LevelView,
+	}, log)
+	online := wait()
+
+	offline, err := core.CheckEntriesMulti(res.Log.Snapshot(), Modules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffReports(t, online, offline)
+	if !core.Ok(online) {
+		for _, mr := range online {
+			t.Logf("%s:\n%s", mr.Module, mr.Report)
+		}
+		t.Fatal("online composed check reported violations")
+	}
+}

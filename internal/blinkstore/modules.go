@@ -1,0 +1,96 @@
+package blinkstore
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/blinktree"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Modules returns the two refinement checks of the composed run (Section
+// 7.2, Fig. 10): the tree module against the ordered-map specification and
+// the storage module against the abstract data-store specification. Both
+// run in view mode over their own projection of the single shared log.
+func Modules() []core.Module {
+	return []core.Module{
+		{Name: ModuleTree, Spec: spec.NewKV(), Opts: []core.Option{
+			core.WithMode(core.ModeView), core.WithReplayer(blinktree.NewReplayer())}},
+		{Name: ModuleStore, Spec: spec.NewStore(), Opts: []core.Option{
+			core.WithMode(core.ModeView), core.WithReplayer(cache.NewReplayer())}},
+	}
+}
+
+// StoreProbe returns the "store"-scoped probe of a composed tree, for
+// driving the cache's maintenance daemons under the store module. For a
+// plain tree it returns nil (the store is not under verification).
+func (t *Tree) StoreProbe(p *vyrd.Probe) *vyrd.Probe {
+	_, sp := t.probes(p)
+	return sp
+}
+
+// LogInitialState re-logs the stored state that existed before logging
+// began (the empty root written at construction) under the store module,
+// so the store specification sees every handle later observers read. Call
+// it once, before any workload thread starts.
+func (t *Tree) LogInitialState(p *vyrd.Probe) {
+	sp := t.StoreProbe(p)
+	if sp == nil {
+		return
+	}
+	t.rootMu.Lock()
+	h := t.root
+	t.rootMu.Unlock()
+	t.store.lock(h)
+	if n, err := t.store.read(nil, h); err == nil {
+		t.store.write(sp, h, n)
+	}
+	t.store.unlock(h)
+}
+
+// ComposedTarget adapts the composed tree to the random test harness: tree
+// methods log under module "tree", every cache access and maintenance
+// daemon under module "store". The run's log is meant for Modules()-based
+// multi-checking; the Target's own spec/replayer pair covers only the tree
+// module, for single-module comparisons.
+func ComposedTarget(order int, bug Bug) harness.Target {
+	return harness.Target{
+		Name: "BLinkTree+Store",
+		New: func(log *vyrd.Log) harness.Instance {
+			t := NewComposed(order, bug)
+			t.LogInitialState(log.NewProbe())
+			step := 0
+			return harness.Instance{
+				Methods: []harness.Method{
+					{Name: "Insert", Weight: 40, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
+						t.Insert(p, pick(), rng.Intn(1000))
+					}},
+					{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Delete(p, pick())
+					}},
+					{Name: "Lookup", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+						t.Lookup(p, pick())
+					}},
+				},
+				WorkerStep: func(p *vyrd.Probe) {
+					switch step % 3 {
+					case 0:
+						t.Compress(p)
+					case 1:
+						t.Cache().Flush(t.StoreProbe(p))
+					case 2:
+						t.Cache().Reclaim(t.StoreProbe(p))
+					}
+					step++
+					runtime.Gosched()
+				},
+			}
+		},
+		NewSpec:     func() core.Spec { return spec.NewKV() },
+		NewReplayer: func() core.Replayer { return blinktree.NewReplayer() },
+	}
+}

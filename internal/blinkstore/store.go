@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/vyrd"
 )
 
 // nodeStore adapts the Boxwood data store to node granularity: each node is
@@ -14,10 +15,12 @@ import (
 // the Cache. A handle-keyed lock table provides the per-node mutual
 // exclusion the in-memory tree got from mutexes embedded in its nodes.
 //
-// The cache is accessed with a nil probe: in the paper's modular setup the
+// In the tree-only setup the cache is accessed with a nil probe: the
 // storage layers below the verification subject are assumed correct and
 // not logged (Section 6.1 sets aside "the verification of the lower-level
-// storage modules").
+// storage modules"). A composed tree (NewComposed) instead threads a
+// "store"-scoped probe through every access, so the cache's own refinement
+// check runs concurrently from the same log (Fig. 10).
 type nodeStore struct {
 	cache *cache.Cache
 
@@ -50,9 +53,11 @@ func (s *nodeStore) lock(h int64)   { s.lockOf(h).Lock() }
 func (s *nodeStore) unlock(h int64) { s.lockOf(h).Unlock() }
 
 // read fetches and decodes the node stored under h. The caller holds h's
-// lock (or owns the handle exclusively, for freshly allocated nodes).
-func (s *nodeStore) read(h int64) (*node, error) {
-	data, ok := s.cache.Read(nil, int(h))
+// lock (or owns the handle exclusively, for freshly allocated nodes). p is
+// the store-scoped probe of the calling thread, or nil when the store layer
+// is not under verification.
+func (s *nodeStore) read(p *vyrd.Probe, h int64) (*node, error) {
+	data, ok := s.cache.Read(p, int(h))
 	if !ok {
 		return nil, fmt.Errorf("blinkstore: handle %d unwritten", h)
 	}
@@ -60,6 +65,6 @@ func (s *nodeStore) read(h int64) (*node, error) {
 }
 
 // write encodes and stores the node under h. The caller holds h's lock.
-func (s *nodeStore) write(h int64, n *node) {
-	s.cache.Write(nil, int(h), n.marshal())
+func (s *nodeStore) write(p *vyrd.Probe, h int64, n *node) {
+	s.cache.Write(p, int(h), n.marshal())
 }

@@ -23,10 +23,21 @@ const (
 	BugDuplicateInsert
 )
 
+// Module names of the composed (Fig. 10) check: the tree's entries and the
+// underlying store's entries share one log, tagged per module.
+const (
+	ModuleTree  = "tree"
+	ModuleStore = "store"
+)
+
 // Tree is the cache-backed concurrent B-link tree.
 type Tree struct {
 	store *nodeStore
 	order int
+
+	// composed: log the storage layer too, under module-scoped probes, so
+	// tree and store refinement checks run concurrently from one log.
+	composed bool
 
 	rootMu sync.Mutex
 	root   int64
@@ -51,9 +62,30 @@ func NewOnCache(c *cache.Cache, order int, bug Bug) *Tree {
 	}
 	t := &Tree{store: newNodeStore(c), order: order, bug: bug}
 	rootH := t.store.alloc()
-	t.store.write(rootH, &node{level: 0, high: maxKey})
+	t.store.write(nil, rootH, &node{level: 0, high: maxKey})
 	t.root = rootH
 	return t
+}
+
+// NewComposed builds a tree whose storage accesses are logged too: every
+// tree-level entry carries module "tree" and every cache-level entry module
+// "store", so a Multi checker verifies both refinements concurrently over
+// the single totally ordered log (Section 7.2, Fig. 10).
+func NewComposed(order int, bug Bug) *Tree {
+	t := New(order, bug)
+	t.composed = true
+	return t
+}
+
+// probes derives the module-scoped probes for one method execution. For a
+// plain tree the method probe is used unscoped and the store stays
+// uninstrumented (nil probe).
+func (t *Tree) probes(p *vyrd.Probe) (tp, sp *vyrd.Probe) {
+	if !t.composed {
+		return p, nil
+	}
+	tp = p.Scoped(ModuleTree)
+	return tp, tp.Scoped(ModuleStore)
 }
 
 // Cache exposes the underlying cache so harnesses can run its maintenance
@@ -62,8 +94,8 @@ func (t *Tree) Cache() *cache.Cache { return t.store.cache }
 
 // mustRead reads a node or panics: an unreadable handle means the
 // composition itself (not the workload) is broken.
-func (t *Tree) mustRead(h int64) *node {
-	n, err := t.store.read(h)
+func (t *Tree) mustRead(p *vyrd.Probe, h int64) *node {
+	n, err := t.store.read(p, h)
 	if err != nil {
 		panic(err)
 	}
@@ -72,13 +104,13 @@ func (t *Tree) mustRead(h int64) *node {
 
 // descendToLeaf walks to the leaf covering key, moving right past splits,
 // returning its handle and decoded contents with the handle locked.
-func (t *Tree) descendToLeaf(key int64) (int64, *node) {
+func (t *Tree) descendToLeaf(sp *vyrd.Probe, key int64) (int64, *node) {
 	t.rootMu.Lock()
 	h := t.root
 	t.rootMu.Unlock()
 	for {
 		t.store.lock(h)
-		n := t.mustRead(h)
+		n := t.mustRead(sp, h)
 		if key >= n.high && n.right != 0 {
 			next := n.right
 			t.store.unlock(h)
@@ -96,11 +128,12 @@ func (t *Tree) descendToLeaf(key int64) (int64, *node) {
 
 // Insert sets key to data (void return, as Boxwood's INSERT).
 func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
-	inv := p.Call("Insert", key, data)
+	tp, sp := t.probes(p)
+	inv := tp.Call("Insert", key, data)
 	k, d := int64(key), int64(data)
 
 	if t.bug == BugDuplicateInsert {
-		h, n := t.descendToLeaf(k)
+		h, n := t.descendToLeaf(sp, k)
 		present := n.keyIndex(k) >= 0
 		t.store.unlock(h)
 		if t.RaceWindow != nil {
@@ -108,12 +141,12 @@ func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
 		} else {
 			runtime.Gosched() // model preemption in the race window
 		}
-		h, n = t.descendToLeaf(k)
+		h, n = t.descendToLeaf(sp, k)
 		if present {
 			if i := n.keyIndex(k); i >= 0 {
 				n.vals[i] = d
 				n.ver++
-				t.store.write(h, n)
+				t.store.write(sp, h, n)
 				inv.CommitWrite("cp1-overwrite", "leaf-set", int(h), key, data, int(n.ver))
 				t.store.unlock(h)
 				inv.Return(nil)
@@ -121,28 +154,28 @@ func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
 			}
 		}
 		// BUG: blind add without re-checking presence under the lock.
-		t.insertIntoLeaf(p, inv, h, n, k, d)
+		t.insertIntoLeaf(tp, sp, inv, h, n, k, d)
 		inv.Return(nil)
 		return
 	}
 
-	h, n := t.descendToLeaf(k)
+	h, n := t.descendToLeaf(sp, k)
 	if i := n.keyIndex(k); i >= 0 {
 		n.vals[i] = d
 		n.ver++
-		t.store.write(h, n)
+		t.store.write(sp, h, n)
 		inv.CommitWrite("cp1-overwrite", "leaf-set", int(h), key, data, int(n.ver))
 		t.store.unlock(h)
 		inv.Return(nil)
 		return
 	}
-	t.insertIntoLeaf(p, inv, h, n, k, d)
+	t.insertIntoLeaf(tp, sp, inv, h, n, k, d)
 	inv.Return(nil)
 }
 
 // insertIntoLeaf adds (key, data) to the locked leaf, splitting when full,
 // and completes separator propagation after releasing the leaf.
-func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, h int64, n *node, key, data int64) {
+func (t *Tree) insertIntoLeaf(tp, sp *vyrd.Probe, inv *vyrd.Invocation, h int64, n *node, key, data int64) {
 	insertSorted := func(n *node, key, data int64) {
 		i := 0
 		for i < len(n.keys) && n.keys[i] < key {
@@ -159,7 +192,7 @@ func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, h int64, n *n
 	if len(n.keys) < t.order {
 		insertSorted(n, key, data)
 		n.ver++
-		t.store.write(h, n)
+		t.store.write(sp, h, n)
 		inv.CommitWrite("cp2-insert", "leaf-add", int(h), int(key), int(data), int(n.ver))
 		t.store.unlock(h)
 		return
@@ -182,7 +215,7 @@ func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, h int64, n *n
 	n.high = sep
 	n.right = rh
 	n.ver++
-	p.Write("leaf-split", int(h), int(rh), int(sep), int(n.ver), int(right.ver))
+	tp.Write("leaf-split", int(h), int(rh), int(sep), int(n.ver), int(right.ver))
 
 	target, targetH, label := n, h, "cp3-insert-split-left"
 	if key >= sep {
@@ -190,22 +223,22 @@ func (t *Tree) insertIntoLeaf(p *vyrd.Probe, inv *vyrd.Invocation, h int64, n *n
 	}
 	insertSorted(target, key, data)
 	target.ver++
-	t.store.write(rh, right)
-	t.store.write(h, n)
+	t.store.write(sp, rh, right)
+	t.store.write(sp, h, n)
 	inv.CommitWrite(label, "leaf-add", int(targetH), int(key), int(data), int(target.ver))
 	t.store.unlock(h)
 
-	t.insertSeparator(1, sep, rh)
+	t.insertSeparator(sp, 1, sep, rh)
 }
 
 // insertSeparator installs (sep, right) at the parent level, splitting
 // internal nodes and growing the root as needed. Internal restructuring is
 // outside the view's support and not logged.
-func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
+func (t *Tree) insertSeparator(sp *vyrd.Probe, level int32, sep int64, right int64) {
 	for {
 		t.rootMu.Lock()
 		rootH := t.root
-		rootN := t.mustRead(rootH) // level is immutable per node
+		rootN := t.mustRead(sp, rootH) // level is immutable per node
 		if rootN.level < level {
 			nr := &node{
 				level: level,
@@ -214,14 +247,14 @@ func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
 				kids:  []int64{rootH, right},
 			}
 			nh := t.store.alloc()
-			t.store.write(nh, nr)
+			t.store.write(sp, nh, nr)
 			t.root = nh
 			t.rootMu.Unlock()
 			return
 		}
 		t.rootMu.Unlock()
 
-		ph, pn := t.parentAt(level, sep)
+		ph, pn := t.parentAt(sp, level, sep)
 		i := 0
 		for i < len(pn.keys) && pn.keys[i] < sep {
 			i++
@@ -234,7 +267,7 @@ func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
 		pn.kids[i+1] = right
 
 		if len(pn.keys) <= t.order {
-			t.store.write(ph, pn)
+			t.store.write(sp, ph, pn)
 			t.store.unlock(ph)
 			return
 		}
@@ -253,8 +286,8 @@ func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
 		pn.kids = pn.kids[: mid+1 : mid+1]
 		pn.high = promote
 		pn.right = nrh
-		t.store.write(nrh, newRight)
-		t.store.write(ph, pn)
+		t.store.write(sp, nrh, newRight)
+		t.store.write(sp, ph, pn)
 		t.store.unlock(ph)
 
 		level, sep, right = level+1, promote, nrh
@@ -262,13 +295,13 @@ func (t *Tree) insertSeparator(level int32, sep int64, right int64) {
 }
 
 // parentAt walks to the node at the given level covering key, locked.
-func (t *Tree) parentAt(level int32, key int64) (int64, *node) {
+func (t *Tree) parentAt(sp *vyrd.Probe, level int32, key int64) (int64, *node) {
 	t.rootMu.Lock()
 	h := t.root
 	t.rootMu.Unlock()
 	for {
 		t.store.lock(h)
-		n := t.mustRead(h)
+		n := t.mustRead(sp, h)
 		if key >= n.high && n.right != 0 {
 			next := n.right
 			t.store.unlock(h)
@@ -286,9 +319,10 @@ func (t *Tree) parentAt(level int32, key int64) (int64, *node) {
 
 // Delete removes key, reporting whether it was present.
 func (t *Tree) Delete(p *vyrd.Probe, key int) bool {
-	inv := p.Call("Delete", key)
+	tp, sp := t.probes(p)
+	inv := tp.Call("Delete", key)
 	k := int64(key)
-	h, n := t.descendToLeaf(k)
+	h, n := t.descendToLeaf(sp, k)
 	i := n.keyIndex(k)
 	if i < 0 {
 		inv.Commit("not-found")
@@ -299,7 +333,7 @@ func (t *Tree) Delete(p *vyrd.Probe, key int) bool {
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.vals = append(n.vals[:i], n.vals[i+1:]...)
 	n.ver++
-	t.store.write(h, n)
+	t.store.write(sp, h, n)
 	inv.CommitWrite("deleted", "leaf-del", int(h), key, int(n.ver))
 	t.store.unlock(h)
 	inv.Return(true)
@@ -308,9 +342,10 @@ func (t *Tree) Delete(p *vyrd.Probe, key int) bool {
 
 // Lookup returns the data stored under key, or -1 (observer).
 func (t *Tree) Lookup(p *vyrd.Probe, key int) int {
-	inv := p.Call("Lookup", key)
+	tp, sp := t.probes(p)
+	inv := tp.Call("Lookup", key)
 	k := int64(key)
-	h, n := t.descendToLeaf(k)
+	h, n := t.descendToLeaf(sp, k)
 	data := -1
 	if i := n.keyIndex(k); i >= 0 {
 		data = int(n.vals[i])
@@ -324,14 +359,15 @@ func (t *Tree) Lookup(p *vyrd.Probe, key int) int {
 // when the sibling has room, as the in-memory tree's compression thread
 // does. The move is the commit block of the Compress pseudo-method.
 func (t *Tree) Compress(p *vyrd.Probe) {
-	inv := p.Call(spec.MethodCompress)
+	tp, sp := t.probes(p)
+	inv := tp.Call(spec.MethodCompress)
 	// Find the leftmost leaf.
 	t.rootMu.Lock()
 	h := t.root
 	t.rootMu.Unlock()
 	for {
 		t.store.lock(h)
-		n := t.mustRead(h)
+		n := t.mustRead(sp, h)
 		if n.level == 0 {
 			t.store.unlock(h)
 			break
@@ -343,7 +379,7 @@ func (t *Tree) Compress(p *vyrd.Probe) {
 	// Walk the leaf chain looking for a movable pair.
 	for {
 		t.store.lock(h)
-		n := t.mustRead(h)
+		n := t.mustRead(sp, h)
 		if n.right == 0 {
 			t.store.unlock(h)
 			inv.Commit("nothing")
@@ -352,7 +388,7 @@ func (t *Tree) Compress(p *vyrd.Probe) {
 		}
 		rh := n.right
 		t.store.lock(rh)
-		rn := t.mustRead(rh)
+		rn := t.mustRead(sp, rh)
 		if len(n.keys) >= 2 && len(rn.keys)+1 <= t.order {
 			sep := n.keys[len(n.keys)-1]
 			inv.BeginCommitBlock()
@@ -363,9 +399,9 @@ func (t *Tree) Compress(p *vyrd.Probe) {
 			n.high = sep
 			n.ver++
 			rn.ver++
-			t.store.write(rh, rn)
-			t.store.write(h, n)
-			p.Write("leaf-move", int(h), int(rh), int(sep), int(n.ver), int(rn.ver))
+			t.store.write(sp, rh, rn)
+			t.store.write(sp, h, n)
+			tp.Write("leaf-move", int(h), int(rh), int(sep), int(n.ver), int(rn.ver))
 			inv.Commit("moved")
 			inv.EndCommitBlock()
 			t.store.unlock(rh)
@@ -386,10 +422,10 @@ func (t *Tree) Contents() (pairs map[int]int, dups int) {
 	t.rootMu.Lock()
 	h := t.root
 	t.rootMu.Unlock()
-	n := t.mustRead(h)
+	n := t.mustRead(nil, h)
 	for n.level != 0 {
 		h = n.kids[0]
-		n = t.mustRead(h)
+		n = t.mustRead(nil, h)
 	}
 	for {
 		for i, k := range n.keys {
@@ -402,7 +438,7 @@ func (t *Tree) Contents() (pairs map[int]int, dups int) {
 		if n.right == 0 {
 			return pairs, dups
 		}
-		n = t.mustRead(n.right)
+		n = t.mustRead(nil, n.right)
 	}
 }
 
@@ -413,9 +449,9 @@ func (t *Tree) CheckStructure() int {
 	t.rootMu.Lock()
 	h := t.root
 	t.rootMu.Unlock()
-	n := t.mustRead(h)
+	n := t.mustRead(nil, h)
 	for n.level != 0 {
-		n = t.mustRead(n.kids[0])
+		n = t.mustRead(nil, n.kids[0])
 	}
 	for {
 		var prev int64 = math.MinInt64
@@ -434,6 +470,6 @@ func (t *Tree) CheckStructure() int {
 			}
 			return bad
 		}
-		n = t.mustRead(n.right)
+		n = t.mustRead(nil, n.right)
 	}
 }

@@ -195,16 +195,22 @@ func TestReplayerDuplicateEncoding(t *testing.T) {
 		}
 	}
 	apply("leaf-add", 1, 42, 100, 1)
-	if v, _ := r.View().Get("k:42"); v != "100" {
-		t.Fatalf("single entry renders as %q", v)
+	if v, _ := r.View().GetInt(spaceK, 42); v != 100 {
+		t.Fatalf("single entry renders as %d", v)
 	}
 	apply("leaf-add", 2, 42, 200, 1)
 	if v, _ := r.View().Get("k:42"); v != "dup(100*1,200*1)" {
 		t.Fatalf("duplicate renders as %q", v)
 	}
+	if _, ok := r.View().GetInt(spaceK, 42); ok {
+		t.Fatal("duplicated key still in the integer universe")
+	}
 	apply("leaf-del", 2, 42, 2)
-	if v, _ := r.View().Get("k:42"); v != "100" {
-		t.Fatalf("after removing one dup: %q", v)
+	if v, _ := r.View().GetInt(spaceK, 42); v != 100 {
+		t.Fatalf("after removing one dup: %d", v)
+	}
+	if _, ok := r.View().Get("k:42"); ok {
+		t.Fatal("resolved duplicate left its string-universe marker behind")
 	}
 	pairs, dups := r.Pairs()
 	if dups != 0 || pairs[42] != 100 {
@@ -237,7 +243,7 @@ func TestReplayerSplitAndMoveAreViewNeutral(t *testing.T) {
 	}
 	// Moved pairs live in the destination afterwards.
 	apply("leaf-del", 2, 30, 2)
-	if _, ok := r.View().Get("k:30"); ok {
+	if _, ok := r.View().GetInt(spaceK, 30); ok {
 		t.Fatal("delete from destination leaf failed")
 	}
 }

@@ -65,18 +65,29 @@ func (r *Replayer) Reset() {
 // or a dup(...) marker when a key occurs more than once.
 func (r *Replayer) View() *view.Table { return r.table }
 
+// spaceK is the view key family of stored keys, shared by name with the KV
+// specification so both views land in the same key universe. A duplicated
+// key leaves the integer universe and renders as a "k:<key>" -> "dup(...)"
+// string entry instead — a shape no specification view ever produces, so
+// the fingerprints diverge at the very commit that creates the duplicate.
+var spaceK = view.NewSpace("k")
+
 func (r *Replayer) refreshKey(key int) {
 	ki := r.keys[key]
-	tk := "k:" + strconv.Itoa(key)
 	if ki == nil || ki.count == 0 {
-		delete(r.keys, key)
-		r.table.Delete(tk)
+		// The record stays in r.keys for reuse: with a bounded key pool the
+		// same keys cycle in and out constantly, and reallocating the record
+		// (and its vals map) per cycle dominated the replay allocation
+		// profile.
+		r.table.DeleteInt(spaceK, int64(key))
+		r.table.Delete("k:" + strconv.Itoa(key))
 		return
 	}
 	if ki.count == 1 {
 		for v, n := range ki.vals {
 			if n > 0 {
-				r.table.Set(tk, strconv.Itoa(v))
+				r.table.Delete("k:" + strconv.Itoa(key))
+				r.table.SetInt(spaceK, int64(key), int64(v))
 				return
 			}
 		}
@@ -89,7 +100,8 @@ func (r *Replayer) refreshKey(key int) {
 		}
 	}
 	sort.Strings(vals)
-	r.table.Set(tk, fmt.Sprintf("dup(%s)", strings.Join(vals, ",")))
+	r.table.DeleteInt(spaceK, int64(key))
+	r.table.Set("k:"+strconv.Itoa(key), fmt.Sprintf("dup(%s)", strings.Join(vals, ",")))
 }
 
 func (r *Replayer) addOccurrence(key, val, delta int) {
@@ -264,7 +276,8 @@ func (r *Replayer) Invariants() error {
 }
 
 // Pairs exposes the reconstructed key index: key -> data for unique keys;
-// duplicated keys are reported in dups. For tests.
+// duplicated keys are reported in dups. Records with count 0 are absent
+// keys retained for reuse. For tests.
 func (r *Replayer) Pairs() (pairs map[int]int, dups int) {
 	pairs = make(map[int]int)
 	for key, ki := range r.keys {

@@ -312,13 +312,13 @@ func TestReplayerViewFallback(t *testing.T) {
 	}
 	// Dirty beats clean beats chunk.
 	apply("flush-write", 1, []byte{3})
-	if v, _ := r.View().Get("h:1"); v != event.Format([]byte{3}) {
-		t.Fatalf("chunk fallback: %q", v)
+	if v, _ := r.View().GetIntBytes(spaceH, 1); string(v) != "\x03" {
+		t.Fatalf("chunk fallback: %x", v)
 	}
 	apply("load-clean", 1, []byte{3})
 	apply("mk-dirty", 1, []byte{4})
-	if v, _ := r.View().Get("h:1"); v != event.Format([]byte{4}) {
-		t.Fatalf("dirty priority: %q", v)
+	if v, _ := r.View().GetIntBytes(spaceH, 1); string(v) != "\x04" {
+		t.Fatalf("dirty priority: %x", v)
 	}
 	// mk-clean without a dirty entry is malformed.
 	r2 := NewReplayer()

@@ -60,17 +60,20 @@ func (r *Replayer) Reset() {
 // bytes in the same canonical form as the Store specification.
 func (r *Replayer) View() *view.Table { return r.table }
 
+// spaceH is the view key family of handles, shared by name with the Store
+// specification so both views land in the same key universe.
+var spaceH = view.NewSpace("h")
+
 // refresh re-derives the view entry and invariant membership for handle.
 func (r *Replayer) refresh(h int) {
-	key := fmt.Sprintf("h:%d", h)
 	if b, ok := r.dirty[h]; ok {
-		r.table.Set(key, event.Format(b))
+		r.table.SetIntBytes(spaceH, int64(h), b)
 	} else if b, ok := r.clean[h]; ok {
-		r.table.Set(key, event.Format(b))
+		r.table.SetIntBytes(spaceH, int64(h), b)
 	} else if b, ok := r.chunk[h]; ok {
-		r.table.Set(key, event.Format(b))
+		r.table.SetIntBytes(spaceH, int64(h), b)
 	} else {
-		r.table.Delete(key)
+		r.table.DeleteInt(spaceH, int64(h))
 	}
 
 	cb, inClean := r.clean[h]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/event"
 	"repro/internal/view"
@@ -9,7 +10,9 @@ import (
 )
 
 // invocation tracks one method execution from its call action to the point
-// its effects have been fully checked.
+// its effects have been fully checked. Invocations are pooled: the checker
+// recycles a record once the execution is fully checked (see
+// releaseInvocation), so the steady-state hot path allocates none.
 type invocation struct {
 	tid    int32
 	method string
@@ -35,6 +38,14 @@ type invocation struct {
 	sawBlock    bool
 	blockWrites []event.Entry
 
+	// Pooling lifecycle: retDone is set when the return action has been
+	// processed, flushDone when the commit's flush task has drained. A
+	// mutator's task can drain after its return is processed (a stalled
+	// block ahead of it in the flush queue), so the record recycles only
+	// when both are true.
+	retDone   bool
+	flushDone bool
+
 	// viewS fingerprint snapshotted when the spec executed this method.
 	viewSHash uint64
 	// viewSClone is kept only under WithDiagnostics, for exact diffs.
@@ -50,10 +61,14 @@ type item struct {
 // flushTask is one committed update awaiting application to the replica, in
 // commit order. ready becomes true when all of the update's writes are known
 // (immediately for commit-writes; at end-of-block for commit blocks).
+// Tasks are pooled like invocations; the single-write shapes (commit-writes
+// and queued non-block writes) borrow the inline array instead of
+// allocating a slice.
 type flushTask struct {
 	inv    *invocation
 	writes []event.Entry
 	ready  bool
+	inline [1]event.Entry
 }
 
 // Checker is the refinement verification engine. It is not safe for
@@ -89,11 +104,82 @@ type Checker struct {
 
 	// flushQ holds committed updates awaiting replica application, in
 	// commit order (Section 5.2: blocks are atomic at their commit action).
-	flushQ []*flushTask
+	// flushHead indexes the first unflushed task; popping advances it so the
+	// backing array is reused instead of resliced away (reslicing from the
+	// front would force append to reallocate on every commit).
+	flushQ    []*flushTask
+	flushHead int
+
+	// mutCache caches Spec.IsMutator by interned method symbol (0 unknown,
+	// 1 mutator, 2 observer), turning the per-call classification into a
+	// slice index.
+	mutCache []uint8
+
+	// invFree/taskFree are the recycle pools. The checker is owned by one
+	// goroutine, so plain slices suffice.
+	invFree  []*invocation
+	taskFree []*flushTask
 
 	report   Report
 	done     bool
 	finished bool
+}
+
+// newInvocation takes a zeroed record from the pool.
+func (c *Checker) newInvocation() *invocation {
+	if n := len(c.invFree); n > 0 {
+		inv := c.invFree[n-1]
+		c.invFree[n-1] = nil
+		c.invFree = c.invFree[:n-1]
+		return inv
+	}
+	return &invocation{}
+}
+
+// releaseInvocation recycles a record that nothing references anymore: its
+// entries are processed, it is out of open/pending, and its flush task (if
+// any) has drained.
+func (c *Checker) releaseInvocation(inv *invocation) {
+	*inv = invocation{}
+	c.invFree = append(c.invFree, inv)
+}
+
+func (c *Checker) newTask() *flushTask {
+	if n := len(c.taskFree); n > 0 {
+		t := c.taskFree[n-1]
+		c.taskFree[n-1] = nil
+		c.taskFree = c.taskFree[:n-1]
+		return t
+	}
+	return &flushTask{}
+}
+
+func (c *Checker) releaseTask(t *flushTask) {
+	t.inv = nil
+	t.writes = nil
+	t.ready = false
+	t.inline[0] = event.Entry{}
+	c.taskFree = append(c.taskFree, t)
+}
+
+// isMutator classifies a method by its interned symbol, caching the spec's
+// answer in a dense slice.
+func (c *Checker) isMutator(sym event.Sym, method string) bool {
+	if int(sym) >= len(c.mutCache) {
+		grown := make([]uint8, event.NumSyms()+1)
+		copy(grown, c.mutCache)
+		c.mutCache = grown
+	}
+	if v := c.mutCache[sym]; v != 0 {
+		return v == 1
+	}
+	m := c.spec.IsMutator(method)
+	if m {
+		c.mutCache[sym] = 1
+	} else {
+		c.mutCache[sym] = 2
+	}
+	return m
 }
 
 // New constructs a checker over the given specification. The spec is Reset
@@ -175,14 +261,17 @@ func (c *Checker) Feed(e event.Entry) {
 				fmt.Sprintf("call while %s is still executing: run is not well-formed", prev.method))
 			return
 		}
-		inv := &invocation{
-			tid:     e.Tid,
-			method:  e.Method,
-			args:    e.Args,
-			worker:  e.Worker,
-			callSeq: e.Seq,
-			mutator: c.spec.IsMutator(e.Method),
+		sym := e.Sym
+		if sym == 0 && e.Method != "" {
+			sym = event.InternSym(e.Method)
 		}
+		inv := c.newInvocation()
+		inv.tid = e.Tid
+		inv.method = e.Method
+		inv.args = e.Args
+		inv.worker = e.Worker
+		inv.callSeq = e.Seq
+		inv.mutator = c.isMutator(sym, e.Method)
 		c.open[e.Tid] = inv
 		it.inv = inv
 	case event.KindReturn:
@@ -277,10 +366,20 @@ func (c *Checker) process(it item) {
 			if !inv.committed {
 				c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
 					"mutator execution finished without a commit action: re-examine the commit-point annotation")
+				c.releaseInvocation(inv) // never got a flush task
+				return
 			}
 			if inv.sawBlock && inv.inBlock {
 				c.violate(ViolationInstrumentation, e.Seq, e.Tid, e.Method,
 					"commit block not closed before return")
+				return // its task never becomes ready; leave the record to the GC
+			}
+			inv.retDone = true
+			if c.mode != ModeView || inv.flushDone {
+				// ModeIO mutators have no flush task; in view mode the task
+				// usually drained at the commit entry. Either way the record
+				// is dead here.
+				c.releaseInvocation(inv)
 			}
 			return
 		}
@@ -295,6 +394,7 @@ func (c *Checker) process(it item) {
 			}
 		}
 		c.removePending(inv)
+		c.releaseInvocation(inv)
 
 	case event.KindCommit:
 		if inv == nil {
@@ -334,7 +434,8 @@ func (c *Checker) process(it item) {
 			if c.diagnostics {
 				inv.viewSClone = c.spec.View().Clone()
 			}
-			task := &flushTask{inv: inv}
+			task := c.newTask()
+			task.inv = inv
 			switch {
 			case inv.inBlock:
 				// Writes arrive until the block closes (markBlockReady).
@@ -346,7 +447,9 @@ func (c *Checker) process(it item) {
 				task.ready = true
 			default:
 				if e.WOp != "" {
-					task.writes = []event.Entry{{Seq: e.Seq, Tid: e.Tid, Kind: event.KindWrite, Method: e.WOp, Args: e.WArgs}}
+					task.inline[0] = event.Entry{Seq: e.Seq, Tid: e.Tid, Kind: event.KindWrite,
+						Method: e.WOp, Sym: e.WSym, Args: e.WArgs}
+					task.writes = task.inline[:1]
 				}
 				task.ready = true
 			}
@@ -375,8 +478,12 @@ func (c *Checker) process(it item) {
 		// is stalling the flush queue, the write queues behind it — in the
 		// witness trace t' it follows every commit action that precedes it
 		// in the log, so it must not overtake those blocks' queued writes.
-		if len(c.flushQ) > 0 {
-			c.flushQ = append(c.flushQ, &flushTask{writes: []event.Entry{e}, ready: true})
+		if c.flushHead < len(c.flushQ) {
+			t := c.newTask()
+			t.inline[0] = e
+			t.writes = t.inline[:1]
+			t.ready = true
+			c.flushQ = append(c.flushQ, t)
 			return
 		}
 		c.applyWrite(e)
@@ -418,7 +525,7 @@ func (c *Checker) process(it item) {
 
 // markBlockReady transfers the block's buffered writes to its flush task.
 func (c *Checker) markBlockReady(inv *invocation) {
-	for _, t := range c.flushQ {
+	for _, t := range c.flushQ[c.flushHead:] {
 		if t.inv == inv {
 			t.writes = inv.blockWrites
 			inv.blockWrites = nil
@@ -433,14 +540,20 @@ func (c *Checker) markBlockReady(inv *invocation) {
 // (Section 5.2: conceptually the checker constructs the equivalent trace t'
 // in which each commit block executes atomically at its commit action).
 func (c *Checker) drainFlush() {
-	for len(c.flushQ) > 0 && c.flushQ[0].ready && !c.done {
-		t := c.flushQ[0]
-		c.flushQ = c.flushQ[1:]
+	for c.flushHead < len(c.flushQ) && c.flushQ[c.flushHead].ready && !c.done {
+		t := c.flushQ[c.flushHead]
+		c.flushQ[c.flushHead] = nil
+		c.flushHead++
+		if c.flushHead == len(c.flushQ) {
+			c.flushQ = c.flushQ[:0]
+			c.flushHead = 0
+		}
 		for _, w := range t.writes {
 			c.applyWrite(w)
 		}
 		if t.inv == nil {
-			continue // a queued non-block write; there is no commit to compare at
+			c.releaseTask(t) // a queued non-block write; there is no commit to compare at
+			continue
 		}
 		c.compareViews(t.inv)
 		if c.done {
@@ -452,6 +565,11 @@ func (c *Checker) drainFlush() {
 					fmt.Sprintf("replica invariant failed after commit: %v", err))
 			}
 		}
+		t.inv.flushDone = true
+		if t.inv.retDone {
+			c.releaseInvocation(t.inv)
+		}
+		c.releaseTask(t)
 	}
 }
 
@@ -551,7 +669,7 @@ func (c *Checker) Finish() *Report {
 			}
 		}
 		if !c.done {
-			for _, t := range c.flushQ {
+			for _, t := range c.flushQ[c.flushHead:] {
 				if !t.ready {
 					c.violate(ViolationInstrumentation, t.inv.commitSeq, t.inv.tid, t.inv.method,
 						"log ends before the commit block closed")
@@ -571,7 +689,9 @@ func (c *Checker) Finish() *Report {
 // Run consumes entries from the cursor until the log is closed and drained
 // (or a violation stops a fail-fast checker) and returns the final report.
 // This is the online mode of Table 3: the verification thread runs
-// concurrently with the instrumented program.
+// concurrently with the instrumented program. Failures of the log the
+// cursor reads (a sink that could not persist entries, say) surface in
+// Report.LogErr rather than ending the run silently.
 func (c *Checker) Run(cur *wal.Cursor) *Report {
 	for !c.done {
 		e, ok := cur.Next()
@@ -579,6 +699,9 @@ func (c *Checker) Run(cur *wal.Cursor) *Report {
 			break
 		}
 		c.Feed(e)
+	}
+	if err := cur.Err(); err != nil {
+		c.report.LogErr = err.Error()
 	}
 	return c.Finish()
 }
@@ -597,4 +720,28 @@ func CheckEntries(entries []event.Entry, spec Spec, opts ...Option) (*Report, er
 		}
 	}
 	return c.Finish(), nil
+}
+
+// CheckStream verifies a persisted binary-format log stream offline,
+// decoding frames on a parallel worker pool (workers <= 0 uses GOMAXPROCS)
+// while the checker consumes entries in strict log order — decode is the
+// parallelizable stage, checking stays sequential. Decode errors are
+// returned and also recorded in the (partial) report's LogErr.
+func CheckStream(r io.Reader, workers int, spec Spec, opts ...Option) (*Report, error) {
+	c, err := New(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	err = event.StreamParallel(r, workers, func(e event.Entry) error {
+		c.Feed(e)
+		if c.done {
+			return event.ErrStop
+		}
+		return nil
+	})
+	rep := c.Finish()
+	if err != nil {
+		rep.LogErr = err.Error()
+	}
+	return rep, err
 }

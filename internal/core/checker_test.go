@@ -282,19 +282,21 @@ func (r *kvReplayer) Invariants() error {
 
 var errPoisoned = fmt.Errorf("replica poisoned")
 
+// spaceE matches the multiset specification's view key universe.
+var spaceE = view.NewSpace("e")
+
 func (r *kvReplayer) Apply(op string, args []event.Value) error {
 	switch op {
 	case "bump":
 		x := event.MustInt(args[0])
 		d := event.MustInt(args[1])
 		n := r.counts[x] + d
-		key := fmt.Sprintf("e:%d", x)
 		if n <= 0 {
 			delete(r.counts, x)
-			r.tbl.Delete(key)
+			r.tbl.DeleteInt(spaceE, int64(x))
 		} else {
 			r.counts[x] = n
-			r.tbl.Set(key, fmt.Sprintf("%d", n))
+			r.tbl.SetInt(spaceE, int64(x), int64(n))
 		}
 		return nil
 	case "poison":

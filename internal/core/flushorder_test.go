@@ -41,13 +41,12 @@ func (r *slotReplayer) Invariants() error { return nil }
 
 func (r *slotReplayer) bump(x, d int) {
 	n := r.count[x] + d
-	key := fmt.Sprintf("e:%d", x)
 	if n <= 0 {
 		delete(r.count, x)
-		r.tbl.Delete(key)
+		r.tbl.DeleteInt(spaceE, int64(x))
 	} else {
 		r.count[x] = n
-		r.tbl.Set(key, fmt.Sprintf("%d", n))
+		r.tbl.SetInt(spaceE, int64(x), int64(n))
 	}
 }
 

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// Modular checker fan-out (Section 7.2, Fig. 10): the Boxwood experiment
+// verifies the B-link tree and the cache/chunk store as separate refinement
+// checks over ONE totally ordered execution log. Each module sees the
+// projection of the log onto its own vocabulary, and the checks are
+// independent — embarrassingly parallel. Multi drives them that way: a
+// single cursor/stream is read once, each entry is routed to the modules
+// whose filter accepts it, and every module's Checker runs on its own
+// goroutine behind a bounded queue (so one slow module backpressures the
+// router instead of ballooning memory).
+
+// Module is one verified module: a name, its specification, and the filter
+// that projects the shared log onto the module's entries.
+type Module struct {
+	// Name identifies the module in its ModuleReport.
+	Name string
+	// Spec is the module's specification; each module gets its own Checker
+	// constructed from it.
+	Spec Spec
+	// Filter selects the module's entries. Nil filters by the entry's
+	// Module tag equal to Name (the tag written by module-scoped probes).
+	Filter func(e event.Entry) bool
+	// Opts configure the module's Checker (mode, replayer, diagnostics...).
+	Opts []Option
+}
+
+// FilterModule returns a filter accepting entries tagged with the given
+// module name (see event.Entry.Module).
+func FilterModule(name string) func(event.Entry) bool {
+	sym := event.InternSym(name)
+	return func(e event.Entry) bool {
+		if e.Mod != 0 || e.Module == "" {
+			return e.Mod == sym
+		}
+		return e.Module == name
+	}
+}
+
+// ModuleReport pairs a module's name with its checking report.
+type ModuleReport struct {
+	Module string
+	Report *Report
+}
+
+// Ok reports whether every module's check passed.
+func Ok(reports []ModuleReport) bool {
+	for _, mr := range reports {
+		if !mr.Report.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// batchSize is the routing granularity: entries are handed to module
+// goroutines in batches to amortize channel synchronization.
+const batchSize = 256
+
+// queueDepth bounds each module's queue (in batches); a stalled module
+// blocks the router once its queue fills.
+const queueDepth = 8
+
+// Multi fans one log out to per-module checkers.
+type Multi struct {
+	mods     []Module
+	checkers []*Checker
+	filters  []func(event.Entry) bool
+
+	queues  []chan []event.Entry
+	pending [][]event.Entry
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewMulti constructs one Checker per module. Checker construction errors
+// (a view-mode module without a replayer, say) surface here, before any
+// entry is consumed.
+func NewMulti(mods ...Module) (*Multi, error) {
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("core: NewMulti requires at least one module")
+	}
+	m := &Multi{mods: mods}
+	for _, mod := range mods {
+		c, err := New(mod.Spec, mod.Opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: %w", mod.Name, err)
+		}
+		m.checkers = append(m.checkers, c)
+		f := mod.Filter
+		if f == nil {
+			f = FilterModule(mod.Name)
+		}
+		m.filters = append(m.filters, f)
+	}
+	return m, nil
+}
+
+// start launches the module goroutines. Each drains its queue into its
+// Checker and finishes when the queue closes.
+func (m *Multi) start() {
+	m.queues = make([]chan []event.Entry, len(m.mods))
+	m.pending = make([][]event.Entry, len(m.mods))
+	for i := range m.mods {
+		q := make(chan []event.Entry, queueDepth)
+		m.queues[i] = q
+		c := m.checkers[i]
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for batch := range q {
+				for _, e := range batch {
+					c.Feed(e)
+				}
+			}
+			c.Finish()
+		}()
+	}
+	m.started = true
+}
+
+// route hands one entry to every module whose filter accepts it.
+func (m *Multi) route(e event.Entry) {
+	for i, f := range m.filters {
+		if !f(e) {
+			continue
+		}
+		if m.pending[i] == nil {
+			m.pending[i] = make([]event.Entry, 0, batchSize)
+		}
+		m.pending[i] = append(m.pending[i], e)
+		if len(m.pending[i]) == batchSize {
+			m.queues[i] <- m.pending[i]
+			m.pending[i] = nil
+		}
+	}
+}
+
+// finish flushes partial batches, closes the queues, waits for the module
+// goroutines and collects the reports. logErr, when non-empty, is recorded
+// on every module's report: all modules read the same log.
+func (m *Multi) finish(logErr string) []ModuleReport {
+	for i, p := range m.pending {
+		if len(p) > 0 {
+			m.queues[i] <- p
+			m.pending[i] = nil
+		}
+	}
+	for _, q := range m.queues {
+		close(q)
+	}
+	m.wg.Wait()
+	out := make([]ModuleReport, len(m.mods))
+	for i, c := range m.checkers {
+		rep := c.Report()
+		if logErr != "" {
+			rep.LogErr = logErr
+		}
+		out[i] = ModuleReport{Module: m.mods[i].Name, Report: rep}
+	}
+	return out
+}
+
+// Run consumes the cursor until the log is closed and drained, fanning
+// entries out to the module checkers, and returns the merged per-module
+// reports. This is the online modular mode: it runs concurrently with the
+// instrumented program, one goroutine per module plus the calling router.
+func (m *Multi) Run(cur *wal.Cursor) []ModuleReport {
+	m.start()
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		m.route(e)
+	}
+	var logErr string
+	if err := cur.Err(); err != nil {
+		logErr = err.Error()
+	}
+	return m.finish(logErr)
+}
+
+// CheckEntries verifies a recorded execution offline through the modular
+// fan-out, returning per-module reports.
+func (m *Multi) CheckEntries(entries []event.Entry) []ModuleReport {
+	m.start()
+	for _, e := range entries {
+		m.route(e)
+	}
+	return m.finish("")
+}
+
+// CheckEntriesMulti is the convenience wrapper: construct, fan out, merge.
+func CheckEntriesMulti(entries []event.Entry, mods ...Module) ([]ModuleReport, error) {
+	m, err := NewMulti(mods...)
+	if err != nil {
+		return nil, err
+	}
+	return m.CheckEntries(entries), nil
+}

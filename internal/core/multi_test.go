@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// modTag stamps a module name (and its interned symbol) on an entry, the
+// way a module-scoped probe does.
+func modTag(e event.Entry, module string) event.Entry {
+	e.Module = module
+	e.Mod = event.InternSym(module)
+	return e
+}
+
+// twoModuleLog interleaves two independent multiset histories, one per
+// module tag. Module "a" is clean; module "b" claims a removal of an absent
+// element (an I/O violation the fan-out must pin on "b" alone).
+func twoModuleLog() []event.Entry {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert").ret(1, "Insert", true)
+	b.call(2, "Delete", 9).commit(2, "Delete").ret(2, "Delete", true) // b's bogus removal
+	b.call(1, "LookUp", 3).ret(1, "LookUp", true)
+	b.call(2, "Insert", 5).commit(2, "Insert").ret(2, "Insert", true)
+	out := make([]event.Entry, len(b.entries))
+	for i, e := range b.entries {
+		if e.Tid == 1 {
+			out[i] = modTag(e, "a")
+		} else {
+			out[i] = modTag(e, "b")
+		}
+	}
+	return out
+}
+
+func multiMods() []Module {
+	return []Module{
+		{Name: "a", Spec: spec.NewMultiset()},
+		{Name: "b", Spec: spec.NewMultiset()},
+	}
+}
+
+// TestMultiRoutesByModuleTag: each module checker sees only its own
+// entries, and a violation lands on the module that produced it.
+func TestMultiRoutesByModuleTag(t *testing.T) {
+	reports, err := CheckEntriesMulti(twoModuleLog(), multiMods()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	a, b := reports[0], reports[1]
+	if a.Module != "a" || b.Module != "b" {
+		t.Fatalf("module order: %s, %s", a.Module, b.Module)
+	}
+	if !a.Report.Ok() {
+		t.Fatalf("clean module flagged:\n%s", a.Report)
+	}
+	if b.Report.Ok() {
+		t.Fatal("bogus removal not flagged on module b")
+	}
+	if got := b.Report.First().Kind; got != ViolationIO {
+		t.Fatalf("module b violation kind = %v", got)
+	}
+	if a.Report.EntriesProcessed != 5 || b.Report.EntriesProcessed != 6 {
+		t.Fatalf("projection sizes: a=%d b=%d",
+			a.Report.EntriesProcessed, b.Report.EntriesProcessed)
+	}
+	if Ok(reports) {
+		t.Fatal("Ok must be false when any module fails")
+	}
+}
+
+// TestMultiMatchesSequentialProjection: the concurrent fan-out reaches the
+// verdicts of checking each module's projection alone.
+func TestMultiMatchesSequentialProjection(t *testing.T) {
+	entries := twoModuleLog()
+	multi, err := CheckEntriesMulti(entries, multiMods()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range multi {
+		f := FilterModule(mr.Module)
+		var projected []event.Entry
+		for _, e := range entries {
+			if f(e) {
+				projected = append(projected, e)
+			}
+		}
+		seq := mustCheck(t, projected, spec.NewMultiset())
+		if mr.Report.Ok() != seq.Ok() || mr.Report.TotalViolations != seq.TotalViolations ||
+			mr.Report.MethodsCompleted != seq.MethodsCompleted {
+			t.Fatalf("module %s: multi (ok=%v v=%d m=%d) != sequential (ok=%v v=%d m=%d)",
+				mr.Module, mr.Report.Ok(), mr.Report.TotalViolations, mr.Report.MethodsCompleted,
+				seq.Ok(), seq.TotalViolations, seq.MethodsCompleted)
+		}
+	}
+}
+
+// TestMultiCustomFilter: an explicit filter (here by thread) overrides the
+// module-tag default.
+func TestMultiCustomFilter(t *testing.T) {
+	var b logBuilder
+	b.call(1, "Insert", 3).commit(1, "Insert").ret(1, "Insert", true)
+	b.call(2, "Insert", 4).commit(2, "Insert").ret(2, "Insert", true)
+	byTid := func(tid int32) func(event.Entry) bool {
+		return func(e event.Entry) bool { return e.Tid == tid }
+	}
+	reports, err := CheckEntriesMulti(b.entries,
+		Module{Name: "t1", Spec: spec.NewMultiset(), Filter: byTid(1)},
+		Module{Name: "t2", Spec: spec.NewMultiset(), Filter: byTid(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range reports {
+		if !mr.Report.Ok() || mr.Report.MethodsCompleted != 1 {
+			t.Fatalf("module %s: ok=%v methods=%d", mr.Module, mr.Report.Ok(), mr.Report.MethodsCompleted)
+		}
+	}
+}
+
+// TestFilterModuleStringFallback: entries whose Mod symbol was never
+// interned (e.g. hand-built logs) still route by the Module string.
+func TestFilterModuleStringFallback(t *testing.T) {
+	f := FilterModule("m")
+	if !f(event.Entry{Module: "m"}) {
+		t.Fatal("string-tagged entry rejected")
+	}
+	if f(event.Entry{Module: "other"}) || f(event.Entry{}) {
+		t.Fatal("foreign/untagged entry accepted")
+	}
+	tagged := modTag(event.Entry{}, "m")
+	if !f(tagged) {
+		t.Fatal("sym-tagged entry rejected")
+	}
+}
+
+// TestNewMultiRejectsBadModule: checker construction errors surface per
+// module before any entry is consumed.
+func TestNewMultiRejectsBadModule(t *testing.T) {
+	_, err := NewMulti(Module{Name: "bad", Spec: spec.NewMultiset(),
+		Opts: []Option{WithMode(ModeView)}}) // view mode without a replayer
+	if err == nil {
+		t.Fatal("expected a construction error")
+	}
+	if _, err := NewMulti(); err == nil {
+		t.Fatal("expected an error for zero modules")
+	}
+}

@@ -95,10 +95,17 @@ type Report struct {
 	ViewsCompared int64
 	// EntriesProcessed counts log entries consumed.
 	EntriesProcessed int64
+
+	// LogErr records a failure of the log the checker read — a sink that
+	// could not persist entries, a stream that failed to decode. The
+	// verdict is not trustworthy when set: part of the execution may be
+	// missing from what was checked.
+	LogErr string `json:",omitempty"`
 }
 
-// Ok reports whether no violation was detected.
-func (r *Report) Ok() bool { return r.TotalViolations == 0 }
+// Ok reports whether no violation was detected and the log was read
+// without failure.
+func (r *Report) Ok() bool { return r.TotalViolations == 0 && r.LogErr == "" }
 
 // First returns the first detected violation, or nil if none.
 func (r *Report) First() *Violation {
@@ -115,6 +122,9 @@ func (r *Report) String() string {
 		r.Mode, r.EntriesProcessed, r.MethodsCompleted, r.CommitsApplied, r.ObserversChecked)
 	if r.Mode == ModeView {
 		fmt.Fprintf(&b, " writes=%d view-compares=%d", r.WritesReplayed, r.ViewsCompared)
+	}
+	if r.LogErr != "" {
+		fmt.Fprintf(&b, "\nlog error (verdict incomplete): %s", r.LogErr)
 	}
 	if r.Ok() {
 		b.WriteString("\nno refinement violations detected")

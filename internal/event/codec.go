@@ -1,6 +1,7 @@
 package event
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -9,31 +10,73 @@ import (
 
 // The paper's logging mechanism uses the binary object serialization of the
 // .NET platform to restore record objects as they were saved at runtime
-// (Section 6.1). This codec plays the same role with encoding/gob.
+// (Section 6.1). This package plays the same role with two codecs:
 //
-// Persisted streams start with a fixed header (magic + format version).
-// Entry layout drift — a field added to Entry, a renumbered kind — then
-// fails decoding with an explicit "log format version mismatch" instead of
-// an opaque "gob: bad data" deep in the stream. Bump FormatVersion whenever
-// the wire shape of Entry changes; committed artifacts are regenerated with
-// `go generate ./vyrd` (see cmd/genfig6).
+//   - CodecBinary (format version 2, the default): a hand-rolled
+//     length-prefixed framed encoding (see binary.go). Every record is an
+//     independent frame, so offline replay can scan frame boundaries cheaply
+//     and decode frames on a worker pool (see StreamParallel).
+//   - CodecGob (format version 1): the original encoding/gob stream, kept for
+//     reading old artifacts and as the A/B comparison point in benchmarks.
+//
+// Persisted streams start with a fixed header (magic + format version); the
+// version byte identifies the codec. Entry layout drift — a field added to
+// Entry, a renumbered kind — then fails decoding with an explicit "log format
+// version mismatch" instead of an opaque decode error deep in the stream.
+// Bump FormatVersion whenever the binary wire shape of Entry changes;
+// committed artifacts are regenerated with `go generate ./vyrd` (see
+// cmd/genfig6).
 
-// FormatVersion is the current log stream format. Version history:
+// FormatVersion is the current (binary-codec) log stream format. Version
+// history:
 //
 //	1: initial versioned format (header + gob-encoded Entry records)
-const FormatVersion = 1
+//	2: length-prefixed framed binary records (binary.go), gob retained
+//	   behind CodecGob for old-log reads and A/B benchmarks
+const FormatVersion = 2
+
+// formatVersionGob is the stream version written and read by CodecGob.
+const formatVersionGob = 1
 
 // formatMagic identifies a VYRD log stream; the byte after it carries the
 // format version.
 const formatMagic = "VYRDLOG"
 
 // ErrFormatMismatch reports that a stream is not a VYRD log of the version
-// this build reads. Use errors.Is to detect it.
+// this decoder reads. Use errors.Is to detect it.
 var ErrFormatMismatch = errors.New("log format version mismatch")
+
+// Codec selects the stream encoding.
+type Codec uint8
+
+const (
+	// CodecBinary is the current framed binary encoding (format version 2).
+	CodecBinary Codec = iota
+	// CodecGob is the legacy encoding/gob stream (format version 1).
+	CodecGob
+)
+
+// String returns the codec name as used in benchmarks and CLI flags.
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// version returns the header version byte a codec writes and accepts.
+func (c Codec) version() byte {
+	if c == CodecGob {
+		return formatVersionGob
+	}
+	return FormatVersion
+}
 
 func init() {
 	// Concrete types that may appear in Entry.Args/Entry.Ret. Anything else
-	// must be registered by the package that logs it (RegisterValue).
+	// must be registered by the package that logs it (RegisterValue). The
+	// binary codec encodes these natively and falls back to a per-value gob
+	// blob for registered custom types.
 	gob.Register(int(0))
 	gob.Register(int64(0))
 	gob.Register("")
@@ -52,46 +95,89 @@ func RegisterValue(v Value) { gob.Register(v) }
 // Encoder serializes entries to a stream, prefixed with the format header.
 type Encoder struct {
 	w      io.Writer
-	enc    *gob.Encoder
+	codec  Codec
+	enc    *gob.Encoder // CodecGob only
+	buf    []byte       // CodecBinary frame scratch
 	headed bool
 }
 
-// NewEncoder returns an Encoder writing to w. The header is written lazily
-// with the first entry, so constructing an encoder performs no I/O.
-func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: w, enc: gob.NewEncoder(w)}
+// NewEncoder returns an Encoder writing the current binary format to w. The
+// header is written lazily with the first entry, so constructing an encoder
+// performs no I/O.
+func NewEncoder(w io.Writer) *Encoder { return NewEncoderCodec(w, CodecBinary) }
+
+// NewEncoderCodec returns an Encoder writing the chosen codec to w.
+func NewEncoderCodec(w io.Writer, c Codec) *Encoder {
+	e := &Encoder{w: w, codec: c}
+	if c == CodecGob {
+		e.enc = gob.NewEncoder(w)
+	}
+	return e
 }
 
 // Encode appends one entry to the stream.
 func (e *Encoder) Encode(entry Entry) error {
 	if !e.headed {
-		if _, err := e.w.Write(append([]byte(formatMagic), FormatVersion)); err != nil {
+		if _, err := e.w.Write(append([]byte(formatMagic), e.codec.version())); err != nil {
 			return fmt.Errorf("event: write stream header: %w", err)
 		}
 		e.headed = true
 	}
-	if err := e.enc.Encode(entry); err != nil {
+	if e.codec == CodecGob {
+		// Symbol ids are process-local; never let them reach the wire.
+		entry.Sym, entry.WSym, entry.Mod = 0, 0, 0
+		if err := e.enc.Encode(entry); err != nil {
+			return fmt.Errorf("event: encode entry #%d: %w", entry.Seq, err)
+		}
+		return nil
+	}
+	buf, err := appendFrame(e.buf[:0], entry)
+	if err != nil {
 		return fmt.Errorf("event: encode entry #%d: %w", entry.Seq, err)
+	}
+	e.buf = buf // keep the grown scratch for the next entry
+	if _, err := e.w.Write(buf); err != nil {
+		return fmt.Errorf("event: write entry #%d: %w", entry.Seq, err)
 	}
 	return nil
 }
 
-// Decoder deserializes entries from a stream produced by Encoder.
+// Decoder deserializes entries from a stream produced by Encoder. A Decoder
+// reads exactly one codec: the default binary Decoder rejects version-1
+// (gob) streams with ErrFormatMismatch, and vice versa — old artifacts are
+// read explicitly with NewDecoderCodec(r, CodecGob).
 type Decoder struct {
 	r      io.Reader
-	dec    *gob.Decoder
+	codec  Codec
+	dec    *gob.Decoder  // CodecGob only
+	br     *bufio.Reader // CodecBinary only
+	buf    []byte        // CodecBinary payload scratch
 	headed bool
 }
 
-// NewDecoder returns a Decoder reading from r.
-func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: r, dec: gob.NewDecoder(r)}
+// NewDecoder returns a Decoder reading the current binary format from r.
+func NewDecoder(r io.Reader) *Decoder { return NewDecoderCodec(r, CodecBinary) }
+
+// NewDecoderCodec returns a Decoder reading the chosen codec from r.
+func NewDecoderCodec(r io.Reader, c Codec) *Decoder {
+	d := &Decoder{r: r, codec: c}
+	if c == CodecGob {
+		d.dec = gob.NewDecoder(r)
+	} else {
+		if br, ok := r.(*bufio.Reader); ok {
+			d.br = br
+		} else {
+			d.br = bufio.NewReaderSize(r, 1<<16)
+		}
+	}
+	return d
 }
 
-// readHeader consumes and validates the stream header.
-func (d *Decoder) readHeader() error {
+// readHeader consumes and validates the stream header against rd, the
+// reader the stream bytes come from.
+func readHeader(rd io.Reader, c Codec) error {
 	hdr := make([]byte, len(formatMagic)+1)
-	n, err := io.ReadFull(d.r, hdr)
+	n, err := io.ReadFull(rd, hdr)
 	if err == io.EOF && n == 0 {
 		return io.EOF // empty stream: no entries, not a format error
 	}
@@ -101,28 +187,69 @@ func (d *Decoder) readHeader() error {
 	if string(hdr[:len(formatMagic)]) != formatMagic {
 		return fmt.Errorf("event: %w: stream has no VYRDLOG header (pre-versioning artifact? regenerate it, e.g. go generate ./vyrd)", ErrFormatMismatch)
 	}
-	if v := hdr[len(formatMagic)]; v != FormatVersion {
-		return fmt.Errorf("event: %w: stream has format version %d, this build reads version %d", ErrFormatMismatch, v, FormatVersion)
+	if v := hdr[len(formatMagic)]; v != c.version() {
+		return fmt.Errorf("event: %w: stream has format version %d, this %s decoder reads version %d",
+			ErrFormatMismatch, v, c, c.version())
 	}
-	d.headed = true
 	return nil
 }
 
-// Decode reads the next entry. It returns io.EOF at end of stream.
+// Decode reads the next entry. It returns io.EOF at end of stream. Decoded
+// entries carry freshly interned Sym/WSym/Mod ids.
 func (d *Decoder) Decode() (Entry, error) {
 	if !d.headed {
-		if err := d.readHeader(); err != nil {
+		rd := d.r
+		if d.br != nil {
+			rd = d.br
+		}
+		if err := readHeader(rd, d.codec); err != nil {
 			return Entry{}, err
 		}
+		d.headed = true
 	}
-	var entry Entry
-	if err := d.dec.Decode(&entry); err != nil {
-		if err == io.EOF {
-			return Entry{}, io.EOF
+	if d.codec == CodecGob {
+		var entry Entry
+		if err := d.dec.Decode(&entry); err != nil {
+			if err == io.EOF {
+				return Entry{}, io.EOF
+			}
+			return Entry{}, fmt.Errorf("event: decode entry: %w", err)
 		}
-		return Entry{}, fmt.Errorf("event: decode entry: %w", err)
+		entry.Intern()
+		return entry, nil
+	}
+	payload, err := readFrame(d.br, &d.buf)
+	if err != nil {
+		return Entry{}, err
+	}
+	entry, err := decodeEntry(payload)
+	if err != nil {
+		return Entry{}, err
 	}
 	return entry, nil
+}
+
+// readFrame reads one length-prefixed frame into *scratch (grown as needed)
+// and returns the payload slice, valid until the next call.
+func readFrame(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	size, err := readUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("event: read frame length: %w", err)
+	}
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("event: frame length %d exceeds limit %d (corrupt stream?)", size, maxFrameSize)
+	}
+	if uint64(cap(*scratch)) < size {
+		*scratch = make([]byte, size, size*2)
+	}
+	payload := (*scratch)[:size]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("event: read frame payload: %w", err)
+	}
+	return payload, nil
 }
 
 // DecodeAll reads every remaining entry from the stream.

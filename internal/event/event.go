@@ -78,6 +78,34 @@ type Entry struct {
 	// interleaving.
 	WOp   string
 	WArgs []Value
+
+	// Module tags the entry with the verified module that produced it, for
+	// modular per-structure checking (Section 7.2, Fig. 10): one execution
+	// log, one refinement checker per module. Empty outside modular runs.
+	Module string
+
+	// Sym, WSym and Mod are the process-local interned ids of Method, WOp
+	// and Module (see InternSym). They are assigned at log time by probes
+	// and restored by decoders, and are NEVER persisted: ids from another
+	// process would be meaningless here. Code receiving entries from an
+	// unknown source calls Intern to normalize them.
+	Sym  Sym
+	WSym Sym
+	Mod  Sym
+}
+
+// Intern populates the symbol ids from the string fields. It is idempotent
+// and cheap once the names are known to the interner.
+func (e *Entry) Intern() {
+	if e.Sym == 0 && e.Method != "" {
+		e.Sym = InternSym(e.Method)
+	}
+	if e.WSym == 0 && e.WOp != "" {
+		e.WSym = InternSym(e.WOp)
+	}
+	if e.Mod == 0 && e.Module != "" {
+		e.Mod = InternSym(e.Module)
+	}
 }
 
 // String renders the entry for diagnostics.

@@ -1,0 +1,102 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Symbol interning gives method names, write-op names and module tags dense
+// process-local integer identities. Probes intern at log time and decoders
+// re-intern after reading, so the checker's hot path (mutator
+// classification, per-space view updates) can key by small integers instead
+// of hashing strings. Symbol IDs are process-local by construction: they are
+// never persisted, and every consumer of a decoded entry sees freshly
+// re-interned IDs (see Entry.Intern).
+
+// Sym is a process-local interned name. The zero Sym means "no symbol";
+// real symbols start at 1 and stay dense, so slices indexed by Sym work as
+// per-symbol caches.
+type Sym uint32
+
+// symState is an immutable interner snapshot. Lookups read the current
+// snapshot without locking; interning a new name copies it under symMu and
+// publishes the successor, so steady-state decode never contends.
+type symState struct {
+	ids   map[string]Sym
+	names []string // names[s-1] is the canonical string for Sym s
+}
+
+var symTab atomic.Pointer[symState]
+var symMu sync.Mutex
+
+func init() {
+	symTab.Store(&symState{ids: map[string]Sym{}})
+}
+
+// InternSym returns the dense id for name, allocating one on first use.
+// The empty string interns to the zero Sym.
+func InternSym(name string) Sym {
+	if name == "" {
+		return 0
+	}
+	if s, ok := symTab.Load().ids[name]; ok {
+		return s
+	}
+	s, _ := internSlow(name)
+	return s
+}
+
+// internBytes is InternSym for a transient byte slice (a decoder's reusable
+// frame buffer). The common hit path performs no allocation: Go elides the
+// []byte→string conversion used only as a map key, and the canonical string
+// comes from the interner, not from b.
+func internBytes(b []byte) (Sym, string) {
+	if len(b) == 0 {
+		return 0, ""
+	}
+	st := symTab.Load()
+	if s, ok := st.ids[string(b)]; ok {
+		return s, st.names[s-1]
+	}
+	return internSlow(string(b))
+}
+
+// internSlow registers a new name, copying the snapshot so concurrent
+// readers keep lock-free access.
+func internSlow(name string) (Sym, string) {
+	symMu.Lock()
+	defer symMu.Unlock()
+	st := symTab.Load()
+	if s, ok := st.ids[name]; ok { // raced with another interner
+		return s, st.names[s-1]
+	}
+	next := &symState{
+		ids:   make(map[string]Sym, len(st.ids)+1),
+		names: make([]string, len(st.names), len(st.names)+1),
+	}
+	for k, v := range st.ids {
+		next.ids[k] = v
+	}
+	copy(next.names, st.names)
+	next.names = append(next.names, name)
+	s := Sym(len(next.names))
+	next.ids[name] = s
+	symTab.Store(next)
+	return s, name
+}
+
+// Name returns the interned string for s, or "" for the zero Sym.
+func (s Sym) Name() string {
+	if s == 0 {
+		return ""
+	}
+	st := symTab.Load()
+	if int(s) > len(st.names) {
+		return ""
+	}
+	return st.names[s-1]
+}
+
+// NumSyms returns the number of interned symbols; Sym values are always in
+// [1, NumSyms]. Per-symbol caches size themselves from this.
+func NumSyms() int { return len(symTab.Load().names) }

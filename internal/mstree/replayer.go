@@ -55,19 +55,22 @@ func (r *Replayer) Reset() {
 // multiplicities, matching the multiset specification's viewS.
 func (r *Replayer) View() *view.Table { return r.table }
 
+// spaceE is the view key family of multiset elements, shared by name with
+// the multiset specification so both views land in the same key universe.
+var spaceE = view.NewSpace("e")
+
 func (r *Replayer) countDelta(elt, delta int) {
 	if delta == 0 {
 		return
 	}
 	n := r.counts[elt] + delta
-	key := fmt.Sprintf("e:%d", elt)
 	if n <= 0 {
 		delete(r.counts, elt)
-		r.table.Delete(key)
+		r.table.DeleteInt(spaceE, int64(elt))
 		return
 	}
 	r.counts[elt] = n
-	r.table.Set(key, fmt.Sprintf("%d", n))
+	r.table.SetInt(spaceE, int64(elt), int64(n))
 }
 
 // setReachable walks the subtree rooted at id, marking reachability and

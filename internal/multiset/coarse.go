@@ -154,14 +154,13 @@ func (r *CoarseReplayer) Invariants() error { return nil }
 
 func (r *CoarseReplayer) bump(x, delta int) {
 	n := r.counts[x] + delta
-	key := fmt.Sprintf("e:%d", x)
 	if n <= 0 {
 		delete(r.counts, x)
-		r.table.Delete(key)
+		r.table.DeleteInt(spaceE, int64(x))
 		return
 	}
 	r.counts[x] = n
-	r.table.Set(key, fmt.Sprintf("%d", n))
+	r.table.SetInt(spaceE, int64(x), int64(n))
 }
 
 // Apply implements core.Replayer.

@@ -63,16 +63,19 @@ func (r *Replayer) slot(i int) *rslot {
 	return &r.slots[i]
 }
 
+// spaceE is the view key family of multiset elements, shared by name with
+// the multiset specification so both views land in the same key universe.
+var spaceE = view.NewSpace("e")
+
 func (r *Replayer) count(elt, delta int) {
 	n := r.counts[elt] + delta
-	key := fmt.Sprintf("e:%d", elt)
 	if n <= 0 {
 		delete(r.counts, elt)
-		r.table.Delete(key)
+		r.table.DeleteInt(spaceE, int64(elt))
 		return
 	}
 	r.counts[elt] = n
-	r.table.Set(key, fmt.Sprintf("%d", n))
+	r.table.SetInt(spaceE, int64(elt), int64(n))
 }
 
 func (r *Replayer) invariantDelta(before, after rslot) {

@@ -26,6 +26,11 @@ type KV struct {
 	table *view.Table
 }
 
+// spaceK is the view key family of stored keys ("k:<key>"), shared by name
+// with the tree replayer so spec and replica views land in the same key
+// universe.
+var spaceK = view.NewSpace("k")
+
 // NewKV returns an empty map specification.
 func NewKV() *KV {
 	s := &KV{}
@@ -72,7 +77,7 @@ func (s *KV) ApplyMutator(method string, args []event.Value, ret event.Value) er
 			return errRet(method, args, ret, "Insert returns nothing")
 		}
 		s.m[key] = data
-		s.table.Set("k:"+itoa(key), itoa(data))
+		s.table.SetInt(spaceK, int64(key), int64(data))
 		return nil
 
 	case "Delete":
@@ -93,7 +98,7 @@ func (s *KV) ApplyMutator(method string, args []event.Value, ret event.Value) er
 		}
 		if removed {
 			delete(s.m, key)
-			s.table.Delete("k:" + itoa(key))
+			s.table.DeleteInt(spaceK, int64(key))
 		}
 		return nil
 

@@ -71,10 +71,10 @@ func TestKVViewMatchesContents(t *testing.T) {
 	mustApply(t, s, "Insert", []event.Value{1, 10}, nil)
 	mustApply(t, s, "Insert", []event.Value{2, 20}, nil)
 	mustApply(t, s, "Delete", []event.Value{1}, true)
-	if v, ok := s.View().Get("k:2"); !ok || v != "20" {
-		t.Fatalf("view entry k:2 = %q, %v", v, ok)
+	if v, ok := s.View().GetInt(spaceK, 2); !ok || v != 20 {
+		t.Fatalf("view entry k:2 = %d, %v", v, ok)
 	}
-	if _, ok := s.View().Get("k:1"); ok {
+	if _, ok := s.View().GetInt(spaceK, 1); ok {
 		t.Fatal("deleted key still in the view")
 	}
 }

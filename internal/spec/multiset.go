@@ -26,6 +26,10 @@ type Multiset struct {
 	table  *view.Table
 }
 
+// spaceE is the view key family of multiset elements ("e:<element>"),
+// shared by name with the multiset replayer.
+var spaceE = view.NewSpace("e")
+
 // NewMultiset returns an empty multiset specification.
 func NewMultiset() *Multiset {
 	s := &Multiset{}
@@ -58,14 +62,13 @@ func (s *Multiset) IsMutator(method string) bool {
 
 func (s *Multiset) add(x, delta int) {
 	n := s.counts[x] + delta
-	key := "e:" + itoa(x)
 	if n <= 0 {
 		delete(s.counts, x)
-		s.table.Delete(key)
+		s.table.DeleteInt(spaceE, int64(x))
 		return
 	}
 	s.counts[x] = n
-	s.table.Set(key, itoa(n))
+	s.table.SetInt(spaceE, int64(x), int64(n))
 }
 
 // Count returns the multiplicity of x.

@@ -26,6 +26,11 @@ type Store struct {
 	table *view.Table
 }
 
+// spaceH is the view key family of written handles ("h:<handle>"), shared
+// by name with the cache replayer so spec and replica views land in the
+// same key universe.
+var spaceH = view.NewSpace("h")
+
 // NewStore returns an empty store specification.
 func NewStore() *Store {
 	s := &Store{}
@@ -76,7 +81,7 @@ func (s *Store) ApplyMutator(method string, args []event.Value, ret event.Value)
 			return errRet(method, args, ret, "Write returns nothing")
 		}
 		s.m[h] = buf
-		s.table.Set("h:"+itoa(h), event.Format(buf))
+		s.table.SetIntBytes(spaceH, int64(h), buf)
 		return nil
 
 	case "Flush", "Revoke", MethodCompress:

@@ -77,8 +77,8 @@ func TestStoreRejectsMalformed(t *testing.T) {
 func TestStoreViewCanonicalForm(t *testing.T) {
 	s := NewStore()
 	mustApply(t, s, "Write", []event.Value{3, []byte{0xab}}, nil)
-	if v, ok := s.View().Get("h:3"); !ok || v != "0xab" {
-		t.Fatalf("view h:3 = %q, %v", v, ok)
+	if v, ok := s.View().GetIntBytes(spaceH, 3); !ok || string(v) != "\xab" {
+		t.Fatalf("view h:3 = %x, %v", v, ok)
 	}
 }
 

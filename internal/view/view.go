@@ -17,51 +17,126 @@
 // O(1); equality of fingerprints is the fast path of view comparison, and
 // Diff provides the exact comparison used for diagnostics and as a
 // collision guard in tests.
+//
+// Keys come in two disjoint universes. The original string universe
+// (Set/Delete/Get) renders arbitrary canonical keys. The integer universe
+// (SetInt/DeleteInt/GetInt/SetIntBytes) keys pairs by (Space, int64) —
+// a Space is an interned key family like "k" or "h" with a precomputed
+// hash seed — so the hot specs and replayers update the fingerprint with
+// pure integer mixing: no key-string building, no string hashing, no
+// allocation. The two universes never alias: a pair set via SetInt is a
+// different pair from one set via Set, even if they render identically.
 package view
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
+
+// Space is an interned integer-key family ("k:" keys of a tree view, "h:"
+// handles of a store view). Its hash seed is precomputed at registration,
+// so per-update hashing starts from the seed instead of re-mixing the
+// family name. The zero Space is not usable; construct with NewSpace.
+type Space struct {
+	id   uint32
+	seed uint64
+}
+
+var spaceReg = struct {
+	sync.Mutex
+	byName map[string]Space
+	names  []string // index id-1
+}{byName: make(map[string]Space)}
+
+// NewSpace interns a key family by name and returns its Space. Calling it
+// again with the same name returns the identical Space, so specs and
+// replayers that must agree on a view's key universe simply use the same
+// name. Typically called once per package at init time.
+func NewSpace(name string) Space {
+	spaceReg.Lock()
+	defer spaceReg.Unlock()
+	if sp, ok := spaceReg.byName[name]; ok {
+		return sp
+	}
+	spaceReg.names = append(spaceReg.names, name)
+	sp := Space{id: uint32(len(spaceReg.names)), seed: mix64(strHash(name) ^ 0xa24baed4963ee407)}
+	spaceReg.byName[name] = sp
+	return sp
+}
+
+// Name returns the name the space was registered under.
+func (sp Space) Name() string {
+	spaceReg.Lock()
+	defer spaceReg.Unlock()
+	if sp.id == 0 || int(sp.id) > len(spaceReg.names) {
+		return ""
+	}
+	return spaceReg.names[sp.id-1]
+}
+
+// ikey is an integer-universe key.
+type ikey struct {
+	space uint32
+	k     int64
+}
+
+// ival is an integer-universe value with its cached pair-hash contribution.
+// A value is either an int64 (isBytes false) or an immutable byte string.
+type ival struct {
+	h       uint64
+	num     int64
+	b       []byte
+	isBytes bool
+}
+
+func (v ival) equal(o ival) bool {
+	if v.isBytes != o.isBytes {
+		return false
+	}
+	if v.isBytes {
+		return string(v.b) == string(o.b)
+	}
+	return v.num == o.num
+}
+
+// render returns the canonical string form used by Diff/String.
+func (v ival) render() string {
+	if v.isBytes {
+		return fmt.Sprintf("0x%x", v.b)
+	}
+	return strconv.FormatInt(v.num, 10)
+}
+
+// sval is a string-universe value with its cached pair-hash contribution.
+type sval struct {
+	h uint64
+	v string
+}
 
 // Table is an incrementally fingerprinted map from canonical keys to
 // canonical values. The zero value is not usable; construct with NewTable.
 type Table struct {
-	m    map[string]string
+	m    map[string]sval
+	im   map[ikey]ival
 	hash uint64
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{m: make(map[string]string)}
+	return &Table{m: make(map[string]sval), im: make(map[ikey]ival)}
 }
 
-// pairHash mixes one (key, value) pair into a 64-bit contribution. It uses
-// FNV-1a over a length-prefixed encoding followed by a finalizer, so that
-// contributions of distinct pairs are effectively independent and the XOR
-// aggregate detects any single-pair discrepancy.
-func pairHash(k, v string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(s string) {
-		// Length prefix prevents ("ab","c") colliding with ("a","bc").
-		n := uint64(len(s))
-		for i := 0; i < 8; i++ {
-			h ^= uint64(byte(n >> (8 * i)))
-			h *= prime64
-		}
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-	}
-	mix(k)
-	mix(v)
-	// splitmix64-style finalizer; XOR-aggregation needs well-spread bits.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// mix64 is the splitmix64 finalizer; XOR-aggregation needs well-spread
+// bits.
+func mix64(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -70,34 +145,149 @@ func pairHash(k, v string) uint64 {
 	return h
 }
 
-// Set maps key to value, replacing any previous value.
-func (t *Table) Set(key, value string) {
-	if old, ok := t.m[key]; ok {
-		if old == value {
-			return
-		}
-		t.hash ^= pairHash(key, old)
+// strHash is FNV-1a with a length prefix (so ("ab","c") cannot collide
+// with ("a","bc") when chained).
+func strHash(s string) uint64 {
+	h := uint64(offset64)
+	n := uint64(len(s))
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(n >> (8 * i)))
+		h *= prime64
 	}
-	t.m[key] = value
-	t.hash ^= pairHash(key, value)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
-// Delete removes key. Deleting an absent key is a no-op.
+func bytesHash(b []byte) uint64 {
+	h := uint64(offset64)
+	n := uint64(len(b))
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(n >> (8 * i)))
+		h *= prime64
+	}
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
+// pairHash mixes one string-universe (key, value) pair into a 64-bit
+// contribution; contributions of distinct pairs are effectively independent
+// and the XOR aggregate detects any single-pair discrepancy.
+func pairHash(k, v string) uint64 {
+	return mix64(mix64(strHash(k)) ^ strHash(v))
+}
+
+// pairHashInt mixes one integer-universe pair from the space's precomputed
+// seed: three multiply-xor rounds over machine words, no string traversal.
+func pairHashInt(sp Space, key int64, vkind uint64, v uint64) uint64 {
+	h := mix64(sp.seed ^ uint64(key))
+	return mix64(h ^ vkind*prime64 ^ v)
+}
+
+const (
+	vkindNum   = 1
+	vkindBytes = 2
+)
+
+// Set maps key to value in the string universe, replacing any previous
+// value.
+func (t *Table) Set(key, value string) {
+	old, ok := t.m[key]
+	if ok && old.v == value {
+		return
+	}
+	nv := sval{h: pairHash(key, value), v: value}
+	if ok {
+		t.hash ^= old.h
+	}
+	t.m[key] = nv
+	t.hash ^= nv.h
+}
+
+// Delete removes key from the string universe. Deleting an absent key is a
+// no-op.
 func (t *Table) Delete(key string) {
 	if old, ok := t.m[key]; ok {
-		t.hash ^= pairHash(key, old)
+		t.hash ^= old.h
 		delete(t.m, key)
 	}
 }
 
-// Get returns the value for key and whether it is present.
+// Get returns the string-universe value for key and whether it is present.
 func (t *Table) Get(key string) (string, bool) {
 	v, ok := t.m[key]
-	return v, ok
+	return v.v, ok
 }
 
-// Len reports the number of pairs in the table.
-func (t *Table) Len() int { return len(t.m) }
+// SetInt maps (sp, key) to an integer value. The fingerprint update is
+// allocation-free integer mixing.
+func (t *Table) SetInt(sp Space, key, value int64) {
+	ik := ikey{space: sp.id, k: key}
+	old, ok := t.im[ik]
+	if ok && !old.isBytes && old.num == value {
+		return
+	}
+	nv := ival{h: pairHashInt(sp, key, vkindNum, uint64(value)), num: value}
+	if ok {
+		t.hash ^= old.h
+	}
+	t.im[ik] = nv
+	t.hash ^= nv.h
+}
+
+// SetIntBytes maps (sp, key) to a byte-string value. The caller must treat
+// b as immutable after the call (the table keeps the reference; no copy is
+// made).
+func (t *Table) SetIntBytes(sp Space, key int64, b []byte) {
+	ik := ikey{space: sp.id, k: key}
+	old, ok := t.im[ik]
+	if ok && old.isBytes && string(old.b) == string(b) {
+		return
+	}
+	nv := ival{h: pairHashInt(sp, key, vkindBytes, bytesHash(b)), b: b, isBytes: true}
+	if ok {
+		t.hash ^= old.h
+	}
+	t.im[ik] = nv
+	t.hash ^= nv.h
+}
+
+// DeleteInt removes (sp, key). Deleting an absent key is a no-op.
+func (t *Table) DeleteInt(sp Space, key int64) {
+	ik := ikey{space: sp.id, k: key}
+	if old, ok := t.im[ik]; ok {
+		t.hash ^= old.h
+		delete(t.im, ik)
+	}
+}
+
+// GetInt returns the integer value for (sp, key) and whether it is present
+// with an integer value.
+func (t *Table) GetInt(sp Space, key int64) (int64, bool) {
+	v, ok := t.im[ikey{space: sp.id, k: key}]
+	if !ok || v.isBytes {
+		return 0, false
+	}
+	return v.num, true
+}
+
+// GetIntBytes returns the byte-string value for (sp, key) and whether it is
+// present with a byte-string value.
+func (t *Table) GetIntBytes(sp Space, key int64) ([]byte, bool) {
+	v, ok := t.im[ikey{space: sp.id, k: key}]
+	if !ok || !v.isBytes {
+		return nil, false
+	}
+	return v.b, true
+}
+
+// Len reports the number of pairs in the table across both universes.
+func (t *Table) Len() int { return len(t.m) + len(t.im) }
 
 // Hash returns the order-independent fingerprint of the table contents.
 // Equal contents always have equal fingerprints; unequal contents collide
@@ -106,24 +296,41 @@ func (t *Table) Hash() uint64 { return t.hash }
 
 // Reset removes all pairs.
 func (t *Table) Reset() {
-	t.m = make(map[string]string)
+	t.m = make(map[string]sval)
+	t.im = make(map[ikey]ival)
 	t.hash = 0
 }
 
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
-	c := &Table{m: make(map[string]string, len(t.m)), hash: t.hash}
+	c := &Table{
+		m:    make(map[string]sval, len(t.m)),
+		im:   make(map[ikey]ival, len(t.im)),
+		hash: t.hash,
+	}
 	for k, v := range t.m {
 		c.m[k] = v
+	}
+	for k, v := range t.im {
+		c.im[k] = v
 	}
 	return c
 }
 
-// Keys returns the keys in sorted order.
+// renderKey gives the canonical rendering of an integer-universe key,
+// matching the "name:key" convention of the string universe.
+func renderKey(ik ikey) string {
+	return Space{id: ik.space}.Name() + ":" + strconv.FormatInt(ik.k, 10)
+}
+
+// Keys returns the rendered keys of both universes in sorted order.
 func (t *Table) Keys() []string {
-	keys := make([]string, 0, len(t.m))
+	keys := make([]string, 0, t.Len())
 	for k := range t.m {
 		keys = append(keys, k)
+	}
+	for ik := range t.im {
+		keys = append(keys, renderKey(ik))
 	}
 	sort.Strings(keys)
 	return keys
@@ -133,11 +340,16 @@ func (t *Table) Keys() []string {
 // compares fingerprints and sizes, then verifies pair by pair, so it never
 // reports a false positive even under a fingerprint collision.
 func (t *Table) Equal(o *Table) bool {
-	if t.hash != o.hash || len(t.m) != len(o.m) {
+	if t.hash != o.hash || len(t.m) != len(o.m) || len(t.im) != len(o.im) {
 		return false
 	}
 	for k, v := range t.m {
-		if ov, ok := o.m[k]; !ok || ov != v {
+		if ov, ok := o.m[k]; !ok || ov.v != v.v {
+			return false
+		}
+	}
+	for ik, v := range t.im {
+		if ov, ok := o.im[ik]; !ok || !ov.equal(v) {
 			return false
 		}
 	}
@@ -178,18 +390,24 @@ func (d Delta) String() string {
 
 // Diff returns the discrepancies between t (conventionally viewI) and o
 // (conventionally viewS), sorted by key, capped at limit entries (limit <= 0
-// means unlimited). An empty result means the tables are equal.
+// means unlimited). An empty result means the tables hold pairwise-equal
+// contents within each universe. A pair that one table keeps in the string
+// universe and the other in the integer universe is reported as a
+// changed/missing rendered key — such a mismatch is a real discrepancy (the
+// fingerprints differ too), typically a spec and replayer that disagree on
+// a key's universe.
 func (t *Table) Diff(o *Table, limit int) []Delta {
 	var out []Delta
-	for k, v := range t.m {
-		if ov, ok := o.m[k]; !ok {
+	tr, or := t.rendered(), o.rendered()
+	for k, v := range tr {
+		if ov, ok := or[k]; !ok {
 			out = append(out, Delta{Kind: DeltaMissing, Key: k, Value: v})
 		} else if ov != v {
 			out = append(out, Delta{Kind: DeltaChanged, Key: k, Value: v, Other: ov})
 		}
 	}
-	for k, ov := range o.m {
-		if _, ok := t.m[k]; !ok {
+	for k, ov := range or {
+		if _, ok := tr[k]; !ok {
 			out = append(out, Delta{Kind: DeltaExtra, Key: k, Other: ov})
 		}
 	}
@@ -200,15 +418,37 @@ func (t *Table) Diff(o *Table, limit int) []Delta {
 	return out
 }
 
+// rendered flattens both universes to rendered (key, value) strings, for
+// the cold diagnostic paths (Diff, String). A string-universe pair and an
+// integer-universe pair that render to the same key compare by rendered
+// value, which keeps diagnostics readable; Equal and the fingerprint remain
+// strict about the universes.
+func (t *Table) rendered() map[string]string {
+	r := make(map[string]string, t.Len())
+	for k, v := range t.m {
+		r[k] = v.v
+	}
+	for ik, v := range t.im {
+		r[renderKey(ik)] = v.render()
+	}
+	return r
+}
+
 // String renders the full table contents in sorted key order.
 func (t *Table) String() string {
+	r := t.rendered()
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, k := range t.Keys() {
+	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%s", k, t.m[k])
+		fmt.Fprintf(&b, "%s=%s", k, r[k])
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -844,8 +844,27 @@ func (c *Cursor) Next() (e event.Entry, ok bool) {
 // Pos reports how many entries the cursor has consumed.
 func (c *Cursor) Pos() int { return int(c.pos.Load()) }
 
-// ReadFile decodes a persisted log stream into a slice of entries, the
-// input to offline checking.
+// Err reports the first failure of the log the cursor reads — today that is
+// the sink's persistence error. A drain loop that only watches Next/TryNext
+// would otherwise end a run silently with the log half-persisted; checkers
+// surface this in their Report.
+func (c *Cursor) Err() error { return c.log.SinkErr() }
+
+// ReadFile decodes a persisted log stream (current binary format) into a
+// slice of entries, the input to offline checking.
 func ReadFile(r io.Reader) ([]event.Entry, error) {
 	return event.NewDecoder(r).DecodeAll()
+}
+
+// ReadFileCodec decodes a persisted log stream written with the given
+// codec; use event.CodecGob for version-1 artifacts.
+func ReadFileCodec(r io.Reader, c event.Codec) ([]event.Entry, error) {
+	return event.NewDecoderCodec(r, c).DecodeAll()
+}
+
+// ReadFileParallel decodes a binary-format stream with a parallel decode
+// pool (see event.DecodeAllParallel), preserving log order. workers <= 0
+// uses GOMAXPROCS.
+func ReadFileParallel(r io.Reader, workers int) ([]event.Entry, error) {
+	return event.DecodeAllParallel(r, workers)
 }

@@ -93,6 +93,21 @@ func (l *Log) StartChecker(spec Spec, opts ...Option) (wait func() *Report, err 
 	return func() *Report { return <-done }, nil
 }
 
+// StartMultiChecker runs a modular (Fig. 10) check online: one Checker per
+// module on its own goroutine, all fed from a single cursor over this log
+// by a router goroutine. The returned function blocks until the log is
+// closed and every module has drained, and yields the per-module reports.
+func (l *Log) StartMultiChecker(mods ...Module) (wait func() []ModuleReport, err error) {
+	m, err := core.NewMulti(mods...)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan []ModuleReport, 1)
+	cur := l.wal.Cursor()
+	go func() { done <- m.Run(cur) }()
+	return func() []ModuleReport { return <-done }, nil
+}
+
 // Probe performs the logging for one thread. All methods are safe to call on
 // a nil probe (no-ops), so implementations can run uninstrumented; they are
 // not safe for concurrent use by multiple goroutines.
@@ -101,6 +116,18 @@ type Probe struct {
 	tid    int32
 	level  Level
 	worker bool
+
+	// module/mod tag every logged entry for modular checking (Scoped).
+	module string
+	mod    event.Sym
+
+	// inv is the reusable invocation record: well-formed runs have at most
+	// one open invocation per thread, so Call hands out the same record
+	// every time instead of allocating.
+	inv Invocation
+
+	// child memoizes the most recent Scoped derivation.
+	child *Probe
 }
 
 // Tid returns the probe's thread identifier (0 for a nil probe).
@@ -109,6 +136,24 @@ func (p *Probe) Tid() int32 {
 		return 0
 	}
 	return p.tid
+}
+
+// Scoped returns a probe for the same thread whose entries carry the given
+// module tag, for modular per-structure checking (Section 7.2, Fig. 10): a
+// layered implementation logs each layer's actions under that layer's
+// module, and a Multi checker routes each module's entries to its own
+// refinement check. The tag is absolute, not nested — Scoped from an
+// already-scoped probe switches the module. The derivation is memoized, so
+// calling it on every operation is free after the first.
+func (p *Probe) Scoped(module string) *Probe {
+	if p == nil || p.module == module {
+		return p
+	}
+	if p.child == nil || p.child.module != module {
+		p.child = &Probe{log: p.log, tid: p.tid, level: p.level, worker: p.worker,
+			module: module, mod: event.InternSym(module)}
+	}
+	return p.child
 }
 
 // active reports whether the probe records anything at all.
@@ -125,8 +170,11 @@ func (p *Probe) Call(method string, args ...Value) *Invocation {
 	if !p.active() {
 		return nil
 	}
-	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindCall, Method: method, Args: args, Worker: p.worker})
-	return &Invocation{p: p, method: method}
+	sym := event.InternSym(method)
+	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindCall, Method: method, Sym: sym,
+		Args: args, Worker: p.worker, Module: p.module, Mod: p.mod})
+	p.inv = Invocation{p: p, method: method, sym: sym}
+	return &p.inv
 }
 
 // Write records an update to a shared variable in the support of viewI.
@@ -137,14 +185,18 @@ func (p *Probe) Write(op string, args ...Value) {
 	if !p.viewActive() {
 		return
 	}
-	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindWrite, Method: op, Args: args, Worker: p.worker})
+	p.log.Append(event.Entry{Tid: p.tid, Kind: event.KindWrite, Method: op, Sym: event.InternSym(op),
+		Args: args, Worker: p.worker, Module: p.module, Mod: p.mod})
 }
 
 // Invocation records the actions of one method execution. A nil *Invocation
-// (from an inactive probe) is a valid no-op receiver.
+// (from an inactive probe) is a valid no-op receiver. The record is owned
+// by its probe and reused across calls; holding it past the method's Return
+// is a bug (as is any overlap of method executions on one thread).
 type Invocation struct {
 	p      *Probe
 	method string
+	sym    event.Sym
 }
 
 // Commit records this execution's unique commit action (Section 4.1). label
@@ -155,8 +207,8 @@ func (inv *Invocation) Commit(label string) {
 		return
 	}
 	inv.p.log.Append(event.Entry{
-		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method,
-		Label: label, Worker: inv.p.worker,
+		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
+		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
 	})
 }
 
@@ -169,11 +221,12 @@ func (inv *Invocation) CommitWrite(label, op string, args ...Value) {
 		return
 	}
 	e := event.Entry{
-		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method,
-		Label: label, Worker: inv.p.worker,
+		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
+		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
 	}
 	if inv.p.viewActive() {
 		e.WOp = op
+		e.WSym = event.InternSym(op)
 		e.WArgs = args
 	}
 	inv.p.log.Append(e)
@@ -187,7 +240,8 @@ func (inv *Invocation) BeginCommitBlock() {
 	if inv == nil || !inv.p.viewActive() {
 		return
 	}
-	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindBeginBlock, Worker: inv.p.worker})
+	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindBeginBlock, Worker: inv.p.worker,
+		Module: inv.p.module, Mod: inv.p.mod})
 }
 
 // EndCommitBlock marks the end of the commit block.
@@ -195,7 +249,8 @@ func (inv *Invocation) EndCommitBlock() {
 	if inv == nil || !inv.p.viewActive() {
 		return
 	}
-	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindEndBlock, Worker: inv.p.worker})
+	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindEndBlock, Worker: inv.p.worker,
+		Module: inv.p.module, Mod: inv.p.mod})
 }
 
 // Return records the method's return action and value, closing the
@@ -205,7 +260,7 @@ func (inv *Invocation) Return(ret Value) {
 		return
 	}
 	inv.p.log.Append(event.Entry{
-		Tid: inv.p.tid, Kind: event.KindReturn, Method: inv.method,
-		Ret: ret, Worker: inv.p.worker,
+		Tid: inv.p.tid, Kind: event.KindReturn, Method: inv.method, Sym: inv.sym,
+		Ret: ret, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
 	})
 }

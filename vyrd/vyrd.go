@@ -78,6 +78,12 @@ type (
 	Level = wal.Level
 	// Table is a view digest table (viewI / viewS).
 	Table = view.Table
+	// Codec selects a persisted stream encoding (CodecBinary/CodecGob).
+	Codec = event.Codec
+	// Module is one verified module of a modular (Fig. 10) check.
+	Module = core.Module
+	// ModuleReport pairs a module's name with its checking report.
+	ModuleReport = core.ModuleReport
 )
 
 // Violation kinds.
@@ -100,6 +106,12 @@ const (
 	LevelOff  = wal.LevelOff
 	LevelIO   = wal.LevelIO
 	LevelView = wal.LevelView
+)
+
+// Stream codecs.
+const (
+	CodecBinary = event.CodecBinary
+	CodecGob    = event.CodecGob
 )
 
 // Checker options.
@@ -130,8 +142,33 @@ func CheckEntries(entries []Entry, spec Spec, opts ...Option) (*Report, error) {
 	return core.CheckEntries(entries, spec, opts...)
 }
 
+// CheckEntriesMulti verifies a recorded entry sequence through the modular
+// fan-out: one Checker per module, each fed the projection of the log its
+// filter (by default, its module tag) selects, running concurrently.
+func CheckEntriesMulti(entries []Entry, mods ...Module) ([]ModuleReport, error) {
+	return core.CheckEntriesMulti(entries, mods...)
+}
+
+// CheckStream verifies a persisted binary-format log stream offline with a
+// parallel decode pool feeding the sequential checker (workers <= 0 uses
+// GOMAXPROCS).
+func CheckStream(r io.Reader, workers int, spec Spec, opts ...Option) (*Report, error) {
+	return core.CheckStream(r, workers, spec, opts...)
+}
+
 // ReadLog decodes a persisted log stream (written via Log.AttachSink).
 func ReadLog(r io.Reader) ([]Entry, error) { return wal.ReadFile(r) }
+
+// ReadLogCodec decodes a persisted log stream written with the given
+// codec. Version-1 artifacts (written before LogFormatVersion 2) are gob
+// streams: read them with vyrd.CodecGob.
+func ReadLogCodec(r io.Reader, c Codec) ([]Entry, error) { return wal.ReadFileCodec(r, c) }
+
+// ReadLogParallel decodes a binary-format log stream with a parallel
+// decode pool, preserving log order (workers <= 0 uses GOMAXPROCS).
+func ReadLogParallel(r io.Reader, workers int) ([]Entry, error) {
+	return wal.ReadFileParallel(r, workers)
+}
 
 // WitnessEntry is one method execution positioned in the witness
 // interleaving (Section 4.1's debugging view).

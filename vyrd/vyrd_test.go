@@ -2,7 +2,9 @@ package vyrd_test
 
 import (
 	"bytes"
+	"errors"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/multiset"
@@ -206,5 +208,64 @@ func TestPersistedFig6Artifact(t *testing.T) {
 	if viewRep.First().MethodsCompleted > ioRep.First().MethodsCompleted {
 		t.Fatalf("view detected later than I/O: %d vs %d",
 			viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+	}
+}
+
+// TestGoldenV1GobArtifact pins the version-1 migration story: the committed
+// gob-format Fig. 6 trace must be rejected by the default (binary, version
+// 2) reader with an explicit format-version mismatch, and must still decode
+// under CodecGob to the same verdicts as the current artifact.
+func TestGoldenV1GobArtifact(t *testing.T) {
+	data, err := os.ReadFile("testdata/fig6_v1_gob.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The default reader refuses the old stream loudly, not with a garbled
+	// decode somewhere mid-file.
+	_, err = vyrd.ReadLog(bytes.NewReader(data))
+	if !errors.Is(err, vyrd.ErrLogFormatMismatch) {
+		t.Fatalf("v1 artifact under the v2 reader: got %v, want ErrLogFormatMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("mismatch error does not mention the version: %v", err)
+	}
+
+	// Explicit gob decoding still reads it, and the trace means the same
+	// thing it did when written: view refinement flags the lost element.
+	entries, err := vyrd.ReadLogCodec(bytes.NewReader(data), vyrd.CodecGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty artifact")
+	}
+	rep, err := vyrd.CheckEntries(entries, spec.NewMultiset(),
+		vyrd.WithReplayer(multiset.NewReplayer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() || rep.First().Kind != vyrd.ViolationView {
+		t.Fatalf("view check of the v1 artifact: %s", rep)
+	}
+
+	// Same verdicts as the current (version 2) artifact of the same run.
+	f, err := os.Open("testdata/fig6.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v2, err := vyrd.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Rep, err := vyrd.CheckEntries(v2, spec.NewMultiset(),
+		vyrd.WithReplayer(multiset.NewReplayer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() != v2Rep.Ok() || rep.TotalViolations != v2Rep.TotalViolations ||
+		rep.First().MethodsCompleted != v2Rep.First().MethodsCompleted {
+		t.Fatalf("v1/v2 artifacts disagree:\nv1: %s\nv2: %s", rep, v2Rep)
 	}
 }
