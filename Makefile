@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz tables examples check
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke tables examples check
 
 all: check
 
@@ -39,6 +39,14 @@ bench-snapshot:
 fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTrip$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTripGob$$' -fuzztime=5s ./internal/event/
+	$(GO) test -run=NONE -fuzz='^FuzzTornFrames$$' -fuzztime=5s ./internal/event/
+
+# Race-enabled loopback round trip through the remote verification service:
+# a concurrent harness run of the composed subject shipped over TCP to a
+# vyrdd-shaped server running the production registry, checked modularly,
+# verdict compared against in-process checking. CI runs this.
+serve-smoke:
+	$(GO) test -race -count=1 -run '^TestServeSmokeComposed$$' ./internal/remote/
 
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
@@ -51,4 +59,4 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz
+check: build vet test race fuzz serve-smoke

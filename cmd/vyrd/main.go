@@ -12,8 +12,9 @@
 // clean report. -mode selects I/O or view refinement; -online checks
 // concurrently with the workload on a verification goroutine instead of
 // offline from the recorded log; -save persists the log for later offline
-// checking with -load. Loaded binary logs decode on a parallel worker pool
-// (-decoders); version-1 gob artifacts are read with -codec gob.
+// checking with -load ("-load -" streams the log from stdin). Loaded binary
+// logs decode on a parallel worker pool (-decoders); version-1 gob artifacts
+// are read with -codec gob.
 package main
 
 import (
@@ -88,11 +89,27 @@ func main() {
 	}
 
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fatal(err)
+		// "-load -" reads the framed log from stdin, so shell pipelines
+		// compose: a vyrdd session capture, a decompressor, a generator.
+		f := os.Stdin
+		if *load != "-" {
+			var err error
+			f, err = os.Open(*load)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *codec == "binary" && !*dump {
+			// Stream straight into the checker: the parallel decode pool
+			// feeds the sequential checker without materializing the log.
+			report, err := vyrd.CheckStream(f, *workers, target.NewSpec(), opts...)
+			if err != nil {
+				fatal(err)
+			}
+			finish(report)
 		}
 		var entries []vyrd.Entry
+		var err error
 		switch *codec {
 		case "binary":
 			// The framed binary format decodes on a worker pool, re-sequenced

@@ -1,0 +1,121 @@
+// Command vyrdd is the VYRD verification server: it accepts remote
+// log-shipping connections (see vyrd.AttachRemote and internal/remote) and
+// runs one refinement-checker pipeline per session, taking the paper's
+// "verification on spare cores" deployment (Section 6) off-box entirely.
+//
+// Usage:
+//
+//	vyrdd -listen :7669 -ops :7670
+//	vyrdd -list
+//
+// Every evaluation subject's specification is served by name, plus the
+// composed "BLinkTree+Store" modular stack. The ops listener serves
+// GET /healthz and GET /metrics as JSON. On SIGINT/SIGTERM the server
+// drains: listeners close, in-flight sessions get -drain to finish and
+// receive normal verdicts, and whatever remains is force-finished with a
+// verdict over the prefix received so far.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bench"
+	"repro/internal/remote"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vyrdd", flag.ExitOnError)
+	var (
+		listen   = fs.String("listen", ":7669", "verification protocol listen address")
+		opsAddr  = fs.String("ops", "", "HTTP ops listen address (/healthz, /metrics); empty disables")
+		window   = fs.Int("window", remote.DefaultWindow, "per-session log window (entries retained ahead of the checker)")
+		ackEvery = fs.Int("ackevery", remote.DefaultAckEvery, "ack cadence in entries")
+		drain    = fs.Duration("drain", remote.DefaultDrainTimeout, "shutdown drain deadline for in-flight sessions")
+		quiet    = fs.Bool("quiet", false, "suppress per-connection logging")
+		list     = fs.Bool("list", false, "list served specs and exit")
+	)
+	fs.Parse(args)
+
+	registry := bench.Registry()
+	if *list {
+		for _, name := range registry.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	srvLogf := logf
+	if *quiet {
+		srvLogf = nil
+	}
+	srv, err := remote.NewServer(remote.ServerOptions{
+		Registry:     registry,
+		Window:       *window,
+		AckEvery:     *ackEvery,
+		DrainTimeout: *drain,
+		Logf:         srvLogf,
+	})
+	if err != nil {
+		logf("vyrdd: %v", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("vyrdd: %v", err)
+		return 2
+	}
+	logf("vyrdd: serving %d specs on %s", len(registry.Names()), ln.Addr())
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			logf("vyrdd: ops: %v", err)
+			return 2
+		}
+		opsSrv = &http.Server{Handler: remote.OpsHandler(srv)}
+		go opsSrv.Serve(opsLn)
+		logf("vyrdd: ops surface on http://%s", opsLn.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logf("vyrdd: %v: draining (deadline %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if opsSrv != nil {
+			opsSrv.Close()
+		}
+		m := srv.Metrics()
+		logf("vyrdd: drained: sessions=%d entries=%d violations=%d",
+			m.SessionsFinished, m.EntriesTotal, m.ViolationsTotal)
+		return 0
+	case err := <-serveErr:
+		if err != nil {
+			logf("vyrdd: %v", err)
+			return 2
+		}
+		return 0
+	}
+}

@@ -41,12 +41,15 @@ func DefaultLogPipelineConfig() LogPipelineConfig {
 	}
 }
 
-// LogPipelineRow is one subject's outcome.
+// LogPipelineRow is one subject's outcome. Report and Stats serialize
+// through the shared machine-readable shapes (core.Summary, the
+// JSON-tagged wal.Stats), so a -json snapshot row and a vyrdd /metrics
+// session parse identically.
 type LogPipelineRow struct {
 	Name    string
 	Methods int64
 	Elapsed time.Duration
-	Ok      bool
+	Report  core.Summary
 	Stats   vyrd.LogStats
 }
 
@@ -73,7 +76,7 @@ func LogPipeline(cfg LogPipelineConfig) []LogPipelineRow {
 			Name:    t.Name,
 			Methods: res.Methods,
 			Elapsed: res.Elapsed,
-			Ok:      rep.Ok(),
+			Report:  rep.Summary(),
 			Stats:   log.Stats(),
 		})
 	}
@@ -88,7 +91,7 @@ func WriteLogPipeline(w io.Writer, cfg LogPipelineConfig, rows []LogPipelineRow)
 	fmt.Fprintln(tw, "Subject\tMethods\tEntries\tElapsed\tCheck\tPeakRetained\tTruncated\tBlockedWaits\tMaxLag")
 	for _, r := range rows {
 		check := "ok"
-		if !r.Ok {
+		if !r.Report.Ok {
 			check = "VIOLATION"
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%d\t%dseg\t%d\t%d\n",

@@ -22,7 +22,7 @@ func TestLogPipelineBoundedRetention(t *testing.T) {
 	}
 	bound := int64(cfg.Window + 2*cfg.SegmentSize)
 	for _, r := range rows {
-		if !r.Ok {
+		if !r.Report.Ok {
 			t.Errorf("%s: online check reported a violation on a correct subject", r.Name)
 		}
 		if r.Stats.PeakRetainedEntries > bound {

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"repro/internal/blinkstore"
+	"repro/internal/core"
+	"repro/internal/remote"
+)
+
+// Registry builds the remote-verification spec registry over every
+// evaluation subject: one factory per subject name (spec + replayer of the
+// correct implementation — the server checks *logs*, so it needs only the
+// specification side), plus the composed Fig. 10 stack under its modular
+// name for Hello.Modular sessions.
+func Registry() *remote.Registry {
+	r := remote.NewRegistry()
+	for _, s := range AllSubjects() {
+		t := s.Correct
+		f := remote.SpecFactory{Name: s.Name, NewSpec: t.NewSpec}
+		if t.NewReplayer != nil {
+			f.NewReplayer = func() core.Replayer { return t.NewReplayer() }
+		}
+		if err := r.Register(f); err != nil {
+			panic(err) // subject names are unique by construction
+		}
+	}
+	if err := r.Register(remote.SpecFactory{
+		Name:       "BLinkTree+Store",
+		NewSpec:    blinkstore.ComposedTarget(6, blinkstore.BugNone).NewSpec,
+		NewModules: blinkstore.Modules,
+	}); err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -109,6 +109,20 @@ func (m Mode) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", m.String())), nil
 }
 
+// UnmarshalJSON parses a mode by name, so reports and remote-protocol
+// handshakes round-trip through JSON.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"io"`:
+		*m = ModeIO
+	case `"view"`:
+		*m = ModeView
+	default:
+		return fmt.Errorf("core: unknown mode %s", b)
+	}
+	return nil
+}
+
 // Option configures a Checker.
 type Option func(*Checker)
 

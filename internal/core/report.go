@@ -54,6 +54,19 @@ func (k ViolationKind) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", k.String())), nil
 }
 
+// UnmarshalJSON parses a kind by name, the inverse of MarshalJSON, so
+// reports survive a JSON round trip (the remote protocol ships verdicts as
+// JSON report frames).
+func (k *ViolationKind) UnmarshalJSON(b []byte) error {
+	for cand := ViolationIO; cand <= ViolationInstrumentation; cand++ {
+		if string(b) == fmt.Sprintf("%q", cand.String()) {
+			*k = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown violation kind %s", b)
+}
+
 // Violation describes one detected refinement violation.
 type Violation struct {
 	Kind   ViolationKind
@@ -106,6 +119,44 @@ type Report struct {
 // Ok reports whether no violation was detected and the log was read
 // without failure.
 func (r *Report) Ok() bool { return r.TotalViolations == 0 && r.LogErr == "" }
+
+// Summary is the compact machine-readable digest of a Report: one
+// serialization shared by every surface that reports verdicts as JSON (the
+// vyrdd /metrics endpoint, vyrdbench -json snapshot rows), so dashboards
+// parse a single shape regardless of which tool produced it.
+type Summary struct {
+	Mode             Mode   `json:"mode"`
+	Ok               bool   `json:"ok"`
+	TotalViolations  int64  `json:"total_violations"`
+	EntriesProcessed int64  `json:"entries_processed"`
+	MethodsCompleted int64  `json:"methods_completed"`
+	CommitsApplied   int64  `json:"commits_applied"`
+	ObserversChecked int64  `json:"observers_checked"`
+	WritesReplayed   int64  `json:"writes_replayed,omitempty"`
+	ViewsCompared    int64  `json:"views_compared,omitempty"`
+	FirstViolation   string `json:"first_violation,omitempty"`
+	LogErr           string `json:"log_err,omitempty"`
+}
+
+// Summary digests the report.
+func (r *Report) Summary() Summary {
+	s := Summary{
+		Mode:             r.Mode,
+		Ok:               r.Ok(),
+		TotalViolations:  r.TotalViolations,
+		EntriesProcessed: r.EntriesProcessed,
+		MethodsCompleted: r.MethodsCompleted,
+		CommitsApplied:   r.CommitsApplied,
+		ObserversChecked: r.ObserversChecked,
+		WritesReplayed:   r.WritesReplayed,
+		ViewsCompared:    r.ViewsCompared,
+		LogErr:           r.LogErr,
+	}
+	if v := r.First(); v != nil {
+		s.FirstViolation = v.String()
+	}
+	return s
+}
 
 // First returns the first detected violation, or nil if none.
 func (r *Report) First() *Violation {

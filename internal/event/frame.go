@@ -1,0 +1,50 @@
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Exported frame surface of the binary codec (format version 2), for
+// consumers that embed entry frames inside their own framing instead of
+// reading a whole VYRDLOG stream — the remote verification protocol ships
+// batches of entry frames as the payload of its data frames, with the
+// format version negotiated once in the handshake rather than carried in a
+// per-stream header.
+
+// AppendEntryFrame appends the framed binary encoding of e (uvarint
+// payload-length prefix + payload, exactly the record shape of a
+// FormatVersion-2 VYRDLOG stream) to buf and returns the extended buffer.
+func AppendEntryFrame(buf []byte, e Entry) ([]byte, error) {
+	return appendFrame(buf, e)
+}
+
+// DecodeEntryFrame decodes the first entry frame in p and returns the entry
+// and the remaining bytes. Any truncation — a cut inside the length prefix
+// or inside the payload — is reported as ErrShortFrame so stream reassembly
+// can wait for more bytes; other errors mean the stream is corrupt.
+func DecodeEntryFrame(p []byte) (Entry, []byte, error) {
+	size, n := binary.Uvarint(p)
+	if n == 0 {
+		return Entry{}, p, ErrShortFrame
+	}
+	if n < 0 {
+		return Entry{}, p, fmt.Errorf("event: malformed frame length prefix")
+	}
+	if size > maxFrameSize {
+		return Entry{}, p, fmt.Errorf("event: frame length %d exceeds limit %d (corrupt stream?)", size, maxFrameSize)
+	}
+	rest := p[n:]
+	if uint64(len(rest)) < size {
+		return Entry{}, p, ErrShortFrame
+	}
+	e, err := decodeEntry(rest[:size])
+	if err != nil {
+		return Entry{}, p, err
+	}
+	return e, rest[size:], nil
+}
+
+// ErrShortFrame reports that a buffer ends before the frame it starts is
+// complete (a torn read); the caller should retry with more bytes.
+var ErrShortFrame = fmt.Errorf("event: short frame")

@@ -1,0 +1,41 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// OpsHandler is the server's live operations surface, served over plain
+// net/http:
+//
+//	GET /healthz — liveness: ok, draining flag, uptime, active sessions
+//	GET /metrics — counters: totals plus one object per live session
+//	  (entries ingested, entries/sec, verifier lag, the session log's
+//	  pipeline stats) and the recently finished sessions with their
+//	  report summaries
+//
+// Both endpoints return JSON; /healthz answers 503 while draining so load
+// balancers stop routing new work at a server that will not accept it.
+func OpsHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		code := http.StatusOK
+		if !h.Ok {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,230 @@
+// Package remote implements VYRD's networked verification subsystem: a
+// versioned wire protocol that ships an instrumented process's execution
+// log to a verification server over TCP, where each session runs its own
+// checker pipeline (the paper's Section 6 deployment — verification on
+// spare cores, here spare *machines* — taken off-box).
+//
+// # Wire protocol (version 1)
+//
+// A connection opens with a fixed preamble from the client:
+//
+//	"VYRDRPC" | byte protocol-version
+//
+// after which both directions speak frames:
+//
+//	byte frame-type | uvarint payload-length | payload
+//
+// The client sends one Hello frame (JSON: log format version, spec name,
+// refinement mode, session resumption token), and the server answers with
+// either a Welcome frame (JSON: session id, resume-from sequence number) or
+// a Reject frame (JSON: reason — a FormatVersion mismatch, an unknown spec,
+// a draining server). The client then streams Entries frames, whose payload
+// is a batch of FormatVersion-2 framed binary entry records — byte-for-byte
+// the record shape of a persisted VYRDLOG stream, so the codec, its fuzz
+// corpus and its throughput carry over unchanged; the stream header is not
+// repeated per frame because the format version was pinned in the
+// handshake. The server acknowledges progress with Ack frames (uvarint: the
+// highest contiguous sequence number ingested), which is what lets the
+// client bound its resend buffer. A Fin frame marks the end of the log; the
+// server finishes the session's checker and answers with the final Verdict
+// frame (JSON: the per-module reports, exactly what in-process checking of
+// the same log yields).
+//
+// A dropped connection does not lose the session: the server keeps the
+// session's checker pipeline and its ingest position, and a reconnecting
+// client presents the session token, learns the resume-from position from
+// the new Welcome, and retransmits only the suffix the server never
+// ingested (duplicates below the resume point are discarded by sequence
+// number).
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ProtoVersion is the remote-protocol version spoken by this build. It is
+// independent of event.FormatVersion: the preamble version covers the frame
+// grammar, the Hello's format version covers the entry encoding.
+const ProtoVersion = 1
+
+// protoMagic opens every connection; the byte after it is ProtoVersion.
+const protoMagic = "VYRDRPC"
+
+// Frame types. Client-to-server types are low, server-to-client high, so a
+// mis-wired peer fails fast with an "unexpected frame" error instead of
+// misparsing a payload.
+const (
+	frameHello   byte = 1 // client → server: JSON Hello
+	frameEntries byte = 2 // client → server: concatenated binary entry frames
+	frameFin     byte = 3 // client → server: end of log (empty payload)
+
+	frameWelcome byte = 10 // server → client: JSON Welcome
+	frameReject  byte = 11 // server → client: JSON Reject, then close
+	frameAck     byte = 12 // server → client: uvarint highest ingested seq
+	frameVerdict byte = 13 // server → client: JSON Verdict
+)
+
+// maxControlFrame bounds handshake and verdict frames; maxEntriesFrame
+// bounds one entry batch. Both guard against a corrupt length prefix
+// asking for gigabytes, mirroring the codec's own frame limit.
+const (
+	maxControlFrame = 4 << 20
+	maxEntriesFrame = 8 << 20
+)
+
+// Hello is the client handshake.
+type Hello struct {
+	// FormatVersion is the entry encoding the client ships
+	// (event.FormatVersion). The server rejects anything it cannot decode —
+	// a version-1 (gob) client gets an explicit version-mismatch reject,
+	// not a decode error mid-stream.
+	FormatVersion int `json:"format_version"`
+	// Spec names the specification (and replayer) the server should check
+	// this session against; the server resolves it in its Registry.
+	Spec string `json:"spec"`
+	// Mode selects the refinement notion: "io", "view", or "" for the
+	// server default (view when the spec has a replayer, io otherwise).
+	Mode string `json:"mode,omitempty"`
+	// FailFast stops the session's checker at the first violation.
+	FailFast bool `json:"fail_fast,omitempty"`
+	// Modular runs the spec's module set (Fig. 10 fan-out) instead of a
+	// single checker; requires a registry entry with modules.
+	Modular bool `json:"modular,omitempty"`
+	// Session resumes an existing session after a connection drop; empty
+	// starts a new one.
+	Session string `json:"session,omitempty"`
+	// Window advertises the client's resend-buffer bound in entries, so
+	// the server can ack often enough that the client never stalls with
+	// every buffered entry unacknowledged.
+	Window int `json:"window,omitempty"`
+}
+
+// Welcome is the server's handshake acceptance.
+type Welcome struct {
+	// Session is the token to present when resuming after a drop.
+	Session string `json:"session"`
+	// ResumeFrom is the highest contiguous sequence number the server has
+	// already ingested; the client retransmits everything after it.
+	ResumeFrom int64 `json:"resume_from"`
+}
+
+// Reject is the server's handshake refusal.
+type Reject struct {
+	Error string `json:"error"`
+}
+
+// Verdict is the final answer of a session: one report per checked module
+// (a single anonymous module for non-modular sessions).
+type Verdict struct {
+	Reports []core.ModuleReport `json:"reports"`
+	// Drained marks a verdict forced by server shutdown before the client
+	// sent Fin: it covers exactly the prefix the server ingested.
+	Drained bool `json:"drained,omitempty"`
+}
+
+// Ok reports whether every module's check passed.
+func (v *Verdict) Ok() bool { return core.Ok(v.Reports) }
+
+// Report returns the sole report of a non-modular session (nil if the
+// verdict is empty).
+func (v *Verdict) Report() *core.Report {
+	if len(v.Reports) == 0 {
+		return nil
+	}
+	return v.Reports[0].Report
+}
+
+// frameWriter serializes frames onto a connection. Writes are mutexed
+// because acks flow from the connection handler while a drain-forced
+// verdict may be written by the shutdown goroutine.
+type frameWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// writeFrame emits one frame and flushes it to the connection.
+func (fw *frameWriter) writeFrame(typ byte, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := fw.bw.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	if _, err := fw.bw.Write(payload); err != nil {
+		return err
+	}
+	return fw.bw.Flush()
+}
+
+// writeJSON emits one JSON-payload frame.
+func (fw *frameWriter) writeJSON(typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return fw.writeFrame(typ, payload)
+}
+
+// writeAck emits an Ack frame for seq.
+func (fw *frameWriter) writeAck(seq int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(seq))
+	return fw.writeFrame(frameAck, buf[:n])
+}
+
+// readFrame reads one frame, enforcing the per-type size limit.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("remote: read frame length: %w", err)
+	}
+	limit := uint64(maxControlFrame)
+	if typ == frameEntries {
+		limit = maxEntriesFrame
+	}
+	if size > limit {
+		return 0, nil, fmt.Errorf("remote: frame length %d exceeds limit %d (corrupt stream?)", size, limit)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("remote: read frame payload: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// writePreamble/readPreamble bracket the connection open.
+func writePreamble(w io.Writer) error {
+	_, err := w.Write(append([]byte(protoMagic), ProtoVersion))
+	return err
+}
+
+func readPreamble(br *bufio.Reader) error {
+	hdr := make([]byte, len(protoMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("remote: short preamble: %w", err)
+	}
+	if string(hdr[:len(protoMagic)]) != protoMagic {
+		return fmt.Errorf("remote: not a VYRD remote connection")
+	}
+	if v := hdr[len(protoMagic)]; v != ProtoVersion {
+		return fmt.Errorf("remote: protocol version %d, this build speaks %d", v, ProtoVersion)
+	}
+	return nil
+}

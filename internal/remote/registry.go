@@ -1,0 +1,74 @@
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SpecFactory describes one named, checkable specification the server can
+// run sessions against. Factories are functions, not instances: every
+// session gets fresh specification and replica state.
+type SpecFactory struct {
+	// Name is the handshake key clients select the spec by.
+	Name string
+	// NewSpec builds the specification for a single-checker session.
+	NewSpec func() core.Spec
+	// NewReplayer builds the replica for view-mode sessions; nil restricts
+	// the spec to I/O refinement.
+	NewReplayer func() core.Replayer
+	// NewModules, when non-nil, enables modular sessions (Hello.Modular):
+	// a Multi fan-out over the returned module set, each module with its
+	// own spec, replayer and options.
+	NewModules func() []core.Module
+}
+
+// Registry maps spec names to factories. It is safe for concurrent use; a
+// server reads it on every handshake.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]SpecFactory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]SpecFactory)} }
+
+// Register adds a factory. Registering an unnamed or unusable factory (no
+// spec and no modules), or reusing a name, is an error.
+func (r *Registry) Register(f SpecFactory) error {
+	if f.Name == "" {
+		return fmt.Errorf("remote: SpecFactory needs a name")
+	}
+	if f.NewSpec == nil && f.NewModules == nil {
+		return fmt.Errorf("remote: spec %q has neither a specification nor modules", f.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[f.Name]; dup {
+		return fmt.Errorf("remote: spec %q already registered", f.Name)
+	}
+	r.m[f.Name] = f
+	return nil
+}
+
+// Lookup resolves a name.
+func (r *Registry) Lookup(name string) (SpecFactory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.m[name]
+	return f, ok
+}
+
+// Names returns the registered spec names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,631 @@
+// Black-box tests of the remote verification subsystem: loopback
+// round-trips, verdict parity with in-process checking, reconnect/resume
+// under injected connection failures, end-to-end backpressure, drain
+// semantics, and wire-level handshake conformance.
+//
+// Violating traces are crafted single-threaded (synthetic logs driven
+// through probes or built entry-by-entry): the repository's injected bug
+// subjects are intentional data races, and these tests must stay clean
+// under -race.
+package remote_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/remote"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// testRegistry serves the multiset spec (io mode; no replayer) and a
+// deliberately slow variant for backpressure tests.
+func testRegistry(delay time.Duration) *remote.Registry {
+	r := remote.NewRegistry()
+	if err := r.Register(remote.SpecFactory{
+		Name:    "multiset",
+		NewSpec: func() core.Spec { return spec.NewMultiset() },
+	}); err != nil {
+		panic(err)
+	}
+	if err := r.Register(remote.SpecFactory{
+		Name:    "multiset-slow",
+		NewSpec: func() core.Spec { return &slowSpec{Spec: spec.NewMultiset(), delay: delay} },
+	}); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// slowSpec delays every commit, so the session's checker falls behind and
+// the window backpressure chain engages.
+type slowSpec struct {
+	core.Spec
+	delay time.Duration
+}
+
+func (s *slowSpec) ApplyMutator(m string, a []event.Value, r event.Value) error {
+	time.Sleep(s.delay)
+	return s.Spec.ApplyMutator(m, a, r)
+}
+
+// startServer brings up a server on a loopback listener and tears it down
+// with the test.
+func startServer(tb testing.TB, opts remote.ServerOptions) (*remote.Server, string) {
+	tb.Helper()
+	if opts.Registry == nil {
+		opts.Registry = testRegistry(0)
+	}
+	srv, err := remote.NewServer(opts)
+	if err != nil {
+		tb.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+// multisetTrace builds a single-threaded, well-formed log: n Insert
+// executions (call, commit, return true), optionally ending with a LookUp
+// of a never-inserted element returning true — an observer violation the
+// specification must reject.
+func multisetTrace(n int, violate bool) []event.Entry {
+	var es []event.Entry
+	add := func(e event.Entry) {
+		e.Seq = int64(len(es) + 1)
+		if e.Method != "" {
+			e.Sym = event.InternSym(e.Method)
+		}
+		es = append(es, e)
+	}
+	for i := 0; i < n; i++ {
+		x := i % 7
+		add(event.Entry{Tid: 1, Kind: event.KindCall, Method: "Insert", Args: []event.Value{x}})
+		add(event.Entry{Tid: 1, Kind: event.KindCommit, Method: "Insert"})
+		add(event.Entry{Tid: 1, Kind: event.KindReturn, Method: "Insert", Ret: true})
+	}
+	if violate {
+		add(event.Entry{Tid: 1, Kind: event.KindCall, Method: "LookUp", Args: []event.Value{999}})
+		add(event.Entry{Tid: 1, Kind: event.KindReturn, Method: "LookUp", Ret: true})
+	}
+	return es
+}
+
+// localSummary checks the trace in process, the reference verdict every
+// remote path must reproduce.
+func localSummary(t *testing.T, trace []event.Entry) core.Summary {
+	t.Helper()
+	rep, err := core.CheckEntries(trace, spec.NewMultiset(), core.WithMode(core.ModeIO))
+	if err != nil {
+		t.Fatalf("local check: %v", err)
+	}
+	return rep.Summary()
+}
+
+// shipAll writes a whole trace through a client and flushes.
+func shipAll(t *testing.T, c *remote.Client, trace []event.Entry) {
+	t.Helper()
+	for _, e := range trace {
+		if err := c.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry #%d: %v", e.Seq, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestLoopbackVerdictParity(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{})
+	for _, violate := range []bool{false, true} {
+		trace := multisetTrace(50, violate)
+		cl, err := remote.NewClient(remote.ClientOptions{
+			Addr:  addr,
+			Hello: remote.Hello{Spec: "multiset", Mode: "io"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipAll(t, cl, trace)
+		v := cl.Verdict()
+		if v == nil {
+			t.Fatalf("violate=%v: no verdict", violate)
+		}
+		if v.Drained {
+			t.Fatalf("violate=%v: verdict marked drained on a clean fin", violate)
+		}
+		if v.Ok() == violate {
+			t.Fatalf("violate=%v: verdict ok=%v", violate, v.Ok())
+		}
+		// The remote verdict must be the in-process one: same summary
+		// after the wire round trip.
+		got := v.Report().Summary()
+		if want := localSummary(t, trace); got != want {
+			t.Errorf("violate=%v: remote summary %+v != local %+v", violate, got, want)
+		}
+		if violate {
+			if v.Report().First().Kind != core.ViolationObserver {
+				t.Errorf("violation kind %v survived the wire, want observer", v.Report().First().Kind)
+			}
+		}
+		if st := cl.Stats(); st.EntriesAcked != int64(len(trace)) {
+			t.Errorf("violate=%v: acked %d of %d entries", violate, st.EntriesAcked, len(trace))
+		}
+	}
+}
+
+func TestHandshakeRejectsOldFormatVersion(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{})
+	// Speak the wire protocol by hand: a conforming preamble, then a Hello
+	// declaring the version-1 (gob) log format. The server must answer
+	// with an explicit version-mismatch Reject, not a mid-stream decode
+	// error.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("VYRDRPC\x01")); err != nil {
+		t.Fatal(err)
+	}
+	hello := []byte(`{"format_version":1,"spec":"multiset"}`)
+	frame := append([]byte{1}, binary.AppendUvarint(nil, uint64(len(hello)))...)
+	if _, err := conn.Write(append(frame, hello...)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	typ, err := br.ReadByte()
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if typ != 11 { // frameReject
+		t.Fatalf("reply frame type %d, want 11 (reject)", typ)
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		t.Fatal(err)
+	}
+	var rej remote.Reject
+	if err := json.Unmarshal(payload, &rej); err != nil {
+		t.Fatalf("reject payload: %v", err)
+	}
+	if !strings.Contains(rej.Error, "version") || !strings.Contains(rej.Error, "1") {
+		t.Errorf("reject error %q does not name the version mismatch", rej.Error)
+	}
+}
+
+func TestClientRejectIsTerminal(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{})
+	var mu sync.Mutex
+	dials := 0
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:  addr,
+		Hello: remote.Hello{Spec: "no-such-spec"},
+		Dial: func(addr string) (net.Conn, error) {
+			mu.Lock()
+			dials++
+			mu.Unlock()
+			return net.Dial("tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Flush()
+	if err == nil || !strings.Contains(err.Error(), "no-such-spec") {
+		t.Fatalf("flush err = %v, want server rejection naming the spec", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dials != 1 {
+		t.Errorf("client dialed %d times after a rejection, want 1 (rejects are terminal)", dials)
+	}
+}
+
+// faultDialer injects dial failures and tracks live connections so tests
+// can cut them mid-stream.
+type faultDialer struct {
+	mu       sync.Mutex
+	failNext int
+	dials    int
+	conns    []net.Conn
+}
+
+func (d *faultDialer) dial(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	d.dials++
+	if d.failNext > 0 {
+		d.failNext--
+		d.mu.Unlock()
+		return nil, errors.New("injected dial failure")
+	}
+	d.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err == nil {
+		d.mu.Lock()
+		d.conns = append(d.conns, c)
+		d.mu.Unlock()
+	}
+	return c, err
+}
+
+// cut closes the most recently dialed connection.
+func (d *faultDialer) cut() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.conns); n > 0 {
+		d.conns[n-1].Close()
+	}
+}
+
+func (d *faultDialer) dialCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+func TestClientReconnectResumesLosslessly(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{AckEvery: 8})
+	trace := multisetTrace(400, true)
+	d := &faultDialer{failNext: 2} // exercise the backoff path first
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:         addr,
+		Hello:        remote.Hello{Spec: "multiset", Mode: "io"},
+		Dial:         d.dial,
+		Window:       64,
+		BatchEntries: 16,
+		BackoffBase:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(trace) / 2
+	for _, e := range trace[:half] {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry #%d: %v", e.Seq, err)
+		}
+	}
+	// Wait for the server to ack part of the stream, then cut the
+	// connection under the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.Stats().EntriesAcked == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cl.Stats().EntriesAcked == 0 {
+		t.Fatal("no acks before the cut")
+	}
+	d.cut()
+	for _, e := range trace[half:] {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry #%d after cut: %v", e.Seq, err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	v := cl.Verdict()
+	if v == nil {
+		t.Fatal("no verdict")
+	}
+	// Lossless resume: the verdict over the reassembled stream equals the
+	// in-process verdict over the original trace — nothing was lost or
+	// double-applied across the drop.
+	if got, want := v.Report().Summary(), localSummary(t, trace); got != want {
+		t.Errorf("post-reconnect summary %+v != local %+v", got, want)
+	}
+	st := cl.Stats()
+	if st.DialFailures != 2 {
+		t.Errorf("DialFailures = %d, want 2", st.DialFailures)
+	}
+	if st.Reconnects == 0 {
+		t.Error("no reconnect recorded despite the cut")
+	}
+	if st.EntriesAcked != int64(len(trace)) {
+		t.Errorf("acked %d of %d", st.EntriesAcked, len(trace))
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	d := &faultDialer{failNext: 1 << 30}
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:        "127.0.0.1:1", // never reached: the injected dialer fails first
+		Hello:       remote.Hello{Spec: "multiset"},
+		Dial:        d.dial,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.WriteEntry(multisetTrace(1, false)[0])
+	if err == nil {
+		// The first entry may buffer below the ship threshold; the
+		// failure must surface by Flush at the latest.
+		err = cl.Flush()
+	}
+	if err == nil || !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("err = %v, want terminal give-up after 3 attempts", err)
+	}
+	if got := d.dialCount(); got != 3 {
+		t.Errorf("dialed %d times, want 3", got)
+	}
+	if cl.Err() == nil {
+		t.Error("terminal failure not recorded on the client")
+	}
+}
+
+func TestBackpressureBoundsClientBuffer(t *testing.T) {
+	// A slow spec makes the session checker the bottleneck: the server's
+	// window blocks ingest, acks stop, the client's window fills, and
+	// WriteEntry blocks — end to end, peak client memory stays at the
+	// configured window.
+	srv, addr := startServer(t, remote.ServerOptions{
+		Registry: testRegistry(50 * time.Microsecond),
+		Window:   16,
+		AckEvery: 1,
+	})
+	const window = 8
+	trace := multisetTrace(200, false)
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:          addr,
+		Hello:         remote.Hello{Spec: "multiset-slow", Mode: "io"},
+		Window:        window,
+		BatchEntries:  4,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, cl, trace)
+	v := cl.Verdict()
+	if v == nil || !v.Ok() {
+		t.Fatalf("verdict = %+v, want ok", v)
+	}
+	st := cl.Stats()
+	if st.PeakBuffered > window {
+		t.Errorf("peak buffered %d entries exceeds the %d-entry window", st.PeakBuffered, window)
+	}
+	// The chain must actually have engaged: the server session's log saw
+	// producer backpressure waits.
+	m := srv.Metrics()
+	if len(m.Finished) == 0 {
+		t.Fatal("no finished session in metrics")
+	}
+	if m.Finished[0].Log.BlockedWaits == 0 {
+		t.Error("server session log recorded no blocked waits; backpressure never engaged")
+	}
+}
+
+func TestShutdownDrainsInFlightSessions(t *testing.T) {
+	srv, addr := startServer(t, remote.ServerOptions{})
+	trace := multisetTrace(120, true)
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:          addr,
+		Hello:         remote.Hello{Spec: "multiset", Mode: "io"},
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range trace {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry: %v", err)
+		}
+	}
+	// No Fin: the session stays in flight. Wait until the server has
+	// ingested the whole prefix, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().EntriesTotal < int64(len(trace)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Metrics().EntriesTotal; got < int64(len(trace)) {
+		t.Fatalf("server ingested %d of %d entries", got, len(trace))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	srv.Shutdown(ctx)
+	// The force-finished verdict is pushed to the client's live
+	// connection: it must arrive, be marked Drained, and match in-process
+	// checking of exactly the ingested prefix.
+	deadline = time.Now().Add(5 * time.Second)
+	var v *remote.Verdict
+	for v == nil && time.Now().Before(deadline) {
+		v = cl.Verdict()
+		time.Sleep(time.Millisecond)
+	}
+	if v == nil {
+		t.Fatal("no drained verdict delivered")
+	}
+	if !v.Drained {
+		t.Error("verdict not marked Drained")
+	}
+	if got, want := v.Report().Summary(), localSummary(t, trace); got != want {
+		t.Errorf("drained summary %+v != local %+v", got, want)
+	}
+	// A draining server refuses new sessions.
+	cl2, err := remote.NewClient(remote.ClientOptions{
+		Addr:        addr,
+		Hello:       remote.Hello{Spec: "multiset"},
+		MaxAttempts: 1,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Flush(); err == nil {
+		t.Error("new session accepted by a drained server")
+	}
+}
+
+func TestOpsSurface(t *testing.T) {
+	srv, addr := startServer(t, remote.ServerOptions{})
+	web := httptest.NewServer(remote.OpsHandler(srv))
+	defer web.Close()
+
+	var h remote.Health
+	getJSON(t, web.URL+"/healthz", http.StatusOK, &h)
+	if !h.Ok || h.ActiveSessions != 0 || h.Specs == 0 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	trace := multisetTrace(40, false)
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:  addr,
+		Hello: remote.Hello{Spec: "multiset", Mode: "io"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, cl, trace)
+
+	var m remote.Metrics
+	getJSON(t, web.URL+"/metrics", http.StatusOK, &m)
+	if m.SessionsFinished != 1 || m.EntriesTotal != int64(len(trace)) || m.ViolationsTotal != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if len(m.Finished) != 1 {
+		t.Fatalf("finished sessions = %d, want 1", len(m.Finished))
+	}
+	fin := m.Finished[0]
+	if fin.Spec != "multiset" || fin.Entries != int64(len(trace)) || len(fin.Reports) != 1 {
+		t.Errorf("finished session = %+v", fin)
+	}
+	if !fin.Reports[0].Report.Ok || fin.Reports[0].Report.EntriesProcessed != int64(len(trace)) {
+		t.Errorf("finished report = %+v", fin.Reports[0].Report)
+	}
+
+	// Draining flips /healthz to 503.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	getJSON(t, web.URL+"/healthz", http.StatusServiceUnavailable, &h)
+	if h.Ok || !h.Draining {
+		t.Errorf("healthz after drain = %+v", h)
+	}
+}
+
+func getJSON(t *testing.T, url string, wantCode int, into any) {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, r.StatusCode, wantCode)
+	}
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestVyrdFacadeRemote drives the public surface: an instrumented,
+// probe-logged run whose log ships through vyrd.AttachRemote, exactly as
+// the README quickstart shows.
+func TestVyrdFacadeRemote(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{})
+
+	run := func(violate bool) (*vyrd.RemoteSink, int) {
+		log := vyrd.NewLog(vyrd.LevelIO)
+		sink, err := log.AttachRemote(vyrd.RemoteOptions{
+			Addr: addr, Spec: "multiset", Mode: "io",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := log.NewProbe()
+		for i := 0; i < 30; i++ {
+			inv := p.Call("Insert", i%5)
+			inv.Commit("")
+			inv.Return(true)
+		}
+		if violate {
+			inv := p.Call("LookUp", 999)
+			inv.Return(true)
+		}
+		n := log.Len()
+		log.Close() // drains the sink and waits for the verdict
+		if err := log.SinkErr(); err != nil {
+			t.Fatalf("sink error: %v", err)
+		}
+		return sink, n
+	}
+
+	sink, n := run(false)
+	v := sink.Verdict()
+	if v == nil || !v.Ok() {
+		t.Fatalf("clean run verdict = %+v", v)
+	}
+	if st := sink.Stats(); st.EntriesAcked != int64(n) {
+		t.Errorf("acked %d of %d entries", st.EntriesAcked, n)
+	}
+
+	sink, _ = run(true)
+	v = sink.Verdict()
+	if v == nil || v.Ok() {
+		t.Fatalf("violating run verdict = %+v", v)
+	}
+	if v.Report().First().Kind != core.ViolationObserver {
+		t.Errorf("violation kind = %v, want observer", v.Report().First().Kind)
+	}
+}
+
+// BenchmarkRemoteLoopback measures end-to-end remote verification
+// throughput over loopback TCP: encode, ship, decode, ingest into the
+// session log, check, verdict. Compare entries/sec against the offline
+// binary-sequential replay numbers in EXPERIMENTS.md.
+func BenchmarkRemoteLoopback(b *testing.B) {
+	_, addr := startServer(b, remote.ServerOptions{})
+	trace := multisetTrace(20000, false) // 60000 entries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := remote.NewClient(remote.ClientOptions{
+			Addr:         addr,
+			Hello:        remote.Hello{Spec: "multiset", Mode: "io"},
+			Window:       1 << 15,
+			BatchEntries: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range trace {
+			if err := cl.WriteEntry(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if v := cl.Verdict(); v == nil || !v.Ok() {
+			b.Fatalf("verdict = %+v", v)
+		}
+	}
+	b.StopTimer()
+	total := float64(len(trace)) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "entries/sec")
+}

@@ -1,0 +1,88 @@
+package remote_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/blinkstore"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/remote"
+	"repro/vyrd"
+)
+
+// TestServeSmokeComposed is the `make serve-smoke` end-to-end check: a real
+// concurrent harness run of the composed BLinkTree-over-Store subject, its
+// live log shipped over loopback TCP to a vyrdd-shaped server running the
+// production spec registry, checked modularly (one pipeline per module),
+// with the remote verdict compared module-by-module against offline
+// in-process checking of the same log.
+func TestServeSmokeComposed(t *testing.T) {
+	srv, err := remote.NewServer(remote.ServerOptions{Registry: bench.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	log := vyrd.NewLog(vyrd.LevelView)
+	sink, err := log.AttachRemote(vyrd.RemoteOptions{
+		Addr:    ln.Addr().String(),
+		Spec:    "BLinkTree+Store",
+		Modular: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := harness.RunOnLog(blinkstore.ComposedTarget(4, blinkstore.BugNone), harness.Config{
+		Threads: 4, OpsPerThread: 100, KeyPool: 32, Seed: 11, Level: vyrd.LevelView,
+	}, log)
+	log.Close()
+	if err := log.SinkErr(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+
+	v := sink.Verdict()
+	if v == nil {
+		t.Fatal("no verdict")
+	}
+	if !v.Ok() {
+		for _, mr := range v.Reports {
+			t.Logf("%s:\n%s", mr.Module, mr.Report)
+		}
+		t.Fatal("remote composed check reported violations on a correct subject")
+	}
+	if len(v.Reports) != 2 {
+		t.Fatalf("got %d module reports, want 2 (tree, store)", len(v.Reports))
+	}
+
+	offline, err := core.CheckEntriesMulti(res.Log.Snapshot(), blinkstore.Modules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteByModule := map[string]core.Summary{}
+	for _, mr := range v.Reports {
+		remoteByModule[mr.Module] = mr.Report.Summary()
+	}
+	for _, mr := range offline {
+		got, ok := remoteByModule[mr.Module]
+		if !ok {
+			t.Errorf("module %q missing from remote verdict", mr.Module)
+			continue
+		}
+		if want := mr.Report.Summary(); got != want {
+			t.Errorf("module %q: remote summary %+v != offline %+v", mr.Module, got, want)
+		}
+	}
+}

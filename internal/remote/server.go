@@ -1,0 +1,667 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// ServerOptions tunes a verification server.
+type ServerOptions struct {
+	// Registry resolves handshake spec names; required.
+	Registry *Registry
+	// Window bounds each session's server-side log: the ingest loop blocks
+	// once it is Window entries ahead of the session's checker, so a slow
+	// checker backpressures through TCP to the client instead of buffering
+	// the whole execution. 0 means DefaultWindow.
+	Window int
+	// SegmentSize is the per-session log segment size (0 = wal default).
+	SegmentSize int
+	// AckEvery is the ack cadence in entries (0 = DefaultAckEvery). The
+	// effective cadence per session never exceeds a quarter of the client's
+	// advertised window, so a small-window client is never starved of acks.
+	AckEvery int
+	// DrainTimeout bounds Shutdown when its context has no earlier
+	// deadline (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for ServerOptions zero values.
+const (
+	DefaultWindow       = 1 << 16
+	DefaultAckEvery     = 1024
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Server accepts log-shipping connections and runs one checker pipeline
+// per session. Sessions survive connection drops (the client resumes with
+// its session token) and are force-finished with a partial-prefix verdict
+// if a drain deadline expires first.
+type Server struct {
+	opts ServerOptions
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	sessions  map[string]*session
+	recent    []SessionMetrics // finished sessions, newest last, bounded
+	nextID    int64
+	draining  bool
+	started   time.Time
+
+	connWG sync.WaitGroup
+
+	sessionsStarted  atomic.Int64
+	sessionsFinished atomic.Int64
+	entriesTotal     atomic.Int64
+	violationsTotal  atomic.Int64
+}
+
+// recentCap bounds the finished-session metrics ring.
+const recentCap = 32
+
+// NewServer constructs a server over the given options.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("remote: ServerOptions.Registry is required")
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.AckEvery <= 0 {
+		opts.AckEvery = DefaultAckEvery
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	return &Server{
+		opts:      opts,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(map[string]*session),
+		started:   time.Now(),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until the listener closes (Shutdown
+// closes every registered listener). It returns nil on a drain-initiated
+// close and the accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: server is draining")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isDraining() && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// session is one client log's checker pipeline on the server. Its log is a
+// windowed wal pipeline: ingest appends, the checker goroutine consumes
+// through a cursor, and the window is the backpressure that bounds memory.
+type session struct {
+	id      string
+	spec    string
+	modular bool
+	started time.Time
+
+	log  *wal.Log
+	wait func() []core.ModuleReport
+
+	// recv is the highest contiguous client sequence number ingested; it
+	// doubles as the resume point for reconnecting clients and the ack
+	// value.
+	recv     atomic.Int64
+	ackEvery int64
+	lastAck  int64
+
+	// ioMu serializes ingest batches against finishing (fin or drain
+	// force-finish), so the log is never closed mid-append.
+	ioMu     sync.Mutex
+	finished bool
+	reports  []core.ModuleReport
+
+	// connMu guards the attached connection; at most one live connection
+	// serves a session at a time.
+	connMu sync.Mutex
+	conn   net.Conn
+	fw     *frameWriter
+}
+
+// attach claims the session for a connection, superseding any previous
+// one. A client reconnecting after a drop routinely beats the server's
+// discovery of the dead connection (its read is still blocked), so latest
+// wins: the old connection is closed, its handler's read fails, and its
+// deferred detach is a no-op because the session already points elsewhere.
+func (ss *session) attach(conn net.Conn, fw *frameWriter) {
+	ss.connMu.Lock()
+	old := ss.conn
+	ss.conn, ss.fw = conn, fw
+	ss.connMu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+}
+
+func (ss *session) detach(conn net.Conn) {
+	ss.connMu.Lock()
+	defer ss.connMu.Unlock()
+	if ss.conn == conn {
+		ss.conn, ss.fw = nil, nil
+	}
+}
+
+// attached returns the live connection and writer, if any.
+func (ss *session) attached() (net.Conn, *frameWriter) {
+	ss.connMu.Lock()
+	defer ss.connMu.Unlock()
+	return ss.conn, ss.fw
+}
+
+// newSession builds a session for a validated handshake: a windowed log,
+// the checker (or modular fan-out) over the named spec, and the pipeline
+// goroutine consuming the log's cursor.
+func (s *Server) newSession(h Hello) (*session, error) {
+	f, ok := s.opts.Registry.Lookup(h.Spec)
+	if !ok {
+		return nil, fmt.Errorf("unknown spec %q (registered: %v)", h.Spec, s.opts.Registry.Names())
+	}
+	lg := wal.NewWithOptions(wal.LevelView, wal.Options{
+		Window:      s.opts.Window,
+		SegmentSize: s.opts.SegmentSize,
+	})
+	cur := lg.Cursor()
+	done := make(chan []core.ModuleReport, 1)
+	if h.Modular {
+		if f.NewModules == nil {
+			return nil, fmt.Errorf("spec %q has no modular decomposition", h.Spec)
+		}
+		m, err := core.NewMulti(f.NewModules()...)
+		if err != nil {
+			return nil, err
+		}
+		go func() { done <- m.Run(cur) }()
+	} else {
+		if f.NewSpec == nil {
+			return nil, fmt.Errorf("spec %q is modular-only", h.Spec)
+		}
+		var opts []core.Option
+		switch h.Mode {
+		case "", "view":
+			if f.NewReplayer != nil {
+				if r := f.NewReplayer(); r != nil {
+					opts = append(opts, core.WithMode(core.ModeView), core.WithReplayer(r))
+				} else if h.Mode == "view" {
+					return nil, fmt.Errorf("spec %q does not support view refinement", h.Spec)
+				}
+			} else if h.Mode == "view" {
+				return nil, fmt.Errorf("spec %q does not support view refinement", h.Spec)
+			}
+		case "io":
+			opts = append(opts, core.WithMode(core.ModeIO))
+		default:
+			return nil, fmt.Errorf("unknown mode %q (io or view)", h.Mode)
+		}
+		opts = append(opts, core.WithFailFast(h.FailFast))
+		c, err := core.New(f.NewSpec(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			rep := c.Run(cur)
+			// A fail-fast checker stops consuming at its first violation;
+			// keep draining the cursor so the window never wedges the
+			// ingest loop (remaining entries are discarded, the verdict is
+			// already decided).
+			for {
+				if _, ok := cur.Next(); !ok {
+					break
+				}
+			}
+			done <- []core.ModuleReport{{Report: rep}}
+		}()
+	}
+
+	ss := &session{
+		spec:    h.Spec,
+		modular: h.Modular,
+		started: time.Now(),
+		log:     lg,
+		wait: func() []core.ModuleReport {
+			reports := <-done
+			done <- reports // re-arm for idempotent waits
+			return reports
+		},
+		ackEvery: int64(s.opts.AckEvery),
+	}
+	if h.Window > 0 && int64(h.Window/4) < ss.ackEvery {
+		ss.ackEvery = int64(h.Window / 4)
+	}
+	if ss.ackEvery < 1 {
+		ss.ackEvery = 1
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lg.Close()
+		return nil, fmt.Errorf("server is draining")
+	}
+	s.nextID++
+	ss.id = fmt.Sprintf("s%d", s.nextID)
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+	s.sessionsStarted.Add(1)
+	return ss, nil
+}
+
+// ingest appends one Entries frame's records to the session log. Entries
+// at or below the resume point are duplicates from a retransmitting client
+// and are discarded; a gap above it means the client and server disagree
+// about the stream position, which is fatal for the connection (the
+// session survives for a clean resume).
+func (ss *session) ingest(payload []byte) (int64, error) {
+	ss.ioMu.Lock()
+	defer ss.ioMu.Unlock()
+	if ss.finished {
+		return 0, nil // drain already decided the verdict; discard
+	}
+	var n int64
+	for len(payload) > 0 {
+		e, rest, err := event.DecodeEntryFrame(payload)
+		if err != nil {
+			return n, fmt.Errorf("remote: decode entry frame: %w", err)
+		}
+		payload = rest
+		recv := ss.recv.Load()
+		if e.Seq <= recv {
+			continue
+		}
+		if e.Seq != recv+1 {
+			return n, fmt.Errorf("remote: sequence gap: got #%d, expected #%d", e.Seq, recv+1)
+		}
+		ss.log.Append(e)
+		ss.recv.Store(e.Seq)
+		n++
+	}
+	return n, nil
+}
+
+// finish closes the session's log, joins the checker pipeline and caches
+// the reports. Idempotent; safe to race between the fin path and a drain
+// force-finish.
+func (ss *session) finish() []core.ModuleReport {
+	ss.ioMu.Lock()
+	defer ss.ioMu.Unlock()
+	if !ss.finished {
+		ss.finished = true
+		ss.log.Close()
+		ss.reports = ss.wait()
+	}
+	return ss.reports
+}
+
+// handle serves one connection: preamble, handshake, then the ingest loop.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	fw := newFrameWriter(conn)
+	if err := readPreamble(br); err != nil {
+		s.logf("remote: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != frameHello {
+		s.logf("remote: %s: expected hello, got frame %d (%v)", conn.RemoteAddr(), typ, err)
+		return
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		fw.writeJSON(frameReject, Reject{Error: fmt.Sprintf("malformed hello: %v", err)})
+		return
+	}
+	if h.FormatVersion != event.FormatVersion {
+		msg := fmt.Sprintf("log format version mismatch: client ships format version %d, this server reads version %d",
+			h.FormatVersion, event.FormatVersion)
+		s.logf("remote: %s: %s", conn.RemoteAddr(), msg)
+		fw.writeJSON(frameReject, Reject{Error: msg})
+		return
+	}
+
+	var ss *session
+	if h.Session != "" {
+		s.mu.Lock()
+		ss = s.sessions[h.Session]
+		s.mu.Unlock()
+		if ss == nil {
+			fw.writeJSON(frameReject, Reject{Error: fmt.Sprintf("unknown session %q (finished, drained, or never started)", h.Session)})
+			return
+		}
+	} else {
+		var err error
+		ss, err = s.newSession(h)
+		if err != nil {
+			fw.writeJSON(frameReject, Reject{Error: err.Error()})
+			return
+		}
+	}
+	ss.attach(conn, fw)
+	defer ss.detach(conn)
+	if err := fw.writeJSON(frameWelcome, Welcome{Session: ss.id, ResumeFrom: ss.recv.Load()}); err != nil {
+		return
+	}
+	s.logf("remote: %s: session %s spec=%q resume_from=%d", conn.RemoteAddr(), ss.id, ss.spec, ss.recv.Load())
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			// Connection drop mid-session: keep the session for resume.
+			s.logf("remote: %s: session %s connection lost: %v", conn.RemoteAddr(), ss.id, err)
+			return
+		}
+		switch typ {
+		case frameEntries:
+			n, err := s.ingestAndAck(ss, payload)
+			if err != nil {
+				s.logf("remote: %s: session %s: %v", conn.RemoteAddr(), ss.id, err)
+				return
+			}
+			_ = n
+		case frameFin:
+			s.finishSession(ss, fw, false)
+			return
+		default:
+			s.logf("remote: %s: session %s: unexpected frame %d", conn.RemoteAddr(), ss.id, typ)
+			return
+		}
+	}
+}
+
+// ingestAndAck appends a batch and acks at the session's cadence.
+func (s *Server) ingestAndAck(ss *session, payload []byte) (int64, error) {
+	n, err := ss.ingest(payload)
+	s.entriesTotal.Add(n)
+	if err != nil {
+		return n, err
+	}
+	if recv := ss.recv.Load(); recv-ss.lastAck >= ss.ackEvery {
+		_, fw := ss.attached()
+		if fw != nil {
+			if err := fw.writeAck(recv); err != nil {
+				return n, err
+			}
+		}
+		ss.lastAck = recv
+	}
+	return n, nil
+}
+
+// finishSession completes a session (fin path or drain force-finish),
+// sends the verdict on the session's live connection if there is one, and
+// retires the session into the finished-metrics ring.
+func (s *Server) finishSession(ss *session, fw *frameWriter, drained bool) {
+	reports := ss.finish()
+	verdict := Verdict{Reports: reports, Drained: drained}
+	var violations int64
+	for _, mr := range reports {
+		violations += mr.Report.TotalViolations
+	}
+
+	s.mu.Lock()
+	_, live := s.sessions[ss.id]
+	if live {
+		delete(s.sessions, ss.id)
+		m := s.sessionMetricsLocked(ss)
+		m.Reports = verdictSummaries(reports)
+		m.Connected = false
+		s.recent = append(s.recent, m)
+		if len(s.recent) > recentCap {
+			s.recent = s.recent[len(s.recent)-recentCap:]
+		}
+	}
+	s.mu.Unlock()
+	if live {
+		s.sessionsFinished.Add(1)
+		s.violationsTotal.Add(violations)
+	}
+
+	if fw == nil {
+		_, fw = ss.attached()
+	}
+	if fw != nil {
+		if err := fw.writeAck(ss.recv.Load()); err == nil {
+			fw.writeJSON(frameVerdict, &verdict)
+		}
+	}
+	s.logf("remote: session %s finished: ok=%v violations=%d entries=%d drained=%v",
+		ss.id, verdict.Ok(), violations, ss.recv.Load(), drained)
+}
+
+// Shutdown drains the server: listeners close (no new sessions), in-flight
+// sessions get until the context deadline (or DrainTimeout) to deliver
+// their fin and receive a normal verdict, and whatever is still live at
+// the deadline is force-finished — its checker runs to the end of the
+// ingested prefix and the verdict (marked Drained) is pushed to the
+// client's live connection. Shutdown returns once every connection handler
+// has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+
+	deadline := time.Now().Add(s.opts.DrainTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			deadline = time.Now()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// Force-finish the stragglers: verdicts over the ingested prefix.
+	s.mu.Lock()
+	remaining := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		remaining = append(remaining, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range remaining {
+		s.finishSession(ss, nil, true)
+		if conn, _ := ss.attached(); conn != nil {
+			conn.Close()
+		}
+	}
+
+	// Unstick any connection that never completed a handshake.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+
+	s.connWG.Wait()
+	return ctx.Err()
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Ok             bool    `json:"ok"`
+	Draining       bool    `json:"draining,omitempty"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	ActiveSessions int     `json:"active_sessions"`
+	Specs          int     `json:"specs"`
+}
+
+// Health reports liveness for the ops surface.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	active := len(s.sessions)
+	draining := s.draining
+	s.mu.Unlock()
+	return Health{
+		Ok:             !draining,
+		Draining:       draining,
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		ActiveSessions: active,
+		Specs:          len(s.opts.Registry.Names()),
+	}
+}
+
+// SessionMetrics is the per-session slice of /metrics.
+type SessionMetrics struct {
+	ID            string          `json:"id"`
+	Spec          string          `json:"spec"`
+	Modular       bool            `json:"modular,omitempty"`
+	Connected     bool            `json:"connected"`
+	Entries       int64           `json:"entries"`
+	EntriesPerSec float64         `json:"entries_per_sec"`
+	VerifierLag   int64           `json:"verifier_lag"`
+	Log           wal.Stats       `json:"log"`
+	Reports       []SessionReport `json:"reports,omitempty"`
+}
+
+// SessionReport pairs a module name with its report summary — the shared
+// core.Summary serialization (vyrdbench -json emits the same shape).
+type SessionReport struct {
+	Module string       `json:"module,omitempty"`
+	Report core.Summary `json:"report"`
+}
+
+// Metrics is the /metrics body.
+type Metrics struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	SessionsActive   int              `json:"sessions_active"`
+	SessionsStarted  int64            `json:"sessions_started"`
+	SessionsFinished int64            `json:"sessions_finished"`
+	EntriesTotal     int64            `json:"entries_total"`
+	ViolationsTotal  int64            `json:"violations_total"`
+	Sessions         []SessionMetrics `json:"sessions"`
+	Finished         []SessionMetrics `json:"finished,omitempty"`
+}
+
+// sessionMetricsLocked snapshots one session; the caller holds s.mu.
+func (s *Server) sessionMetricsLocked(ss *session) SessionMetrics {
+	stats := ss.log.Stats()
+	elapsed := time.Since(ss.started).Seconds()
+	eps := 0.0
+	if elapsed > 0 {
+		eps = float64(ss.recv.Load()) / elapsed
+	}
+	conn, _ := ss.attached()
+	return SessionMetrics{
+		ID:            ss.id,
+		Spec:          ss.spec,
+		Modular:       ss.modular,
+		Connected:     conn != nil,
+		Entries:       ss.recv.Load(),
+		EntriesPerSec: eps,
+		VerifierLag:   stats.MaxVerifierLag,
+		Log:           stats,
+	}
+}
+
+func verdictSummaries(reports []core.ModuleReport) []SessionReport {
+	out := make([]SessionReport, len(reports))
+	for i, mr := range reports {
+		out[i] = SessionReport{Module: mr.Module, Report: mr.Report.Summary()}
+	}
+	return out
+}
+
+// Metrics snapshots the server's counters and per-session pipelines for
+// the ops surface.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		SessionsActive:   len(s.sessions),
+		SessionsStarted:  s.sessionsStarted.Load(),
+		SessionsFinished: s.sessionsFinished.Load(),
+		EntriesTotal:     s.entriesTotal.Load(),
+		ViolationsTotal:  s.violationsTotal.Load(),
+	}
+	for _, ss := range s.sessions {
+		m.Sessions = append(m.Sessions, s.sessionMetricsLocked(ss))
+	}
+	m.Finished = append(m.Finished, s.recent...)
+	s.mu.Unlock()
+	sortSessionMetrics(m.Sessions)
+	return m
+}
+
+// sortSessionMetrics orders sessions by id for stable output.
+func sortSessionMetrics(ms []SessionMetrics) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j-1].ID > ms[j].ID; j-- {
+			ms[j-1], ms[j] = ms[j], ms[j-1]
+		}
+	}
+}

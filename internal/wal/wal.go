@@ -157,30 +157,33 @@ type segment struct {
 // freeListCap bounds the recycled-segment stack.
 const freeListCap = 32
 
-// Stats is a point-in-time snapshot of the log's counters.
+// Stats is a point-in-time snapshot of the log's counters. The JSON tags
+// are the serialization shared by every machine-readable surface that
+// reports pipeline counters (vyrdbench -json snapshots, the vyrdd /metrics
+// endpoint).
 type Stats struct {
 	// Appends is the number of entries appended (equals the highest
 	// reserved sequence number).
-	Appends int64
+	Appends int64 `json:"appends"`
 	// BlockedWaits counts reader parks (cursor, sink or snapshot waiting
 	// for an unpublished entry) and producer backpressure waits.
-	BlockedWaits int64
+	BlockedWaits int64 `json:"blocked_waits"`
 	// RetainedSegments and RetainedEntries describe current memory: the
 	// segments the log still references and the entry capacity they hold.
-	RetainedSegments int64
-	RetainedEntries  int64
+	RetainedSegments int64 `json:"retained_segments"`
+	RetainedEntries  int64 `json:"retained_entries"`
 	// PeakRetainedEntries is the largest retained-entry count observed.
-	PeakRetainedEntries int64
+	PeakRetainedEntries int64 `json:"peak_retained_entries"`
 	// TruncatedSegments and TruncatedEntries count storage released by
 	// consumed-prefix truncation.
-	TruncatedSegments int64
-	TruncatedEntries  int64
+	TruncatedSegments int64 `json:"truncated_segments"`
+	TruncatedEntries  int64 `json:"truncated_entries"`
 	// SinkQueueDepth is the number of appended entries the async sink has
 	// not yet encoded (0 when no sink is attached).
-	SinkQueueDepth int64
+	SinkQueueDepth int64 `json:"sink_queue_depth"`
 	// MaxVerifierLag is the largest gap observed between the newest
 	// appended entry and a cursor consuming one.
-	MaxVerifierLag int64
+	MaxVerifierLag int64 `json:"max_verifier_lag"`
 }
 
 // String renders the stats in one line for the benchmark tables.
@@ -674,12 +677,35 @@ func (l *Log) SinkErr() error {
 	return nil
 }
 
-// sink drains published entries to a writer on its own goroutine, batching
-// through a bufio.Writer. It registers as a reader so truncation never
-// outruns persistence.
-type sink struct {
+// EntrySink consumes drained entries on the log's sink goroutine, in log
+// order. It is the seam both persistence and remote shipping attach at:
+// AttachSink wraps an io.Writer in the codec-encoding sink, and a remote
+// client implements EntrySink directly to ship entries off-box. WriteEntry
+// may block (a bounded remote buffer under backpressure); blocking stalls
+// the sink reader, which in turn engages the log's Window backpressure on
+// producers. Flush is called once, after the last entry of the closed log
+// has been written, and must complete the stream (flush buffers, deliver
+// the final frames).
+type EntrySink interface {
+	WriteEntry(e event.Entry) error
+	Flush() error
+}
+
+// encoderSink is the io.Writer-backed EntrySink: entries are encoded with
+// the event codec through a bufio.Writer (the analogue of the paper's
+// serialized log file).
+type encoderSink struct {
 	bw  *bufio.Writer
 	enc *event.Encoder
+}
+
+func (s *encoderSink) WriteEntry(e event.Entry) error { return s.enc.Encode(e) }
+func (s *encoderSink) Flush() error                   { return s.bw.Flush() }
+
+// sink drains published entries to an EntrySink on its own goroutine. It
+// registers as a reader so truncation never outruns persistence.
+type sink struct {
+	es  EntrySink
 	pos atomic.Int64
 	err atomic.Value
 	wg  sync.WaitGroup
@@ -701,7 +727,15 @@ func (s *sink) fail(err error) {
 // stream is complete. Attaching a second sink is an error.
 func (l *Log) AttachSink(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	s := &sink{bw: bw, enc: event.NewEncoder(bw)}
+	return l.AttachEntrySink(&encoderSink{bw: bw, enc: event.NewEncoder(bw)})
+}
+
+// AttachEntrySink starts draining appended entries into es on a dedicated
+// goroutine, in log order; Close waits for the drain and for es.Flush.
+// Entries already in the log (and still retained) are delivered first so
+// the stream is complete. Attaching a second sink is an error.
+func (l *Log) AttachEntrySink(es EntrySink) error {
+	s := &sink{es: es}
 	l.mu.Lock()
 	if l.sink != nil {
 		l.mu.Unlock()
@@ -715,8 +749,9 @@ func (l *Log) AttachSink(w io.Writer) error {
 	return nil
 }
 
-// runSink is the sink goroutine: drain published entries in order, encode
-// them (unless a previous write failed), and flush at end of log.
+// runSink is the sink goroutine: drain published entries in order, hand
+// them to the entry sink (unless a previous write failed), and flush at end
+// of log.
 func (l *Log) runSink(s *sink) {
 	defer s.wg.Done()
 	for {
@@ -726,7 +761,7 @@ func (l *Log) runSink(s *sink) {
 			break
 		}
 		if s.err.Load() == nil {
-			s.fail(s.enc.Encode(e))
+			s.fail(s.es.WriteEntry(e))
 		}
 		s.pos.Store(seq)
 		if l.opts.Truncate && (seq%int64(l.opts.SegmentSize) == 0 ||
@@ -735,7 +770,7 @@ func (l *Log) runSink(s *sink) {
 		}
 	}
 	if s.err.Load() == nil {
-		s.fail(s.bw.Flush())
+		s.fail(s.es.Flush())
 	}
 }
 

@@ -1,0 +1,82 @@
+package vyrd
+
+import (
+	"repro/internal/remote"
+)
+
+// Remote verification: ship the execution log to a vyrdd server instead of
+// (or in addition to) checking in-process. The sink attaches at the same
+// seam as file persistence, so instrumented code does not change — only
+// the place the verdict comes from does.
+
+// RemoteOptions configures AttachRemote (see remote.ClientOptions; the
+// handshake fields are surfaced directly).
+type RemoteOptions struct {
+	// Addr is the vyrdd server, "host:port".
+	Addr string
+	// Spec names the registered specification to check against.
+	Spec string
+	// Mode is "io", "view", or "" for the server-side default.
+	Mode string
+	// FailFast stops the remote checker at the first violation.
+	FailFast bool
+	// Modular runs the spec's module fan-out instead of a single checker.
+	Modular bool
+	// Window bounds the client's resend buffer in entries (0 = default).
+	// Once the window fills with unacknowledged entries, shipping blocks,
+	// which chains into the log's own backpressure.
+	Window int
+	// Logf, when non-nil, receives connection-level events.
+	Logf func(format string, args ...any)
+}
+
+// RemoteSink ships a log's entries to a vyrdd verification server. It is
+// bounded (never buffers more than Window entries), survives connection
+// drops (reconnect with exponential backoff, lossless resume), and
+// delivers the server's verdict after Log.Close.
+type RemoteSink struct {
+	c *remote.Client
+}
+
+// RemoteStats is a snapshot of the shipping client's counters.
+type RemoteStats = remote.ClientStats
+
+// RemoteVerdict is the server's final answer for a session.
+type RemoteVerdict = remote.Verdict
+
+// AttachRemote connects this log to a vyrdd server: every entry (including
+// those already appended and still retained) is shipped to a fresh
+// server-side checker session. Close drains the stream, sends the
+// end-of-log marker and waits for the verdict, which Verdict then returns.
+func (l *Log) AttachRemote(opts RemoteOptions) (*RemoteSink, error) {
+	c, err := remote.NewClient(remote.ClientOptions{
+		Addr: opts.Addr,
+		Hello: remote.Hello{
+			Spec:     opts.Spec,
+			Mode:     opts.Mode,
+			FailFast: opts.FailFast,
+			Modular:  opts.Modular,
+		},
+		Window: opts.Window,
+		Logf:   opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := l.wal.AttachEntrySink(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &RemoteSink{c: c}, nil
+}
+
+// Verdict returns the server's verdict, available after Log.Close has
+// returned (nil if the stream failed first — see the log's SinkErr).
+func (s *RemoteSink) Verdict() *RemoteVerdict { return s.c.Verdict() }
+
+// Stats snapshots the shipping counters (entries sent/acked, buffered and
+// peak-buffered, reconnects).
+func (s *RemoteSink) Stats() RemoteStats { return s.c.Stats() }
+
+// Err returns the client's terminal failure, if any.
+func (s *RemoteSink) Err() error { return s.c.Err() }
