@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke tables examples check
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke tables examples check clean
 
 all: check
 
@@ -29,9 +29,10 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=Table3 -benchtime=1x .
 
-# Regenerate the checked-in benchmark snapshot (environment + table rows).
+# Regenerate the checked-in benchmark snapshot (environment + table rows,
+# including exploration throughput and shrink results).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR2.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR4.json
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
 # corpus seeds honest without turning CI into a fuzzing farm. Each -fuzz
@@ -40,6 +41,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTrip$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTripGob$$' -fuzztime=5s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzTornFrames$$' -fuzztime=5s ./internal/event/
+	$(GO) test -run=NONE -fuzz='^FuzzReproRoundTrip$$' -fuzztime=5s ./internal/sched/
 
 # Race-enabled loopback round trip through the remote verification service:
 # a concurrent harness run of the composed subject shipped over TCP to a
@@ -47,6 +49,13 @@ fuzz:
 # verdict compared against in-process checking. CI runs this.
 serve-smoke:
 	$(GO) test -race -count=1 -run '^TestServeSmokeComposed$$' ./internal/remote/
+
+# Fixed-seed schedule exploration finds every planted bug within the
+# budget, violating seeds replay byte-identically, and the shrinker
+# halves schedule length on the exemplars. Runs without -race: the
+# planted bugs are intentional data races. CI runs this.
+explore-smoke:
+	$(GO) test -count=1 -run '^TestExploreSmoke$$|^TestShrinkHalvesScheduleLength$$' ./internal/explore/
 
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
@@ -59,4 +68,9 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke
+check: build vet test race fuzz serve-smoke explore-smoke
+
+# Remove test binaries, profiles and fuzzing leftovers.
+clean:
+	rm -f *.test */*.test */*/*.test *.out *.prof
+	$(GO) clean -testcache

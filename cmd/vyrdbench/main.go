@@ -7,6 +7,7 @@
 //
 //	vyrdbench -table all
 //	vyrdbench -table 1 -reps 10 -ops 800
+//	vyrdbench -table explore -budget 2000
 //	vyrdbench -table 3 -scale 20
 //	vyrdbench -table all -json bench.json
 //	vyrdbench -table 3 -cpuprofile cpu.out -memprofile mem.out
@@ -29,13 +30,14 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		subject    = flag.String("subject", "", "restrict Table 1 to one subject")
 		window     = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
+		budget     = flag.Int("budget", 2000, "exploration schedule budget per subject")
 		jsonPath   = flag.String("json", "", "also write the rows as a JSON snapshot to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -121,6 +123,16 @@ func main() {
 		bench.WriteLogPipeline(os.Stdout, cfg, snap.LogPipeline)
 	}
 
+	runExplore := func() {
+		rows, err := bench.ExploreTable(*budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: explore: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Explore = rows
+		bench.WriteExploreTable(os.Stdout, rows)
+	}
+
 	switch *table {
 	case "1":
 		runTable1()
@@ -130,6 +142,8 @@ func main() {
 		runTable3()
 	case "log":
 		runLogPipeline()
+	case "explore":
+		runExplore()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -138,8 +152,10 @@ func main() {
 		runTable3()
 		fmt.Println()
 		runLogPipeline()
+		fmt.Println()
+		runExplore()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore or all)\n", *table)
 		os.Exit(2)
 	}
 

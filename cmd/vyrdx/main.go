@@ -1,0 +1,165 @@
+// Command vyrdx explores schedules: it runs registry subjects under the
+// controlled PCT scheduler (internal/sched) across many seeds, reports the
+// first refinement violation per subject with a minimized repro string,
+// and replays repro strings deterministically.
+//
+//	vyrdx                          explore the planted-bug subjects
+//	vyrdx -subjects Cache-TornUpdate -seeds 500
+//	vyrdx -repro 'vyrdsched/1;subject=...;...'   replay one schedule
+//	vyrdx -stress 200              uncontrolled-stress comparison runs
+//
+// Exit code 0 means no violation was found (or a replayed schedule
+// passed); 2 means a violation was found (or replayed); 1 is an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+	"repro/internal/sched"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		repro    = flag.String("repro", "", "replay one schedule from its repro string and print the verdict")
+		subjects = flag.String("subjects", "", "comma-separated subject names (default: the planted-bug exploration subjects)")
+		seeds    = flag.Int("seeds", 2000, "schedule budget per subject")
+		seed     = flag.Int64("seed", 0, "base seed (schedules use seed, seed+1, ...)")
+		shrink   = flag.Bool("shrink", true, "minimize each violating schedule before reporting")
+		stress   = flag.Int("stress", 0, "additionally run N uncontrolled stress iterations per subject for comparison")
+		buggy    = flag.Bool("buggy", true, "explore the buggy variant of each subject (false: the correct one)")
+	)
+	flag.Parse()
+
+	if *repro != "" {
+		return replay(*repro, *buggy)
+	}
+
+	var subs []bench.Subject
+	if *subjects == "" {
+		subs = bench.ExplorationSubjects()
+	} else {
+		for _, name := range strings.Split(*subjects, ",") {
+			s, ok := bench.SubjectByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vyrdx: unknown subject %q\n", name)
+				return 1
+			}
+			subs = append(subs, s)
+		}
+	}
+
+	foundAny := false
+	for _, s := range subs {
+		tgt := s.Buggy
+		if !*buggy {
+			tgt = s.Correct
+		}
+		base := bench.ExploreSpec(s.Name)
+		base.Seed = *seed
+
+		found, st, err := explore.Explore(tgt, base, *seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdx: %s: %v\n", s.Name, err)
+			return 1
+		}
+		fmt.Printf("%s: %d schedules in %v (%.0f schedules/sec, %d free-runs)\n",
+			s.Name, st.Schedules, st.Elapsed.Round(1e6), st.SchedulesPerSec(), st.FreeRuns)
+		if found == nil {
+			fmt.Printf("%s: no violation within %d schedules\n", s.Name, *seeds)
+		} else {
+			foundAny = true
+			fmt.Printf("%s: violation (%s) at schedule %d/%d, steps=%d\n",
+				s.Name, found.Run.FirstKind(), found.SchedulesTried, *seeds, found.Run.Sched.Steps)
+			rep := found.Run
+			if *shrink {
+				min, shr, err := explore.ShrinkRun(tgt, found.Run)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "vyrdx: %s: shrink: %v\n", s.Name, err)
+					return 1
+				}
+				fmt.Printf("%s: shrunk %d -> %d steps in %d runs\n",
+					s.Name, shr.StepsBefore, shr.StepsAfter, shr.Runs)
+				rep = min
+			}
+			if err := explore.WriteReport(os.Stdout, tgt, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "vyrdx: %s: report: %v\n", s.Name, err)
+				return 1
+			}
+		}
+
+		if *stress > 0 {
+			at, elapsed, err := explore.Stress(tgt, base, *stress)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vyrdx: %s: stress: %v\n", s.Name, err)
+				return 1
+			}
+			if at > 0 {
+				fmt.Printf("%s: uncontrolled stress found a violation at run %d/%d (%v)\n",
+					s.Name, at, *stress, elapsed.Round(1e6))
+			} else {
+				fmt.Printf("%s: uncontrolled stress found nothing in %d runs (%v)\n",
+					s.Name, *stress, elapsed.Round(1e6))
+			}
+		}
+	}
+	if foundAny {
+		return 2
+	}
+	return 0
+}
+
+// replay parses a repro string, runs it twice, verifies the runs agree
+// byte-for-byte, and prints the report.
+func replay(s string, buggy bool) int {
+	sp, err := sched.ParseRepro(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
+		return 1
+	}
+	sub, ok := bench.SubjectByName(sp.Subject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vyrdx: unknown subject %q in repro string\n", sp.Subject)
+		return 1
+	}
+	tgt := sub.Buggy
+	if !buggy {
+		tgt = sub.Correct
+	}
+	r1, err := explore.RunSpec(tgt, sp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
+		return 1
+	}
+	if r1.Sched.FreeRun {
+		fmt.Fprintf(os.Stderr, "vyrdx: schedule fell back to free-running; not reproducible\n")
+		return 1
+	}
+	r2, err := explore.RunSpec(tgt, sp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
+		return 1
+	}
+	if !explore.SameVerdict(r1, r2) {
+		fmt.Fprintf(os.Stderr, "vyrdx: replay nondeterminism: two runs of the same spec disagree\n")
+		return 1
+	}
+	fmt.Printf("replayed twice, byte-identical (%d entries, %d bytes)\n",
+		len(r1.Entries), len(r1.LogBytes))
+	if err := explore.WriteReport(os.Stdout, tgt, r1); err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdx: report: %v\n", err)
+		return 1
+	}
+	if r1.Violating() {
+		return 2
+	}
+	return 0
+}

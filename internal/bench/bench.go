@@ -109,9 +109,40 @@ func AllSubjects() []Subject {
 	return append(Subjects(), ExtraSubjects()...)
 }
 
-// SubjectByName returns the subject with the given name, or false.
+// ExplorationSubjects returns the planted-bug variants that schedule
+// exploration (cmd/vyrdx, internal/explore) must find: races whose windows
+// contain no Gosched widening — only controlled-scheduler yield points —
+// so they are essentially unschedulable under wall-clock stress but
+// reachable (and reproducible) under seeded PCT scheduling. Sizes are
+// smaller than the stress subjects': shorter schedules to search and
+// shrink.
+func ExplorationSubjects() []Subject {
+	return []Subject{
+		{
+			Name:    "Multiset-TornPair",
+			BugName: "Torn two-slot validation in InsertPair (no Gosched window)",
+			Correct: multiset.Target(16, multiset.BugNone),
+			Buggy:   multiset.Target(16, multiset.BugTornPair),
+		},
+		{
+			Name:    "BLinkTree-DroppedLock",
+			BugName: "Leaf lock dropped between presence check and add",
+			Correct: blinktree.Target(4, blinktree.BugNone),
+			Buggy:   blinktree.Target(4, blinktree.BugDroppedLock),
+		},
+		{
+			Name:    "Cache-TornUpdate",
+			BugName: "Torn in-place dirty-entry copy (no Gosched window)",
+			Correct: cache.TargetSized(cache.BugNone, 3, 32),
+			Buggy:   cache.TargetSized(cache.BugTornUpdate, 3, 32),
+		},
+	}
+}
+
+// SubjectByName returns the subject with the given name, or false. It
+// searches the evaluation subjects and the exploration variants.
 func SubjectByName(name string) (Subject, bool) {
-	for _, s := range AllSubjects() {
+	for _, s := range append(AllSubjects(), ExplorationSubjects()...) {
 		if s.Name == name {
 			return s, true
 		}

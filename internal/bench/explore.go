@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/explore"
+	"repro/internal/sched"
+)
+
+// ExploreSpec returns the base schedule-exploration spec for a subject:
+// the harness shape (threads/ops/pool) and PCT parameters (d, k) that
+// vyrdx, the exploration bench rows, and the CI smoke all share, so a
+// repro string printed by one replays under the others. K is sized to the
+// observed schedule lengths of each shape (a few probe yields per op per
+// thread, plus daemon passes).
+func ExploreSpec(subject string) sched.Spec {
+	sp := sched.Spec{Subject: subject, Threads: 3, Ops: 8, KeyPool: 4, D: 3, K: 300}
+	switch subject {
+	case "Multiset-TornPair":
+		sp.K = 200 // no daemon: schedules are shorter
+	case "Cache-TornUpdate":
+		// Fewer, fatter ops: each Write copies a 32-byte buffer with
+		// yields inside, so schedules are long per op.
+		sp.Ops, sp.KeyPool = 6, 6
+	}
+	return sp
+}
+
+// ExploreRow is one subject's schedule-exploration summary: the budget,
+// where the first violation was found (0 = not found), the exploration
+// throughput, and what the shrinker did to the violating schedule.
+type ExploreRow struct {
+	Subject         string
+	BugName         string
+	Budget          int     // schedule budget given to exploration
+	FoundAt         int     // 1-based schedule index of first violation; 0 = none
+	Violation       string  // kind of the first violation
+	SchedulesPerSec float64 `json:"SchedulesPerSec"`
+	StepsBefore     int64   // violating schedule length before shrinking
+	StepsAfter      int64   // and after
+	Repro           string  // minimized repro string
+}
+
+// ExploreTable runs seeded schedule exploration over every planted-bug
+// subject with the given budget, shrinking each violating schedule.
+func ExploreTable(budget int) ([]ExploreRow, error) {
+	var rows []ExploreRow
+	for _, s := range ExplorationSubjects() {
+		base := ExploreSpec(s.Name)
+		found, st, err := explore.Explore(s.Buggy, base, budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		row := ExploreRow{
+			Subject:         s.Name,
+			BugName:         s.BugName,
+			Budget:          budget,
+			SchedulesPerSec: st.SchedulesPerSec(),
+		}
+		if found != nil {
+			row.FoundAt = found.SchedulesTried
+			row.Violation = found.Run.FirstKind().String()
+			min, shr, err := explore.ShrinkRun(s.Buggy, found.Run)
+			if err != nil {
+				return nil, fmt.Errorf("%s: shrink: %w", s.Name, err)
+			}
+			row.StepsBefore = shr.StepsBefore
+			row.StepsAfter = shr.StepsAfter
+			row.Repro = min.Spec.Repro()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteExploreTable renders the exploration rows.
+func WriteExploreTable(w io.Writer, rows []ExploreRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Subject\tBug\tFound at\tSched/s\tShrink (steps)\tViolation")
+	for _, r := range rows {
+		found := "not found"
+		shrink := "-"
+		if r.FoundAt > 0 {
+			found = fmt.Sprintf("schedule %d/%d", r.FoundAt, r.Budget)
+			shrink = fmt.Sprintf("%d -> %d", r.StepsBefore, r.StepsAfter)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%s\t%s\n",
+			r.Subject, r.BugName, found, r.SchedulesPerSec, shrink, r.Violation)
+	}
+	tw.Flush()
+	for _, r := range rows {
+		if r.Repro != "" {
+			fmt.Fprintf(w, "repro %s: %s\n", r.Subject, r.Repro)
+		}
+	}
+}

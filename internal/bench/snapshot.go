@@ -20,6 +20,7 @@ type Snapshot struct {
 	Table2      []Table2Row      `json:",omitempty"`
 	Table3      []Table3Row      `json:",omitempty"`
 	LogPipeline []LogPipelineRow `json:",omitempty"`
+	Explore     []ExploreRow     `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

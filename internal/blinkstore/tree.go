@@ -141,6 +141,7 @@ func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
 		} else {
 			runtime.Gosched() // model preemption in the race window
 		}
+		tp.Yield() // controlled-scheduler preemption point inside the race window
 		h, n = t.descendToLeaf(sp, k)
 		if present {
 			if i := n.keyIndex(k); i >= 0 {

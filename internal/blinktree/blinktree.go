@@ -53,6 +53,15 @@ const (
 	// BugDuplicateInsert checks key presence before acquiring the leaf lock
 	// (Table 1: "Allowing duplicated data nodes").
 	BugDuplicateInsert
+	// BugDroppedLock checks presence under the leaf lock but then drops the
+	// lock before performing the add: the same "duplicated data nodes"
+	// failure as BugDuplicateInsert, but with no Gosched widening the
+	// window — between unlock and re-descend there is only a controlled-
+	// scheduler yield (vyrd.Probe.Yield), so wall-clock stress essentially
+	// never lands in the window while schedule exploration can park a
+	// second inserter of the same key inside it. The planted bug for
+	// exploration.
+	BugDroppedLock
 )
 
 // maxInt is the high key of rightmost nodes.
@@ -147,6 +156,10 @@ func (t *Tree) Insert(p *vyrd.Probe, key, data int) {
 		t.insertBuggy(p, inv, key, data)
 		return
 	}
+	if t.bug == BugDroppedLock {
+		t.insertDroppedLock(p, inv, key, data)
+		return
+	}
 
 	leaf := t.descendToLeaf(key)
 	if i := leaf.leafIndex(key); i >= 0 {
@@ -174,6 +187,7 @@ func (t *Tree) insertBuggy(p *vyrd.Probe, inv *vyrd.Invocation, key, data int) {
 	} else {
 		runtime.Gosched() // model preemption in the race window
 	}
+	p.Yield() // controlled-scheduler preemption point inside the race window
 
 	leaf = t.descendToLeaf(key)
 	if present {
@@ -189,6 +203,31 @@ func (t *Tree) insertBuggy(p *vyrd.Probe, inv *vyrd.Invocation, key, data int) {
 		}
 	}
 	// BUG: blind add without re-checking presence under the lock.
+	t.insertIntoLeaf(p, inv, leaf, key, data)
+	inv.Return(nil)
+}
+
+// insertDroppedLock checks presence correctly under the leaf lock, but
+// drops the lock before the add: two concurrent inserts of the same fresh
+// key can both observe it absent, both park at the yield, and both
+// blind-add — duplicated data nodes, caught by the view replica.
+func (t *Tree) insertDroppedLock(p *vyrd.Probe, inv *vyrd.Invocation, key, data int) {
+	leaf := t.descendToLeaf(key)
+	if i := leaf.leafIndex(key); i >= 0 {
+		leaf.vals[i] = data
+		leaf.ver++
+		inv.CommitWrite("cp1-overwrite", "leaf-set", leaf.id, key, data, leaf.ver)
+		leaf.mu.Unlock()
+		inv.Return(nil)
+		return
+	}
+	// BUG: the lock is released between the presence check and the add.
+	leaf.mu.Unlock()
+	if t.RaceWindow != nil {
+		t.RaceWindow(key)
+	}
+	p.Yield() // controlled-scheduler preemption point inside the race window
+	leaf = t.descendToLeaf(key)
 	t.insertIntoLeaf(p, inv, leaf, key, data)
 	inv.Return(nil)
 }

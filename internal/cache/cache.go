@@ -39,6 +39,16 @@ const (
 	// BugUnprotectedWrite omits LOCK(clean) around the in-place dirty-entry
 	// copy (Section 7.2.2).
 	BugUnprotectedWrite
+	// BugTornUpdate is BugUnprotectedWrite without the explicit
+	// runtime.Gosched calls widening the mid-copy race window: wall-clock
+	// stress essentially never preempts the tight copy loop, so a torn
+	// flush is vanishingly rare. The loop yields to a controlled scheduler
+	// (vyrd.Probe.Yield) instead, which can park the writer mid-copy and
+	// run a Flush over the half-updated buffer — the planted bug for
+	// schedule exploration. While parked the writer holds only the read
+	// side of RECLAIMLOCK, so Flush (which takes LOCK(clean) alone)
+	// proceeds without blocking.
+	BugTornUpdate
 )
 
 type entry struct {
@@ -103,6 +113,23 @@ func (c *Cache) copyToCacheUnprotected(e *entry, buf []byte) {
 	}
 }
 
+// copyToCacheTorn is the BugTornUpdate copy: identical to the unprotected
+// copy but with controlled-scheduler yields in place of Gosched, so only
+// schedule exploration can park inside the window.
+func (c *Cache) copyToCacheTorn(p *vyrd.Probe, e *entry, buf []byte) {
+	if len(e.data) != len(buf) {
+		e.data = make([]byte, len(buf))
+	}
+	for i := 0; i < len(buf); i++ {
+		if c.RaceWindow != nil {
+			c.RaceWindow(e.handle, i)
+		} else if i%16 == 8 {
+			p.Yield()
+		}
+		e.data[i] = buf[i]
+	}
+}
+
 // Write stores buf under handle, through the cache (Fig. 8 WRITE). The
 // commit point depends on the path taken: a fresh dirty entry (cp1), a
 // clean entry moved to the dirty list (cp2), or an in-place update of an
@@ -138,11 +165,15 @@ func (c *Cache) Write(p *vyrd.Probe, handle int, buf []byte) {
 		c.cleanMu.Unlock()
 
 	default: // dirty entry exists: update it in place
-		if c.bug == BugUnprotectedWrite {
+		if c.bug == BugUnprotectedWrite || c.bug == BugTornUpdate {
 			c.cleanMu.Unlock()
 			// BUG: the copy should be protected by LOCK(clean); a
 			// concurrent FLUSH can snapshot the buffer mid-copy.
-			c.copyToCacheUnprotected(de, buf)
+			if c.bug == BugTornUpdate {
+				c.copyToCacheTorn(p, de, buf)
+			} else {
+				c.copyToCacheUnprotected(de, buf)
+			}
 			inv.CommitWrite("cp3", "mk-dirty", handle, logBuf)
 		} else {
 			c.copyToCache(de, buf)

@@ -24,6 +24,15 @@ const (
 // worker, and flushes happen both from application threads and the worker,
 // as in Boxwood.
 func Target(bug Bug) harness.Target {
+	return TargetSized(bug, targetHandles, bufLen)
+}
+
+// TargetSized is Target with an explicit handle-space size and buffer
+// length. Schedule exploration uses smaller sizes than the stress default:
+// shorter buffers mean fewer yields per copy (shorter schedules to search
+// and shrink) while still leaving preemption points inside the torn-copy
+// window.
+func TargetSized(bug Bug, handles, buflen int) harness.Target {
 	return harness.Target{
 		Name: "Cache",
 		New: func(log *vyrd.Log) harness.Instance {
@@ -31,20 +40,20 @@ func Target(bug Bug) harness.Target {
 			return harness.Instance{
 				Methods: []harness.Method{
 					{Name: "Write", Weight: 40, Run: func(p *vyrd.Probe, rng *rand.Rand, pick func() int) {
-						buf := make([]byte, bufLen)
+						buf := make([]byte, buflen)
 						for i := range buf {
 							buf[i] = byte(rng.Intn(256))
 						}
-						c.Write(p, pick()%targetHandles, buf)
+						c.Write(p, pick()%handles, buf)
 					}},
 					{Name: "Read", Weight: 35, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
-						c.Read(p, pick()%targetHandles)
+						c.Read(p, pick()%handles)
 					}},
 					{Name: "Flush", Weight: 15, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
 						c.Flush(p)
 					}},
 					{Name: "Revoke", Weight: 10, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
-						c.Revoke(p, pick()%targetHandles)
+						c.Revoke(p, pick()%handles)
 					}},
 				},
 				WorkerStep: func(p *vyrd.Probe) {

@@ -1,0 +1,297 @@
+// Package explore drives schedule exploration: it runs harness subjects
+// under the controlled scheduler (internal/sched) across many seeds, checks
+// each run's log for refinement violations, replays violating seeds
+// deterministically, minimizes them with the schedule shrinker, and renders
+// human-readable violation reports.
+//
+// The package sits between sched/harness and the subject registry: it knows
+// how to execute a sched.Spec against a harness.Target, but subject-name
+// resolution (bench.SubjectByName) belongs to the caller, keeping the
+// dependency order sched < harness < explore < bench < cmds.
+package explore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/vyrd"
+)
+
+// Run is the outcome of executing one schedule spec against a target.
+type Run struct {
+	Spec sched.Spec
+	// Report is the offline checker's verdict over the run's log (view
+	// mode when the target supports it, I/O mode otherwise).
+	Report *core.Report
+	// LogBytes is the run's entry log in the framed binary format
+	// (FormatVersion 2). Re-running the same spec must reproduce these
+	// bytes exactly — the determinism contract explored seeds rely on.
+	LogBytes []byte
+	// Entries is the decoded log, kept for witness rendering in reports.
+	Entries []vyrd.Entry
+	// Sched is the controlled scheduler's run stats.
+	Sched sched.Stats
+	// Methods is the number of harness operations issued.
+	Methods int64
+	// Elapsed is the wall time of the harness run (excluding checking).
+	Elapsed time.Duration
+}
+
+// Violating reports whether the run's log failed the refinement check.
+func (r *Run) Violating() bool { return len(r.Report.Violations) > 0 }
+
+// FirstKind returns the kind of the first detected violation (0 if none).
+func (r *Run) FirstKind() core.ViolationKind {
+	if len(r.Report.Violations) == 0 {
+		return 0
+	}
+	return r.Report.Violations[0].Kind
+}
+
+// Level returns the log level exploration uses for a target: view
+// refinement when the target has a replayer, I/O refinement otherwise.
+func Level(t harness.Target) vyrd.Level {
+	if t.NewReplayer != nil {
+		return vyrd.LevelView
+	}
+	return vyrd.LevelIO
+}
+
+// Mode returns the checking mode matching Level.
+func Mode(t harness.Target) core.Mode {
+	if t.NewReplayer != nil {
+		return core.ModeView
+	}
+	return core.ModeIO
+}
+
+// RunSpec executes one controlled run of sp against t and checks its log.
+// The run's interleaving — and therefore LogBytes — is a pure function of
+// the spec (unless Sched.FreeRun is set, which marks the run unusable for
+// reproduction: the target deadlocked and the valve released it).
+func RunSpec(t harness.Target, sp sched.Spec) (*Run, error) {
+	return runSpec(t, sp, false)
+}
+
+func runSpec(t harness.Target, sp sched.Spec, diagnostics bool) (*Run, error) {
+	sch := sched.New(sp.Options())
+	lvl := Level(t)
+	log := vyrd.NewLogWith(lvl, vyrd.LogOptions{})
+	var buf bytes.Buffer
+	if err := log.AttachSink(&buf); err != nil {
+		return nil, err
+	}
+	cfg := harness.Config{
+		Threads:      sp.Threads,
+		OpsPerThread: sp.Ops,
+		KeyPool:      sp.KeyPool,
+		Seed:         sp.Seed,
+		Level:        lvl,
+		Sched:        sch,
+		WorkerSteps:  sp.WorkerSteps,
+	}
+	if len(sp.Skips) > 0 {
+		skips := sp.SkipSet()
+		cfg.SkipOp = func(th, op int) bool { return skips[sched.Skip{Thread: th, Op: op}] }
+	}
+	res := harness.RunOnLog(t, cfg, log)
+	stats := sch.Wait()
+	if err := log.SinkErr(); err != nil {
+		return nil, fmt.Errorf("explore: log sink: %w", err)
+	}
+
+	entries := log.Snapshot()
+	opts := []core.Option{core.WithMode(Mode(t)), core.WithDiagnostics(diagnostics)}
+	if Mode(t) == core.ModeView {
+		opts = append(opts, core.WithReplayer(t.NewReplayer()))
+	}
+	rep, err := core.CheckEntries(entries, t.NewSpec(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{
+		Spec:     sp,
+		Report:   rep,
+		LogBytes: append([]byte(nil), buf.Bytes()...),
+		Entries:  entries,
+		Sched:    stats,
+		Methods:  res.Methods,
+		Elapsed:  res.Elapsed,
+	}, nil
+}
+
+// Found describes the first violating schedule of an exploration.
+type Found struct {
+	// SchedulesTried counts schedules executed up to and including the
+	// violating one.
+	SchedulesTried int
+	Run            *Run
+}
+
+// Stats summarizes one exploration.
+type Stats struct {
+	Schedules int
+	FreeRuns  int
+	Elapsed   time.Duration
+}
+
+// SchedulesPerSec returns the exploration throughput.
+func (s Stats) SchedulesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Schedules) / s.Elapsed.Seconds()
+}
+
+// Explore runs up to `seeds` schedules of base (seeds base.Seed,
+// base.Seed+1, ...) against t and returns the first violating one, or nil
+// when the budget is exhausted without a violation. Change points and
+// skips are re-derived per seed (a seed is a schedule). Runs that fell
+// back to free-running execution are discarded: their schedules are not
+// reproducible, so a violation found in one is not a usable counterexample.
+func Explore(t harness.Target, base sched.Spec, seeds int) (*Found, Stats, error) {
+	start := time.Now()
+	var st Stats
+	for i := 0; i < seeds; i++ {
+		sp := base
+		sp.Seed = base.Seed + int64(i)
+		sp.ChangePoints = nil
+		sp.Skips = nil
+		r, err := RunSpec(t, sp)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Schedules++
+		if r.Sched.FreeRun {
+			st.FreeRuns++
+			continue
+		}
+		if r.Violating() {
+			st.Elapsed = time.Since(start)
+			return &Found{SchedulesTried: i + 1, Run: r}, st, nil
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return nil, st, nil
+}
+
+// ShrinkRun minimizes a violating run's schedule with the delta-debugging
+// shrinker, preserving the first violation's kind, and returns the
+// minimized run (re-executed, so its Report/LogBytes describe the final
+// spec) along with the shrinker's stats.
+func ShrinkRun(t harness.Target, r *Run) (*Run, sched.ShrinkStats, error) {
+	kind := r.FirstKind()
+	min, st, err := sched.Shrink(r.Spec, func(sp sched.Spec) (sched.Outcome, error) {
+		cand, err := RunSpec(t, sp)
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		if cand.Sched.FreeRun {
+			// Unusable candidate: not reproducible. Treated as
+			// non-violating by the shrinker.
+			return sched.Outcome{}, fmt.Errorf("explore: candidate schedule fell back to free-running")
+		}
+		return sched.Outcome{
+			Violating: cand.Violating() && cand.FirstKind() == kind,
+			Steps:     cand.Sched.Steps,
+		}, nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out, err := RunSpec(t, min)
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// Stress runs the plain uncontrolled harness repeatedly with the same
+// shape and budget as an exploration, for the controlled-vs-stress
+// comparison: it returns the 1-based index of the first violating run (0
+// when none violates within the budget).
+func Stress(t harness.Target, base sched.Spec, runs int) (int, time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		cfg := harness.Config{
+			Threads:      base.Threads,
+			OpsPerThread: base.Ops,
+			KeyPool:      base.KeyPool,
+			Seed:         base.Seed + int64(i),
+			Level:        Level(t),
+		}
+		res := harness.Run(t, cfg)
+		rep, err := harness.Check(t, res, Mode(t), true)
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		if len(rep.Violations) > 0 {
+			return i + 1, time.Since(start), nil
+		}
+	}
+	return 0, time.Since(start), nil
+}
+
+// maxWitnessEntries bounds the interleaving rendered in a report; shrunk
+// schedules fit comfortably, unshrunk ones are elided past the cap.
+const maxWitnessEntries = 200
+
+// WriteReport renders a human-readable violation report for a (typically
+// shrunk) violating run: the repro string, scheduling stats, each recorded
+// violation — re-checked with diagnostics enabled, so view violations
+// carry the exact viewI/viewS diff — and the witness interleaving.
+func WriteReport(w io.Writer, t harness.Target, r *Run) error {
+	diag, err := runSpec(t, r.Spec, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "subject: %s (target %s)\n", r.Spec.Subject, t.Name)
+	fmt.Fprintf(w, "repro:   %s\n", r.Spec.Repro())
+	fmt.Fprintf(w, "sched:   %s\n", diag.Sched)
+	fmt.Fprintf(w, "log:     %d entries, %d bytes\n", len(diag.Entries), len(diag.LogBytes))
+	if len(diag.Report.Violations) == 0 {
+		fmt.Fprintf(w, "verdict: PASS (no violation)\n")
+		return nil
+	}
+	fmt.Fprintf(w, "verdict: %d violation(s), first: %s\n",
+		diag.Report.TotalViolations, diag.Report.Violations[0].Kind)
+	for i, v := range diag.Report.Violations {
+		if i == 3 {
+			fmt.Fprintf(w, "  ... %d more\n", len(diag.Report.Violations)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", v.String())
+	}
+	if len(diag.Entries) <= maxWitnessEntries {
+		fmt.Fprintf(w, "witness interleaving:\n")
+		vyrd.WriteWitness(w, diag.Entries)
+	} else {
+		fmt.Fprintf(w, "witness interleaving elided (%d entries > %d); shrink the schedule first\n",
+			len(diag.Entries), maxWitnessEntries)
+	}
+	return nil
+}
+
+// SameVerdict reports whether two runs agree byte-for-byte on the log and
+// structurally on the verdict (violation kinds at the same sequence
+// numbers) — the replay-determinism contract `vyrdx -repro` asserts.
+func SameVerdict(a, b *Run) bool {
+	if !bytes.Equal(a.LogBytes, b.LogBytes) {
+		return false
+	}
+	if len(a.Report.Violations) != len(b.Report.Violations) {
+		return false
+	}
+	for i := range a.Report.Violations {
+		va, vb := a.Report.Violations[i], b.Report.Violations[i]
+		if va.Kind != vb.Kind || va.Seq != vb.Seq || va.Method != vb.Method {
+			return false
+		}
+	}
+	return true
+}

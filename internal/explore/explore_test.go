@@ -1,0 +1,155 @@
+package explore_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+	"repro/internal/racecheck"
+	"repro/internal/sched"
+)
+
+// exploreBudget is the ISSUE 4 acceptance budget: every planted bug must
+// be found within this many schedules. The observed first-violation seeds
+// are far lower (tens of schedules); the full budget is headroom, not
+// expectation.
+const exploreBudget = 2000
+
+// findPlanted explores one planted-bug subject and fails the test if no
+// violation is found within the acceptance budget.
+func findPlanted(t *testing.T, name string) (*bench.Subject, *explore.Found) {
+	t.Helper()
+	sub, ok := bench.SubjectByName(name)
+	if !ok {
+		t.Fatalf("unknown subject %s", name)
+	}
+	found, st, err := explore.Explore(sub.Buggy, bench.ExploreSpec(name), exploreBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == nil {
+		t.Fatalf("%s: no violation within %d schedules (%d free-runs, %.0f sched/s)",
+			name, exploreBudget, st.FreeRuns, st.SchedulesPerSec())
+	}
+	t.Logf("%s: found at schedule %d (%s), steps=%d steals=%d, %.0f sched/s",
+		name, found.SchedulesTried, found.Run.FirstKind(), found.Run.Sched.Steps,
+		found.Run.Sched.Steals, st.SchedulesPerSec())
+	return &sub, found
+}
+
+// TestExploreSmoke is the CI gate for the ISSUE 4 acceptance criteria:
+// each planted-bug target is found within the schedule budget, every
+// violating seed replays to a byte-identical log and verdict, and the
+// minimized schedule still violates with the same kind and replays from
+// its repro string.
+func TestExploreSmoke(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("planted bugs are real data races; exploration runs without -race")
+	}
+	for _, name := range []string{"Multiset-TornPair", "BLinkTree-DroppedLock", "Cache-TornUpdate"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sub, found := findPlanted(t, name)
+
+			// Replay determinism: the violating seed reproduces the log
+			// byte for byte and the verdict exactly.
+			again, err := explore.RunSpec(sub.Buggy, found.Run.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.LogBytes, found.Run.LogBytes) {
+				t.Fatalf("violating seed did not replay to identical log bytes (%d vs %d)",
+					len(again.LogBytes), len(found.Run.LogBytes))
+			}
+			if !explore.SameVerdict(again, found.Run) {
+				t.Fatal("violating seed did not replay to the same verdict")
+			}
+
+			// Shrinking: the minimized schedule still violates identically.
+			min, shr, err := explore.ShrinkRun(sub.Buggy, found.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: shrink %d -> %d steps (%d runs, %d ops dropped, cps %d -> %d, wsteps %d -> %d)",
+				name, shr.StepsBefore, shr.StepsAfter, shr.Runs, shr.OpsDropped,
+				shr.ChangePointsBefore, shr.ChangePointsAfter,
+				shr.WorkerStepsBefore, shr.WorkerStepsAfter)
+			if !min.Violating() || min.FirstKind() != found.Run.FirstKind() {
+				t.Fatalf("minimized schedule lost the violation: violating=%v kind=%v",
+					min.Violating(), min.FirstKind())
+			}
+
+			// The repro string round-trips and replays to the same verdict.
+			sp, err := sched.ParseRepro(min.Spec.Repro())
+			if err != nil {
+				t.Fatalf("minimized repro does not parse: %v", err)
+			}
+			replay, err := explore.RunSpec(sub.Buggy, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !explore.SameVerdict(replay, min) {
+				t.Fatal("repro string did not replay to the same verdict")
+			}
+
+			// The report renders without error and names the violation.
+			var report strings.Builder
+			if err := explore.WriteReport(&report, sub.Buggy, min); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"repro:", "verdict:", min.FirstKind().String()} {
+				if !strings.Contains(report.String(), want) {
+					t.Errorf("report missing %q:\n%s", want, report.String())
+				}
+			}
+		})
+	}
+}
+
+// TestShrinkHalvesScheduleLength is the acceptance criterion that the
+// shrinker reduces violating schedule length by >= 50% on at least two
+// exemplars.
+func TestShrinkHalvesScheduleLength(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("planted bugs are real data races; exploration runs without -race")
+	}
+	halved := 0
+	for _, name := range []string{"Multiset-TornPair", "BLinkTree-DroppedLock"} {
+		sub, found := findPlanted(t, name)
+		_, shr, err := explore.ShrinkRun(sub.Buggy, found.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d -> %d steps", name, shr.StepsBefore, shr.StepsAfter)
+		if shr.StepsAfter*2 <= shr.StepsBefore {
+			halved++
+		}
+	}
+	if halved < 2 {
+		t.Errorf("shrinker halved schedule length on %d/2 exemplars", halved)
+	}
+}
+
+// TestCorrectTargetsStayClean guards against false positives: the correct
+// implementations must pass the checker under controlled schedules too.
+func TestCorrectTargetsStayClean(t *testing.T) {
+	for _, s := range bench.ExplorationSubjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			base := bench.ExploreSpec(s.Name)
+			found, st, err := explore.Explore(s.Correct, base, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found != nil {
+				t.Fatalf("correct implementation flagged at schedule %d: %v",
+					found.SchedulesTried, found.Run.Report.Violations[0])
+			}
+			if st.FreeRuns == st.Schedules {
+				t.Error("every schedule fell back to free-running")
+			}
+		})
+	}
+}

@@ -8,11 +8,14 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/vyrd"
 )
 
@@ -57,6 +60,25 @@ type Config struct {
 	// LogOptions tunes the log's storage pipeline (segment size, truncation,
 	// bounded-memory window) for logs created by Run.
 	LogOptions vyrd.LogOptions
+
+	// Sched, when non-nil, runs the harness under the controlled scheduler:
+	// every application thread (and the maintenance worker) registers as a
+	// task and yields at each probe action, so the interleaving — and
+	// therefore the log, byte for byte — is determined by the scheduler's
+	// seed instead of the OS. The scheduler must be fresh (not started);
+	// the harness registers its tasks and starts it. The caller owns
+	// Sched.Wait for the run's scheduling stats.
+	Sched *sched.Scheduler
+	// SkipOp, when non-nil under Sched, drops operation op of thread
+	// thread. Each operation draws its randomness from (Seed, thread, op),
+	// so a skip does not perturb the remaining operations — the seam the
+	// schedule shrinker uses to delete whole harness operations.
+	SkipOp func(thread, op int) bool
+	// WorkerSteps bounds the maintenance worker's iterations under Sched
+	// (uncontrolled runs pace the worker by wall clock instead); 0 means
+	// Threads*OpsPerThread. The worker also stops as soon as every
+	// application task has finished.
+	WorkerSteps int
 }
 
 // withDefaults fills unset fields.
@@ -110,6 +132,10 @@ func RunOnLog(t Target, cfg Config, log *vyrd.Log) Result {
 	}
 	if totalWeight == 0 {
 		panic("harness: target has no weighted methods")
+	}
+
+	if cfg.Sched != nil {
+		return runControlled(inst, cfg, log, pool, totalWeight)
 	}
 
 	stopWorker := make(chan struct{})
@@ -176,6 +202,114 @@ func RunOnLog(t Target, cfg Config, log *vyrd.Log) Result {
 		Log:      log,
 		Elapsed:  elapsed,
 		Methods:  int64(cfg.Threads) * int64(cfg.OpsPerThread),
+		LogStats: log.Stats(),
+	}
+}
+
+// opRNG derives the random stream for one harness operation. Keying it on
+// (seed, thread, op) — rather than advancing one per-thread stream — means
+// skipping an operation (Config.SkipOp) leaves every other operation's
+// draws unchanged, which the schedule shrinker relies on.
+func opRNG(seed int64, th, op int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(th)*1_000_003 + int64(op)*7919 + 12289))
+}
+
+// runControlled is the Config.Sched execution path: the same operation mix
+// as the uncontrolled loop, but application threads and the maintenance
+// worker run as scheduler tasks, parking at every probe action and at the
+// top of every operation. All log appends therefore happen while holding
+// the scheduling token, so the interleaving — and the log bytes — are a
+// pure function of the scheduler's seed.
+func runControlled(inst Instance, cfg Config, log *vyrd.Log, pool []int, totalWeight int) Result {
+	sch := cfg.Sched
+
+	// Register in a fixed order (threads ascending, then the worker):
+	// registration order maps tasks to seed-derived priorities, so it is
+	// part of the schedule.
+	tasks := make([]*sched.Task, cfg.Threads)
+	for th := range tasks {
+		tasks[th] = sch.Register(fmt.Sprintf("t%d", th))
+	}
+	var worker *sched.Task
+	if inst.WorkerStep != nil {
+		worker = sch.RegisterDaemon("worker")
+	}
+
+	start := time.Now()
+	var methods int64
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		p := log.NewProbe()
+		task := tasks[th]
+		p.SetYield(task.Yield)
+		th := th
+		go func() {
+			defer wg.Done()
+			defer task.Done()
+			issued := int64(0)
+			for op := 0; op < cfg.OpsPerThread; op++ {
+				// Operation boundary: park even if the op is skipped (or
+				// its method logs nothing), so every task reaches the
+				// scheduler's start barrier and op boundaries are
+				// scheduling points.
+				task.Yield()
+				if cfg.SkipOp != nil && cfg.SkipOp(th, op) {
+					continue
+				}
+				rng := opRNG(cfg.Seed, th, op)
+				limit := len(pool)
+				if cfg.Shrink {
+					progress := float64(op) / float64(cfg.OpsPerThread)
+					limit = int(float64(len(pool)) * (1.0 - 0.8*progress))
+					if limit < 1 {
+						limit = 1
+					}
+				}
+				pick := func() int { return pool[rng.Intn(limit)] }
+				w := rng.Intn(totalWeight)
+				for _, m := range inst.Methods {
+					if w < m.Weight {
+						m.Run(p, rng, pick)
+						break
+					}
+					w -= m.Weight
+				}
+				issued++
+			}
+			atomic.AddInt64(&methods, issued)
+		}()
+	}
+	if worker != nil {
+		wg.Add(1)
+		wp := log.NewWorkerProbe()
+		wp.SetYield(worker.Yield)
+		steps := cfg.WorkerSteps
+		if steps <= 0 {
+			steps = cfg.Threads * cfg.OpsPerThread
+		}
+		go func() {
+			defer wg.Done()
+			defer worker.Done()
+			for i := 0; i < steps; i++ {
+				worker.Yield()
+				if sch.AppQuiesced() {
+					return
+				}
+				inst.WorkerStep(wp)
+			}
+		}()
+	}
+
+	sch.Start()
+	wg.Wait()
+	elapsed := time.Since(start)
+	log.Close()
+
+	return Result{
+		Log:      log,
+		Elapsed:  elapsed,
+		Methods:  methods,
 		LogStats: log.Stats(),
 	}
 }

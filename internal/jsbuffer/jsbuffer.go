@@ -109,6 +109,7 @@ func (b *Buffers) AppendBuffer(p *vyrd.Probe, dst, src int) error {
 		} else {
 			runtime.Gosched() // model preemption in the race window
 		}
+		p.Yield() // controlled-scheduler preemption point inside the race window
 		copied, ok := s.getChars(n)
 		d.mu.Lock()
 		if !ok {

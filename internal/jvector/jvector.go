@@ -180,6 +180,7 @@ func (v *Vector) LastIndexOf(p *vyrd.Probe, x int) (int, error) {
 		} else {
 			runtime.Gosched() // model preemption in the race window
 		}
+		p.Yield() // controlled-scheduler preemption point inside the race window
 		v.mu.Lock()
 		if start >= v.count {
 			// java.util.Vector.lastIndexOf(Object, int) throws when the

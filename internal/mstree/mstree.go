@@ -114,6 +114,7 @@ func (m *Multiset) Insert(p *vyrd.Probe, x int) bool {
 				} else {
 					runtime.Gosched() // model preemption in the race window
 				}
+				p.Yield() // controlled-scheduler preemption point inside the race window
 				cur.child[dir] = n
 				inv.CommitWrite("link", "link", cur.id, dir, n.id)
 			} else {

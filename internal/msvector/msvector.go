@@ -74,11 +74,18 @@ func (m *Multiset) Len() int {
 }
 
 // grow appends fresh slots, doubling the vector, and returns the index of
-// the first new slot. Caller must not hold the header lock.
-func (m *Multiset) grow() int {
+// the first new slot. seen is the length the caller observed when its scan
+// failed: if the vector has already grown past it (a concurrent grower got
+// here first), grow does nothing — otherwise N threads failing a scan of
+// the same full vector would stack N doublings. Caller must not hold the
+// header lock.
+func (m *Multiset) grow(seen int) int {
 	m.header.Lock()
 	defer m.header.Unlock()
 	first := len(m.slots)
+	if first > seen {
+		return first
+	}
 	n := len(m.slots)
 	if n == 0 {
 		n = 4
@@ -105,6 +112,7 @@ func (m *Multiset) findSlot(p *vyrd.Probe, x int) int {
 					} else {
 						runtime.Gosched() // model preemption in the race window
 					}
+					p.Yield() // controlled-scheduler preemption point inside the race window
 					s.mu.Lock()
 					s.occupied = true
 					s.elt = x
@@ -127,7 +135,7 @@ func (m *Multiset) findSlot(p *vyrd.Probe, x int) int {
 			s.mu.Unlock()
 		}
 		m.header.RUnlock()
-		m.grow()
+		m.grow(n)
 	}
 	return -1
 }

@@ -39,6 +39,14 @@ const (
 	// the discrepancy surfaces through observers that see the dirty state
 	// the witness interleaving cannot produce.
 	BugDirtyPairVisibility
+	// BugTornPair is BugDirtyPairVisibility without the explicit
+	// runtime.Gosched widening the race window: the torn state (x valid, y
+	// not yet) is exposed only for the handful of instructions between the
+	// two unprotected writes, so wall-clock stress essentially never
+	// observes it. The window does contain probe actions, though, so the
+	// controlled scheduler (internal/sched) can park the writer inside it
+	// and run an observer — the planted bug for schedule exploration.
+	BugTornPair
 )
 
 type slot struct {
@@ -106,6 +114,7 @@ func (m *Multiset) findSlotBuggy(p *vyrd.Probe, x int) int {
 				// race unschedulable.
 				runtime.Gosched()
 			}
+			p.Yield() // controlled-scheduler preemption point inside the race window
 			s.mu.Lock()
 			s.occupied = true
 			s.elt = x
@@ -165,18 +174,21 @@ func (m *Multiset) InsertPair(p *vyrd.Probe, x, y int) bool {
 		inv.Return(false)
 		return false
 	}
-	if m.bug == BugDirtyPairVisibility {
+	if m.bug == BugDirtyPairVisibility || m.bug == BugTornPair {
 		// BUG: the valid bits are set without the slot locks (and hence
 		// without commit-block atomicity); between the two writes the
 		// multiset exposes a state containing x but not y.
 		inv.BeginCommitBlock()
 		m.slots[i].valid = true
 		p.Write("slot-valid", i, true)
-		if m.RaceWindow != nil {
-			m.RaceWindow(j)
-		} else {
-			runtime.Gosched() // model preemption between the two writes
+		if m.bug == BugDirtyPairVisibility {
+			if m.RaceWindow != nil {
+				m.RaceWindow(j)
+			} else {
+				runtime.Gosched() // model preemption between the two writes
+			}
 		}
+		p.Yield() // controlled-scheduler preemption point inside the torn window
 		m.slots[j].valid = true
 		p.Write("slot-valid", j, true)
 		inv.Commit("pair")

@@ -1,0 +1,490 @@
+// Package sched implements controlled schedule exploration for the test
+// harness: a cooperative scheduler that serializes the harness's worker
+// goroutines and decides, at every instrumentation boundary, which one runs
+// next. VYRD checks a *single* observed execution (Section 7); left to the
+// OS scheduler, a stress harness keeps re-observing the same lucky
+// interleavings and rare refinement violations go unseen. Driving the
+// interleaving from a seeded pseudo-random scheduler turns the existing
+// harness + checker pipeline into a reproducible bug-finding tool: an int64
+// seed fully determines the schedule, so a violating seed *is* a
+// counterexample that replays to the identical entry log and verdict.
+//
+// # Scheduling model
+//
+// Worker goroutines register as tasks and yield to the scheduler at every
+// probe action (the vyrd.Probe seam: call, write, commit, return, block
+// markers — see vyrd.Probe.SetYield), so no new annotation burden is placed
+// on implementations. Exactly one task runs between two scheduling points;
+// everyone else is parked. At each decision the scheduler grants the
+// highest-priority parked task, PCT-style (Burckhardt et al., "A
+// Randomized Scheduler with Probabilistic Guarantees of Finding Bugs",
+// ASPLOS 2010): tasks get distinct random initial priorities drawn from the
+// seed, and at d seed-chosen decision indices ("priority change points")
+// the task about to run is demoted below everyone else, forcing a
+// preemption exactly there. A schedule of length k with a bug requiring d
+// ordering constraints is found with probability >= 1/(n·k^(d-1)).
+//
+// # Blocking, steals, and determinism
+//
+// Implementations take real sync.Mutex locks, and probe actions occur
+// inside critical sections, so the granted task can block on a lock whose
+// holder is parked at a scheduling point. The scheduler cannot observe
+// lock state; it detects the situation by timeout (StealTimeout) and
+// *steals* the turn: the blocked task is marked in-limbo and the
+// next-highest parked task runs. A limbo task rejoins the parked set at
+// its next scheduling point (it dashes there as soon as the lock is
+// released, without appending anything to the log — probes yield *before*
+// they append). Before every decision made while limbo tasks exist, the
+// scheduler waits a short Grace for dashing tasks to park, so the decision
+// set is a deterministic function of the token history rather than of dash
+// timing. Both mechanisms are structural: whether a task blocks, and when
+// its lock is released, depend only on the sequence of grants, so
+// re-running a seed reproduces the same steals, the same decisions, and a
+// byte-identical log. (The timeouts only bound *detection* of the
+// structural facts; they must merely exceed the longest straight-line
+// stretch between two scheduling points.)
+//
+// If every live task is blocked (a genuine deadlock in the target — a real
+// finding), the scheduler waits DeadlockTimeout, then releases all tasks
+// into free-running (uncontrolled) execution so the run can terminate; the
+// run is flagged FreeRun and its schedule is not reproducible.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options. The steal timeout must exceed the longest
+// straight-line computation between two scheduling points (typically
+// microseconds); the grace must exceed a limbo task's dash from lock
+// release to its next scheduling point (also microseconds). Generous
+// multiples keep the structural-determinism argument robust to OS jitter.
+const (
+	DefaultStealTimeout    = 1 * time.Millisecond
+	DefaultGrace           = 300 * time.Microsecond
+	DefaultDeadlockTimeout = 2 * time.Second
+)
+
+// cpSalt decorrelates the change-point stream from the priority stream, so
+// supplying an explicit change-point list (e.g. a shrunk one) leaves the
+// seed-derived task priorities untouched.
+const cpSalt = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+
+// Options parameterizes one controlled run.
+type Options struct {
+	// Seed determines task priorities and (when ChangePoints is nil) the
+	// priority change points. A seed is a schedule.
+	Seed int64
+	// D is the number of priority change points (the PCT depth parameter:
+	// bugs needing d ordering constraints want d-1 change points; 3 is a
+	// good default for the planted two-constraint races).
+	D int
+	// K is the schedule-length estimate change points are sampled from
+	// ([1, K]); decisions past K run without further preemption.
+	K int
+	// ChangePoints, when non-nil, is the explicit list of decision indices
+	// at which the about-to-run task is demoted. nil derives D points from
+	// Seed. The shrinker edits this list.
+	ChangePoints []int
+	// StealTimeout bounds how long the scheduler waits for the granted
+	// task to reach a scheduling point before concluding it is blocked.
+	StealTimeout time.Duration
+	// Grace bounds how long each decision waits for in-limbo tasks to
+	// reach a scheduling point.
+	Grace time.Duration
+	// DeadlockTimeout bounds how long the scheduler waits with no
+	// grantable task before bailing out to free-running execution.
+	DeadlockTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 1 {
+		o.K = 512
+	}
+	if o.D < 0 {
+		o.D = 0
+	}
+	if o.StealTimeout <= 0 {
+		o.StealTimeout = DefaultStealTimeout
+	}
+	if o.Grace <= 0 {
+		o.Grace = DefaultGrace
+	}
+	if o.DeadlockTimeout <= 0 {
+		o.DeadlockTimeout = DefaultDeadlockTimeout
+	}
+	return o
+}
+
+// DeriveChangePoints returns the d distinct decision indices in [1, k]
+// that seed selects as priority change points, ascending. It is the pure
+// function behind Options.ChangePoints == nil, exposed so repro strings
+// can materialize the list (and shrinkers can then edit it) without
+// running anything.
+func DeriveChangePoints(seed int64, d, k int) []int {
+	if k < 2 {
+		k = 2
+	}
+	if d > k {
+		d = k
+	}
+	if d <= 0 {
+		return []int{}
+	}
+	rng := rand.New(rand.NewSource(seed ^ cpSalt))
+	seen := make(map[int]bool, d)
+	cps := make([]int, 0, d)
+	for len(cps) < d {
+		s := 1 + rng.Intn(k)
+		if !seen[s] {
+			seen[s] = true
+			cps = append(cps, s)
+		}
+	}
+	sort.Ints(cps)
+	return cps
+}
+
+// Stats summarizes one controlled run.
+type Stats struct {
+	// Tasks is the number of registered tasks.
+	Tasks int
+	// Steps counts scheduling decisions (grants); it is the schedule
+	// length the shrinker minimizes.
+	Steps int64
+	// Demotions counts priority change points that actually fired.
+	Demotions int64
+	// Steals counts turns stolen from a blocked task.
+	Steals int64
+	// LimboParks counts stolen tasks rejoining at a scheduling point.
+	LimboParks int64
+	// FreeRun is true when the deadlock valve released all tasks into
+	// uncontrolled execution; the run is then not reproducible.
+	FreeRun bool
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d steps=%d demotions=%d steals=%d freerun=%v",
+		s.Tasks, s.Steps, s.Demotions, s.Steals, s.FreeRun)
+}
+
+type taskState uint8
+
+const (
+	stateNew taskState = iota
+	stateParked
+	stateRunning
+	stateLimbo
+	stateDone
+)
+
+// Task is one registered worker goroutine. The goroutine it belongs to
+// calls Yield at scheduling points and Done exactly once when finished.
+type Task struct {
+	s      *Scheduler
+	id     int
+	name   string
+	daemon bool
+	grant  chan struct{}
+
+	// Owned by the scheduler loop after Start.
+	state taskState
+	prio  int
+}
+
+// Name returns the task's registration name.
+func (t *Task) Name() string { return t.name }
+
+type evKind uint8
+
+const (
+	evPark evKind = iota
+	evDone
+)
+
+type ev struct {
+	t    *Task
+	kind evKind
+}
+
+// maxTasks bounds registration so that the event channel (at most one
+// outstanding event per task) can never block a sender.
+const maxTasks = 255
+
+// Scheduler is the controlled-concurrency scheduler for one run. Create
+// with New, Register all tasks, Start, and Wait after the tasks finish.
+type Scheduler struct {
+	opts Options
+
+	mu      sync.Mutex
+	tasks   []*Task
+	started bool
+
+	events  chan ev
+	free    chan struct{} // closed to release everyone into free-running
+	freeRun atomic.Bool
+	appLive atomic.Int32
+	done    chan struct{}
+
+	// Owned by the scheduler loop.
+	cps       map[int]int // decision index -> change-point ordinal
+	stats     Stats
+	limbo     int
+	liveCount int
+}
+
+// New returns a scheduler for one run. A zero Options{} is valid (seed 0,
+// no change points derived unless D > 0).
+func New(o Options) *Scheduler {
+	o = o.withDefaults()
+	if o.ChangePoints == nil {
+		o.ChangePoints = DeriveChangePoints(o.Seed, o.D, o.K)
+	}
+	s := &Scheduler{
+		opts:   o,
+		events: make(chan ev, maxTasks+1),
+		free:   make(chan struct{}),
+		done:   make(chan struct{}),
+		cps:    make(map[int]int, len(o.ChangePoints)),
+	}
+	for i, cp := range o.ChangePoints {
+		s.cps[cp] = i
+	}
+	return s
+}
+
+// ChangePoints returns the effective change-point list (explicit or
+// seed-derived), ascending; callers must not mutate it.
+func (s *Scheduler) ChangePoints() []int { return s.opts.ChangePoints }
+
+// Register adds an application task. All registration must happen before
+// Start, from a single goroutine, in a deterministic order: the order is
+// part of the schedule.
+func (s *Scheduler) Register(name string) *Task { return s.register(name, false) }
+
+// RegisterDaemon adds an internal maintenance task (a Tid_ds thread, e.g.
+// a compression daemon). Daemon completion does not gate AppQuiesced.
+func (s *Scheduler) RegisterDaemon(name string) *Task { return s.register(name, true) }
+
+func (s *Scheduler) register(name string, daemon bool) *Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("sched: Register after Start")
+	}
+	if len(s.tasks) >= maxTasks {
+		panic("sched: too many tasks")
+	}
+	t := &Task{s: s, id: len(s.tasks), name: name, daemon: daemon, grant: make(chan struct{}, 1)}
+	s.tasks = append(s.tasks, t)
+	if !daemon {
+		s.appLive.Add(1)
+	}
+	return t
+}
+
+// Start assigns seed-derived priorities and launches the decision loop.
+// Task goroutines may already be running (they block at their first
+// scheduling point); the loop waits for every task to park or finish once
+// before the first decision, so startup timing cannot influence it.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("sched: Start called twice")
+	}
+	s.started = true
+	tasks := s.tasks
+	s.mu.Unlock()
+
+	perm := rand.New(rand.NewSource(s.opts.Seed)).Perm(len(tasks))
+	for i, t := range tasks {
+		t.prio = perm[i] + 1
+	}
+	s.liveCount = len(tasks)
+	go s.loop()
+}
+
+// Wait blocks until every registered task has called Done (or the
+// scheduler had nothing to do) and returns the run's stats.
+func (s *Scheduler) Wait() Stats {
+	<-s.done
+	return s.stats
+}
+
+// AppQuiesced reports whether every application (non-daemon) task has
+// finished. Daemon loops use it as their termination condition; reading it
+// between scheduling points is deterministic because Done events are
+// processed in token order.
+func (s *Scheduler) AppQuiesced() bool { return s.appLive.Load() == 0 }
+
+// Yield parks the calling task at a scheduling point until the scheduler
+// grants it the next turn. Safe on a nil task (no-op), so uncontrolled
+// runs can share code paths with controlled ones.
+func (t *Task) Yield() {
+	if t == nil {
+		return
+	}
+	s := t.s
+	if s.freeRun.Load() {
+		return
+	}
+	s.events <- ev{t, evPark}
+	select {
+	case <-t.grant:
+	case <-s.free:
+	}
+}
+
+// Done marks the task finished. Must be called exactly once, after the
+// task's last scheduling point.
+func (t *Task) Done() {
+	if t == nil {
+		return
+	}
+	t.s.events <- ev{t, evDone}
+}
+
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	s.stats.Tasks = s.liveCount
+
+	// Start barrier: every task parks at its first scheduling point (or
+	// finishes outright) before the first decision, so the initial pick
+	// sees the full task set regardless of goroutine startup timing.
+	for pending := s.liveCount; pending > 0; pending-- {
+		s.handle(<-s.events)
+	}
+
+	for s.liveCount > 0 {
+		if s.freeRun.Load() {
+			s.handle(<-s.events)
+			continue
+		}
+		if s.limbo > 0 {
+			// Let stolen tasks that the previous turn may have unblocked
+			// dash to their next scheduling point, so the decision set
+			// depends on the token history, not on dash timing.
+			s.graceWait()
+		}
+		t := s.pick()
+		if t == nil {
+			// No task is at a scheduling point: either a limbo task is
+			// still dashing, or every live task is blocked — a genuine
+			// deadlock in the target. Wait, then open the valve so the
+			// run can terminate.
+			select {
+			case e := <-s.events:
+				s.handle(e)
+			case <-time.After(s.opts.DeadlockTimeout):
+				s.enterFreeRun()
+			}
+			continue
+		}
+		t.state = stateRunning
+		t.grant <- struct{}{}
+		s.await(t)
+	}
+}
+
+// graceWait drains limbo parks for up to Grace.
+func (s *Scheduler) graceWait() {
+	deadline := time.NewTimer(s.opts.Grace)
+	defer deadline.Stop()
+	for s.limbo > 0 {
+		select {
+		case e := <-s.events:
+			s.handle(e)
+		case <-deadline.C:
+			return
+		}
+	}
+}
+
+// pick selects the next task: the highest-priority parked one, after
+// applying a pending change-point demotion to the task about to run.
+func (s *Scheduler) pick() *Task {
+	best := s.best()
+	if best == nil {
+		return nil
+	}
+	s.stats.Steps++
+	if i, ok := s.cps[int(s.stats.Steps)]; ok {
+		// PCT change point: demote the task that was about to run below
+		// every base priority, forcing a preemption here. Ordinal-indexed
+		// values keep all priorities distinct.
+		best.prio = -(i + 1)
+		s.stats.Demotions++
+		best = s.best()
+	}
+	return best
+}
+
+func (s *Scheduler) best() *Task {
+	var best *Task
+	for _, t := range s.tasks {
+		if t.state == stateParked && (best == nil || t.prio > best.prio) {
+			best = t
+		}
+	}
+	return best
+}
+
+// await waits for the granted task to reach its next scheduling point (or
+// finish), stealing the turn if it appears blocked.
+func (s *Scheduler) await(t *Task) {
+	timer := time.NewTimer(s.opts.StealTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case e := <-s.events:
+			s.handle(e)
+			if e.t == t {
+				return
+			}
+		case <-timer.C:
+			// The granted task has not reached a scheduling point within
+			// the steal timeout: it is blocked on an implementation lock
+			// whose holder is parked. Steal the turn; the task rejoins at
+			// its next scheduling point once the lock is released.
+			t.state = stateLimbo
+			s.limbo++
+			s.stats.Steals++
+			return
+		}
+	}
+}
+
+func (s *Scheduler) handle(e ev) {
+	t := e.t
+	switch e.kind {
+	case evPark:
+		if t.state == stateLimbo {
+			s.limbo--
+			s.stats.LimboParks++
+		}
+		t.state = stateParked
+	case evDone:
+		if t.state == stateLimbo {
+			s.limbo--
+		}
+		t.state = stateDone
+		s.liveCount--
+		if !t.daemon {
+			s.appLive.Add(-1)
+		}
+	}
+}
+
+// enterFreeRun releases every task into uncontrolled execution. Used only
+// by the deadlock valve; the run's schedule is no longer reproducible.
+func (s *Scheduler) enterFreeRun() {
+	s.stats.FreeRun = true
+	s.freeRun.Store(true)
+	close(s.free)
+}

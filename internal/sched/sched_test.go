@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDeriveChangePoints(t *testing.T) {
+	cps := DeriveChangePoints(42, 5, 100)
+	if len(cps) != 5 {
+		t.Fatalf("want 5 change points, got %v", cps)
+	}
+	seen := map[int]bool{}
+	for i, cp := range cps {
+		if cp < 1 || cp > 100 {
+			t.Errorf("change point %d outside [1,100]", cp)
+		}
+		if seen[cp] {
+			t.Errorf("duplicate change point %d", cp)
+		}
+		seen[cp] = true
+		if i > 0 && cps[i-1] >= cp {
+			t.Errorf("not ascending: %v", cps)
+		}
+	}
+	if again := DeriveChangePoints(42, 5, 100); !reflect.DeepEqual(cps, again) {
+		t.Errorf("not deterministic: %v vs %v", cps, again)
+	}
+	if other := DeriveChangePoints(43, 5, 100); reflect.DeepEqual(cps, other) {
+		t.Errorf("seed does not influence change points: %v", cps)
+	}
+	if got := DeriveChangePoints(1, 0, 100); len(got) != 0 {
+		t.Errorf("d=0 should derive no points, got %v", got)
+	}
+	// d > k clamps rather than spinning forever on a small sample space.
+	if got := DeriveChangePoints(1, 50, 10); len(got) != 10 {
+		t.Errorf("d>k should clamp to k, got %d points", len(got))
+	}
+}
+
+// TestMutualExclusion pins the core property: between two scheduling
+// points exactly one registered task runs, so a counter incremented
+// non-atomically at every step never misses an update.
+func TestMutualExclusion(t *testing.T) {
+	s := New(Options{Seed: 7, D: 3, K: 100})
+	const tasks, steps = 4, 25
+	var running int32
+	counter := 0 // intentionally unsynchronized: the scheduler serializes
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		task := s.Register("t")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer task.Done()
+			for j := 0; j < steps; j++ {
+				task.Yield()
+				if n := atomic.AddInt32(&running, 1); n != 1 {
+					t.Errorf("%d tasks running concurrently", n)
+				}
+				counter++
+				atomic.AddInt32(&running, -1)
+			}
+		}()
+	}
+	s.Start()
+	wg.Wait()
+	st := s.Wait()
+	if counter != tasks*steps {
+		t.Errorf("lost updates: counter=%d want %d", counter, tasks*steps)
+	}
+	if st.Steps != tasks*steps {
+		t.Errorf("steps=%d want %d", st.Steps, tasks*steps)
+	}
+	if st.FreeRun {
+		t.Error("unexpected free run")
+	}
+	if st.Demotions == 0 {
+		t.Error("no change point fired in a 100-step schedule with d=3")
+	}
+}
+
+// TestSeedChangesOrder pins that different seeds produce different
+// interleavings (priorities actually matter).
+func TestSeedChangesOrder(t *testing.T) {
+	order := func(seed int64) []int {
+		s := New(Options{Seed: seed, D: 0, K: 50})
+		var mu sync.Mutex
+		var got []int
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			task := s.Register("t")
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer task.Done()
+				for j := 0; j < 4; j++ {
+					task.Yield()
+					mu.Lock()
+					got = append(got, i)
+					mu.Unlock()
+				}
+			}()
+		}
+		s.Start()
+		wg.Wait()
+		s.Wait()
+		return got
+	}
+	a0, a0again := order(0), order(0)
+	if !reflect.DeepEqual(a0, a0again) {
+		t.Fatalf("same seed, different order: %v vs %v", a0, a0again)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		if b := order(seed); !reflect.DeepEqual(a0, b) {
+			return // found a differing schedule, as expected
+		}
+	}
+	t.Error("seeds 0..8 all produced the identical interleaving")
+}
+
+// TestStealOnBlockedTask pins the steal mechanism: a granted task that
+// blocks on a mutex held by a parked task must not wedge the scheduler —
+// the turn is stolen, the holder eventually releases, and the run
+// completes without the deadlock valve.
+func TestStealOnBlockedTask(t *testing.T) {
+	s := New(Options{Seed: 3, D: 0, K: 100, StealTimeout: 2 * time.Millisecond})
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	holder := s.Register("holder")
+	blocker := s.Register("blocker")
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer holder.Done()
+		holder.Yield()
+		mu.Lock()
+		holder.Yield() // parked while holding mu: the other task will block
+		holder.Yield()
+		mu.Unlock()
+		holder.Yield()
+	}()
+	go func() {
+		defer wg.Done()
+		defer blocker.Done()
+		blocker.Yield()
+		mu.Lock() // blocks whenever the holder is parked inside its critical section
+		mu.Unlock()
+		blocker.Yield()
+	}()
+	s.Start()
+	done := make(chan Stats, 1)
+	go func() { wg.Wait(); done <- s.Wait() }()
+	select {
+	case st := <-done:
+		if st.FreeRun {
+			t.Errorf("deadlock valve fired; steal should have resolved the block: %+v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler wedged on a blocked grant")
+	}
+}
+
+// TestDeadlockValve pins the last-resort behavior: when the target
+// genuinely deadlocks, the scheduler releases all tasks into free-running
+// mode and flags the run instead of hanging.
+func TestDeadlockValve(t *testing.T) {
+	s := New(Options{Seed: 1, D: 0, K: 10,
+		StealTimeout: time.Millisecond, DeadlockTimeout: 50 * time.Millisecond})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		task := s.Register("t")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer task.Done()
+			task.Yield()
+			<-release // unschedulable by the token: external dependency
+			task.Yield()
+		}()
+	}
+	s.Start()
+	valve := make(chan Stats, 1)
+	go func() { wg.Wait(); valve <- s.Wait() }()
+	select {
+	case st := <-valve:
+		t.Fatalf("run finished without the valve? %+v", st)
+	case <-time.After(300 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case st := <-valve:
+		if !st.FreeRun {
+			t.Errorf("FreeRun not flagged: %+v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("valve did not release the run")
+	}
+}
+
+// TestAppQuiesced pins that daemons observe application completion.
+func TestAppQuiesced(t *testing.T) {
+	s := New(Options{Seed: 5, D: 0, K: 100})
+	var wg sync.WaitGroup
+	app := s.Register("app")
+	daemon := s.RegisterDaemon("daemon")
+	daemonIters := 0
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer app.Done()
+		for i := 0; i < 3; i++ {
+			app.Yield()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer daemon.Done()
+		for i := 0; i < 1000; i++ {
+			daemon.Yield()
+			if s.AppQuiesced() {
+				return
+			}
+			daemonIters++
+		}
+	}()
+	s.Start()
+	wg.Wait()
+	st := s.Wait()
+	if daemonIters >= 1000 {
+		t.Error("daemon never observed AppQuiesced")
+	}
+	if st.FreeRun {
+		t.Error("unexpected free run")
+	}
+}
+
+// TestNilTaskYield pins that nil tasks and probes without schedulers are
+// no-ops, so uncontrolled runs share the controlled code path safely.
+func TestNilTaskYield(t *testing.T) {
+	var task *Task
+	task.Yield()
+	task.Done()
+}

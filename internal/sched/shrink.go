@@ -1,0 +1,231 @@
+package sched
+
+// Delta-debugging shrinker for violating schedules. Given a Spec whose run
+// violates, it searches for a locally-minimal variant that still violates
+// in the same way, in two phases:
+//
+//  1. ddmin over the change-point list (Zeller/Hildebrandt): try dropping
+//     chunks of preemption points, halving chunk size on failure, until no
+//     single point can be removed. Fewer preemptions = fewer places a
+//     human must look at in the witness interleaving.
+//  2. greedy operation dropping: try skipping each (thread, op) harness
+//     operation, keeping skips that preserve the violation, to fixpoint.
+//     The harness derives each op's randomness from (seed, thread, op), so
+//     dropping one op does not perturb the others.
+//  3. worker-step reduction: try collapsing the maintenance daemon's
+//     iteration budget (whose passes often dominate schedule length) to 1,
+//     then by halving.
+//
+// A final ddmin pass over change points catches points made redundant by
+// dropped ops. The predicate "still violates in the same way" is supplied
+// by the caller (typically: first violation has the same Kind), so the
+// shrinker never trades the bug under study for a different one.
+
+// Outcome is what one run of a candidate spec reports back to the shrinker.
+type Outcome struct {
+	// Violating is true when the run still exhibits the violation being
+	// minimized (same kind as the original, caller-defined).
+	Violating bool
+	// Steps is the schedule length (Stats.Steps); the quantity minimized.
+	Steps int64
+}
+
+// RunFunc executes a candidate spec and classifies it. An error marks the
+// candidate unusable (e.g. the run went free-run); it is treated as
+// non-violating and skipped.
+type RunFunc func(Spec) (Outcome, error)
+
+// ShrinkStats reports what the shrinker accomplished.
+type ShrinkStats struct {
+	Runs               int
+	StepsBefore        int64
+	StepsAfter         int64
+	ChangePointsBefore int
+	ChangePointsAfter  int
+	OpsDropped         int
+	WorkerStepsBefore  int
+	WorkerStepsAfter   int
+}
+
+// Shrink minimizes a violating spec. The input spec must already violate
+// under run (the caller has observed it); Shrink re-establishes that as its
+// baseline and returns the original spec unchanged if it cannot reproduce.
+// The returned spec always has an explicit ChangePoints list.
+func Shrink(sp Spec, run RunFunc) (Spec, ShrinkStats, error) {
+	st := ShrinkStats{}
+	sp.ChangePoints = sp.EffectiveChangePoints()
+	st.ChangePointsBefore = len(sp.ChangePoints)
+	if sp.WorkerSteps == 0 {
+		// Materialize the harness default so the worker-step phase (and
+		// the repro string) can pin and reduce it.
+		sp.WorkerSteps = sp.Threads * sp.Ops
+	}
+	st.WorkerStepsBefore = sp.WorkerSteps
+	st.WorkerStepsAfter = sp.WorkerSteps
+
+	base, err := run(sp)
+	st.Runs++
+	if err != nil {
+		return sp, st, err
+	}
+	st.StepsBefore = base.Steps
+	st.StepsAfter = base.Steps
+	st.ChangePointsAfter = len(sp.ChangePoints)
+	if !base.Violating {
+		return sp, st, nil
+	}
+
+	try := func(cand Spec) (bool, int64) {
+		out, err := run(cand)
+		st.Runs++
+		if err != nil {
+			return false, 0
+		}
+		return out.Violating, out.Steps
+	}
+
+	best := sp
+	bestSteps := base.Steps
+	accept := func(cand Spec, steps int64) {
+		best = cand
+		bestSteps = steps
+	}
+
+	shrinkCPs := func() {
+		cps, steps := ddminInts(best.ChangePoints, func(cand []int) (bool, int64) {
+			c := best
+			c.ChangePoints = cand
+			return try(c)
+		})
+		if cps != nil {
+			c := best
+			c.ChangePoints = cps
+			accept(c, steps)
+		}
+	}
+
+	shrinkCPs()
+
+	// Phase 2: drop whole harness operations, to fixpoint. Iterating in a
+	// fixed order keeps the shrink deterministic for a given RunFunc.
+	for changed := true; changed; {
+		changed = false
+		for th := 0; th < best.Threads; th++ {
+			for op := 0; op < best.Ops; op++ {
+				s := Skip{Thread: th, Op: op}
+				if containsSkip(best.Skips, s) {
+					continue
+				}
+				cand := best
+				cand.Skips = appendSkip(best.Skips, s)
+				if ok, steps := try(cand); ok {
+					accept(cand, steps)
+					st.OpsDropped++
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 3: reduce the maintenance daemon's iteration budget — jump to
+	// 1 first (the common case: the daemon is irrelevant to the bug), then
+	// fall back to halving.
+	if best.WorkerSteps > 1 {
+		cand := best
+		cand.WorkerSteps = 1
+		if ok, steps := try(cand); ok {
+			accept(cand, steps)
+		} else {
+			for best.WorkerSteps > 1 {
+				cand := best
+				cand.WorkerSteps = best.WorkerSteps / 2
+				ok, steps := try(cand)
+				if !ok {
+					break
+				}
+				accept(cand, steps)
+			}
+		}
+	}
+
+	// Dropped ops may have made some preemption points redundant.
+	if st.OpsDropped > 0 {
+		shrinkCPs()
+	}
+
+	st.StepsAfter = bestSteps
+	st.ChangePointsAfter = len(best.ChangePoints)
+	st.WorkerStepsAfter = best.WorkerSteps
+	return best, st, nil
+}
+
+// ddminInts runs ddmin over a list of ints: returns the minimized list and
+// its run's step count, or (nil, 0) if no reduction was found (including
+// an empty input). The predicate must be monotone-ish in practice; ddmin
+// only guarantees 1-minimality.
+func ddminInts(list []int, test func([]int) (bool, int64)) ([]int, int64) {
+	if len(list) == 0 {
+		return nil, 0
+	}
+	cur := append([]int(nil), list...)
+	var curSteps int64
+	reduced := false
+	n := 2
+	for len(cur) >= 1 {
+		chunk := (len(cur) + n - 1) / n
+		advanced := false
+		// Try each complement (the list minus one chunk).
+		for i := 0; i < len(cur); i += chunk {
+			cand := make([]int, 0, len(cur)-chunk)
+			cand = append(cand, cur[:i]...)
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand = append(cand, cur[end:]...)
+			if ok, steps := test(cand); ok {
+				cur = cand
+				curSteps = steps
+				reduced = true
+				if n > 2 {
+					n--
+				}
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			if len(cur) == 0 {
+				break
+			}
+			continue
+		}
+		if chunk <= 1 {
+			break
+		}
+		n *= 2
+		if n > len(cur) {
+			n = len(cur)
+		}
+	}
+	if !reduced {
+		return nil, 0
+	}
+	return cur, curSteps
+}
+
+func containsSkip(skips []Skip, s Skip) bool {
+	for _, x := range skips {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func appendSkip(skips []Skip, s Skip) []Skip {
+	out := make([]Skip, 0, len(skips)+1)
+	out = append(out, skips...)
+	out = append(out, s)
+	return out
+}

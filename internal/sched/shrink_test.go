@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"testing"
+)
+
+// syntheticRun builds a RunFunc over a synthetic "program": the run
+// violates iff every change point in `needCPs` is present and none of the
+// ops in `needOps` is skipped. Steps shrink as change points and ops are
+// removed, mimicking the real harness.
+func syntheticRun(needCPs []int, needOps []Skip) RunFunc {
+	return func(sp Spec) (Outcome, error) {
+		skips := sp.SkipSet()
+		for _, s := range needOps {
+			if skips[s] {
+				return Outcome{Violating: false, Steps: steps(sp)}, nil
+			}
+		}
+		have := map[int]bool{}
+		for _, cp := range sp.ChangePoints {
+			have[cp] = true
+		}
+		for _, cp := range needCPs {
+			if !have[cp] {
+				return Outcome{Violating: false, Steps: steps(sp)}, nil
+			}
+		}
+		return Outcome{Violating: true, Steps: steps(sp)}, nil
+	}
+}
+
+func steps(sp Spec) int64 {
+	ops := sp.Threads*sp.Ops - len(sp.Skips)
+	return int64(ops*5 + len(sp.ChangePoints) + sp.WorkerSteps)
+}
+
+func TestShrinkReducesToNeeded(t *testing.T) {
+	sp := Spec{Subject: "X", Threads: 3, Ops: 8, KeyPool: 4, Seed: 11, D: 6, K: 200}
+	cps := sp.EffectiveChangePoints()
+	if len(cps) != 6 {
+		t.Fatalf("want 6 derived points, got %v", cps)
+	}
+	// The violation needs exactly one of the derived points and two ops.
+	need := []int{cps[3]}
+	needOps := []Skip{{0, 2}, {2, 5}}
+	min, st, err := Shrink(sp, syntheticRun(need, needOps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.ChangePoints) != 1 || min.ChangePoints[0] != need[0] {
+		t.Errorf("change points not minimized: %v (needed %v)", min.ChangePoints, need)
+	}
+	wantSkips := sp.Threads*sp.Ops - len(needOps)
+	if len(min.Skips) != wantSkips {
+		t.Errorf("ops not minimized: %d skips, want %d", len(min.Skips), wantSkips)
+	}
+	if min.WorkerSteps != 1 {
+		t.Errorf("worker steps not minimized: %d", min.WorkerSteps)
+	}
+	if st.StepsAfter >= st.StepsBefore {
+		t.Errorf("no step reduction: %d -> %d", st.StepsBefore, st.StepsAfter)
+	}
+	// The minimized spec must still violate.
+	out, _ := syntheticRun(need, needOps)(min)
+	if !out.Violating {
+		t.Error("minimized spec no longer violates")
+	}
+	// And it must round-trip through its repro string.
+	got, err := ParseRepro(min.Repro())
+	if err != nil {
+		t.Fatalf("minimized spec repro does not parse: %v", err)
+	}
+	if got.Repro() != min.Repro() {
+		t.Errorf("repro drift: %q vs %q", got.Repro(), min.Repro())
+	}
+}
+
+func TestShrinkKeepsNonReproducibleInput(t *testing.T) {
+	sp := Spec{Subject: "X", Threads: 2, Ops: 2, KeyPool: 2, Seed: 1, D: 2, K: 50}
+	min, st, err := Shrink(sp, func(Spec) (Outcome, error) {
+		return Outcome{Violating: false, Steps: 10}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 1 {
+		t.Errorf("non-violating baseline should stop after 1 run, ran %d", st.Runs)
+	}
+	if len(min.Skips) != 0 {
+		t.Errorf("non-violating baseline was edited: %+v", min)
+	}
+}

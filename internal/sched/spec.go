@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is a complete, self-contained description of one controlled run: the
+// harness shape (subject, threads, ops, key pool), the scheduling seed, and
+// the effective change points and skipped operations. A Spec round-trips
+// through a one-line textual repro string so a violating schedule can be
+// pasted into `vyrdx -repro` (or a bug report) and replayed exactly —
+// including after the shrinker has edited ChangePoints and Skips away from
+// their seed-derived defaults.
+type Spec struct {
+	// Subject names the registry subject (bench.SubjectByName).
+	Subject string
+	// Threads, Ops, KeyPool mirror harness.Config.
+	Threads int
+	Ops     int
+	KeyPool int
+	// Seed determines task priorities, change points (when ChangePoints is
+	// nil), and every per-operation random draw in the harness.
+	Seed int64
+	// D and K are the PCT parameters change points are derived from.
+	D int
+	K int
+	// ChangePoints, when non-nil, overrides seed derivation (shrunk
+	// schedules). Ascending, distinct, each in [1, K].
+	ChangePoints []int
+	// Skips lists harness operations to drop, as (thread, op) pairs; the
+	// harness draws each op's randomness from (Seed, thread, op) so a skip
+	// does not perturb the remaining ops. Populated only by the shrinker.
+	Skips []Skip
+	// WorkerSteps bounds the maintenance daemon's iterations; 0 means the
+	// harness default (Threads*Ops). The shrinker reduces it: daemon
+	// passes often dominate a schedule's length without contributing to
+	// the violation.
+	WorkerSteps int
+}
+
+// Skip identifies one harness operation: op Op of thread Thread.
+type Skip struct {
+	Thread int
+	Op     int
+}
+
+// reproPrefix versions the repro grammar; bump on incompatible change.
+const reproPrefix = "vyrdsched/1"
+
+// Options returns the scheduler options the spec describes.
+func (sp Spec) Options() Options {
+	return Options{Seed: sp.Seed, D: sp.D, K: sp.K, ChangePoints: sp.ChangePoints}
+}
+
+// EffectiveChangePoints returns the change points a run of this spec will
+// use: the explicit list if set, else the seed-derived one.
+func (sp Spec) EffectiveChangePoints() []int {
+	if sp.ChangePoints != nil {
+		return sp.ChangePoints
+	}
+	return DeriveChangePoints(sp.Seed, sp.D, sp.K)
+}
+
+// SkipSet returns the skips as a set keyed by (thread, op).
+func (sp Spec) SkipSet() map[Skip]bool {
+	m := make(map[Skip]bool, len(sp.Skips))
+	for _, s := range sp.Skips {
+		m[s] = true
+	}
+	return m
+}
+
+// Repro renders the spec as its one-line textual form.
+func (sp Spec) Repro() string {
+	var b strings.Builder
+	b.WriteString(reproPrefix)
+	fmt.Fprintf(&b, ";subject=%s", sp.Subject)
+	fmt.Fprintf(&b, ";threads=%d;ops=%d;pool=%d", sp.Threads, sp.Ops, sp.KeyPool)
+	fmt.Fprintf(&b, ";seed=%d;d=%d;k=%d", sp.Seed, sp.D, sp.K)
+	if sp.WorkerSteps > 0 {
+		fmt.Fprintf(&b, ";wsteps=%d", sp.WorkerSteps)
+	}
+	if sp.ChangePoints != nil {
+		b.WriteString(";cp=")
+		for i, cp := range sp.ChangePoints {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(cp))
+		}
+	}
+	if len(sp.Skips) > 0 {
+		b.WriteString(";skip=")
+		for i, s := range sp.Skips {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d.%d", s.Thread, s.Op)
+		}
+	}
+	return b.String()
+}
+
+// ParseRepro parses the textual form produced by Repro, validating every
+// field. Malformed input returns an error; it never panics.
+func ParseRepro(s string) (Spec, error) {
+	var sp Spec
+	parts := strings.Split(s, ";")
+	if len(parts) == 0 || parts[0] != reproPrefix {
+		return sp, fmt.Errorf("sched: repro string must start with %q", reproPrefix)
+	}
+	seen := make(map[string]bool)
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok || key == "" {
+			return sp, fmt.Errorf("sched: malformed field %q (want key=value)", part)
+		}
+		if seen[key] {
+			return sp, fmt.Errorf("sched: duplicate field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "subject":
+			if val == "" {
+				return sp, fmt.Errorf("sched: empty subject")
+			}
+			sp.Subject = val
+		case "threads":
+			n, err := parseBounded(key, val, 1, maxTasks)
+			if err != nil {
+				return sp, err
+			}
+			sp.Threads = n
+		case "ops":
+			n, err := parseBounded(key, val, 1, 1<<20)
+			if err != nil {
+				return sp, err
+			}
+			sp.Ops = n
+		case "pool":
+			n, err := parseBounded(key, val, 1, 1<<20)
+			if err != nil {
+				return sp, err
+			}
+			sp.KeyPool = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return sp, fmt.Errorf("sched: bad seed %q: %v", val, err)
+			}
+			sp.Seed = n
+		case "d":
+			n, err := parseBounded(key, val, 0, 1<<16)
+			if err != nil {
+				return sp, err
+			}
+			sp.D = n
+		case "k":
+			n, err := parseBounded(key, val, 2, 1<<30)
+			if err != nil {
+				return sp, err
+			}
+			sp.K = n
+		case "wsteps":
+			n, err := parseBounded(key, val, 1, 1<<20)
+			if err != nil {
+				return sp, err
+			}
+			sp.WorkerSteps = n
+		case "cp":
+			cps, err := parseChangePoints(val)
+			if err != nil {
+				return sp, err
+			}
+			sp.ChangePoints = cps
+		case "skip":
+			skips, err := parseSkips(val)
+			if err != nil {
+				return sp, err
+			}
+			sp.Skips = skips
+		default:
+			return sp, fmt.Errorf("sched: unknown field %q", key)
+		}
+	}
+	for _, req := range []string{"subject", "threads", "ops", "pool", "seed", "d", "k"} {
+		if !seen[req] {
+			return sp, fmt.Errorf("sched: missing required field %q", req)
+		}
+	}
+	for _, cp := range sp.ChangePoints {
+		if cp < 1 || cp > sp.K {
+			return sp, fmt.Errorf("sched: change point %d outside [1,%d]", cp, sp.K)
+		}
+	}
+	for _, sk := range sp.Skips {
+		if sk.Thread >= sp.Threads || sk.Op >= sp.Ops {
+			return sp, fmt.Errorf("sched: skip %d.%d outside %dx%d run", sk.Thread, sk.Op, sp.Threads, sp.Ops)
+		}
+	}
+	return sp, nil
+}
+
+func parseBounded(key, val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("sched: bad %s %q: %v", key, val, err)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("sched: %s=%d outside [%d,%d]", key, n, lo, hi)
+	}
+	return n, nil
+}
+
+func parseChangePoints(val string) ([]int, error) {
+	// cp= (empty list) is meaningful: it pins "no preemptions", distinct
+	// from absent cp which means "derive from seed".
+	if val == "" {
+		return []int{}, nil
+	}
+	fields := strings.Split(val, ",")
+	cps := make([]int, 0, len(fields))
+	prev := 0
+	for _, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad change point %q: %v", f, err)
+		}
+		if n <= prev {
+			return nil, fmt.Errorf("sched: change points must be ascending and distinct (got %d after %d)", n, prev)
+		}
+		prev = n
+		cps = append(cps, n)
+	}
+	return cps, nil
+}
+
+func parseSkips(val string) ([]Skip, error) {
+	if val == "" {
+		return nil, fmt.Errorf("sched: empty skip list")
+	}
+	fields := strings.Split(val, ",")
+	skips := make([]Skip, 0, len(fields))
+	seen := make(map[Skip]bool)
+	for _, f := range fields {
+		th, op, ok := strings.Cut(f, ".")
+		if !ok {
+			return nil, fmt.Errorf("sched: bad skip %q (want thread.op)", f)
+		}
+		t, err := strconv.Atoi(th)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("sched: bad skip thread %q", th)
+		}
+		o, err := strconv.Atoi(op)
+		if err != nil || o < 0 {
+			return nil, fmt.Errorf("sched: bad skip op %q", op)
+		}
+		s := Skip{Thread: t, Op: o}
+		if seen[s] {
+			return nil, fmt.Errorf("sched: duplicate skip %d.%d", t, o)
+		}
+		seen[s] = true
+		skips = append(skips, s)
+	}
+	sort.Slice(skips, func(i, j int) bool {
+		if skips[i].Thread != skips[j].Thread {
+			return skips[i].Thread < skips[j].Thread
+		}
+		return skips[i].Op < skips[j].Op
+	})
+	return skips, nil
+}

@@ -1,0 +1,33 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzReproRoundTrip fuzzes the schedule repro-string codec: ParseRepro
+// must never panic on arbitrary input, and any string it accepts must
+// round-trip (Repro of the parsed spec re-parses to an equal spec) — the
+// contract `vyrdx -repro <string>` relies on.
+func FuzzReproRoundTrip(f *testing.F) {
+	f.Add("vyrdsched/1;subject=Multiset-Array;threads=3;ops=8;pool=6;seed=42;d=3;k=176")
+	f.Add("vyrdsched/1;subject=Cache;threads=2;ops=4;pool=3;seed=-7;d=0;k=64;cp=")
+	f.Add("vyrdsched/1;subject=B;threads=4;ops=16;pool=8;seed=1;d=5;k=512;wsteps=9;cp=12,57;skip=0.3,2.7")
+	f.Add("vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2")
+	f.Add("vyrdsched/2;subject=X")
+	f.Add("")
+	f.Add(";;;=;=;")
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseRepro(s) // must not panic
+		if err != nil {
+			return
+		}
+		again, err := ParseRepro(sp.Repro())
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", s, sp.Repro(), err)
+		}
+		if !reflect.DeepEqual(sp, again) {
+			t.Fatalf("round trip drift:\n  first  %+v\n  second %+v", sp, again)
+		}
+	})
+}

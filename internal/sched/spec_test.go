@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReproRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Subject: "Multiset-Array", Threads: 3, Ops: 8, KeyPool: 6, Seed: 42, D: 3, K: 176},
+		{Subject: "Cache", Threads: 2, Ops: 4, KeyPool: 3, Seed: -7, D: 0, K: 64,
+			ChangePoints: []int{}},
+		{Subject: "BLinkTree", Threads: 4, Ops: 16, KeyPool: 8, Seed: 1 << 40, D: 5, K: 512,
+			ChangePoints: []int{12, 57, 300},
+			Skips:        []Skip{{0, 3}, {2, 7}}, WorkerSteps: 9},
+	}
+	for _, sp := range specs {
+		s := sp.Repro()
+		got, err := ParseRepro(s)
+		if err != nil {
+			t.Errorf("ParseRepro(%q): %v", s, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Errorf("round trip mismatch:\n  in  %+v\n  out %+v\n  str %s", sp, got, s)
+		}
+	}
+}
+
+func TestParseReproRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"vyrdsched/2;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2",
+		"vyrdsched/1",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0", // missing k
+		"vyrdsched/1;subject=;threads=1;ops=1;pool=1;seed=0;d=0;k=2",
+		"vyrdsched/1;subject=X;threads=0;ops=1;pool=1;seed=0;d=0;k=2",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=zzz;d=0;k=2",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;cp=5,3", // not ascending
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;cp=0",   // below 1
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;cp=9",   // beyond k
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;skip=",  // empty skip
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;skip=1", // no dot
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;skip=0.5",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;skip=0.0,0.0",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;seed=1", // duplicate
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;bogus=1",
+		"vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2;wsteps=0",
+		"vyrdsched/1;nokeyvalue",
+	}
+	for _, s := range cases {
+		if _, err := ParseRepro(s); err == nil {
+			t.Errorf("ParseRepro(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestEffectiveChangePointsMatchesScheduler(t *testing.T) {
+	sp := Spec{Subject: "X", Threads: 2, Ops: 4, KeyPool: 2, Seed: 99, D: 4, K: 128}
+	want := sp.EffectiveChangePoints()
+	s := New(sp.Options())
+	if got := s.ChangePoints(); !reflect.DeepEqual(got, want) {
+		t.Errorf("scheduler derives %v, spec says %v", got, want)
+	}
+	// An explicit empty list means "no preemptions", not "derive".
+	sp.ChangePoints = []int{}
+	if got := New(sp.Options()).ChangePoints(); len(got) != 0 {
+		t.Errorf("explicit empty list rederived: %v", got)
+	}
+	if !strings.Contains(sp.Repro(), ";cp=") {
+		t.Error("explicit empty change-point list not rendered")
+	}
+}

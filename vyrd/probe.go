@@ -128,6 +128,44 @@ type Probe struct {
 
 	// child memoizes the most recent Scoped derivation.
 	child *Probe
+
+	// yield, when set, is invoked at the start of every probe action,
+	// before anything is appended to the log. It is the seam a controlled
+	// scheduler (internal/sched) rides: each instrumentation boundary
+	// becomes a scheduling point, with no extra annotation burden on
+	// implementations. nil (the default) costs one predictable branch.
+	yield func()
+}
+
+// SetYield installs fn as the probe's scheduling hook, called at the start
+// of every probe action before the corresponding log append. Controlled
+// runs pass the owning sched.Task's Yield; nil removes the hook. The hook
+// propagates to probes already derived via Scoped and to future ones.
+func (p *Probe) SetYield(fn func()) {
+	if p == nil {
+		return
+	}
+	p.yield = fn
+	if p.child != nil {
+		p.child.SetYield(fn)
+	}
+}
+
+// Yield is an explicit scheduling point for instrumented implementations
+// whose interesting race windows contain no probe action (e.g. between two
+// unsynchronized memory writes). Under a controlled scheduler it parks the
+// thread; otherwise it is a no-op, so correct builds pay nothing.
+func (p *Probe) Yield() {
+	if p != nil && p.yield != nil {
+		p.yield()
+	}
+}
+
+// sched runs the scheduling hook at a probe action boundary.
+func (p *Probe) sched() {
+	if p.yield != nil {
+		p.yield()
+	}
 }
 
 // Tid returns the probe's thread identifier (0 for a nil probe).
@@ -151,7 +189,7 @@ func (p *Probe) Scoped(module string) *Probe {
 	}
 	if p.child == nil || p.child.module != module {
 		p.child = &Probe{log: p.log, tid: p.tid, level: p.level, worker: p.worker,
-			module: module, mod: event.InternSym(module)}
+			module: module, mod: event.InternSym(module), yield: p.yield}
 	}
 	return p.child
 }
@@ -167,6 +205,10 @@ func (p *Probe) viewActive() bool { return p != nil && p.level == LevelView }
 // buffers must be snapshotted by the caller (see event.CloneBytes): the log
 // records observed values.
 func (p *Probe) Call(method string, args ...Value) *Invocation {
+	if p == nil {
+		return nil
+	}
+	p.sched()
 	if !p.active() {
 		return nil
 	}
@@ -182,6 +224,10 @@ func (p *Probe) Call(method string, args ...Value) *Invocation {
 // the block's commit; outside, it is applied to the replica immediately.
 // No-op below LevelView.
 func (p *Probe) Write(op string, args ...Value) {
+	if p == nil {
+		return
+	}
+	p.sched()
 	if !p.viewActive() {
 		return
 	}
@@ -206,6 +252,7 @@ func (inv *Invocation) Commit(label string) {
 	if inv == nil {
 		return
 	}
+	inv.p.sched()
 	inv.p.log.Append(event.Entry{
 		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
 		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
@@ -220,6 +267,7 @@ func (inv *Invocation) CommitWrite(label, op string, args ...Value) {
 	if inv == nil {
 		return
 	}
+	inv.p.sched()
 	e := event.Entry{
 		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
 		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
@@ -237,7 +285,11 @@ func (inv *Invocation) CommitWrite(label, op string, args ...Value) {
 // or a runtime atomicity checker) that the block executes atomically; the
 // view replay relies on it. No-op below LevelView.
 func (inv *Invocation) BeginCommitBlock() {
-	if inv == nil || !inv.p.viewActive() {
+	if inv == nil {
+		return
+	}
+	inv.p.sched()
+	if !inv.p.viewActive() {
 		return
 	}
 	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindBeginBlock, Worker: inv.p.worker,
@@ -246,7 +298,11 @@ func (inv *Invocation) BeginCommitBlock() {
 
 // EndCommitBlock marks the end of the commit block.
 func (inv *Invocation) EndCommitBlock() {
-	if inv == nil || !inv.p.viewActive() {
+	if inv == nil {
+		return
+	}
+	inv.p.sched()
+	if !inv.p.viewActive() {
 		return
 	}
 	inv.p.log.Append(event.Entry{Tid: inv.p.tid, Kind: event.KindEndBlock, Worker: inv.p.worker,
@@ -259,6 +315,7 @@ func (inv *Invocation) Return(ret Value) {
 	if inv == nil {
 		return
 	}
+	inv.p.sched()
 	inv.p.log.Append(event.Entry{
 		Tid: inv.p.tid, Kind: event.KindReturn, Method: inv.method, Sym: inv.sym,
 		Ret: ret, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
