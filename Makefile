@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke tables examples check clean
 
 all: check
 
@@ -30,9 +30,10 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=Table3 -benchtime=1x .
 
 # Regenerate the checked-in benchmark snapshot (environment + table rows,
-# including exploration throughput and shrink results).
+# including exploration throughput, shrink results and the sink-codec
+# durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR4.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR5.json
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
 # corpus seeds honest without turning CI into a fuzzing farm. Each -fuzz
@@ -41,6 +42,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTrip$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzEntryRoundTripGob$$' -fuzztime=5s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzTornFrames$$' -fuzztime=5s ./internal/event/
+	$(GO) test -run=NONE -fuzz='^FuzzRecoverArbitraryBytes$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzReproRoundTrip$$' -fuzztime=5s ./internal/sched/
 
 # Race-enabled loopback round trip through the remote verification service:
@@ -57,6 +59,14 @@ serve-smoke:
 explore-smoke:
 	$(GO) test -count=1 -run '^TestExploreSmoke$$|^TestShrinkHalvesScheduleLength$$' ./internal/explore/
 
+# Crash/recover/replay chaos soak: 200 seeded byte-level crash points in
+# fault mode plus a handful of SIGKILLed child processes in proc mode,
+# every recovered prefix re-checked against its uninterrupted reference.
+# Race-enabled; any failure prints a vyrdsoak/1 repro string. CI runs this.
+soak-smoke:
+	$(GO) run -race ./cmd/vyrdsoak -mode fault -seed 1 -iters 200 -ops 12 -sync 8
+	$(GO) run -race ./cmd/vyrdsoak -mode proc -seed 1 -iters 6 -ops 60 -sync 4 -k 3000 -kill 60ms
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -68,7 +78,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

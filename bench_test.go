@@ -299,35 +299,68 @@ func overlappedTrace(batches, width int) []vyrd.Entry {
 // replays view refinement concurrently. Reported metrics are the log
 // entries checked per second and the peak entries retained (which stays
 // O(window) no matter how long the run is).
+// The sink=v2 / sink=v3 variants additionally attach a persisting encoder
+// sink, A/B-ing the pre-checksum and CRC-checksummed framings on the same
+// workload: the v3 append throughput must stay within 10% of v2, and
+// bytes/entry makes the 4-bytes-per-frame checksum cost visible.
 func BenchmarkOnlinePipeline(b *testing.B) {
 	s, _ := bench.SubjectByName("Multiset-Vector")
-	cfg := benchConfig(4, 2000, 1, vyrd.LevelView)
-	cfg.LogOptions = vyrd.LogOptions{SegmentSize: 256, Window: 1 << 12}
-	b.ReportAllocs()
-	var entries, peak, lag int64
-	for i := 0; i < b.N; i++ {
-		log := vyrd.NewLogWith(cfg.Level, cfg.LogOptions)
-		wait, err := log.StartChecker(s.Correct.NewSpec(),
-			vyrd.WithMode(core.ModeView), vyrd.WithReplayer(s.Correct.NewReplayer()))
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, codec vyrd.Codec, attach bool) {
+		cfg := benchConfig(4, 2000, 1, vyrd.LevelView)
+		cfg.LogOptions = vyrd.LogOptions{SegmentSize: 256, Window: 1 << 12, SinkCodec: codec}
+		b.ReportAllocs()
+		var entries, peak, lag, sunk int64
+		for i := 0; i < b.N; i++ {
+			log := vyrd.NewLogWith(cfg.Level, cfg.LogOptions)
+			var cw countingWriter
+			if attach {
+				if err := log.AttachSink(&cw); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wait, err := log.StartChecker(s.Correct.NewSpec(),
+				vyrd.WithMode(core.ModeView), vyrd.WithReplayer(s.Correct.NewReplayer()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			harness.RunOnLog(s.Correct, cfg, log)
+			if rep := wait(); !rep.Ok() {
+				b.Fatalf("unexpected violations:\n%s", rep)
+			}
+			if attach {
+				if err := log.SinkErr(); err != nil {
+					b.Fatal(err)
+				}
+				sunk += cw.n
+			}
+			st := log.Stats()
+			entries += st.Appends
+			if st.PeakRetainedEntries > peak {
+				peak = st.PeakRetainedEntries
+			}
+			if st.MaxVerifierLag > lag {
+				lag = st.MaxVerifierLag
+			}
 		}
-		harness.RunOnLog(s.Correct, cfg, log)
-		if rep := wait(); !rep.Ok() {
-			b.Fatalf("unexpected violations:\n%s", rep)
-		}
-		st := log.Stats()
-		entries += st.Appends
-		if st.PeakRetainedEntries > peak {
-			peak = st.PeakRetainedEntries
-		}
-		if st.MaxVerifierLag > lag {
-			lag = st.MaxVerifierLag
+		b.ReportMetric(float64(entries)/b.Elapsed().Seconds(), "entries/sec")
+		b.ReportMetric(float64(peak), "peak-retained-entries")
+		b.ReportMetric(float64(lag), "max-verifier-lag")
+		if attach && entries > 0 {
+			b.ReportMetric(float64(sunk)/float64(entries), "bytes/entry")
 		}
 	}
-	b.ReportMetric(float64(entries)/b.Elapsed().Seconds(), "entries/sec")
-	b.ReportMetric(float64(peak), "peak-retained-entries")
-	b.ReportMetric(float64(lag), "max-verifier-lag")
+	b.Run("nosink", func(b *testing.B) { run(b, vyrd.CodecBinary, false) })
+	b.Run("sink=v2", func(b *testing.B) { run(b, vyrd.CodecBinaryV2, true) })
+	b.Run("sink=v3", func(b *testing.B) { run(b, vyrd.CodecBinary, true) })
+}
+
+// countingWriter discards its input, keeping only the byte count — the
+// sink target for throughput benchmarks that must not measure disk.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
 }
 
 // codecTrace records one BLinkTree workload and returns the entries plus

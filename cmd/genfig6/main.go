@@ -23,6 +23,8 @@ import (
 
 func main() {
 	out := flag.String("o", "vyrd/testdata/fig6.log", "output artifact path")
+	corruptAt := flag.Int("corrupt-at", -1, "after the self-check, XOR the byte at this offset (reproducible corrupted-artifact generation)")
+	corruptXor := flag.Int("corrupt-xor", 0x41, "XOR mask for -corrupt-at")
 	flag.Parse()
 
 	f, err := os.Create(*out)
@@ -108,6 +110,24 @@ func main() {
 	fmt.Printf("genfig6: wrote %s (%d entries, format v%d; view detection after %d methods, I/O after %d)\n",
 		*out, len(entries), vyrd.LogFormatVersion,
 		viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+
+	// The corrupted variant for the recovery golden test: flip one byte at
+	// a fixed offset of the (already self-checked) artifact, so the
+	// committed file and its RecoveryReport are reproducible bit for bit.
+	if *corruptAt >= 0 {
+		data, err := os.ReadFile(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if *corruptAt >= len(data) {
+			fatal(fmt.Errorf("-corrupt-at %d beyond the %d-byte artifact", *corruptAt, len(data)))
+		}
+		data[*corruptAt] ^= byte(*corruptXor)
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("genfig6: corrupted byte %d (xor %#x) of %s\n", *corruptAt, *corruptXor, *out)
+	}
 }
 
 func fatal(err error) {

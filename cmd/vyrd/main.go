@@ -15,6 +15,13 @@
 // checking with -load ("-load -" streams the log from stdin). Loaded binary
 // logs decode on a parallel worker pool (-decoders); version-1 gob artifacts
 // are read with -codec gob.
+//
+// A log left behind by a crashed producer is repaired with -recover: the
+// torn tail past the last valid frame is truncated in place and the
+// recovery report printed. Combine with -load to check the recovered
+// prefix in the same invocation:
+//
+//	vyrd -subject BLinkTree -recover crash.log -load crash.log
 package main
 
 import (
@@ -25,7 +32,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/harness"
+	"repro/internal/wal"
 	"repro/vyrd"
 )
 
@@ -43,6 +52,7 @@ func main() {
 		failFst = flag.Bool("failfast", true, "stop at the first violation")
 		save    = flag.String("save", "", "persist the recorded log to this file")
 		load    = flag.String("load", "", "skip the run; offline-check a previously saved log")
+		recov   = flag.String("recover", "", "repair a crashed producer's log in place (truncate the torn tail) before any -load")
 		codec   = flag.String("codec", "binary", "persisted log codec for -load: binary (current) or gob (version-1 artifacts)")
 		workers = flag.Int("decoders", 0, "-load decode workers for binary logs (0 = GOMAXPROCS, 1 = sequential)")
 		dump    = flag.Bool("dump", false, "print the witness interleaving before the report (Section 4.1 debugging view)")
@@ -88,13 +98,28 @@ func main() {
 		opts = append(opts, vyrd.WithQuiescentViewOnly(true))
 	}
 
+	// The command touches the filesystem only through the faultfs seam, so
+	// tests (and fault campaigns) can substitute an injecting FS.
+	fsys := faultfs.FS(faultfs.OS{})
+
+	if *recov != "" {
+		_, rep, err := wal.RecoverPath(fsys, *recov)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vyrd: recover %s: %s\n", *recov, rep)
+		if *load == "" {
+			os.Exit(0)
+		}
+	}
+
 	if *load != "" {
 		// "-load -" reads the framed log from stdin, so shell pipelines
 		// compose: a vyrdd session capture, a decompressor, a generator.
-		f := os.Stdin
+		var f faultfs.File = os.Stdin
 		if *load != "-" {
 			var err error
-			f, err = os.Open(*load)
+			f, err = fsys.Open(*load)
 			if err != nil {
 				fatal(err)
 			}
@@ -144,9 +169,12 @@ func main() {
 		Level:        levelFor(checkMode),
 	}
 
-	log := vyrd.NewLog(cfg.Level)
+	// With -save the log runs fail-stop: a sink that can no longer persist
+	// (disk full, injected fault) stops the producer at its next append
+	// instead of racing ahead of a file that silently stopped growing.
+	log := vyrd.NewLogWith(cfg.Level, vyrd.LogOptions{FailStop: *save != ""})
 	if *save != "" {
-		f, err := os.Create(*save)
+		f, err := fsys.Create(*save)
 		if err != nil {
 			fatal(err)
 		}

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
@@ -133,6 +133,16 @@ func main() {
 		bench.WriteExploreTable(os.Stdout, rows)
 	}
 
+	runDurability := func() {
+		cfg := bench.DefaultDurabilityConfig()
+		cfg.Seed = *seed
+		if *ops > 0 {
+			cfg.OpsPerThread = *ops
+		}
+		snap.Durability = bench.Durability(cfg)
+		bench.WriteDurability(os.Stdout, cfg, snap.Durability)
+	}
+
 	switch *table {
 	case "1":
 		runTable1()
@@ -144,6 +154,8 @@ func main() {
 		runLogPipeline()
 	case "explore":
 		runExplore()
+	case "durability":
+		runDurability()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -154,8 +166,10 @@ func main() {
 		runLogPipeline()
 		fmt.Println()
 		runExplore()
+		fmt.Println()
+		runDurability()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability or all)\n", *table)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,149 @@
+// Command vyrdsoak is the chaos soak harness: it crashes log-producing
+// runs at seeded points, recovers each torn log, replays the recovered
+// prefix through the checker, and asserts the verdict matches what an
+// uninterrupted reference run says about the same prefix (internal/soak).
+//
+//	vyrdsoak -subject Multiset-Array -iters 200            fast in-process crash loop
+//	vyrdsoak -subject Multiset-Array -mode proc -iters 20  real SIGKILLed child processes
+//	vyrdsoak -repro 'vyrdsoak/1;subject=...;...'           replay a campaign (or one iteration)
+//
+// Exit code 0 means every iteration's recovered-prefix verdict matched its
+// reference; 1 means a recovery invariant broke (the message carries the
+// single-iteration repro string) or the arguments were bad.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/soak"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		repro   = flag.String("repro", "", "run a campaign from its repro string (overrides the shape flags)")
+		subject = flag.String("subject", "Multiset-Array", "registry subject name")
+		threads = flag.Int("threads", 3, "harness threads")
+		ops     = flag.Int("ops", 8, "operations per thread")
+		pool    = flag.Int("pool", 4, "key pool size")
+		seed    = flag.Int64("seed", 1, "base seed (iteration i derives from seed+i)")
+		iters   = flag.Int("iters", 200, "crash/recover/replay iterations")
+		mode    = flag.String("mode", "fault", "crash mode: fault (in-process faultfs) or proc (SIGKILLed child)")
+		sync    = flag.Int("sync", 16, "sink sync-point cadence in entries")
+		d       = flag.Int("d", 3, "PCT depth for proc-mode controlled schedules")
+		k       = flag.Int("k", 300, "PCT schedule length for proc-mode controlled schedules")
+		kill    = flag.Duration("kill", 50*time.Millisecond, "proc mode: kill delay window per iteration")
+		buggy   = flag.Bool("buggy", false, "soak the buggy variant of the subject (verdicts must still match)")
+		verbose = flag.Bool("v", false, "print a progress line per iteration")
+
+		// The hidden child side of proc mode (see soak.RunChild).
+		child      = flag.Bool("child", false, "internal: run as a proc-mode producer child")
+		childSched = flag.String("sched", "", "internal: child's controlled-schedule repro string")
+		childOut   = flag.String("o", "", "internal: child's log file path")
+	)
+	flag.Parse()
+
+	if *child {
+		return runChild(*childSched, *childOut, *sync, *buggy)
+	}
+
+	var sp soak.Spec
+	if *repro != "" {
+		var err error
+		sp, err = soak.ParseRepro(*repro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdsoak: %v\n", err)
+			return 1
+		}
+	} else {
+		sp = soak.Spec{
+			Subject: *subject, Threads: *threads, Ops: *ops, KeyPool: *pool,
+			Seed: *seed, Iters: *iters, SyncEvery: *sync, D: *d, K: *k,
+		}
+		switch *mode {
+		case "fault":
+			sp.Mode = soak.ModeFault
+		case "proc":
+			sp.Mode = soak.ModeProc
+		default:
+			fmt.Fprintf(os.Stderr, "vyrdsoak: unknown mode %q (want fault or proc)\n", *mode)
+			return 1
+		}
+	}
+
+	sub, ok := bench.SubjectByName(sp.Subject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vyrdsoak: unknown subject %q\n", sp.Subject)
+		return 1
+	}
+	tgt := sub.Correct
+	if *buggy {
+		tgt = sub.Buggy
+	}
+
+	cfg := soak.Config{Target: tgt, Spec: sp, KillWindow: *kill}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if sp.Mode == soak.ModeProc {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdsoak: %v\n", err)
+			return 1
+		}
+		cfg.ChildCommand = func(schedRepro, path string, syncEvery int) *exec.Cmd {
+			args := []string{"-child", "-sched", schedRepro, "-o", path, "-sync", strconv.Itoa(syncEvery)}
+			if *buggy {
+				args = append(args, "-buggy")
+			}
+			return exec.Command(exe, args...)
+		}
+	}
+
+	fmt.Printf("soaking %s (%s)\nrepro: %s\n", sp.Subject, tgt.Name, sp.Repro())
+	res, err := soak.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdsoak: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Printf("ok: %s\n", res)
+	return 0
+}
+
+// runChild is the producer side: replay the controlled schedule to the
+// output file and (usually) get SIGKILLed partway through.
+func runChild(schedRepro, out string, sync int, buggy bool) int {
+	if schedRepro == "" || out == "" {
+		fmt.Fprintln(os.Stderr, "vyrdsoak: -child requires -sched and -o")
+		return 1
+	}
+	csp, err := sched.ParseRepro(schedRepro)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdsoak: %v\n", err)
+		return 1
+	}
+	sub, ok := bench.SubjectByName(csp.Subject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vyrdsoak: unknown subject %q\n", csp.Subject)
+		return 1
+	}
+	tgt := sub.Correct
+	if buggy {
+		tgt = sub.Buggy
+	}
+	if err := soak.RunChild(tgt, schedRepro, out, sync); err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdsoak: child: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -21,6 +21,7 @@ type Snapshot struct {
 	Table3      []Table3Row      `json:",omitempty"`
 	LogPipeline []LogPipelineRow `json:",omitempty"`
 	Explore     []ExploreRow     `json:",omitempty"`
+	Durability  []DurabilityRow  `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

@@ -5,12 +5,14 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Binary codec (format version 2). Each entry is one frame:
+// Binary codec (format versions 2 and 3). Each entry is one frame:
 //
-//	uvarint payload-length | payload
+//	uvarint payload-length | payload              (version 2)
+//	uvarint payload-length | payload | crc32c     (version 3)
 //
 // and the payload is:
 //
@@ -27,11 +29,28 @@ import (
 // frame scanning only reads length prefixes, so a single reader can slice
 // the stream into batches for a decode worker pool (parallel.go) while the
 // checker consumes entries strictly in order.
+//
+// Version 3 adds crash consistency: every frame carries a trailing CRC32-C
+// of its payload (the length prefix is implicitly covered — a corrupt
+// prefix either points past the buffer or frames a payload whose checksum
+// cannot match), and the stream is punctuated by sync markers: distinguished
+// frames whose payload is `0x00 | uvarint last-seq`. Entry payloads always
+// start with the uvarint of a sequence number >= 1, so a leading zero byte
+// unambiguously identifies a marker. The durable sink (internal/wal) flushes
+// and fsyncs at each marker, and wal.Recover uses checksums, markers and
+// sequence contiguity to find the last valid frame boundary of a torn file.
 
 // maxFrameSize bounds a single frame so a corrupt length prefix cannot ask
 // for gigabytes. Logged values are method arguments and small buffers; 16MB
 // is far above anything a probe writes.
 const maxFrameSize = 16 << 20
+
+// frameCRCSize is the trailing checksum of a version-3 frame.
+const frameCRCSize = 4
+
+// castagnoli is the CRC32-C polynomial table (the checksum of iSCSI, ext4
+// and Snappy; hardware-accelerated on amd64/arm64 through hash/crc32).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Field-presence flags in the payload header byte.
 const (
@@ -59,10 +78,9 @@ const (
 	tagGob // registered custom type: uvarint length + fresh gob stream
 )
 
-// appendFrame appends the framed encoding of e to buf.
+// appendFrame appends the framed version-3 encoding of e (length prefix,
+// payload, CRC32-C) to buf.
 func appendFrame(buf []byte, e Entry) ([]byte, error) {
-	// Encode the payload after a reserved length prefix, then move it into
-	// place: payload sizes are small, so re-copying beats encoding twice.
 	start := len(buf)
 	buf = append(buf, 0, 0, 0) // room for the common 1-3 byte length prefix
 	body := len(buf)
@@ -70,16 +88,76 @@ func appendFrame(buf []byte, e Entry) ([]byte, error) {
 	if buf, err = appendPayload(buf, e); err != nil {
 		return buf, err
 	}
+	return sealFrameCRC(buf, start, body), nil
+}
+
+// appendFrameNoCRC appends the version-2 frame shape (no checksum),
+// byte-identical to the historical v2 encoder's output.
+func appendFrameNoCRC(buf []byte, e Entry) ([]byte, error) {
+	// Encode the payload after a reserved length prefix, then move it into
+	// place: payload sizes are small, so re-copying beats encoding twice.
+	start := len(buf)
+	buf = append(buf, 0, 0, 0)
+	body := len(buf)
+	var err error
+	if buf, err = appendPayload(buf, e); err != nil {
+		return buf, err
+	}
+	return sealFrame(buf, start, body), nil
+}
+
+// sealFrame writes the length prefix for the payload occupying buf[body:]
+// into the space reserved at buf[start:body] (shifting the payload when the
+// uvarint needs a different width) and returns the framed buffer.
+func sealFrame(buf []byte, start, body int) []byte {
 	size := uint64(len(buf) - body)
 	var pfx [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(pfx[:], size)
 	if n != body-start {
 		// Rare: the prefix needs a different width than reserved; shift.
 		buf = append(buf[:start+n], buf[body:]...)
-		body = start + n
 	}
 	copy(buf[start:], pfx[:n])
-	return buf, nil
+	return buf
+}
+
+// sealFrameCRC seals the frame like sealFrame and appends the CRC32-C of
+// the payload, completing a version-3 frame. The checksum is computed
+// before sealing moves the payload, so it covers exactly buf[body:].
+func sealFrameCRC(buf []byte, start, body int) []byte {
+	sum := crc32.Checksum(buf[body:], castagnoli)
+	buf = sealFrame(buf, start, body)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// appendSyncMarker appends a version-3 sync marker frame recording that
+// every entry up to and including lastSeq precedes it in the stream. The
+// durable sink flushes and fsyncs after writing one, so recovery can trust
+// that everything before a marker was meant to reach disk.
+func appendSyncMarker(buf []byte, lastSeq int64) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0)
+	body := len(buf)
+	buf = append(buf, 0x00) // the marker discriminator: entry seqs are >= 1
+	buf = binary.AppendUvarint(buf, uint64(lastSeq))
+	return sealFrameCRC(buf, start, body)
+}
+
+// isSyncMarker reports whether a frame payload is a sync marker rather
+// than an entry: entry payloads begin with the uvarint of a sequence
+// number >= 1, so a leading zero byte is unambiguous.
+func isSyncMarker(payload []byte) bool { return len(payload) > 0 && payload[0] == 0x00 }
+
+// decodeSyncMarker extracts the last-seq value of a marker payload.
+func decodeSyncMarker(payload []byte) (lastSeq int64, ok bool) {
+	if !isSyncMarker(payload) {
+		return 0, false
+	}
+	v, n := binary.Uvarint(payload[1:])
+	if n <= 0 || 1+n != len(payload) || v > 1<<62 {
+		return 0, false
+	}
+	return int64(v), true
 }
 
 // appendPayload appends the payload encoding of e (no length prefix).

@@ -10,22 +10,28 @@ import (
 
 // The paper's logging mechanism uses the binary object serialization of the
 // .NET platform to restore record objects as they were saved at runtime
-// (Section 6.1). This package plays the same role with two codecs:
+// (Section 6.1). This package plays the same role with three codecs:
 //
-//   - CodecBinary (format version 2, the default): a hand-rolled
-//     length-prefixed framed encoding (see binary.go). Every record is an
-//     independent frame, so offline replay can scan frame boundaries cheaply
-//     and decode frames on a worker pool (see StreamParallel).
-//   - CodecGob (format version 1): the original encoding/gob stream, kept for
-//     reading old artifacts and as the A/B comparison point in benchmarks.
+//   - CodecBinary (format version 3, the default): the hand-rolled
+//     length-prefixed framed encoding (see binary.go) with a trailing
+//     CRC32-C per frame and periodic sync markers for crash recovery.
+//     Every record is an independent frame, so offline replay can scan
+//     frame boundaries cheaply and decode frames on a worker pool (see
+//     StreamParallel).
+//   - CodecBinaryV2 (format version 2): the same framing without checksums
+//     or markers; kept for regenerating old artifacts and as the CRC
+//     overhead A/B point in benchmarks.
+//   - CodecGob (format version 1): the original encoding/gob stream, kept
+//     for reading old artifacts.
 //
 // Persisted streams start with a fixed header (magic + format version); the
-// version byte identifies the codec. Entry layout drift — a field added to
-// Entry, a renumbered kind — then fails decoding with an explicit "log format
-// version mismatch" instead of an opaque decode error deep in the stream.
-// Bump FormatVersion whenever the binary wire shape of Entry changes;
-// committed artifacts are regenerated with `go generate ./vyrd` (see
-// cmd/genfig6).
+// version byte identifies the codec. The binary decoders read both versions
+// 2 and 3 (a per-stream flag tracks whether frames carry checksums), so old
+// v2 artifacts stay readable. Entry layout drift — a field added to Entry,
+// a renumbered kind — fails decoding with an explicit "log format version
+// mismatch" instead of an opaque decode error deep in the stream. Bump
+// FormatVersion whenever the binary wire shape of Entry changes; committed
+// artifacts are regenerated with `go generate ./vyrd` (see cmd/genfig6).
 
 // FormatVersion is the current (binary-codec) log stream format. Version
 // history:
@@ -33,10 +39,15 @@ import (
 //	1: initial versioned format (header + gob-encoded Entry records)
 //	2: length-prefixed framed binary records (binary.go), gob retained
 //	   behind CodecGob for old-log reads and A/B benchmarks
-const FormatVersion = 2
+//	3: version 2 plus a trailing CRC32-C per frame and sync marker frames,
+//	   enabling torn-tail recovery (wal.Recover); version 2 stays readable
+const FormatVersion = 3
 
 // formatVersionGob is the stream version written and read by CodecGob.
 const formatVersionGob = 1
+
+// formatVersionBinaryV2 is the pre-checksum framed binary stream version.
+const formatVersionBinaryV2 = 2
 
 // formatMagic identifies a VYRD log stream; the byte after it carries the
 // format version.
@@ -50,26 +61,47 @@ var ErrFormatMismatch = errors.New("log format version mismatch")
 type Codec uint8
 
 const (
-	// CodecBinary is the current framed binary encoding (format version 2).
+	// CodecBinary is the current framed binary encoding (format version 3:
+	// per-frame CRC32-C + sync markers).
 	CodecBinary Codec = iota
 	// CodecGob is the legacy encoding/gob stream (format version 1).
 	CodecGob
+	// CodecBinaryV2 is the pre-checksum framed binary encoding (format
+	// version 2), kept for regenerating old artifacts and measuring the
+	// checksum overhead.
+	CodecBinaryV2
 )
 
 // String returns the codec name as used in benchmarks and CLI flags.
 func (c Codec) String() string {
-	if c == CodecGob {
+	switch c {
+	case CodecGob:
 		return "gob"
+	case CodecBinaryV2:
+		return "binary-v2"
 	}
 	return "binary"
 }
 
-// version returns the header version byte a codec writes and accepts.
+// version returns the header version byte a codec writes.
 func (c Codec) version() byte {
-	if c == CodecGob {
+	switch c {
+	case CodecGob:
 		return formatVersionGob
+	case CodecBinaryV2:
+		return formatVersionBinaryV2
 	}
 	return FormatVersion
+}
+
+// reads reports whether a decoder of codec c accepts a stream of header
+// version v. The binary decoders read both the checksummed (3) and the
+// pre-checksum (2) framing; gob is exactly version 1.
+func (c Codec) reads(v byte) bool {
+	if c == CodecGob {
+		return v == formatVersionGob
+	}
+	return v == formatVersionBinaryV2 || v == FormatVersion
 }
 
 func init() {
@@ -115,13 +147,21 @@ func NewEncoderCodec(w io.Writer, c Codec) *Encoder {
 	return e
 }
 
+// writeHeader emits the stream header once, before the first record.
+func (e *Encoder) writeHeader() error {
+	if _, err := e.w.Write(append([]byte(formatMagic), e.codec.version())); err != nil {
+		return fmt.Errorf("event: write stream header: %w", err)
+	}
+	e.headed = true
+	return nil
+}
+
 // Encode appends one entry to the stream.
 func (e *Encoder) Encode(entry Entry) error {
 	if !e.headed {
-		if _, err := e.w.Write(append([]byte(formatMagic), e.codec.version())); err != nil {
-			return fmt.Errorf("event: write stream header: %w", err)
+		if err := e.writeHeader(); err != nil {
+			return err
 		}
-		e.headed = true
 	}
 	if e.codec == CodecGob {
 		// Symbol ids are process-local; never let them reach the wire.
@@ -131,13 +171,36 @@ func (e *Encoder) Encode(entry Entry) error {
 		}
 		return nil
 	}
-	buf, err := appendFrame(e.buf[:0], entry)
+	var buf []byte
+	var err error
+	if e.codec == CodecBinaryV2 {
+		buf, err = appendFrameNoCRC(e.buf[:0], entry)
+	} else {
+		buf, err = appendFrame(e.buf[:0], entry)
+	}
 	if err != nil {
 		return fmt.Errorf("event: encode entry #%d: %w", entry.Seq, err)
 	}
 	e.buf = buf // keep the grown scratch for the next entry
 	if _, err := e.w.Write(buf); err != nil {
 		return fmt.Errorf("event: write entry #%d: %w", entry.Seq, err)
+	}
+	return nil
+}
+
+// SyncMarker appends a sync marker frame recording that every entry with
+// sequence number <= lastSeq precedes it in the stream. Markers exist only
+// in the version-3 format; for other codecs — and before any entry has
+// been written — SyncMarker is a no-op, so callers can emit markers on a
+// fixed cadence without caring which codec is attached.
+func (e *Encoder) SyncMarker(lastSeq int64) error {
+	if e.codec != CodecBinary || !e.headed {
+		return nil
+	}
+	buf := appendSyncMarker(e.buf[:0], lastSeq)
+	e.buf = buf
+	if _, err := e.w.Write(buf); err != nil {
+		return fmt.Errorf("event: write sync marker: %w", err)
 	}
 	return nil
 }
@@ -150,9 +213,10 @@ type Decoder struct {
 	r      io.Reader
 	codec  Codec
 	dec    *gob.Decoder  // CodecGob only
-	br     *bufio.Reader // CodecBinary only
-	buf    []byte        // CodecBinary payload scratch
+	br     *bufio.Reader // binary codecs only
+	buf    []byte        // binary payload scratch
 	headed bool
+	crc    bool // stream is version 3: frames checksummed, markers present
 }
 
 // NewDecoder returns a Decoder reading the current binary format from r.
@@ -174,38 +238,47 @@ func NewDecoderCodec(r io.Reader, c Codec) *Decoder {
 }
 
 // readHeader consumes and validates the stream header against rd, the
-// reader the stream bytes come from.
-func readHeader(rd io.Reader, c Codec) error {
+// reader the stream bytes come from, and returns the stream's format
+// version (the binary decoders accept more than one).
+func readHeader(rd io.Reader, c Codec) (byte, error) {
 	hdr := make([]byte, len(formatMagic)+1)
 	n, err := io.ReadFull(rd, hdr)
 	if err == io.EOF && n == 0 {
-		return io.EOF // empty stream: no entries, not a format error
+		return 0, io.EOF // empty stream: no entries, not a format error
 	}
 	if err != nil {
-		return fmt.Errorf("event: %w: stream too short for a VYRDLOG header", ErrFormatMismatch)
+		return 0, fmt.Errorf("event: %w: stream too short for a VYRDLOG header", ErrFormatMismatch)
 	}
 	if string(hdr[:len(formatMagic)]) != formatMagic {
-		return fmt.Errorf("event: %w: stream has no VYRDLOG header (pre-versioning artifact? regenerate it, e.g. go generate ./vyrd)", ErrFormatMismatch)
+		return 0, fmt.Errorf("event: %w: stream has no VYRDLOG header (pre-versioning artifact? regenerate it, e.g. go generate ./vyrd)", ErrFormatMismatch)
 	}
-	if v := hdr[len(formatMagic)]; v != c.version() {
-		return fmt.Errorf("event: %w: stream has format version %d, this %s decoder reads version %d",
-			ErrFormatMismatch, v, c, c.version())
+	v := hdr[len(formatMagic)]
+	if !c.reads(v) {
+		if c == CodecGob {
+			return 0, fmt.Errorf("event: %w: stream has format version %d, this %s decoder reads version %d",
+				ErrFormatMismatch, v, c, formatVersionGob)
+		}
+		return 0, fmt.Errorf("event: %w: stream has format version %d, this %s decoder reads versions %d-%d",
+			ErrFormatMismatch, v, c, formatVersionBinaryV2, FormatVersion)
 	}
-	return nil
+	return v, nil
 }
 
-// Decode reads the next entry. It returns io.EOF at end of stream. Decoded
-// entries carry freshly interned Sym/WSym/Mod ids.
+// Decode reads the next entry, transparently skipping sync marker frames.
+// It returns io.EOF at end of stream. Decoded entries carry freshly
+// interned Sym/WSym/Mod ids.
 func (d *Decoder) Decode() (Entry, error) {
 	if !d.headed {
 		rd := d.r
 		if d.br != nil {
 			rd = d.br
 		}
-		if err := readHeader(rd, d.codec); err != nil {
+		v, err := readHeader(rd, d.codec)
+		if err != nil {
 			return Entry{}, err
 		}
 		d.headed = true
+		d.crc = v == FormatVersion
 	}
 	if d.codec == CodecGob {
 		var entry Entry
@@ -218,20 +291,29 @@ func (d *Decoder) Decode() (Entry, error) {
 		entry.Intern()
 		return entry, nil
 	}
-	payload, err := readFrame(d.br, &d.buf)
-	if err != nil {
-		return Entry{}, err
+	for {
+		payload, err := readFrame(d.br, &d.buf, d.crc)
+		if err != nil {
+			return Entry{}, err
+		}
+		if d.crc && isSyncMarker(payload) {
+			if _, ok := decodeSyncMarker(payload); !ok {
+				return Entry{}, fmt.Errorf("event: malformed sync marker frame")
+			}
+			continue
+		}
+		entry, err := decodeEntry(payload)
+		if err != nil {
+			return Entry{}, err
+		}
+		return entry, nil
 	}
-	entry, err := decodeEntry(payload)
-	if err != nil {
-		return Entry{}, err
-	}
-	return entry, nil
 }
 
 // readFrame reads one length-prefixed frame into *scratch (grown as needed)
-// and returns the payload slice, valid until the next call.
-func readFrame(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+// and returns the payload slice, valid until the next call. With crc set
+// the trailing checksum is read alongside the payload and verified.
+func readFrame(br *bufio.Reader, scratch *[]byte, crc bool) ([]byte, error) {
 	size, err := readUvarint(br)
 	if err != nil {
 		if err == io.EOF {
@@ -242,12 +324,22 @@ func readFrame(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	if size > maxFrameSize {
 		return nil, fmt.Errorf("event: frame length %d exceeds limit %d (corrupt stream?)", size, maxFrameSize)
 	}
-	if uint64(cap(*scratch)) < size {
-		*scratch = make([]byte, size, size*2)
+	whole := size
+	if crc {
+		whole += frameCRCSize
 	}
-	payload := (*scratch)[:size]
-	if _, err := io.ReadFull(br, payload); err != nil {
+	if uint64(cap(*scratch)) < whole {
+		*scratch = make([]byte, whole, whole*2)
+	}
+	buf := (*scratch)[:whole]
+	if _, err := io.ReadFull(br, buf); err != nil {
 		return nil, fmt.Errorf("event: read frame payload: %w", err)
+	}
+	payload := buf[:size]
+	if crc {
+		if err := verifyFrameCRC(payload, buf[size:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

@@ -3,9 +3,10 @@ package event
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
-// Exported frame surface of the binary codec (format version 2), for
+// Exported frame surface of the binary codec (format version 3), for
 // consumers that embed entry frames inside their own framing instead of
 // reading a whole VYRDLOG stream — the remote verification protocol ships
 // batches of entry frames as the payload of its data frames, with the
@@ -13,16 +14,17 @@ import (
 // per-stream header.
 
 // AppendEntryFrame appends the framed binary encoding of e (uvarint
-// payload-length prefix + payload, exactly the record shape of a
-// FormatVersion-2 VYRDLOG stream) to buf and returns the extended buffer.
+// payload-length prefix + payload + CRC32-C, exactly the record shape of a
+// FormatVersion-3 VYRDLOG stream) to buf and returns the extended buffer.
 func AppendEntryFrame(buf []byte, e Entry) ([]byte, error) {
 	return appendFrame(buf, e)
 }
 
 // DecodeEntryFrame decodes the first entry frame in p and returns the entry
-// and the remaining bytes. Any truncation — a cut inside the length prefix
-// or inside the payload — is reported as ErrShortFrame so stream reassembly
-// can wait for more bytes; other errors mean the stream is corrupt.
+// and the remaining bytes. Any truncation — a cut inside the length prefix,
+// the payload, or the trailing checksum — is reported as ErrShortFrame so
+// stream reassembly can wait for more bytes; other errors (including a
+// checksum mismatch) mean the stream is corrupt.
 func DecodeEntryFrame(p []byte) (Entry, []byte, error) {
 	size, n := binary.Uvarint(p)
 	if n == 0 {
@@ -35,14 +37,28 @@ func DecodeEntryFrame(p []byte) (Entry, []byte, error) {
 		return Entry{}, p, fmt.Errorf("event: frame length %d exceeds limit %d (corrupt stream?)", size, maxFrameSize)
 	}
 	rest := p[n:]
-	if uint64(len(rest)) < size {
+	if uint64(len(rest)) < size+frameCRCSize {
 		return Entry{}, p, ErrShortFrame
 	}
-	e, err := decodeEntry(rest[:size])
+	payload := rest[:size]
+	if err := verifyFrameCRC(payload, rest[size:size+frameCRCSize]); err != nil {
+		return Entry{}, p, err
+	}
+	e, err := decodeEntry(payload)
 	if err != nil {
 		return Entry{}, p, err
 	}
-	return e, rest[size:], nil
+	return e, rest[size+frameCRCSize:], nil
+}
+
+// verifyFrameCRC checks a frame payload against its trailing checksum
+// bytes (little-endian CRC32-C).
+func verifyFrameCRC(payload, crc []byte) error {
+	want := binary.LittleEndian.Uint32(crc)
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return fmt.Errorf("event: frame checksum mismatch (got %08x, want %08x): corrupt stream", got, want)
+	}
+	return nil
 }
 
 // ErrShortFrame reports that a buffer ends before the frame it starts is

@@ -31,9 +31,10 @@ const (
 )
 
 type decBatch struct {
-	raw     []byte  // concatenated frame payloads
-	bounds  []int   // payload end offsets into raw
+	raw     []byte  // concatenated frames (payload, plus checksum when crc)
+	bounds  []int   // frame end offsets into raw
 	entries []Entry // decoded by a worker
+	crc     bool    // version-3 stream: frames checksummed, markers present
 	err     error
 	done    chan struct{}
 }
@@ -51,14 +52,16 @@ func StreamParallel(r io.Reader, workers int, fn func(Entry) error) error {
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<20)
 	}
-	if err := readHeader(br, CodecBinary); err != nil {
+	v, err := readHeader(br, CodecBinary)
+	if err != nil {
 		if err == io.EOF {
 			return nil // empty stream: no entries
 		}
 		return err
 	}
+	crc := v == FormatVersion
 	if workers == 1 {
-		return streamSequential(br, fn)
+		return streamSequential(br, crc, fn)
 	}
 
 	jobs := make(chan *decBatch, workers)      // workers pull here
@@ -87,6 +90,7 @@ func StreamParallel(r io.Reader, workers int, fn func(Entry) error) error {
 				b = &decBatch{}
 			}
 			b.done = make(chan struct{})
+			b.crc = crc
 			eof, err := fillBatch(br, b)
 			if err != nil {
 				readErr = err
@@ -102,7 +106,7 @@ func StreamParallel(r io.Reader, workers int, fn func(Entry) error) error {
 		}
 	}()
 
-	var err error
+	err = nil
 	for b := range ordered {
 		<-b.done
 		if err == nil {
@@ -135,15 +139,21 @@ func StreamParallel(r io.Reader, workers int, fn func(Entry) error) error {
 
 // streamSequential is the workers==1 shortcut: plain decode loop, no
 // goroutines.
-func streamSequential(br *bufio.Reader, fn func(Entry) error) error {
+func streamSequential(br *bufio.Reader, crc bool, fn func(Entry) error) error {
 	var scratch []byte
 	for {
-		payload, err := readFrame(br, &scratch)
+		payload, err := readFrame(br, &scratch, crc)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
+		}
+		if crc && isSyncMarker(payload) {
+			if _, ok := decodeSyncMarker(payload); !ok {
+				return fmt.Errorf("event: malformed sync marker frame")
+			}
+			continue
 		}
 		e, err := decodeEntry(payload)
 		if err != nil {
@@ -159,7 +169,9 @@ func streamSequential(br *bufio.Reader, fn func(Entry) error) error {
 }
 
 // fillBatch reads frames into b until a size threshold or EOF. It reports
-// eof=true at a clean end of stream and errors on truncated frames.
+// eof=true at a clean end of stream and errors on truncated frames. The
+// reader only scans length prefixes; checksum verification (like entry
+// decoding) is deferred to the workers.
 func fillBatch(br *bufio.Reader, b *decBatch) (eof bool, err error) {
 	for len(b.raw) < batchBytes && len(b.bounds) < batchFrames {
 		size, err := readUvarint(br)
@@ -171,6 +183,9 @@ func fillBatch(br *bufio.Reader, b *decBatch) (eof bool, err error) {
 		}
 		if size > maxFrameSize {
 			return false, fmt.Errorf("event: frame length %d exceeds limit %d (corrupt stream?)", size, maxFrameSize)
+		}
+		if b.crc {
+			size += frameCRCSize
 		}
 		start := len(b.raw)
 		if uint64(cap(b.raw)-start) < size {
@@ -187,20 +202,41 @@ func fillBatch(br *bufio.Reader, b *decBatch) (eof bool, err error) {
 	return false, nil
 }
 
-// decodeBatch decodes every frame in b.raw into b.entries.
+// decodeBatch decodes every frame in b.raw into b.entries, verifying
+// checksums and dropping sync markers on version-3 batches.
 func decodeBatch(b *decBatch) {
 	if cap(b.entries) < len(b.bounds) {
 		b.entries = make([]Entry, 0, len(b.bounds))
 	}
 	start := 0
 	for _, end := range b.bounds {
-		e, err := decodeEntry(b.raw[start:end])
+		payload := b.raw[start:end]
+		start = end
+		if b.crc {
+			n := len(payload) - frameCRCSize
+			if n < 0 {
+				b.err = fmt.Errorf("event: frame shorter than its checksum")
+				return
+			}
+			if err := verifyFrameCRC(payload[:n], payload[n:]); err != nil {
+				b.err = err
+				return
+			}
+			payload = payload[:n]
+			if isSyncMarker(payload) {
+				if _, ok := decodeSyncMarker(payload); !ok {
+					b.err = fmt.Errorf("event: malformed sync marker frame")
+					return
+				}
+				continue
+			}
+		}
+		e, err := decodeEntry(payload)
 		if err != nil {
 			b.err = err
 			return
 		}
 		b.entries = append(b.entries, e)
-		start = end
 	}
 }
 

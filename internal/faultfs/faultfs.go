@@ -1,0 +1,264 @@
+// Package faultfs is an in-process fault-injection filesystem seam. The
+// durability layer (wal sinks, cmd/vyrd -save/-load, the soak harness)
+// opens files through the FS interface instead of the os package directly;
+// production code passes OS, tests and the chaos harness pass a Faulty
+// wrapper that injects short writes, write errors, fsync failures, and
+// crash-at-byte-N truncation from a seeded, reproducible schedule.
+//
+// The remote layer grew the same seam for the network in PR 3 (the
+// fault-injection dialer); this is its disk counterpart. Leucker's note on
+// runtime verification of concurrent systems makes the stakes concrete: a
+// monitor is only as trustworthy as the trace it consumes, so the trace's
+// path to disk has to be tested under the failures disks actually exhibit.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// File is the slice of *os.File the durability layer needs. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+	// Name returns the name of the file as presented to Open/Create.
+	Name() string
+}
+
+// FS creates and opens files. The zero-dependency production
+// implementation is OS.
+type FS interface {
+	// Create truncates-or-creates a file for writing (os.Create).
+	Create(name string) (File, error)
+	// Open opens a file for reading (os.Open).
+	Open(name string) (File, error)
+	// OpenRW opens an existing file for reading and writing, preserving
+	// its contents — what recovery needs to truncate a torn tail in
+	// place.
+	OpenRW(name string) (File, error)
+}
+
+// *os.File must keep satisfying File: the production path has no wrapper.
+var _ File = (*os.File)(nil)
+
+// OS is the real filesystem: straight delegation to the os package.
+type OS struct{}
+
+// Create implements FS via os.Create.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS via os.Open.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// OpenRW implements FS via os.OpenFile(O_RDWR).
+func (OS) OpenRW(name string) (File, error) { return os.OpenFile(name, os.O_RDWR, 0) }
+
+// Config is a seeded fault schedule. The zero value injects nothing. All
+// byte/count thresholds are cumulative per file, so a schedule names exact
+// points in a file's write history and replays identically from the seed.
+type Config struct {
+	// Seed drives the randomized faults (ShortWriteEvery jitter). Two
+	// Faulty instances with equal Config produce identical fault
+	// sequences.
+	Seed int64
+	// CrashAtByte, when > 0, models the process (or kernel) dying after N
+	// bytes reached the file: every byte past the threshold is silently
+	// dropped while the writer keeps seeing successful writes, syncs and
+	// closes — exactly what a log writer observes before a crash, since
+	// the data loss is only discovered on reopen.
+	CrashAtByte int64
+	// FailWriteAt, when > 0, makes the Nth write call (1-based, counted
+	// per file) fail with ErrInjectedWrite after writing nothing.
+	FailWriteAt int
+	// FailSyncAt, when > 0, makes the Nth Sync call (1-based, per file)
+	// fail with ErrInjectedSync.
+	FailSyncAt int
+	// FailReadAt, when > 0, makes the Nth Read call (1-based, per file)
+	// fail with ErrInjectedRead.
+	FailReadAt int
+	// ShortWriteEvery, when > 0, truncates roughly every Nth write call to
+	// a random prefix (possibly empty) and returns io.ErrShortWrite, as a
+	// disk-full or signal-interrupted write would.
+	ShortWriteEvery int
+}
+
+// Injected errors, distinguishable from real filesystem failures in test
+// assertions.
+var (
+	ErrInjectedWrite = fmt.Errorf("faultfs: injected write error")
+	ErrInjectedSync  = fmt.Errorf("faultfs: injected sync failure")
+	ErrInjectedRead  = fmt.Errorf("faultfs: injected read error")
+)
+
+// Faulty wraps an FS with a fault schedule. Each file opened through it
+// carries its own counters, all derived from Config.
+type Faulty struct {
+	fs  FS
+	cfg Config
+}
+
+// New wraps fs with the fault schedule cfg.
+func New(fs FS, cfg Config) *Faulty { return &Faulty{fs: fs, cfg: cfg} }
+
+// Create opens a faulty file for writing.
+func (f *Faulty) Create(name string) (File, error) {
+	inner, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return newFaultyFile(inner, f.cfg), nil
+}
+
+// Open opens a faulty file for reading.
+func (f *Faulty) Open(name string) (File, error) {
+	inner, err := f.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return newFaultyFile(inner, f.cfg), nil
+}
+
+// OpenRW opens a faulty file for reading and writing.
+func (f *Faulty) OpenRW(name string) (File, error) {
+	inner, err := f.fs.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return newFaultyFile(inner, f.cfg), nil
+}
+
+// faultyFile injects the schedule around one file. The mutex serializes the
+// counters; the wal sink writes from one goroutine, but tests may probe a
+// file concurrently.
+type faultyFile struct {
+	inner File
+	cfg   Config
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	written int64 // bytes the caller believes reached the file
+	writes  int
+	syncs   int
+	reads   int
+}
+
+func newFaultyFile(inner File, cfg Config) *faultyFile {
+	return &faultyFile{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Write applies the schedule: injected failures first, then short writes,
+// then the crash-at-byte cutoff (which lies to the caller — the write
+// "succeeds" but bytes past the threshold never reach the inner file).
+func (f *faultyFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.cfg.FailWriteAt > 0 && f.writes == f.cfg.FailWriteAt {
+		return 0, ErrInjectedWrite
+	}
+	if f.cfg.ShortWriteEvery > 0 && f.writes%f.cfg.ShortWriteEvery == 0 && len(p) > 0 {
+		keep := f.rng.Intn(len(p))
+		n, err := f.passthrough(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return f.passthrough(p)
+}
+
+// passthrough writes p honoring CrashAtByte. Callers hold f.mu.
+func (f *faultyFile) passthrough(p []byte) (int, error) {
+	if f.cfg.CrashAtByte <= 0 {
+		n, err := f.inner.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	room := f.cfg.CrashAtByte - f.written
+	if room < 0 {
+		room = 0
+	}
+	keep := int64(len(p))
+	if keep > room {
+		keep = room
+	}
+	if keep > 0 {
+		n, err := f.inner.Write(p[:keep])
+		f.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	// Bytes past the cutoff vanish, but the caller sees full success: a
+	// crashing machine acknowledges writes it will never persist.
+	f.written += int64(len(p)) - keep
+	return len(p), nil
+}
+
+// Read applies FailReadAt, then delegates.
+func (f *faultyFile) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	fail := f.cfg.FailReadAt > 0 && f.reads == f.cfg.FailReadAt
+	f.mu.Unlock()
+	if fail {
+		return 0, ErrInjectedRead
+	}
+	return f.inner.Read(p)
+}
+
+// Sync applies FailSyncAt; past the CrashAtByte cutoff it also succeeds
+// without doing anything, like an fsync acknowledged by a dying kernel.
+func (f *faultyFile) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	fail := f.cfg.FailSyncAt > 0 && f.syncs == f.cfg.FailSyncAt
+	crashed := f.cfg.CrashAtByte > 0 && f.written >= f.cfg.CrashAtByte
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	if crashed {
+		return nil
+	}
+	return f.inner.Sync()
+}
+
+// Truncate delegates; the fault schedule does not model truncation
+// failures (recovery's Truncate runs after the crash, on a healthy
+// filesystem).
+func (f *faultyFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+// Close always closes the inner file; past the crash cutoff the result is
+// reported as success regardless.
+func (f *faultyFile) Close() error {
+	err := f.inner.Close()
+	f.mu.Lock()
+	crashed := f.cfg.CrashAtByte > 0 && f.written >= f.cfg.CrashAtByte
+	f.mu.Unlock()
+	if crashed {
+		return nil
+	}
+	return err
+}
+
+// Name reports the inner file's name.
+func (f *faultyFile) Name() string { return f.inner.Name() }
+
+// Written returns how many bytes the caller believes it wrote (including
+// bytes dropped past the crash cutoff). Test helpers use it to compute
+// expected truncation points.
+func (f *faultyFile) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}

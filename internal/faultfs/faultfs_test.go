@@ -1,0 +1,131 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// writeChunks writes data to f in chunks of n bytes, tolerating short
+// writes, and returns the first error.
+func writeChunks(f File, data []byte, n int) error {
+	for len(data) > 0 {
+		c := n
+		if c > len(data) {
+			c = len(data)
+		}
+		if _, err := f.Write(data[:c]); err != nil && err != io.ErrShortWrite {
+			return err
+		}
+		data = data[c:]
+	}
+	return nil
+}
+
+func TestCrashAtByteDropsTailSilently(t *testing.T) {
+	mem := NewMemFS()
+	fs := New(mem, Config{CrashAtByte: 37})
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xab}, 100)
+	// Every write, sync and close reports success: the data loss is only
+	// discoverable on reopen, as after a real crash.
+	if err := writeChunks(f, data, 9); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got := mem.Bytes("log")
+	if len(got) != 37 {
+		t.Fatalf("crash file holds %d bytes, want exactly 37", len(got))
+	}
+	if !bytes.Equal(got, data[:37]) {
+		t.Fatalf("crash file is not a prefix of the written data")
+	}
+}
+
+func TestInjectedFailuresFireAtScheduledCalls(t *testing.T) {
+	fs := New(NewMemFS(), Config{FailWriteAt: 3, FailSyncAt: 2, FailReadAt: 1})
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		_, werr := f.Write([]byte("x"))
+		if (i == 3) != errors.Is(werr, ErrInjectedWrite) {
+			t.Fatalf("write %d: err %v", i, werr)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		serr := f.Sync()
+		if (i == 2) != errors.Is(serr, ErrInjectedSync) {
+			t.Fatalf("sync %d: err %v", i, serr)
+		}
+	}
+	r, err := fs.Open("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := r.Read(make([]byte, 1)); !errors.Is(rerr, ErrInjectedRead) {
+		t.Fatalf("read 1: err %v, want injected", rerr)
+	}
+	if _, rerr := r.Read(make([]byte, 8)); rerr != nil {
+		t.Fatalf("read 2: %v", rerr)
+	}
+}
+
+func TestShortWritesAreSeededAndDeterministic(t *testing.T) {
+	run := func() []byte {
+		mem := NewMemFS()
+		fs := New(mem, Config{Seed: 7, ShortWriteEvery: 2})
+		f, _ := fs.Create("log")
+		for i := 0; i < 20; i++ {
+			if _, err := f.Write([]byte("abcdefgh")); err != nil && err != io.ErrShortWrite {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		return mem.Bytes("log")
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different short-write patterns: %d vs %d bytes", len(a), len(b))
+	}
+	if len(a) == 20*8 {
+		t.Fatalf("no write came up short under ShortWriteEvery=2")
+	}
+}
+
+func TestMemFSReopenAndTruncate(t *testing.T) {
+	mem := NewMemFS()
+	f, err := mem.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := mem.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || string(all) != "hello world" {
+		t.Fatalf("read back %q, %v", all, err)
+	}
+	if err := r.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Bytes("f"); string(got) != "hello" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if _, err := mem.Open("missing"); err == nil {
+		t.Fatal("open of a missing file succeeded")
+	}
+}

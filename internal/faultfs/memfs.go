@@ -1,0 +1,118 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MemFS is an in-memory FS for tests and the fast soak mode: crash/recover
+// cycles without disk I/O. Files persist across Create/Open pairs within
+// one MemFS, mirroring a reopen after a crash.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memData)} }
+
+// memData is one file's contents, shared by every handle opened on it.
+type memData struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// Create truncates-or-creates name and returns a write handle.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[name]
+	if !ok {
+		d = &memData{}
+		m.files[name] = d
+	}
+	d.mu.Lock()
+	d.data = d.data[:0]
+	d.mu.Unlock()
+	return &MemFile{d: d, name: name}, nil
+}
+
+// Open returns a read handle positioned at the start of name.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	d, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: file does not exist", name)
+	}
+	return &MemFile{d: d, name: name}, nil
+}
+
+// OpenRW is identical to Open: every MemFile handle can read, append and
+// truncate.
+func (m *MemFS) OpenRW(name string) (File, error) { return m.Open(name) }
+
+// Bytes returns a copy of name's current contents (nil if absent).
+func (m *MemFS) Bytes(name string) []byte {
+	m.mu.Lock()
+	d, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.data...)
+}
+
+// MemFile is one handle on a MemFS file: writes append to the shared
+// contents, reads consume from this handle's own offset.
+type MemFile struct {
+	d    *memData
+	name string
+	off  int64
+}
+
+// Write appends p to the file.
+func (f *MemFile) Write(p []byte) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.d.data = append(f.d.data, p...)
+	return len(p), nil
+}
+
+// Read reads from the handle's offset.
+func (f *MemFile) Read(p []byte) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+// Sync is a no-op: memory is as stable as MemFS storage gets.
+func (f *MemFile) Sync() error { return nil }
+
+// Truncate shrinks (or zero-extends) the file to size.
+func (f *MemFile) Truncate(size int64) error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("faultfs: truncate %s: negative size", f.name)
+	}
+	for int64(len(f.d.data)) < size {
+		f.d.data = append(f.d.data, 0)
+	}
+	f.d.data = f.d.data[:size]
+	return nil
+}
+
+// Close is a no-op.
+func (f *MemFile) Close() error { return nil }
+
+// Name reports the file's name.
+func (f *MemFile) Name() string { return f.name }

@@ -19,6 +19,15 @@ type ClientOptions struct {
 	// Hello describes the session: spec name, mode, fail-fast, modular.
 	// FormatVersion, Session and Window are managed by the client.
 	Hello Hello
+	// Session, when non-empty, resumes an existing server session instead
+	// of opening a new one — the crash-resume path: a crashed producer's
+	// successor recovers its local log (wal.Recover), reconnects with the
+	// token the predecessor persisted (Client.Session), and replays the
+	// recovered entries from sequence 1. The server's Welcome carries its
+	// resume point and WriteEntry skips every sequence number the server
+	// already ingested, so the replay is idempotent and the stream
+	// continues exactly where the crash cut it.
+	Session string
 	// Window bounds the resend buffer in entries: WriteEntry blocks once
 	// Window entries are in flight unacknowledged, which stalls the wal
 	// sink reader and engages the log's own Window backpressure on the
@@ -178,8 +187,19 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		}
 	}
 	c := &Client{opts: opts, bufBase: 1, verdictCh: make(chan struct{})}
+	c.session = opts.Session
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
+}
+
+// Session returns the server-assigned session token (empty before the
+// first handshake). A producer that persists it next to its log file gives
+// its successor what ClientOptions.Session needs to resume the stream
+// after a crash.
+func (c *Client) Session() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -202,6 +222,12 @@ func (c *Client) WriteEntry(e event.Entry) error {
 		}
 		if len(c.buf) < c.opts.Window {
 			if want := c.bufBase + int64(len(c.buf)); e.Seq != want {
+				if e.Seq < want {
+					// Already buffered or acked: a resumed producer
+					// replaying its recovered prefix. Skip silently.
+					c.mu.Unlock()
+					return nil
+				}
 				c.mu.Unlock()
 				return fmt.Errorf("remote: out-of-order entry #%d (expected #%d)", e.Seq, want)
 			}

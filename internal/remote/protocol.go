@@ -19,8 +19,9 @@
 // either a Welcome frame (JSON: session id, resume-from sequence number) or
 // a Reject frame (JSON: reason — a FormatVersion mismatch, an unknown spec,
 // a draining server). The client then streams Entries frames, whose payload
-// is a batch of FormatVersion-2 framed binary entry records — byte-for-byte
-// the record shape of a persisted VYRDLOG stream, so the codec, its fuzz
+// is a batch of framed binary entry records (the current event
+// FormatVersion, CRC-checksummed since version 3) — byte-for-byte the
+// record shape of a persisted VYRDLOG stream, so the codec, its fuzz
 // corpus and its throughput carry over unchanged; the stream header is not
 // repeated per frame because the format version was pinned in the
 // handshake. The server acknowledges progress with Ack frames (uvarint: the

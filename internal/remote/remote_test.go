@@ -11,6 +11,7 @@ package remote_test
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -26,8 +27,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/faultfs"
 	"repro/internal/remote"
 	"repro/internal/spec"
+	"repro/internal/wal"
 	"repro/vyrd"
 )
 
@@ -592,6 +595,142 @@ func TestVyrdFacadeRemote(t *testing.T) {
 	}
 	if v.Report().First().Kind != core.ViolationObserver {
 		t.Errorf("violation kind = %v, want observer", v.Report().First().Kind)
+	}
+}
+
+// TestClientResumesCrashedSessionFromRecoveredLog is the end-to-end
+// crash-resume story: a producer persists its log locally through a
+// fault-injected file AND ships it to vyrdd; the process dies mid-stream
+// (the client torn down without Fin, the file torn mid-frame); a successor
+// recovers the local log, reconnects with the session token the
+// predecessor obtained, and replays the recovered entries from sequence 1.
+// The server's sequence-number dup-skip makes the replay idempotent, and
+// the resumed session's verdict must equal in-process checking of exactly
+// the recovered prefix — including the violation the crash failed to hide.
+func TestClientResumesCrashedSessionFromRecoveredLog(t *testing.T) {
+	_, addr := startServer(t, remote.ServerOptions{AckEvery: 4})
+
+	// A violating head followed by more clean activity, so the observer
+	// violation lands inside the recovered prefix, not in the torn tail.
+	trace := multisetTrace(40, true)
+	extra := multisetTrace(80, false)
+	for i := range extra {
+		extra[i].Seq = int64(len(trace) + i + 1)
+	}
+	trace = append(trace, extra...)
+
+	// Encode the stream once to learn its frame boundaries, then plant the
+	// crash point two bytes into the frame at three quarters of the trace:
+	// past everything the first client ships, and guaranteed mid-frame
+	// (every frame is at least five bytes), so recovery has a real torn
+	// tail to drop.
+	var sized bytes.Buffer
+	enc := event.NewEncoder(&sized)
+	var bounds []int
+	for _, e := range trace {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, sized.Len())
+	}
+	crashAt := int64(bounds[len(bounds)*3/4] + 2)
+
+	// First life: the whole trace goes to the local log through the
+	// faulty file, which silently drops every byte past crashAt — the
+	// page cache the machine lost. The first half also ships remotely.
+	mem := faultfs.NewMemFS()
+	ffs := faultfs.New(mem, faultfs.Config{CrashAtByte: crashAt})
+	f, err := ffs.Create("producer.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenc := event.NewEncoder(f)
+	for _, e := range trace {
+		if err := fenc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cl1, err := remote.NewClient(remote.ClientOptions{
+		Addr:         addr,
+		Hello:        remote.Hello{Spec: "multiset", Mode: "io"},
+		BatchEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(trace) / 2
+	for _, e := range trace[:half] {
+		if err := cl1.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry #%d: %v", e.Seq, err)
+		}
+	}
+	// Wait until the session exists server-side (handshake done, some
+	// entries acked), then crash: Close without Flush — no Fin, no
+	// verdict, the server keeps the session open for resumption.
+	deadline := time.Now().Add(5 * time.Second)
+	for (cl1.Session() == "" || cl1.Stats().EntriesAcked == 0) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	session := cl1.Session()
+	if session == "" || cl1.Stats().EntriesAcked == 0 {
+		t.Fatal("first client never established a session")
+	}
+	cl1.Close()
+
+	// Successor: recover the torn local log in place.
+	recovered, rep, err := wal.RecoverPath(mem, "producer.log")
+	if err != nil {
+		t.Fatalf("RecoverPath: %v", err)
+	}
+	if rep.Clean() || !rep.Truncated {
+		t.Fatalf("expected a torn tail, got recovery report: %v", rep)
+	}
+	// The parity assertion below needs the recovered prefix to cover
+	// everything the server already ingested; the 3/4 crash point vs the
+	// half-trace ship guarantees it with a wide margin.
+	if rep.LastSeq < int64(half) {
+		t.Fatalf("recovered only %d entries, fewer than the %d shipped before the crash", rep.LastSeq, half)
+	}
+	want := localSummary(t, recovered)
+	if want.TotalViolations == 0 {
+		t.Fatal("recovered prefix lost the violation; crash point planted wrong")
+	}
+
+	// Second life: resume with the predecessor's token and replay the
+	// recovered entries from sequence 1 — idempotent by dup-skip on both
+	// ends — then Fin for the verdict.
+	cl2, err := remote.NewClient(remote.ClientOptions{
+		Addr:         addr,
+		Hello:        remote.Hello{Spec: "multiset", Mode: "io"},
+		Session:      session,
+		BatchEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, cl2, recovered)
+	if got := cl2.Session(); got != session {
+		t.Errorf("resumed client session %q, want %q", got, session)
+	}
+	v := cl2.Verdict()
+	if v == nil {
+		t.Fatal("no verdict after resume")
+	}
+	// The resumed verdict covers exactly the recovered prefix: same
+	// summary as checking the recovered entries in process, and the
+	// observer violation survived crash, recovery and resume.
+	if got := v.Report().Summary(); got != want {
+		t.Errorf("resumed summary %+v != local recovered-prefix summary %+v", got, want)
+	}
+	if first := v.Report().First(); first == nil || first.Kind != core.ViolationObserver {
+		t.Errorf("resumed verdict lost the observer violation: %+v", first)
+	}
+	if st := cl2.Stats(); st.EntriesAcked != rep.LastSeq {
+		t.Errorf("resumed client acked %d entries, want %d (the recovered prefix)", st.EntriesAcked, rep.LastSeq)
 	}
 }
 

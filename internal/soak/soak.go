@@ -1,0 +1,465 @@
+// Package soak is the chaos soak harness: it crashes log-producing runs at
+// seeded points, recovers the torn log (wal.Recover), replays the recovered
+// prefix through the checker, and asserts the verdict matches what an
+// uninterrupted reference run says about the same prefix. One base seed
+// reproduces an entire campaign — or, via Spec.iterRepro, any single failing
+// iteration — in the style of vyrdx repro strings.
+//
+// Two crash modes:
+//
+//   - ModeFault crashes in-process: one uncontrolled harness run writes its
+//     sink through io.MultiWriter into a reference buffer and a faultfs file
+//     that silently drops everything past a seeded byte offset. Because
+//     reference and crash bytes come from the same run, no cross-run
+//     determinism is needed, and iterations cost only the run itself.
+//   - ModeProc crashes for real: a child process replays a controlled
+//     schedule (sched.Spec) to a file and is SIGKILLed at a seeded delay;
+//     the parent recomputes the reference by replaying the same schedule
+//     in-process with identical log options, relying on the controlled
+//     scheduler's byte-determinism contract.
+//
+// In both modes the invariants checked per iteration are the same:
+//
+//  1. the repaired file is byte-for-byte a prefix of the reference stream;
+//  2. the recovered entries are exactly the first LastSeq reference entries;
+//  3. the checker's verdict over the repaired file (CheckStream) equals its
+//     verdict over that reference prefix (CheckEntries).
+package soak
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/wal"
+	"repro/vyrd"
+)
+
+// Config parameterizes one soak campaign.
+type Config struct {
+	// Target is the resolved subject implementation (bench.SubjectByName,
+	// correct or buggy side — a buggy subject soaks fine: both verdicts are
+	// violating and must still agree).
+	Target harness.Target
+	// Spec is the campaign description.
+	Spec Spec
+	// ChildCommand builds the command that re-executes a producer child for
+	// ModeProc: it must replay the controlled schedule in repro against the
+	// campaign subject, streaming the log to path with the given sync
+	// cadence (see RunChild). Required in ModeProc, unused in ModeFault.
+	ChildCommand func(repro, path string, syncEvery int) *exec.Cmd
+	// KillWindow bounds ModeProc's seeded kill delay: iteration i kills its
+	// child at a uniform random point in [0, KillWindow). Size it to a few
+	// multiples of the child's startup+run time so the campaign mixes
+	// early kills (no file yet), mid-run kills (torn tails), and late
+	// kills (complete files). Default 50ms.
+	KillWindow time.Duration
+	// Dir is the scratch directory for ModeProc log files; empty means a
+	// fresh temp directory, removed when Run returns.
+	Dir string
+	// Progress, when non-nil, receives a line per iteration.
+	Progress io.Writer
+}
+
+// Result tallies a campaign.
+type Result struct {
+	// Iters counts iterations that ran to verification.
+	Iters int
+	// Skipped counts ModeProc iterations discarded without verification:
+	// the reference schedule fell back to free-running (not reproducible),
+	// or the child died before creating its log file.
+	Skipped int
+	// Truncated counts iterations where recovery cut a torn tail.
+	Truncated int
+	// CleanCrashes counts iterations whose crash landed on a frame
+	// boundary (or after the final flush): the file needed no repair.
+	CleanCrashes int
+	// Violations counts iterations whose recovered-prefix verdict was
+	// violating — and therefore, since Run fails on any mismatch, whose
+	// reference verdict was the same violation.
+	Violations int
+	// DanglingTails counts iterations whose only "violations" were the
+	// checker's end-of-log instrumentation diagnostics (a method still in
+	// flight when the crash hit). Those are expected for crash prefixes
+	// and are tallied apart from real refinement violations; the
+	// verdict-match assertion covers them all the same.
+	DanglingTails int
+	// EntriesRecovered and BytesDropped sum the recovery reports.
+	EntriesRecovered int64
+	BytesDropped     int64
+}
+
+func (r *Result) String() string {
+	s := fmt.Sprintf("%d iterations: %d torn-tail recoveries, %d clean crashes",
+		r.Iters, r.Truncated, r.CleanCrashes)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(", %d skipped", r.Skipped)
+	}
+	s += fmt.Sprintf("; %d entries recovered, %d bytes dropped; %d violating verdicts, %d dangling tails (all matched the reference)",
+		r.EntriesRecovered, r.BytesDropped, r.Violations, r.DanglingTails)
+	return s
+}
+
+// Run executes the campaign. It returns an error — carrying the failing
+// iteration's repro string — the moment any recovery invariant breaks; a
+// nil error means every iteration's recovered-prefix verdict matched its
+// uninterrupted reference.
+func Run(cfg Config) (*Result, error) {
+	cfg.Spec = cfg.Spec.withDefaults()
+	if cfg.Target.New == nil {
+		return nil, errors.New("soak: no target")
+	}
+	res := &Result{}
+	switch cfg.Spec.Mode {
+	case ModeFault:
+		return res, runFault(cfg, res)
+	case ModeProc:
+		return res, runProc(cfg, res)
+	}
+	return nil, fmt.Errorf("soak: unknown mode %v", cfg.Spec.Mode)
+}
+
+// level and mode mirror explore.Level/Mode: view refinement when the
+// target has a replayer, I/O refinement otherwise.
+func level(t harness.Target) vyrd.Level {
+	if t.NewReplayer != nil {
+		return vyrd.LevelView
+	}
+	return vyrd.LevelIO
+}
+
+func checkOpts(t harness.Target) []core.Option {
+	if t.NewReplayer != nil {
+		return []core.Option{core.WithMode(core.ModeView), core.WithReplayer(t.NewReplayer())}
+	}
+	return []core.Option{core.WithMode(core.ModeIO)}
+}
+
+// runFault is the in-process crash loop. A calibration run (seed-1, no
+// crash) sizes the crash window; each iteration then tees one uncontrolled
+// run into a reference buffer and a crash-at-byte file, recovers the file,
+// and verifies the three invariants.
+func runFault(cfg Config, res *Result) error {
+	sp := cfg.Spec
+	var calib bytes.Buffer
+	if err := runUncontrolled(cfg.Target, sp, sp.Seed-1, &calib); err != nil {
+		return fmt.Errorf("soak: calibration run: %w", err)
+	}
+	estimate := int64(calib.Len())
+	if estimate < 2 {
+		return fmt.Errorf("soak: calibration run produced a %d-byte log; nothing to crash", estimate)
+	}
+
+	for i := 0; i < sp.Iters; i++ {
+		seed := sp.Seed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		// Uniform in [1, ~1.25*estimate]: mostly mid-file tears, with a
+		// tail of offsets past the end (clean "crash after last write").
+		crashAt := 1 + rng.Int63n(estimate+estimate/4)
+
+		mem := faultfs.NewMemFS()
+		ffs := faultfs.New(mem, faultfs.Config{Seed: seed, CrashAtByte: crashAt})
+		cf, err := ffs.Create("soak.log")
+		if err != nil {
+			return err
+		}
+		var ref bytes.Buffer
+		if err := runUncontrolled(cfg.Target, sp, seed, io.MultiWriter(&ref, cf)); err != nil {
+			return fmt.Errorf("soak: iter %d (%s): %w", i, sp.iterRepro(i), err)
+		}
+		cf.Close()
+		estimate = int64(ref.Len())
+
+		_, rrep, err := wal.RecoverPath(mem, "soak.log")
+		if err != nil {
+			return fmt.Errorf("soak: iter %d crash@%d (%s): %w", i, crashAt, sp.iterRepro(i), err)
+		}
+		vrep, err := verifyAgainst(cfg.Target, mem.Bytes("soak.log"), rrep, ref.Bytes())
+		if err != nil {
+			return fmt.Errorf("soak: iter %d crash@%d (%s): %w", i, crashAt, sp.iterRepro(i), err)
+		}
+		tally(res, vrep, cfg.Progress, fmt.Sprintf("iter %3d: crash@%-6d %s", i, crashAt, vrep))
+	}
+	return nil
+}
+
+// runUncontrolled performs one plain (OS-scheduled) harness run of sp's
+// shape, streaming the log to w, and surfaces any sink error.
+func runUncontrolled(t harness.Target, sp Spec, seed int64, w io.Writer) error {
+	lvl := level(t)
+	log := vyrd.NewLogWith(lvl, vyrd.LogOptions{SyncEvery: sp.SyncEvery})
+	if err := log.AttachSink(w); err != nil {
+		return err
+	}
+	harness.RunOnLog(t, harness.Config{
+		Threads:      sp.Threads,
+		OpsPerThread: sp.Ops,
+		KeyPool:      sp.KeyPool,
+		Seed:         seed,
+		Level:        lvl,
+	}, log)
+	if err := log.SinkErr(); err != nil {
+		return fmt.Errorf("log sink: %w", err)
+	}
+	return nil
+}
+
+// runProc is the process-kill crash loop.
+func runProc(cfg Config, res *Result) error {
+	sp := cfg.Spec
+	if cfg.ChildCommand == nil {
+		return errors.New("soak: ModeProc requires Config.ChildCommand")
+	}
+	if cfg.KillWindow <= 0 {
+		cfg.KillWindow = 50 * time.Millisecond
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "vyrdsoak")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	for i := 0; i < sp.Iters; i++ {
+		seed := sp.Seed + int64(i)
+		csp := sched.Spec{
+			Subject: sp.Subject,
+			Threads: sp.Threads,
+			Ops:     sp.Ops,
+			KeyPool: sp.KeyPool,
+			Seed:    seed,
+			D:       sp.D,
+			K:       sp.K,
+		}
+		// The reference: the same controlled schedule replayed in-process
+		// with the same log options, so its byte stream is what the child
+		// was writing when it died.
+		var ref bytes.Buffer
+		refStats, err := runControlled(cfg.Target, csp, sp.SyncEvery, &ref)
+		if err != nil {
+			return fmt.Errorf("soak: iter %d reference (%s): %w", i, sp.iterRepro(i), err)
+		}
+		if refStats.FreeRun {
+			// Not reproducible: the child's bytes would not be a prefix of
+			// ours. Skip, like explore discards free-running schedules.
+			res.Skipped++
+			continue
+		}
+
+		path := filepath.Join(dir, fmt.Sprintf("soak-%04d.log", i))
+		cmd := cfg.ChildCommand(csp.Repro(), path, sp.SyncEvery)
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("soak: iter %d: start child: %w", i, err)
+		}
+		delay := time.Duration(rand.New(rand.NewSource(seed ^ killSalt)).Int63n(int64(cfg.KillWindow)))
+		timer := time.AfterFunc(delay, func() { cmd.Process.Kill() })
+		cmd.Wait() // killed (error) or finished (nil): both are fine
+		timer.Stop()
+
+		repaired, rep, err := recoverOnDisk(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			res.Skipped++ // killed before the file existed
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("soak: iter %d kill@%v (%s): %w", i, delay, sp.iterRepro(i), err)
+		}
+		vrep, err := verifyAgainst(cfg.Target, repaired, rep, ref.Bytes())
+		if err != nil {
+			return fmt.Errorf("soak: iter %d kill@%v (%s): %w", i, delay, sp.iterRepro(i), err)
+		}
+		os.Remove(path)
+		tally(res, vrep, cfg.Progress, fmt.Sprintf("iter %3d: kill@%-12v %s", i, delay, vrep))
+	}
+	return nil
+}
+
+// killSalt decorrelates the kill-delay draw from the harness seed.
+const killSalt = 0x736f616b // "soak"
+
+// RunChild is the producer side of ModeProc: it replays the controlled
+// schedule in repro against t, streaming the log to path with the given
+// sync cadence. The process is expected to be SIGKILLed mid-run; when it
+// survives to the end it reports free-running schedules as an error so the
+// parent's exit-status check (if any) can notice.
+func RunChild(t harness.Target, repro, path string, syncEvery int) error {
+	csp, err := sched.ParseRepro(repro)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stats, err := runControlled(t, csp, syncEvery, f)
+	if err != nil {
+		return err
+	}
+	if stats.FreeRun {
+		return errors.New("soak: child schedule fell back to free-running")
+	}
+	return nil
+}
+
+// runControlled replays one controlled schedule, streaming the log to w
+// (explore.runSpec's shape, parameterized by the sink's sync cadence so
+// parent reference and child file agree byte-for-byte).
+func runControlled(t harness.Target, csp sched.Spec, syncEvery int, w io.Writer) (sched.Stats, error) {
+	sch := sched.New(csp.Options())
+	lvl := level(t)
+	log := vyrd.NewLogWith(lvl, vyrd.LogOptions{SyncEvery: syncEvery})
+	if err := log.AttachSink(w); err != nil {
+		return sched.Stats{}, err
+	}
+	cfg := harness.Config{
+		Threads:      csp.Threads,
+		OpsPerThread: csp.Ops,
+		KeyPool:      csp.KeyPool,
+		Seed:         csp.Seed,
+		Level:        lvl,
+		Sched:        sch,
+		WorkerSteps:  csp.WorkerSteps,
+	}
+	harness.RunOnLog(t, cfg, log)
+	stats := sch.Wait()
+	if err := log.SinkErr(); err != nil {
+		return stats, fmt.Errorf("log sink: %w", err)
+	}
+	return stats, nil
+}
+
+// recoverOnDisk recovers path in place and returns the repaired bytes.
+func recoverOnDisk(path string) ([]byte, wal.RecoveryReport, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, wal.RecoveryReport{}, err
+	}
+	_, rep, err := wal.RecoverPath(faultfs.OS{}, path)
+	if err != nil {
+		return nil, rep, err
+	}
+	repaired, err := os.ReadFile(path)
+	return repaired, rep, err
+}
+
+// iterReport is one iteration's verified outcome.
+type iterReport struct {
+	Recovery  wal.RecoveryReport
+	Violating bool
+	Dangling  bool
+}
+
+func (r iterReport) String() string {
+	verdict := "pass"
+	switch {
+	case r.Violating:
+		verdict = "VIOLATION (matched)"
+	case r.Dangling:
+		verdict = "pass (dangling tail)"
+	}
+	return fmt.Sprintf("%s | verdict %s", r.Recovery, verdict)
+}
+
+// verifyAgainst checks the three per-iteration invariants: byte-prefix,
+// entry-prefix, and verdict agreement between the repaired file and the
+// reference prefix.
+func verifyAgainst(t harness.Target, repaired []byte, rep wal.RecoveryReport, refBytes []byte) (iterReport, error) {
+	out := iterReport{Recovery: rep}
+	if int64(len(repaired)) != rep.BytesKept {
+		return out, fmt.Errorf("repaired file is %d bytes, report says %d", len(repaired), rep.BytesKept)
+	}
+	if !bytes.HasPrefix(refBytes, repaired) {
+		return out, errors.New("repaired file is not a byte-prefix of the reference stream")
+	}
+	refEntries, err := wal.ReadFile(bytes.NewReader(refBytes))
+	if err != nil {
+		return out, fmt.Errorf("reference stream unreadable: %w", err)
+	}
+	if rep.LastSeq > int64(len(refEntries)) {
+		return out, fmt.Errorf("recovered through seq %d but the reference has only %d entries", rep.LastSeq, len(refEntries))
+	}
+	prefix := refEntries[:rep.LastSeq]
+
+	// Verdict over the repaired file (the real post-crash artifact) ...
+	fileRep, err := core.CheckStream(bytes.NewReader(repaired), 2, t.NewSpec(), checkOpts(t)...)
+	if err != nil {
+		return out, fmt.Errorf("check repaired file: %w", err)
+	}
+	// ... against the verdict over the uninterrupted run's same prefix.
+	refRep, err := core.CheckEntries(prefix, t.NewSpec(), checkOpts(t)...)
+	if err != nil {
+		return out, fmt.Errorf("check reference prefix: %w", err)
+	}
+	if !sameVerdict(fileRep, refRep) {
+		return out, fmt.Errorf("verdict mismatch: repaired file %s, reference prefix %s",
+			verdictString(fileRep), verdictString(refRep))
+	}
+	// Classify the verdict: a prefix that ends with methods still in flight
+	// draws end-of-log instrumentation diagnostics from Checker.Finish —
+	// expected for crash logs, so an iteration whose violations are all of
+	// that kind counts as a dangling tail, not a refinement violation.
+	for _, v := range refRep.Violations {
+		if v.Kind != core.ViolationInstrumentation {
+			out.Violating = true
+			break
+		}
+	}
+	out.Dangling = !out.Violating && len(refRep.Violations) > 0
+	return out, nil
+}
+
+// sameVerdict mirrors explore.SameVerdict's structural comparison:
+// violation kinds at the same sequence numbers and methods.
+func sameVerdict(a, b *core.Report) bool {
+	if len(a.Violations) != len(b.Violations) {
+		return false
+	}
+	for i := range a.Violations {
+		va, vb := a.Violations[i], b.Violations[i]
+		if va.Kind != vb.Kind || va.Seq != vb.Seq || va.Method != vb.Method {
+			return false
+		}
+	}
+	return true
+}
+
+func verdictString(r *core.Report) string {
+	if len(r.Violations) == 0 {
+		return "pass"
+	}
+	return fmt.Sprintf("%d violation(s), first %s at seq %d", len(r.Violations), r.Violations[0].Kind, r.Violations[0].Seq)
+}
+
+func tally(res *Result, rep iterReport, progress io.Writer, line string) {
+	res.Iters++
+	if rep.Recovery.Truncated {
+		res.Truncated++
+	} else {
+		res.CleanCrashes++
+	}
+	if rep.Violating {
+		res.Violations++
+	}
+	if rep.Dangling {
+		res.DanglingTails++
+	}
+	res.EntriesRecovered += rep.Recovery.LastSeq
+	res.BytesDropped += rep.Recovery.BytesDropped
+	if progress != nil {
+		fmt.Fprintln(progress, line)
+	}
+}

@@ -1,0 +1,183 @@
+package soak_test
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/racecheck"
+	"repro/internal/soak"
+)
+
+func target(t *testing.T, name string, buggy bool) soak.Config {
+	t.Helper()
+	sub, ok := bench.SubjectByName(name)
+	if !ok {
+		t.Fatalf("unknown subject %q", name)
+	}
+	tgt := sub.Correct
+	if buggy {
+		tgt = sub.Buggy
+	}
+	return soak.Config{Target: tgt}
+}
+
+// TestSoakFaultMode is the fast crash loop: every iteration must recover a
+// verifiable prefix whose verdict matches the uninterrupted reference.
+func TestSoakFaultMode(t *testing.T) {
+	cfg := target(t, "Multiset-Array", false)
+	cfg.Spec = soak.Spec{
+		Subject: "Multiset-Array",
+		Threads: 3, Ops: 8, KeyPool: 4,
+		Seed: 1, Iters: 30, Mode: soak.ModeFault, SyncEvery: 8,
+	}
+	res, err := soak.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 30 {
+		t.Fatalf("ran %d iterations, want 30", res.Iters)
+	}
+	// With crash offsets drawn across the whole stream, at least some must
+	// land mid-frame and require truncation, and recovery must be saving
+	// real entries.
+	if res.Truncated == 0 {
+		t.Fatalf("no iteration needed truncation: %s", res)
+	}
+	if res.EntriesRecovered == 0 {
+		t.Fatalf("no entries recovered across the campaign: %s", res)
+	}
+	// A correct subject must never yield a real refinement violation;
+	// dangling-tail diagnostics from cut-off executions are fine.
+	if res.Violations != 0 {
+		t.Fatalf("correct subject reported real violations: %s", res)
+	}
+}
+
+// TestSoakFaultModeBuggy soaks a buggy subject: iterations whose recovered
+// prefix contains the violation must see the reference agree (Run errors
+// on any verdict mismatch). Skipped under -race: the planted bug is an
+// intentional data race.
+func TestSoakFaultModeBuggy(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("buggy subject races by design; meaningless under -race")
+	}
+	cfg := target(t, "Multiset-Array", true)
+	cfg.Spec = soak.Spec{
+		Subject: "Multiset-Array",
+		Threads: 3, Ops: 8, KeyPool: 4,
+		Seed: 7, Iters: 15, Mode: soak.ModeFault, SyncEvery: 8,
+	}
+	res, err := soak.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 15 {
+		t.Fatalf("ran %d iterations, want 15", res.Iters)
+	}
+}
+
+// TestSoakProcMode kills real child processes (this test binary re-executed
+// via TestSoakChildProcess) at seeded delays and verifies recovery of the
+// on-disk files. The window is sized so the campaign mixes early kills,
+// mid-run kills and completed runs; all paths must verify.
+func TestSoakProcMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A longer child run (more ops, tight sync cadence) so seeded kills land
+	// before, during, and after the write phase across the campaign.
+	cfg := target(t, "Multiset-Array", false)
+	cfg.Spec = soak.Spec{
+		Subject: "Multiset-Array",
+		Threads: 3, Ops: 60, KeyPool: 4,
+		Seed: 1, Iters: 8, Mode: soak.ModeProc, SyncEvery: 4, K: 3000,
+	}
+	cfg.KillWindow = 60 * time.Millisecond
+	cfg.Dir = t.TempDir()
+	cfg.ChildCommand = func(repro, path string, syncEvery int) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestSoakChildProcess$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"SOAK_CHILD=1",
+			"SOAK_SCHED="+repro,
+			"SOAK_OUT="+path,
+			"SOAK_SYNC="+strconv.Itoa(syncEvery),
+		)
+		return cmd
+	}
+	res, err := soak.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters+res.Skipped != 8 {
+		t.Fatalf("%d iterations + %d skipped, want 8 total", res.Iters, res.Skipped)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("correct subject reported real violations: %s", res)
+	}
+	t.Logf("proc soak: %s", res)
+}
+
+// TestSoakChildProcess is not a test: it is the producer child TestSoakProcMode
+// re-executes. It replays the controlled schedule from the environment and
+// is usually SIGKILLed before returning.
+func TestSoakChildProcess(t *testing.T) {
+	if os.Getenv("SOAK_CHILD") != "1" {
+		t.Skip("child-process entry point; driven by TestSoakProcMode")
+	}
+	sub, ok := bench.SubjectByName("Multiset-Array")
+	if !ok {
+		t.Fatal("subject missing")
+	}
+	syncEvery, err := strconv.Atoi(os.Getenv("SOAK_SYNC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := soak.RunChild(sub.Correct, os.Getenv("SOAK_SCHED"), os.Getenv("SOAK_OUT"), syncEvery); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReproRoundTrip pins the vyrdsoak/1 repro grammar.
+func TestReproRoundTrip(t *testing.T) {
+	specs := []soak.Spec{
+		{Subject: "Multiset-Array", Threads: 3, Ops: 8, KeyPool: 4, Seed: 42, Iters: 200, Mode: soak.ModeFault, SyncEvery: 16},
+		{Subject: "BLinkTree", Threads: 4, Ops: 10, KeyPool: 8, Seed: -7, Iters: 20, Mode: soak.ModeProc, SyncEvery: 8, D: 3, K: 300},
+	}
+	for _, sp := range specs {
+		s := sp.Repro()
+		back, err := soak.ParseRepro(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if back.Repro() != s {
+			t.Fatalf("round trip changed the repro:\n  %s\n  %s", s, back.Repro())
+		}
+	}
+	if s := specs[0].Repro(); !strings.HasPrefix(s, "vyrdsoak/1;subject=Multiset-Array;") {
+		t.Fatalf("unexpected repro form: %s", s)
+	}
+
+	for _, bad := range []string{
+		"",
+		"vyrdsched/1;subject=X",
+		"vyrdsoak/1;subject=",
+		"vyrdsoak/1;subject=X;threads=3;ops=8;pool=4;seed=1;iters=1", // missing mode
+		"vyrdsoak/1;subject=X;threads=3;ops=8;pool=4;seed=1;iters=1;mode=maybe",
+		"vyrdsoak/1;subject=X;threads=3;ops=8;pool=4;seed=1;iters=1;mode=fault;sync=0",
+		"vyrdsoak/1;subject=X;threads=3;ops=8;pool=4;seed=1;iters=1;mode=fault;bogus=1",
+		"vyrdsoak/1;subject=X;threads=3;threads=3;ops=8;pool=4;seed=1;iters=1;mode=fault",
+	} {
+		if _, err := soak.ParseRepro(bad); err == nil {
+			t.Fatalf("ParseRepro accepted %q", bad)
+		}
+	}
+}

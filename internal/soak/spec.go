@@ -1,0 +1,193 @@
+package soak
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mode selects how a soak run induces crashes.
+type Mode int
+
+const (
+	// ModeFault runs the subject uncontrolled in-process with the log sink
+	// teed through a faultfs crash-at-byte file: the fastest crash loop (no
+	// process spawns, no disk), hundreds of iterations per second.
+	ModeFault Mode = iota
+	// ModeProc re-executes a child process that replays a controlled
+	// schedule to a real file and SIGKILLs it at a seeded delay: the
+	// honest end-to-end crash (kernel-visible file state, buffered bytes
+	// genuinely lost).
+	ModeProc
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFault:
+		return "fault"
+	case ModeProc:
+		return "proc"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Spec is a complete, self-contained description of one soak campaign: the
+// harness shape, the base seed, the iteration budget, the crash mode, and
+// the sink's sync cadence. Like sched.Spec it round-trips through a
+// one-line repro string, so a failing soak run can be pasted into
+// `vyrdsoak -repro` and replayed exactly.
+type Spec struct {
+	// Subject names the registry subject (bench.SubjectByName).
+	Subject string
+	// Threads, Ops, KeyPool mirror harness.Config.
+	Threads int
+	Ops     int
+	KeyPool int
+	// Seed is the base seed; iteration i derives everything — harness
+	// randomness, crash offset or kill delay — from Seed+i.
+	Seed int64
+	// Iters is the number of crash/recover/replay iterations.
+	Iters int
+	// Mode selects fault-injection or process-kill crashes.
+	Mode Mode
+	// SyncEvery is the sink's sync-point cadence in entries (small values
+	// make short runs leave recoverable prefixes). Both the crashing run
+	// and the reference run use it, so their byte streams agree.
+	SyncEvery int
+	// D and K are the PCT parameters for ModeProc's controlled schedules.
+	D int
+	K int
+}
+
+// reproPrefix versions the repro grammar; bump on incompatible change.
+const reproPrefix = "vyrdsoak/1"
+
+// withDefaults fills unset fields with the campaign defaults (matching
+// bench.ExploreSpec's harness shape).
+func (sp Spec) withDefaults() Spec {
+	if sp.Threads <= 0 {
+		sp.Threads = 3
+	}
+	if sp.Ops <= 0 {
+		sp.Ops = 8
+	}
+	if sp.KeyPool <= 0 {
+		sp.KeyPool = 4
+	}
+	if sp.Iters <= 0 {
+		sp.Iters = 100
+	}
+	if sp.SyncEvery <= 0 {
+		sp.SyncEvery = 16
+	}
+	if sp.D <= 0 {
+		sp.D = 3
+	}
+	if sp.K <= 0 {
+		sp.K = 300
+	}
+	return sp
+}
+
+// iterRepro returns the repro string for iteration i alone: the same spec
+// reduced to one iteration starting at i's derived seed. Soak failures
+// embed it so a single bad iteration replays without the whole campaign.
+func (sp Spec) iterRepro(i int) string {
+	one := sp
+	one.Seed = sp.Seed + int64(i)
+	one.Iters = 1
+	return one.Repro()
+}
+
+// Repro renders the spec as its one-line textual form.
+func (sp Spec) Repro() string {
+	sp = sp.withDefaults()
+	var b strings.Builder
+	b.WriteString(reproPrefix)
+	fmt.Fprintf(&b, ";subject=%s", sp.Subject)
+	fmt.Fprintf(&b, ";threads=%d;ops=%d;pool=%d", sp.Threads, sp.Ops, sp.KeyPool)
+	fmt.Fprintf(&b, ";seed=%d;iters=%d;mode=%s;sync=%d", sp.Seed, sp.Iters, sp.Mode, sp.SyncEvery)
+	if sp.Mode == ModeProc {
+		fmt.Fprintf(&b, ";d=%d;k=%d", sp.D, sp.K)
+	}
+	return b.String()
+}
+
+// ParseRepro parses the textual form produced by Repro, validating every
+// field. Malformed input returns an error; it never panics.
+func ParseRepro(s string) (Spec, error) {
+	var sp Spec
+	parts := strings.Split(s, ";")
+	if len(parts) == 0 || parts[0] != reproPrefix {
+		return sp, fmt.Errorf("soak: repro string must start with %q", reproPrefix)
+	}
+	seen := make(map[string]bool)
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok || key == "" {
+			return sp, fmt.Errorf("soak: malformed field %q (want key=value)", part)
+		}
+		if seen[key] {
+			return sp, fmt.Errorf("soak: duplicate field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "subject":
+			if val == "" {
+				return sp, fmt.Errorf("soak: empty subject")
+			}
+			sp.Subject = val
+		case "threads":
+			sp.Threads, err = parseBounded(key, val, 1, 255)
+		case "ops":
+			sp.Ops, err = parseBounded(key, val, 1, 1<<20)
+		case "pool":
+			sp.KeyPool, err = parseBounded(key, val, 1, 1<<20)
+		case "seed":
+			sp.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("soak: bad seed %q: %v", val, err)
+			}
+		case "iters":
+			sp.Iters, err = parseBounded(key, val, 1, 1<<20)
+		case "mode":
+			switch val {
+			case "fault":
+				sp.Mode = ModeFault
+			case "proc":
+				sp.Mode = ModeProc
+			default:
+				return sp, fmt.Errorf("soak: unknown mode %q (want fault or proc)", val)
+			}
+		case "sync":
+			sp.SyncEvery, err = parseBounded(key, val, 1, 1<<20)
+		case "d":
+			sp.D, err = parseBounded(key, val, 0, 1<<16)
+		case "k":
+			sp.K, err = parseBounded(key, val, 2, 1<<30)
+		default:
+			return sp, fmt.Errorf("soak: unknown field %q", key)
+		}
+		if err != nil {
+			return sp, err
+		}
+	}
+	for _, req := range []string{"subject", "threads", "ops", "pool", "seed", "iters", "mode"} {
+		if !seen[req] {
+			return sp, fmt.Errorf("soak: missing required field %q", req)
+		}
+	}
+	return sp.withDefaults(), nil
+}
+
+func parseBounded(key, val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("soak: bad %s %q: %v", key, val, err)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("soak: %s=%d outside [%d,%d]", key, n, lo, hi)
+	}
+	return n, nil
+}

@@ -113,7 +113,34 @@ type Options struct {
 	// progress. This is the backpressure that keeps peak memory at
 	// O(Window) under sustained load.
 	Window int
+
+	// SyncEvery is the sync-marker cadence of the attached encoder sink:
+	// after every SyncEvery entries the sink writes a sync marker frame,
+	// flushes its buffer, and — when the underlying writer supports it —
+	// fsyncs, bounding how much a crash can lose. 0 means DefaultSyncEvery;
+	// < 0 disables periodic sync points (a single marker still terminates
+	// the stream on Flush). The cadence is counted in entries, so a log's
+	// byte stream stays a deterministic function of its entries regardless
+	// of writer timing.
+	SyncEvery int
+
+	// FailStop makes Append panic once the attached sink has latched a
+	// write error, instead of letting producers keep appending entries
+	// that will never be persisted. Recording-for-offline runs want this
+	// (a log that cannot reach disk is worthless); online pipelines where
+	// the sink is an auxiliary tap keep the default and poll SinkErr.
+	FailStop bool
+
+	// SinkCodec selects the persisted encoding of the attached encoder
+	// sink. The zero value is CodecBinary, the current checksummed framing
+	// (format version 3); CodecBinaryV2 writes the pre-checksum framing,
+	// kept for A/B-measuring the checksum overhead and regenerating
+	// version-2 artifacts.
+	SinkCodec event.Codec
 }
+
+// DefaultSyncEvery is the default sync-marker cadence, in entries.
+const DefaultSyncEvery = 1024
 
 // slotData pairs an entry with its publication flag. It is padded out to a
 // whole number of cache lines (slot) so that producers publishing adjacent
@@ -240,6 +267,11 @@ type Log struct {
 	truncatedSegs atomic.Int64
 	maxLag        atomic.Int64
 	peakRetained  atomic.Int64
+
+	// sinkBroken mirrors "the sink has latched an error" as a lone flag so
+	// the FailStop check on the append fast path is one relaxed load, not
+	// a mutex acquisition.
+	sinkBroken atomic.Bool
 }
 
 // New returns an empty log recording at the given level, with default
@@ -285,6 +317,9 @@ func (l *Log) NewTid() int32 { return l.nextTid.Add(1) }
 func (l *Log) Append(e event.Entry) int64 {
 	if l.closed.Load() {
 		panic("wal: append to closed log")
+	}
+	if l.opts.FailStop && l.sinkBroken.Load() {
+		panic(fmt.Sprintf("wal: fail-stop: sink error: %v", l.SinkErr()))
 	}
 	if l.opts.Window > 0 {
 		l.waitWindow()
@@ -691,16 +726,67 @@ type EntrySink interface {
 	Flush() error
 }
 
-// encoderSink is the io.Writer-backed EntrySink: entries are encoded with
-// the event codec through a bufio.Writer (the analogue of the paper's
-// serialized log file).
-type encoderSink struct {
-	bw  *bufio.Writer
-	enc *event.Encoder
+// SyncWriter is an io.Writer whose buffered contents can be forced to
+// stable storage. *os.File and faultfs.File satisfy it; attach targets
+// that do (log files) get fsync'd sync points, targets that don't (network
+// pipes, in-memory buffers) get markers and flushes only.
+type SyncWriter interface {
+	io.Writer
+	Sync() error
 }
 
-func (s *encoderSink) WriteEntry(e event.Entry) error { return s.enc.Encode(e) }
-func (s *encoderSink) Flush() error                   { return s.bw.Flush() }
+// encoderSink is the io.Writer-backed EntrySink: entries are encoded with
+// the event codec through a bufio.Writer (the analogue of the paper's
+// serialized log file). Every SyncEvery entries it writes a sync marker
+// frame, flushes, and fsyncs when the writer supports it — the durability
+// cadence wal.Recover leans on. The cadence counts entries, never bytes or
+// time, so a log's byte stream is a deterministic function of its entries.
+type encoderSink struct {
+	bw    *bufio.Writer
+	enc   *event.Encoder
+	sync  SyncWriter // nil when the underlying writer has no Sync
+	every int64      // sync-point cadence in entries; <= 0 disables
+	n     int64      // entries since the last sync point
+	last  int64      // highest sequence number written
+}
+
+func (s *encoderSink) WriteEntry(e event.Entry) error {
+	if err := s.enc.Encode(e); err != nil {
+		return err
+	}
+	s.last = e.Seq
+	if s.every > 0 {
+		if s.n++; s.n >= s.every {
+			s.n = 0
+			return s.syncPoint()
+		}
+	}
+	return nil
+}
+
+// syncPoint writes a marker recording the entries so far, pushes them out
+// of the bufio buffer, and fsyncs. Flushing here — not just at Close — is
+// also what surfaces a broken writer while the run is still going: without
+// it a mid-run write error hides in the buffer until the final flush.
+func (s *encoderSink) syncPoint() error {
+	if err := s.enc.SyncMarker(s.last); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if s.sync != nil {
+		return s.sync.Sync()
+	}
+	return nil
+}
+
+func (s *encoderSink) Flush() error {
+	if s.last > 0 {
+		return s.syncPoint()
+	}
+	return s.bw.Flush()
+}
 
 // sink drains published entries to an EntrySink on its own goroutine. It
 // registers as a reader so truncation never outruns persistence.
@@ -709,6 +795,9 @@ type sink struct {
 	pos atomic.Int64
 	err atomic.Value
 	wg  sync.WaitGroup
+	// broken, when non-nil, is raised alongside the first latched error
+	// (the log's FailStop flag).
+	broken *atomic.Bool
 }
 
 func (s *sink) fail(err error) {
@@ -717,17 +806,31 @@ func (s *sink) fail(err error) {
 	}
 	// Record only the first failure; keep draining so truncation and
 	// backpressure are not wedged by a broken writer.
-	s.err.CompareAndSwap(nil, err)
+	if s.err.CompareAndSwap(nil, err) && s.broken != nil {
+		s.broken.Store(true)
+	}
 }
 
 // AttachSink starts persisting appended entries to w using the event codec
 // (the analogue of the paper's serialized log file): a dedicated goroutine
-// drains the log through a buffered writer and flushes on Close. Entries
-// already in the log (and still retained) are written out first so the
-// stream is complete. Attaching a second sink is an error.
+// drains the log through a buffered writer and flushes on Close. When w
+// implements SyncWriter, sync points (marker + flush + fsync) are taken
+// every Options.SyncEvery entries. Entries already in the log (and still
+// retained) are written out first so the stream is complete. Attaching a
+// second sink is an error.
 func (l *Log) AttachSink(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	return l.AttachEntrySink(&encoderSink{bw: bw, enc: event.NewEncoder(bw)})
+	es := &encoderSink{bw: bw, enc: event.NewEncoderCodec(bw, l.opts.SinkCodec)}
+	if sw, ok := w.(SyncWriter); ok {
+		es.sync = sw
+	}
+	switch {
+	case l.opts.SyncEvery > 0:
+		es.every = int64(l.opts.SyncEvery)
+	case l.opts.SyncEvery == 0:
+		es.every = DefaultSyncEvery
+	}
+	return l.AttachEntrySink(es)
 }
 
 // AttachEntrySink starts draining appended entries into es on a dedicated
@@ -735,7 +838,7 @@ func (l *Log) AttachSink(w io.Writer) error {
 // Entries already in the log (and still retained) are delivered first so
 // the stream is complete. Attaching a second sink is an error.
 func (l *Log) AttachEntrySink(es EntrySink) error {
-	s := &sink{es: es}
+	s := &sink{es: es, broken: &l.sinkBroken}
 	l.mu.Lock()
 	if l.sink != nil {
 		l.mu.Unlock()

@@ -37,8 +37,11 @@ package vyrd
 
 // The committed testdata/fig6.log artifact pins the persisted log format;
 // regenerate it whenever the wire shape of event.Entry (and so
-// LogFormatVersion) changes.
+// LogFormatVersion) changes. The corrupted variant pins crash recovery's
+// report byte-for-byte (fig6_v2.log and fig6_v1_gob.log are frozen
+// old-version artifacts; they are never regenerated).
 //go:generate go run repro/cmd/genfig6 -o testdata/fig6.log
+//go:generate go run repro/cmd/genfig6 -o testdata/fig6_v3_corrupt.log -corrupt-at 120 -corrupt-xor 0x41
 
 import (
 	"io"
@@ -112,6 +115,9 @@ const (
 const (
 	CodecBinary = event.CodecBinary
 	CodecGob    = event.CodecGob
+	// CodecBinaryV2 is the pre-checksum framed encoding (format version 2),
+	// kept for measuring the checksum overhead and reading old artifacts.
+	CodecBinaryV2 = event.CodecBinaryV2
 )
 
 // Checker options.
@@ -168,6 +174,27 @@ func ReadLogCodec(r io.Reader, c Codec) ([]Entry, error) { return wal.ReadFileCo
 // decode pool, preserving log order (workers <= 0 uses GOMAXPROCS).
 func ReadLogParallel(r io.Reader, workers int) ([]Entry, error) {
 	return wal.ReadFileParallel(r, workers)
+}
+
+// RecoveryReport describes the outcome of recovering a torn log file.
+type RecoveryReport = wal.RecoveryReport
+
+// CrashFile is the file surface log recovery needs (read + truncate);
+// *os.File satisfies it.
+type CrashFile = wal.CrashFile
+
+// RecoverLog scans a crashed producer's log file for its longest valid
+// prefix, truncates the torn tail in place, and returns the recovered
+// entries. The repaired file is a valid stream every reader accepts; the
+// entries are a true prefix of the crashed run's history, so checking them
+// (CheckEntries, or CheckStream over the repaired file) yields a verdict
+// about the run up to the crash.
+func RecoverLog(f CrashFile) ([]Entry, RecoveryReport, error) { return wal.Recover(f) }
+
+// RecoverLogReader scans a log stream that cannot be repaired in place
+// (stdin, a pipe): same report, no truncation.
+func RecoverLogReader(r io.Reader) ([]Entry, RecoveryReport, error) {
+	return wal.RecoverReader(r)
 }
 
 // WitnessEntry is one method execution positioned in the witness

@@ -269,3 +269,112 @@ func TestGoldenV1GobArtifact(t *testing.T) {
 		t.Fatalf("v1/v2 artifacts disagree:\nv1: %s\nv2: %s", rep, v2Rep)
 	}
 }
+
+// TestGoldenV2Artifact pins the version-2 migration story: the frozen
+// FormatVersion-2 artifact (framed binary, written before per-frame
+// checksums) must keep decoding under the current reader — sequential and
+// parallel — to the same entries as the regenerated version-3 artifact,
+// and the recovery scanner must call it clean.
+func TestGoldenV2Artifact(t *testing.T) {
+	data, err := os.ReadFile("testdata/fig6_v2.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := data[len("VYRDLOG")]; got != 2 {
+		t.Fatalf("artifact header declares version %d, the frozen file must stay version 2", got)
+	}
+
+	entries, err := vyrd.ReadLog(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v2 artifact under the current reader: %v", err)
+	}
+	par, err := vyrd.ReadLogParallel(bytes.NewReader(data), 4)
+	if err != nil || len(par) != len(entries) {
+		t.Fatalf("parallel read of the v2 artifact: %d entries, %v", len(par), err)
+	}
+
+	f, err := os.Open("testdata/fig6.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cur, err := vyrd.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(cur) {
+		t.Fatalf("v2 artifact has %d entries, current %d", len(entries), len(cur))
+	}
+	for i := range entries {
+		a, b := entries[i], cur[i]
+		if a.Seq != b.Seq || a.Tid != b.Tid || a.Kind != b.Kind || a.Method != b.Method {
+			t.Fatalf("entry %d differs between v2 and v3 artifacts:\n%+v\n%+v", i, a, b)
+		}
+	}
+
+	// Recovery scans v2 streams too (no checksums, but framing and sequence
+	// contiguity): the artifact is fully valid.
+	_, rep, err := vyrd.RecoverLogReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.FormatVersion != 2 || rep.BytesKept != int64(len(data)) ||
+		rep.LastSeq != int64(len(entries)) {
+		t.Fatalf("recovery scan of the clean v2 artifact: %s", rep)
+	}
+}
+
+// TestGoldenV3CorruptArtifact pins recovery behavior byte-for-byte: the
+// committed artifact is fig6.log with byte 120 XORed (see the go:generate
+// line), so the default reader must refuse it with a checksum error and
+// recovery must report exactly the frames before the damage.
+func TestGoldenV3CorruptArtifact(t *testing.T) {
+	data, err := os.ReadFile("testdata/fig6_v3_corrupt.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := vyrd.ReadLog(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted artifact under the default reader: %v, want a checksum error", err)
+	}
+
+	entries, rep, err := vyrd.RecoverLogReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vyrd.RecoveryReport{
+		FormatVersion:  3,
+		FramesKept:     5,
+		SyncMarkers:    0,
+		LastSeq:        5,
+		BytesKept:      114,
+		BytesDropped:   307,
+		FirstBadOffset: 114,
+		Truncated:      false, // RecoverLogReader never repairs in place
+	}
+	if rep != want {
+		t.Fatalf("recovery report drifted:\ngot  %+v\nwant %+v", rep, want)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("recovered %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("recovered entry %d has seq %d", i, e.Seq)
+		}
+	}
+
+	// The kept prefix is bytes the clean artifact also starts with, and the
+	// recovered entries remain checkable.
+	clean, err := os.ReadFile("testdata/fig6.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data[:rep.BytesKept], clean[:rep.BytesKept]) {
+		t.Fatal("recovered prefix differs from the clean artifact's prefix")
+	}
+	if _, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO)); err != nil {
+		t.Fatalf("checking the recovered prefix: %v", err)
+	}
+}
