@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke tables examples check clean
 
 all: check
 
@@ -33,7 +33,7 @@ bench-smoke:
 # including exploration throughput, shrink results and the sink-codec
 # durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR5.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR6.json
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
 # corpus seeds honest without turning CI into a fuzzing farm. Each -fuzz
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzTornFrames$$' -fuzztime=5s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzRecoverArbitraryBytes$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzReproRoundTrip$$' -fuzztime=5s ./internal/sched/
+	$(GO) test -run=NONE -fuzz='^FuzzLinearizeArbitraryHistory$$' -fuzztime=10s ./internal/linearize/
 
 # Race-enabled loopback round trip through the remote verification service:
 # a concurrent harness run of the composed subject shipped over TCP to a
@@ -67,6 +68,15 @@ soak-smoke:
 	$(GO) run -race ./cmd/vyrdsoak -mode fault -seed 1 -iters 200 -ops 12 -sync 8
 	$(GO) run -race ./cmd/vyrdsoak -mode proc -seed 1 -iters 6 -ops 60 -sync 4 -k 3000 -kill 60ms
 
+# Race-enabled differential verdict suite: refinement vs the
+# linearizability engine over every registry subject, offline, online
+# (wal + Multi fan-out) and through a vyrdd loopback session. Under -race
+# the planted-race legs self-skip (intentional data races); `make test`
+# runs them detector-free. CI runs this.
+linearize-smoke:
+	$(GO) test -race -count=1 -run '^TestLinearizeMatchesRefinement$$|^TestDifferentialSoundnessDirection$$' ./internal/bench/
+	$(GO) test -count=1 -run '^TestLinearizeMatchesRefinement$$|^TestDifferentialSoundnessDirection$$' ./internal/bench/
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -78,7 +88,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke soak-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

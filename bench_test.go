@@ -252,7 +252,7 @@ func BenchmarkBaselineEnumerationVsVyrd(b *testing.B) {
 		b.Run(fmt.Sprintf("width-%d/naive-enumeration", width), func(b *testing.B) {
 			var states int64
 			for i := 0; i < b.N; i++ {
-				lin := linearize.CheckTrace(entries, spec.NewMultiset(), linearize.NewMultisetModel(), 0)
+				lin := linearize.CheckBruteTrace(entries, spec.NewMultiset(), linearize.NewMultisetModel(), 0)
 				if !lin.Linearizable {
 					b.Fatalf("baseline rejected a correct trace: %s", lin)
 				}

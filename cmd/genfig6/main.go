@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/linearize"
 	"repro/internal/multiset"
 	"repro/internal/spec"
 	"repro/vyrd"
@@ -25,7 +26,13 @@ func main() {
 	out := flag.String("o", "vyrd/testdata/fig6.log", "output artifact path")
 	corruptAt := flag.Int("corrupt-at", -1, "after the self-check, XOR the byte at this offset (reproducible corrupted-artifact generation)")
 	corruptXor := flag.Int("corrupt-xor", 0x41, "XOR mask for -corrupt-at")
+	nocommit := flag.Bool("nocommit", false, "generate the annotation-free artifact instead (correct multiset, call/return-only instrumentation; pass -o vyrd/testdata/fig6_nocommit.log)")
 	flag.Parse()
+
+	if *nocommit {
+		genNoCommit(*out)
+		return
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -128,6 +135,81 @@ func main() {
 		}
 		fmt.Printf("genfig6: corrupted byte %d (xor %#x) of %s\n", *corruptAt, *corruptXor, *out)
 	}
+}
+
+// genNoCommit writes the annotation-free artifact: the CORRECT multiset
+// driven through call/return-only probes (the implementation runs with a
+// nil probe, so the log carries no commit actions, writes or view events),
+// with two genuinely overlapped InsertPairs and a quiescent LookUp. The
+// artifact pins the verdict split that motivates the linearizability
+// engine: I/O refinement rejects it as an instrumentation violation (a
+// mutator execution finished without a commit action), while the
+// linearizability check verifies it from the call/return behavior alone.
+func genNoCommit(out string) {
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	log := vyrd.NewLog(vyrd.LevelIO)
+	if err := log.AttachSink(f); err != nil {
+		fatal(err)
+	}
+
+	// Single-goroutine generation, so the committed bytes are reproducible:
+	// the overlap lives in the log (T2's InsertPair call precedes T1's whole
+	// execution; its return follows), not in the scheduler.
+	m := multiset.New(8, multiset.BugNone)
+	p1 := log.NewProbe()
+	p2 := log.NewProbe()
+
+	inv2 := p2.Call("InsertPair", 7, 8)
+	inv1 := p1.Call("InsertPair", 5, 6)
+	ok1 := m.InsertPair(nil, 5, 6)
+	inv1.Return(ok1)
+	ok2 := m.InsertPair(nil, 7, 8)
+	inv2.Return(ok2)
+	if !ok1 || !ok2 {
+		fatal(fmt.Errorf("InsertPair failed (%v, %v)", ok1, ok2))
+	}
+	invL := p1.Call("LookUp", 5)
+	okL := m.LookUp(nil, 5)
+	invL.Return(okL)
+	if !okL {
+		fatal(fmt.Errorf("correct multiset lost element 5"))
+	}
+
+	log.Close()
+	if err := log.SinkErr(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	// Self-check: refinement must reject (instrumentation), the
+	// linearizability engine must verify.
+	g, err := os.Open(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer g.Close()
+	entries, err := vyrd.ReadLog(g)
+	if err != nil {
+		fatal(err)
+	}
+	ioRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+	if err != nil {
+		fatal(err)
+	}
+	if ioRep.Ok() || ioRep.First().Kind != vyrd.ViolationInstrumentation {
+		fatal(fmt.Errorf("artifact is not refinement-rejected as annotation-free:\n%s", ioRep))
+	}
+	linRep := linearize.CheckEntries(entries, linearize.MultisetSpec(), linearize.Options{})
+	if !linRep.Ok() {
+		fatal(fmt.Errorf("linearizability check rejected the annotation-free artifact:\n%s", linRep))
+	}
+	fmt.Printf("genfig6: wrote %s (%d entries, format v%d; refinement rejects with %s, linearizability verifies)\n",
+		out, len(entries), vyrd.LogFormatVersion, ioRep.First().Kind)
 }
 
 func fatal(err error) {

@@ -9,12 +9,15 @@
 //
 // With -bug the subject runs with its Table 1 injected concurrency error;
 // without it, the correct implementation runs and the expected outcome is a
-// clean report. -mode selects I/O or view refinement; -online checks
-// concurrently with the workload on a verification goroutine instead of
-// offline from the recorded log; -save persists the log for later offline
-// checking with -load ("-load -" streams the log from stdin). Loaded binary
-// logs decode on a parallel worker pool (-decoders); version-1 gob artifacts
-// are read with -codec gob.
+// clean report. -mode selects I/O or view refinement, or "linearize": the
+// linearizability engine, which reads call/return actions alone and so also
+// verifies subjects with no commit-point annotations (try
+// -subject Multiset-NoCommit, whose instrumentation refinement rejects by
+// construction). -online checks concurrently with the workload on a
+// verification goroutine instead of offline from the recorded log; -save
+// persists the log for later offline checking with -load ("-load -" streams
+// the log from stdin). Loaded binary logs decode on a parallel worker pool
+// (-decoders); version-1 gob artifacts are read with -codec gob.
 //
 // A log left behind by a crashed producer is repaired with -recover: the
 // torn tail past the last valid frame is truncated in place and the
@@ -34,9 +37,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultfs"
 	"repro/internal/harness"
+	"repro/internal/linearize"
 	"repro/internal/wal"
 	"repro/vyrd"
 )
+
+// linearizeStates bounds the linearizability engine's search; harness-shaped
+// logs stay far below it, and hitting it reports an aborted verdict rather
+// than hanging the CLI.
+const linearizeStates = 1 << 24
 
 func main() {
 	var (
@@ -47,7 +56,7 @@ func main() {
 		ops     = flag.Int("ops", 400, "method calls per thread")
 		pool    = flag.Int("pool", 16, "key pool size (shrinks over the run)")
 		seed    = flag.Int64("seed", 1, "harness random seed")
-		mode    = flag.String("mode", "view", "refinement mode: io or view")
+		mode    = flag.String("mode", "view", "verdict mode: io or view refinement, or linearize (commit-annotation-free linearizability)")
 		online  = flag.Bool("online", false, "check online, concurrently with the workload")
 		failFst = flag.Bool("failfast", true, "stop at the first violation")
 		save    = flag.String("save", "", "persist the recorded log to this file")
@@ -66,6 +75,9 @@ func main() {
 		for _, s := range bench.AllSubjects() {
 			fmt.Printf("%-24s injected error: %s\n", s.Name, s.BugName)
 		}
+		for _, s := range bench.LinearizeOnlySubjects() {
+			fmt.Printf("%-24s injected error: %s (linearize-only)\n", s.Name, s.BugName)
+		}
 		return
 	}
 
@@ -80,22 +92,43 @@ func main() {
 	}
 
 	var checkMode core.Mode
+	lin := false
 	switch *mode {
 	case "io":
 		checkMode = core.ModeIO
 	case "view":
 		checkMode = core.ModeView
+	case "linearize":
+		lin = true
 	default:
-		fmt.Fprintf(os.Stderr, "vyrd: unknown mode %q (io or view)\n", *mode)
+		fmt.Fprintf(os.Stderr, "vyrd: unknown mode %q (io, view or linearize)\n", *mode)
 		os.Exit(2)
 	}
 
-	opts := []vyrd.Option{vyrd.WithMode(checkMode), vyrd.WithFailFast(*failFst), vyrd.WithDiagnostics(true)}
-	if checkMode == core.ModeView {
-		opts = append(opts, vyrd.WithReplayer(target.NewReplayer()))
+	// -mode=linearize swaps the verdict engine: the linearizability checker
+	// reads call/return actions alone, so it also verifies subjects with no
+	// commit-point annotations (e.g. Multiset-NoCommit).
+	var linSpec *linearize.Spec
+	if lin {
+		var err error
+		linSpec, err = bench.LinearizeSpec(*subject)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if *quiesc {
-		opts = append(opts, vyrd.WithQuiescentViewOnly(true))
+	checkLin := func(entries []vyrd.Entry) *vyrd.Report {
+		return linearize.CheckEntries(entries, linSpec, linearize.Options{MaxStates: linearizeStates})
+	}
+
+	var opts []vyrd.Option
+	if !lin {
+		opts = []vyrd.Option{vyrd.WithMode(checkMode), vyrd.WithFailFast(*failFst), vyrd.WithDiagnostics(true)}
+		if checkMode == core.ModeView {
+			opts = append(opts, vyrd.WithReplayer(target.NewReplayer()))
+		}
+		if *quiesc {
+			opts = append(opts, vyrd.WithQuiescentViewOnly(true))
+		}
 	}
 
 	// The command touches the filesystem only through the faultfs seam, so
@@ -124,7 +157,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if *codec == "binary" && !*dump {
+		if *codec == "binary" && !*dump && !lin {
 			// Stream straight into the checker: the parallel decode pool
 			// feeds the sequential checker without materializing the log.
 			report, err := vyrd.CheckStream(f, *workers, target.NewSpec(), opts...)
@@ -152,6 +185,9 @@ func main() {
 		}
 		if *dump {
 			core.WriteWitness(os.Stdout, entries)
+		}
+		if lin {
+			finish(checkLin(entries))
 		}
 		report, err := vyrd.CheckEntries(entries, target.NewSpec(), opts...)
 		if err != nil {
@@ -186,10 +222,14 @@ func main() {
 
 	var wait func() *vyrd.Report
 	if *online {
-		var err error
-		wait, err = log.StartChecker(target.NewSpec(), opts...)
-		if err != nil {
-			fatal(err)
+		if lin {
+			wait = log.StartEntryChecker(linearize.NewChecker(linSpec, linearize.Options{MaxStates: linearizeStates}))
+		} else {
+			var err error
+			wait, err = log.StartChecker(target.NewSpec(), opts...)
+			if err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -204,9 +244,12 @@ func main() {
 		core.WriteWitness(os.Stdout, log.Snapshot())
 	}
 	var report *vyrd.Report
-	if *online {
+	switch {
+	case *online:
 		report = wait()
-	} else {
+	case lin:
+		report = checkLin(log.Snapshot())
+	default:
 		var err error
 		report, err = vyrd.CheckEntries(log.Snapshot(), target.NewSpec(), opts...)
 		if err != nil {

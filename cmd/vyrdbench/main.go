@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
@@ -133,6 +133,17 @@ func main() {
 		bench.WriteExploreTable(os.Stdout, rows)
 	}
 
+	runLinearize := func() {
+		cfg := bench.DefaultLinearizeConfig()
+		rows, err := bench.LinearizeTable(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: linearize: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Linearize = rows
+		bench.WriteLinearizeTable(os.Stdout, rows)
+	}
+
 	runDurability := func() {
 		cfg := bench.DefaultDurabilityConfig()
 		cfg.Seed = *seed
@@ -156,6 +167,8 @@ func main() {
 		runExplore()
 	case "durability":
 		runDurability()
+	case "linearize":
+		runLinearize()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -168,8 +181,10 @@ func main() {
 		runExplore()
 		fmt.Println()
 		runDurability()
+		fmt.Println()
+		runLinearize()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize or all)\n", *table)
 		os.Exit(2)
 	}
 

@@ -139,10 +139,30 @@ func ExplorationSubjects() []Subject {
 	}
 }
 
+// LinearizeOnlySubjects returns subjects only the linearizability engine
+// can verify: their instrumentation is call/return-only (no commit
+// actions), so refinement rejects every run by construction
+// (ViolationInstrumentation) — the black-box library class the engine
+// opens up. They are excluded from the evaluation tables and the
+// differential agreement suite.
+func LinearizeOnlySubjects() []Subject {
+	return []Subject{
+		{
+			Name:    "Multiset-NoCommit",
+			BugName: "Moving acquire in FindSlot (annotation-free wrapper)",
+			Correct: multiset.NoCommitTarget(64, multiset.BugNone),
+			Buggy:   multiset.NoCommitTarget(8, multiset.BugFindSlotAcquire),
+		},
+	}
+}
+
 // SubjectByName returns the subject with the given name, or false. It
-// searches the evaluation subjects and the exploration variants.
+// searches the evaluation subjects, the exploration variants and the
+// linearize-only subjects.
 func SubjectByName(name string) (Subject, bool) {
-	for _, s := range append(AllSubjects(), ExplorationSubjects()...) {
+	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, LinearizeOnlySubjects()...)
+	for _, s := range all {
 		if s.Name == name {
 			return s, true
 		}

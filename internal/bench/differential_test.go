@@ -1,0 +1,199 @@
+package bench_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/racecheck"
+	"repro/internal/remote"
+	"repro/vyrd"
+)
+
+// startDiffServer brings up a vyrdd-shaped server over the full bench
+// registry for the remote differential legs.
+func startDiffServer(tb testing.TB) string {
+	tb.Helper()
+	srv, err := remote.NewServer(remote.ServerOptions{Registry: bench.Registry()})
+	if err != nil {
+		tb.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// remoteLinearize ships a recorded log to the server as a "linearize"
+// session and returns the remote verdict report.
+func remoteLinearize(t *testing.T, addr, subject string, entries []vyrd.Entry) *core.Report {
+	t.Helper()
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:  addr,
+		Hello: remote.Hello{Spec: subject, Mode: "linearize"},
+	})
+	if err != nil {
+		t.Fatalf("%s: NewClient: %v", subject, err)
+	}
+	for _, e := range entries {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("%s: WriteEntry #%d: %v", subject, e.Seq, err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("%s: Flush: %v", subject, err)
+	}
+	v := cl.Verdict()
+	if v == nil {
+		t.Fatalf("%s: no remote verdict", subject)
+	}
+	return v.Report()
+}
+
+// TestLinearizeMatchesRefinement is the differential verdict suite: for
+// every registry subject, the refinement checker and the linearizability
+// engine must agree — on clean runs of the correct implementations and on
+// the planted-race witnesses schedule exploration finds — through every
+// deployment surface: offline over recorded entries, online through the
+// wal pipeline and core.Multi fan-out, and remotely through a vyrdd
+// session. A divergence fails with the schedule repro string, replayable
+// with vyrdx.
+func TestLinearizeMatchesRefinement(t *testing.T) {
+	addr := startDiffServer(t)
+
+	t.Run("clean", func(t *testing.T) {
+		for _, s := range bench.AllSubjects() {
+			if _, err := bench.LinearizeSpec(s.Name); err != nil {
+				t.Fatalf("registry subject without a linearize spec: %v", err)
+			}
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				entries := bench.CleanRun(s, 1)
+
+				off, err := bench.Differential(s.Name, s.Correct, entries, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !off.Refinement.Ok() {
+					t.Fatalf("refinement flagged a clean run:\n%s", off.Refinement)
+				}
+				if !off.Agree() {
+					t.Fatalf("offline divergence on a clean run:\n%s", off)
+				}
+
+				on, err := bench.DifferentialOnline(s.Name, s.Correct, entries, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !on.Agree() {
+					t.Fatalf("online divergence on a clean run:\n%s", on)
+				}
+
+				rep := remoteLinearize(t, addr, s.Name, entries)
+				if rep.Ok() != off.Refinement.Ok() {
+					t.Fatalf("remote divergence on a clean run: remote linearize ok=%v, local refinement ok=%v\n%s",
+						rep.Ok(), off.Refinement.Ok(), rep)
+				}
+				if rep.Mode != core.ModeLinearize {
+					t.Fatalf("remote verdict in mode %s, want linearize", rep.Mode)
+				}
+			})
+		}
+	})
+
+	t.Run("planted-race", func(t *testing.T) {
+		if racecheck.Enabled {
+			t.Skip("planted bugs are intentional data races; the detector would abort before the checkers verdict")
+		}
+		for _, s := range bench.ExplorationSubjects() {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				entries, repro, skipped, err := bench.SurfacedRaceWitness(s, 2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if skipped > 0 {
+					t.Logf("%d earlier witnesses violated refinement only (corrupted state not yet observed at the call/return surface)", skipped)
+				}
+
+				off, err := bench.Differential(s.Name, s.Buggy, entries, repro)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if off.Refinement.Ok() {
+					t.Fatalf("witness schedule no longer violates refinement\nrepro: %s", repro)
+				}
+				if !off.Agree() {
+					t.Fatalf("offline divergence on a planted-race witness:\n%s", off)
+				}
+
+				on, err := bench.DifferentialOnline(s.Name, s.Buggy, entries, repro)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !on.Agree() {
+					t.Fatalf("online divergence on a planted-race witness:\n%s", on)
+				}
+
+				rep := remoteLinearize(t, addr, s.Name, entries)
+				if rep.Ok() {
+					t.Fatalf("remote linearize session missed the planted race\nrepro: %s\nlocal linearize:\n%s",
+						repro, off.Linearize)
+				}
+				if k := rep.First().Kind; k != core.ViolationLinearizability {
+					t.Fatalf("remote violation kind %s, want linearizability", k)
+				}
+			})
+		}
+	})
+}
+
+// TestDifferentialSoundnessDirection pins the one implication soundness
+// guarantees unconditionally: whenever the engine rejects a complete log,
+// commit-pinned I/O refinement rejects it too (a linearizability failure
+// means NO serialization matches the returns, commit-ordered or not). The
+// converse is the gap commit annotations close and is not asserted.
+func TestDifferentialSoundnessDirection(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("planted bugs are intentional data races; the detector would abort before the checkers verdict")
+	}
+	for _, s := range bench.ExplorationSubjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			entries, repro, err := bench.RaceWitness(s, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := bench.Differential(s.Name, s.Buggy, entries, repro)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Linearize.Ok() && d.Refinement.Ok() {
+				t.Fatalf("soundness violated: linearizability failed where refinement passed\n%s", d)
+			}
+		})
+	}
+}
+
+// TestExploreLevelIsView documents why the witness comparison is
+// meaningful: exploration checks these targets under view refinement, the
+// strongest verdict in the repo, so agreement with the linearizability
+// engine is an empirical result, not an implication.
+func TestExploreLevelIsView(t *testing.T) {
+	for _, s := range bench.ExplorationSubjects() {
+		if explore.Mode(s.Buggy) != core.ModeView {
+			t.Fatalf("%s: exploration mode %s", s.Name, explore.Mode(s.Buggy))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linearize"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// LinearizeConfig shapes the linearizability scaling table: synthetic
+// java.util.Vector histories with a controlled overlap width, checked by
+// the strawman brute-force search, the production engine, and commit-pinned
+// I/O refinement over the same log.
+type LinearizeConfig struct {
+	// Widths lists the overlap widths to measure (concurrently open
+	// AddElement executions per history).
+	Widths []int
+	// BruteBudget bounds the strawman's state exploration; histories it
+	// cannot decide within the budget are reported as aborted. This is the
+	// table's stand-in for "did not finish": the strawman's state count
+	// grows with the number of distinct interleavings (w! for w distinct
+	// appends), so past width ~8 no practical budget decides it.
+	BruteBudget int64
+}
+
+// DefaultLinearizeConfig returns the checked-in table shape: widths 2-32,
+// with a strawman budget generous enough to decide width 8 (~10^5 states)
+// and hopeless for width 12 and beyond (>10^8 states).
+func DefaultLinearizeConfig() LinearizeConfig {
+	return LinearizeConfig{
+		Widths:      []int{2, 4, 6, 8, 12, 16, 24, 32},
+		BruteBudget: 1 << 20,
+	}
+}
+
+// LinearizeRow is one overlap width's measurement across the three
+// checkers. Times are wall-clock for one verdict over the same history.
+type LinearizeRow struct {
+	Width        int
+	Ops          int   // method executions in the history
+	BruteStates  int64 // states the strawman explored before deciding or aborting
+	BruteNS      int64
+	BruteAborted bool // strawman hit its budget; verdict unknown
+	EngineStates int64
+	EngineNS     int64
+	RefinementNS int64 // commit-pinned I/O refinement over the same entries
+}
+
+// linearizeHistory records a synthetic Vector history of the given overlap
+// width through the real probe pipeline: w AddElement executions open
+// before any returns, each committing (for the refinement column; the
+// linearizability checkers never look at commits) and returning, then a
+// quiescent Size observer pinning the final length. Distinct elements make
+// every interleaving a distinct specification state — the strawman's
+// worst case and exactly the history family of the paper's Section 2
+// scaling argument.
+func linearizeHistory(width int) []vyrd.Entry {
+	lg := vyrd.NewLog(vyrd.LevelIO)
+	invs := make([]*vyrd.Invocation, width)
+	for i := 0; i < width; i++ {
+		invs[i] = lg.NewProbe().Call("AddElement", i)
+	}
+	for i := 0; i < width; i++ {
+		invs[i].Commit("added")
+		invs[i].Return(nil)
+	}
+	p := lg.NewProbe()
+	inv := p.Call("Size")
+	inv.Return(width)
+	lg.Close()
+	return lg.Snapshot()
+}
+
+// LinearizeTable measures the three checkers over one synthetic history per
+// width. The histories are deterministic, so rows are reproducible
+// modulo machine speed.
+func LinearizeTable(cfg LinearizeConfig) ([]LinearizeRow, error) {
+	var rows []LinearizeRow
+	for _, w := range cfg.Widths {
+		entries := linearizeHistory(w)
+		row := LinearizeRow{Width: w, Ops: w + 1}
+
+		start := time.Now()
+		br := linearize.CheckBruteTrace(entries, spec.NewVector(), linearize.NewVectorModel(), cfg.BruteBudget)
+		row.BruteNS = time.Since(start).Nanoseconds()
+		row.BruteStates = br.StatesExplored
+		row.BruteAborted = br.Aborted
+		if !br.Aborted && !br.Linearizable {
+			return nil, fmt.Errorf("bench: strawman refuted a correct width-%d history", w)
+		}
+
+		start = time.Now()
+		en := linearize.CheckTrace(entries, linearize.VectorSpec(), linearize.Options{})
+		row.EngineNS = time.Since(start).Nanoseconds()
+		row.EngineStates = en.StatesExplored
+		if en.Aborted || !en.Linearizable {
+			return nil, fmt.Errorf("bench: engine failed a correct width-%d history: %s", w, en)
+		}
+
+		start = time.Now()
+		ref, err := core.CheckEntries(entries, spec.NewVector(), core.WithMode(core.ModeIO))
+		row.RefinementNS = time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("bench: refinement at width %d: %w", w, err)
+		}
+		if !ref.Ok() {
+			return nil, fmt.Errorf("bench: refinement rejected a correct width-%d history:\n%s", w, ref)
+		}
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteLinearizeTable renders the scaling rows: the strawman's state count
+// explodes with width until it aborts, while the engine and the
+// commit-pinned refinement checker stay effectively linear.
+func WriteLinearizeTable(w io.Writer, rows []LinearizeRow) {
+	fmt.Fprintln(w, "Linearizability checking: strawman vs engine vs refinement (synthetic Vector, w overlapped appends)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Width\tOps\tStrawman states\tStrawman time\tEngine states\tEngine time\tRefinement time")
+	for _, r := range rows {
+		brute := fmt.Sprintf("%v", time.Duration(r.BruteNS).Round(time.Microsecond))
+		if r.BruteAborted {
+			brute = fmt.Sprintf("DNF (>%s)", time.Duration(r.BruteNS).Round(time.Microsecond))
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\t%v\t%v\n",
+			r.Width, r.Ops, r.BruteStates, brute,
+			r.EngineStates, time.Duration(r.EngineNS).Round(time.Microsecond),
+			time.Duration(r.RefinementNS).Round(time.Microsecond))
+	}
+	tw.Flush()
+}

@@ -7,18 +7,22 @@ import (
 )
 
 // Registry builds the remote-verification spec registry over every
-// evaluation subject: one factory per subject name (spec + replayer of the
-// correct implementation — the server checks *logs*, so it needs only the
-// specification side), plus the composed Fig. 10 stack under its modular
-// name for Hello.Modular sessions.
+// evaluation, exploration and linearize-only subject: one factory per
+// subject name (spec + replayer of the correct implementation — the server
+// checks *logs*, so it needs only the specification side, plus the
+// linearizability checker for "linearize" sessions), and the composed
+// Fig. 10 stack under its modular name for Hello.Modular sessions.
 func Registry() *remote.Registry {
 	r := remote.NewRegistry()
-	for _, s := range AllSubjects() {
+	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, LinearizeOnlySubjects()...)
+	for _, s := range all {
 		t := s.Correct
 		f := remote.SpecFactory{Name: s.Name, NewSpec: t.NewSpec}
 		if t.NewReplayer != nil {
 			f.NewReplayer = func() core.Replayer { return t.NewReplayer() }
 		}
+		f.NewLinearizer = NewLinearizer(s.Name)
 		if err := r.Register(f); err != nil {
 			panic(err) // subject names are unique by construction
 		}

@@ -22,6 +22,7 @@ type Snapshot struct {
 	LogPipeline []LogPipelineRow `json:",omitempty"`
 	Explore     []ExploreRow     `json:",omitempty"`
 	Durability  []DurabilityRow  `json:",omitempty"`
+	Linearize   []LinearizeRow   `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

@@ -210,6 +210,9 @@ func New(spec Spec, opts ...Option) (*Checker, error) {
 		}
 		c.replayer.Reset()
 	}
+	if c.mode == ModeLinearize {
+		return nil, fmt.Errorf("core: linearize mode is checked by internal/linearize, not the refinement checker")
+	}
 	spec.Reset()
 	c.report.Mode = c.mode
 	return c, nil
@@ -704,6 +707,27 @@ func (c *Checker) Run(cur *wal.Cursor) *Report {
 		c.report.LogErr = err.Error()
 	}
 	return c.Finish()
+}
+
+// RunChecker drives any EntryChecker over a log cursor until the log is
+// closed and drained (or the checker stops early) and returns the finished
+// report, recording any cursor error. It is the engine-agnostic form of
+// (*Checker).Run: the online and remote pipelines use it to host
+// alternative verdict engines (a linearizability checker, say) behind the
+// same plumbing as the refinement checker.
+func RunChecker(c EntryChecker, cur *wal.Cursor) *Report {
+	for !c.Done() {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		c.Feed(e)
+	}
+	rep := c.Finish()
+	if err := cur.Err(); err != nil && rep.LogErr == "" {
+		rep.LogErr = err.Error()
+	}
+	return rep
 }
 
 // CheckEntries checks a completed execution offline: the log was recorded

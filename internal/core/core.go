@@ -82,6 +82,28 @@ type Replayer interface {
 	Reset()
 }
 
+// EntryChecker is the minimal surface a verdict engine presents to the log
+// pipeline: feed entries in sequence order, finish, read the report. The
+// refinement Checker implements it; so does the linearize engine's streaming
+// checker. The Multi fan-out and the remote server drive checkers through
+// this interface, which is what lets "linearize" ride the same FormatVersion
+// framed logs, cursors and module routing as refinement.
+//
+// Implementations must tolerate Feed after Done (a fail-fast engine that
+// stopped early still sees the rest of the stream from a draining router)
+// and must make Report complete only after Finish.
+type EntryChecker interface {
+	// Feed consumes one log entry. Entries arrive in sequence order.
+	Feed(e event.Entry)
+	// Finish marks end-of-log, completes pending diagnostics and returns
+	// the final report.
+	Finish() *Report
+	// Done reports whether the checker stopped early (fail-fast).
+	Done() bool
+	// Report returns the current report; complete only after Finish.
+	Report() *Report
+}
+
 // Mode selects the refinement notion to check.
 type Mode uint8
 
@@ -91,6 +113,13 @@ const (
 	// ModeView checks view refinement (Section 5), which subsumes the I/O
 	// checks and additionally compares viewI against viewS at each commit.
 	ModeView
+	// ModeLinearize checks linearizability instead of refinement: it ignores
+	// commit annotations entirely and searches for ANY witness interleaving
+	// consistent with the call/return order (internal/linearize implements
+	// the search). The mode exists on core.Mode so reports, CLI flags and the
+	// remote-protocol handshake name all three verdict notions uniformly; the
+	// core Checker itself rejects it — construct a linearize checker instead.
+	ModeLinearize
 )
 
 // String returns the name of the mode.
@@ -100,6 +129,8 @@ func (m Mode) String() string {
 		return "io"
 	case ModeView:
 		return "view"
+	case ModeLinearize:
+		return "linearize"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -117,6 +148,8 @@ func (m *Mode) UnmarshalJSON(b []byte) error {
 		*m = ModeIO
 	case `"view"`:
 		*m = ModeView
+	case `"linearize"`:
+		*m = ModeLinearize
 	default:
 		return fmt.Errorf("core: unknown mode %s", b)
 	}

@@ -31,6 +31,10 @@ type Module struct {
 	Filter func(e event.Entry) bool
 	// Opts configure the module's Checker (mode, replayer, diagnostics...).
 	Opts []Option
+	// NewChecker, when set, constructs the module's engine instead of the
+	// refinement Checker — e.g. a linearize streaming checker. Spec and
+	// Opts are ignored for such a module.
+	NewChecker func() (EntryChecker, error)
 }
 
 // FilterModule returns a filter accepting entries tagged with the given
@@ -72,7 +76,7 @@ const queueDepth = 8
 // Multi fans one log out to per-module checkers.
 type Multi struct {
 	mods     []Module
-	checkers []*Checker
+	checkers []EntryChecker
 	filters  []func(event.Entry) bool
 
 	queues  []chan []event.Entry
@@ -90,7 +94,13 @@ func NewMulti(mods ...Module) (*Multi, error) {
 	}
 	m := &Multi{mods: mods}
 	for _, mod := range mods {
-		c, err := New(mod.Spec, mod.Opts...)
+		var c EntryChecker
+		var err error
+		if mod.NewChecker != nil {
+			c, err = mod.NewChecker()
+		} else {
+			c, err = New(mod.Spec, mod.Opts...)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: module %s: %w", mod.Name, err)
 		}

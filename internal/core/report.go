@@ -30,6 +30,12 @@ const (
 	// replayer cannot apply. These usually mean the commit-point annotation
 	// must be re-examined (Section 4.1).
 	ViolationInstrumentation
+	// ViolationLinearizability: no linearization of the completed method
+	// executions exists — every total order consistent with the real-time
+	// call/return order is rejected by the sequential specification. Reported
+	// by the linearize engine (ModeLinearize), never by the refinement
+	// checker.
+	ViolationLinearizability
 )
 
 // String returns the name of the violation kind.
@@ -45,6 +51,8 @@ func (k ViolationKind) String() string {
 		return "invariant"
 	case ViolationInstrumentation:
 		return "instrumentation"
+	case ViolationLinearizability:
+		return "linearizability"
 	}
 	return fmt.Sprintf("violation(%d)", uint8(k))
 }
@@ -58,7 +66,7 @@ func (k ViolationKind) MarshalJSON() ([]byte, error) {
 // reports survive a JSON round trip (the remote protocol ships verdicts as
 // JSON report frames).
 func (k *ViolationKind) UnmarshalJSON(b []byte) error {
-	for cand := ViolationIO; cand <= ViolationInstrumentation; cand++ {
+	for cand := ViolationIO; cand <= ViolationLinearizability; cand++ {
 		if string(b) == fmt.Sprintf("%q", cand.String()) {
 			*k = cand
 			return nil
@@ -178,7 +186,11 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "\nlog error (verdict incomplete): %s", r.LogErr)
 	}
 	if r.Ok() {
-		b.WriteString("\nno refinement violations detected")
+		if r.Mode == ModeLinearize {
+			b.WriteString("\nno linearizability violations detected")
+		} else {
+			b.WriteString("\nno refinement violations detected")
+		}
 		return b.String()
 	}
 	fmt.Fprintf(&b, "\n%d violation(s) detected:", r.TotalViolations)

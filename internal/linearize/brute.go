@@ -1,0 +1,204 @@
+package linearize
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// This file is the retained baseline checker ("the strawman"): the naive
+// search VYRD's Section 2 argues against. A window of k mutually
+// overlapping executions admits up to k! candidate orders — "clearly, this
+// method would not scale as the number of methods being executed
+// concurrently increases". The checker cuts the trace at quiescent points
+// (positions no execution spans), searches each segment exhaustively with
+// memoization on (set of linearized executions, specification state), and
+// carries every reachable end state across the cut — sound and complete,
+// but exponential in the overlap width within a segment, because it must
+// enumerate all end states rather than stop at a first witness. It stays
+// in the tree as the oracle the engine is fuzzed against and as the
+// baseline column of `vyrdbench -table linearize`.
+
+// maxSegmentOps bounds a segment's width (the done-set is a bitmask).
+const maxSegmentOps = 63
+
+// CheckBrute searches for a linearization of ops starting from the initial
+// model with the baseline algorithm. maxStates bounds the total search
+// (0 means no bound); exceeding it aborts with Aborted set — the expected
+// outcome for wide overlaps, which is the point of the baseline.
+func CheckBrute(ops []Op, initial Model, maxStates int64) Result {
+	segments := cutAtQuiescence(ops)
+	res := Result{}
+	// Every reachable end state of the prefix, with one witness order each.
+	states := []carried{{model: initial}}
+	base := 0
+	for _, seg := range segments {
+		if len(seg) > maxSegmentOps {
+			res.Aborted = true
+			return res
+		}
+		if len(seg) > res.MaxSegment {
+			res.MaxSegment = len(seg)
+		}
+		var next []carried
+		seen := make(map[uint64]bool)
+		for _, st := range states {
+			s := &searcher{
+				ops:       seg,
+				base:      base,
+				budget:    maxStates,
+				spent:     &res.StatesExplored,
+				ends:      &next,
+				endSeen:   seen,
+				prefix:    st,
+				memo:      make(map[memoKey]bool),
+				collected: make(map[uint64]bool),
+			}
+			s.collect(st.model, 0, make([]int, 0, len(seg)))
+			if s.aborted {
+				res.Aborted = true
+				return res
+			}
+		}
+		if len(next) == 0 {
+			res.FailSeq = seg[len(seg)-1].RetSeq
+			for _, op := range seg {
+				if op.RetSeq > res.FailSeq {
+					res.FailSeq = op.RetSeq
+				}
+			}
+			return res // no serialization survives this segment
+		}
+		states = next
+		base += len(seg)
+	}
+	res.Linearizable = true
+	res.Witness = states[0].order
+	return res
+}
+
+// carried is one reachable specification state at a quiescent cut, with a
+// witness order reaching it.
+type carried struct {
+	model Model
+	order []int
+}
+
+// cutAtQuiescence splits ops (sorted by call) at points where every earlier
+// execution has returned before every later one is called.
+func cutAtQuiescence(ops []Op) [][]Op {
+	var segments [][]Op
+	start := 0
+	var maxRet int64
+	for i, op := range ops {
+		if i > start && op.CallSeq > maxRet {
+			segments = append(segments, ops[start:i])
+			start = i
+		}
+		if op.RetSeq > maxRet {
+			maxRet = op.RetSeq
+		}
+	}
+	if start < len(ops) {
+		segments = append(segments, ops[start:])
+	}
+	return segments
+}
+
+type memoKey struct {
+	done  uint64
+	state uint64
+}
+
+type searcher struct {
+	ops    []Op
+	base   int // index of ops[0] in the global op list
+	budget int64
+	spent  *int64
+
+	prefix    carried
+	ends      *[]carried
+	endSeen   map[uint64]bool
+	memo      map[memoKey]bool
+	collected map[uint64]bool
+	aborted   bool
+}
+
+// collect explores every linearization of the segment, recording each
+// distinct reachable end state (exhaustive, since a later segment may be
+// satisfiable from only some of them).
+func (s *searcher) collect(m Model, done uint64, order []int) {
+	if s.aborted {
+		return
+	}
+	if len(order) == len(s.ops) {
+		fp := m.Fingerprint()
+		if !s.endSeen[fp] {
+			s.endSeen[fp] = true
+			full := make([]int, 0, len(s.prefix.order)+len(order))
+			full = append(full, s.prefix.order...)
+			for _, idx := range order {
+				full = append(full, s.base+idx)
+			}
+			*s.ends = append(*s.ends, carried{model: m, order: full})
+		}
+		return
+	}
+	key := memoKey{done: done, state: m.Fingerprint()}
+	if s.memo[key] {
+		return
+	}
+	s.memo[key] = true
+	*s.spent++
+	if s.budget > 0 && *s.spent > s.budget {
+		s.aborted = true
+		return
+	}
+
+	// An op may be linearized next iff every op that returned before its
+	// call has already been linearized (real-time order preservation).
+	for i, op := range s.ops {
+		bit := uint64(1) << uint(i)
+		if done&bit != 0 {
+			continue
+		}
+		eligible := true
+		for j, prev := range s.ops {
+			pbit := uint64(1) << uint(j)
+			if done&pbit != 0 || i == j {
+				continue
+			}
+			if prev.RetSeq < op.CallSeq {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		var next Model
+		if op.Mutator {
+			var ok bool
+			next, ok = m.Step(op)
+			if !ok {
+				continue
+			}
+		} else {
+			if !m.Check(op) {
+				continue
+			}
+			next = m
+		}
+		s.collect(next, done|bit, append(order, i))
+		if s.aborted {
+			return
+		}
+	}
+}
+
+// CheckBruteTrace is the baseline's convenience entry point: extract the
+// ops of a recorded trace and search, using the spec-derived mutator
+// classification.
+func CheckBruteTrace(entries []event.Entry, spec core.Spec, initial Model, maxStates int64) Result {
+	ops := Extract(entries, spec.IsMutator)
+	return CheckBrute(ops, initial, maxStates)
+}

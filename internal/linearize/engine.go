@@ -1,0 +1,224 @@
+package linearize
+
+// The production engine: Gavin Lowe's just-in-time linearization with
+// undo. The history is a doubly-linked event list (one call node and one
+// return node per execution, in log order). The search walks from the
+// front of the list: at a call node it tries to linearize that execution
+// (step the model, push an undo frame, unlink the call/return pair,
+// restart at the front); at a return node every candidate at the current
+// configuration is exhausted, so it pops the most recent frame, restores
+// the model, relinks the pair and resumes after the popped call. Walking
+// from the front makes the real-time order check free — an execution is a
+// candidate exactly when its call node precedes the first remaining return
+// node — and a configuration (set of linearized executions, model state)
+// is visited at most once thanks to the memo table, which stores exact
+// bitset copies (a hash-only memo could conflate configurations and
+// unsoundly prune a real witness).
+
+// bitset is a fixed-capacity bit vector over op indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, w := range b {
+		h ^= w
+		h *= prime
+	}
+	return h
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i, w := range b {
+		if o[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// memoTable records visited configurations with exact comparison: buckets
+// are keyed by a mixed hash, entries compare the full bitset. State
+// equality is delegated to the Model fingerprint, whose contract requires
+// equal fingerprints to mean equal states.
+type memoTable struct {
+	m map[uint64][]memoEnt
+}
+
+type memoEnt struct {
+	done bitset
+	fp   uint64
+}
+
+func newMemoTable() *memoTable { return &memoTable{m: make(map[uint64][]memoEnt)} }
+
+// add records the configuration and reports whether it was fresh.
+func (t *memoTable) add(done bitset, fp uint64) bool {
+	h := done.hash() ^ (fp * 0x9e3779b97f4a7c15)
+	for _, e := range t.m[h] {
+		if e.fp == fp && e.done.equal(done) {
+			return false
+		}
+	}
+	t.m[h] = append(t.m[h], memoEnt{done: done.clone(), fp: fp})
+	return true
+}
+
+// enode is one event in the doubly-linked history list.
+type enode struct {
+	prev, next *enode
+	match      *enode // call node -> its return node; nil on return nodes
+	op         int    // index into the component's op slice
+	seq        int64
+}
+
+// lift unlinks a call node and its return node (the execution has been
+// linearized). unlift restores them; restores happen in reverse lift
+// order (the undo stack is LIFO), which keeps the neighbor pointers valid.
+func lift(n *enode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	m := n.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+func unlift(n *enode) {
+	m := n.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	n.prev.next = n
+	n.next.prev = n
+}
+
+// frame is one undo record: the call node that was linearized and the
+// model state before the step. Models are functional, so "restoring" the
+// state is a pointer assignment, not a copy.
+type frame struct {
+	n    *enode
+	prev Model
+}
+
+// jitResult is the outcome of one component search.
+type jitResult struct {
+	linearizable bool
+	witness      []int // indices into the component's op slice
+	aborted      bool
+}
+
+// checkJIT searches for one linearization of ops (sorted by CallSeq) from
+// initial. spent accumulates visited configurations across calls; when
+// budget > 0 and *spent exceeds it, the search aborts undecided.
+func checkJIT(ops []Op, initial Model, budget int64, spent *int64) jitResult {
+	if len(ops) == 0 {
+		return jitResult{linearizable: true}
+	}
+
+	// Build the event list in log order. Within one log every sequence
+	// number is unique, so a simple merge of per-op pairs after sorting
+	// all nodes suffices.
+	nodes := make([]enode, 2*len(ops))
+	order := make([]*enode, 0, 2*len(ops))
+	for i, op := range ops {
+		call, ret := &nodes[2*i], &nodes[2*i+1]
+		call.op, call.seq, call.match = i, op.CallSeq, ret
+		ret.op, ret.seq = i, op.RetSeq
+		order = append(order, call, ret)
+	}
+	sortNodes(order)
+	head := &enode{}
+	prev := head
+	for _, n := range order {
+		prev.next = n
+		n.prev = prev
+		prev = n
+	}
+
+	var (
+		state      = initial
+		linearized = newBitset(len(ops))
+		stack      = make([]frame, 0, len(ops))
+		memo       = newMemoTable()
+		entry      = head.next
+	)
+	memo.add(linearized, state.Fingerprint())
+
+	for {
+		if head.next == nil {
+			w := make([]int, len(stack))
+			for i, f := range stack {
+				w[i] = f.n.op
+			}
+			return jitResult{linearizable: true, witness: w}
+		}
+		if entry.match != nil {
+			// Call node: try to linearize this execution now.
+			op := ops[entry.op]
+			var next Model
+			ok := false
+			if op.Mutator {
+				next, ok = state.Step(op)
+			} else if state.Check(op) {
+				next, ok = state, true
+			}
+			if ok {
+				linearized.set(entry.op)
+				if memo.add(linearized, next.Fingerprint()) {
+					*spent++
+					if budget > 0 && *spent > budget {
+						return jitResult{aborted: true}
+					}
+					stack = append(stack, frame{n: entry, prev: state})
+					state = next
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized.clear(entry.op) // configuration already explored
+			}
+			entry = entry.next
+		} else {
+			// Return node of an unlinearized execution: every candidate at
+			// this configuration failed. Backtrack.
+			if len(stack) == 0 {
+				return jitResult{}
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.prev
+			linearized.clear(f.n.op)
+			unlift(f.n)
+			entry = f.n.next
+		}
+	}
+}
+
+// sortNodes orders event nodes by sequence number (insertion sort is fine:
+// the input is two interleaved sorted sequences, nearly in order already).
+func sortNodes(ns []*enode) {
+	for i := 1; i < len(ns); i++ {
+		n := ns[i]
+		j := i - 1
+		for j >= 0 && ns[j].seq > n.seq {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = n
+	}
+}

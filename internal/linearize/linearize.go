@@ -1,27 +1,33 @@
-// Package linearize implements the baseline VYRD's Section 2 argues
-// against: a naive linearizability check that, given only the call and
-// return actions of a trace (no commit annotations), searches for some
-// serialization of the method executions that is consistent with their
-// real-time order and accepted by the specification. A window of k
-// mutually overlapping executions admits up to k! candidate orders —
-// "clearly, this method would not scale as the number of methods being
-// executed concurrently increases" — which is exactly what the commit
-// actions of I/O refinement eliminate by pinning a unique witness
-// interleaving.
+// Package linearize checks linearizability of recorded executions from
+// call and return actions alone — no commit annotations.
 //
-// The checker cuts the trace at quiescent points (positions no execution
-// spans), searches each segment exhaustively with memoization on (set of
-// linearized executions, specification state), and carries every reachable
-// end state across the cut — sound and complete, but exponential in the
-// overlap width within a segment. The benchmark comparing it against the
-// VYRD checker quantifies the paper's scalability claim.
+// Two checkers live here. CheckBrute is the baseline VYRD's Section 2
+// argues against: an exhaustive search over serializations that carries
+// every reachable specification state across quiescent cuts, exponential
+// in the overlap width. Check is the production engine: Lowe-style
+// just-in-time linearization with undo (linearize a pending call, recurse,
+// undo on failure), memoization on (linearized-set, state fingerprint) to
+// prune revisited configurations, and P-compositionality — independent
+// keys or elements are partitioned and their sub-histories checked
+// separately, with the per-component witnesses merged back into one global
+// linearization. A streaming Checker wraps the engine behind the
+// core.EntryChecker surface so linearizability rides the same log
+// pipeline, Multi fan-out and remote protocol as refinement, with an
+// interval-bounded frontier fast path for fixed-domain models that
+// verifies segment by segment at quiescent cuts.
+//
+// The two verdicts relate but differ: a linearizability failure on a
+// complete log implies an I/O-refinement failure on the same log, while
+// refinement can additionally reject logs whose commit annotations pin an
+// invalid witness or are missing altogether (ViolationInstrumentation).
+// The differential harness in internal/bench holds the two checkers
+// against each other on every bench subject.
 package linearize
 
 import (
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/event"
 )
 
@@ -48,8 +54,10 @@ type Model interface {
 
 // Extract pulls the completed method executions out of a recorded trace,
 // classifying mutators with the given predicate. Executions the log ends
-// in the middle of are ignored: this baseline handles complete traces, as
-// the Section 2 discussion assumes.
+// in the middle of are dropped: the verdict applies to the completed
+// executions, as both checkers assume complete histories. A call on a
+// thread that already has one open replaces it (a torn log can lose
+// returns), so arbitrary entry streams extract without panicking.
 func Extract(entries []event.Entry, isMutator func(string) bool) []Op {
 	open := make(map[int32]*Op)
 	var ops []Op
@@ -79,204 +87,61 @@ type Result struct {
 	Linearizable bool
 	// Witness holds one valid order (indices into the op list) when found.
 	Witness []int
-	// StatesExplored counts DFS states visited across all segments — the
-	// cost the paper's commit actions avoid.
+	// StatesExplored counts search configurations visited — the cost the
+	// paper's commit actions avoid.
 	StatesExplored int64
-	// MaxSegment is the widest segment searched (the overlap width that
-	// drives the exponential).
+	// MaxSegment is the widest overlap searched: for the brute checker the
+	// widest quiescent segment, for the engine the maximum number of
+	// concurrently open executions.
 	MaxSegment int
+	// Components is the number of independent sub-histories the engine's
+	// P-compositional partition produced (1 when partitioning is off or
+	// impossible; 0 for the brute checker).
+	Components int
 	// Aborted is set when the search hit the state budget (or a segment
-	// exceeded the representable width) before deciding.
+	// exceeded the representable width) before deciding. The verdict is
+	// unknown when set.
 	Aborted bool
-}
-
-// maxSegmentOps bounds a segment's width (the done-set is a bitmask).
-const maxSegmentOps = 63
-
-// Check searches for a linearization of ops starting from the initial
-// model. maxStates bounds the total search (0 means no bound); exceeding
-// it aborts with Aborted set — the expected outcome for wide overlaps,
-// which is the point of the baseline.
-func Check(ops []Op, initial Model, maxStates int64) Result {
-	segments := cutAtQuiescence(ops)
-	res := Result{}
-	// Every reachable end state of the prefix, with one witness order each.
-	states := []carried{{model: initial}}
-	base := 0
-	for _, seg := range segments {
-		if len(seg) > maxSegmentOps {
-			res.Aborted = true
-			return res
-		}
-		if len(seg) > res.MaxSegment {
-			res.MaxSegment = len(seg)
-		}
-		var next []carried
-		seen := make(map[uint64]bool)
-		for _, st := range states {
-			s := &searcher{
-				ops:       seg,
-				base:      base,
-				budget:    maxStates,
-				spent:     &res.StatesExplored,
-				ends:      &next,
-				endSeen:   seen,
-				prefix:    st,
-				memo:      make(map[memoKey]bool),
-				collected: make(map[uint64]bool),
-			}
-			s.collect(st.model, 0, make([]int, 0, len(seg)))
-			if s.aborted {
-				res.Aborted = true
-				return res
-			}
-		}
-		if len(next) == 0 {
-			return res // no serialization survives this segment
-		}
-		states = next
-		base += len(seg)
-	}
-	res.Linearizable = true
-	res.Witness = states[0].order
-	return res
-}
-
-// carried is one reachable specification state at a quiescent cut, with a
-// witness order reaching it.
-type carried struct {
-	model Model
-	order []int
-}
-
-// cutAtQuiescence splits ops (sorted by call) at points where every earlier
-// execution has returned before every later one is called.
-func cutAtQuiescence(ops []Op) [][]Op {
-	var segments [][]Op
-	start := 0
-	var maxRet int64
-	for i, op := range ops {
-		if i > start && op.CallSeq > maxRet {
-			segments = append(segments, ops[start:i])
-			start = i
-		}
-		if op.RetSeq > maxRet {
-			maxRet = op.RetSeq
-		}
-	}
-	if start < len(ops) {
-		segments = append(segments, ops[start:])
-	}
-	return segments
-}
-
-type memoKey struct {
-	done  uint64
-	state uint64
-}
-
-type searcher struct {
-	ops    []Op
-	base   int // index of ops[0] in the global op list
-	budget int64
-	spent  *int64
-
-	prefix    carried
-	ends      *[]carried
-	endSeen   map[uint64]bool
-	memo      map[memoKey]bool
-	collected map[uint64]bool
-	aborted   bool
-}
-
-// collect explores every linearization of the segment, recording each
-// distinct reachable end state (exhaustive, since a later segment may be
-// satisfiable from only some of them).
-func (s *searcher) collect(m Model, done uint64, order []int) {
-	if s.aborted {
-		return
-	}
-	if len(order) == len(s.ops) {
-		fp := m.Fingerprint()
-		if !s.endSeen[fp] {
-			s.endSeen[fp] = true
-			full := make([]int, 0, len(s.prefix.order)+len(order))
-			full = append(full, s.prefix.order...)
-			for _, idx := range order {
-				full = append(full, s.base+idx)
-			}
-			*s.ends = append(*s.ends, carried{model: m, order: full})
-		}
-		return
-	}
-	key := memoKey{done: done, state: m.Fingerprint()}
-	if s.memo[key] {
-		return
-	}
-	s.memo[key] = true
-	*s.spent++
-	if s.budget > 0 && *s.spent > s.budget {
-		s.aborted = true
-		return
-	}
-
-	// An op may be linearized next iff every op that returned before its
-	// call has already been linearized (real-time order preservation).
-	for i, op := range s.ops {
-		bit := uint64(1) << uint(i)
-		if done&bit != 0 {
-			continue
-		}
-		eligible := true
-		for j, prev := range s.ops {
-			pbit := uint64(1) << uint(j)
-			if done&pbit != 0 || i == j {
-				continue
-			}
-			if prev.RetSeq < op.CallSeq {
-				eligible = false
-				break
-			}
-		}
-		if !eligible {
-			continue
-		}
-		var next Model
-		if op.Mutator {
-			var ok bool
-			next, ok = m.Step(op)
-			if !ok {
-				continue
-			}
-		} else {
-			if !m.Check(op) {
-				continue
-			}
-			next = m
-		}
-		s.collect(next, done|bit, append(order, i))
-		if s.aborted {
-			return
-		}
-	}
-}
-
-// CheckTrace is the convenience entry point: extract the ops of a recorded
-// trace and search, using the spec-derived mutator classification.
-func CheckTrace(entries []event.Entry, spec core.Spec, initial Model, maxStates int64) Result {
-	ops := Extract(entries, spec.IsMutator)
-	return Check(ops, initial, maxStates)
+	// FailSeq is the log sequence number of the latest return in the
+	// component that refused to linearize (0 unless Linearizable is false).
+	FailSeq int64
 }
 
 // String renders the result.
 func (r Result) String() string {
 	switch {
 	case r.Aborted:
-		return fmt.Sprintf("aborted after %d states (budget or width exhausted; widest segment %d)",
+		return fmt.Sprintf("aborted after %d states (budget or width exhausted; widest overlap %d)",
 			r.StatesExplored, r.MaxSegment)
 	case r.Linearizable:
-		return fmt.Sprintf("linearizable (%d states explored; widest segment %d)", r.StatesExplored, r.MaxSegment)
+		return fmt.Sprintf("linearizable (%d states explored; widest overlap %d)", r.StatesExplored, r.MaxSegment)
 	default:
-		return fmt.Sprintf("NOT linearizable (%d states explored; widest segment %d)", r.StatesExplored, r.MaxSegment)
+		return fmt.Sprintf("NOT linearizable (%d states explored; widest overlap %d)", r.StatesExplored, r.MaxSegment)
 	}
+}
+
+// maxOverlapWidth computes the maximum number of method executions open at
+// once — the quantity that drives every linearizability search.
+func maxOverlapWidth(ops []Op) int {
+	type ev struct {
+		seq  int64
+		open bool
+	}
+	evs := make([]ev, 0, 2*len(ops))
+	for _, op := range ops {
+		evs = append(evs, ev{op.CallSeq, true}, ev{op.RetSeq, false})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	width, max := 0, 0
+	for _, e := range evs {
+		if e.open {
+			width++
+			if width > max {
+				max = width
+			}
+		} else {
+			width--
+		}
+	}
+	return max
 }

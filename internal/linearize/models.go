@@ -1,0 +1,531 @@
+package linearize
+
+import (
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Functional models for the remaining bench subjects. Each mirrors the
+// semantics of its executable spec in internal/spec exactly (same
+// permitted return values, same exceptional-termination conditions), but
+// as an immutable value: Step returns a fresh state and never mutates the
+// receiver, which is what lets the engine undo a linearization step by
+// restoring a pointer.
+
+const fnvOffset = 14695981039346656037
+const fnvPrime = 1099511628211
+
+func mixInt(h uint64, x int) uint64 {
+	h ^= uint64(x) * 0x9e3779b97f4a7c15
+	h *= fnvPrime
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	h = mixInt(h, len(s))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// ---- Vector ------------------------------------------------------------
+
+// VectorModel is the functional java.util.Vector specification: a sequence
+// of integers. Order matters, so the state space over k overlapping
+// appends is factorial — the subject that separates the engine from the
+// brute checker.
+type VectorModel struct {
+	elems []int
+	fp    uint64
+}
+
+// NewVectorModel returns the empty sequence state.
+func NewVectorModel() *VectorModel { return &VectorModel{fp: fingerprintSeq(nil)} }
+
+func fingerprintSeq(elems []int) uint64 {
+	h := uint64(fnvOffset) ^ 0x51ed270b
+	h = mixInt(h, len(elems))
+	for _, x := range elems {
+		h = mixInt(h, x)
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *VectorModel) Fingerprint() uint64 { return m.fp }
+
+// Len returns the sequence length (diagnostics and tests).
+func (m *VectorModel) Len() int { return len(m.elems) }
+
+func (m *VectorModel) with(elems []int) *VectorModel {
+	return &VectorModel{elems: elems, fp: fingerprintSeq(elems)}
+}
+
+// Step implements Model for the vector's mutators.
+func (m *VectorModel) Step(op Op) (Model, bool) {
+	switch op.Method {
+	case "AddElement":
+		if len(op.Args) != 1 || op.Ret != nil {
+			return nil, false
+		}
+		x, ok := event.Int(op.Args[0])
+		if !ok {
+			return nil, false
+		}
+		next := make([]int, len(m.elems)+1)
+		copy(next, m.elems)
+		next[len(m.elems)] = x
+		return m.with(next), true
+
+	case "InsertElementAt":
+		if len(op.Args) != 2 {
+			return nil, false
+		}
+		x, okx := event.Int(op.Args[0])
+		i, oki := event.Int(op.Args[1])
+		if !okx || !oki {
+			return nil, false
+		}
+		outOfRange := i < 0 || i > len(m.elems)
+		if event.IsExceptional(op.Ret) {
+			return m, outOfRange
+		}
+		if op.Ret != nil || outOfRange {
+			return nil, false
+		}
+		next := make([]int, len(m.elems)+1)
+		copy(next, m.elems[:i])
+		next[i] = x
+		copy(next[i+1:], m.elems[i:])
+		return m.with(next), true
+
+	case "RemoveElementAt":
+		if len(op.Args) != 1 {
+			return nil, false
+		}
+		i, ok := event.Int(op.Args[0])
+		if !ok {
+			return nil, false
+		}
+		outOfRange := i < 0 || i >= len(m.elems)
+		if event.IsExceptional(op.Ret) {
+			return m, outOfRange
+		}
+		if op.Ret != nil || outOfRange {
+			return nil, false
+		}
+		next := make([]int, 0, len(m.elems)-1)
+		next = append(next, m.elems[:i]...)
+		next = append(next, m.elems[i+1:]...)
+		return m.with(next), true
+
+	case "RemoveAllElements":
+		if op.Ret != nil {
+			return nil, false
+		}
+		return m.with(nil), true
+
+	case "TrimToSize":
+		return m, op.Ret == nil
+	}
+	return nil, false
+}
+
+// Check implements Model for the vector's observers.
+func (m *VectorModel) Check(op Op) bool {
+	switch op.Method {
+	case "Size":
+		got, ok := event.Int(op.Ret)
+		return ok && len(op.Args) == 0 && got == len(m.elems)
+
+	case "ElementAt":
+		if len(op.Args) != 1 {
+			return false
+		}
+		i, ok := event.Int(op.Args[0])
+		if !ok {
+			return false
+		}
+		if i < 0 || i >= len(m.elems) {
+			return event.IsExceptional(op.Ret)
+		}
+		got, ok := event.Int(op.Ret)
+		return ok && got == m.elems[i]
+
+	case "LastIndexOf":
+		if len(op.Args) != 1 {
+			return false
+		}
+		x, ok := event.Int(op.Args[0])
+		if !ok {
+			return false
+		}
+		got, ok := event.Int(op.Ret)
+		if !ok {
+			return false // exceptional termination is never permitted
+		}
+		want := -1
+		for i := len(m.elems) - 1; i >= 0; i-- {
+			if m.elems[i] == x {
+				want = i
+				break
+			}
+		}
+		return got == want
+	}
+	return false
+}
+
+// ---- StringBuffer ------------------------------------------------------
+
+// StringBufferModel is the functional specification of n StringBuffer
+// analogues addressed by identifiers 0..n-1, mirroring spec.StringBuffers
+// (Java's Delete/SetLength exceptional conditions included).
+type StringBufferModel struct {
+	bufs []string
+	fp   uint64
+}
+
+// NewStringBufferModel returns n empty buffers.
+func NewStringBufferModel(n int) *StringBufferModel {
+	bufs := make([]string, n)
+	return &StringBufferModel{bufs: bufs, fp: fingerprintStrings(bufs)}
+}
+
+func fingerprintStrings(bufs []string) uint64 {
+	h := uint64(fnvOffset) ^ 0x7feb352d
+	h = mixInt(h, len(bufs))
+	for _, s := range bufs {
+		h = mixString(h, s)
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *StringBufferModel) Fingerprint() uint64 { return m.fp }
+
+// Content returns buffer id's contents (diagnostics and tests).
+func (m *StringBufferModel) Content(id int) string { return m.bufs[id] }
+
+func (m *StringBufferModel) id(args []event.Value, pos int) (int, bool) {
+	if pos >= len(args) {
+		return 0, false
+	}
+	id, ok := event.Int(args[pos])
+	if !ok || id < 0 || id >= len(m.bufs) {
+		return 0, false
+	}
+	return id, true
+}
+
+func (m *StringBufferModel) withSet(id int, content string) *StringBufferModel {
+	next := make([]string, len(m.bufs))
+	copy(next, m.bufs)
+	next[id] = content
+	return &StringBufferModel{bufs: next, fp: fingerprintStrings(next)}
+}
+
+// Step implements Model for the buffers' mutators.
+func (m *StringBufferModel) Step(op Op) (Model, bool) {
+	switch op.Method {
+	case "Append":
+		id, okid := m.id(op.Args, 0)
+		if !okid || len(op.Args) != 2 || op.Ret != nil {
+			return nil, false
+		}
+		s, ok := op.Args[1].(string)
+		if !ok {
+			return nil, false
+		}
+		return m.withSet(id, m.bufs[id]+s), true
+
+	case "AppendBuffer":
+		dst, okd := m.id(op.Args, 0)
+		src, oks := m.id(op.Args, 1)
+		// Exceptional termination is never permitted: that is exactly how
+		// the paper's cross-buffer append bug manifests.
+		if !okd || !oks || len(op.Args) != 2 || op.Ret != nil {
+			return nil, false
+		}
+		return m.withSet(dst, m.bufs[dst]+m.bufs[src]), true
+
+	case "Delete":
+		id, okid := m.id(op.Args, 0)
+		if !okid || len(op.Args) != 3 {
+			return nil, false
+		}
+		start, oks := event.Int(op.Args[1])
+		end, oke := event.Int(op.Args[2])
+		if !oks || !oke {
+			return nil, false
+		}
+		content := m.bufs[id]
+		bad := start < 0 || start > len(content) || start > end
+		if event.IsExceptional(op.Ret) {
+			return m, bad
+		}
+		if op.Ret != nil || bad {
+			return nil, false
+		}
+		if end > len(content) {
+			end = len(content)
+		}
+		return m.withSet(id, content[:start]+content[end:]), true
+
+	case "SetLength":
+		id, okid := m.id(op.Args, 0)
+		if !okid || len(op.Args) != 2 {
+			return nil, false
+		}
+		n, ok := event.Int(op.Args[1])
+		if !ok {
+			return nil, false
+		}
+		if event.IsExceptional(op.Ret) {
+			return m, n < 0
+		}
+		if op.Ret != nil || n < 0 {
+			return nil, false
+		}
+		content := m.bufs[id]
+		if n <= len(content) {
+			return m.withSet(id, content[:n]), true
+		}
+		pad := make([]byte, n-len(content))
+		return m.withSet(id, content+string(pad)), true
+	}
+	return nil, false
+}
+
+// Check implements Model for the buffers' observers.
+func (m *StringBufferModel) Check(op Op) bool {
+	id, okid := m.id(op.Args, 0)
+	if !okid || len(op.Args) != 1 {
+		return false
+	}
+	switch op.Method {
+	case "ToString":
+		got, ok := op.Ret.(string)
+		return ok && got == m.bufs[id]
+	case "Length":
+		got, ok := event.Int(op.Ret)
+		return ok && got == len(m.bufs[id])
+	}
+	return false
+}
+
+// ---- Store -------------------------------------------------------------
+
+// StoreModel is the functional specification of the Boxwood cache/chunk
+// store: a map from handles to byte arrays; flush, revoke and reclaim are
+// abstract no-ops.
+type StoreModel struct {
+	m  map[int]string
+	fp uint64
+}
+
+// NewStoreModel returns the empty store state.
+func NewStoreModel() *StoreModel {
+	return &StoreModel{m: map[int]string{}, fp: fingerprintIntStrings(nil)}
+}
+
+func fingerprintIntStrings(m map[int]string) uint64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	h := uint64(fnvOffset) ^ 0x2545f491
+	for _, k := range keys {
+		h = mixInt(h, k)
+		h = mixString(h, m[k])
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *StoreModel) Fingerprint() uint64 { return m.fp }
+
+func (m *StoreModel) withSet(h int, b string) *StoreModel {
+	next := make(map[int]string, len(m.m)+1)
+	for k, v := range m.m {
+		next[k] = v
+	}
+	next[h] = b
+	return &StoreModel{m: next, fp: fingerprintIntStrings(next)}
+}
+
+// Step implements Model for the store's mutators.
+func (m *StoreModel) Step(op Op) (Model, bool) {
+	switch op.Method {
+	case "Write":
+		if len(op.Args) != 2 || op.Ret != nil {
+			return nil, false
+		}
+		h, okh := event.Int(op.Args[0])
+		buf, okb := event.Bytes(op.Args[1])
+		if !okh || !okb {
+			return nil, false
+		}
+		return m.withSet(h, string(buf)), true
+
+	case "Flush", "Revoke", "Compress":
+		return m, op.Ret == nil
+	}
+	return nil, false
+}
+
+// Check implements Model for the store's observer.
+func (m *StoreModel) Check(op Op) bool {
+	if op.Method != "Read" || len(op.Args) != 1 {
+		return false
+	}
+	h, ok := event.Int(op.Args[0])
+	if !ok {
+		return false
+	}
+	want, present := m.m[h]
+	if !present {
+		return op.Ret == nil
+	}
+	got, ok := event.Bytes(op.Ret)
+	return ok && string(got) == want
+}
+
+// ---- FS ----------------------------------------------------------------
+
+// FSModel is the functional specification of the Scan file system's data
+// path: a map from file names to contents.
+type FSModel struct {
+	files map[string]string
+	fp    uint64
+}
+
+// NewFSModel returns the empty file-system state.
+func NewFSModel() *FSModel {
+	return &FSModel{files: map[string]string{}, fp: fingerprintFiles(nil)}
+}
+
+func fingerprintFiles(files map[string]string) uint64 {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := uint64(fnvOffset) ^ 0x63d83595
+	for _, n := range names {
+		h = mixString(h, n)
+		h = mixString(h, files[n])
+	}
+	return h
+}
+
+// Fingerprint implements Model.
+func (m *FSModel) Fingerprint() uint64 { return m.fp }
+
+func (m *FSModel) withSet(name, content string) *FSModel {
+	next := make(map[string]string, len(m.files)+1)
+	for k, v := range m.files {
+		next[k] = v
+	}
+	next[name] = content
+	return &FSModel{files: next, fp: fingerprintFiles(next)}
+}
+
+func (m *FSModel) withDelete(name string) *FSModel {
+	next := make(map[string]string, len(m.files))
+	for k, v := range m.files {
+		if k != name {
+			next[k] = v
+		}
+	}
+	return &FSModel{files: next, fp: fingerprintFiles(next)}
+}
+
+// Step implements Model for the file system's mutators.
+func (m *FSModel) Step(op Op) (Model, bool) {
+	name, nameOK := "", false
+	if len(op.Args) > 0 {
+		name, nameOK = op.Args[0].(string)
+	}
+	switch op.Method {
+	case "Create":
+		if !nameOK || len(op.Args) != 1 {
+			return nil, false
+		}
+		created, ok := op.Ret.(bool)
+		if !ok {
+			return nil, false
+		}
+		_, exists := m.files[name]
+		if created == exists {
+			return nil, false
+		}
+		if !created {
+			return m, true
+		}
+		return m.withSet(name, ""), true
+
+	case "WriteFile", "Append":
+		if !nameOK || len(op.Args) != 2 {
+			return nil, false
+		}
+		data, okd := event.Bytes(op.Args[1])
+		okRet, okr := op.Ret.(bool)
+		if !okd || !okr {
+			return nil, false
+		}
+		old, exists := m.files[name]
+		if okRet != exists {
+			return nil, false
+		}
+		if !okRet {
+			return m, true
+		}
+		if op.Method == "WriteFile" {
+			return m.withSet(name, string(data)), true
+		}
+		return m.withSet(name, old+string(data)), true
+
+	case "Delete":
+		if !nameOK || len(op.Args) != 1 {
+			return nil, false
+		}
+		removed, ok := op.Ret.(bool)
+		if !ok {
+			return nil, false
+		}
+		_, exists := m.files[name]
+		if removed != exists {
+			return nil, false
+		}
+		if !removed {
+			return m, true
+		}
+		return m.withDelete(name), true
+
+	case "Compress":
+		return m, op.Ret == nil
+	}
+	return nil, false
+}
+
+// Check implements Model for the file system's observer.
+func (m *FSModel) Check(op Op) bool {
+	if op.Method != "ReadFile" || len(op.Args) != 1 {
+		return false
+	}
+	name, ok := op.Args[0].(string)
+	if !ok {
+		return false
+	}
+	want, exists := m.files[name]
+	if !exists {
+		return op.Ret == nil
+	}
+	got, ok := event.Bytes(op.Ret)
+	return ok && string(got) == want
+}

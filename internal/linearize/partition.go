@@ -1,0 +1,119 @@
+package linearize
+
+// P-compositionality (Herlihy & Wing's locality theorem, exploited the way
+// Horn & Kroening's P-compositionality paper does): a history over a data
+// type whose operations touch disjoint keys/elements is linearizable iff
+// each per-key sub-history is. Partitioning turns one search over overlap
+// width w into several searches whose widths sum to at most w — and the
+// exponential lives in the width, so the split is where most of the
+// engine's headroom on map- and set-shaped subjects comes from. The
+// per-component witnesses are merged back into a single global
+// linearization by repeatedly emitting the component head with the
+// smallest call sequence, which is always safe: if some unemitted op b had
+// to precede the chosen head a (b returned before a was called), then b's
+// own component head h satisfies h.CallSeq <= b.RetSeq < a.CallSeq,
+// contradicting a's minimality.
+
+// partition groups op indices into independent components via union-find
+// over the key strings sp.Keys assigns. It reports ok=false — partitioning
+// impossible — when any op is global (Keys returns ok=false). Ops with an
+// empty key set (state-independent, e.g. a daemon's Compress) become
+// singleton components.
+func partition(ops []Op, keys func(Op) ([]string, bool)) ([][]int, bool) {
+	parent := make([]int, 0, len(ops))
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	keyNode := make(map[string]int)
+	opNode := make([]int, len(ops)) // -1 for stateless ops
+	for i, op := range ops {
+		ks, ok := keys(op)
+		if !ok {
+			return nil, false
+		}
+		opNode[i] = -1
+		for _, k := range ks {
+			kn, seen := keyNode[k]
+			if !seen {
+				kn = len(parent)
+				parent = append(parent, kn)
+				keyNode[k] = kn
+			}
+			if opNode[i] < 0 {
+				opNode[i] = kn
+			} else {
+				union(opNode[i], kn)
+			}
+		}
+	}
+
+	groups := make(map[int][]int)
+	var comps [][]int
+	for i := range ops {
+		if opNode[i] < 0 {
+			comps = append(comps, []int{i})
+			continue
+		}
+		r := find(opNode[i])
+		groups[r] = append(groups[r], i)
+	}
+	// Deterministic component order: by first op index.
+	firsts := make([]int, 0, len(groups))
+	for _, g := range groups {
+		firsts = append(firsts, g[0])
+	}
+	sortInts(firsts)
+	for _, f := range firsts {
+		comps = append(comps, groups[find(opNode[f])])
+	}
+	return comps, true
+}
+
+// mergeWitnesses interleaves per-component linearizations (global op
+// indices, each respecting real-time order) into one global witness.
+func mergeWitnesses(ops []Op, witnesses [][]int) []int {
+	total := 0
+	for _, w := range witnesses {
+		total += len(w)
+	}
+	out := make([]int, 0, total)
+	heads := make([]int, len(witnesses))
+	for len(out) < total {
+		best, bestCall := -1, int64(0)
+		for c, w := range witnesses {
+			if heads[c] >= len(w) {
+				continue
+			}
+			call := ops[w[heads[c]]].CallSeq
+			if best < 0 || call < bestCall {
+				best, bestCall = c, call
+			}
+		}
+		out = append(out, witnesses[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}

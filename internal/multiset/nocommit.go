@@ -1,0 +1,87 @@
+package multiset
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// NoCommit wraps the multiset with call/return-only instrumentation: the
+// inner implementation runs with a nil probe, so no commit actions, writes
+// or view events are ever logged. This is the subject class VYRD's
+// refinement checking cannot verify — a mutator execution with no commit
+// action is an instrumentation violation — and exactly the class the
+// linearizability engine opens up: a black-box library that cannot be
+// annotated is checked from its call/return behavior alone.
+type NoCommit struct {
+	inner *Multiset
+}
+
+// NewNoCommit returns an annotation-free wrapper around a fresh multiset.
+func NewNoCommit(n int, bug Bug) *NoCommit {
+	return &NoCommit{inner: New(n, bug)}
+}
+
+// Insert logs only the call and return events around the uninstrumented
+// operation.
+func (m *NoCommit) Insert(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Insert", x)
+	ok := m.inner.Insert(nil, x)
+	inv.Return(ok)
+	return ok
+}
+
+// InsertPair logs only call/return around the uninstrumented pair insert.
+func (m *NoCommit) InsertPair(p *vyrd.Probe, x, y int) bool {
+	inv := p.Call("InsertPair", x, y)
+	ok := m.inner.InsertPair(nil, x, y)
+	inv.Return(ok)
+	return ok
+}
+
+// Delete logs only call/return around the uninstrumented delete.
+func (m *NoCommit) Delete(p *vyrd.Probe, x int) bool {
+	inv := p.Call("Delete", x)
+	ok := m.inner.Delete(nil, x)
+	inv.Return(ok)
+	return ok
+}
+
+// LookUp logs only call/return around the uninstrumented membership test.
+func (m *NoCommit) LookUp(p *vyrd.Probe, x int) bool {
+	inv := p.Call("LookUp", x)
+	ok := m.inner.LookUp(nil, x)
+	inv.Return(ok)
+	return ok
+}
+
+// NoCommitTarget adapts the annotation-free multiset to the harness. It is
+// intentionally NOT part of the bench evaluation subjects: refinement
+// checking rejects its logs by construction, so it lives outside the
+// differential agreement suite and demonstrates the linearize-only path.
+func NoCommitTarget(capacity int, bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Multiset-NoCommit",
+		New: func(log *vyrd.Log) harness.Instance {
+			m := NewNoCommit(capacity, bug)
+			return harness.Instance{Methods: []harness.Method{
+				{Name: "Insert", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+					m.Insert(p, pick())
+				}},
+				{Name: "InsertPair", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+					m.InsertPair(p, pick(), pick())
+				}},
+				{Name: "Delete", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+					m.Delete(p, pick())
+				}},
+				{Name: "LookUp", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+					m.LookUp(p, pick())
+				}},
+			}}
+		},
+		NewSpec: func() core.Spec { return spec.NewMultiset() },
+	}
+}

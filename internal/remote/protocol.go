@@ -90,8 +90,10 @@ type Hello struct {
 	// Spec names the specification (and replayer) the server should check
 	// this session against; the server resolves it in its Registry.
 	Spec string `json:"spec"`
-	// Mode selects the refinement notion: "io", "view", or "" for the
-	// server default (view when the spec has a replayer, io otherwise).
+	// Mode selects the verdict engine: "io" or "view" refinement,
+	// "linearize" for the linearizability checker (requires a registry
+	// entry with a linearizer), or "" for the server default (view when
+	// the spec has a replayer, io otherwise).
 	Mode string `json:"mode,omitempty"`
 	// FailFast stops the session's checker at the first violation.
 	FailFast bool `json:"fail_fast,omitempty"`

@@ -23,6 +23,10 @@ type SpecFactory struct {
 	// a Multi fan-out over the returned module set, each module with its
 	// own spec, replayer and options.
 	NewModules func() []core.Module
+	// NewLinearizer builds the streaming linearizability checker for
+	// Hello.Mode "linearize" sessions; nil restricts the spec to
+	// refinement modes.
+	NewLinearizer func() core.EntryChecker
 }
 
 // Registry maps spec names to factories. It is safe for concurrent use; a

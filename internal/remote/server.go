@@ -224,6 +224,22 @@ func (s *Server) newSession(h Hello) (*session, error) {
 			return nil, err
 		}
 		go func() { done <- m.Run(cur) }()
+	} else if h.Mode == "linearize" {
+		if f.NewLinearizer == nil {
+			return nil, fmt.Errorf("spec %q does not support linearizability checking", h.Spec)
+		}
+		c := f.NewLinearizer()
+		go func() {
+			rep := core.RunChecker(c, cur)
+			// A violated linearizability verdict is final; keep draining the
+			// cursor so the window never wedges the ingest loop.
+			for {
+				if _, ok := cur.Next(); !ok {
+					break
+				}
+			}
+			done <- []core.ModuleReport{{Report: rep}}
+		}()
 	} else {
 		if f.NewSpec == nil {
 			return nil, fmt.Errorf("spec %q is modular-only", h.Spec)
@@ -243,7 +259,7 @@ func (s *Server) newSession(h Hello) (*session, error) {
 		case "io":
 			opts = append(opts, core.WithMode(core.ModeIO))
 		default:
-			return nil, fmt.Errorf("unknown mode %q (io or view)", h.Mode)
+			return nil, fmt.Errorf("unknown mode %q (io, view or linearize)", h.Mode)
 		}
 		opts = append(opts, core.WithFailFast(h.FailFast))
 		c, err := core.New(f.NewSpec(), opts...)

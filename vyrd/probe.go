@@ -93,6 +93,18 @@ func (l *Log) StartChecker(spec Spec, opts ...Option) (wait func() *Report, err 
 	return func() *Report { return <-done }, nil
 }
 
+// StartEntryChecker runs any streaming entry checker — notably the
+// linearizability engine's (internal/linearize.NewChecker), which needs no
+// commit annotations — on a fresh verification goroutine reading this log
+// from the beginning. The returned function blocks until the log is closed
+// and drained and yields the final report.
+func (l *Log) StartEntryChecker(c EntryChecker) (wait func() *Report) {
+	done := make(chan *Report, 1)
+	cur := l.wal.Cursor()
+	go func() { done <- core.RunChecker(c, cur) }()
+	return func() *Report { return <-done }
+}
+
 // StartMultiChecker runs a modular (Fig. 10) check online: one Checker per
 // module on its own goroutine, all fed from a single cursor over this log
 // by a router goroutine. The returned function blocks until the log is

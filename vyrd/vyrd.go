@@ -42,6 +42,7 @@ package vyrd
 // old-version artifacts; they are never regenerated).
 //go:generate go run repro/cmd/genfig6 -o testdata/fig6.log
 //go:generate go run repro/cmd/genfig6 -o testdata/fig6_v3_corrupt.log -corrupt-at 120 -corrupt-xor 0x41
+//go:generate go run repro/cmd/genfig6 -nocommit -o testdata/fig6_nocommit.log
 
 import (
 	"io"
@@ -61,6 +62,10 @@ type (
 	Replayer = core.Replayer
 	// Checker is the refinement verification engine.
 	Checker = core.Checker
+	// EntryChecker is the minimal streaming-verdict surface every engine
+	// implements (the refinement Checker and the linearizability checker);
+	// Log.StartEntryChecker and the modular fan-out drive it.
+	EntryChecker = core.EntryChecker
 	// Report summarizes one checking run.
 	Report = core.Report
 	// Violation describes one detected refinement violation.
@@ -96,12 +101,19 @@ const (
 	ViolationView            = core.ViolationView
 	ViolationInvariant       = core.ViolationInvariant
 	ViolationInstrumentation = core.ViolationInstrumentation
+	// ViolationLinearizability is reported by the linearizability engine
+	// (internal/linearize): no serialization of the completed executions
+	// matches their return values.
+	ViolationLinearizability = core.ViolationLinearizability
 )
 
 // Refinement modes.
 const (
 	ModeIO   = core.ModeIO
 	ModeView = core.ModeView
+	// ModeLinearize labels reports of the linearizability engine; the
+	// refinement Checker itself rejects it.
+	ModeLinearize = core.ModeLinearize
 )
 
 // Logging levels.

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/event"
+	"repro/internal/harness"
+	"repro/internal/linearize"
 	"repro/internal/multiset"
 	"repro/internal/spec"
 	"repro/vyrd"
@@ -208,6 +211,80 @@ func TestPersistedFig6Artifact(t *testing.T) {
 	if viewRep.First().MethodsCompleted > ioRep.First().MethodsCompleted {
 		t.Fatalf("view detected later than I/O: %d vs %d",
 			viewRep.First().MethodsCompleted, ioRep.First().MethodsCompleted)
+	}
+}
+
+// TestPersistedNoCommitArtifact loads the committed annotation-free trace
+// (correct multiset, call/return-only instrumentation — no commit actions)
+// and pins the verdict split that motivates the linearizability engine:
+// refinement rejects the log as an instrumentation violation, because it
+// fundamentally needs the commit annotations the subject does not have,
+// while the linearizability check verifies the same log from call/return
+// behavior alone.
+func TestPersistedNoCommitArtifact(t *testing.T) {
+	f, err := os.Open("testdata/fig6_nocommit.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := vyrd.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty artifact")
+	}
+	for _, e := range entries {
+		if e.Kind != event.KindCall && e.Kind != event.KindReturn {
+			t.Fatalf("annotation-free artifact contains a %v entry at #%d", e.Kind, e.Seq)
+		}
+	}
+
+	ioRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ioRep.Ok() || ioRep.First().Kind != vyrd.ViolationInstrumentation {
+		t.Fatalf("refinement should reject the annotation-free log as an instrumentation violation:\n%s", ioRep)
+	}
+
+	linRep := linearize.CheckEntries(entries, linearize.MultisetSpec(), linearize.Options{})
+	if !linRep.Ok() {
+		t.Fatalf("linearizability check rejected the annotation-free artifact:\n%s", linRep)
+	}
+	if linRep.Mode != vyrd.ModeLinearize {
+		t.Fatalf("linearize report in mode %s", linRep.Mode)
+	}
+}
+
+// TestNoCommitSubjectLiveRun verifies an annotation-free subject
+// end-to-end from a live concurrent run: the harness drives the NoCommit
+// multiset wrapper (implementation uninstrumented, probes logging only
+// calls and returns), refinement rejects the resulting log, and the
+// linearizability engine verifies it.
+func TestNoCommitSubjectLiveRun(t *testing.T) {
+	target := multiset.NoCommitTarget(32, multiset.BugNone)
+	for seed := int64(1); seed <= 3; seed++ {
+		res := harness.Run(target, harness.Config{
+			Threads: 3, OpsPerThread: 25, KeyPool: 8, Shrink: true,
+			Seed: seed, Level: vyrd.LevelIO,
+		})
+		entries := res.Log.Snapshot()
+		ioRep, err := vyrd.CheckEntries(entries, spec.NewMultiset(), vyrd.WithMode(vyrd.ModeIO))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ioRep.Ok() {
+			t.Fatalf("seed %d: refinement accepted a commit-free log", seed)
+		}
+		linRep := linearize.CheckEntries(entries, linearize.MultisetSpec(),
+			linearize.Options{MaxStates: 5_000_000})
+		if linRep.LogErr != "" {
+			t.Fatalf("seed %d: linearize gave up: %s", seed, linRep.LogErr)
+		}
+		if !linRep.Ok() {
+			t.Fatalf("seed %d: linearizability rejected a correct annotation-free run:\n%s", seed, linRep)
+		}
 	}
 }
 
