@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke tables examples check clean
 
 all: check
 
@@ -33,7 +33,8 @@ bench-smoke:
 # including exploration throughput, shrink results and the sink-codec
 # durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR6.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR7.json
+	$(GO) test -run=NONE -bench 'AppendParallel|OnlinePipeline' -cpu 1,4,8 ./internal/wal/
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
 # corpus seeds honest without turning CI into a fuzzing farm. Each -fuzz
@@ -45,6 +46,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzRecoverArbitraryBytes$$' -fuzztime=10s ./internal/event/
 	$(GO) test -run=NONE -fuzz='^FuzzReproRoundTrip$$' -fuzztime=5s ./internal/sched/
 	$(GO) test -run=NONE -fuzz='^FuzzLinearizeArbitraryHistory$$' -fuzztime=10s ./internal/linearize/
+	$(GO) test -run=NONE -fuzz='^FuzzShardMerge$$' -fuzztime=10s ./internal/wal/
 
 # Race-enabled loopback round trip through the remote verification service:
 # a concurrent harness run of the composed subject shipped over TCP to a
@@ -77,6 +79,16 @@ linearize-smoke:
 	$(GO) test -race -count=1 -run '^TestLinearizeMatchesRefinement$$|^TestDifferentialSoundnessDirection$$' ./internal/bench/
 	$(GO) test -count=1 -run '^TestLinearizeMatchesRefinement$$|^TestDifferentialSoundnessDirection$$' ./internal/bench/
 
+# Race-enabled sharded-capture smoke: the k-way merge property tests and
+# the window/wake stress under the detector, plus the sharded-vs-global
+# verdict parity suite (clean legs; the planted-race legs self-skip under
+# -race and run detector-free in `make test`). CI runs this.
+shard-smoke:
+	$(GO) test -race -count=1 -run '^TestSharded|^TestOpenSelectsBackend$$' ./internal/wal/
+	$(GO) test -race -count=1 -run '^TestShardedVerdictParity$$' ./internal/bench/
+	$(GO) test -count=1 -run '^TestShardedVerdictParity$$' ./internal/bench/
+	$(GO) test -race -count=1 -run '^TestParallel' ./internal/linearize/
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -88,7 +100,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

@@ -62,6 +62,7 @@ func main() {
 		save    = flag.String("save", "", "persist the recorded log to this file")
 		load    = flag.String("load", "", "skip the run; offline-check a previously saved log")
 		recov   = flag.String("recover", "", "repair a crashed producer's log in place (truncate the torn tail) before any -load")
+		shards  = flag.Int("shards", 0, "capture shards for the live run (0/1 = single-counter log; >1 = sharded per-core capture, merged for checking)")
 		codec   = flag.String("codec", "binary", "persisted log codec for -load: binary (current) or gob (version-1 artifacts)")
 		workers = flag.Int("decoders", 0, "-load decode workers for binary logs (0 = GOMAXPROCS, 1 = sequential)")
 		dump    = flag.Bool("dump", false, "print the witness interleaving before the report (Section 4.1 debugging view)")
@@ -208,7 +209,11 @@ func main() {
 	// With -save the log runs fail-stop: a sink that can no longer persist
 	// (disk full, injected fault) stops the producer at its next append
 	// instead of racing ahead of a file that silently stopped growing.
-	log := vyrd.NewLogWith(cfg.Level, vyrd.LogOptions{FailStop: *save != ""})
+	// With -shards N the capture layer is the sharded shard group: each
+	// harness thread appends to its own shard and the checker (and any
+	// -save sink) reads the k-way merged total order, so verdicts and the
+	// on-disk format are unchanged.
+	log := vyrd.NewLogWith(cfg.Level, vyrd.LogOptions{FailStop: *save != "", Shards: *shards})
 	if *save != "" {
 		f, err := fsys.Create(*save)
 		if err != nil {

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize, append or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
@@ -38,6 +38,7 @@ func main() {
 		subject    = flag.String("subject", "", "restrict Table 1 to one subject")
 		window     = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
 		budget     = flag.Int("budget", 2000, "exploration schedule budget per subject")
+		shards     = flag.Int("shards", 0, "append-scaling shard count for the sharded rows (0 = one per proc)")
 		jsonPath   = flag.String("json", "", "also write the rows as a JSON snapshot to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -142,6 +143,24 @@ func main() {
 		}
 		snap.Linearize = rows
 		bench.WriteLinearizeTable(os.Stdout, rows)
+		prows, err := bench.LinearizeParallelTable([]int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: linearize parallel: %v\n", err)
+			os.Exit(1)
+		}
+		snap.LinearizeParallel = prows
+		fmt.Println()
+		bench.WriteLinearizeParallelTable(os.Stdout, prows)
+	}
+
+	runAppendScaling := func() {
+		cfg := bench.DefaultAppendScalingConfig()
+		cfg.Shards = *shards
+		if *ops > 0 {
+			cfg.Entries = *ops
+		}
+		snap.AppendScaling = bench.AppendScaling(cfg)
+		bench.WriteAppendScaling(os.Stdout, cfg, snap.AppendScaling)
 	}
 
 	runDurability := func() {
@@ -169,6 +188,8 @@ func main() {
 		runDurability()
 	case "linearize":
 		runLinearize()
+	case "append":
+		runAppendScaling()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -183,8 +204,10 @@ func main() {
 		runDurability()
 		fmt.Println()
 		runLinearize()
+		fmt.Println()
+		runAppendScaling()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize, append or all)\n", *table)
 		os.Exit(2)
 	}
 

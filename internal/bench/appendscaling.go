@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// AppendScalingConfig shapes the capture-scaling table: raw append
+// throughput and full online-pipeline throughput (producers plus the
+// k-way-merge drain), measured for the single-counter log and the sharded
+// shard group at each GOMAXPROCS setting. This is the PR's headline
+// ablation: the global backend serializes every append on one RMW cache
+// line, the sharded backend's producers share nothing on the hot path.
+type AppendScalingConfig struct {
+	// Procs lists the GOMAXPROCS settings to measure (the -cpu axis).
+	Procs []int
+	// Shards is the shard count for the sharded rows (0 = match Procs,
+	// one shard per core — the deployment default).
+	Shards int
+	// Entries is the total appends per cell, split across one producer
+	// goroutine per proc.
+	Entries int
+}
+
+// DefaultAppendScalingConfig sizes cells long enough that per-entry cost
+// dominates goroutine start/stop noise.
+func DefaultAppendScalingConfig() AppendScalingConfig {
+	return AppendScalingConfig{Procs: []int{1, 4, 8}, Entries: 400_000}
+}
+
+// AppendScalingRow is one (backend, procs) cell. Throughputs are
+// entries/sec; Append is producers only over a truncating unbounded-window
+// log, Pipeline adds a checker-side reader draining the merged total order
+// through a bounded window — the deployment shape of online checking.
+type AppendScalingRow struct {
+	Backend        string // "global" (single-counter) or "sharded"
+	Procs          int
+	Shards         int // 0 for the global backend
+	Entries        int
+	AppendNS       int64
+	AppendPerSec   float64
+	PipelineNS     int64
+	PipelinePerSec float64
+}
+
+// appendScalingProduce fans cfg.Entries appends over procs producer
+// goroutines, each with its own shard-pinned Appender, and returns the
+// wall-clock for the whole batch.
+func appendScalingProduce(lg wal.Backend, procs, entries int) time.Duration {
+	var wg sync.WaitGroup
+	per := entries / procs
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := lg.AppenderFor(lg.NewTid())
+			e := event.Entry{Kind: event.KindCall, Method: "Op"}
+			for i := 0; i < per; i++ {
+				a.Append(e)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// AppendScaling measures both backends at each proc count. GOMAXPROCS is
+// set per cell and restored; on a box with fewer cores than the largest
+// proc setting the extra producers time-slice, so the table records
+// contention behavior, not true parallel speedup — the snapshot's NumCPU
+// field says which reading applies.
+func AppendScaling(cfg AppendScalingConfig) []AppendScalingRow {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []AppendScalingRow
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, backend := range []string{"global", "sharded"} {
+			shards := 0
+			if backend == "sharded" {
+				shards = cfg.Shards
+				if shards <= 0 {
+					shards = procs
+				}
+			}
+			row := AppendScalingRow{Backend: backend, Procs: procs, Shards: shards, Entries: cfg.Entries}
+
+			// Append cell: producers only, truncation keeps memory flat.
+			lg := wal.Open(wal.LevelView, wal.Options{SegmentSize: 1024, Truncate: true, Shards: shards})
+			el := appendScalingProduce(lg, procs, cfg.Entries)
+			lg.Close()
+			row.AppendNS = el.Nanoseconds()
+			row.AppendPerSec = float64(cfg.Entries) / el.Seconds()
+
+			// Pipeline cell: a reader drains the merged stream through a
+			// bounded window while the producers run.
+			lg = wal.Open(wal.LevelView, wal.Options{SegmentSize: 4096, Window: 1 << 16, Shards: shards})
+			// Register the reader before any producer starts: a cursor opens
+			// at the oldest *retained* entry, and an unobserved window log is
+			// free to run ahead and release its prefix first.
+			cur := lg.Reader()
+			done := make(chan int64)
+			go func() {
+				var n int64
+				for {
+					if _, ok := cur.Next(); !ok {
+						break
+					}
+					n++
+				}
+				done <- n
+			}()
+			el = appendScalingProduce(lg, procs, cfg.Entries)
+			lg.Close()
+			if n := <-done; n != int64((cfg.Entries/procs)*procs) {
+				panic(fmt.Sprintf("bench: pipeline drained %d of %d entries", n, cfg.Entries))
+			}
+			row.PipelineNS = el.Nanoseconds()
+			row.PipelinePerSec = float64(cfg.Entries) / el.Seconds()
+
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// WriteAppendScaling renders the capture-scaling rows with a per-proc
+// speedup column (sharded over global at the same proc count).
+func WriteAppendScaling(w io.Writer, cfg AppendScalingConfig, rows []AppendScalingRow) {
+	fmt.Fprintf(w, "Capture scaling: single-counter vs sharded append, %d entries per cell (NumCPU=%d)\n",
+		cfg.Entries, runtime.NumCPU())
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Procs\tBackend\tShards\tAppend/s\tAppend time\tPipeline/s\tPipeline time\tAppend speedup")
+	byProc := map[int]float64{}
+	for _, r := range rows {
+		if r.Backend == "global" {
+			byProc[r.Procs] = r.AppendPerSec
+		}
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if g := byProc[r.Procs]; r.Backend == "sharded" && g > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.AppendPerSec/g)
+		}
+		shards := "-"
+		if r.Shards > 0 {
+			shards = fmt.Sprintf("%d", r.Shards)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.2fM\t%s\t%.2fM\t%s\t%s\n",
+			r.Procs, r.Backend, shards,
+			r.AppendPerSec/1e6, time.Duration(r.AppendNS).Round(time.Millisecond),
+			r.PipelinePerSec/1e6, time.Duration(r.PipelineNS).Round(time.Millisecond),
+			speedup)
+	}
+	tw.Flush()
+}

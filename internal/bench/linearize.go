@@ -110,6 +110,14 @@ func Differential(subject string, t harness.Target, entries []vyrd.Entry, repro 
 // concurrently, each on its own goroutine — the deployment shape of
 // running both verdict engines against one live execution.
 func DifferentialOnline(subject string, t harness.Target, entries []vyrd.Entry, repro string) (DifferentialVerdict, error) {
+	return DifferentialOnlineOn(subject, t, entries, repro, wal.Options{Window: 1 << 12})
+}
+
+// DifferentialOnlineOn is DifferentialOnline over an explicitly configured
+// capture backend — the seam the sharded-vs-global parity suite drives:
+// the same entries replayed through a single-counter log and a sharded
+// shard group must produce the same verdicts.
+func DifferentialOnlineOn(subject string, t harness.Target, entries []vyrd.Entry, repro string, lopts wal.Options) (DifferentialVerdict, error) {
 	sp, err := LinearizeSpec(subject)
 	if err != nil {
 		return DifferentialVerdict{}, err
@@ -128,14 +136,20 @@ func DifferentialOnline(subject string, t harness.Target, entries []vyrd.Entry, 
 	if err != nil {
 		return DifferentialVerdict{}, err
 	}
-	lg := wal.NewWithOptions(wal.LevelView, wal.Options{Window: 1 << 12})
+	if lopts.Window <= 0 {
+		lopts.Window = 1 << 12
+	}
+	lg := wal.Open(wal.LevelView, lopts)
+	// Register the reader before the producer starts: an unobserved window
+	// log is a bounded recent-suffix buffer and may release its prefix.
+	cur := lg.Reader()
 	go func() {
 		for _, e := range entries {
 			lg.Append(e)
 		}
 		lg.Close()
 	}()
-	reports := m.Run(lg.Cursor())
+	reports := m.Run(cur)
 	d := DifferentialVerdict{Subject: subject, Repro: repro}
 	for _, mr := range reports {
 		switch mr.Module {
@@ -157,6 +171,14 @@ func DifferentialOnline(subject string, t harness.Target, entries []vyrd.Entry, 
 // CleanRun produces one uncontrolled run of the subject's correct
 // implementation at the I/O level, for clean-log differential rows.
 func CleanRun(s Subject, seed int64) []vyrd.Entry {
+	return CleanRunOn(s, seed, vyrd.LogOptions{})
+}
+
+// CleanRunOn is CleanRun over an explicitly configured capture backend —
+// with LogOptions.Shards > 1 the harness threads append through
+// shard-pinned probes and the returned snapshot is the k-way merged total
+// order, the live-capture half of the sharded parity suite.
+func CleanRunOn(s Subject, seed int64, lopts vyrd.LogOptions) []vyrd.Entry {
 	res := harness.Run(s.Correct, harness.Config{
 		Threads:      3,
 		OpsPerThread: 24,
@@ -164,6 +186,7 @@ func CleanRun(s Subject, seed int64) []vyrd.Entry {
 		Shrink:       true,
 		Seed:         seed,
 		Level:        explore.Level(s.Correct),
+		LogOptions:   lopts,
 	})
 	return res.Log.Snapshot()
 }

@@ -117,6 +117,93 @@ func LinearizeTable(cfg LinearizeConfig) ([]LinearizeRow, error) {
 	return rows, nil
 }
 
+// LinearizeParallelRow is one worker-pool width's measurement over a fixed
+// partitioned history: the same component searches fanned over Parallel
+// workers. Serial (width 1) is the baseline the speedup column divides by.
+type LinearizeParallelRow struct {
+	Workers    int
+	Components int
+	Ops        int
+	States     int64
+	NS         int64
+}
+
+// linearizeParallelHistory records a partitioned multiset history through
+// the real probe pipeline: keys independent element families, each with
+// rounds of width overlapping Inserts closed by a LookUp observer — many
+// components of equal, nontrivial search cost, the shape the per-component
+// worker pool is built for.
+func linearizeParallelHistory(keys, width, rounds int) []vyrd.Entry {
+	lg := vyrd.NewLog(vyrd.LevelIO)
+	for k := 0; k < keys; k++ {
+		for r := 0; r < rounds; r++ {
+			invs := make([]*vyrd.Invocation, width)
+			for i := 0; i < width; i++ {
+				invs[i] = lg.NewProbe().Call("Insert", k)
+			}
+			for i := 0; i < width; i++ {
+				invs[i].Commit("ins")
+				invs[i].Return(true)
+			}
+			look := lg.NewProbe().Call("LookUp", k)
+			look.Return(true)
+		}
+	}
+	lg.Close()
+	return lg.Snapshot()
+}
+
+// LinearizeParallelTable measures the component fan-out at each worker-pool
+// width over one deterministic history. The verdict, witness and state
+// count are pinned identical across widths by the parallel_test suite; this
+// table records the wall-clock effect alone.
+func LinearizeParallelTable(widths []int) ([]LinearizeParallelRow, error) {
+	entries := linearizeParallelHistory(32, 6, 24)
+	sp := linearize.MultisetSpec()
+	ops := linearize.Extract(entries, sp.IsMutator)
+	var rows []LinearizeParallelRow
+	for _, workers := range widths {
+		start := time.Now()
+		res := linearize.Check(ops, sp, linearize.Options{MaxStates: 1 << 24, Parallel: workers})
+		ns := time.Since(start).Nanoseconds()
+		if res.Aborted || !res.Linearizable {
+			return nil, fmt.Errorf("bench: parallel linearize (%d workers) failed a correct history: %s", workers, res.String())
+		}
+		rows = append(rows, LinearizeParallelRow{
+			Workers:    workers,
+			Components: res.Components,
+			Ops:        len(ops),
+			States:     res.StatesExplored,
+			NS:         ns,
+		})
+	}
+	return rows, nil
+}
+
+// WriteLinearizeParallelTable renders the worker-width scaling rows.
+func WriteLinearizeParallelTable(w io.Writer, prows []LinearizeParallelRow) {
+	fmt.Fprintln(w, "Parallel component checking: one partitioned multiset history, worker-pool width sweep")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Workers\tComponents\tOps\tStates\tTime\tSpeedup")
+	var base float64
+	for _, r := range prows {
+		if r.Workers <= 1 {
+			base = float64(r.NS)
+			break
+		}
+	}
+	for _, r := range prows {
+		speedup := "-"
+		if base > 0 && r.Workers > 1 {
+			speedup = fmt.Sprintf("%.2fx", base/float64(r.NS))
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%s\n",
+			r.Workers, r.Components, r.Ops, r.States,
+			time.Duration(r.NS).Round(time.Microsecond), speedup)
+	}
+	tw.Flush()
+}
+
 // WriteLinearizeTable renders the scaling rows: the strawman's state count
 // explodes with width until it aborts, while the engine and the
 // commit-pinned refinement checker stay effectively linear.

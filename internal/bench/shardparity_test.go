@@ -1,0 +1,134 @@
+package bench_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/racecheck"
+	"repro/internal/remote"
+	"repro/internal/wal"
+	"repro/vyrd"
+)
+
+// parityShards is the shard count the parity legs run capture with.
+const parityShards = 4
+
+// startShardedDiffServer is startDiffServer with sharded per-session
+// capture enabled, for the vyrdd-loopback parity leg.
+func startShardedDiffServer(tb testing.TB) string {
+	tb.Helper()
+	srv, err := remote.NewServer(remote.ServerOptions{
+		Registry: bench.Registry(),
+		Shards:   parityShards,
+	})
+	if err != nil {
+		tb.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestShardedVerdictParity pins sharded-vs-global verdict parity on every
+// registry subject across all three deployment legs (ISSUE 7 acceptance):
+//
+//   - offline: a live concurrent harness run captured on a sharded log,
+//     its merged snapshot checked by both engines — verdicts must match
+//     the global-capture run of the same subject;
+//   - online: the same recorded entries replayed through a single-counter
+//     log and a sharded shard group into the Multi fan-out — identical
+//     verdicts entry-stream for entry-stream;
+//   - vyrdd loopback: the entries shipped over TCP to a server whose
+//     per-session capture is sharded — remote verdict equal to the global
+//     server's.
+//
+// The planted-race leg replays an exploration witness through the sharded
+// online pipeline: a history both engines reject on global capture must
+// still be rejected through the merge.
+func TestShardedVerdictParity(t *testing.T) {
+	globalAddr := startDiffServer(t)
+	shardAddr := startShardedDiffServer(t)
+
+	t.Run("clean", func(t *testing.T) {
+		for _, s := range bench.AllSubjects() {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				// Offline leg: live sharded capture. The harness threads
+				// append concurrently through shard-pinned probes; the
+				// snapshot is the k-way merged total order.
+				entries := bench.CleanRunOn(s, 1, vyrd.LogOptions{Shards: parityShards})
+				off, err := bench.Differential(s.Name, s.Correct, entries, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !off.Refinement.Ok() || !off.Agree() {
+					t.Fatalf("sharded capture broke the clean-run verdict:\n%s", off)
+				}
+
+				// Online leg: same entries, both backends, same verdicts.
+				onG, err := bench.DifferentialOnline(s.Name, s.Correct, entries, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				onS, err := bench.DifferentialOnlineOn(s.Name, s.Correct, entries, "",
+					wal.Options{Window: 1 << 12, Shards: parityShards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if onG.Refinement.Ok() != onS.Refinement.Ok() || onG.Linearize.Ok() != onS.Linearize.Ok() {
+					t.Fatalf("online sharded vs global divergence:\nglobal:\n%s\nsharded:\n%s", onG, onS)
+				}
+				if !onS.Agree() {
+					t.Fatalf("online sharded divergence:\n%s", onS)
+				}
+
+				// Loopback leg: remote verdicts agree between a sharded
+				// and a single-counter server.
+				repG := remoteLinearize(t, globalAddr, s.Name, entries)
+				repS := remoteLinearize(t, shardAddr, s.Name, entries)
+				if repG.Ok() != repS.Ok() {
+					t.Fatalf("vyrdd loopback sharded vs global divergence: global ok=%v, sharded ok=%v\nglobal:\n%s\nsharded:\n%s",
+						repG.Ok(), repS.Ok(), repG, repS)
+				}
+			})
+		}
+	})
+
+	t.Run("planted-race", func(t *testing.T) {
+		if racecheck.Enabled {
+			t.Skip("planted bugs are intentional data races; the detector would abort before the checkers verdict")
+		}
+		for _, s := range bench.ExplorationSubjects() {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				entries, repro, _, err := bench.SurfacedRaceWitness(s, 2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				onS, err := bench.DifferentialOnlineOn(s.Name, s.Buggy, entries, repro,
+					wal.Options{Window: 1 << 12, Shards: parityShards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if onS.Refinement.Ok() || onS.Linearize.Ok() {
+					t.Fatalf("sharded pipeline lost a violation both engines flag on global capture:\n%s", onS)
+				}
+				repS := remoteLinearize(t, shardAddr, s.Name, entries)
+				if repS.Ok() {
+					t.Fatalf("sharded vyrdd session lost the violation:\n%s", repS)
+				}
+			})
+		}
+	})
+}

@@ -23,6 +23,12 @@ type Snapshot struct {
 	Explore     []ExploreRow     `json:",omitempty"`
 	Durability  []DurabilityRow  `json:",omitempty"`
 	Linearize   []LinearizeRow   `json:",omitempty"`
+	// LinearizeParallel is the worker-pool width sweep over one partitioned
+	// history (rides along with -table linearize).
+	LinearizeParallel []LinearizeParallelRow `json:",omitempty"`
+	// AppendScaling is the sharded-vs-global capture throughput grid
+	// (-table append).
+	AppendScaling []AppendScalingRow `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

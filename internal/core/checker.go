@@ -695,7 +695,7 @@ func (c *Checker) Finish() *Report {
 // concurrently with the instrumented program. Failures of the log the
 // cursor reads (a sink that could not persist entries, say) surface in
 // Report.LogErr rather than ending the run silently.
-func (c *Checker) Run(cur *wal.Cursor) *Report {
+func (c *Checker) Run(cur wal.Reader) *Report {
 	for !c.done {
 		e, ok := cur.Next()
 		if !ok {
@@ -715,7 +715,7 @@ func (c *Checker) Run(cur *wal.Cursor) *Report {
 // (*Checker).Run: the online and remote pipelines use it to host
 // alternative verdict engines (a linearizability checker, say) behind the
 // same plumbing as the refinement checker.
-func RunChecker(c EntryChecker, cur *wal.Cursor) *Report {
+func RunChecker(c EntryChecker, cur wal.Reader) *Report {
 	for !c.Done() {
 		e, ok := cur.Next()
 		if !ok {

@@ -183,7 +183,7 @@ func (m *Multi) finish(logErr string) []ModuleReport {
 // entries out to the module checkers, and returns the merged per-module
 // reports. This is the online modular mode: it runs concurrently with the
 // instrumented program, one goroutine per module plus the calling router.
-func (m *Multi) Run(cur *wal.Cursor) []ModuleReport {
+func (m *Multi) Run(cur wal.Reader) []ModuleReport {
 	m.start()
 	for {
 		e, ok := cur.Next()

@@ -1,5 +1,7 @@
 package linearize
 
+import "sync/atomic"
+
 // The production engine: Gavin Lowe's just-in-time linearization with
 // undo. The history is a doubly-linked event list (one call node and one
 // return node per execution, in log order). The search walks from the
@@ -123,9 +125,10 @@ type jitResult struct {
 }
 
 // checkJIT searches for one linearization of ops (sorted by CallSeq) from
-// initial. spent accumulates visited configurations across calls; when
-// budget > 0 and *spent exceeds it, the search aborts undecided.
-func checkJIT(ops []Op, initial Model, budget int64, spent *int64) jitResult {
+// initial. spent accumulates visited configurations across calls — it is
+// atomic so parallel component searches share one budget; when budget > 0
+// and the total exceeds it, the search aborts undecided.
+func checkJIT(ops []Op, initial Model, budget int64, spent *atomic.Int64) jitResult {
 	if len(ops) == 0 {
 		return jitResult{linearizable: true}
 	}
@@ -180,8 +183,7 @@ func checkJIT(ops []Op, initial Model, budget int64, spent *int64) jitResult {
 			if ok {
 				linearized.set(entry.op)
 				if memo.add(linearized, next.Fingerprint()) {
-					*spent++
-					if budget > 0 && *spent > budget {
+					if s := spent.Add(1); budget > 0 && s > budget {
 						return jitResult{aborted: true}
 					}
 					stack = append(stack, frame{n: entry, prev: state})

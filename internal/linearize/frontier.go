@@ -3,6 +3,7 @@ package linearize
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -208,25 +209,25 @@ func (c *Checker) Finish() *core.Report {
 	// Mid-history frontier: the prefix's reachable states are exactly the
 	// carried set, so the tail is linearizable iff it linearizes from one
 	// of them.
-	var spent int64
+	var spent atomic.Int64
 	for _, st := range c.carried {
 		r := checkJIT(tail, st.model, c.o.MaxStates, &spent)
 		if r.aborted {
-			c.states += spent
+			c.states += spent.Load()
 			c.report.LogErr = fmt.Sprintf(
-				"linearize: aborted after %d configurations (state budget exhausted)", spent)
+				"linearize: aborted after %d configurations (state budget exhausted)", spent.Load())
 			c.done = true
 			return &c.report
 		}
 		if r.linearizable {
-			c.states += spent
+			c.states += spent.Load()
 			return &c.report
 		}
 	}
-	c.states += spent
+	c.states += spent.Load()
 	c.violate(c.lastSeq, fmt.Sprintf(
 		"no linearization of the %d executions after the last quiescent cut (%s; %d frontier states, %d configurations searched)",
-		len(tail), c.sp.Name, len(c.carried), spent))
+		len(tail), c.sp.Name, len(c.carried), spent.Load()))
 	return &c.report
 }
 
@@ -238,7 +239,7 @@ func (c *Checker) StatesExplored() int64 { return c.states }
 // (or a violation ends the run early) and returns the final report,
 // mirroring core.Checker.Run so the online and remote paths drive both
 // checkers identically.
-func (c *Checker) Run(cur *wal.Cursor) *core.Report {
+func (c *Checker) Run(cur wal.Reader) *core.Report {
 	return core.RunChecker(c, cur)
 }
 

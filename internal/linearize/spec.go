@@ -3,6 +3,8 @@ package linearize
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -42,6 +44,16 @@ type Options struct {
 	// NoPartition disables P-compositionality even when Spec.Keys is set
 	// (benchmarks isolate its contribution this way).
 	NoPartition bool
+	// Parallel fans the independent component searches of a partitioned
+	// history out over a bounded worker pool of that size (<= 1 checks
+	// serially). The MaxStates budget is shared across workers through one
+	// atomic counter, and the verdict, witness and FailSeq are reduced in
+	// component order afterwards. Within budget the result is identical to
+	// the serial search; at budget exhaustion, which component observes
+	// the exhausted budget depends on scheduling, so a history the serial
+	// search decides right at the boundary may come back Aborted (still
+	// never a wrong verdict — Aborted is explicitly undecided).
+	Parallel int
 }
 
 // Check runs the engine over the completed executions (sorted by call
@@ -63,21 +75,56 @@ func Check(ops []Op, sp *Spec, o Options) Result {
 		comps = [][]int{all}
 	}
 
-	witnesses := make([][]int, 0, len(comps))
-	for _, comp := range comps {
+	subFor := func(comp []int) []Op {
 		sub := make([]Op, len(comp))
 		for j, gi := range comp {
 			sub[j] = ops[gi]
 		}
-		r := checkJIT(sub, sp.New(), o.MaxStates, &res.StatesExplored)
+		return sub
+	}
+	var spent atomic.Int64
+	results := make([]jitResult, len(comps))
+	if workers := min(o.Parallel, len(comps)); workers > 1 {
+		// Components are independent sub-histories (that is what the
+		// partition proves), so their searches run concurrently; the
+		// reduction below stays in component order for determinism.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(results) {
+						return
+					}
+					results[i] = checkJIT(subFor(comps[i]), sp.New(), o.MaxStates, &spent)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, comp := range comps {
+			results[i] = checkJIT(subFor(comp), sp.New(), o.MaxStates, &spent)
+			if results[i].aborted || !results[i].linearizable {
+				results = results[:i+1] // serial early exit, verdict decided
+				break
+			}
+		}
+	}
+	res.StatesExplored = spent.Load()
+	witnesses := make([][]int, 0, len(comps))
+	for i, r := range results {
+		comp := comps[i]
 		if r.aborted {
 			res.Aborted = true
 			return res
 		}
 		if !r.linearizable {
-			for _, op := range sub {
-				if op.RetSeq > res.FailSeq {
-					res.FailSeq = op.RetSeq
+			for _, gi := range comp {
+				if ops[gi].RetSeq > res.FailSeq {
+					res.FailSeq = ops[gi].RetSeq
 				}
 			}
 			return res

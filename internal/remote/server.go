@@ -27,6 +27,14 @@ type ServerOptions struct {
 	Window int
 	// SegmentSize is the per-session log segment size (0 = wal default).
 	SegmentSize int
+	// Shards selects sharded per-core capture for each session's log
+	// (> 1; 0 or 1 keeps the single-counter log). Every session gets its
+	// own shard group, so sessions never contend on capture state — the
+	// scale-out posture for a multi-tenant vyrdd fleet. The TCP ingest
+	// loop is one goroutine per session, so the entries reach the shards
+	// in wire order and the merged order the checker consumes equals the
+	// client's stream order either way; verdicts are unaffected.
+	Shards int
 	// AckEvery is the ack cadence in entries (0 = DefaultAckEvery). The
 	// effective cadence per session never exceeds a quarter of the client's
 	// advertised window, so a small-window client is never starved of acks.
@@ -148,7 +156,7 @@ type session struct {
 	modular bool
 	started time.Time
 
-	log  *wal.Log
+	log  wal.Backend
 	wait func() []core.ModuleReport
 
 	// recv is the highest contiguous client sequence number ingested; it
@@ -209,11 +217,12 @@ func (s *Server) newSession(h Hello) (*session, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown spec %q (registered: %v)", h.Spec, s.opts.Registry.Names())
 	}
-	lg := wal.NewWithOptions(wal.LevelView, wal.Options{
+	lg := wal.Open(wal.LevelView, wal.Options{
 		Window:      s.opts.Window,
 		SegmentSize: s.opts.SegmentSize,
+		Shards:      s.opts.Shards,
 	})
-	cur := lg.Cursor()
+	cur := lg.Reader()
 	done := make(chan []core.ModuleReport, 1)
 	if h.Modular {
 		if f.NewModules == nil {

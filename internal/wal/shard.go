@@ -1,0 +1,597 @@
+package wal
+
+// Sharded per-core log capture.
+//
+// The segmented Log removed every lock from the append fast path but kept
+// one global atomic counter assigning the total order, and the A/B numbers
+// show what that costs: AppendParallel is flat from 1 to 4 CPUs because
+// every producer core bounces the counter's cache line. The counter is
+// also a stronger primitive than the checker needs — the refinement
+// witness consumes *commit order*, and fine-grained writes only need
+// per-variable order, so any legal linearization of the capture yields the
+// same verdict (PAPER.md Section 4.1's commit-order argument).
+//
+// ShardedLog therefore splits capture across per-shard segment chains:
+//
+//   - Each probe (thread) is pinned to one shard via its tid, so a
+//     thread's entries stay in program order within its shard and no two
+//     cores share an append line in the steady state.
+//   - Capture sequence numbers are reserved in thread-local *batches*:
+//     one global fetch-add per ShardBatch appends instead of one per
+//     entry. Within a shard the capture seqs are strictly increasing;
+//     across shards they are unique but deliberately not ordered.
+//   - Every entry is stamped with a monotonic capture timestamp read
+//     under the shard's lock. The clock is core-local (a vDSO read on
+//     Linux), so stamping scales with cores; the shard lock only ever
+//     sees contention from threads hashed to the same shard.
+//   - A deterministic k-way merge (MergeCursor) reconstructs a total
+//     order at checker ingest: entries are emitted in (timestamp,
+//     capture-seq) order and renumbered densely, so the stream the
+//     checker, the persistence sink, the remote client and recovery see
+//     is shaped exactly like a single-counter log — the on-disk format
+//     is unchanged (merge-at-persist; see DESIGN.md "Sharded capture").
+//
+// Why the merge is sound: an entry's timestamp is taken while the
+// instrumented code holds the locks that make the logged action visible
+// (the same discipline the single counter relied on). If action A is
+// visible before action B touches the same state, A's critical section
+// ends before B's begins, so A's clock read completes before B's starts
+// and CLOCK_MONOTONIC guarantees ts(A) <= ts(B). Emission requires a
+// *strictly* smaller key than every other shard's bound, and equal-ts
+// cross-shard entries are causally unrelated as long as the clock tick is
+// finer than a lock handoff — NewSharded measures the clock at
+// construction and, if its granularity is too coarse to separate
+// handoffs (~1us), degrades to per-entry global tickets: the exact
+// single-counter ordering, sharded storage only. The merge then still
+// removes the reader/writer line sharing, but the scaling headline
+// requires the fine clock. Within a shard no clock assumption is needed
+// at all: capture seqs break ties in append order.
+//
+// Idle shards and the watermark protocol: the merge may only emit a head
+// once no shard can later publish a smaller key. An idle shard would
+// stall the merge forever, so each shard maintains a published watermark
+// (every future entry's ts is >= wm). When an empty shard's watermark is
+// behind the candidate, the merge try-locks the shard and raises wm to
+// "now" — holding the shard lock proves no append is in flight, and any
+// later append reads the clock after the bump, so the raised watermark is
+// a true bound. If the try-lock fails the shard is actively appending and
+// its head will appear on the next poll.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+)
+
+// DefaultShardBatch is the default capture-seq batch size: one global
+// fetch-add per this many appends on a shard.
+const DefaultShardBatch = 256
+
+// coarseClockLimit is the monotonic-clock granularity above which sharded
+// capture degrades to per-entry global tickets: a tick coarser than this
+// cannot be trusted to separate two lock handoffs, so equal timestamps
+// could hide a happens-before edge.
+const coarseClockLimit = time.Microsecond
+
+// shard is one capture lane: a private segmented Log for storage plus the
+// batch-reservation and timestamp state. The lock serializes (clock read,
+// batch take, slot publish) so the shard's stream is sorted by the merge
+// key; it is core-local in the steady state — only threads pinned to the
+// same shard, and the merge's idle-watermark bump, ever touch it.
+type shard struct {
+	log *Log
+
+	mu        sync.Mutex
+	batchNext int64 // last capture seq handed out
+	batchEnd  int64 // end of the reserved batch (exclusive upper = batchEnd)
+
+	// wm is the shard's published watermark: every entry this shard
+	// publishes from now on has ts >= wm. Raised by producers on every
+	// append and by the merge's idle-shard bump.
+	wm atomic.Int64
+	_  [64 - 8]byte
+}
+
+// ShardedLog is the sharded capture backend. Construct with NewSharded
+// (or wal.Open with Options.Shards > 1). It implements Backend: probes
+// append through per-tid pinned shards, readers consume the deterministic
+// k-way merge.
+type ShardedLog struct {
+	level Level
+	opts  Options // normalized; Window/SegmentSize are per-shard values
+	batch int64
+	mono  bool // fine-grained clock available; else per-entry tickets
+	epoch time.Time
+
+	// reserved is the only globally shared append-path atomic: the
+	// capture-seq batcher (one RMW per batch), or the per-entry ticket
+	// counter in degraded (coarse-clock) mode.
+	reserved atomic.Int64
+	_        [64 - 8]byte
+
+	nextTid atomic.Int32
+	closed  atomic.Bool
+
+	shards []*shard
+
+	mu           sync.Mutex
+	sinkAttached bool
+	sinkWG       sync.WaitGroup
+	sinkErr      atomic.Value
+	sinkBroken   atomic.Bool
+	sinkPos      atomic.Int64
+
+	mergeWaits atomic.Int64
+}
+
+// NewSharded returns an empty sharded capture log. opts.Shards <= 0
+// defaults to GOMAXPROCS; opts.Window is a global budget split evenly
+// across the shards; opts.SegmentSize applies per shard.
+func NewSharded(level Level, opts Options) *ShardedLog {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.ShardBatch <= 0 {
+		opts.ShardBatch = DefaultShardBatch
+	}
+	shardOpts := Options{
+		SegmentSize: opts.SegmentSize,
+		Truncate:    opts.Truncate,
+	}
+	if opts.Window > 0 {
+		shardOpts.Window = opts.Window / n
+		if shardOpts.Window < 1 {
+			shardOpts.Window = 1
+		}
+	}
+	g := &ShardedLog{
+		level: level,
+		opts:  opts,
+		batch: int64(opts.ShardBatch),
+		mono:  fineMonotonicClock(),
+		epoch: time.Now(),
+	}
+	g.shards = make([]*shard, n)
+	for i := range g.shards {
+		g.shards[i] = &shard{log: NewWithOptions(level, shardOpts)}
+	}
+	return g
+}
+
+// fineMonotonicClock measures the runtime monotonic clock and reports
+// whether its granularity is fine enough (<= coarseClockLimit) for
+// timestamps to order cross-shard lock handoffs.
+func fineMonotonicClock() bool {
+	base := time.Now()
+	last := time.Since(base)
+	var minStep time.Duration = -1
+	steps := 0
+	for i := 0; i < 1<<13 && steps < 8; i++ {
+		d := time.Since(base)
+		if d > last {
+			if step := d - last; minStep < 0 || step < minStep {
+				minStep = step
+			}
+			last = d
+			steps++
+		}
+	}
+	return steps >= 8 && minStep <= coarseClockLimit
+}
+
+// now reads the capture clock (>= 1 so the zero watermark is below every
+// timestamp).
+func (g *ShardedLog) now() int64 {
+	ts := int64(time.Since(g.epoch))
+	if ts < 1 {
+		ts = 1
+	}
+	return ts
+}
+
+// Level reports the recording level.
+func (g *ShardedLog) Level() Level { return g.level }
+
+// NewTid allocates a fresh thread identifier.
+func (g *ShardedLog) NewTid() int32 { return g.nextTid.Add(1) }
+
+// Shards reports the shard count.
+func (g *ShardedLog) Shards() int { return len(g.shards) }
+
+// Monotonic reports whether capture runs on fine-grained timestamps
+// (true) or degraded per-entry global tickets (false, coarse clock).
+func (g *ShardedLog) Monotonic() bool { return g.mono }
+
+// shardFor maps a thread id onto its pinned shard.
+func (g *ShardedLog) shardFor(tid int32) *shard {
+	idx := int(tid-1) % len(g.shards)
+	if idx < 0 {
+		idx += len(g.shards)
+	}
+	return g.shards[idx]
+}
+
+// AppenderFor returns the append surface pinned to the thread's shard.
+// Every entry a thread appends lands in one shard, which is what keeps a
+// thread's entries in program order through the merge.
+func (g *ShardedLog) AppenderFor(tid int32) Appender {
+	return shardAppender{g: g, s: g.shardFor(tid)}
+}
+
+// Append routes the entry by its Tid — the single-goroutine ingest
+// convenience of the Backend surface. Hot paths hold an AppenderFor
+// result instead of re-hashing per entry.
+func (g *ShardedLog) Append(e event.Entry) int64 {
+	return shardAppender{g: g, s: g.shardFor(e.Tid)}.Append(e)
+}
+
+// shardAppender is a probe's pinned append handle.
+type shardAppender struct {
+	g *ShardedLog
+	s *shard
+}
+
+// Append stamps the entry with its capture identity (batch-reserved seq +
+// timestamp) and publishes it into the shard. The admission gate (closed
+// panic, fail-stop, window backpressure) runs before the shard lock so a
+// parked producer never holds the lock the merge's watermark bump needs.
+func (a shardAppender) Append(e event.Entry) int64 {
+	g, s := a.g, a.s
+	if g.opts.FailStop && g.sinkBroken.Load() {
+		panic(fmt.Sprintf("wal: fail-stop: sink error: %v", g.SinkErr()))
+	}
+	s.log.appendGate()
+	s.mu.Lock()
+	var ts int64
+	if g.mono {
+		if s.batchNext == s.batchEnd {
+			s.batchEnd = g.reserved.Add(g.batch)
+			s.batchNext = s.batchEnd - g.batch
+		}
+		s.batchNext++
+		e.Seq = s.batchNext
+		ts = g.now()
+	} else {
+		// Degraded mode: the ticket doubles as capture seq and merge key,
+		// reproducing the single-counter total order over sharded storage.
+		e.Seq = g.reserved.Add(1)
+		ts = e.Seq
+	}
+	s.log.appendStamped(e, ts)
+	if ts > s.wm.Load() {
+		s.wm.Store(ts)
+	}
+	s.mu.Unlock()
+	return e.Seq
+}
+
+// Len reports the number of entries appended so far, across all shards.
+func (g *ShardedLog) Len() int {
+	n := 0
+	for _, s := range g.shards {
+		n += s.log.Len()
+	}
+	return n
+}
+
+// Close marks the capture complete: closes every shard (releasing parked
+// producers and readers) and waits for the attached merge sink, if any,
+// to drain and flush. Closing twice is a no-op.
+func (g *ShardedLog) Close() {
+	g.closed.Store(true)
+	for _, s := range g.shards {
+		s.log.Close()
+	}
+	g.sinkWG.Wait()
+}
+
+// Closed reports whether Close has been called.
+func (g *ShardedLog) Closed() bool { return g.closed.Load() }
+
+// Stats aggregates the per-shard counters. Each shard keeps its own
+// padded counters (the hot-path metrics never share a line across
+// shards); this read-side aggregation is the only place they meet.
+// PeakRetainedEntries sums the per-shard peaks, an upper bound on the
+// true simultaneous peak.
+func (g *ShardedLog) Stats() Stats {
+	var st Stats
+	for _, s := range g.shards {
+		ss := s.log.Stats()
+		st.Appends += ss.Appends
+		st.BlockedWaits += ss.BlockedWaits
+		st.RetainedSegments += ss.RetainedSegments
+		st.RetainedEntries += ss.RetainedEntries
+		st.PeakRetainedEntries += ss.PeakRetainedEntries
+		st.TruncatedSegments += ss.TruncatedSegments
+		st.TruncatedEntries += ss.TruncatedEntries
+		if ss.MaxVerifierLag > st.MaxVerifierLag {
+			st.MaxVerifierLag = ss.MaxVerifierLag
+		}
+	}
+	st.Shards = int64(len(g.shards))
+	st.MergeWaits = g.mergeWaits.Load()
+	g.mu.Lock()
+	attached := g.sinkAttached
+	g.mu.Unlock()
+	if attached {
+		if d := st.Appends - g.sinkPos.Load(); d > 0 {
+			st.SinkQueueDepth = d
+		}
+	}
+	return st
+}
+
+// tsEntry pairs an entry with its merge key timestamp.
+type tsEntry struct {
+	ts int64
+	e  event.Entry
+}
+
+// keyLess is the merge order: timestamp, then capture seq. Capture seqs
+// are globally unique, so the order is total and the merge deterministic.
+func keyLess(ts1, seq1, ts2, seq2 int64) bool {
+	if ts1 != ts2 {
+		return ts1 < ts2
+	}
+	return seq1 < seq2
+}
+
+// Snapshot merges the retained entries of every shard into the total
+// order and renumbers them densely, for offline checking of a completed
+// (or quiesced) execution. As with Log.Snapshot, truncated prefixes are
+// gone and in-flight appends end each shard's contribution early.
+func (g *ShardedLog) Snapshot() []event.Entry {
+	var all []tsEntry
+	for _, s := range g.shards {
+		all = append(all, s.log.snapshotTS()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return keyLess(all[i].ts, all[i].e.Seq, all[j].ts, all[j].e.Seq)
+	})
+	out := make([]event.Entry, len(all))
+	for i, te := range all {
+		te.e.Seq = int64(i + 1)
+		out[i] = te.e
+	}
+	return out
+}
+
+// Reader returns a fresh merge cursor over the total order. Like Log
+// cursors, it registers with every shard: truncation never outruns it and
+// it participates in the window backpressure.
+func (g *ShardedLog) Reader() Reader {
+	m := &MergeCursor{g: g, curs: make([]*Cursor, len(g.shards))}
+	for i, s := range g.shards {
+		m.curs[i] = s.log.Cursor()
+		m.base += int64(m.curs[i].Pos())
+	}
+	return m
+}
+
+// SinkErr returns the first error encountered while draining the merge
+// into the attached sink, if any. Final once Close has returned.
+func (g *ShardedLog) SinkErr() error {
+	if err, ok := g.sinkErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+func (g *ShardedLog) failSink(err error) {
+	if err == nil {
+		return
+	}
+	if g.sinkErr.CompareAndSwap(nil, err) {
+		g.sinkBroken.Store(true)
+	}
+}
+
+// AttachSink starts persisting the *merged* stream to w using the event
+// codec — merge-at-persist: the bytes on disk are a standard
+// FormatVersion-3 stream with dense sequence numbers, so offline readers,
+// the torn-tail recovery scanner and the soak harness are oblivious to
+// how capture was sharded. Sync-marker cadence and codec follow the
+// group's Options, exactly as on a single-counter log.
+func (g *ShardedLog) AttachSink(w io.Writer) error {
+	return g.AttachEntrySink(newEncoderSink(w, g.opts))
+}
+
+// AttachEntrySink starts draining the merged total order into es on a
+// dedicated goroutine; Close waits for the drain and for es.Flush.
+// Attaching a second sink is an error.
+func (g *ShardedLog) AttachEntrySink(es EntrySink) error {
+	g.mu.Lock()
+	if g.sinkAttached {
+		g.mu.Unlock()
+		return fmt.Errorf("wal: sink already attached")
+	}
+	g.sinkAttached = true
+	g.mu.Unlock()
+	r := g.Reader()
+	g.sinkWG.Add(1)
+	go func() {
+		defer g.sinkWG.Done()
+		for {
+			e, ok := r.Next()
+			if !ok {
+				break
+			}
+			if g.sinkErr.Load() == nil {
+				g.failSink(es.WriteEntry(e))
+			}
+			g.sinkPos.Add(1)
+		}
+		if g.sinkErr.Load() == nil {
+			g.failSink(es.Flush())
+		}
+	}()
+	return nil
+}
+
+// MergeCursor is the deterministic k-way merge over the per-shard
+// streams: it emits entries in (timestamp, capture-seq) order and
+// renumbers them densely from the merge position, so consumers see the
+// same shape a single-counter log produces. Owned by a single goroutine.
+type MergeCursor struct {
+	g    *ShardedLog
+	curs []*Cursor
+	base int64 // entries truncated before this cursor registered
+	out  int64 // entries emitted
+}
+
+// mergeSleepMin/Max bound the poll backoff when nothing is emittable: the
+// merge cannot park on a condition variable (it must keep advancing idle
+// shards' watermarks), so it escalates short sleeps instead.
+const (
+	mergeSleepMin = 10 * time.Microsecond
+	mergeSleepMax = 500 * time.Microsecond
+)
+
+// Next blocks until the next entry of the total order is available, or
+// returns ok=false once every shard is closed and drained.
+func (m *MergeCursor) Next() (event.Entry, bool) {
+	spins := 0
+	sleep := mergeSleepMin
+	for {
+		if e, ok := m.tryEmit(); ok {
+			return e, true
+		}
+		if m.drained() {
+			return event.Entry{}, false
+		}
+		if spins < readerSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		m.g.mergeWaits.Add(1)
+		time.Sleep(sleep)
+		if sleep *= 2; sleep > mergeSleepMax {
+			sleep = mergeSleepMax
+		}
+	}
+}
+
+// TryNext returns the next entry of the total order without blocking. A
+// false return means no entry could be *proven* next yet — entries may be
+// published but unordered until idle shards' watermarks pass them.
+func (m *MergeCursor) TryNext() (event.Entry, bool) { return m.tryEmit() }
+
+// Pos reports how many entries this cursor has consumed.
+func (m *MergeCursor) Pos() int { return int(m.out) }
+
+// Err reports the first failure of the log the cursor reads (the merge
+// sink's persistence error, if one is attached).
+func (m *MergeCursor) Err() error { return m.g.SinkErr() }
+
+// drained reports that every shard is closed and fully consumed.
+func (m *MergeCursor) drained() bool {
+	for _, c := range m.curs {
+		if !c.drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// tryEmit attempts one merge step: pick the smallest head, prove no shard
+// can later publish a smaller key, consume and renumber. Returns false
+// when no head exists or the proof fails this round (the caller polls).
+func (m *MergeCursor) tryEmit() (event.Entry, bool) {
+	best := -1
+	var bestE event.Entry
+	var bestTS int64
+	for i, c := range m.curs {
+		if e, ts, ok := c.peek(); ok {
+			if best < 0 || keyLess(ts, e.Seq, bestTS, bestE.Seq) {
+				best, bestE, bestTS = i, e, ts
+			}
+		}
+	}
+	if best < 0 {
+		return event.Entry{}, false
+	}
+	for i, c := range m.curs {
+		if i == best {
+			continue
+		}
+		if !m.shardCannotUndercut(i, c, bestTS, bestE.Seq) {
+			return event.Entry{}, false
+		}
+	}
+	m.curs[best].consume()
+	m.out++
+	bestE.Seq = m.base + m.out
+	return bestE, true
+}
+
+// shardCannotUndercut proves shard i will never publish an entry with a
+// key below the candidate's: either its visible head is already at or
+// above the candidate (the shard stream is sorted, so nothing behind the
+// head can be smaller), it is closed and drained, or its watermark
+// strictly exceeds the candidate timestamp. For an idle shard the merge
+// raises the watermark itself under the shard lock; a failed try-lock
+// means the shard is mid-append and the caller must re-poll.
+func (m *MergeCursor) shardCannotUndercut(i int, c *Cursor, ts, seq int64) bool {
+	s := m.g.shards[i]
+	for {
+		if e2, ts2, ok := c.peek(); ok {
+			// A head at or above the candidate bounds the whole shard.
+			// A smaller head invalidates the candidate; fail so the
+			// caller re-scans and picks the smaller head instead.
+			return !keyLess(ts2, e2.Seq, ts, seq)
+		}
+		if c.drained() {
+			return true
+		}
+		if ts < s.wm.Load() {
+			return true
+		}
+		if !m.bumpWatermark(s) {
+			return false
+		}
+		if ts >= s.wm.Load() {
+			// The clock has not advanced past the candidate yet (possible
+			// only within one tick). Yield to the caller rather than spin.
+			return false
+		}
+		// The bump raced an append: re-peek so an entry published between
+		// the first peek and the bump is compared, never skipped.
+	}
+}
+
+// bumpWatermark raises an idle shard's watermark to "now". Holding the
+// shard lock proves no append is in flight on the shard, and any later
+// append reads the clock (or reserves its ticket) after the lock is
+// released, so the raised watermark is a sound lower bound on every
+// future timestamp. Returns false when the shard lock is contended — the
+// shard is actively appending and its head will appear shortly.
+func (m *MergeCursor) bumpWatermark(s *shard) bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	var now int64
+	if m.g.mono {
+		now = m.g.now()
+	} else {
+		now = m.g.reserved.Load() + 1
+	}
+	if now > s.wm.Load() {
+		s.wm.Store(now)
+	}
+	s.mu.Unlock()
+	return true
+}

@@ -1,0 +1,425 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+// TestOpenSelectsBackend pins the factory seam: Shards <= 1 keeps the
+// single-counter Log, anything larger selects sharded capture.
+func TestOpenSelectsBackend(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		if _, ok := Open(LevelView, Options{Shards: shards}).(*Log); !ok {
+			t.Fatalf("Shards=%d: want *Log", shards)
+		}
+	}
+	b := Open(LevelView, Options{Shards: 4})
+	g, ok := b.(*ShardedLog)
+	if !ok {
+		t.Fatalf("Shards=4: want *ShardedLog, got %T", b)
+	}
+	if g.Shards() != 4 {
+		t.Fatalf("shard count = %d, want 4", g.Shards())
+	}
+	g.Close()
+}
+
+// shardedPropertyRun drives nProd producers over nVars shared variables
+// through a sharded log. Each logged action is performed inside the
+// variable's critical section, so the variable's version counter is the
+// ground-truth commit order; the entry records the variable (Method), its
+// version (Args[0]) and the producer's local program-order index (Args[1]).
+func shardedPropertyRun(t *testing.T, g *ShardedLog, nProd, nVars, perProd int) (online []event.Entry) {
+	t.Helper()
+	r := g.Reader()
+	drained := make(chan []event.Entry)
+	go func() {
+		var got []event.Entry
+		for {
+			e, ok := r.Next()
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		drained <- got
+	}()
+
+	type variable struct {
+		mu  sync.Mutex
+		ver int
+	}
+	vars := make([]variable, nVars)
+	var wg sync.WaitGroup
+	for p := 0; p < nProd; p++ {
+		tid := g.NewTid()
+		ap := g.AppenderFor(tid)
+		wg.Add(1)
+		go func(seed int64, tid int32) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perProd; i++ {
+				vi := rng.Intn(nVars)
+				v := &vars[vi]
+				v.mu.Lock()
+				v.ver++
+				// The append runs inside the variable's critical section —
+				// the instrumentation discipline the timestamp soundness
+				// argument rests on.
+				ap.Append(event.Entry{
+					Tid: tid, Kind: event.KindCall, Method: fmt.Sprintf("v%d", vi),
+					Label: fmt.Sprintf("%d", v.ver),
+					Args:  []event.Value{vi, v.ver, i},
+				})
+				v.mu.Unlock()
+			}
+		}(int64(p+1), tid)
+	}
+	wg.Wait()
+	g.Close()
+	return <-drained
+}
+
+// checkMergedStream asserts the three invariants the merge owes the
+// checker: dense sequence numbers from 1, strictly increasing version per
+// variable (commit order), and program order within each producer thread.
+func checkMergedStream(t *testing.T, entries []event.Entry, total int) {
+	t.Helper()
+	if len(entries) != total {
+		t.Fatalf("merged stream has %d entries, want %d", len(entries), total)
+	}
+	lastVer := map[int]int{}
+	lastIdx := map[int32]int{}
+	for i, e := range entries {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("entry %d: seq %d, want dense %d", i, e.Seq, i+1)
+		}
+		vi, _ := event.Int(e.Args[0])
+		ver, _ := event.Int(e.Args[1])
+		idx, _ := event.Int(e.Args[2])
+		if ver <= lastVer[vi] {
+			t.Fatalf("entry %d: variable %d version %d after %d — per-variable commit order inverted",
+				i, vi, ver, lastVer[vi])
+		}
+		lastVer[vi] = ver
+		if prev, seen := lastIdx[e.Tid]; seen && idx != prev+1 {
+			t.Fatalf("entry %d: tid %d local index %d after %d — thread program order broken",
+				i, e.Tid, idx, prev)
+		}
+		lastIdx[e.Tid] = idx
+	}
+}
+
+// TestShardedMergePreservesCommitAndProgramOrder is the property test of
+// the k-way merge: for randomized cross-shard interleavings, the merged
+// total order keeps every variable's write/commit order and every
+// thread's append order, with dense output sequence numbers — exactly the
+// per-variable guarantee the refinement witness needs.
+func TestShardedMergePreservesCommitAndProgramOrder(t *testing.T) {
+	const nProd, nVars, perProd = 8, 5, 400
+	g := NewSharded(LevelView, Options{Shards: 4, SegmentSize: 64, ShardBatch: 16})
+	online := shardedPropertyRun(t, g, nProd, nVars, perProd)
+	checkMergedStream(t, online, nProd*perProd)
+
+	// The offline merge (Snapshot) must agree with the online merge
+	// entry for entry: same sort key, same total order.
+	offline := g.Snapshot()
+	if len(offline) != len(online) {
+		t.Fatalf("snapshot has %d entries, online drain %d", len(offline), len(online))
+	}
+	for i := range offline {
+		if offline[i].Tid != online[i].Tid || offline[i].Label != online[i].Label ||
+			offline[i].Seq != online[i].Seq {
+			t.Fatalf("snapshot and online merge diverge at %d: %+v vs %+v",
+				i, offline[i], online[i])
+		}
+	}
+}
+
+// TestShardedTicketModeOrder pins the coarse-clock degradation: with
+// timestamps disabled the global ticket counter must reproduce the
+// single-counter total order over sharded storage, same invariants.
+func TestShardedTicketModeOrder(t *testing.T) {
+	const nProd, nVars, perProd = 8, 5, 300
+	g := NewSharded(LevelView, Options{Shards: 4, SegmentSize: 64, ShardBatch: 16})
+	g.mono = false // force the degraded mode regardless of the host clock
+	if g.Monotonic() {
+		t.Fatal("ticket mode not forced")
+	}
+	online := shardedPropertyRun(t, g, nProd, nVars, perProd)
+	checkMergedStream(t, online, nProd*perProd)
+}
+
+// TestShardedSingleShard pins the n=1 edge: one shard is a plain log
+// behind the merge surface.
+func TestShardedSingleShard(t *testing.T) {
+	g := NewSharded(LevelView, Options{Shards: 1})
+	online := shardedPropertyRun(t, g, 3, 2, 100)
+	checkMergedStream(t, online, 300)
+}
+
+// TestShardedRecoveryPrefix crashes a sharded capture's persisted stream
+// at arbitrary byte offsets and requires recovery to yield a
+// checksum-valid prefix of the merged order — the merge-at-persist design
+// means the recovery machinery never learns sharding existed.
+func TestShardedRecoveryPrefix(t *testing.T) {
+	g := NewSharded(LevelView, Options{Shards: 4, ShardBatch: 8, SyncEvery: 16})
+	var buf bytes.Buffer
+	if err := g.AttachSink(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		tid := g.NewTid()
+		ap := g.AppenderFor(tid)
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ap.Append(event.Entry{Tid: tid, Kind: event.KindCall, Method: "M",
+					Label: fmt.Sprintf("%d", i)})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	g.Close()
+	if err := g.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := ReadFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 800 {
+		t.Fatalf("persisted %d entries, want 800", len(full))
+	}
+	rng := rand.New(rand.NewSource(7))
+	cuts := []int{0, 1, len(buf.Bytes()) - 1}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, rng.Intn(len(buf.Bytes())))
+	}
+	for _, cut := range cuts {
+		got, _, err := RecoverReader(bytes.NewReader(buf.Bytes()[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if len(got) > len(full) {
+			t.Fatalf("cut %d: recovered more entries than were written", cut)
+		}
+		for j, e := range got {
+			if e.Seq != full[j].Seq || e.Tid != full[j].Tid || e.Label != full[j].Label {
+				t.Fatalf("cut %d: recovered entry %d = %+v, want prefix of full stream (%+v)",
+					cut, j, e, full[j])
+			}
+		}
+	}
+}
+
+// TestShardedWindowWakeStress is the parked-producer wake audit under
+// sharding (ISSUE 7 satellite): a tiny global window split across shards,
+// more producers than shards, and a merge consumer that stalls at random
+// — every producer park must be matched by a publish-side wake (each
+// shard owns its own minWait/cond pair and the admission gate runs before
+// the shard lock, so no waiter ever spans shards and the merge's
+// watermark try-lock can never hit a parked lock-holder). Deadlock here
+// fails the test by timeout; bounded retention is asserted via Stats.
+func TestShardedWindowWakeStress(t *testing.T) {
+	const nProd, perProd = 8, 2_000
+	g := NewSharded(LevelView, Options{Shards: 4, SegmentSize: 16, Window: 128, ShardBatch: 4})
+	r := g.Reader()
+	done := make(chan int)
+	go func() {
+		rng := rand.New(rand.NewSource(42))
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+			if rng.Intn(512) == 0 {
+				time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+			}
+		}
+		done <- n
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < nProd; p++ {
+		tid := g.NewTid()
+		ap := g.AppenderFor(tid)
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				ap.Append(event.Entry{Tid: tid, Kind: event.KindCall, Method: "M"})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	g.Close()
+	if n := <-done; n != nProd*perProd {
+		t.Fatalf("consumer drained %d entries, want %d", n, nProd*perProd)
+	}
+	st := g.Stats()
+	if st.Appends != nProd*perProd {
+		t.Fatalf("stats appends = %d, want %d", st.Appends, nProd*perProd)
+	}
+	// Per-shard peaks are bounded by the shard window plus one segment of
+	// slack each; the sum bounds the aggregate.
+	limit := int64(128 + 4*16)
+	if st.PeakRetainedEntries > limit {
+		t.Fatalf("peak retained %d exceeds window budget bound %d", st.PeakRetainedEntries, limit)
+	}
+}
+
+// TestShardedStatsAggregate pins the read-side aggregation surface.
+func TestShardedStatsAggregate(t *testing.T) {
+	g := NewSharded(LevelView, Options{Shards: 2})
+	ap := g.AppenderFor(g.NewTid())
+	for i := 0; i < 10; i++ {
+		ap.Append(event.Entry{Tid: 1, Kind: event.KindCall, Method: "M"})
+	}
+	g.Close()
+	st := g.Stats()
+	if st.Appends != 10 || st.Shards != 2 {
+		t.Fatalf("stats = %+v, want 10 appends over 2 shards", st)
+	}
+	if g.Len() != 10 {
+		t.Fatalf("len = %d, want 10", g.Len())
+	}
+}
+
+// FuzzShardMerge drives deterministic multi-tid append schedules with
+// arbitrary shard counts and batch boundaries through the merge and
+// requires: no panics, a dense 1..N output, and per-tid projections that
+// preserve append order.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{2, 3, 0, 1, 2, 0, 1, 2, 0})
+	f.Add([]byte{4, 1, 3, 3, 3, 2, 2, 1, 0, 0, 1, 2, 3})
+	f.Add([]byte{1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		shards := int(data[0]%4) + 1
+		batch := int(data[1]%8) + 1
+		g := NewSharded(LevelView, Options{
+			Shards: shards, ShardBatch: batch, SegmentSize: 8,
+		})
+		if data[0]&0x80 != 0 {
+			g.mono = false // exercise ticket mode under the same schedules
+		}
+		const nTids = 4
+		aps := make([]Appender, nTids)
+		tids := make([]int32, nTids)
+		for i := range aps {
+			tids[i] = g.NewTid()
+			aps[i] = g.AppenderFor(tids[i])
+		}
+		counts := make([]int, nTids)
+		for _, b := range data[2:] {
+			i := int(b) % nTids
+			aps[i].Append(event.Entry{Tid: tids[i], Kind: event.KindCall,
+				Method: "M", Label: fmt.Sprintf("%d", counts[i])})
+			counts[i]++
+		}
+		r := g.Reader()
+		g.Close()
+		total := len(data[2:])
+		seen := 0
+		next := make(map[int32]int)
+		for {
+			e, ok := r.Next()
+			if !ok {
+				break
+			}
+			seen++
+			if e.Seq != int64(seen) {
+				t.Fatalf("seq %d at position %d: gaps or duplicates in merged stream", e.Seq, seen)
+			}
+			if e.Label != fmt.Sprintf("%d", next[e.Tid]) {
+				t.Fatalf("tid %d: entry %q out of per-thread order (want %d)", e.Tid, e.Label, next[e.Tid])
+			}
+			next[e.Tid]++
+		}
+		if seen != total {
+			t.Fatalf("merged %d entries, appended %d", seen, total)
+		}
+	})
+}
+
+// BenchmarkAppendParallelSharded is BenchmarkAppendParallel's A/B partner
+// over sharded capture: same truncating reader-free setup, so the
+// measurement isolates batch reservation + timestamped slot publication.
+// Run both with -cpu 1,4,8: the single-counter log stays flat (every core
+// bounces the reservation line) while this one should scale.
+func BenchmarkAppendParallelSharded(b *testing.B) {
+	g := NewSharded(LevelView, Options{
+		Shards: runtime.GOMAXPROCS(0), SegmentSize: 1024, Truncate: true,
+	})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tid := g.NewTid()
+		ap := g.AppenderFor(tid)
+		e := entry(tid, "M")
+		e.Tid = tid
+		for pb.Next() {
+			ap.Append(e)
+		}
+	})
+	b.StopTimer()
+	g.Close()
+}
+
+// BenchmarkOnlinePipeline measures the capture-to-checker pipeline inside
+// the wal package: parallel producers appending while one consumer drains
+// the total order (a Cursor on the global log, the k-way merge on the
+// sharded one). This is the number the sharding refactor exists to move:
+// aggregate append throughput with a live reader attached.
+func BenchmarkOnlinePipeline(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"global", 0},
+		{"sharded", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			lg := Open(LevelView, Options{
+				SegmentSize: 4096, Window: 1 << 16, Shards: bc.shards,
+			})
+			r := lg.Reader()
+			done := make(chan int64)
+			go func() {
+				var n int64
+				for {
+					if _, ok := r.Next(); !ok {
+						break
+					}
+					n++
+				}
+				done <- n
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tid := lg.NewTid()
+				ap := lg.AppenderFor(tid)
+				e := entry(tid, "M")
+				e.Tid = tid
+				for pb.Next() {
+					ap.Append(e)
+				}
+			})
+			b.StopTimer()
+			lg.Close()
+			<-done
+		})
+	}
+}

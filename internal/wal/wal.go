@@ -137,6 +137,20 @@ type Options struct {
 	// kept for A/B-measuring the checksum overhead and regenerating
 	// version-2 artifacts.
 	SinkCodec event.Codec
+
+	// Shards, when > 1, selects the sharded per-core capture pipeline
+	// (Open returns a *ShardedLog): producers append to per-shard segment
+	// chains with batched sequence reservation instead of contending on
+	// one global counter, and the checker consumes a deterministic k-way
+	// merge. Window is then a global budget split across the shards, and
+	// SegmentSize applies per shard. 0 or 1 keeps the single-counter Log.
+	Shards int
+
+	// ShardBatch is the number of capture sequence numbers a shard
+	// reserves from the global counter per refill (sharded capture only);
+	// 0 means DefaultShardBatch. Larger batches amortize the only shared
+	// atomic further; the merge is insensitive to the batch size.
+	ShardBatch int
 }
 
 // DefaultSyncEvery is the default sync-marker cadence, in entries.
@@ -155,7 +169,12 @@ type slotData struct {
 	// under the mutex (a stale sequence never matches the one a reader or
 	// the next producer expects), so segment turnover stays O(1).
 	pub atomic.Int64
-	e   event.Entry
+	// ts is the capture timestamp of a sharded append (the k-way merge
+	// key; see shard.go), 0 on single-counter logs. Written before pub is
+	// stored and read only after pub matches, so it needs no atomic of
+	// its own.
+	ts int64
+	e  event.Entry
 }
 
 type slot struct {
@@ -211,32 +230,59 @@ type Stats struct {
 	// MaxVerifierLag is the largest gap observed between the newest
 	// appended entry and a cursor consuming one.
 	MaxVerifierLag int64 `json:"max_verifier_lag"`
+	// Shards is the shard count of a sharded capture log (0 for a
+	// single-counter Log); MergeWaits counts the k-way merge's poll
+	// sleeps while no entry could be proven next.
+	Shards     int64 `json:"shards,omitempty"`
+	MergeWaits int64 `json:"merge_waits,omitempty"`
 }
 
 // String renders the stats in one line for the benchmark tables.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"appends=%d blocked-waits=%d retained=%d/%dseg peak-retained=%d truncated=%dseg/%dent sink-queue=%d max-lag=%d",
 		s.Appends, s.BlockedWaits, s.RetainedEntries, s.RetainedSegments,
 		s.PeakRetainedEntries, s.TruncatedSegments, s.TruncatedEntries,
 		s.SinkQueueDepth, s.MaxVerifierLag)
+	if s.Shards > 0 {
+		line += fmt.Sprintf(" shards=%d merge-waits=%d", s.Shards, s.MergeWaits)
+	}
+	return line
+}
+
+// padded wraps an atomic counter in its own cache line. The hot-path stats
+// counters live in these slots: maxLag and peakRetained are stored by the
+// reader side, blockedWaits by whichever side parks — packing them next to
+// the producers' reservation line (as the pre-sharding layout did) made
+// every metrics update invalidate the line every Append loads, quietly
+// reintroducing the shared-line bounce the sharded capture exists to
+// remove. Aggregation happens on Stats() reads, never in the hot path.
+type padded struct {
+	v atomic.Int64
+	_ [64 - 8]byte
 }
 
 // Log is the shared execution log. The zero value is not usable; construct
-// with New or NewWithOptions.
+// with New or NewWithOptions. It is both a complete single-counter log
+// (the strict-total-order capture the paper describes) and the per-shard
+// storage engine of ShardedLog.
 type Log struct {
 	level Level
 	opts  Options
 
-	// reserved is the last sequence number handed to a producer; the
-	// append counter of Stats.
-	reserved atomic.Int64
-	closed   atomic.Bool
-
 	nextTid atomic.Int32
+	closed  atomic.Bool
+	_       [64 - 8]byte
+
+	// reserved is the last sequence number handed to a producer; the
+	// append counter of Stats. Producer-hot: padded so reader-side stores
+	// (stats, wait registration) never invalidate its line.
+	reserved atomic.Int64
+	_        [64 - 8]byte
 
 	// tail caches the newest segment for the append fast path.
 	tail atomic.Pointer[segment]
+	_    [64 - 8]byte
 
 	// minWait, when non-zero, is the smallest sequence number a parked
 	// reader is waiting for; producers publishing at or past it take the
@@ -252,6 +298,7 @@ type Log struct {
 	// minReader caches the slowest registered reader position, maintained
 	// only when Window backpressure is enabled.
 	minReader atomic.Int64
+	_         [64 - 8]byte
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -263,10 +310,10 @@ type Log struct {
 	cursors  []*Cursor
 	sink     *sink
 
-	blockedWaits  atomic.Int64
-	truncatedSegs atomic.Int64
-	maxLag        atomic.Int64
-	peakRetained  atomic.Int64
+	blockedWaits  padded
+	truncatedSegs padded
+	maxLag        padded
+	peakRetained  padded
 
 	// sinkBroken mirrors "the sink has latched an error" as a lone flag so
 	// the FailStop check on the append fast path is one relaxed load, not
@@ -315,6 +362,19 @@ func (l *Log) NewTid() int32 { return l.nextTid.Add(1) }
 // number. Safe for concurrent use. Appending to a closed log panics: it
 // indicates the harness tore down the log while workers were still running.
 func (l *Log) Append(e event.Entry) int64 {
+	l.appendGate()
+	pos := l.reserved.Add(1)
+	e.Seq = pos
+	l.publish(pos, 0, e)
+	return pos
+}
+
+// appendGate performs the pre-reservation admission checks of an append:
+// closed-log and fail-stop panics, and the Window backpressure wait. It is
+// split from the slot work so the sharded capture path can run the gate
+// before taking its shard lock — a producer must never park on the window
+// while holding the lock the merge cursor's watermark protocol try-locks.
+func (l *Log) appendGate() {
 	if l.closed.Load() {
 		panic("wal: append to closed log")
 	}
@@ -327,26 +387,45 @@ func (l *Log) Append(e event.Entry) int64 {
 			panic("wal: append to closed log")
 		}
 	}
-	seq := l.reserved.Add(1)
+}
+
+// appendStamped appends an entry that already carries its capture identity:
+// e.Seq is preserved (a batch-reserved capture sequence number, not this
+// log's local position) and ts is stored alongside the entry as the k-way
+// merge key. The local slot position it returns orders entries within this
+// log only. Callers run appendGate themselves, before any shard locking.
+func (l *Log) appendStamped(e event.Entry, ts int64) int64 {
+	pos := l.reserved.Add(1)
+	l.publish(pos, ts, e)
+	return pos
+}
+
+// publish stores the entry into the slot its local position selects and
+// wakes a parked reader if one is waiting for it. The publication order —
+// slot store, then pub store, then the minWait load — pairs with park's
+// register-then-recheck order so wakeups are never lost; this holds
+// per-shard under sharded capture, where each shard is its own Log with
+// its own minWait/cond pair (the wake protocol needs no shard awareness
+// because no waiter ever spans two shards).
+func (l *Log) publish(pos, ts int64, e event.Entry) {
 	size := int64(l.opts.SegmentSize)
-	idx := (seq - 1) / size
-	off := (seq - 1) % size
+	idx := (pos - 1) / size
+	off := (pos - 1) % size
 	seg := l.segmentForAppend(idx)
-	e.Seq = seq
 	sl := &seg.slots[off]
 	sl.e = e
-	sl.pub.Store(seq)
+	sl.ts = ts
+	sl.pub.Store(pos)
 	// Wake a parked reader iff one is waiting for this entry (or an
 	// earlier one another producer is about to publish; spurious wakeups
 	// are harmless, lost wakeups are prevented by the registration order:
 	// readers register minWait before re-checking the slot).
-	if w := l.minWait.Load(); w != 0 && w <= seq {
+	if w := l.minWait.Load(); w != 0 && w <= pos {
 		l.mu.Lock()
 		l.minWait.Store(0)
 		l.cond.Broadcast()
 		l.mu.Unlock()
 	}
-	return seq
 }
 
 // waitWindow blocks the producer while the log is Window entries ahead of
@@ -362,7 +441,7 @@ func (l *Log) waitWindow() {
 	l.mu.Lock()
 	for l.reserved.Load()-l.recomputeMinLocked() >= win && !l.closed.Load() {
 		l.prodWait.Store(true)
-		l.blockedWaits.Add(1)
+		l.blockedWaits.v.Add(1)
 		l.cond.Wait()
 	}
 	l.mu.Unlock()
@@ -420,8 +499,8 @@ func (l *Log) segmentForAppend(idx int64) *segment {
 	if t := l.tail.Load(); t == nil || t.index < idx {
 		l.tail.Store(seg)
 	}
-	if retained := int64(len(l.segs)) * int64(l.opts.SegmentSize); retained > l.peakRetained.Load() {
-		l.peakRetained.Store(retained)
+	if retained := int64(len(l.segs)) * int64(l.opts.SegmentSize); retained > l.peakRetained.v.Load() {
+		l.peakRetained.v.Store(retained)
 	}
 	if l.opts.Truncate {
 		// Drive truncation from the append side too (once per segment, with
@@ -452,6 +531,16 @@ func (l *Log) read(seg *segment, seq int64) (event.Entry, bool) {
 		return event.Entry{}, false
 	}
 	return sl.e, true
+}
+
+// readTS is read returning the capture timestamp too (sharded merge key).
+func (l *Log) readTS(seg *segment, seq int64) (event.Entry, int64, bool) {
+	off := (seq - 1) % int64(l.opts.SegmentSize)
+	sl := &seg.slots[off]
+	if sl.pub.Load() != seq {
+		return event.Entry{}, 0, false
+	}
+	return sl.e, sl.ts, true
 }
 
 // readerSpins is how many times a reader yields and re-polls an unpublished
@@ -505,7 +594,7 @@ func (l *Log) park(seq, idx int64) {
 		l.mu.Unlock()
 		return
 	}
-	l.blockedWaits.Add(1)
+	l.blockedWaits.v.Add(1)
 	l.cond.Wait()
 	l.mu.Unlock()
 }
@@ -520,6 +609,18 @@ func (l *Log) Len() int { return int(l.reserved.Load()) }
 // contiguous published prefix: entries whose append is still in flight end
 // it early (they are not yet part of the log).
 func (l *Log) Snapshot() []event.Entry {
+	tes := l.snapshotTS()
+	out := make([]event.Entry, len(tes))
+	for i, te := range tes {
+		out[i] = te.e
+	}
+	return out
+}
+
+// snapshotTS is Snapshot carrying each entry's capture timestamp (zero on
+// single-counter appends) — the per-shard half of ShardedLog.Snapshot's
+// offline merge.
+func (l *Log) snapshotTS() []tsEntry {
 	n := l.reserved.Load()
 	size := int64(l.opts.SegmentSize)
 	l.mu.Lock()
@@ -543,7 +644,7 @@ func (l *Log) Snapshot() []event.Entry {
 	if start > n {
 		return nil
 	}
-	out := make([]event.Entry, 0, n-start+1)
+	out := make([]tsEntry, 0, n-start+1)
 	for seq := start; seq <= n; seq++ {
 		idx := (seq - 1) / size
 		seg := pinned[idx]
@@ -557,15 +658,15 @@ func (l *Log) Snapshot() []event.Entry {
 			break
 		}
 		pinned[idx] = seg
-		e, ok := l.read(seg, seq)
+		e, ts, ok := l.readTS(seg, seq)
 		for spin := 0; !ok && spin < snapshotSpins; spin++ {
 			runtime.Gosched()
-			e, ok = l.read(seg, seq)
+			e, ts, ok = l.readTS(seg, seq)
 		}
 		if !ok {
 			break
 		}
-		out = append(out, e)
+		out = append(out, tsEntry{ts: ts, e: e})
 	}
 	return out
 }
@@ -613,13 +714,13 @@ func (l *Log) Stats() Stats {
 	size := int64(l.opts.SegmentSize)
 	st := Stats{
 		Appends:             l.reserved.Load(),
-		BlockedWaits:        l.blockedWaits.Load(),
+		BlockedWaits:        l.blockedWaits.v.Load(),
 		RetainedSegments:    retainedSegs,
 		RetainedEntries:     retainedSegs * size,
-		PeakRetainedEntries: l.peakRetained.Load(),
-		TruncatedSegments:   l.truncatedSegs.Load(),
-		TruncatedEntries:    l.truncatedSegs.Load() * size,
-		MaxVerifierLag:      l.maxLag.Load(),
+		PeakRetainedEntries: l.peakRetained.v.Load(),
+		TruncatedSegments:   l.truncatedSegs.v.Load(),
+		TruncatedEntries:    l.truncatedSegs.v.Load() * size,
+		MaxVerifierLag:      l.maxLag.v.Load(),
 	}
 	if s != nil {
 		if d := st.Appends - s.pos.Load(); d > 0 {
@@ -661,13 +762,13 @@ func (l *Log) truncateLocked(min int64) {
 	// Track the peak before releasing anything: retention grows
 	// monotonically between truncations, so this observes the true peak
 	// without touching the append fast path.
-	if retained := int64(len(l.segs)) * size; retained > l.peakRetained.Load() {
-		l.peakRetained.Store(retained)
+	if retained := int64(len(l.segs)) * size; retained > l.peakRetained.v.Load() {
+		l.peakRetained.v.Store(retained)
 	}
 	for (l.firstSeg+1)*size <= min {
 		if seg, ok := l.segs[l.firstSeg]; ok {
 			delete(l.segs, l.firstSeg)
-			l.truncatedSegs.Add(1)
+			l.truncatedSegs.v.Add(1)
 			if l.tail.Load() == seg {
 				// The lock-free fast paths reach segments through the tail
 				// cache without the mutex; a segment on the free list must
@@ -819,18 +920,25 @@ func (s *sink) fail(err error) {
 // retained) are written out first so the stream is complete. Attaching a
 // second sink is an error.
 func (l *Log) AttachSink(w io.Writer) error {
+	return l.AttachEntrySink(newEncoderSink(w, l.opts))
+}
+
+// newEncoderSink wraps w in the codec-encoding entry sink, honoring the
+// codec and sync-marker cadence options. Shared by Log and ShardedLog so
+// both backends persist byte-identical streams for the same entries.
+func newEncoderSink(w io.Writer, opts Options) *encoderSink {
 	bw := bufio.NewWriter(w)
-	es := &encoderSink{bw: bw, enc: event.NewEncoderCodec(bw, l.opts.SinkCodec)}
+	es := &encoderSink{bw: bw, enc: event.NewEncoderCodec(bw, opts.SinkCodec)}
 	if sw, ok := w.(SyncWriter); ok {
 		es.sync = sw
 	}
 	switch {
-	case l.opts.SyncEvery > 0:
-		es.every = int64(l.opts.SyncEvery)
-	case l.opts.SyncEvery == 0:
+	case opts.SyncEvery > 0:
+		es.every = int64(opts.SyncEvery)
+	case opts.SyncEvery == 0:
 		es.every = DefaultSyncEvery
 	}
-	return l.AttachEntrySink(es)
+	return es
 }
 
 // AttachEntrySink starts draining appended entries into es on a dedicated
@@ -931,8 +1039,8 @@ func (c *Cursor) advance(seq int64) {
 		// Sample verifier lag at segment granularity: loading reserved on
 		// every consume keeps pulling the producers' reservation line into
 		// shared state, which taxes every concurrent Append.
-		if lag := c.log.reserved.Load() - seq; lag > c.log.maxLag.Load() {
-			c.log.maxLag.Store(lag)
+		if lag := c.log.reserved.Load() - seq; lag > c.log.maxLag.v.Load() {
+			c.log.maxLag.v.Store(lag)
 		}
 	}
 	if !c.log.opts.Truncate {
@@ -953,6 +1061,33 @@ func (c *Cursor) TryNext() (e event.Entry, ok bool) {
 	}
 	c.advance(seq)
 	return e, true
+}
+
+// peek returns the next entry and its capture timestamp without consuming
+// it; consume advances past it. The pair is the head-inspection surface
+// the sharded k-way merge runs on: the merge must compare the heads of
+// every shard before it commits to consuming one.
+func (c *Cursor) peek() (e event.Entry, ts int64, ok bool) {
+	seq := c.pos.Load() + 1
+	size := int64(c.log.opts.SegmentSize)
+	idx := (seq - 1) / size
+	if c.seg == nil || c.seg.index != idx {
+		seg := c.log.segmentFor(idx)
+		if seg == nil {
+			return event.Entry{}, 0, false
+		}
+		c.seg = seg
+	}
+	return c.log.readTS(c.seg, seq)
+}
+
+// consume advances past the entry a successful peek returned.
+func (c *Cursor) consume() { c.advance(c.pos.Load() + 1) }
+
+// drained reports that the cursor's log is closed and fully consumed: no
+// entry will ever follow.
+func (c *Cursor) drained() bool {
+	return c.log.closed.Load() && c.pos.Load() >= c.log.reserved.Load()
 }
 
 // Next blocks until an entry is available or the log is closed and fully
@@ -987,6 +1122,72 @@ func (c *Cursor) Pos() int { return int(c.pos.Load()) }
 // would otherwise end a run silently with the log half-persisted; checkers
 // surface this in their Report.
 func (c *Cursor) Err() error { return c.log.SinkErr() }
+
+// Reader is the total-order read surface of a log: the single-counter
+// Log's Cursor and the sharded log's MergeCursor both implement it, so the
+// checker pipeline (core.Checker.Run, core.RunChecker, core.Multi.Run, the
+// vyrdd session drain) is capture-layout-agnostic. A Reader is owned by a
+// single goroutine.
+type Reader interface {
+	// Next blocks until an entry is available or the log is closed and
+	// drained (ok false).
+	Next() (e event.Entry, ok bool)
+	// TryNext returns the next entry without blocking (ok false when none
+	// is available yet).
+	TryNext() (e event.Entry, ok bool)
+	// Pos reports how many entries this reader has consumed.
+	Pos() int
+	// Err reports the first failure of the log being read (today: the
+	// sink's persistence error).
+	Err() error
+}
+
+// Appender is the capture surface a probe appends through: the whole Log,
+// or one pinned shard of a ShardedLog.
+type Appender interface {
+	Append(e event.Entry) int64
+}
+
+// Backend is the full capture-side surface shared by Log and ShardedLog;
+// the vyrd facade and the vyrdd session layer program against it so the
+// sharded and single-counter pipelines are interchangeable end to end.
+type Backend interface {
+	Level() Level
+	NewTid() int32
+	// AppenderFor returns the append surface for one thread: the log
+	// itself for a single-counter Log, the thread's pinned shard for a
+	// ShardedLog.
+	AppenderFor(tid int32) Appender
+	// Append routes an entry by its Tid (AppenderFor(e.Tid) semantics);
+	// single-goroutine ingest paths (the vyrdd wire loop) use it.
+	Append(e event.Entry) int64
+	// Reader returns a fresh registered reader over the total order.
+	Reader() Reader
+	Snapshot() []event.Entry
+	Len() int
+	Close()
+	Closed() bool
+	Stats() Stats
+	AttachSink(w io.Writer) error
+	AttachEntrySink(es EntrySink) error
+	SinkErr() error
+}
+
+// AppenderFor returns the log itself: a single-counter log has no shards
+// to pin to.
+func (l *Log) AppenderFor(tid int32) Appender { return l }
+
+// Reader returns a fresh registered cursor (Backend surface).
+func (l *Log) Reader() Reader { return l.Cursor() }
+
+// Open constructs the capture backend the options select: a ShardedLog
+// when opts.Shards > 1, the single-counter Log otherwise.
+func Open(level Level, opts Options) Backend {
+	if opts.Shards > 1 {
+		return NewSharded(level, opts)
+	}
+	return NewWithOptions(level, opts)
+}
 
 // ReadFile decodes a persisted log stream (current binary format) into a
 // slice of entries, the input to offline checking.

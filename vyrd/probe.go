@@ -9,10 +9,11 @@ import (
 )
 
 // Log is the shared execution log of one instrumented run. It wraps the
-// internal write-ahead log and is the factory for per-goroutine probes and
-// for the verification thread's cursor.
+// internal write-ahead log — single-counter or sharded per-core capture,
+// depending on LogOptions.Shards — and is the factory for per-goroutine
+// probes and for the verification thread's cursor.
 type Log struct {
-	wal *wal.Log
+	wal wal.Backend
 }
 
 // LogOptions tunes the log's storage pipeline: segment size, consumed-prefix
@@ -36,8 +37,13 @@ func NewLog(level Level) *Log { return &Log{wal: wal.New(level)} }
 // bounded-memory online checking of long runs:
 //
 //	log := vyrd.NewLogWith(vyrd.LevelView, vyrd.LogOptions{Window: 1 << 16})
+//
+// Setting Shards > 1 selects sharded per-core capture: each probe appends
+// into its own shard and readers consume a deterministic k-way merge, so
+// append throughput scales with cores instead of serializing on a global
+// sequence counter.
 func NewLogWith(level Level, opts LogOptions) *Log {
-	return &Log{wal: wal.NewWithOptions(level, opts)}
+	return &Log{wal: wal.Open(level, opts)}
 }
 
 // Level reports the recording level.
@@ -68,13 +74,15 @@ func (l *Log) Stats() LogStats { return l.wal.Stats() }
 // NewProbe allocates a probe for an application thread (Tid_app). Each
 // goroutine performing logged actions needs its own probe.
 func (l *Log) NewProbe() *Probe {
-	return &Probe{log: l.wal, tid: l.wal.NewTid(), level: l.wal.Level()}
+	tid := l.wal.NewTid()
+	return &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level()}
 }
 
 // NewWorkerProbe allocates a probe for an internal data-structure worker
 // thread (Tid_ds), e.g. a compression or flush daemon.
 func (l *Log) NewWorkerProbe() *Probe {
-	return &Probe{log: l.wal, tid: l.wal.NewTid(), level: l.wal.Level(), worker: true}
+	tid := l.wal.NewTid()
+	return &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level(), worker: true}
 }
 
 // StartChecker constructs a checker over spec and runs it on a fresh
@@ -88,7 +96,7 @@ func (l *Log) StartChecker(spec Spec, opts ...Option) (wait func() *Report, err 
 		return nil, err
 	}
 	done := make(chan *Report, 1)
-	cur := l.wal.Cursor()
+	cur := l.wal.Reader()
 	go func() { done <- c.Run(cur) }()
 	return func() *Report { return <-done }, nil
 }
@@ -100,7 +108,7 @@ func (l *Log) StartChecker(spec Spec, opts ...Option) (wait func() *Report, err 
 // and drained and yields the final report.
 func (l *Log) StartEntryChecker(c EntryChecker) (wait func() *Report) {
 	done := make(chan *Report, 1)
-	cur := l.wal.Cursor()
+	cur := l.wal.Reader()
 	go func() { done <- core.RunChecker(c, cur) }()
 	return func() *Report { return <-done }
 }
@@ -115,7 +123,7 @@ func (l *Log) StartMultiChecker(mods ...Module) (wait func() []ModuleReport, err
 		return nil, err
 	}
 	done := make(chan []ModuleReport, 1)
-	cur := l.wal.Cursor()
+	cur := l.wal.Reader()
 	go func() { done <- m.Run(cur) }()
 	return func() []ModuleReport { return <-done }, nil
 }
@@ -124,7 +132,11 @@ func (l *Log) StartMultiChecker(mods ...Module) (wait func() []ModuleReport, err
 // a nil probe (no-ops), so implementations can run uninstrumented; they are
 // not safe for concurrent use by multiple goroutines.
 type Probe struct {
-	log    *wal.Log
+	// log is the probe's append surface. Under sharded capture it is
+	// pinned to one shard by the probe's tid, so a thread's entries stay
+	// in program order within that shard and cores do not share append
+	// cache lines.
+	log    wal.Appender
 	tid    int32
 	level  Level
 	worker bool
