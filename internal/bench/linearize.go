@@ -116,8 +116,16 @@ func DifferentialOnline(subject string, t harness.Target, entries []vyrd.Entry, 
 // DifferentialOnlineOn is DifferentialOnline over an explicitly configured
 // capture backend — the seam the sharded-vs-global parity suite drives:
 // the same entries replayed through a single-counter log and a sharded
-// shard group must produce the same verdicts.
+// shard group must produce the same verdicts. The replay producer below
+// is one goroutine feeding an already-ordered stream, so a sharded
+// backend is forced into ticket mode: the recorded order is the causal
+// order, and timestamp merge keys could swap entries whose appends land
+// in one clock tick on different shards (live capture orders them by the
+// subject's own lock handoffs; a replay loop has no such handoffs).
 func DifferentialOnlineOn(subject string, t harness.Target, entries []vyrd.Entry, repro string, lopts wal.Options) (DifferentialVerdict, error) {
+	if lopts.Shards > 1 {
+		lopts.Tickets = true
+	}
 	sp, err := LinearizeSpec(subject)
 	if err != nil {
 		return DifferentialVerdict{}, err

@@ -30,10 +30,15 @@ type ServerOptions struct {
 	// Shards selects sharded per-core capture for each session's log
 	// (> 1; 0 or 1 keeps the single-counter log). Every session gets its
 	// own shard group, so sessions never contend on capture state — the
-	// scale-out posture for a multi-tenant vyrdd fleet. The TCP ingest
-	// loop is one goroutine per session, so the entries reach the shards
-	// in wire order and the merged order the checker consumes equals the
-	// client's stream order either way; verdicts are unaffected.
+	// scale-out posture for a multi-tenant vyrdd fleet. Session logs run
+	// in ticket mode (wal.Options.Tickets): the TCP ingest loop is one
+	// goroutine per session, so the client's wire order IS the causal
+	// order, and only a per-session strictly increasing counter as the
+	// merge key reproduces it exactly — capture timestamps would let two
+	// back-to-back appends routed to different shards land in one clock
+	// tick and be merge-swapped by their unordered batch seqs, changing
+	// verdicts. The per-entry ticket RMW is uncontended under the single
+	// ingest goroutine, and cross-session capture stays contention-free.
 	Shards int
 	// AckEvery is the ack cadence in entries (0 = DefaultAckEvery). The
 	// effective cadence per session never exceeds a quarter of the client's
@@ -221,6 +226,10 @@ func (s *Server) newSession(h Hello) (*session, error) {
 		Window:      s.opts.Window,
 		SegmentSize: s.opts.SegmentSize,
 		Shards:      s.opts.Shards,
+		// Single-goroutine ingest of the client's ordered stream: ticket
+		// mode keeps the merged order identical to the wire order (see
+		// the ServerOptions.Shards comment).
+		Tickets: true,
 	})
 	cur := lg.Reader()
 	done := make(chan []core.ModuleReport, 1)

@@ -41,20 +41,28 @@ package wal
 // cross-shard entries are causally unrelated as long as the clock tick is
 // finer than a lock handoff — NewSharded measures the clock at
 // construction and, if its granularity is too coarse to separate
-// handoffs (~1us), degrades to per-entry global tickets: the exact
-// single-counter ordering, sharded storage only. The merge then still
-// removes the reader/writer line sharing, but the scaling headline
-// requires the fine clock. Within a shard no clock assumption is needed
-// at all: capture seqs break ties in append order.
+// handoffs (coarseClockLimit, set below a ~50-200ns handoff cost),
+// degrades to per-entry global tickets: the exact single-counter
+// ordering, sharded storage only. Options.Tickets forces that mode
+// regardless of the clock — single-goroutine ingest of an
+// already-ordered stream (the remote server's per-session logs, online
+// replay) is ordered by stream position, not by instrumented-program
+// lock handoffs, so only a per-log counter key preserves it. The merge
+// then still removes the reader/writer line sharing, but the scaling
+// headline requires the fine clock. Within a shard no clock assumption
+// is needed at all: capture seqs break ties in append order.
 //
 // Idle shards and the watermark protocol: the merge may only emit a head
 // once no shard can later publish a smaller key. An idle shard would
 // stall the merge forever, so each shard maintains a published watermark
-// (every future entry's ts is >= wm). When an empty shard's watermark is
-// behind the candidate, the merge try-locks the shard and raises wm to
-// "now" — holding the shard lock proves no append is in flight, and any
-// later append reads the clock after the bump, so the raised watermark is
-// a true bound. If the try-lock fails the shard is actively appending and
+// (every future entry's ts is >= wm). The merge always loads the
+// watermark bound *before* peeking the shard — an empty peek taken after
+// the load is what proves no unseen entry can undercut the bound (see
+// shardCannotUndercut). When an empty shard's watermark is behind the
+// candidate, the merge try-locks the shard and raises wm to "now" —
+// holding the shard lock proves no append is in flight, and any later
+// append reads the clock after the bump, so the raised watermark is a
+// true bound. If the try-lock fails the shard is actively appending and
 // its head will appear on the next poll.
 
 import (
@@ -74,10 +82,14 @@ import (
 const DefaultShardBatch = 256
 
 // coarseClockLimit is the monotonic-clock granularity above which sharded
-// capture degrades to per-entry global tickets: a tick coarser than this
-// cannot be trusted to separate two lock handoffs, so equal timestamps
-// could hide a happens-before edge.
-const coarseClockLimit = time.Microsecond
+// capture degrades to per-entry global tickets. The soundness argument
+// needs equal-timestamp cross-shard entries to be causally unrelated,
+// which holds only when the clock tick is finer than a lock handoff — and
+// an uncontended handoff costs on the order of 50-200ns on modern
+// hardware. The limit therefore sits below that cost: a tick coarser than
+// this could let two causally ordered appends on different shards tie and
+// be merge-ordered by their unrelated batch-reserved seqs.
+const coarseClockLimit = 100 * time.Nanosecond
 
 // shard is one capture lane: a private segmented Log for storage plus the
 // batch-reservation and timestamp state. The lock serializes (clock read,
@@ -161,7 +173,7 @@ func NewSharded(level Level, opts Options) *ShardedLog {
 		level: level,
 		opts:  opts,
 		batch: int64(opts.ShardBatch),
-		mono:  fineMonotonicClock(),
+		mono:  !opts.Tickets && fineMonotonicClock(),
 		epoch: time.Now(),
 	}
 	g.shards = make([]*shard, n)
@@ -212,7 +224,8 @@ func (g *ShardedLog) NewTid() int32 { return g.nextTid.Add(1) }
 func (g *ShardedLog) Shards() int { return len(g.shards) }
 
 // Monotonic reports whether capture runs on fine-grained timestamps
-// (true) or degraded per-entry global tickets (false, coarse clock).
+// (true) or per-entry global tickets (false: coarse host clock, or
+// ticket mode forced via Options.Tickets).
 func (g *ShardedLog) Monotonic() bool { return g.mono }
 
 // shardFor maps a thread id onto its pinned shard.
@@ -352,18 +365,25 @@ func keyLess(ts1, seq1, ts2, seq2 int64) bool {
 // Snapshot merges the retained entries of every shard into the total
 // order and renumbers them densely, for offline checking of a completed
 // (or quiesced) execution. As with Log.Snapshot, truncated prefixes are
-// gone and in-flight appends end each shard's contribution early.
+// gone and in-flight appends end each shard's contribution early; the
+// numbering resumes after the truncated prefix (seq truncated+1 onward,
+// where the base is the summed per-shard truncated-entry count — the
+// same positional base MergeCursor uses), so snapshot seqs line up with
+// sink and recovery positions exactly as a single-counter log's do. With
+// no truncation the snapshot runs 1..n.
 func (g *ShardedLog) Snapshot() []event.Entry {
 	var all []tsEntry
+	var base int64
 	for _, s := range g.shards {
 		all = append(all, s.log.snapshotTS()...)
+		base += s.log.truncatedEntryCount()
 	}
 	sort.Slice(all, func(i, j int) bool {
 		return keyLess(all[i].ts, all[i].e.Seq, all[j].ts, all[j].e.Seq)
 	})
 	out := make([]event.Entry, len(all))
 	for i, te := range all {
-		te.e.Seq = int64(i + 1)
+		te.e.Seq = base + int64(i+1)
 		out[i] = te.e
 	}
 	return out
@@ -542,12 +562,28 @@ func (m *MergeCursor) tryEmit() (event.Entry, bool) {
 // key below the candidate's: either its visible head is already at or
 // above the candidate (the shard stream is sorted, so nothing behind the
 // head can be smaller), it is closed and drained, or its watermark
-// strictly exceeds the candidate timestamp. For an idle shard the merge
-// raises the watermark itself under the shard lock; a failed try-lock
-// means the shard is mid-append and the caller must re-poll.
+// strictly exceeds the candidate timestamp.
+//
+// The watermark bound is loaded BEFORE the peek, and the order matters.
+// A watermark store shares one shard critical section with the publish
+// it covers, and every later append's clock read post-dates the stored
+// value (the shard lock serializes the sections, the clock is
+// monotonic). So for any watermark value already observed: an entry that
+// could undercut it was published — and therefore visible — before the
+// load, and an empty peek taken after the load proves no such entry
+// exists. Peeking first would invert that proof: a producer preempted
+// between its clock read and its publish can publish right after the
+// failed peek, a subsequent append then raises the watermark past the
+// candidate, and a stale `ts < wm` check would emit the candidate ahead
+// of the smaller-key entry it never re-peeked.
+//
+// For an idle shard the merge raises the watermark itself under the
+// shard lock; a failed try-lock means the shard is mid-append and the
+// caller must re-poll.
 func (m *MergeCursor) shardCannotUndercut(i int, c *Cursor, ts, seq int64) bool {
 	s := m.g.shards[i]
 	for {
+		wm := s.wm.Load()
 		if e2, ts2, ok := c.peek(); ok {
 			// A head at or above the candidate bounds the whole shard.
 			// A smaller head invalidates the candidate; fail so the
@@ -557,7 +593,7 @@ func (m *MergeCursor) shardCannotUndercut(i int, c *Cursor, ts, seq int64) bool 
 		if c.drained() {
 			return true
 		}
-		if ts < s.wm.Load() {
+		if ts < wm {
 			return true
 		}
 		if !m.bumpWatermark(s) {
@@ -568,8 +604,9 @@ func (m *MergeCursor) shardCannotUndercut(i int, c *Cursor, ts, seq int64) bool 
 			// only within one tick). Yield to the caller rather than spin.
 			return false
 		}
-		// The bump raced an append: re-peek so an entry published between
-		// the first peek and the bump is compared, never skipped.
+		// The bump raised the watermark past the candidate: loop to
+		// re-load the bound and re-peek, so an entry published between
+		// the peek and the bump is compared, never skipped.
 	}
 }
 

@@ -423,3 +423,141 @@ func BenchmarkOnlinePipeline(b *testing.B) {
 		})
 	}
 }
+
+// TestShardedTicketsOptionIngestOrder pins the Options.Tickets contract
+// the remote server's per-session logs and online replay rely on: a
+// single goroutine feeding an already-ordered stream through a sharded
+// backend must read back exactly its append order. Timestamp keys cannot
+// promise this — back-to-back appends routed to different shards can land
+// in one clock tick and tie-break on unordered batch seqs — so Tickets
+// forces the per-log counter key regardless of the host clock.
+func TestShardedTicketsOptionIngestOrder(t *testing.T) {
+	b := Open(LevelView, Options{Shards: 4, Tickets: true, ShardBatch: 8})
+	g, ok := b.(*ShardedLog)
+	if !ok {
+		t.Fatalf("want *ShardedLog, got %T", b)
+	}
+	if g.Monotonic() {
+		t.Fatal("Options.Tickets did not force ticket mode")
+	}
+	r := g.Reader()
+	const total = 4000
+	for i := 0; i < total; i++ {
+		// Rotate tids so consecutive entries land on different shards —
+		// the exact shape session ingest produces.
+		g.Append(event.Entry{Tid: int32(i%8 + 1), Kind: event.KindCall,
+			Method: "M", Args: []event.Value{i}})
+	}
+	g.Close()
+	for i := 0; i < total; i++ {
+		e, ok := r.Next()
+		if !ok {
+			t.Fatalf("merged stream ended at %d, want %d entries", i, total)
+		}
+		if idx, _ := event.Int(e.Args[0]); idx != i {
+			t.Fatalf("position %d: got ingest index %d — merged order diverged from append order", i, idx)
+		}
+		if e.Seq != int64(i+1) {
+			t.Fatalf("position %d: seq %d, want dense %d", i, e.Seq, i+1)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("extra entries after the appended stream")
+	}
+}
+
+// TestShardedMergeCrossShardHandoffOrder stresses the watermark protocol
+// with the hardest causal shape: every append is one link of a single
+// mutex-protected chain, so the merged stream must reproduce the chain
+// indices exactly in order even though consecutive links land on
+// different shards. This is the invariant the load-watermark-before-peek
+// order in shardCannotUndercut protects: a producer preempted between its
+// clock read and its publish must never be overtaken in the merge by a
+// later, larger-key entry.
+func TestShardedMergeCrossShardHandoffOrder(t *testing.T) {
+	const nProd, perProd = 4, 8000
+	g := NewSharded(LevelView, Options{Shards: 4, SegmentSize: 64, ShardBatch: 16})
+	r := g.Reader()
+	drained := make(chan error, 1)
+	go func() {
+		want := 0
+		for {
+			e, ok := r.Next()
+			if !ok {
+				break
+			}
+			if k, _ := event.Int(e.Args[0]); k != want {
+				drained <- fmt.Errorf("merged position %d: chain index %d — cross-shard handoff order broken", want, k)
+				// Keep draining so producers blocked on nothing exit.
+				for {
+					if _, ok := r.Next(); !ok {
+						break
+					}
+				}
+				return
+			}
+			want++
+		}
+		if want != nProd*perProd {
+			drained <- fmt.Errorf("merged %d entries, want %d", want, nProd*perProd)
+			return
+		}
+		drained <- nil
+	}()
+
+	var chainMu sync.Mutex
+	chain := 0
+	var wg sync.WaitGroup
+	for p := 0; p < nProd; p++ {
+		tid := g.NewTid()
+		ap := g.AppenderFor(tid)
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				chainMu.Lock()
+				k := chain
+				chain++
+				ap.Append(event.Entry{Tid: tid, Kind: event.KindCall,
+					Method: "link", Args: []event.Value{k}})
+				chainMu.Unlock()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	g.Close()
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedSnapshotSeqResumesAfterTruncation pins the numbering
+// symmetry between the two Backend snapshots: like Log.Snapshot, a
+// sharded snapshot of a truncated log must start its sequence numbers
+// right after the truncated prefix (the summed per-shard truncated-entry
+// count — the same positional base MergeCursor uses), not renumber the
+// retained suffix densely from 1.
+func TestShardedSnapshotSeqResumesAfterTruncation(t *testing.T) {
+	g := NewSharded(LevelView, Options{Shards: 2, SegmentSize: 8, Truncate: true})
+	const total = 256
+	for i := 0; i < total; i++ {
+		g.Append(event.Entry{Tid: int32(i%4 + 1), Kind: event.KindCall, Method: "M"})
+	}
+	snap := g.Snapshot()
+	base := g.Stats().TruncatedEntries
+	if base == 0 {
+		t.Fatalf("no truncation after %d appends over 8-entry segments; test needs a released prefix", total)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot of a non-empty log")
+	}
+	if snap[0].Seq != base+1 {
+		t.Fatalf("snapshot starts at seq %d, want %d (truncated prefix %d)", snap[0].Seq, base+1, base)
+	}
+	for i, e := range snap {
+		if e.Seq != base+int64(i+1) {
+			t.Fatalf("snapshot position %d: seq %d, want contiguous %d", i, e.Seq, base+int64(i+1))
+		}
+	}
+	g.Close()
+}

@@ -151,6 +151,20 @@ type Options struct {
 	// 0 means DefaultShardBatch. Larger batches amortize the only shared
 	// atomic further; the merge is insensitive to the batch size.
 	ShardBatch int
+
+	// Tickets forces a sharded log into per-entry global ticket ordering
+	// (the same mode a coarse host clock degrades to): the merge key is
+	// one strictly increasing counter per log, so the merged order is
+	// exactly the append order. Timestamp keys order appends by the
+	// instrumented program's lock handoffs, which is correct for live
+	// concurrent capture but not for a single goroutine ingesting an
+	// already-ordered stream — there the causal order is the stream
+	// position, and back-to-back appends routed to different shards can
+	// land in one clock tick and be merge-swapped by their unordered
+	// batch-reserved seqs. The remote server's per-session logs and
+	// online replay set this; the per-entry RMW is uncontended under a
+	// single producer. No effect when Shards <= 1.
+	Tickets bool
 }
 
 // DefaultSyncEvery is the default sync-marker cadence, in entries.
@@ -719,7 +733,7 @@ func (l *Log) Stats() Stats {
 		RetainedEntries:     retainedSegs * size,
 		PeakRetainedEntries: l.peakRetained.v.Load(),
 		TruncatedSegments:   l.truncatedSegs.v.Load(),
-		TruncatedEntries:    l.truncatedSegs.v.Load() * size,
+		TruncatedEntries:    l.truncatedEntryCount(),
 		MaxVerifierLag:      l.maxLag.v.Load(),
 	}
 	if s != nil {
@@ -728,6 +742,13 @@ func (l *Log) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// truncatedEntryCount reports how many entries truncation has released
+// (truncation works at whole-segment granularity). It is the positional
+// base a retained-suffix snapshot's numbering resumes from.
+func (l *Log) truncatedEntryCount() int64 {
+	return l.truncatedSegs.v.Load() * int64(l.opts.SegmentSize)
 }
 
 // advanceReaders recomputes the slowest-reader position and, at segment
