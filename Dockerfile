@@ -1,0 +1,16 @@
+# Build stage: static binaries for the fleet tier. The module is
+# dependency-free, so no module download step is needed.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/vyrdd ./cmd/vyrdd \
+ && CGO_ENABLED=0 go build -o /out/vyrdload ./cmd/vyrdload
+
+# Runtime stage: one image serves both roles; compose picks the
+# entrypoint. scratch would do, but alpine keeps a shell for debugging
+# inside the cluster.
+FROM alpine:3.19
+COPY --from=build /out/vyrdd /usr/local/bin/vyrdd
+COPY --from=build /out/vyrdload /usr/local/bin/vyrdload
+EXPOSE 7669 7670
+ENTRYPOINT ["vyrdd"]

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke tables examples check clean
 
 all: check
 
@@ -33,7 +33,7 @@ bench-smoke:
 # including exploration throughput, shrink results and the sink-codec
 # durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR7.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR8.json
 	$(GO) test -run=NONE -bench 'AppendParallel|OnlinePipeline' -cpu 1,4,8 ./internal/wal/
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
@@ -89,6 +89,19 @@ shard-smoke:
 	$(GO) test -count=1 -run '^TestShardedVerdictParity$$' ./internal/bench/
 	$(GO) test -race -count=1 -run '^TestParallel' ./internal/linearize/
 
+# Race-enabled fleet-tier smoke: scheduler-vs-goroutine verdict parity
+# over every registry subject (the planted-race leg self-skips under the
+# detector and runs in the plain pass), the scheduler/ring/tenant unit
+# suites, tenant quotas enforced as pure backpressure, consistent-hash
+# redirect, kill-one-node failover replaying the journal, and the
+# session-supersede attach race. CI runs this.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) test -race -count=1 -run '^TestFleetVerdictParity$$' ./internal/bench/
+	$(GO) test -count=1 -run '^TestFleetVerdictParity$$' ./internal/bench/
+	$(GO) test -race -count=1 -run '^TestTenant|^TestCluster|^TestSessionSupersedeRace$$|^TestOpsPrometheusText$$' ./internal/remote/
+	$(GO) test -race -count=1 -run '^TestSegment' ./internal/linearize/
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -100,7 +113,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

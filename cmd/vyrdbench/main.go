@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize, append or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize, append, fleet or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
@@ -39,6 +39,8 @@ func main() {
 		window     = flag.Int("window", 0, "log-pipeline truncation window in entries (0 = default)")
 		budget     = flag.Int("budget", 2000, "exploration schedule budget per subject")
 		shards     = flag.Int("shards", 0, "append-scaling shard count for the sharded rows (0 = one per proc)")
+		sessions   = flag.Int("sessions", 0, "fleet-table concurrent session target (0 = default 1000)")
+		workers    = flag.Int("workers", 0, "fleet-table checker pool width (0 = 2×GOMAXPROCS)")
 		jsonPath   = flag.String("json", "", "also write the rows as a JSON snapshot to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -151,6 +153,14 @@ func main() {
 		snap.LinearizeParallel = prows
 		fmt.Println()
 		bench.WriteLinearizeParallelTable(os.Stdout, prows)
+		mrows, err := bench.LinearizeMemoTable([]int{8, 64})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: linearize memo: %v\n", err)
+			os.Exit(1)
+		}
+		snap.LinearizeMemo = mrows
+		fmt.Println()
+		bench.WriteLinearizeMemoTable(os.Stdout, mrows)
 	}
 
 	runAppendScaling := func() {
@@ -161,6 +171,27 @@ func main() {
 		}
 		snap.AppendScaling = bench.AppendScaling(cfg)
 		bench.WriteAppendScaling(os.Stdout, cfg, snap.AppendScaling)
+	}
+
+	runFleet := func() {
+		cfg := bench.DefaultFleetConfig()
+		cfg.Seed = *seed
+		if *sessions > 0 {
+			cfg.Sessions = *sessions
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		if *subject != "" {
+			cfg.Subject = *subject
+		}
+		rows, err := bench.FleetTable(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Fleet = rows
+		bench.WriteFleetTable(os.Stdout, rows)
 	}
 
 	runDurability := func() {
@@ -190,6 +221,8 @@ func main() {
 		runLinearize()
 	case "append":
 		runAppendScaling()
+	case "fleet":
+		runFleet()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -206,8 +239,10 @@ func main() {
 		runLinearize()
 		fmt.Println()
 		runAppendScaling()
+		fmt.Println()
+		runFleet()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize, append or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize, append, fleet or all)\n", *table)
 		os.Exit(2)
 	}
 

@@ -10,10 +10,22 @@
 //
 // Every evaluation subject's specification is served by name, plus the
 // composed "BLinkTree+Store" modular stack. The ops listener serves
-// GET /healthz and GET /metrics as JSON. On SIGINT/SIGTERM the server
-// drains: listeners close, in-flight sessions get -drain to finish and
-// receive normal verdicts, and whatever remains is force-finished with a
-// verdict over the prefix received so far.
+// GET /healthz and GET /metrics (JSON, or Prometheus text with
+// ?format=prom). On SIGINT/SIGTERM the server drains: listeners close,
+// in-flight sessions get -drain to finish and receive normal verdicts,
+// and whatever remains is force-finished with a verdict over the prefix
+// received so far.
+//
+// The fleet tier:
+//
+//	-workers N       multiplex all sessions over an N-worker checker
+//	                 pool (0 = one goroutine pipeline per session)
+//	-slice N         scheduler time-slice budget, entries per turn
+//	-max-sessions/-max-eps/-max-window-bytes
+//	                 per-tenant quotas (admission, ingest rate, window
+//	                 memory); overruns throttle via delayed acks
+//	-cluster A,B,C   static membership list for consistent-hash routing
+//	-self A          this node's own address in -cluster
 package main
 
 import (
@@ -24,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/fleet"
 	"repro/internal/remote"
 )
 
@@ -44,6 +58,14 @@ func run(args []string) int {
 		drain    = fs.Duration("drain", remote.DefaultDrainTimeout, "shutdown drain deadline for in-flight sessions")
 		quiet    = fs.Bool("quiet", false, "suppress per-connection logging")
 		list     = fs.Bool("list", false, "list served specs and exit")
+
+		workers     = fs.Int("workers", 0, "checker pool size: sessions time-slice over this many workers (0 = goroutine per session)")
+		slice       = fs.Int("slice", 0, "scheduler slice budget in entries (0 = default)")
+		maxSessions = fs.Int("max-sessions", 0, "per-tenant concurrent session quota (0 = unlimited)")
+		maxEPS      = fs.Int("max-eps", 0, "per-tenant ingest rate quota, entries/sec (0 = unlimited)")
+		maxWindowB  = fs.Int64("max-window-bytes", 0, "per-tenant retained window memory quota in bytes (0 = unlimited)")
+		cluster     = fs.String("cluster", "", "comma-separated static cluster membership for consistent-hash session routing")
+		self        = fs.String("self", "", "this node's address in -cluster")
 	)
 	fs.Parse(args)
 
@@ -62,12 +84,29 @@ func run(args []string) int {
 	if *quiet {
 		srvLogf = nil
 	}
+	var nodes []string
+	if *cluster != "" {
+		for _, n := range strings.Split(*cluster, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+	}
 	srv, err := remote.NewServer(remote.ServerOptions{
 		Registry:     registry,
 		Window:       *window,
 		AckEvery:     *ackEvery,
 		DrainTimeout: *drain,
-		Logf:         srvLogf,
+		Workers:      *workers,
+		SliceBudget:  *slice,
+		Quotas: fleet.Quotas{
+			MaxSessions:      *maxSessions,
+			MaxEntriesPerSec: *maxEPS,
+			MaxWindowBytes:   *maxWindowB,
+		},
+		Cluster: nodes,
+		Self:    *self,
+		Logf:    srvLogf,
 	})
 	if err != nil {
 		logf("vyrdd: %v", err)
@@ -80,6 +119,13 @@ func run(args []string) int {
 		return 2
 	}
 	logf("vyrdd: serving %d specs on %s", len(registry.Names()), ln.Addr())
+	if *workers > 0 {
+		logf("vyrdd: fleet scheduler on: %d workers, slice budget %d entries",
+			*workers, max(*slice, fleet.DefaultSliceBudget))
+	}
+	if len(nodes) > 0 {
+		logf("vyrdd: cluster routing on: self=%s members=%v", *self, nodes)
+	}
 
 	var opsSrv *http.Server
 	if *opsAddr != "" {

@@ -1,0 +1,140 @@
+// Command vyrdload is the fleet load generator: it simulates N
+// instrumented clients by streaming a recorded registry-subject log
+// into a vyrdd server (or a routed cluster) over N concurrent sessions,
+// holds every session open at a barrier to establish the concurrent-
+// session count the box actually carries, then races the streams to a
+// verdict and reports aggregate entries/sec.
+//
+// Usage:
+//
+//	vyrdload -addr 127.0.0.1:7669 -n 1000
+//	vyrdload -nodes 10.0.0.1:7669,10.0.0.2:7669 -n 2000 -subject BLinkTree
+//
+// With -ops the generator scrapes the server's /metrics at peak and
+// reports the server-observed sessions_active next to its own count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/fleet/load"
+	"repro/internal/remote"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vyrdload", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7669", "vyrdd address (single node)")
+		nodesCSV = fs.String("nodes", "", "comma-separated cluster membership; overrides -addr and routes sessions by key")
+		n        = fs.Int("n", 1000, "concurrent sessions to open")
+		subject  = fs.String("subject", "Multiset-Array", "registry subject whose recorded log each session streams")
+		mode     = fs.String("mode", "", "verdict mode per session (io, view, linearize; empty = server default)")
+		tenant   = fs.String("tenant", "load", "tenant token the sessions are accounted under")
+		seed     = fs.Int64("seed", 1, "harness seed for the recorded log")
+		window   = fs.Int("window", 1<<10, "per-session client resend window")
+		batch    = fs.Int("batch", 64, "entries per shipped frame")
+		opsURL   = fs.String("ops", "", "server ops base URL (http://host:port); scraped for sessions_active at peak")
+		jsonOut  = fs.Bool("json", false, "emit the run stats as JSON on stdout")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	fs.Parse(args)
+
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	s, ok := bench.SubjectByName(*subject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vyrdload: unknown subject %q\n", *subject)
+		return 2
+	}
+	entries := bench.CleanRun(s, *seed)
+	logf("vyrdload: subject %s: %d entries per session", s.Name, len(entries))
+
+	var nodes []string
+	if *nodesCSV != "" {
+		for _, nd := range strings.Split(*nodesCSV, ",") {
+			if nd = strings.TrimSpace(nd); nd != "" {
+				nodes = append(nodes, nd)
+			}
+		}
+	}
+
+	serverActive := -1
+	cfg := load.Config{
+		Addr:     *addr,
+		Nodes:    nodes,
+		Sessions: *n,
+		Spec:     s.Name,
+		Mode:     *mode,
+		Tenant:   *tenant,
+		Entries:  entries,
+		Window:   *window,
+		Batch:    *batch,
+		Logf:     logf,
+	}
+	if *opsURL != "" {
+		cfg.AtPeak = func() {
+			if a, err := scrapeActive(*opsURL); err == nil {
+				serverActive = a
+			} else {
+				logf("vyrdload: ops scrape: %v", err)
+			}
+		}
+	}
+
+	st, err := load.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdload: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := struct {
+			load.Stats
+			Subject       string `json:"subject"`
+			ServerActive  int    `json:"server_sessions_active,omitempty"`
+			EntriesPerRun int    `json:"entries_per_session"`
+		}{st, s.Name, serverActive, len(entries)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		fmt.Printf("sessions=%d open-at-peak=%d failed=%d verdicts-ok=%d entries=%d elapsed=%.2fs entries/sec=%.0f\n",
+			st.Sessions, st.Opened, st.Failed, st.VerdictsOk, st.Entries,
+			float64(st.ElapsedNS)/1e9, st.EntriesPerSec)
+		if serverActive >= 0 {
+			fmt.Printf("server sessions_active at peak: %d\n", serverActive)
+		}
+	}
+	if st.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// scrapeActive pulls sessions_active out of the server's JSON /metrics.
+func scrapeActive(base string) (int, error) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics?format=json")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m remote.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	return m.SessionsActive, nil
+}

@@ -1,0 +1,132 @@
+package bench_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fleet"
+	"repro/internal/racecheck"
+	"repro/internal/remote"
+)
+
+// startFleetDiffServer is startDiffServer with the bounded-pool scheduler
+// on: every session's checker pipeline time-slices over two workers
+// instead of owning a goroutine. The small slice budget forces many
+// scheduler turns per session so parity covers the requeue machinery, not
+// just a single drain.
+func startFleetDiffServer(tb testing.TB) string {
+	tb.Helper()
+	srv, err := remote.NewServer(remote.ServerOptions{
+		Registry:    bench.Registry(),
+		Workers:     2,
+		SliceBudget: 64,
+	})
+	if err != nil {
+		tb.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestFleetVerdictParity pins goroutine-vs-scheduler verdict parity on
+// every registry subject (ISSUE 8 acceptance): multiplexing checker work
+// over a bounded pool must not change a single verdict.
+//
+//   - scheduler-direct: the recorded entries stream through a wal window
+//     into the Multi fan-out driven by fleet scheduler slices on a shared
+//     two-worker pool — the resulting core.Summary of both engines must be
+//     identical to the goroutine-run baseline, field for field;
+//   - vyrdd loopback: the same entries shipped over TCP to a Workers=2
+//     server and to a goroutine-per-session server — equal remote
+//     verdicts.
+//
+// The planted-race leg replays exploration witnesses through both legs: a
+// violation both engines flag under the goroutine baseline must survive
+// the pool.
+func TestFleetVerdictParity(t *testing.T) {
+	baseAddr := startDiffServer(t)
+	fleetAddr := startFleetDiffServer(t)
+
+	// One shared pool for every scheduler-direct leg: subjects contend for
+	// two workers, which is the deployment shape the claim is about.
+	sched := fleet.NewScheduler(2, 64)
+	defer sched.Stop()
+
+	t.Run("clean", func(t *testing.T) {
+		for _, s := range bench.AllSubjects() {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				entries := bench.CleanRun(s, 1)
+
+				base, err := bench.DifferentialOnline(s.Name, s.Correct, entries, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				schd, err := bench.DifferentialScheduled(s.Name, s.Correct, entries, "", sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !schd.Refinement.Ok() || !schd.Agree() {
+					t.Fatalf("scheduler broke the clean-run verdict:\n%s", schd)
+				}
+				if base.Refinement.Summary() != schd.Refinement.Summary() {
+					t.Fatalf("refinement summary divergence:\ngoroutine: %+v\nscheduler: %+v",
+						base.Refinement.Summary(), schd.Refinement.Summary())
+				}
+				if base.Linearize.Summary() != schd.Linearize.Summary() {
+					t.Fatalf("linearize summary divergence:\ngoroutine: %+v\nscheduler: %+v",
+						base.Linearize.Summary(), schd.Linearize.Summary())
+				}
+
+				repBase := remoteLinearize(t, baseAddr, s.Name, entries)
+				repFleet := remoteLinearize(t, fleetAddr, s.Name, entries)
+				if repBase.Ok() != repFleet.Ok() {
+					t.Fatalf("vyrdd loopback scheduler vs goroutine divergence: goroutine ok=%v, scheduler ok=%v\ngoroutine:\n%s\nscheduler:\n%s",
+						repBase.Ok(), repFleet.Ok(), repBase, repFleet)
+				}
+				if repBase.Summary() != repFleet.Summary() {
+					t.Fatalf("vyrdd loopback summary divergence:\ngoroutine: %+v\nscheduler: %+v",
+						repBase.Summary(), repFleet.Summary())
+				}
+			})
+		}
+	})
+
+	t.Run("planted-race", func(t *testing.T) {
+		if racecheck.Enabled {
+			t.Skip("planted bugs are intentional data races; the detector would abort before the checkers verdict")
+		}
+		for _, s := range bench.ExplorationSubjects() {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				entries, repro, _, err := bench.SurfacedRaceWitness(s, 2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				schd, err := bench.DifferentialScheduled(s.Name, s.Buggy, entries, repro, sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if schd.Refinement.Ok() || schd.Linearize.Ok() {
+					t.Fatalf("scheduler lost a violation both engines flag under the goroutine baseline:\n%s", schd)
+				}
+				repFleet := remoteLinearize(t, fleetAddr, s.Name, entries)
+				if repFleet.Ok() {
+					t.Fatalf("scheduler-mode vyrdd session lost the violation:\n%s", repFleet)
+				}
+			})
+		}
+	})
+}

@@ -117,6 +117,108 @@ func LinearizeTable(cfg LinearizeConfig) ([]LinearizeRow, error) {
 	return rows, nil
 }
 
+// LinearizeMemoRow is one session-count point of the segment memo cache
+// measurement: the same recorded FixedDomain history streamed repeatedly
+// (the fleet shape — many sessions replaying one producer's log), cold
+// first, then warm. The hit rate and the warm/cold time ratio quantify
+// what the persistent cache buys a multi-session box.
+type LinearizeMemoRow struct {
+	Sessions int // repeated streams of the identical history
+	Ops      int
+	ColdNS   int64 // first stream: populates the cache
+	WarmNS   int64 // mean of the remaining streams
+	Lookups  int64
+	Hits     int64
+	HitRate  float64
+	Entries  int // distinct cached searches after the run
+}
+
+// linearizeMemoHistory records a repetitive multiset history through the
+// real probe pipeline: rounds of width overlapping Inserts on a small key
+// domain, each closed by a LookUp observer. Quiescent cuts after every
+// round make it interval-checkable, and the small domain makes the same
+// (frontier state, segment) pairs recur — the workload the segment memo
+// cache exists for. (The Vector histories of the main table never touch
+// the cache: order-sensitive specs defer to one engine search at Finish.)
+func linearizeMemoHistory(rounds, width int) []vyrd.Entry {
+	lg := vyrd.NewLog(vyrd.LevelIO)
+	for r := 0; r < rounds; r++ {
+		k := r % 3
+		invs := make([]*vyrd.Invocation, width)
+		for i := 0; i < width; i++ {
+			invs[i] = lg.NewProbe().Call("Insert", k)
+		}
+		for i := 0; i < width; i++ {
+			invs[i].Commit("ins")
+			invs[i].Return(true)
+		}
+		look := lg.NewProbe().Call("LookUp", k)
+		look.Return(true)
+		del := lg.NewProbe().Call("Delete", k)
+		del.Return(true)
+	}
+	lg.Close()
+	return lg.Snapshot()
+}
+
+// LinearizeMemoTable measures the segment memo cache across repeated
+// streams of one history, as fleet sessions replay it.
+func LinearizeMemoTable(sessions []int) ([]LinearizeMemoRow, error) {
+	entries := linearizeMemoHistory(64, 4)
+	sp := linearize.MultisetSpec()
+	var rows []LinearizeMemoRow
+	for _, n := range sessions {
+		if n < 2 {
+			return nil, fmt.Errorf("bench: memo row needs at least 2 sessions (cold + warm)")
+		}
+		linearize.ResetSegmentCache()
+		start := time.Now()
+		rep := linearize.CheckEntries(entries, sp, linearize.Options{})
+		coldNS := time.Since(start).Nanoseconds()
+		if !rep.Ok() {
+			return nil, fmt.Errorf("bench: memo history flagged cold: %s", rep)
+		}
+		start = time.Now()
+		for i := 1; i < n; i++ {
+			rep := linearize.CheckEntries(entries, sp, linearize.Options{})
+			if !rep.Ok() {
+				return nil, fmt.Errorf("bench: memo history flagged warm (session %d): %s", i, rep)
+			}
+		}
+		warmNS := time.Since(start).Nanoseconds() / int64(n-1)
+		st := linearize.SegmentCacheStats()
+		row := LinearizeMemoRow{
+			Sessions: n,
+			Ops:      int(rep.MethodsCompleted),
+			ColdNS:   coldNS,
+			WarmNS:   warmNS,
+			Lookups:  st.Lookups,
+			Hits:     st.Hits,
+			Entries:  st.Entries,
+		}
+		if st.Lookups > 0 {
+			row.HitRate = float64(st.Hits) / float64(st.Lookups)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteLinearizeMemoTable renders the memo-cache rows.
+func WriteLinearizeMemoTable(w io.Writer, rows []LinearizeMemoRow) {
+	fmt.Fprintln(w, "Segment memo cache: identical multiset history streamed by N sessions (cold populates, warm hits)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Sessions\tOps\tCold\tWarm/avg\tLookups\tHits\tHit rate\tCached")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\t%d\t%d\t%.1f%%\t%d\n",
+			r.Sessions, r.Ops,
+			time.Duration(r.ColdNS).Round(time.Microsecond),
+			time.Duration(r.WarmNS).Round(time.Microsecond),
+			r.Lookups, r.Hits, 100*r.HitRate, r.Entries)
+	}
+	tw.Flush()
+}
+
 // LinearizeParallelRow is one worker-pool width's measurement over a fixed
 // partitioned history: the same component searches fanned over Parallel
 // workers. Serial (width 1) is the baseline the speedup column divides by.

@@ -26,9 +26,16 @@ type Snapshot struct {
 	// LinearizeParallel is the worker-pool width sweep over one partitioned
 	// history (rides along with -table linearize).
 	LinearizeParallel []LinearizeParallelRow `json:",omitempty"`
+	// LinearizeMemo is the segment memo cache hit-rate measurement over
+	// repeated identical histories (rides along with -table linearize).
+	LinearizeMemo []LinearizeMemoRow `json:",omitempty"`
 	// AppendScaling is the sharded-vs-global capture throughput grid
 	// (-table append).
 	AppendScaling []AppendScalingRow `json:",omitempty"`
+	// Fleet is the multi-session capacity row: concurrent sessions held
+	// open against one scheduler-mode server and the aggregate checked
+	// entries/sec (-table fleet).
+	Fleet []FleetRow `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

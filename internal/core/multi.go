@@ -179,6 +179,34 @@ func (m *Multi) finish(logErr string) []ModuleReport {
 	return out
 }
 
+// FeedSync routes one entry to every accepting module's checker on the
+// calling goroutine — the scheduler-driven mode, where a bounded worker
+// pool time-slices many sessions and per-module goroutines would evade
+// its accounting. Exclusive with Run/CheckEntries: a Multi is either
+// goroutine-fanned or synchronously driven, never both.
+func (m *Multi) FeedSync(e event.Entry) {
+	for i, f := range m.filters {
+		if f(e) {
+			m.checkers[i].Feed(e)
+		}
+	}
+}
+
+// FinishSync finishes every module's checker after synchronous feeding
+// and collects the reports; logErr, when non-empty, is recorded on all
+// of them (all modules read the same log).
+func (m *Multi) FinishSync(logErr string) []ModuleReport {
+	out := make([]ModuleReport, len(m.mods))
+	for i, c := range m.checkers {
+		rep := c.Finish()
+		if logErr != "" {
+			rep.LogErr = logErr
+		}
+		out[i] = ModuleReport{Module: m.mods[i].Name, Report: rep}
+	}
+	return out
+}
+
 // Run consumes the cursor until the log is closed and drained, fanning
 // entries out to the module checkers, and returns the merged per-module
 // reports. This is the online modular mode: it runs concurrently with the

@@ -1,0 +1,177 @@
+// Package failover is the client side of a routed vyrdd fleet: a
+// Runner streams one session's log to the cluster node that owns its
+// key, follows handshake redirects, and — when the owner dies mid-
+// stream — re-routes to the next node on the consistent-hash preference
+// list and replays the journal from sequence 1. The replay rides the
+// session-resume machinery's idempotence: a brand-new session on the
+// survivor ingests everything (its resume point is 0), while a re-dial
+// that lands back on a surviving original session skips the acked
+// prefix by sequence number. Either way the stream the checker sees is
+// exactly the producer's log, so the failover verdict equals the
+// uninterrupted one.
+package failover
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/fleet"
+	"repro/internal/remote"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Nodes is the static cluster membership; it must match the servers'
+	// own -cluster lists so both sides agree on the ring.
+	Nodes []string
+	// Key is the session routing key, hashed onto the ring. Required.
+	Key string
+	// Client is the per-attempt template: Hello (spec, mode, tenant...),
+	// Window, batching, Dial, backoff. Addr, Session, Hello.Key and
+	// Hello.Failover are managed by the runner.
+	Client remote.ClientOptions
+	// MaxFailovers bounds node switches across the session's lifetime
+	// (0 = twice the cluster size).
+	MaxFailovers int
+	// Logf, when non-nil, receives one line per failover event.
+	Logf func(format string, args ...any)
+}
+
+// Runner ships one session with redirect-and-failover routing. Not safe
+// for concurrent use: like the wal sink that feeds a remote.Client, a
+// single goroutine writes entries in sequence order.
+type Runner struct {
+	opts  Options
+	prefs []string
+	hop   int
+	cl    *remote.Client
+
+	journal   []event.Entry
+	failovers int
+}
+
+// New builds a runner and its first client, aimed at the ring owner of
+// the key (the server would redirect us there anyway; starting on the
+// owner saves the round trip).
+func New(opts Options) (*Runner, error) {
+	if opts.Key == "" {
+		return nil, fmt.Errorf("failover: Options.Key is required")
+	}
+	ring, err := fleet.NewRing(opts.Nodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxFailovers <= 0 {
+		opts.MaxFailovers = 2 * len(opts.Nodes)
+	}
+	r := &Runner{opts: opts, prefs: ring.Prefs(opts.Key)}
+	if err := r.newClient(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// newClient builds a fresh client for the current preference-list hop.
+// Past hop zero the Hello carries Failover, telling the substitute node
+// to serve the key even though the ring says another node owns it.
+func (r *Runner) newClient() error {
+	co := r.opts.Client
+	co.Addr = r.prefs[r.hop%len(r.prefs)]
+	co.Session = ""
+	co.Hello.Key = r.opts.Key
+	co.Hello.Failover = r.hop > 0
+	cl, err := remote.NewClient(co)
+	if err != nil {
+		return err
+	}
+	r.cl = cl
+	return nil
+}
+
+// Node returns the address the runner currently targets.
+func (r *Runner) Node() string { return r.prefs[r.hop%len(r.prefs)] }
+
+// Failovers reports how many node switches the session has survived.
+func (r *Runner) Failovers() int { return r.failovers }
+
+// Client exposes the current underlying client (stats, session token).
+func (r *Runner) Client() *remote.Client { return r.cl }
+
+// WriteEntry journals and ships one entry, failing over when the
+// current node becomes unreachable. Entries must arrive in sequence
+// order starting at 1, like any remote.Client stream.
+func (r *Runner) WriteEntry(e event.Entry) error {
+	r.journal = append(r.journal, e)
+	for {
+		err := r.cl.WriteEntry(e)
+		if err == nil {
+			return nil
+		}
+		if err = r.rotate(err); err != nil {
+			return err
+		}
+	}
+}
+
+// Finish flushes the stream, waits for the verdict, and fails over as
+// needed (a node death during Fin re-routes and replays like any other).
+func (r *Runner) Finish() (*remote.Verdict, error) {
+	for {
+		err := r.cl.Flush()
+		if err == nil {
+			return r.cl.Verdict(), nil
+		}
+		if err = r.rotate(err); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// rotate moves to the next preference-list node after a terminal client
+// failure and replays the journal into a fresh session there. Handshake
+// refusals that are policy, not availability — a quota refusal, an
+// unknown spec — are returned as-is: another node would refuse them the
+// same way.
+func (r *Runner) rotate(cause error) error {
+	if rej, ok := remote.HandshakeReject(cause); ok && rej.Reason != remote.RejectRedirect {
+		return cause
+	}
+	for {
+		if r.failovers >= r.opts.MaxFailovers {
+			return fmt.Errorf("failover: giving up after %d node switches: %w", r.failovers, cause)
+		}
+		r.failovers++
+		r.hop++
+		r.logf("failover: key %q: %s unreachable (%v), rerouting to %s (switch %d)",
+			r.opts.Key, r.prefs[(r.hop-1)%len(r.prefs)], cause, r.Node(), r.failovers)
+		if err := r.newClient(); err != nil {
+			return err
+		}
+		if err := r.replay(); err == nil {
+			return nil
+		} else {
+			cause = err
+			if rej, ok := remote.HandshakeReject(err); ok && rej.Reason != remote.RejectRedirect {
+				return err
+			}
+		}
+	}
+}
+
+// replay feeds the whole journal into the current client — the
+// recovered-log replay of the crash-resume path, done from memory. The
+// server's dup-skip makes it idempotent wherever the session lands.
+func (r *Runner) replay() error {
+	for _, e := range r.journal {
+		if err := r.cl.WriteEntry(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

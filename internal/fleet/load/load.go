@@ -1,0 +1,225 @@
+// Package load is the vyrdload engine: it simulates N instrumented
+// clients streaming recorded subject logs into a vyrdd fleet at once,
+// holds them all open at a barrier to establish the true concurrent-
+// session count on the box, then races the streams to completion to
+// measure aggregate checked entries/sec — the two numbers a capacity
+// plan needs (max-sessions/box, entries/sec/fleet).
+package load
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/fleet/failover"
+	"repro/internal/remote"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Addr targets a single vyrdd node. Nodes, when set instead, routes
+	// every session by key across the cluster (redirects followed,
+	// failover enabled).
+	Addr  string
+	Nodes []string
+	// Sessions is how many concurrent sessions to open.
+	Sessions int
+	// Spec is the registry spec each session checks against; Mode is the
+	// verdict engine ("" = server default).
+	Spec string
+	Mode string
+	// Tenant accounts every session under one tenant token.
+	Tenant string
+	// Entries is the recorded log each session streams (sequence numbers
+	// 1..n, the shape harness runs and wal snapshots produce).
+	Entries []event.Entry
+	// Window and Batch tune each session's client (0 = small defaults
+	// sized for thousands of concurrent clients in one process).
+	Window int
+	Batch  int
+	// Dial, when non-nil, replaces net.Dial (tests inject transports).
+	Dial func(addr string) (net.Conn, error)
+	// OpenTimeout bounds phase one, waiting for all sessions to be open
+	// at once (0 = 60s).
+	OpenTimeout time.Duration
+	// AtPeak, when non-nil, runs once while every opened session is
+	// simultaneously live and idle at the barrier — the place to sample
+	// the server's own sessions_active gauge.
+	AtPeak func()
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the outcome of a load run.
+type Stats struct {
+	// Sessions is the configured count; Opened is how many were open
+	// simultaneously at the barrier; Failed counts sessions that errored
+	// at any point.
+	Sessions int `json:"sessions"`
+	Opened   int `json:"opened"`
+	Failed   int `json:"failed"`
+	// VerdictsOk counts sessions whose final verdict passed.
+	VerdictsOk int `json:"verdicts_ok"`
+	// Entries is the total streamed after the barrier; EntriesPerSec is
+	// the aggregate checked-ingest rate over the measured phase.
+	Entries       int64   `json:"entries"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+}
+
+// Run executes one load run.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Sessions <= 0 {
+		return Stats{}, fmt.Errorf("load: Sessions must be positive")
+	}
+	if len(cfg.Entries) < 2 {
+		return Stats{}, fmt.Errorf("load: need at least two entries per session (one to open, the rest to stream)")
+	}
+	if cfg.Addr == "" && len(cfg.Nodes) == 0 {
+		return Stats{}, fmt.Errorf("load: Addr or Nodes is required")
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 1 << 10
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	openTimeout := cfg.OpenTimeout
+	if openTimeout <= 0 {
+		openTimeout = 60 * time.Second
+	}
+
+	type shipper interface {
+		WriteEntry(e event.Entry) error
+	}
+	newSession := func(i int) (shipper, func() (*remote.Verdict, error), func() string, error) {
+		co := remote.ClientOptions{
+			Hello:         remote.Hello{Spec: cfg.Spec, Mode: cfg.Mode, Tenant: cfg.Tenant},
+			Window:        window,
+			BatchEntries:  batch,
+			Dial:          cfg.Dial,
+			FlushInterval: 5 * time.Millisecond,
+		}
+		if len(cfg.Nodes) > 0 {
+			r, err := failover.New(failover.Options{
+				Nodes:  cfg.Nodes,
+				Key:    fmt.Sprintf("load-%d", i),
+				Client: co,
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, r.Finish, func() string { return r.Client().Session() }, nil
+		}
+		co.Addr = cfg.Addr
+		cl, err := remote.NewClient(co)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		finish := func() (*remote.Verdict, error) {
+			if err := cl.Flush(); err != nil {
+				return nil, err
+			}
+			return cl.Verdict(), nil
+		}
+		return cl, finish, cl.Session, nil
+	}
+
+	var (
+		opened     atomic.Int64
+		failed     atomic.Int64
+		verdictsOk atomic.Int64
+		streamed   atomic.Int64
+
+		ready sync.WaitGroup
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	ready.Add(cfg.Sessions)
+	openDeadline := time.Now().Add(openTimeout)
+
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			isReady := false
+			defer func() {
+				if !isReady {
+					ready.Done()
+				}
+			}()
+			sh, finish, session, err := newSession(i)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			// Phase one: open the session with the first entry, then
+			// prove the handshake completed (token assigned) before
+			// joining the barrier — "open" means the server holds a live
+			// session, not just that we queued bytes locally.
+			if err := sh.WriteEntry(cfg.Entries[0]); err != nil {
+				failed.Add(1)
+				return
+			}
+			for session() == "" {
+				if time.Now().After(openDeadline) {
+					failed.Add(1)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			opened.Add(1)
+			isReady = true
+			ready.Done()
+			<-start
+
+			// Phase two (measured): stream the rest and collect the
+			// verdict.
+			for _, e := range cfg.Entries[1:] {
+				if err := sh.WriteEntry(e); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+			streamed.Add(int64(len(cfg.Entries) - 1))
+			v, err := finish()
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			if v != nil && v.Ok() {
+				verdictsOk.Add(1)
+			}
+		}(i)
+	}
+
+	ready.Wait()
+	if cfg.Logf != nil {
+		cfg.Logf("load: %d/%d sessions open, starting measured stream", opened.Load(), cfg.Sessions)
+	}
+	if cfg.AtPeak != nil {
+		cfg.AtPeak()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	st := Stats{
+		Sessions:   cfg.Sessions,
+		Opened:     int(opened.Load()),
+		Failed:     int(failed.Load()),
+		VerdictsOk: int(verdictsOk.Load()),
+		Entries:    streamed.Load(),
+		ElapsedNS:  elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		st.EntriesPerSec = float64(st.Entries) / elapsed.Seconds()
+	}
+	return st, nil
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a static vyrdd cluster membership
+// list. Every node projects DefaultVnodes virtual points onto a 64-bit
+// circle; a session key routes to the node owning the first point at or
+// after the key's hash. Each member builds the ring from the same
+// `-cluster` list, so routing decisions agree without coordination, and
+// clients with the same list can pick the owner before dialing.
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// DefaultVnodes is the virtual-point count per node: enough to spread
+// keys within a few percent of even on small clusters, cheap to build.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over nodes with vnodes virtual points each
+// (0 = DefaultVnodes). Node order does not matter; duplicate or empty
+// node names are an error.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		nodes:  append([]string(nil), nodes...),
+		points: make([]ringPoint, 0, len(nodes)*vnodes),
+	}
+	for i, n := range r.nodes {
+		if n == "" {
+			return nil, fmt.Errorf("fleet: ring node %d is empty", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("fleet: duplicate ring node %q", n)
+		}
+		seen[n] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a alone avalanches poorly on short keys with sequential
+	// decimal suffixes ("load-0".."load-199" land almost entirely on one
+	// node); a 64-bit finalizer restores uniformity on the circle.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Nodes returns the membership list the ring was built over.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the primary node for key.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.search(key)].node]
+}
+
+// Prefs returns the failover preference list for key: every node
+// exactly once, in ring order starting at the primary. A client walks
+// it left to right when the current node is unreachable.
+func (r *Ring) Prefs(key string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[int]bool, len(r.nodes))
+	for i, n := r.search(key), 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+			if len(out) == len(r.nodes) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after key's hash.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnershipDeterministic(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"c:1", "a:1", "b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("owner of %q depends on membership order: %q vs %q",
+				key, r1.Owner(key), r2.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		byNode[r.Owner(fmt.Sprintf("k%d", i))]++
+	}
+	for _, n := range nodes {
+		got := byNode[n]
+		// With 64 vnodes/node the spread is loose but every node must
+		// carry a real share — an empty node means the ring is broken.
+		if got < keys/len(nodes)/4 {
+			t.Fatalf("node %s owns only %d/%d keys: %v", n, got, keys, byNode)
+		}
+	}
+}
+
+// TestRingSpreadsSequentialKeys pins the hash finalizer: real workloads
+// key sessions with short sequential names ("load-0", "load-1", ...),
+// which raw FNV-1a routed 99% to one node of a two-node ring. Every node
+// must carry at least a quarter of its fair share of such keys.
+func TestRingSpreadsSequentialKeys(t *testing.T) {
+	nodes := []string{"10.0.0.1:7669", "10.0.0.2:7669"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{"load-%d", "k%d", "session/%d"} {
+		byNode := map[string]int{}
+		const keys = 1000
+		for i := 0; i < keys; i++ {
+			byNode[r.Owner(fmt.Sprintf(pat, i))]++
+		}
+		for _, n := range nodes {
+			if got := byNode[n]; got < keys/len(nodes)/4 {
+				t.Fatalf("pattern %q: node %s owns only %d/%d keys: %v", pat, n, got, keys, byNode)
+			}
+		}
+	}
+}
+
+func TestRingPrefs(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		prefs := r.Prefs(key)
+		if len(prefs) != len(nodes) {
+			t.Fatalf("Prefs(%q) = %v: want all %d nodes", key, prefs, len(nodes))
+		}
+		if prefs[0] != r.Owner(key) {
+			t.Fatalf("Prefs(%q)[0] = %q, Owner = %q", key, prefs[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range prefs {
+			if seen[n] {
+				t.Fatalf("Prefs(%q) repeats %q: %v", key, n, prefs)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingStableUnderGrowth pins the consistent-hashing property: adding
+// a node moves only the keys that land on the new node; everything else
+// keeps its owner.
+func TestRingStableUnderGrowth(t *testing.T) {
+	small, err := NewRing([]string{"a:1", "b:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before, after := small.Owner(key), big.Owner(key)
+		if before != after {
+			if after != "d:1" {
+				t.Fatalf("key %q moved %q -> %q without involving the new node", key, before, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding one node to three moved %d/%d keys", moved, keys)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	r, err := NewRing([]string{"a:1", "b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains("a:1") || r.Contains("z:1") {
+		t.Fatal("Contains is wrong")
+	}
+}

@@ -1,0 +1,329 @@
+// Package fleet is vyrdd's multi-tenant service tier: a session
+// scheduler that multiplexes many checker pipelines over a bounded
+// worker pool, per-tenant admission quotas with ack-protocol
+// backpressure, consistent-hash routing of session keys across a static
+// cluster, a client-side failover runner riding the session-resume
+// machinery, and a load generator that measures max-sessions/box.
+//
+// The scheduler replaces goroutine-per-session checking. A session
+// becomes a Task: a log reader plus a checker engine. Ingest wakes the
+// task after every append; a bounded pool of workers pops runnable
+// tasks and feeds each a cooperative time slice (SliceBudget entries)
+// before requeueing it, so thousands of mostly-idle sessions cost zero
+// workers and a hot session cannot starve the rest.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/wal"
+)
+
+// Engine is the checker a scheduled task drives: entries in, one
+// module-report slice out. The server adapts its three session shapes
+// (single checker, linearizer, modular fan-out) onto it. Feed must be
+// non-blocking and tolerate entries after a verdict is decided (the
+// core.EntryChecker contract), because the scheduler always drains the
+// log to keep the capture window from wedging ingest.
+type Engine interface {
+	Feed(e event.Entry)
+	Finish() []core.ModuleReport
+}
+
+// Task lifecycle states. A task is in the run queue exactly when its
+// state is taskQueued; taskRunWake marks a wake that arrived while a
+// worker held the task, so the worker re-checks instead of idling it.
+const (
+	taskIdle int32 = iota
+	taskQueued
+	taskRunning
+	taskRunWake
+	taskDone
+)
+
+// Task is one session's entry in the scheduler: a reader over the
+// session log, the engine consuming it, and the wake-state machine that
+// keeps it runnable exactly while it has pending entries.
+type Task struct {
+	s      *Scheduler
+	cur    wal.Reader
+	engine Engine
+	// appended reports how many entries have been appended to the log so
+	// far (the server's contiguous ingest high-water mark). The idle
+	// decision compares it against cur.Pos(): TryNext alone can be
+	// transiently false on a sharded merge while entries exist.
+	appended func() int64
+	// onFed, when non-nil, observes every slice's consumption (window
+	// accounting hooks).
+	onFed func(n int)
+
+	state      atomic.Int32
+	closing    atomic.Bool
+	closeTotal atomic.Int64
+	fed        atomic.Int64
+	done       chan []core.ModuleReport
+}
+
+// SchedStats is a point-in-time snapshot of the pool.
+type SchedStats struct {
+	// Workers is the pool size; Busy is how many are mid-slice.
+	Workers int   `json:"workers"`
+	Busy    int64 `json:"busy"`
+	// Runnable is the run-queue length (sessions with pending entries
+	// waiting for a worker).
+	Runnable int `json:"runnable"`
+	// Tasks is the number of live registered tasks.
+	Tasks int64 `json:"tasks"`
+	// Slices and EntriesFed count cooperative time slices executed and
+	// entries fed through engines since start.
+	Slices     int64 `json:"slices_total"`
+	EntriesFed int64 `json:"entries_fed_total"`
+	// Finished counts tasks that drained a closed log and reported.
+	Finished int64 `json:"tasks_finished_total"`
+}
+
+// Utilization is the busy fraction of the pool, 0..1.
+func (st SchedStats) Utilization() float64 {
+	if st.Workers == 0 {
+		return 0
+	}
+	return float64(st.Busy) / float64(st.Workers)
+}
+
+// Scheduler multiplexes tasks over a fixed worker pool.
+type Scheduler struct {
+	budget  int
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Task
+	head    int
+	stopped bool
+
+	busy     atomic.Int64
+	tasks    atomic.Int64
+	slices   atomic.Int64
+	entries  atomic.Int64
+	finished atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// DefaultSliceBudget is the per-slice entry budget: small enough that a
+// hot session yields within microseconds, large enough to amortize the
+// queue round-trip.
+const DefaultSliceBudget = 512
+
+// NewScheduler starts a pool of workers time-slicing by budget entries
+// (0 picks defaults: 2x GOMAXPROCS workers, DefaultSliceBudget).
+func NewScheduler(workers, budget int) *Scheduler {
+	if workers <= 0 {
+		workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if budget <= 0 {
+		budget = DefaultSliceBudget
+	}
+	s := &Scheduler{budget: budget, workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker()
+		}()
+	}
+	return s
+}
+
+// Workers reports the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Register adds a session to the scheduler. The task starts idle; the
+// first Wake makes it runnable. appended must report the log's append
+// high-water mark; onFed (optional) observes per-slice consumption.
+func (s *Scheduler) Register(cur wal.Reader, engine Engine, appended func() int64, onFed func(n int)) *Task {
+	t := &Task{
+		s:        s,
+		cur:      cur,
+		engine:   engine,
+		appended: appended,
+		onFed:    onFed,
+		done:     make(chan []core.ModuleReport, 1),
+	}
+	s.tasks.Add(1)
+	return t
+}
+
+// Wake marks the task runnable after an append (or close). It is safe
+// from any goroutine and idempotent: a queued or about-to-requeue task
+// is left alone, an idle task is enqueued, a running task is flagged so
+// its worker re-checks before idling.
+func (t *Task) Wake() {
+	for {
+		switch t.state.Load() {
+		case taskQueued, taskRunWake, taskDone:
+			return
+		case taskIdle:
+			if t.state.CompareAndSwap(taskIdle, taskQueued) {
+				t.s.push(t)
+				return
+			}
+		case taskRunning:
+			if t.state.CompareAndSwap(taskRunning, taskRunWake) {
+				return
+			}
+		}
+	}
+}
+
+// Close tells the task its log has been closed with total entries
+// appended; once the reader reaches that position the worker finishes
+// the engine and publishes the reports. Call after the log's Close.
+func (t *Task) Close(total int64) {
+	t.closeTotal.Store(total)
+	t.closing.Store(true)
+	t.Wake()
+}
+
+// Wait blocks until the task has drained its closed log and returns the
+// engine's reports. Idempotent.
+func (t *Task) Wait() []core.ModuleReport {
+	reports := <-t.done
+	t.done <- reports // re-arm for idempotent waits
+	return reports
+}
+
+// Fed reports how many entries this task's engine has consumed.
+func (t *Task) Fed() int64 { return t.fed.Load() }
+
+// push appends a task to the run queue.
+func (s *Scheduler) push(t *Task) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// pop blocks for the next runnable task; nil means the pool stopped.
+func (s *Scheduler) pop() *Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.head < len(s.queue) {
+			t := s.queue[s.head]
+			s.queue[s.head] = nil
+			s.head++
+			if s.head == len(s.queue) {
+				s.queue = s.queue[:0]
+				s.head = 0
+			}
+			return t
+		}
+		if s.stopped {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Scheduler) worker() {
+	for {
+		t := s.pop()
+		if t == nil {
+			return
+		}
+		t.state.Store(taskRunning)
+		s.busy.Add(1)
+		s.runSlice(t)
+		s.busy.Add(-1)
+	}
+}
+
+// runSlice feeds the task up to the entry budget, then decides its next
+// state: finish (closed log fully drained), requeue (entries pending),
+// or idle (nothing pending — raced against Wake via the state CAS).
+func (s *Scheduler) runSlice(t *Task) {
+	s.slices.Add(1)
+	n := 0
+	for n < s.budget {
+		e, ok := t.cur.TryNext()
+		if !ok {
+			break
+		}
+		t.engine.Feed(e)
+		n++
+	}
+	if n > 0 {
+		t.fed.Add(int64(n))
+		s.entries.Add(int64(n))
+		if t.onFed != nil {
+			t.onFed(n)
+		}
+	}
+	for {
+		pos := int64(t.cur.Pos())
+		if t.closing.Load() && pos >= t.closeTotal.Load() {
+			// Closed and drained: finish exactly once (the task runs on
+			// at most one worker, and taskDone stops future wakes).
+			t.state.Store(taskDone)
+			reports := t.engine.Finish()
+			s.tasks.Add(-1)
+			s.finished.Add(1)
+			t.done <- reports
+			return
+		}
+		if t.appended()-pos > 0 {
+			// Entries pending (TryNext may still have refused them: a
+			// sharded merge proves order lazily) — stay runnable. Yield
+			// when the slice made no progress so a not-yet-mergeable
+			// task does not monopolize its worker.
+			t.state.Store(taskQueued)
+			s.push(t)
+			if n == 0 {
+				runtime.Gosched()
+			}
+			return
+		}
+		// Nothing pending: transition to idle unless a wake raced in
+		// after the pending check (CAS fails, state is taskRunWake).
+		if t.state.CompareAndSwap(taskRunning, taskIdle) {
+			return
+		}
+		t.state.Store(taskRunning)
+	}
+}
+
+// Stats snapshots the pool gauges.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	runnable := len(s.queue) - s.head
+	s.mu.Unlock()
+	return SchedStats{
+		Workers:    s.workers,
+		Busy:       s.busy.Load(),
+		Runnable:   runnable,
+		Tasks:      s.tasks.Load(),
+		Slices:     s.slices.Load(),
+		EntriesFed: s.entries.Load(),
+		Finished:   s.finished.Load(),
+	}
+}
+
+// Stop shuts the pool down after every registered task has finished
+// (the server force-finishes sessions before calling it). Idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Quotas is a per-tenant admission and fairness policy. Zero values
+// mean unlimited. Enforcement never disconnects a live session: rate
+// and memory overruns are served as delayed acks (the existing resend
+// window backpressure), only admission of new sessions is refused.
+type Quotas struct {
+	// MaxSessions caps a tenant's concurrent sessions; the next Hello is
+	// rejected with reason "tenant-quota".
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// MaxEntriesPerSec caps a tenant's sustained aggregate ingest rate.
+	// Overruns pause the ingest loop (a token bucket with one second of
+	// burst), which delays acks and stalls the client's resend window.
+	MaxEntriesPerSec int `json:"max_entries_per_sec,omitempty"`
+	// MaxWindowBytes caps the tenant's aggregate retained window memory
+	// across its session logs; ingest pauses while over it.
+	MaxWindowBytes int64 `json:"max_window_bytes,omitempty"`
+}
+
+// Enabled reports whether any limit is set.
+func (q Quotas) Enabled() bool {
+	return q.MaxSessions > 0 || q.MaxEntriesPerSec > 0 || q.MaxWindowBytes > 0
+}
+
+// QuotaError is an admission refusal: the tenant is at its session cap.
+type QuotaError struct {
+	Tenant string
+	Limit  int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q is at its session quota (%d)", e.Tenant, e.Limit)
+}
+
+// DefaultTenant is the tenant token of a Hello that names none.
+const DefaultTenant = "default"
+
+// TenantMetrics is one tenant's slice of /metrics.
+type TenantMetrics struct {
+	Tenant        string `json:"tenant"`
+	Sessions      int64  `json:"sessions"`
+	SessionsTotal int64  `json:"sessions_total"`
+	Rejected      int64  `json:"rejected_total"`
+	ThrottleWaits int64  `json:"throttle_waits_total"`
+	Entries       int64  `json:"entries_total"`
+	// WindowBytes is the tenant's current retained window memory across
+	// its session logs (filled by the server, which owns the sessions).
+	WindowBytes int64 `json:"window_bytes"`
+}
+
+// TenantTable tracks per-tenant admission counts and rate buckets under
+// one shared quota policy.
+type TenantTable struct {
+	quotas Quotas
+	mu     sync.Mutex
+	m      map[string]*Tenant
+}
+
+// NewTenantTable builds a table enforcing q on every tenant.
+func NewTenantTable(q Quotas) *TenantTable {
+	return &TenantTable{quotas: q, m: make(map[string]*Tenant)}
+}
+
+// Quotas returns the shared policy.
+func (tt *TenantTable) Quotas() Quotas { return tt.quotas }
+
+// lookup returns (creating if needed) the tenant record for name.
+func (tt *TenantTable) lookup(name string) *Tenant {
+	if name == "" {
+		name = DefaultTenant
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	t := tt.m[name]
+	if t == nil {
+		t = &Tenant{name: name, quotas: tt.quotas}
+		tt.m[name] = t
+	}
+	return t
+}
+
+// Admit charges one session against the tenant's session quota,
+// returning the tenant record or a *QuotaError at the cap. The caller
+// must Release exactly once per successful Admit.
+func (tt *TenantTable) Admit(name string) (*Tenant, error) {
+	t := tt.lookup(name)
+	for {
+		cur := t.sessions.Load()
+		if tt.quotas.MaxSessions > 0 && cur >= int64(tt.quotas.MaxSessions) {
+			t.rejected.Add(1)
+			return nil, &QuotaError{Tenant: t.name, Limit: tt.quotas.MaxSessions}
+		}
+		if t.sessions.CompareAndSwap(cur, cur+1) {
+			t.sessionsTotal.Add(1)
+			return t, nil
+		}
+	}
+}
+
+// Snapshot lists every tenant's counters, sorted by name. WindowBytes
+// is zero here; the server overlays it from its session table.
+func (tt *TenantTable) Snapshot() []TenantMetrics {
+	tt.mu.Lock()
+	out := make([]TenantMetrics, 0, len(tt.m))
+	for _, t := range tt.m {
+		out = append(out, t.Metrics())
+	}
+	tt.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Tenant is one tenant token's live accounting.
+type Tenant struct {
+	name   string
+	quotas Quotas
+
+	sessions      atomic.Int64
+	sessionsTotal atomic.Int64
+	rejected      atomic.Int64
+	throttleWaits atomic.Int64
+	entries       atomic.Int64
+
+	// Token bucket for MaxEntriesPerSec: allowance is charged per batch
+	// and refilled by wall time; a negative balance converts to an
+	// ingest pause, which is what turns the quota into ack backpressure.
+	rateMu     sync.Mutex
+	allowance  float64
+	lastRefill time.Time
+}
+
+// Name returns the tenant token.
+func (t *Tenant) Name() string { return t.name }
+
+// Release returns one admitted session.
+func (t *Tenant) Release() { t.sessions.Add(-1) }
+
+// Sessions reports the tenant's live session count.
+func (t *Tenant) Sessions() int64 { return t.sessions.Load() }
+
+// ThrottleWaits reports how many ingest pauses the tenant has absorbed.
+func (t *Tenant) ThrottleWaits() int64 { return t.throttleWaits.Load() }
+
+// NoteThrottle records an ingest pause enforced outside the rate bucket
+// (the window-memory wait loop).
+func (t *Tenant) NoteThrottle() { t.throttleWaits.Add(1) }
+
+// RatePause charges n ingested entries against the tenant's rate quota
+// and returns how long the ingest loop must pause to stay within it
+// (zero when unlimited or within budget). Bursts up to one second of
+// quota pass untouched.
+func (t *Tenant) RatePause(n int) time.Duration {
+	t.entries.Add(int64(n))
+	rate := float64(t.quotas.MaxEntriesPerSec)
+	if rate <= 0 || n <= 0 {
+		return 0
+	}
+	t.rateMu.Lock()
+	defer t.rateMu.Unlock()
+	now := time.Now()
+	if t.lastRefill.IsZero() {
+		t.allowance = rate // one second of burst
+	} else {
+		t.allowance += now.Sub(t.lastRefill).Seconds() * rate
+		if t.allowance > rate {
+			t.allowance = rate
+		}
+	}
+	t.lastRefill = now
+	t.allowance -= float64(n)
+	if t.allowance >= 0 {
+		return 0
+	}
+	t.throttleWaits.Add(1)
+	return time.Duration(-t.allowance / rate * float64(time.Second))
+}
+
+// Metrics snapshots the tenant's counters (WindowBytes left to the
+// server overlay).
+func (t *Tenant) Metrics() TenantMetrics {
+	return TenantMetrics{
+		Tenant:        t.name,
+		Sessions:      t.sessions.Load(),
+		SessionsTotal: t.sessionsTotal.Load(),
+		Rejected:      t.rejected.Load(),
+		ThrottleWaits: t.throttleWaits.Load(),
+		Entries:       t.entries.Load(),
+	}
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantAdmitCap(t *testing.T) {
+	tt := NewTenantTable(Quotas{MaxSessions: 2})
+	a1, err := tt.Admit("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.Admit("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.Admit("acme"); err == nil {
+		t.Fatal("third session admitted past MaxSessions=2")
+	} else {
+		var qe *QuotaError
+		if !errors.As(err, &qe) || qe.Tenant != "acme" {
+			t.Fatalf("want *QuotaError for acme, got %v", err)
+		}
+	}
+	// Independent tenants have independent caps.
+	if _, err := tt.Admit("other"); err != nil {
+		t.Fatalf("unrelated tenant rejected: %v", err)
+	}
+	// Releasing frees a slot.
+	a1.Release()
+	if _, err := tt.Admit("acme"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+
+	m := a1.Metrics()
+	if m.Rejected != 1 || m.SessionsTotal != 3 || m.Sessions != 2 {
+		t.Fatalf("metrics %+v: want 1 rejection, 3 admits, 2 live", m)
+	}
+}
+
+func TestTenantAdmitConcurrent(t *testing.T) {
+	const cap = 16
+	tt := NewTenantTable(Quotas{MaxSessions: cap})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := tt.Admit("t"); err == nil {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != cap {
+		t.Fatalf("admitted %d concurrent sessions, cap is %d", admitted, cap)
+	}
+}
+
+func TestTenantRatePause(t *testing.T) {
+	tt := NewTenantTable(Quotas{MaxEntriesPerSec: 1000})
+	tn, err := tt.Admit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the one-second burst allowance: no pause.
+	if d := tn.RatePause(500); d != 0 {
+		t.Fatalf("pause %v while under burst", d)
+	}
+	// Blowing far past the allowance must demand a pause roughly equal to
+	// the time the overrun takes to earn back at the quota rate.
+	d := tn.RatePause(2000)
+	if d <= 0 {
+		t.Fatal("no pause after exceeding the rate")
+	}
+	if d > 5*time.Second {
+		t.Fatalf("pause %v absurdly long for a 1500-entry debt at 1000/s", d)
+	}
+	if tn.ThrottleWaits() == 0 {
+		t.Fatal("throttle not counted")
+	}
+}
+
+func TestTenantRateUnlimited(t *testing.T) {
+	tt := NewTenantTable(Quotas{})
+	tn, err := tt.Admit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tn.RatePause(1 << 20); d != 0 {
+		t.Fatalf("pause %v with no rate quota", d)
+	}
+}
+
+func TestTenantSnapshotSorted(t *testing.T) {
+	tt := NewTenantTable(Quotas{})
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := tt.Admit(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tt.Snapshot()
+	if len(snap) != 3 || snap[0].Tenant != "alpha" || snap[1].Tenant != "mid" || snap[2].Tenant != "zeta" {
+		t.Fatalf("snapshot not sorted by tenant: %+v", snap)
+	}
+}

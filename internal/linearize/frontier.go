@@ -136,15 +136,34 @@ func (c *Checker) closeInterval(seq int64) {
 	sort.Slice(seg, func(i, j int) bool { return seg[i].CallSeq < seg[j].CallSeq })
 	var next []carried
 	seen := make(map[uint64]bool)
+	merge := func(ends []Model) {
+		for _, m := range ends {
+			fp := m.Fingerprint()
+			if !seen[fp] {
+				seen[fp] = true
+				next = append(next, carried{model: m})
+			}
+		}
+	}
+	sig := segmentSignature(seg)
 	var spent int64
 	for _, st := range c.carried {
+		key := segKey{spec: c.sp.Name, start: st.model.Fingerprint(), sig: sig}
+		if ends, ok := segLookup(key); ok {
+			merge(ends)
+			continue
+		}
+		// Each frontier state searches into its own end set so the
+		// complete per-state result is cacheable; the frontier union is
+		// deduplicated in merge, same as the shared-set search did.
+		var local []carried
 		s := &searcher{
 			ops:       seg,
 			base:      c.segStart,
 			budget:    segmentBudget,
 			spent:     &spent,
-			ends:      &next,
-			endSeen:   seen,
+			ends:      &local,
+			endSeen:   make(map[uint64]bool),
 			prefix:    carried{model: st.model},
 			memo:      make(map[memoKey]bool),
 			collected: make(map[uint64]bool),
@@ -155,6 +174,12 @@ func (c *Checker) closeInterval(seq int64) {
 			c.deferred = true
 			return
 		}
+		ends := make([]Model, len(local))
+		for i := range local {
+			ends[i] = local[i].model
+		}
+		segStore(key, ends)
+		merge(ends)
 	}
 	c.states += spent
 	if len(next) == 0 {

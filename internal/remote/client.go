@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -134,6 +135,9 @@ type Client struct {
 	conn    net.Conn
 	fw      *frameWriter
 	session string
+	// addr is the server currently dialed; it moves when a clustered
+	// server answers the handshake with a redirect to the key's owner.
+	addr    string
 	failed  error
 	closed  bool
 	flusher bool
@@ -186,7 +190,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 			return net.DialTimeout("tcp", addr, DefaultDialTimeout)
 		}
 	}
-	c := &Client{opts: opts, bufBase: 1, verdictCh: make(chan struct{})}
+	c := &Client{opts: opts, addr: opts.Addr, bufBase: 1, verdictCh: make(chan struct{})}
 	c.session = opts.Session
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
@@ -481,10 +485,17 @@ func (c *Client) ship(min int) error {
 	}
 }
 
+// maxRedirects bounds how many handshake redirects one connect follows
+// before treating the loop as a cluster misconfiguration.
+const maxRedirects = 4
+
 // connect dials with exponential backoff, performs the handshake, rewinds
 // the send position to the server's resume point, and starts the reader.
+// A redirect reject (a clustered server naming the key's owner) moves the
+// client's address and re-dials without burning a retry attempt.
 func (c *Client) connect() error {
 	backoff := c.opts.BackoffBase
+	redirects := 0
 	for attempt := 1; ; attempt++ {
 		c.mu.Lock()
 		if c.failed != nil {
@@ -501,9 +512,10 @@ func (c *Client) connect() error {
 			return nil // another caller connected first
 		}
 		session := c.session
+		addr := c.addr
 		c.mu.Unlock()
 
-		conn, err := c.opts.Dial(c.opts.Addr)
+		conn, err := c.opts.Dial(addr)
 		if err == nil {
 			err = c.handshake(conn, session)
 			if err == nil {
@@ -515,7 +527,16 @@ func (c *Client) connect() error {
 			c.stats.dialFailures++
 			c.mu.Unlock()
 		}
-		if _, ok := err.(*rejectError); ok {
+		if re, ok := err.(*rejectError); ok {
+			if re.rej.Reason == RejectRedirect && re.rej.RedirectTo != "" && redirects < maxRedirects {
+				redirects++
+				c.logf("remote: redirected to %s (%d/%d)", re.rej.RedirectTo, redirects, maxRedirects)
+				c.mu.Lock()
+				c.addr = re.rej.RedirectTo
+				c.mu.Unlock()
+				attempt-- // a redirect is routing, not a failure
+				continue
+			}
 			return c.fail(err) // the server said no; retrying won't help
 		}
 		c.logf("remote: connect attempt %d/%d failed: %v", attempt, c.opts.MaxAttempts, err)
@@ -530,10 +551,23 @@ func (c *Client) connect() error {
 	}
 }
 
-// rejectError marks a server-side handshake refusal, which is terminal.
-type rejectError struct{ msg string }
+// rejectError marks a server-side handshake refusal, which is terminal
+// (after any redirect has been followed).
+type rejectError struct{ rej Reject }
 
-func (e *rejectError) Error() string { return "remote: server rejected session: " + e.msg }
+func (e *rejectError) Error() string { return "remote: server rejected session: " + e.rej.Error }
+
+// HandshakeReject unwraps a client error into the server's Reject, if
+// the error was a terminal handshake refusal. Callers distinguish a
+// quota refusal (retry later) or a redirect loop from transport
+// failures (fail over to another node).
+func HandshakeReject(err error) (Reject, bool) {
+	var re *rejectError
+	if errors.As(err, &re) {
+		return re.rej, true
+	}
+	return Reject{}, false
+}
 
 // handshake runs the preamble/Hello/Welcome exchange on a fresh
 // connection, installs it as current and spawns its reader goroutine.
@@ -559,9 +593,9 @@ func (c *Client) handshake(conn net.Conn, session string) error {
 	case frameReject:
 		var rej Reject
 		if json.Unmarshal(payload, &rej) == nil && rej.Error != "" {
-			return &rejectError{msg: rej.Error}
+			return &rejectError{rej: rej}
 		}
-		return &rejectError{msg: "unspecified"}
+		return &rejectError{rej: Reject{Error: "unspecified"}}
 	default:
 		return fmt.Errorf("remote: unexpected handshake frame %d", typ)
 	}

@@ -107,7 +107,30 @@ type Hello struct {
 	// the server can ack often enough that the client never stalls with
 	// every buffered entry unacknowledged.
 	Window int `json:"window,omitempty"`
+	// Tenant is the tenant token the session is accounted (and quota-
+	// enforced) under; empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Key is the session routing key. A clustered server hashes it onto
+	// the membership ring and rejects with a redirect when another node
+	// owns it; empty keys are always served locally.
+	Key string `json:"key,omitempty"`
+	// Failover asks a clustered server to serve the key even though the
+	// ring says another node owns it — set by a client that walked its
+	// preference list past an unreachable primary. The session-resume
+	// machinery (replay from sequence 1, duplicates skipped) makes the
+	// handoff lossless.
+	Failover bool `json:"failover,omitempty"`
 }
+
+// Reject reason codes (Reject.Reason).
+const (
+	// RejectRedirect: the ring owner of the Hello's Key is another node;
+	// RedirectTo names it and the client should re-dial there.
+	RejectRedirect = "redirect"
+	// RejectQuota: the tenant is at an admission quota; retrying later
+	// (after sessions finish) may succeed.
+	RejectQuota = "tenant-quota"
+)
 
 // Welcome is the server's handshake acceptance.
 type Welcome struct {
@@ -121,6 +144,12 @@ type Welcome struct {
 // Reject is the server's handshake refusal.
 type Reject struct {
 	Error string `json:"error"`
+	// Reason classifies the refusal (see the Reject* constants); empty
+	// for generic errors (unknown spec, version mismatch, draining).
+	Reason string `json:"reason,omitempty"`
+	// RedirectTo, set with RejectRedirect, is the cluster node that owns
+	// the session key.
+	RedirectTo string `json:"redirect_to,omitempty"`
 }
 
 // Verdict is the final answer of a session: one report per checked module

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/fleet"
 	"repro/internal/wal"
 )
 
@@ -47,6 +48,26 @@ type ServerOptions struct {
 	// DrainTimeout bounds Shutdown when its context has no earlier
 	// deadline (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// Workers > 0 switches session checking from goroutine-per-session
+	// to a fleet.Scheduler pool of that size: sessions become tasks,
+	// ingest wakes them, and a bounded worker set time-slices the
+	// runnable ones — the multi-tenant posture where thousands of
+	// mostly-idle sessions cost zero goroutines. 0 keeps the classic
+	// goroutine-per-session pipeline.
+	Workers int
+	// SliceBudget is the scheduler's per-slice entry budget
+	// (0 = fleet.DefaultSliceBudget); ignored without Workers.
+	SliceBudget int
+	// Quotas is the per-tenant admission/fairness policy (zero values
+	// mean unlimited). Sessions are accounted under Hello.Tenant.
+	Quotas fleet.Quotas
+	// Cluster is the static membership list of a routed vyrdd fleet;
+	// Self is this node's own address in it. When set, a Hello whose Key
+	// hashes to another node is rejected with a redirect (unless it is a
+	// failover or a resume), so every member plus every ring-aware
+	// client agrees on placement without coordination.
+	Cluster []string
+	Self    string
 	// Logf, when non-nil, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +85,13 @@ const (
 // if a drain deadline expires first.
 type Server struct {
 	opts ServerOptions
+
+	// sched is the bounded checker pool (nil in goroutine-per-session
+	// mode); tenants tracks per-tenant quotas; ring is the cluster
+	// placement function (nil when unclustered).
+	sched   *fleet.Scheduler
+	tenants *fleet.TenantTable
+	ring    *fleet.Ring
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -99,13 +127,31 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = DefaultDrainTimeout
 	}
-	return &Server{
+	s := &Server{
 		opts:      opts,
+		tenants:   fleet.NewTenantTable(opts.Quotas),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		sessions:  make(map[string]*session),
 		started:   time.Now(),
-	}, nil
+	}
+	if len(opts.Cluster) > 0 {
+		if opts.Self == "" {
+			return nil, fmt.Errorf("remote: ServerOptions.Self is required with Cluster")
+		}
+		ring, err := fleet.NewRing(opts.Cluster, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !ring.Contains(opts.Self) {
+			return nil, fmt.Errorf("remote: Self %q is not in Cluster %v", opts.Self, opts.Cluster)
+		}
+		s.ring = ring
+	}
+	if opts.Workers > 0 {
+		s.sched = fleet.NewScheduler(opts.Workers, opts.SliceBudget)
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -161,15 +207,31 @@ type session struct {
 	modular bool
 	started time.Time
 
-	log  wal.Backend
+	// tenant is the admission record the session is charged against
+	// (released exactly once when the session retires).
+	tenant     *fleet.Tenant
+	tenantName string
+
+	log wal.Backend
+	// cur is the checker pipeline's reader; its Pos is the consumption
+	// mark that window-memory accounting subtracts from recv.
+	cur  wal.Reader
 	wait func() []core.ModuleReport
+	// task is the session's scheduler handle (nil in goroutine mode);
+	// ingest wakes it after every append.
+	task *fleet.Task
 
 	// recv is the highest contiguous client sequence number ingested; it
 	// doubles as the resume point for reconnecting clients and the ack
-	// value.
+	// value. bytesIn is the encoded size of everything appended, the
+	// numerator of the retained-window byte estimate.
 	recv     atomic.Int64
+	bytesIn  atomic.Int64
 	ackEvery int64
-	lastAck  int64
+	// lastAck is atomic: a superseding connection can race the old one's
+	// in-flight batch, so two ingestAndAck calls may overlap briefly. A
+	// duplicate cumulative ack is harmless; a torn counter is not.
+	lastAck atomic.Int64
 
 	// ioMu serializes ingest batches against finishing (fin or drain
 	// force-finish), so the log is never closed mid-append.
@@ -214,6 +276,54 @@ func (ss *session) attached() (net.Conn, *frameWriter) {
 	return ss.conn, ss.fw
 }
 
+// windowBytes estimates the session's retained window memory: entries
+// ingested but not yet consumed by the checker, times the session's
+// observed mean encoded entry size. Cheap (three atomic loads), safe
+// from any goroutine, and what tenant window-memory quotas sum over.
+func (ss *session) windowBytes() int64 {
+	recv := ss.recv.Load()
+	if recv <= 0 {
+		return 0
+	}
+	retained := recv - int64(ss.cur.Pos())
+	if retained <= 0 {
+		return 0
+	}
+	return retained * (ss.bytesIn.Load() / recv)
+}
+
+// sessionEngine adapts the three session checker shapes (single
+// checker, linearizer, modular fan-out) onto fleet.Engine for the
+// scheduler. Exactly one of multi/checker is set.
+type sessionEngine struct {
+	multi   *core.Multi
+	checker core.EntryChecker
+	cur     wal.Reader
+}
+
+func (p *sessionEngine) Feed(e event.Entry) {
+	if p.multi != nil {
+		p.multi.FeedSync(e)
+		return
+	}
+	p.checker.Feed(e)
+}
+
+func (p *sessionEngine) Finish() []core.ModuleReport {
+	var logErr string
+	if err := p.cur.Err(); err != nil {
+		logErr = err.Error()
+	}
+	if p.multi != nil {
+		return p.multi.FinishSync(logErr)
+	}
+	rep := p.checker.Finish()
+	if logErr != "" && rep.LogErr == "" {
+		rep.LogErr = logErr
+	}
+	return []core.ModuleReport{{Report: rep}}
+}
+
 // newSession builds a session for a validated handshake: a windowed log,
 // the checker (or modular fan-out) over the named spec, and the pipeline
 // goroutine consuming the log's cursor.
@@ -222,42 +332,39 @@ func (s *Server) newSession(h Hello) (*session, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown spec %q (registered: %v)", h.Spec, s.opts.Registry.Names())
 	}
-	lg := wal.Open(wal.LevelView, wal.Options{
-		Window:      s.opts.Window,
-		SegmentSize: s.opts.SegmentSize,
-		Shards:      s.opts.Shards,
-		// Single-goroutine ingest of the client's ordered stream: ticket
-		// mode keeps the merged order identical to the wire order (see
-		// the ServerOptions.Shards comment).
-		Tickets: true,
-	})
-	cur := lg.Reader()
-	done := make(chan []core.ModuleReport, 1)
+
+	// Admission: charge the tenant's session quota before building any
+	// pipeline state; release on every failure path below.
+	ten, err := s.tenants.Admit(h.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	admitted := false
+	defer func() {
+		if !admitted {
+			ten.Release()
+		}
+	}()
+
+	// Resolve the checker shape first, so handshake errors (unknown
+	// mode, modular-only spec) surface before a log exists.
+	var (
+		multi   *core.Multi
+		checker core.EntryChecker
+	)
 	if h.Modular {
 		if f.NewModules == nil {
 			return nil, fmt.Errorf("spec %q has no modular decomposition", h.Spec)
 		}
-		m, err := core.NewMulti(f.NewModules()...)
+		multi, err = core.NewMulti(f.NewModules()...)
 		if err != nil {
 			return nil, err
 		}
-		go func() { done <- m.Run(cur) }()
 	} else if h.Mode == "linearize" {
 		if f.NewLinearizer == nil {
 			return nil, fmt.Errorf("spec %q does not support linearizability checking", h.Spec)
 		}
-		c := f.NewLinearizer()
-		go func() {
-			rep := core.RunChecker(c, cur)
-			// A violated linearizability verdict is final; keep draining the
-			// cursor so the window never wedges the ingest loop.
-			for {
-				if _, ok := cur.Next(); !ok {
-					break
-				}
-			}
-			done <- []core.ModuleReport{{Report: rep}}
-		}()
+		checker = f.NewLinearizer()
 	} else {
 		if f.NewSpec == nil {
 			return nil, fmt.Errorf("spec %q is modular-only", h.Spec)
@@ -280,37 +387,70 @@ func (s *Server) newSession(h Hello) (*session, error) {
 			return nil, fmt.Errorf("unknown mode %q (io, view or linearize)", h.Mode)
 		}
 		opts = append(opts, core.WithFailFast(h.FailFast))
-		c, err := core.New(f.NewSpec(), opts...)
+		checker, err = core.New(f.NewSpec(), opts...)
 		if err != nil {
 			return nil, err
 		}
-		go func() {
-			rep := c.Run(cur)
-			// A fail-fast checker stops consuming at its first violation;
-			// keep draining the cursor so the window never wedges the
-			// ingest loop (remaining entries are discarded, the verdict is
-			// already decided).
-			for {
-				if _, ok := cur.Next(); !ok {
-					break
-				}
-			}
-			done <- []core.ModuleReport{{Report: rep}}
-		}()
 	}
 
+	lg := wal.Open(wal.LevelView, wal.Options{
+		Window:      s.opts.Window,
+		SegmentSize: s.opts.SegmentSize,
+		Shards:      s.opts.Shards,
+		// Single-goroutine ingest of the client's ordered stream: ticket
+		// mode keeps the merged order identical to the wire order (see
+		// the ServerOptions.Shards comment).
+		Tickets: true,
+	})
+	cur := lg.Reader()
+
 	ss := &session{
-		spec:    h.Spec,
-		modular: h.Modular,
-		started: time.Now(),
-		log:     lg,
-		wait: func() []core.ModuleReport {
+		spec:       h.Spec,
+		modular:    h.Modular,
+		started:    time.Now(),
+		tenant:     ten,
+		tenantName: ten.Name(),
+		log:        lg,
+		cur:        cur,
+		ackEvery:   int64(s.opts.AckEvery),
+	}
+
+	if s.sched != nil {
+		// Scheduler mode: the session is a task; its checker runs in
+		// cooperative slices on the shared worker pool. The reader is
+		// only ever touched by the worker holding the task.
+		engine := &sessionEngine{multi: multi, checker: checker, cur: cur}
+		ss.task = s.sched.Register(cur, engine, ss.recv.Load, nil)
+		ss.wait = ss.task.Wait
+	} else {
+		// Goroutine mode: the classic one-pipeline-per-session shape.
+		done := make(chan []core.ModuleReport, 1)
+		if multi != nil {
+			m := multi
+			go func() { done <- m.Run(cur) }()
+		} else {
+			c := checker
+			go func() {
+				rep := core.RunChecker(c, cur)
+				// A fail-fast or violated checker stops consuming early;
+				// keep draining the cursor so the window never wedges
+				// the ingest loop (remaining entries are discarded, the
+				// verdict is already decided).
+				for {
+					if _, ok := cur.Next(); !ok {
+						break
+					}
+				}
+				done <- []core.ModuleReport{{Report: rep}}
+			}()
+		}
+		ss.wait = func() []core.ModuleReport {
 			reports := <-done
 			done <- reports // re-arm for idempotent waits
 			return reports
-		},
-		ackEvery: int64(s.opts.AckEvery),
+		}
 	}
+
 	if h.Window > 0 && int64(h.Window/4) < ss.ackEvery {
 		ss.ackEvery = int64(h.Window / 4)
 	}
@@ -322,12 +462,17 @@ func (s *Server) newSession(h Hello) (*session, error) {
 	if s.draining {
 		s.mu.Unlock()
 		lg.Close()
+		if ss.task != nil {
+			ss.task.Close(0)
+			ss.task.Wait()
+		}
 		return nil, fmt.Errorf("server is draining")
 	}
 	s.nextID++
 	ss.id = fmt.Sprintf("s%d", s.nextID)
 	s.sessions[ss.id] = ss
 	s.mu.Unlock()
+	admitted = true
 	s.sessionsStarted.Add(1)
 	return ss, nil
 }
@@ -345,11 +490,13 @@ func (ss *session) ingest(payload []byte) (int64, error) {
 	}
 	var n int64
 	for len(payload) > 0 {
+		frameLen := len(payload)
 		e, rest, err := event.DecodeEntryFrame(payload)
 		if err != nil {
 			return n, fmt.Errorf("remote: decode entry frame: %w", err)
 		}
 		payload = rest
+		frameLen -= len(rest)
 		recv := ss.recv.Load()
 		if e.Seq <= recv {
 			continue
@@ -359,6 +506,14 @@ func (ss *session) ingest(payload []byte) (int64, error) {
 		}
 		ss.log.Append(e)
 		ss.recv.Store(e.Seq)
+		ss.bytesIn.Add(int64(frameLen))
+		if ss.task != nil {
+			// Wake after every append, not per batch: if the next Append
+			// parks on a full window, the entries already published must
+			// each have had their wake, or an idle task would never
+			// drain them and the ingest loop would wedge.
+			ss.task.Wake()
+		}
 		n++
 	}
 	return n, nil
@@ -373,6 +528,11 @@ func (ss *session) finish() []core.ModuleReport {
 	if !ss.finished {
 		ss.finished = true
 		ss.log.Close()
+		if ss.task != nil {
+			// Tell the scheduler where the stream ends; a worker drains
+			// the tail and finishes the engine.
+			ss.task.Close(ss.recv.Load())
+		}
 		ss.reports = ss.wait()
 	}
 	return ss.reports
@@ -413,6 +573,11 @@ func (s *Server) handle(conn net.Conn) {
 		fw.writeJSON(frameReject, Reject{Error: msg})
 		return
 	}
+	if rej := s.routeReject(h); rej != nil {
+		s.logf("remote: %s: key %q redirected to %s", conn.RemoteAddr(), h.Key, rej.RedirectTo)
+		fw.writeJSON(frameReject, rej)
+		return
+	}
 
 	var ss *session
 	if h.Session != "" {
@@ -427,7 +592,12 @@ func (s *Server) handle(conn net.Conn) {
 		var err error
 		ss, err = s.newSession(h)
 		if err != nil {
-			fw.writeJSON(frameReject, Reject{Error: err.Error()})
+			rej := Reject{Error: err.Error()}
+			var qe *fleet.QuotaError
+			if errors.As(err, &qe) {
+				rej.Reason = RejectQuota
+			}
+			fw.writeJSON(frameReject, rej)
 			return
 		}
 	}
@@ -463,23 +633,72 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// ingestAndAck appends a batch and acks at the session's cadence.
+// ingestAndAck appends a batch and acks at the session's cadence,
+// enforcing the tenant's rate and window-memory quotas as ingest pauses
+// — delayed acks fill the client's resend window and stall its producer
+// through the wal sink, the same backpressure chain a slow checker
+// exerts, so a throttled tenant slows down instead of disconnecting.
 func (s *Server) ingestAndAck(ss *session, payload []byte) (int64, error) {
+	s.windowWait(ss)
 	n, err := ss.ingest(payload)
 	s.entriesTotal.Add(n)
 	if err != nil {
 		return n, err
 	}
-	if recv := ss.recv.Load(); recv-ss.lastAck >= ss.ackEvery {
+	if pause := ss.tenant.RatePause(int(n)); pause > 0 {
+		// Cap one batch's pause so the connection stays responsive; the
+		// unpaid debt carries over in the token bucket.
+		if pause > time.Second {
+			pause = time.Second
+		}
+		time.Sleep(pause)
+	}
+	if recv := ss.recv.Load(); recv-ss.lastAck.Load() >= ss.ackEvery {
 		_, fw := ss.attached()
 		if fw != nil {
 			if err := fw.writeAck(recv); err != nil {
 				return n, err
 			}
 		}
-		ss.lastAck = recv
+		ss.lastAck.Store(recv)
 	}
 	return n, nil
+}
+
+// windowWait pauses ingest while the session's tenant is over its
+// aggregate window-memory budget, until the checker pool has consumed
+// enough of the tenant's retained entries (or the server drains).
+func (s *Server) windowWait(ss *session) {
+	max := s.opts.Quotas.MaxWindowBytes
+	if max <= 0 {
+		return
+	}
+	for i := 0; ; i++ {
+		if s.tenantWindowBytes(ss.tenantName) <= max {
+			return
+		}
+		if i == 0 {
+			ss.tenant.NoteThrottle()
+		}
+		if s.isDraining() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// tenantWindowBytes sums the retained window memory of every live
+// session charged to the tenant.
+func (s *Server) tenantWindowBytes(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for _, ss := range s.sessions {
+		if ss.tenantName == tenant {
+			sum += ss.windowBytes()
+		}
+	}
+	return sum
 }
 
 // finishSession completes a session (fin path or drain force-finish),
@@ -509,6 +728,7 @@ func (s *Server) finishSession(ss *session, fw *frameWriter, drained bool) {
 	if live {
 		s.sessionsFinished.Add(1)
 		s.violationsTotal.Add(violations)
+		ss.tenant.Release()
 	}
 
 	if fw == nil {
@@ -521,6 +741,27 @@ func (s *Server) finishSession(ss *session, fw *frameWriter, drained bool) {
 	}
 	s.logf("remote: session %s finished: ok=%v violations=%d entries=%d drained=%v",
 		ss.id, verdict.Ok(), violations, ss.recv.Load(), drained)
+}
+
+// routeReject decides whether a Hello belongs on another cluster node:
+// a keyed, non-failover, non-resume handshake whose ring owner is not
+// this node gets a redirect. Failovers are honored anywhere (the client
+// walked its preference list past a dead primary), resumes are local by
+// construction (the session lives here), and keyless sessions are
+// served wherever they land.
+func (s *Server) routeReject(h Hello) *Reject {
+	if s.ring == nil || h.Key == "" || h.Failover || h.Session != "" {
+		return nil
+	}
+	owner := s.ring.Owner(h.Key)
+	if owner == s.opts.Self {
+		return nil
+	}
+	return &Reject{
+		Reason:     RejectRedirect,
+		RedirectTo: owner,
+		Error:      fmt.Sprintf("session key %q is owned by cluster node %s", h.Key, owner),
+	}
 }
 
 // Shutdown drains the server: listeners close (no new sessions), in-flight
@@ -582,6 +823,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	s.connWG.Wait()
+	if s.sched != nil {
+		// Every session is finished by now, so the pool's queue is dry.
+		s.sched.Stop()
+	}
 	return ctx.Err()
 }
 
@@ -611,15 +856,19 @@ func (s *Server) Health() Health {
 
 // SessionMetrics is the per-session slice of /metrics.
 type SessionMetrics struct {
-	ID            string          `json:"id"`
-	Spec          string          `json:"spec"`
-	Modular       bool            `json:"modular,omitempty"`
-	Connected     bool            `json:"connected"`
-	Entries       int64           `json:"entries"`
-	EntriesPerSec float64         `json:"entries_per_sec"`
-	VerifierLag   int64           `json:"verifier_lag"`
-	Log           wal.Stats       `json:"log"`
-	Reports       []SessionReport `json:"reports,omitempty"`
+	ID            string  `json:"id"`
+	Spec          string  `json:"spec"`
+	Tenant        string  `json:"tenant,omitempty"`
+	Modular       bool    `json:"modular,omitempty"`
+	Connected     bool    `json:"connected"`
+	Entries       int64   `json:"entries"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	VerifierLag   int64   `json:"verifier_lag"`
+	// WindowBytes estimates the session's retained window memory:
+	// ingested-but-unchecked entries times the mean encoded entry size.
+	WindowBytes int64           `json:"window_bytes"`
+	Log         wal.Stats       `json:"log"`
+	Reports     []SessionReport `json:"reports,omitempty"`
 }
 
 // SessionReport pairs a module name with its report summary — the shared
@@ -631,14 +880,19 @@ type SessionReport struct {
 
 // Metrics is the /metrics body.
 type Metrics struct {
-	UptimeSeconds    float64          `json:"uptime_seconds"`
-	SessionsActive   int              `json:"sessions_active"`
-	SessionsStarted  int64            `json:"sessions_started"`
-	SessionsFinished int64            `json:"sessions_finished"`
-	EntriesTotal     int64            `json:"entries_total"`
-	ViolationsTotal  int64            `json:"violations_total"`
-	Sessions         []SessionMetrics `json:"sessions"`
-	Finished         []SessionMetrics `json:"finished,omitempty"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	SessionsActive   int     `json:"sessions_active"`
+	SessionsStarted  int64   `json:"sessions_started"`
+	SessionsFinished int64   `json:"sessions_finished"`
+	EntriesTotal     int64   `json:"entries_total"`
+	ViolationsTotal  int64   `json:"violations_total"`
+	// Sched is the checker pool snapshot (nil in goroutine mode).
+	Sched *fleet.SchedStats `json:"sched,omitempty"`
+	// Tenants lists per-tenant admission/throttle counters with their
+	// live retained-window bytes overlaid.
+	Tenants  []fleet.TenantMetrics `json:"tenants,omitempty"`
+	Sessions []SessionMetrics      `json:"sessions"`
+	Finished []SessionMetrics      `json:"finished,omitempty"`
 }
 
 // sessionMetricsLocked snapshots one session; the caller holds s.mu.
@@ -653,11 +907,13 @@ func (s *Server) sessionMetricsLocked(ss *session) SessionMetrics {
 	return SessionMetrics{
 		ID:            ss.id,
 		Spec:          ss.spec,
+		Tenant:        ss.tenantName,
 		Modular:       ss.modular,
 		Connected:     conn != nil,
 		Entries:       ss.recv.Load(),
 		EntriesPerSec: eps,
 		VerifierLag:   stats.MaxVerifierLag,
+		WindowBytes:   ss.windowBytes(),
 		Log:           stats,
 	}
 }
@@ -682,11 +938,22 @@ func (s *Server) Metrics() Metrics {
 		EntriesTotal:     s.entriesTotal.Load(),
 		ViolationsTotal:  s.violationsTotal.Load(),
 	}
+	windowByTenant := make(map[string]int64)
 	for _, ss := range s.sessions {
-		m.Sessions = append(m.Sessions, s.sessionMetricsLocked(ss))
+		sm := s.sessionMetricsLocked(ss)
+		windowByTenant[ss.tenantName] += sm.WindowBytes
+		m.Sessions = append(m.Sessions, sm)
 	}
 	m.Finished = append(m.Finished, s.recent...)
 	s.mu.Unlock()
+	if s.sched != nil {
+		st := s.sched.Stats()
+		m.Sched = &st
+	}
+	m.Tenants = s.tenants.Snapshot()
+	for i := range m.Tenants {
+		m.Tenants[i].WindowBytes = windowByTenant[m.Tenants[i].Tenant]
+	}
 	sortSessionMetrics(m.Sessions)
 	return m
 }
