@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke tables examples check clean
 
 all: check
 
@@ -33,7 +33,7 @@ bench-smoke:
 # including exploration throughput, shrink results and the sink-codec
 # durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR8.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR9.json
 	$(GO) test -run=NONE -bench 'AppendParallel|OnlinePipeline' -cpu 1,4,8 ./internal/wal/
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
@@ -47,6 +47,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzReproRoundTrip$$' -fuzztime=5s ./internal/sched/
 	$(GO) test -run=NONE -fuzz='^FuzzLinearizeArbitraryHistory$$' -fuzztime=10s ./internal/linearize/
 	$(GO) test -run=NONE -fuzz='^FuzzShardMerge$$' -fuzztime=10s ./internal/wal/
+	$(GO) test -run=NONE -fuzz='^FuzzParseProp$$' -fuzztime=10s ./internal/ltl/
 
 # Race-enabled loopback round trip through the remote verification service:
 # a concurrent harness run of the composed subject shipped over TCP to a
@@ -102,6 +103,20 @@ fleet-smoke:
 	$(GO) test -race -count=1 -run '^TestTenant|^TestCluster|^TestSessionSupersedeRace$$|^TestOpsPrometheusText$$' ./internal/remote/
 	$(GO) test -race -count=1 -run '^TestSegment' ./internal/linearize/
 
+# Race-enabled temporal-engine smoke: the property parser/evaluator
+# suites and the ledger subject under the detector (the planted lock
+# inversion is hint-gated and race-clean by design), the built-in
+# property library clean across offline/online/vyrdd legs for every
+# registry subject, and the schedule search finding + shrinking +
+# replaying the planted lock-order inversion (vyrdx exits 2 on a found
+# violation, hence the inverted exit check). CI runs this.
+ltl-smoke:
+	$(GO) test -race -count=1 ./internal/ltl/ ./internal/ledger/
+	$(GO) test -race -count=1 -run '^TestTemporalCleanSubjects$$|^TestTemporalPropsOverride$$' ./internal/bench/
+	$(GO) test -count=1 -run '^TestExploreTemporalFindsLockReversal$$' ./internal/explore/
+	$(GO) build -o vyrdx.smoke ./cmd/vyrdx
+	./vyrdx.smoke -mode ltl -seeds 300 -stress 100 > /dev/null; st=$$?; rm -f vyrdx.smoke; test $$st -eq 2
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -113,7 +128,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

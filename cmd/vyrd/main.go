@@ -13,7 +13,14 @@
 // linearizability engine, which reads call/return actions alone and so also
 // verifies subjects with no commit-point annotations (try
 // -subject Multiset-NoCommit, whose instrumentation refinement rejects by
-// construction). -online checks concurrently with the workload on a
+// construction). -mode=ltl runs the temporal engine instead: streaming LTL3
+// properties over the execution log (internal/ltl), either the subject's
+// built-in property set or a property file given with -props:
+//
+//	vyrd -subject Ledger-LockPair -mode ltl
+//	vyrd -subject Multiset-Array -mode ltl -props props.ltl
+//
+// -online checks concurrently with the workload on a
 // verification goroutine instead of offline from the recorded log; -save
 // persists the log for later offline checking with -load ("-load -" streams
 // the log from stdin). Loaded binary logs decode on a parallel worker pool
@@ -56,7 +63,8 @@ func main() {
 		ops     = flag.Int("ops", 400, "method calls per thread")
 		pool    = flag.Int("pool", 16, "key pool size (shrinks over the run)")
 		seed    = flag.Int64("seed", 1, "harness random seed")
-		mode    = flag.String("mode", "view", "verdict mode: io or view refinement, or linearize (commit-annotation-free linearizability)")
+		mode    = flag.String("mode", "view", "verdict mode: io or view refinement, linearize (commit-annotation-free linearizability), or ltl (temporal properties)")
+		props   = flag.String("props", "", "property file for -mode=ltl (default: the subject's built-in property set)")
 		online  = flag.Bool("online", false, "check online, concurrently with the workload")
 		failFst = flag.Bool("failfast", true, "stop at the first violation")
 		save    = flag.String("save", "", "persist the recorded log to this file")
@@ -76,6 +84,9 @@ func main() {
 		for _, s := range bench.AllSubjects() {
 			fmt.Printf("%-24s injected error: %s\n", s.Name, s.BugName)
 		}
+		for _, s := range bench.TemporalSubjects() {
+			fmt.Printf("%-24s injected error: %s (temporal)\n", s.Name, s.BugName)
+		}
 		for _, s := range bench.LinearizeOnlySubjects() {
 			fmt.Printf("%-24s injected error: %s (linearize-only)\n", s.Name, s.BugName)
 		}
@@ -93,7 +104,7 @@ func main() {
 	}
 
 	var checkMode core.Mode
-	lin := false
+	lin, temporal := false, false
 	switch *mode {
 	case "io":
 		checkMode = core.ModeIO
@@ -101,8 +112,10 @@ func main() {
 		checkMode = core.ModeView
 	case "linearize":
 		lin = true
+	case "ltl":
+		temporal = true
 	default:
-		fmt.Fprintf(os.Stderr, "vyrd: unknown mode %q (io, view or linearize)\n", *mode)
+		fmt.Fprintf(os.Stderr, "vyrd: unknown mode %q (io, view, linearize or ltl)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -121,8 +134,30 @@ func main() {
 		return linearize.CheckEntries(entries, linSpec, linearize.Options{MaxStates: linearizeStates})
 	}
 
+	// -mode=ltl swaps in the temporal engine: streaming LTL3 properties
+	// over the raw log. -props overrides the subject's built-in set.
+	var propSet *vyrd.PropSet
+	if temporal {
+		var sources []string
+		if *props != "" {
+			data, err := os.ReadFile(*props)
+			if err != nil {
+				fatal(err)
+			}
+			sources = []string{string(data)}
+		}
+		var err error
+		propSet, err = bench.NewTemporalSet(*subject, sources)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	checkLTL := func(entries []vyrd.Entry) *vyrd.Report {
+		return vyrd.CheckTemporal(propSet, entries)
+	}
+
 	var opts []vyrd.Option
-	if !lin {
+	if !lin && !temporal {
 		opts = []vyrd.Option{vyrd.WithMode(checkMode), vyrd.WithFailFast(*failFst), vyrd.WithDiagnostics(true)}
 		if checkMode == core.ModeView {
 			opts = append(opts, vyrd.WithReplayer(target.NewReplayer()))
@@ -158,7 +193,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if *codec == "binary" && !*dump && !lin {
+		if *codec == "binary" && !*dump && !lin && !temporal {
 			// Stream straight into the checker: the parallel decode pool
 			// feeds the sequential checker without materializing the log.
 			report, err := vyrd.CheckStream(f, *workers, target.NewSpec(), opts...)
@@ -190,6 +225,9 @@ func main() {
 		if lin {
 			finish(checkLin(entries))
 		}
+		if temporal {
+			finish(checkLTL(entries))
+		}
 		report, err := vyrd.CheckEntries(entries, target.NewSpec(), opts...)
 		if err != nil {
 			fatal(err)
@@ -197,13 +235,19 @@ func main() {
 		finish(report)
 	}
 
+	runLevel := levelFor(checkMode)
+	if temporal {
+		// Temporal properties read write actions (lock events, commit
+		// payloads), so the run must capture at the view level.
+		runLevel = vyrd.LevelView
+	}
 	cfg := harness.Config{
 		Threads:      *threads,
 		OpsPerThread: *ops,
 		KeyPool:      *pool,
 		Shrink:       true,
 		Seed:         *seed,
-		Level:        levelFor(checkMode),
+		Level:        runLevel,
 	}
 
 	// With -save the log runs fail-stop: a sink that can no longer persist
@@ -229,6 +273,8 @@ func main() {
 	if *online {
 		if lin {
 			wait = log.StartEntryChecker(linearize.NewChecker(linSpec, linearize.Options{MaxStates: linearizeStates}))
+		} else if temporal {
+			wait = log.StartEntryChecker(vyrd.NewTemporalChecker(propSet, *failFst))
 		} else {
 			var err error
 			wait, err = log.StartChecker(target.NewSpec(), opts...)
@@ -254,6 +300,8 @@ func main() {
 		report = wait()
 	case lin:
 		report = checkLin(log.Snapshot())
+	case temporal:
+		report = checkLTL(log.Snapshot())
 	default:
 		var err error
 		report, err = vyrd.CheckEntries(log.Snapshot(), target.NewSpec(), opts...)

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize, append, fleet or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, log, explore, durability, linearize, append, fleet, ltl or all")
 		reps       = flag.Int("reps", 0, "repetitions per cell (0 = per-table default)")
 		ops        = flag.Int("ops", 0, "Table 1/2 and log-pipeline ops per thread (0 = default)")
 		scale      = flag.Int("scale", 0, "Table 3 method-count scale factor (0 = default)")
@@ -194,6 +194,35 @@ func main() {
 		bench.WriteFleetTable(os.Stdout, rows)
 	}
 
+	runLTL := func() {
+		cfg := bench.DefaultLTLConfig()
+		cfg.Seed = *seed
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *ops > 0 {
+			cfg.OpsPerThread = *ops
+		}
+		if *subject != "" {
+			cfg.Subject = *subject
+		}
+		rows, err := bench.LTLTable(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: ltl: %v\n", err)
+			os.Exit(1)
+		}
+		snap.LTL = rows
+		bench.WriteLTLTable(os.Stdout, cfg, rows)
+		orows, err := bench.LTLOnlineTable(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdbench: ltl online: %v\n", err)
+			os.Exit(1)
+		}
+		snap.LTLOnline = orows
+		fmt.Println()
+		bench.WriteLTLOnlineTable(os.Stdout, orows)
+	}
+
 	runDurability := func() {
 		cfg := bench.DefaultDurabilityConfig()
 		cfg.Seed = *seed
@@ -223,6 +252,8 @@ func main() {
 		runAppendScaling()
 	case "fleet":
 		runFleet()
+	case "ltl":
+		runLTL()
 	case "all":
 		runTable1()
 		fmt.Println()
@@ -241,8 +272,10 @@ func main() {
 		runAppendScaling()
 		fmt.Println()
 		runFleet()
+		fmt.Println()
+		runLTL()
 	default:
-		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize, append, fleet or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "vyrdbench: unknown table %q (1, 2, 3, log, explore, durability, linearize, append, fleet, ltl or all)\n", *table)
 		os.Exit(2)
 	}
 

@@ -38,7 +38,7 @@ func run(args []string) int {
 		nodesCSV = fs.String("nodes", "", "comma-separated cluster membership; overrides -addr and routes sessions by key")
 		n        = fs.Int("n", 1000, "concurrent sessions to open")
 		subject  = fs.String("subject", "Multiset-Array", "registry subject whose recorded log each session streams")
-		mode     = fs.String("mode", "", "verdict mode per session (io, view, linearize; empty = server default)")
+		mode     = fs.String("mode", "", "verdict mode per session (io, view, linearize, ltl; empty = server default)")
 		tenant   = fs.String("tenant", "load", "tenant token the sessions are accounted under")
 		seed     = fs.Int64("seed", 1, "harness seed for the recorded log")
 		window   = fs.Int("window", 1<<10, "per-session client resend window")

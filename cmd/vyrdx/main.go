@@ -8,6 +8,17 @@
 //	vyrdx -repro 'vyrdsched/1;subject=...;...'   replay one schedule
 //	vyrdx -stress 200              uncontrolled-stress comparison runs
 //
+// With -mode=ltl the search target changes engine: each schedule's log is
+// checked against temporal (LTL3) properties instead of the refinement
+// checker — the subject's built-in property set (internal/bench), or a
+// property file given with -props. The default subject list becomes the
+// temporal planted-bug subjects (e.g. Ledger-LockPair, whose hint-gated
+// reversed lock acquisition corrupts no state and is invisible to
+// refinement, but leaves a lock-order inversion in the log):
+//
+//	vyrdx -mode ltl                find the planted lock-order inversion
+//	vyrdx -mode ltl -repro '...'   replay a temporal witness
+//
 // Exit code 0 means no violation was found (or a replayed schedule
 // passed); 2 means a violation was found (or replayed); 1 is an error.
 package main
@@ -23,6 +34,29 @@ import (
 	"repro/internal/sched"
 )
 
+// verifierFor resolves the verdict engine for one subject: refinement, or
+// the temporal engine over the subject's built-in or file-provided
+// property set.
+func verifierFor(mode, propsFile, subject string) (explore.Verifier, error) {
+	switch mode {
+	case "refine":
+		return explore.Refinement(), nil
+	case "ltl":
+		var sources []string
+		if propsFile != "" {
+			data, err := os.ReadFile(propsFile)
+			if err != nil {
+				return nil, err
+			}
+			sources = []string{string(data)}
+		} else {
+			sources = bench.BuiltinProps(subject)
+		}
+		return explore.Temporal(sources)
+	}
+	return nil, fmt.Errorf("unknown mode %q (refine or ltl)", mode)
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -36,16 +70,22 @@ func run() int {
 		shrink   = flag.Bool("shrink", true, "minimize each violating schedule before reporting")
 		stress   = flag.Int("stress", 0, "additionally run N uncontrolled stress iterations per subject for comparison")
 		buggy    = flag.Bool("buggy", true, "explore the buggy variant of each subject (false: the correct one)")
+		mode     = flag.String("mode", "refine", "verdict engine: refine (refinement checker) or ltl (temporal properties)")
+		props    = flag.String("props", "", "property file for -mode=ltl (default: each subject's built-in property set)")
 	)
 	flag.Parse()
 
 	if *repro != "" {
-		return replay(*repro, *buggy)
+		return replay(*repro, *buggy, *mode, *props)
 	}
 
 	var subs []bench.Subject
 	if *subjects == "" {
-		subs = bench.ExplorationSubjects()
+		if *mode == "ltl" {
+			subs = bench.TemporalSubjects()
+		} else {
+			subs = bench.ExplorationSubjects()
+		}
 	} else {
 		for _, name := range strings.Split(*subjects, ",") {
 			s, ok := bench.SubjectByName(strings.TrimSpace(name))
@@ -65,8 +105,13 @@ func run() int {
 		}
 		base := bench.ExploreSpec(s.Name)
 		base.Seed = *seed
+		verifier, err := verifierFor(*mode, *props, s.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vyrdx: %s: %v\n", s.Name, err)
+			return 1
+		}
 
-		found, st, err := explore.Explore(tgt, base, *seeds)
+		found, st, err := explore.ExploreWith(tgt, base, *seeds, verifier)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vyrdx: %s: %v\n", s.Name, err)
 			return 1
@@ -81,7 +126,7 @@ func run() int {
 				s.Name, found.Run.FirstKind(), found.SchedulesTried, *seeds, found.Run.Sched.Steps)
 			rep := found.Run
 			if *shrink {
-				min, shr, err := explore.ShrinkRun(tgt, found.Run)
+				min, shr, err := explore.ShrinkRunWith(tgt, found.Run, verifier)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "vyrdx: %s: shrink: %v\n", s.Name, err)
 					return 1
@@ -90,14 +135,14 @@ func run() int {
 					s.Name, shr.StepsBefore, shr.StepsAfter, shr.Runs)
 				rep = min
 			}
-			if err := explore.WriteReport(os.Stdout, tgt, rep); err != nil {
+			if err := explore.WriteReportWith(os.Stdout, tgt, rep, verifier); err != nil {
 				fmt.Fprintf(os.Stderr, "vyrdx: %s: report: %v\n", s.Name, err)
 				return 1
 			}
 		}
 
 		if *stress > 0 {
-			at, elapsed, err := explore.Stress(tgt, base, *stress)
+			at, elapsed, err := explore.StressWith(tgt, base, *stress, verifier)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vyrdx: %s: stress: %v\n", s.Name, err)
 				return 1
@@ -119,7 +164,7 @@ func run() int {
 
 // replay parses a repro string, runs it twice, verifies the runs agree
 // byte-for-byte, and prints the report.
-func replay(s string, buggy bool) int {
+func replay(s string, buggy bool, mode, props string) int {
 	sp, err := sched.ParseRepro(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
@@ -134,7 +179,12 @@ func replay(s string, buggy bool) int {
 	if !buggy {
 		tgt = sub.Correct
 	}
-	r1, err := explore.RunSpec(tgt, sp)
+	verifier, err := verifierFor(mode, props, sub.Name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
+		return 1
+	}
+	r1, err := explore.RunSpecWith(tgt, sp, verifier)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
 		return 1
@@ -143,7 +193,7 @@ func replay(s string, buggy bool) int {
 		fmt.Fprintf(os.Stderr, "vyrdx: schedule fell back to free-running; not reproducible\n")
 		return 1
 	}
-	r2, err := explore.RunSpec(tgt, sp)
+	r2, err := explore.RunSpecWith(tgt, sp, verifier)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vyrdx: %v\n", err)
 		return 1
@@ -154,7 +204,7 @@ func replay(s string, buggy bool) int {
 	}
 	fmt.Printf("replayed twice, byte-identical (%d entries, %d bytes)\n",
 		len(r1.Entries), len(r1.LogBytes))
-	if err := explore.WriteReport(os.Stdout, tgt, r1); err != nil {
+	if err := explore.WriteReportWith(os.Stdout, tgt, r1, verifier); err != nil {
 		fmt.Fprintf(os.Stderr, "vyrdx: report: %v\n", err)
 		return 1
 	}

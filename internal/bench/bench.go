@@ -21,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/jsbuffer"
 	"repro/internal/jvector"
+	"repro/internal/ledger"
 	"repro/internal/mstree"
 	"repro/internal/msvector"
 	"repro/internal/multiset"
@@ -139,6 +140,23 @@ func ExplorationSubjects() []Subject {
 	}
 }
 
+// TemporalSubjects returns the planted-bug variants aimed at the temporal
+// engine (ModeLTL): bugs that corrupt no state — refinement and
+// linearizability stay clean — but leave a forbidden pattern in the log.
+// The ledger's reversed lock acquisition is the canonical example: the
+// transfer still moves the money atomically, only the locking discipline
+// (observable through its lock-acq/lock-rel write actions) is broken.
+func TemporalSubjects() []Subject {
+	return []Subject{
+		{
+			Name:    "Ledger-LockPair",
+			BugName: "Hint-gated reversed lock order in Transfer (no Gosched window)",
+			Correct: ledger.Target(ledger.BugNone),
+			Buggy:   ledger.Target(ledger.BugReversedLocks),
+		},
+	}
+}
+
 // LinearizeOnlySubjects returns subjects only the linearizability engine
 // can verify: their instrumentation is call/return-only (no commit
 // actions), so refinement rejects every run by construction
@@ -161,6 +179,7 @@ func LinearizeOnlySubjects() []Subject {
 // linearize-only subjects.
 func SubjectByName(name string) (Subject, bool) {
 	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, TemporalSubjects()...)
 	all = append(all, LinearizeOnlySubjects()...)
 	for _, s := range all {
 		if s.Name == name {

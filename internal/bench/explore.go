@@ -24,6 +24,11 @@ func ExploreSpec(subject string) sched.Spec {
 		// Fewer, fatter ops: each Write copies a 32-byte buffer with
 		// yields inside, so schedules are long per op.
 		sp.Ops, sp.KeyPool = 6, 6
+	case "Ledger-LockPair":
+		// The inversion needs a Deposit parked in its one-yield hint
+		// window while another thread runs a whole Transfer; short
+		// schedules with frequent transfers reach it quickly.
+		sp.Ops, sp.K = 10, 200
 	}
 	return sp
 }

@@ -67,7 +67,7 @@ func DifferentialScheduled(subject string, t harness.Target, entries []vyrd.Entr
 	lg := wal.Open(wal.LevelView, wal.Options{Window: 1 << 12})
 	cur := lg.Reader()
 	var recv atomic.Int64
-	task := sched.Register(cur, &multiEngine{m: m, cur: cur}, recv.Load, nil)
+	task := sched.Register(subject, cur, &multiEngine{m: m, cur: cur}, recv.Load, nil)
 	go func() {
 		for _, e := range entries {
 			lg.Append(e)

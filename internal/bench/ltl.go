@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/ltl"
+)
+
+// harnessTids is the application thread-id range the harness assigns
+// (probes are numbered from 1; every bench run uses at most 4 application
+// threads). Built-in properties are instantiated per tid, so the list must
+// cover the tids that actually appear; extra tids cost one vacuous monitor
+// each. Maintenance-worker tids are deliberately not covered: worker
+// activity (e.g. Compress) follows a different call discipline.
+var harnessTids = []int{1, 2, 3, 4}
+
+// ledgerLocks enumerates the ledger's lock identifiers.
+func ledgerLocks() []int {
+	locks := make([]int, ledger.NumAccounts)
+	for i := range locks {
+		locks[i] = i
+	}
+	return locks
+}
+
+// BuiltinProps returns the built-in temporal property sources for a
+// registered subject: every subject gets the call-eventually-returns
+// liveness set; subjects whose mutator inventory is known additionally get
+// the commit-before-return discipline, and the ledger gets its lock-order
+// and seal-latch properties. The clean-subject suite pins that none of
+// these is ever violated on a correct run.
+func BuiltinProps(subject string) []string {
+	props := ltl.CallsReturnProps(harnessTids)
+	switch subject {
+	case "Ledger-LockPair":
+		props = append(props,
+			ltl.LockReversalProp("no-lock-reversal", ledger.LockAcqOp, ledger.LockRelOp,
+				ledgerLocks(), harnessTids))
+		props = append(props,
+			ltl.CommitBeforeReturnProps([]string{"Deposit", "Transfer", "Seal"}, harnessTids)...)
+		props = append(props,
+			ltl.SealedKeyProps(ledger.SetOp, ledger.SealOp, ledgerLocks())...)
+	case "Multiset-Array", "Multiset-TornPair":
+		props = append(props,
+			ltl.CommitBeforeReturnProps([]string{"Insert", "InsertPair", "Delete"}, harnessTids)...)
+	}
+	return props
+}
+
+// NewTemporalSet parses the property sources for a subject: the caller's
+// own properties when given, the subject's built-ins otherwise.
+func NewTemporalSet(subject string, props []string) (*ltl.Set, error) {
+	if len(props) == 0 {
+		props = BuiltinProps(subject)
+	}
+	set := ltl.NewSet()
+	for _, src := range props {
+		if err := set.AddSource(src); err != nil {
+			return nil, fmt.Errorf("subject %s: %w", subject, err)
+		}
+	}
+	if len(set.Props()) == 0 {
+		return nil, fmt.Errorf("subject %s: empty property set", subject)
+	}
+	return set, nil
+}
+
+// NewTemporal builds the remote.SpecFactory hook for "ltl" sessions
+// against the named subject.
+func NewTemporal(subject string) func(props []string, failFast bool) (core.EntryChecker, error) {
+	return func(props []string, failFast bool) (core.EntryChecker, error) {
+		set, err := NewTemporalSet(subject, props)
+		if err != nil {
+			return nil, err
+		}
+		return ltl.NewChecker(set, ltl.WithFailFast(failFast)), nil
+	}
+}

@@ -1,0 +1,146 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/harness"
+	"repro/internal/ltl"
+	"repro/internal/remote"
+	"repro/vyrd"
+)
+
+// temporalCleanSubjects is every subject the registry serves, i.e. every
+// name a vyrdd client can open an "ltl" session against.
+func temporalCleanSubjects() []bench.Subject {
+	all := append(bench.AllSubjects(), bench.ExplorationSubjects()...)
+	all = append(all, bench.TemporalSubjects()...)
+	all = append(all, bench.LinearizeOnlySubjects()...)
+	return all
+}
+
+// remoteTemporal ships a recorded log to the server as an "ltl" session
+// (built-in property set) and returns the remote verdict report.
+func remoteTemporal(t *testing.T, addr, subject string, entries []vyrd.Entry) *core.Report {
+	t.Helper()
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr:  addr,
+		Hello: remote.Hello{Spec: subject, Mode: "ltl"},
+	})
+	if err != nil {
+		t.Fatalf("%s: NewClient: %v", subject, err)
+	}
+	for _, e := range entries {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("%s: WriteEntry #%d: %v", subject, e.Seq, err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("%s: Flush: %v", subject, err)
+	}
+	v := cl.Verdict()
+	if v == nil {
+		t.Fatalf("%s: no remote verdict", subject)
+	}
+	return v.Report()
+}
+
+func assertNoTemporalViolation(t *testing.T, subject, leg string, rep *core.Report) {
+	t.Helper()
+	if rep == nil {
+		t.Fatalf("%s/%s: no report", subject, leg)
+	}
+	if rep.Mode != core.ModeLTL {
+		t.Fatalf("%s/%s: mode %v, want ltl", subject, leg, rep.Mode)
+	}
+	if rep.PropsViolated != 0 || rep.TotalViolations != 0 {
+		t.Fatalf("%s/%s: built-in property refuted on a correct run: %s", subject, leg, rep)
+	}
+	total := rep.PropsSatisfied + rep.PropsViolated + rep.PropsInconclusive
+	if total == 0 {
+		t.Fatalf("%s/%s: no properties monitored", subject, leg)
+	}
+}
+
+// TestTemporalCleanSubjects pins the built-in property library sound on
+// correct implementations: for every registry subject, a clean run reports
+// every property satisfied or inconclusive — never violated — through all
+// three deployment surfaces (offline over recorded entries, online through
+// the wal pipeline, and a vyrdd "ltl" session).
+func TestTemporalCleanSubjects(t *testing.T) {
+	addr := startDiffServer(t)
+	for _, s := range temporalCleanSubjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			set, err := bench.NewTemporalSet(s.Name, nil)
+			if err != nil {
+				t.Fatalf("built-in props: %v", err)
+			}
+
+			// Offline over a recorded clean run.
+			entries := bench.CleanRun(s, 7)
+			assertNoTemporalViolation(t, s.Name, "offline", ltl.CheckEntries(set, entries))
+
+			// Online: the checker rides the wal cursor while the workload
+			// runs.
+			set2, _ := bench.NewTemporalSet(s.Name, nil)
+			log := vyrd.NewLog(explore.Level(s.Correct))
+			wait := log.StartEntryChecker(ltl.NewChecker(set2))
+			harness.RunOnLog(s.Correct, harness.Config{
+				Threads: 3, OpsPerThread: 24, KeyPool: 6, Shrink: true,
+				Seed: 11, Level: explore.Level(s.Correct),
+			}, log)
+			assertNoTemporalViolation(t, s.Name, "online", wait())
+
+			// Remote: a vyrdd "ltl" session over the same recorded run.
+			assertNoTemporalViolation(t, s.Name, "vyrdd", remoteTemporal(t, addr, s.Name, entries))
+		})
+	}
+}
+
+// TestTemporalPropsOverride pins the handshake property override: a client
+// shipping its own property set gets verdicts for exactly those properties,
+// and an unparsable set rejects the handshake.
+func TestTemporalPropsOverride(t *testing.T) {
+	addr := startDiffServer(t)
+	s, _ := bench.SubjectByName("Ledger-LockPair")
+	entries := bench.CleanRun(s, 3)
+
+	cl, err := remote.NewClient(remote.ClientOptions{
+		Addr: addr,
+		Hello: remote.Hello{
+			Spec: s.Name, Mode: "ltl",
+			Props: []string{"ever-commits: F {kind=commit}"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	for _, e := range entries {
+		if err := cl.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry: %v", err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rep := cl.Verdict().Report()
+	if rep.PropsSatisfied != 1 || rep.PropsViolated+rep.PropsInconclusive != 0 {
+		t.Fatalf("override session: %s", rep)
+	}
+
+	// A malformed property set must reject the handshake; rejects are
+	// terminal and surface at the next flush.
+	cl2, err := remote.NewClient(remote.ClientOptions{
+		Addr:  addr,
+		Hello: remote.Hello{Spec: s.Name, Mode: "ltl", Props: []string{"x: ("}},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := cl2.Flush(); err == nil {
+		t.Fatal("malformed props: session accepted")
+	}
+}

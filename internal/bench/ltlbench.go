@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ltl"
+	"repro/vyrd"
+)
+
+// LTLConfig parameterizes the temporal-engine cost table: a recorded
+// clean run of one subject scanned through the streaming evaluator at
+// each property-count x formula-shape cell, plus an online A/B of the
+// refinement-only pipeline against the same pipeline carrying four
+// active temporal properties.
+type LTLConfig struct {
+	Subject      string
+	Threads      int
+	OpsPerThread int
+	Seed         int64
+	// Counts is the property-count sweep (properties monitored at once).
+	Counts []int
+	// Reps replays the recorded log this many times per cell and keeps
+	// the best rate (steady-state cost, not first-run noise).
+	Reps int
+}
+
+// DefaultLTLConfig sizes the run long enough that per-entry progression
+// cost dominates setup.
+func DefaultLTLConfig() LTLConfig {
+	return LTLConfig{
+		Subject:      "Multiset-Array",
+		Threads:      4,
+		OpsPerThread: 2000,
+		Seed:         1,
+		Counts:       []int{1, 2, 4, 8},
+		Reps:         3,
+	}
+}
+
+// LTLRow is one offline-sweep cell: entries/sec through the streaming
+// evaluator with Props properties of the given shape armed at once.
+type LTLRow struct {
+	Shape         string // "shallow" (depth-2) or "deep" (depth-6)
+	Props         int
+	Entries       int64
+	Elapsed       time.Duration
+	EntriesPerSec float64
+	// Inconclusive/Satisfied record the verdict mix, pinning that the
+	// sweep props stay armed for the whole log instead of deciding early
+	// (a decided monitor costs nothing and would flatter the rate).
+	Satisfied    int64
+	Inconclusive int64
+}
+
+// LTLOnlineRow is one online A/B leg: the live pipeline's end-to-end
+// entries/sec with the given engine riding the wal cursor.
+type LTLOnlineRow struct {
+	Engine        string
+	Entries       int64
+	Elapsed       time.Duration
+	EntriesPerSec float64
+	// Ratio is this leg's rate over the refinement-only baseline (the
+	// baseline row reports 1).
+	Ratio float64
+}
+
+// sweepProps builds n distinct properties of the requested shape. The
+// shallow shape is a depth-2 safety formula (one G over one atom); the
+// deep shape nests X/U/| under G to depth 6, the cost profile of the
+// built-in library's response properties. Both stay undecided on clean
+// logs so every entry pays full progression.
+func sweepProps(n int, shape string) []string {
+	props := make([]string, n)
+	for i := range props {
+		tid := i%3 + 1
+		if shape == "shallow" {
+			props[i] = fmt.Sprintf("shallow-%d: G !{kind=call, tid=%d, method=never-%d}", i, tid, i)
+		} else {
+			props[i] = fmt.Sprintf(
+				"deep-%d: G (!{kind=call, tid=%d} | X (!{kind=return, tid=%d} U ({kind=return, tid=%d} | {kind=commit, tid=%d})))",
+				i, tid, tid, tid, tid)
+		}
+	}
+	return props
+}
+
+// LTLTable records one clean run and scans it through the streaming
+// evaluator at every cell of the props x shape grid.
+func LTLTable(cfg LTLConfig) ([]LTLRow, error) {
+	s, ok := SubjectByName(cfg.Subject)
+	if !ok {
+		return nil, fmt.Errorf("unknown subject %q", cfg.Subject)
+	}
+	res := harness.Run(s.Correct, baseConfig(cfg.Threads, cfg.OpsPerThread, cfg.Seed, vyrd.LevelView))
+	entries := res.Log.Snapshot()
+
+	var rows []LTLRow
+	for _, shape := range []string{"shallow", "deep"} {
+		for _, n := range cfg.Counts {
+			set := ltl.NewSet()
+			for _, src := range sweepProps(n, shape) {
+				if err := set.AddSource(src); err != nil {
+					return nil, fmt.Errorf("sweep prop: %w", err)
+				}
+			}
+			var best time.Duration
+			var rep *core.Report
+			for r := 0; r < cfg.Reps; r++ {
+				start := time.Now()
+				rep = ltl.CheckEntries(set, entries)
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			if rep.PropsViolated != 0 {
+				return nil, fmt.Errorf("%s x%d: sweep prop violated on a clean run: %s", shape, n, rep)
+			}
+			rows = append(rows, LTLRow{
+				Shape:         shape,
+				Props:         n,
+				Entries:       int64(len(entries)),
+				Elapsed:       best,
+				EntriesPerSec: float64(len(entries)) / best.Seconds(),
+				Satisfied:     rep.PropsSatisfied,
+				Inconclusive:  rep.PropsInconclusive,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// LTLOnlineTable is the ISSUE 9 throughput criterion: the online pipeline
+// carrying four active temporal properties must hold at least half the
+// refinement-only pipeline's entries/sec. Both legs run the same workload
+// shape with the checker riding the wal cursor, elapsed measured from
+// workload start to verdict.
+func LTLOnlineTable(cfg LTLConfig) ([]LTLOnlineRow, error) {
+	s, ok := SubjectByName(cfg.Subject)
+	if !ok {
+		return nil, fmt.Errorf("unknown subject %q", cfg.Subject)
+	}
+	t := s.Correct
+
+	runLeg := func(engine string) (LTLOnlineRow, error) {
+		hcfg := baseConfig(cfg.Threads, cfg.OpsPerThread, cfg.Seed, vyrd.LevelView)
+		log := vyrd.NewLog(hcfg.Level)
+		var wait func() *core.Report
+		switch engine {
+		case "refinement":
+			w, err := log.StartChecker(t.NewSpec(),
+				core.WithMode(core.ModeView), core.WithReplayer(t.NewReplayer()))
+			if err != nil {
+				return LTLOnlineRow{}, err
+			}
+			wait = w
+		case "ltl-4-props":
+			set := ltl.NewSet()
+			for _, src := range ltl.CallsReturnProps(harnessTids) {
+				if err := set.AddSource(src); err != nil {
+					return LTLOnlineRow{}, err
+				}
+			}
+			wait = log.StartEntryChecker(ltl.NewChecker(set))
+		default:
+			return LTLOnlineRow{}, fmt.Errorf("unknown engine %q", engine)
+		}
+		start := time.Now()
+		harness.RunOnLog(t, hcfg, log)
+		rep := wait()
+		elapsed := time.Since(start)
+		if !rep.Ok() {
+			return LTLOnlineRow{}, fmt.Errorf("%s leg flagged a clean run: %s", engine, rep)
+		}
+		appends := log.Stats().Appends
+		return LTLOnlineRow{
+			Engine:        engine,
+			Entries:       appends,
+			Elapsed:       elapsed,
+			EntriesPerSec: float64(appends) / elapsed.Seconds(),
+		}, nil
+	}
+
+	var rows []LTLOnlineRow
+	for _, engine := range []string{"refinement", "ltl-4-props"} {
+		var best LTLOnlineRow
+		for r := 0; r < cfg.Reps; r++ {
+			row, err := runLeg(engine)
+			if err != nil {
+				return nil, err
+			}
+			if best.Engine == "" || row.EntriesPerSec > best.EntriesPerSec {
+				best = row
+			}
+		}
+		rows = append(rows, best)
+	}
+	base := rows[0].EntriesPerSec
+	for i := range rows {
+		rows[i].Ratio = rows[i].EntriesPerSec / base
+	}
+	return rows, nil
+}
+
+// WriteLTLTable renders the offline sweep.
+func WriteLTLTable(w io.Writer, cfg LTLConfig, rows []LTLRow) {
+	fmt.Fprintf(w, "Temporal engine: streaming LTL3 scan of a recorded %s run (best of %d reps)\n",
+		cfg.Subject, cfg.Reps)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Shape\tProps\tEntries\tElapsed\tEntries/sec\tSatisfied\tInconclusive")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%d\t%d\n",
+			r.Shape, r.Props, r.Entries, r.Elapsed.Round(time.Microsecond),
+			r.EntriesPerSec, r.Satisfied, r.Inconclusive)
+	}
+	tw.Flush()
+}
+
+// WriteLTLOnlineTable renders the online A/B.
+func WriteLTLOnlineTable(w io.Writer, rows []LTLOnlineRow) {
+	fmt.Fprintln(w, "Online pipeline A/B: refinement-only vs four active temporal properties")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Engine\tEntries\tElapsed\tEntries/sec\tvs refinement")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f\t%.2fx\n",
+			r.Engine, r.Entries, r.Elapsed.Round(time.Millisecond), r.EntriesPerSec, r.Ratio)
+	}
+	tw.Flush()
+}

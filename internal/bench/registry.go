@@ -15,6 +15,7 @@ import (
 func Registry() *remote.Registry {
 	r := remote.NewRegistry()
 	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, TemporalSubjects()...)
 	all = append(all, LinearizeOnlySubjects()...)
 	for _, s := range all {
 		t := s.Correct
@@ -23,14 +24,16 @@ func Registry() *remote.Registry {
 			f.NewReplayer = func() core.Replayer { return t.NewReplayer() }
 		}
 		f.NewLinearizer = NewLinearizer(s.Name)
+		f.NewTemporal = NewTemporal(s.Name)
 		if err := r.Register(f); err != nil {
 			panic(err) // subject names are unique by construction
 		}
 	}
 	if err := r.Register(remote.SpecFactory{
-		Name:       "BLinkTree+Store",
-		NewSpec:    blinkstore.ComposedTarget(6, blinkstore.BugNone).NewSpec,
-		NewModules: blinkstore.Modules,
+		Name:        "BLinkTree+Store",
+		NewSpec:     blinkstore.ComposedTarget(6, blinkstore.BugNone).NewSpec,
+		NewModules:  blinkstore.Modules,
+		NewTemporal: NewTemporal("BLinkTree+Store"),
 	}); err != nil {
 		panic(err)
 	}

@@ -36,6 +36,10 @@ type Snapshot struct {
 	// open against one scheduler-mode server and the aggregate checked
 	// entries/sec (-table fleet).
 	Fleet []FleetRow `json:",omitempty"`
+	// LTL is the temporal-engine cost grid (props x formula shape) and
+	// LTLOnline the refinement-vs-ltl online pipeline A/B (-table ltl).
+	LTL       []LTLRow       `json:",omitempty"`
+	LTLOnline []LTLOnlineRow `json:",omitempty"`
 }
 
 // NewSnapshot returns a Snapshot describing the current environment, ready

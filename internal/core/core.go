@@ -120,6 +120,12 @@ const (
 	// remote-protocol handshake name all three verdict notions uniformly; the
 	// core Checker itself rejects it — construct a linearize checker instead.
 	ModeLinearize
+	// ModeLTL checks temporal-logic properties over the log instead of
+	// refinement: an LTL3 monitor per property steps once per entry
+	// (internal/ltl implements the evaluator). Like ModeLinearize, the mode
+	// lives on core.Mode so reports, CLI flags and the remote handshake name
+	// all verdict notions uniformly; the core Checker rejects it.
+	ModeLTL
 )
 
 // String returns the name of the mode.
@@ -131,6 +137,8 @@ func (m Mode) String() string {
 		return "view"
 	case ModeLinearize:
 		return "linearize"
+	case ModeLTL:
+		return "ltl"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -150,6 +158,8 @@ func (m *Mode) UnmarshalJSON(b []byte) error {
 		*m = ModeView
 	case `"linearize"`:
 		*m = ModeLinearize
+	case `"ltl"`:
+		*m = ModeLTL
 	default:
 		return fmt.Errorf("core: unknown mode %s", b)
 	}

@@ -36,6 +36,12 @@ const (
 	// by the linearize engine (ModeLinearize), never by the refinement
 	// checker.
 	ViolationLinearizability
+	// ViolationTemporal: an LTL3 property over the log collapsed to false —
+	// the finite trace already refutes it on every infinite extension.
+	// Reported by the temporal engine (ModeLTL), never by the refinement
+	// checker; Seq points at the log position whose entry collapsed the
+	// formula (the witness position).
+	ViolationTemporal
 )
 
 // String returns the name of the violation kind.
@@ -53,6 +59,8 @@ func (k ViolationKind) String() string {
 		return "instrumentation"
 	case ViolationLinearizability:
 		return "linearizability"
+	case ViolationTemporal:
+		return "temporal"
 	}
 	return fmt.Sprintf("violation(%d)", uint8(k))
 }
@@ -66,7 +74,7 @@ func (k ViolationKind) MarshalJSON() ([]byte, error) {
 // reports survive a JSON round trip (the remote protocol ships verdicts as
 // JSON report frames).
 func (k *ViolationKind) UnmarshalJSON(b []byte) error {
-	for cand := ViolationIO; cand <= ViolationLinearizability; cand++ {
+	for cand := ViolationIO; cand <= ViolationTemporal; cand++ {
 		if string(b) == fmt.Sprintf("%q", cand.String()) {
 			*k = cand
 			return nil
@@ -117,6 +125,15 @@ type Report struct {
 	// EntriesProcessed counts log entries consumed.
 	EntriesProcessed int64
 
+	// PropsSatisfied / PropsViolated / PropsInconclusive count temporal
+	// properties by their LTL3 verdict at log end (ModeLTL only). Every
+	// monitored property lands in exactly one bucket: satisfied (true on
+	// every infinite extension), violated (false on every extension), or
+	// inconclusive (the finite trace decided neither).
+	PropsSatisfied    int64 `json:",omitempty"`
+	PropsViolated     int64 `json:",omitempty"`
+	PropsInconclusive int64 `json:",omitempty"`
+
 	// LogErr records a failure of the log the checker read — a sink that
 	// could not persist entries, a stream that failed to decode. The
 	// verdict is not trustworthy when set: part of the execution may be
@@ -133,17 +150,22 @@ func (r *Report) Ok() bool { return r.TotalViolations == 0 && r.LogErr == "" }
 // vyrdd /metrics endpoint, vyrdbench -json snapshot rows), so dashboards
 // parse a single shape regardless of which tool produced it.
 type Summary struct {
-	Mode             Mode   `json:"mode"`
-	Ok               bool   `json:"ok"`
-	TotalViolations  int64  `json:"total_violations"`
-	EntriesProcessed int64  `json:"entries_processed"`
-	MethodsCompleted int64  `json:"methods_completed"`
-	CommitsApplied   int64  `json:"commits_applied"`
-	ObserversChecked int64  `json:"observers_checked"`
-	WritesReplayed   int64  `json:"writes_replayed,omitempty"`
-	ViewsCompared    int64  `json:"views_compared,omitempty"`
-	FirstViolation   string `json:"first_violation,omitempty"`
-	LogErr           string `json:"log_err,omitempty"`
+	Mode             Mode  `json:"mode"`
+	Ok               bool  `json:"ok"`
+	TotalViolations  int64 `json:"total_violations"`
+	EntriesProcessed int64 `json:"entries_processed"`
+	MethodsCompleted int64 `json:"methods_completed"`
+	CommitsApplied   int64 `json:"commits_applied"`
+	ObserversChecked int64 `json:"observers_checked"`
+	WritesReplayed   int64 `json:"writes_replayed,omitempty"`
+	ViewsCompared    int64 `json:"views_compared,omitempty"`
+
+	PropsSatisfied    int64 `json:"props_satisfied,omitempty"`
+	PropsViolated     int64 `json:"props_violated,omitempty"`
+	PropsInconclusive int64 `json:"props_inconclusive,omitempty"`
+
+	FirstViolation string `json:"first_violation,omitempty"`
+	LogErr         string `json:"log_err,omitempty"`
 }
 
 // Summary digests the report.
@@ -158,7 +180,12 @@ func (r *Report) Summary() Summary {
 		ObserversChecked: r.ObserversChecked,
 		WritesReplayed:   r.WritesReplayed,
 		ViewsCompared:    r.ViewsCompared,
-		LogErr:           r.LogErr,
+
+		PropsSatisfied:    r.PropsSatisfied,
+		PropsViolated:     r.PropsViolated,
+		PropsInconclusive: r.PropsInconclusive,
+
+		LogErr: r.LogErr,
 	}
 	if v := r.First(); v != nil {
 		s.FirstViolation = v.String()
@@ -182,13 +209,20 @@ func (r *Report) String() string {
 	if r.Mode == ModeView {
 		fmt.Fprintf(&b, " writes=%d view-compares=%d", r.WritesReplayed, r.ViewsCompared)
 	}
+	if r.Mode == ModeLTL {
+		fmt.Fprintf(&b, " props=%d/%d/%d (satisfied/inconclusive/violated)",
+			r.PropsSatisfied, r.PropsInconclusive, r.PropsViolated)
+	}
 	if r.LogErr != "" {
 		fmt.Fprintf(&b, "\nlog error (verdict incomplete): %s", r.LogErr)
 	}
 	if r.Ok() {
-		if r.Mode == ModeLinearize {
+		switch r.Mode {
+		case ModeLinearize:
 			b.WriteString("\nno linearizability violations detected")
-		} else {
+		case ModeLTL:
+			b.WriteString("\nno temporal property violations detected")
+		default:
 			b.WriteString("\nno refinement violations detected")
 		}
 		return b.String()

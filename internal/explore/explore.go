@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/ltl"
 	"repro/internal/sched"
 	"repro/vyrd"
 )
@@ -70,15 +71,58 @@ func Mode(t harness.Target) core.Mode {
 	return core.ModeIO
 }
 
+// Verifier turns one run's decoded log into a verdict report. Exploration,
+// shrinking, stress and report rendering are all parameterized over it, so
+// the same machinery searches schedules for refinement violations
+// (Refinement, the default) or temporal-property violations (Temporal).
+// The diagnostics flag requests an expensive diagnosis pass (view diffs)
+// where the engine supports one.
+type Verifier func(t harness.Target, entries []vyrd.Entry, diagnostics bool) (*core.Report, error)
+
+// Refinement is the default verifier: the offline refinement checker, view
+// mode when the target has a replayer, I/O mode otherwise.
+func Refinement() Verifier {
+	return func(t harness.Target, entries []vyrd.Entry, diagnostics bool) (*core.Report, error) {
+		opts := []core.Option{core.WithMode(Mode(t)), core.WithDiagnostics(diagnostics)}
+		if Mode(t) == core.ModeView {
+			opts = append(opts, core.WithReplayer(t.NewReplayer()))
+		}
+		return core.CheckEntries(entries, t.NewSpec(), opts...)
+	}
+}
+
+// Temporal builds a verifier that checks each run's log against the given
+// temporal property sources (see internal/ltl). The set is parsed once;
+// every run gets fresh monitor state over the shared formula arena.
+func Temporal(props []string) (Verifier, error) {
+	set := ltl.NewSet()
+	for _, src := range props {
+		if err := set.AddSource(src); err != nil {
+			return nil, err
+		}
+	}
+	if len(set.Props()) == 0 {
+		return nil, fmt.Errorf("explore: empty temporal property set")
+	}
+	return func(_ harness.Target, entries []vyrd.Entry, _ bool) (*core.Report, error) {
+		return ltl.CheckEntries(set, entries), nil
+	}, nil
+}
+
 // RunSpec executes one controlled run of sp against t and checks its log.
 // The run's interleaving — and therefore LogBytes — is a pure function of
 // the spec (unless Sched.FreeRun is set, which marks the run unusable for
 // reproduction: the target deadlocked and the valve released it).
 func RunSpec(t harness.Target, sp sched.Spec) (*Run, error) {
-	return runSpec(t, sp, false)
+	return runSpec(t, sp, Refinement(), false)
 }
 
-func runSpec(t harness.Target, sp sched.Spec, diagnostics bool) (*Run, error) {
+// RunSpecWith is RunSpec under an explicit verifier.
+func RunSpecWith(t harness.Target, sp sched.Spec, v Verifier) (*Run, error) {
+	return runSpec(t, sp, v, false)
+}
+
+func runSpec(t harness.Target, sp sched.Spec, verify Verifier, diagnostics bool) (*Run, error) {
 	sch := sched.New(sp.Options())
 	lvl := Level(t)
 	log := vyrd.NewLogWith(lvl, vyrd.LogOptions{})
@@ -106,11 +150,7 @@ func runSpec(t harness.Target, sp sched.Spec, diagnostics bool) (*Run, error) {
 	}
 
 	entries := log.Snapshot()
-	opts := []core.Option{core.WithMode(Mode(t)), core.WithDiagnostics(diagnostics)}
-	if Mode(t) == core.ModeView {
-		opts = append(opts, core.WithReplayer(t.NewReplayer()))
-	}
-	rep, err := core.CheckEntries(entries, t.NewSpec(), opts...)
+	rep, err := verify(t, entries, diagnostics)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +195,11 @@ func (s Stats) SchedulesPerSec() float64 {
 // back to free-running execution are discarded: their schedules are not
 // reproducible, so a violation found in one is not a usable counterexample.
 func Explore(t harness.Target, base sched.Spec, seeds int) (*Found, Stats, error) {
+	return ExploreWith(t, base, seeds, Refinement())
+}
+
+// ExploreWith is Explore under an explicit verifier.
+func ExploreWith(t harness.Target, base sched.Spec, seeds int, v Verifier) (*Found, Stats, error) {
 	start := time.Now()
 	var st Stats
 	for i := 0; i < seeds; i++ {
@@ -162,7 +207,7 @@ func Explore(t harness.Target, base sched.Spec, seeds int) (*Found, Stats, error
 		sp.Seed = base.Seed + int64(i)
 		sp.ChangePoints = nil
 		sp.Skips = nil
-		r, err := RunSpec(t, sp)
+		r, err := RunSpecWith(t, sp, v)
 		if err != nil {
 			return nil, st, err
 		}
@@ -185,9 +230,14 @@ func Explore(t harness.Target, base sched.Spec, seeds int) (*Found, Stats, error
 // minimized run (re-executed, so its Report/LogBytes describe the final
 // spec) along with the shrinker's stats.
 func ShrinkRun(t harness.Target, r *Run) (*Run, sched.ShrinkStats, error) {
+	return ShrinkRunWith(t, r, Refinement())
+}
+
+// ShrinkRunWith is ShrinkRun under an explicit verifier.
+func ShrinkRunWith(t harness.Target, r *Run, v Verifier) (*Run, sched.ShrinkStats, error) {
 	kind := r.FirstKind()
 	min, st, err := sched.Shrink(r.Spec, func(sp sched.Spec) (sched.Outcome, error) {
-		cand, err := RunSpec(t, sp)
+		cand, err := RunSpecWith(t, sp, v)
 		if err != nil {
 			return sched.Outcome{}, err
 		}
@@ -204,7 +254,7 @@ func ShrinkRun(t harness.Target, r *Run) (*Run, sched.ShrinkStats, error) {
 	if err != nil {
 		return nil, st, err
 	}
-	out, err := RunSpec(t, min)
+	out, err := RunSpecWith(t, min, v)
 	if err != nil {
 		return nil, st, err
 	}
@@ -216,6 +266,11 @@ func ShrinkRun(t harness.Target, r *Run) (*Run, sched.ShrinkStats, error) {
 // comparison: it returns the 1-based index of the first violating run (0
 // when none violates within the budget).
 func Stress(t harness.Target, base sched.Spec, runs int) (int, time.Duration, error) {
+	return StressWith(t, base, runs, Refinement())
+}
+
+// StressWith is Stress under an explicit verifier.
+func StressWith(t harness.Target, base sched.Spec, runs int, v Verifier) (int, time.Duration, error) {
 	start := time.Now()
 	for i := 0; i < runs; i++ {
 		cfg := harness.Config{
@@ -226,7 +281,7 @@ func Stress(t harness.Target, base sched.Spec, runs int) (int, time.Duration, er
 			Level:        Level(t),
 		}
 		res := harness.Run(t, cfg)
-		rep, err := harness.Check(t, res, Mode(t), true)
+		rep, err := v(t, res.Log.Snapshot(), false)
 		if err != nil {
 			return 0, time.Since(start), err
 		}
@@ -246,7 +301,12 @@ const maxWitnessEntries = 200
 // violation — re-checked with diagnostics enabled, so view violations
 // carry the exact viewI/viewS diff — and the witness interleaving.
 func WriteReport(w io.Writer, t harness.Target, r *Run) error {
-	diag, err := runSpec(t, r.Spec, true)
+	return WriteReportWith(w, t, r, Refinement())
+}
+
+// WriteReportWith is WriteReport under an explicit verifier.
+func WriteReportWith(w io.Writer, t harness.Target, r *Run, v Verifier) error {
+	diag, err := runSpec(t, r.Spec, v, true)
 	if err != nil {
 		return err
 	}

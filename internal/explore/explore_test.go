@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/racecheck"
 	"repro/internal/sched"
@@ -105,6 +106,94 @@ func TestExploreSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestExploreTemporalFindsLockReversal is the CI gate for the ISSUE 9
+// acceptance criteria: exploration with the temporal verifier finds the
+// planted lock-order inversion in Ledger-LockPair within the schedule
+// budget, the shrunk witness keeps the temporal kind and replays from its
+// repro string to the same verdict, and uncontrolled stress over the same
+// shape misses the bug (the hint window has no Gosched, so only a
+// controlled schedule parks a thread inside it).
+func TestExploreTemporalFindsLockReversal(t *testing.T) {
+	const name = "Ledger-LockPair"
+	sub, ok := bench.SubjectByName(name)
+	if !ok {
+		t.Fatalf("unknown subject %s", name)
+	}
+	verifier, err := explore.Temporal(bench.BuiltinProps(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bench.ExploreSpec(name)
+
+	found, st, err := explore.ExploreWith(sub.Buggy, base, exploreBudget, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == nil {
+		t.Fatalf("%s: no temporal violation within %d schedules (%d free-runs, %.0f sched/s)",
+			name, exploreBudget, st.FreeRuns, st.SchedulesPerSec())
+	}
+	if found.Run.FirstKind() != core.ViolationTemporal {
+		t.Fatalf("violation kind %v, want temporal", found.Run.FirstKind())
+	}
+	t.Logf("%s: found at schedule %d, steps=%d, %.0f sched/s",
+		name, found.SchedulesTried, found.Run.Sched.Steps, st.SchedulesPerSec())
+
+	// The violating seed replays byte-identically with the same verdict.
+	again, err := explore.RunSpecWith(sub.Buggy, found.Run.Spec, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.LogBytes, found.Run.LogBytes) || !explore.SameVerdict(again, found.Run) {
+		t.Fatal("violating seed did not replay to the same log and verdict")
+	}
+
+	// Shrinking preserves the temporal violation, and the minimized repro
+	// string round-trips to the same verdict.
+	min, shr, err := explore.ShrinkRunWith(sub.Buggy, found.Run, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: shrink %d -> %d steps (%d runs)", name, shr.StepsBefore, shr.StepsAfter, shr.Runs)
+	if !min.Violating() || min.FirstKind() != core.ViolationTemporal {
+		t.Fatalf("minimized schedule lost the temporal violation: violating=%v kind=%v",
+			min.Violating(), min.FirstKind())
+	}
+	sp, err := sched.ParseRepro(min.Spec.Repro())
+	if err != nil {
+		t.Fatalf("minimized repro does not parse: %v", err)
+	}
+	replay, err := explore.RunSpecWith(sub.Buggy, sp, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !explore.SameVerdict(replay, min) {
+		t.Fatal("repro string did not replay to the same verdict")
+	}
+
+	// The report names the refuted property.
+	var report strings.Builder
+	if err := explore.WriteReportWith(&report, sub.Buggy, min, verifier); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"repro:", "verdict:", "temporal"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+
+	// Stress-miss leg: without the controlled scheduler the reversed-lock
+	// path is gated on catching another thread inside a few-instruction
+	// window, which uncontrolled stress does not hit in a modest budget.
+	at, elapsed, err := explore.StressWith(sub.Buggy, base, 200, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at > 0 {
+		t.Fatalf("uncontrolled stress found the inversion at run %d (%v); the bug must be schedule-gated", at, elapsed)
 	}
 }
 

@@ -11,6 +11,16 @@
 // tasks and feeds each a cooperative time slice (SliceBudget entries)
 // before requeueing it, so thousands of mostly-idle sessions cost zero
 // workers and a hot session cannot starve the rest.
+//
+// Task pickup is deficit-round-robin fair across tenants, not FIFO: each
+// tenant owns a queue of its runnable tasks and a credit counter topped
+// up by a fixed quantum of entries per round-robin visit. Workers serve
+// the tenant at the head of the active ring while its credit lasts,
+// charge the entries a slice actually consumed after the slice runs, and
+// rotate to the next tenant when the credit is spent — so a tenant with
+// a thousand hot sessions and a tenant with one split the pool evenly
+// instead of 1000:1. Credit is reset when a tenant's queue drains, so
+// idle tenants cannot bank service.
 package fleet
 
 import (
@@ -50,6 +60,7 @@ const (
 // keeps it runnable exactly while it has pending entries.
 type Task struct {
 	s      *Scheduler
+	tq     *tenantQueue
 	cur    wal.Reader
 	engine Engine
 	// appended reports how many entries have been appended to the log so
@@ -74,8 +85,10 @@ type SchedStats struct {
 	Workers int   `json:"workers"`
 	Busy    int64 `json:"busy"`
 	// Runnable is the run-queue length (sessions with pending entries
-	// waiting for a worker).
-	Runnable int `json:"runnable"`
+	// waiting for a worker); TenantsActive is how many tenants currently
+	// hold runnable sessions (the DRR ring length).
+	Runnable      int `json:"runnable"`
+	TenantsActive int `json:"tenants_active"`
 	// Tasks is the number of live registered tasks.
 	Tasks int64 `json:"tasks"`
 	// Slices and EntriesFed count cooperative time slices executed and
@@ -94,15 +107,30 @@ func (st SchedStats) Utilization() float64 {
 	return float64(st.Busy) / float64(st.Workers)
 }
 
+// tenantQueue is one tenant's slot in the deficit-round-robin pickup: a
+// FIFO of the tenant's runnable tasks plus the entry credit it has left
+// this round. A tenantQueue is in the scheduler's active ring exactly
+// while it holds at least one runnable task.
+type tenantQueue struct {
+	name   string
+	credit int64
+	tasks  []*Task
+	head   int
+	active bool
+}
+
+func (q *tenantQueue) runnable() int { return len(q.tasks) - q.head }
+
 // Scheduler multiplexes tasks over a fixed worker pool.
 type Scheduler struct {
 	budget  int
+	quantum int64
 	workers int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*Task
-	head    int
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue
 	stopped bool
 
 	busy     atomic.Int64
@@ -118,6 +146,12 @@ type Scheduler struct {
 // queue round-trip.
 const DefaultSliceBudget = 512
 
+// QuantumSlices sizes the per-tenant DRR quantum as a multiple of the
+// slice budget: each round-robin visit tops a tenant's credit up by this
+// many full slices' worth of entries, so a busy tenant gets a meaningful
+// burst per round without holding the pool hostage between rotations.
+const QuantumSlices = 2
+
 // NewScheduler starts a pool of workers time-slicing by budget entries
 // (0 picks defaults: 2x GOMAXPROCS workers, DefaultSliceBudget).
 func NewScheduler(workers, budget int) *Scheduler {
@@ -127,7 +161,12 @@ func NewScheduler(workers, budget int) *Scheduler {
 	if budget <= 0 {
 		budget = DefaultSliceBudget
 	}
-	s := &Scheduler{budget: budget, workers: workers}
+	s := &Scheduler{
+		budget:  budget,
+		quantum: int64(QuantumSlices * budget),
+		workers: workers,
+		tenants: make(map[string]*tenantQueue),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -142,12 +181,22 @@ func NewScheduler(workers, budget int) *Scheduler {
 // Workers reports the pool size.
 func (s *Scheduler) Workers() int { return s.workers }
 
-// Register adds a session to the scheduler. The task starts idle; the
-// first Wake makes it runnable. appended must report the log's append
-// high-water mark; onFed (optional) observes per-slice consumption.
-func (s *Scheduler) Register(cur wal.Reader, engine Engine, appended func() int64, onFed func(n int)) *Task {
+// Register adds a session to the scheduler under a tenant (empty means
+// the default tenant); tasks sharing a tenant share that tenant's DRR
+// queue and credit. The task starts idle; the first Wake makes it
+// runnable. appended must report the log's append high-water mark; onFed
+// (optional) observes per-slice consumption.
+func (s *Scheduler) Register(tenant string, cur wal.Reader, engine Engine, appended func() int64, onFed func(n int)) *Task {
+	s.mu.Lock()
+	q := s.tenants[tenant]
+	if q == nil {
+		q = &tenantQueue{name: tenant}
+		s.tenants[tenant] = q
+	}
+	s.mu.Unlock()
 	t := &Task{
 		s:        s,
+		tq:       q,
 		cur:      cur,
 		engine:   engine,
 		appended: appended,
@@ -200,26 +249,63 @@ func (t *Task) Wait() []core.ModuleReport {
 // Fed reports how many entries this task's engine has consumed.
 func (t *Task) Fed() int64 { return t.fed.Load() }
 
-// push appends a task to the run queue.
+// push appends a task to its tenant's run queue, activating the tenant
+// in the DRR ring if it was drained. A tenant re-activating with credit
+// left re-enters at the front of the ring: its queue emptied mid-round
+// (typically the one task a worker is re-queueing right now), so it
+// resumes the interrupted visit instead of waiting out a full rotation —
+// without this, a one-session tenant could spend at most one slice per
+// round no matter its quantum.
 func (s *Scheduler) push(t *Task) {
 	s.mu.Lock()
-	s.queue = append(s.queue, t)
+	q := t.tq
+	q.tasks = append(q.tasks, t)
+	if !q.active {
+		q.active = true
+		if q.credit > 0 {
+			s.ring = append(s.ring, nil)
+			copy(s.ring[1:], s.ring)
+			s.ring[0] = q
+		} else {
+			s.ring = append(s.ring, q)
+		}
+	}
 	s.mu.Unlock()
 	s.cond.Signal()
 }
 
-// pop blocks for the next runnable task; nil means the pool stopped.
+// pop blocks for the next runnable task, picked deficit-round-robin
+// across tenants; nil means the pool stopped. The head tenant of the
+// ring is served while it has credit; a tenant out of credit is topped
+// up by one quantum and rotated to the back, so every loop iteration
+// either returns a task or strictly advances some tenant toward being
+// servable.
 func (s *Scheduler) pop() *Task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.head < len(s.queue) {
-			t := s.queue[s.head]
-			s.queue[s.head] = nil
-			s.head++
-			if s.head == len(s.queue) {
-				s.queue = s.queue[:0]
-				s.head = 0
+		for len(s.ring) > 0 {
+			q := s.ring[0]
+			if q.credit <= 0 {
+				q.credit += s.quantum
+				if len(s.ring) > 1 {
+					copy(s.ring, s.ring[1:])
+					s.ring[len(s.ring)-1] = q
+				}
+				continue
+			}
+			t := q.tasks[q.head]
+			q.tasks[q.head] = nil
+			q.head++
+			if q.runnable() == 0 {
+				// Queue drained: leave the ring. Credit is kept — the
+				// popped task is usually mid-slice and about to requeue,
+				// and charging decides whether the tenant truly went
+				// idle (and forfeits the remainder) once the slice ran.
+				q.tasks = q.tasks[:0]
+				q.head = 0
+				q.active = false
+				s.ring = s.ring[1:]
 			}
 			return t
 		}
@@ -228,6 +314,26 @@ func (s *Scheduler) pop() *Task {
 		}
 		s.cond.Wait()
 	}
+}
+
+// charge debits a slice's actual consumption against the task's tenant
+// after the slice ran and the task decided its next state (DRR with
+// post-slice charging: the cost of a slice is only known once the reader
+// has been drained). Even an empty slice costs one entry, so a tenant
+// whose tasks spin without progress (e.g. a sharded merge not yet
+// provable) still drains its credit and rotates. A tenant that is out of
+// the ring at charge time has gone idle — nothing requeued — and
+// forfeits its leftover credit, so an idle tenant cannot bank service.
+func (s *Scheduler) charge(q *tenantQueue, n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	q.credit -= int64(n)
+	if !q.active {
+		q.credit = 0
+	}
+	s.mu.Unlock()
 }
 
 func (s *Scheduler) worker() {
@@ -249,6 +355,10 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) runSlice(t *Task) {
 	s.slices.Add(1)
 	n := 0
+	// Charge after the state machine below settles the task's next state,
+	// so a requeue has already re-activated the tenant and only a tenant
+	// that truly went idle forfeits credit.
+	defer func() { s.charge(t.tq, n) }()
 	for n < s.budget {
 		e, ok := t.cur.TryNext()
 		if !ok {
@@ -300,16 +410,21 @@ func (s *Scheduler) runSlice(t *Task) {
 // Stats snapshots the pool gauges.
 func (s *Scheduler) Stats() SchedStats {
 	s.mu.Lock()
-	runnable := len(s.queue) - s.head
+	runnable := 0
+	for _, q := range s.ring {
+		runnable += q.runnable()
+	}
+	active := len(s.ring)
 	s.mu.Unlock()
 	return SchedStats{
-		Workers:    s.workers,
-		Busy:       s.busy.Load(),
-		Runnable:   runnable,
-		Tasks:      s.tasks.Load(),
-		Slices:     s.slices.Load(),
-		EntriesFed: s.entries.Load(),
-		Finished:   s.finished.Load(),
+		Workers:       s.workers,
+		Busy:          s.busy.Load(),
+		Runnable:      runnable,
+		TenantsActive: active,
+		Tasks:         s.tasks.Load(),
+		Slices:        s.slices.Load(),
+		EntriesFed:    s.entries.Load(),
+		Finished:      s.finished.Load(),
 	}
 }
 

@@ -45,7 +45,7 @@ func TestSchedulerDrainsManyTasks(t *testing.T) {
 	for i := range all {
 		lg := wal.Open(wal.LevelIO, wal.Options{Window: 128})
 		ss := &ses{lg: lg, engine: &collectEngine{}}
-		ss.task = s.Register(lg.Reader(), ss.engine, ss.recv.Load, nil)
+		ss.task = s.Register(fmt.Sprintf("tenant-%d", i%3), lg.Reader(), ss.engine, ss.recv.Load, nil)
 		all[i] = ss
 	}
 
@@ -112,7 +112,7 @@ func TestSchedulerWaitIdempotent(t *testing.T) {
 	defer s.Stop()
 	lg := wal.Open(wal.LevelIO, wal.Options{Window: 16})
 	var recv atomic.Int64
-	task := s.Register(lg.Reader(), &collectEngine{}, recv.Load, nil)
+	task := s.Register("", lg.Reader(), &collectEngine{}, recv.Load, nil)
 	lg.Append(event.Entry{Seq: 1, Kind: event.KindCall, Method: "op"})
 	recv.Store(1)
 	task.Wake()
@@ -139,7 +139,7 @@ func TestSchedulerOnFed(t *testing.T) {
 	defer s.Stop()
 	lg := wal.Open(wal.LevelIO, wal.Options{Window: 256})
 	var recv, seen atomic.Int64
-	task := s.Register(lg.Reader(), &collectEngine{}, recv.Load, func(n int) {
+	task := s.Register("", lg.Reader(), &collectEngine{}, recv.Load, func(n int) {
 		seen.Add(int64(n))
 	})
 	const entries = 100
@@ -169,4 +169,101 @@ func TestSchedulerDefaults(t *testing.T) {
 	s.Stop()
 }
 
-var _ = fmt.Sprintf // keep fmt for debugging edits
+// snapshotEngine is a collectEngine whose Finish first runs a snapshot
+// hook on the finishing worker.
+type snapshotEngine struct {
+	collectEngine
+	snap func()
+}
+
+func (e *snapshotEngine) Finish() []core.ModuleReport {
+	e.snap()
+	return e.collectEngine.Finish()
+}
+
+// TestSchedulerTenantFairness is the DRR starvation gate: a tenant with
+// one modest session must not be starved by a tenant with many hot
+// sessions sharing the same single-worker pool. Under the old FIFO
+// pickup every task got an equal share, so the noisy tenant's eight
+// tasks took ~8x the service of the quiet tenant's one; under deficit
+// round robin the two tenants split the worker evenly, so by the time
+// the quiet session finishes the noisy tenant has been fed roughly the
+// same entry count — not eight times it.
+func TestSchedulerTenantFairness(t *testing.T) {
+	const (
+		noisyTasks   = 8
+		noisyEntries = 4000
+		quietEntries = 2000
+	)
+	s := NewScheduler(1, 16)
+	defer s.Stop()
+
+	appendAll := func(lg wal.Backend, n int64) {
+		for seq := int64(1); seq <= n; seq++ {
+			lg.Append(event.Entry{Seq: seq, Kind: event.KindCall, Method: "op"})
+		}
+	}
+
+	// The noisy tenant: many tasks, every log fully appended up front so
+	// each task is runnable the whole time.
+	type ses struct {
+		lg   wal.Backend
+		task *Task
+		recv atomic.Int64
+	}
+	noisy := make([]*ses, noisyTasks)
+	for i := range noisy {
+		lg := wal.Open(wal.LevelIO, wal.Options{Window: 1 << 13})
+		ss := &ses{lg: lg}
+		ss.task = s.Register("noisy", lg.Reader(), &collectEngine{}, ss.recv.Load, nil)
+		appendAll(lg, noisyEntries)
+		ss.recv.Store(noisyEntries)
+		noisy[i] = ss
+	}
+
+	// The quiet engine snapshots the noisy tenant's consumption at the
+	// exact instant the quiet session finishes (Finish runs on the worker
+	// that drained it); measuring after Wait would let the now-uncontended
+	// worker blast through the noisy backlog first.
+	var noisyFedAtQuietFinish atomic.Int64
+	quietLog := wal.Open(wal.LevelIO, wal.Options{Window: 1 << 13})
+	var quietRecv atomic.Int64
+	quiet := s.Register("quiet", quietLog.Reader(), &snapshotEngine{snap: func() {
+		var sum int64
+		for _, ss := range noisy {
+			sum += ss.task.Fed()
+		}
+		noisyFedAtQuietFinish.Store(sum)
+	}}, quietRecv.Load, nil)
+	appendAll(quietLog, quietEntries)
+	quietRecv.Store(quietEntries)
+	quietLog.Close()
+
+	// Wake the noisy tenant first — the worst case for the quiet one —
+	// then race the quiet session to its verdict.
+	for _, ss := range noisy {
+		ss.task.Wake()
+	}
+	quiet.Close(quietEntries)
+
+	quiet.Wait()
+	noisyFed := noisyFedAtQuietFinish.Load()
+
+	// DRR predicts noisyFed ~= quietEntries at this instant (each tenant
+	// gets one quantum per round); FIFO pickup would predict ~8x. The 3x
+	// bound leaves room for the noisy head start and in-flight slices
+	// while cleanly separating the two regimes.
+	if noisyFed > 3*quietEntries {
+		t.Fatalf("noisy tenant fed %d entries by the time the quiet session (%d entries) finished; fair pickup predicts ~%d",
+			noisyFed, quietEntries, quietEntries)
+	}
+	t.Logf("quiet finished after noisy tenant was fed %d entries (quiet=%d)", noisyFed, quietEntries)
+
+	for _, ss := range noisy {
+		ss.lg.Close()
+		ss.task.Close(noisyEntries)
+	}
+	for _, ss := range noisy {
+		ss.task.Wait()
+	}
+}

@@ -1,0 +1,218 @@
+// Package ledger implements a two-account bank ledger protected by
+// per-account mutexes. It is the temporal-property exploration subject: its
+// mutators log lock-acq / lock-rel write actions around every critical
+// section, so the built-in lock-reversal LTL property (internal/ltl) can
+// observe the locking discipline in the execution log.
+//
+// The planted bug (BugReversedLocks) is a lock-order inversion, not a data
+// bug: a Transfer racing with a concurrent Deposit takes the two account
+// locks in reverse order. The transfer still moves the money correctly —
+// refinement and linearizability stay clean — but the log now contains a
+// reversed nesting (hi acquired while lo is wanted) alongside the canonical
+// nesting, which is exactly the deadlock-potential shape the lock-reversal
+// property refutes. Only the temporal engine sees it.
+//
+// The reversed path is gated on a hint flag that a Deposit raises only for
+// the duration of one controlled-scheduler yield, so uncontrolled stress
+// essentially never takes it, while PCT exploration parks the depositing
+// task inside the window and drives the transfer straight through it. The
+// second lock of the reversed path is acquired with TryLock, so the
+// inversion can never become a real deadlock: on contention the transfer
+// backs off (logging the release) and retries in canonical order.
+package ledger
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// NumAccounts is the number of accounts (and hence per-account locks).
+// Account indices double as lock identifiers in lock-acq/lock-rel entries.
+// The spec package owns the definition (it cannot import this one).
+const NumAccounts = spec.LedgerAccounts
+
+// Log operation names, shared with the built-in property constructors in
+// internal/bench so the subject and its properties cannot drift apart.
+const (
+	LockAcqOp = "lock-acq"  // lock-acq <acct>: mutex acquired
+	LockRelOp = "lock-rel"  // lock-rel <acct>: mutex about to be released
+	SetOp     = "acct-set"  // acct-set <acct> <balance>: balance written
+	SealOp    = "acct-seal" // acct-seal <acct>: account sealed (one-way)
+)
+
+// Bug selects the planted defect.
+type Bug int
+
+const (
+	// BugNone: transfers always lock in canonical (index) order.
+	BugNone Bug = iota
+	// BugReversedLocks: when a concurrent Deposit's hint window is open,
+	// Transfer acquires the higher-indexed lock first and TryLocks the
+	// lower one — a lock-order inversion visible only in the log.
+	BugReversedLocks
+)
+
+type account struct {
+	mu     sync.Mutex
+	bal    int
+	sealed bool
+}
+
+// Ledger is the instrumented implementation.
+type Ledger struct {
+	acct [NumAccounts]account
+
+	// hint is nonzero while some Deposit is parked at its pre-lock yield
+	// point. It gates the buggy Transfer path so the inversion needs a
+	// genuinely adversarial schedule to appear.
+	hint atomic.Int32
+
+	bug Bug
+}
+
+// New returns a ledger with the given planted bug.
+func New(bug Bug) *Ledger { return &Ledger{bug: bug} }
+
+func clampAcct(a int) int {
+	a %= NumAccounts
+	if a < 0 {
+		a += NumAccounts
+	}
+	return a
+}
+
+// Deposit adds one unit to account a. It fails (returns false) if the
+// account has been sealed. The hint window — raise flag, yield, lower flag —
+// sits before the lock acquisition so no lock is held while the scheduler
+// parks the task there.
+func (l *Ledger) Deposit(p *vyrd.Probe, a int) bool {
+	a = clampAcct(a)
+	inv := p.Call("Deposit", a)
+
+	l.hint.Add(1)
+	p.Yield() // scheduling point: exploration parks the task mid-window
+	l.hint.Add(-1)
+
+	acc := &l.acct[a]
+	acc.mu.Lock()
+	p.Write(LockAcqOp, a)
+	if acc.sealed {
+		inv.Commit("sealed")
+		p.Write(LockRelOp, a)
+		acc.mu.Unlock()
+		inv.Return(false)
+		return false
+	}
+	acc.bal++
+	inv.CommitWrite("deposited", SetOp, a, acc.bal)
+	p.Write(LockRelOp, a)
+	acc.mu.Unlock()
+	inv.Return(true)
+	return true
+}
+
+// Transfer moves one unit from account `from` to account `to`. It fails if
+// either account is sealed or the two indices coincide. Both account locks
+// are held across the decision and the two balance writes, so the transfer
+// itself is atomic regardless of which path acquired them.
+func (l *Ledger) Transfer(p *vyrd.Probe, from, to int) bool {
+	from, to = clampAcct(from), clampAcct(to)
+	inv := p.Call("Transfer", from, to)
+	if from == to {
+		inv.Commit("self")
+		inv.Return(false)
+		return false
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+
+	locked := false
+	if l.bug == BugReversedLocks && l.hint.Load() != 0 {
+		// BUG: lock-order inversion. With a Deposit parked in its hint
+		// window, grab the high lock first, then try the low one. TryLock
+		// keeps this deadlock-free (on contention we release and fall back
+		// to canonical order), but the log now carries the reversed
+		// nesting hi-then-lo the lock-reversal property forbids.
+		l.acct[hi].mu.Lock()
+		p.Write(LockAcqOp, hi)
+		if l.acct[lo].mu.TryLock() {
+			p.Write(LockAcqOp, lo)
+			locked = true
+		} else {
+			p.Write(LockRelOp, hi)
+			l.acct[hi].mu.Unlock()
+		}
+	}
+	if !locked {
+		l.acct[lo].mu.Lock()
+		p.Write(LockAcqOp, lo)
+		l.acct[hi].mu.Lock()
+		p.Write(LockAcqOp, hi)
+	}
+
+	src, dst := &l.acct[from], &l.acct[to]
+	ok := !src.sealed && !dst.sealed
+	if ok {
+		inv.BeginCommitBlock()
+		src.bal--
+		p.Write(SetOp, from, src.bal)
+		dst.bal++
+		p.Write(SetOp, to, dst.bal)
+		inv.Commit("transferred")
+		inv.EndCommitBlock()
+	} else {
+		inv.Commit("sealed")
+	}
+
+	// Release order is irrelevant for the property (only nested acquires
+	// matter); release in reverse acquisition order like the real code
+	// paths above would.
+	p.Write(LockRelOp, hi)
+	l.acct[hi].mu.Unlock()
+	p.Write(LockRelOp, lo)
+	l.acct[lo].mu.Unlock()
+	inv.Return(ok)
+	return ok
+}
+
+// Seal permanently freezes account a: further deposits and transfers
+// touching it fail. Returns false if it was already sealed. Sealing is a
+// one-way latch, which the built-in sealed-key property checks against the
+// log: no acct-set on a may follow acct-seal a.
+func (l *Ledger) Seal(p *vyrd.Probe, a int) bool {
+	a = clampAcct(a)
+	inv := p.Call("Seal", a)
+	acc := &l.acct[a]
+	acc.mu.Lock()
+	p.Write(LockAcqOp, a)
+	ok := !acc.sealed
+	if ok {
+		acc.sealed = true
+		inv.CommitWrite("sealed", SealOp, a)
+	} else {
+		inv.Commit("already-sealed")
+	}
+	p.Write(LockRelOp, a)
+	acc.mu.Unlock()
+	inv.Return(ok)
+	return ok
+}
+
+// Get returns the balance of account a. It is an observer: only its call
+// and return are logged — in particular no lock events, since observers
+// must not contribute write actions to the log.
+func (l *Ledger) Get(p *vyrd.Probe, a int) int {
+	a = clampAcct(a)
+	inv := p.Call("Get", a)
+	acc := &l.acct[a]
+	acc.mu.Lock()
+	bal := acc.bal
+	acc.mu.Unlock()
+	inv.Return(bal)
+	return bal
+}

@@ -1,0 +1,155 @@
+package ledger
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ltl"
+	"repro/vyrd"
+)
+
+func runLedger(t *testing.T, bug Bug, seed int64) harness.Result {
+	t.Helper()
+	return harness.Run(Target(bug), harness.Config{
+		Threads:      3,
+		OpsPerThread: 40,
+		KeyPool:      8,
+		Shrink:       true,
+		Seed:         seed,
+		Level:        vyrd.LevelView,
+	})
+}
+
+func checkView(t *testing.T, res harness.Result) *core.Report {
+	t.Helper()
+	tgt := Target(BugNone)
+	rep, err := core.CheckEntries(res.Log.Snapshot(), tgt.NewSpec(),
+		core.WithMode(core.ModeView), core.WithReplayer(tgt.NewReplayer()))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return rep
+}
+
+func TestLedgerViewRefinementClean(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rep := checkView(t, runLedger(t, BugNone, seed))
+		if !rep.Ok() {
+			t.Fatalf("seed %d: clean ledger fails refinement: %s", seed, rep)
+		}
+		if rep.CommitsApplied == 0 || rep.ObserversChecked == 0 {
+			t.Fatalf("seed %d: run exercised nothing: %s", seed, rep)
+		}
+	}
+}
+
+func TestLedgerBuggyVariantStillRefines(t *testing.T) {
+	// The planted bug is a locking-discipline inversion, not a data bug:
+	// refinement must stay clean even on the buggy variant. (Whether the
+	// inversion actually fired is irrelevant here; the transfers remain
+	// atomic either way.)
+	for seed := int64(1); seed <= 4; seed++ {
+		rep := checkView(t, runLedger(t, BugReversedLocks, seed))
+		if !rep.Ok() {
+			t.Fatalf("seed %d: buggy ledger must still refine: %s", seed, rep)
+		}
+	}
+}
+
+// lockPairs enumerates the lock identifiers for property construction.
+func lockPairs() []int {
+	locks := make([]int, NumAccounts)
+	for i := range locks {
+		locks[i] = i
+	}
+	return locks
+}
+
+func TestLedgerReversedPathRefutesLockReversal(t *testing.T) {
+	// Drive the inversion deterministically: one canonical transfer on
+	// thread 1, then a transfer on thread 2 with the hint window forced
+	// open. The combined log contains both nesting orders, which is
+	// exactly what the lock-reversal property forbids.
+	l := New(BugReversedLocks)
+	log := vyrd.NewLog(vyrd.LevelView)
+	p1, p2 := log.NewProbe(), log.NewProbe()
+
+	if !l.Transfer(p1, 0, 1) {
+		t.Fatal("canonical transfer failed")
+	}
+	l.hint.Add(1) // as if a Deposit were parked in its yield window
+	if !l.Transfer(p2, 1, 0) {
+		t.Fatal("reversed transfer failed")
+	}
+	l.hint.Add(-1)
+	log.Close()
+
+	src := ltl.LockReversalProp("no-lock-reversal", LockAcqOp, LockRelOp,
+		lockPairs(), []int{int(p1.Tid()), int(p2.Tid())})
+	s, err := ltl.ParseProps(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rep := ltl.CheckEntries(s, log.Snapshot())
+	if rep.PropsViolated != 1 {
+		t.Fatalf("want the reversal refuted, got %s", rep)
+	}
+
+	// The same pair of transfers in canonical order leaves the property
+	// undecided.
+	l2 := New(BugNone)
+	log2 := vyrd.NewLog(vyrd.LevelView)
+	q1, q2 := log2.NewProbe(), log2.NewProbe()
+	l2.Transfer(q1, 0, 1)
+	l2.Transfer(q2, 1, 0)
+	log2.Close()
+	s2, err := ltl.ParseProps(ltl.LockReversalProp("no-lock-reversal", LockAcqOp, LockRelOp,
+		lockPairs(), []int{int(q1.Tid()), int(q2.Tid())}))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if rep := ltl.CheckEntries(s2, log2.Snapshot()); rep.PropsViolated != 0 {
+		t.Fatalf("canonical transfers must not refute the property: %s", rep)
+	}
+}
+
+func TestLedgerSealLatch(t *testing.T) {
+	l := New(BugNone)
+	log := vyrd.NewLog(vyrd.LevelView)
+	p := log.NewProbe()
+
+	if !l.Deposit(p, 0) || !l.Seal(p, 0) {
+		t.Fatal("setup failed")
+	}
+	if l.Deposit(p, 0) {
+		t.Fatal("deposit into sealed account succeeded")
+	}
+	if l.Transfer(p, 0, 1) {
+		t.Fatal("transfer from sealed account succeeded")
+	}
+	if l.Seal(p, 0) {
+		t.Fatal("double seal succeeded")
+	}
+	if got := l.Get(p, 0); got != 1 {
+		t.Fatalf("balance = %d, want 1", got)
+	}
+	log.Close()
+
+	// The trace refines, and the sealed-key property holds over it.
+	tgt := Target(BugNone)
+	rep, err := core.CheckEntries(log.Snapshot(), tgt.NewSpec(),
+		core.WithMode(core.ModeView), core.WithReplayer(tgt.NewReplayer()))
+	if err != nil || !rep.Ok() {
+		t.Fatalf("refinement: %v %s", err, rep)
+	}
+	s := ltl.NewSet()
+	for _, line := range ltl.SealedKeyProps(SetOp, SealOp, lockPairs()) {
+		if err := s.AddSource(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := ltl.CheckEntries(s, log.Snapshot()); rep.PropsViolated != 0 {
+		t.Fatalf("sealed-key property refuted on a correct run: %s", rep)
+	}
+}

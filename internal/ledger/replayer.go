@@ -1,0 +1,90 @@
+package ledger
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// View spaces shared by the replayer and the ledger specification, so viewI
+// and viewS agree on the canonical form: "bal:<acct>" holds the balance,
+// "sealed:<acct>" is 1 once the account is sealed.
+var (
+	spaceBal    = view.NewSpace("bal")
+	spaceSealed = view.NewSpace("sealed")
+)
+
+// Replayer reconstructs ledger state (the replica) from logged write
+// actions and exposes the viewI table over it (Section 6.2). Lock events
+// are discipline annotations for the temporal engine, not state updates:
+// the replayer skips them.
+//
+// Write operations:
+//
+//	"acct-set" a v    account a's balance is now v
+//	"acct-seal" a     account a is sealed (one-way latch)
+//	"lock-acq" a      account a's mutex acquired (ignored here)
+//	"lock-rel" a      account a's mutex about to be released (ignored here)
+type Replayer struct {
+	table *view.Table
+	seal  [NumAccounts]bool
+}
+
+// NewReplayer returns an empty replica.
+func NewReplayer() *Replayer {
+	return &Replayer{table: view.NewTable()}
+}
+
+// Reset implements core.Replayer.
+func (r *Replayer) Reset() {
+	r.table = view.NewTable()
+	r.seal = [NumAccounts]bool{}
+}
+
+// View implements core.Replayer.
+func (r *Replayer) View() *view.Table { return r.table }
+
+// Invariants implements core.Replayer. The seal latch is enforced per
+// replayed write (a balance write on a sealed account fails in Apply), so
+// there is nothing left to re-check here.
+func (r *Replayer) Invariants() error { return nil }
+
+// Apply implements core.Replayer.
+func (r *Replayer) Apply(op string, args []event.Value) error {
+	switch op {
+	case LockAcqOp, LockRelOp:
+		// Locking discipline events: meaningful to the temporal engine,
+		// no-ops on the replica.
+		return nil
+	case SetOp:
+		if len(args) != 2 {
+			return fmt.Errorf("ledger: %s wants 2 args, got %d", op, len(args))
+		}
+		a, ok := event.Int(args[0])
+		if !ok || a < 0 || a >= NumAccounts {
+			return fmt.Errorf("ledger: %s bad account %v", op, args[0])
+		}
+		v, ok := event.Int(args[1])
+		if !ok {
+			return fmt.Errorf("ledger: %s bad balance %v", op, args[1])
+		}
+		if r.seal[a] {
+			return fmt.Errorf("ledger: %s on sealed account %d", op, a)
+		}
+		r.table.SetInt(spaceBal, int64(a), int64(v))
+		return nil
+	case SealOp:
+		if len(args) != 1 {
+			return fmt.Errorf("ledger: %s wants 1 arg, got %d", op, len(args))
+		}
+		a, ok := event.Int(args[0])
+		if !ok || a < 0 || a >= NumAccounts {
+			return fmt.Errorf("ledger: %s bad account %v", op, args[0])
+		}
+		r.seal[a] = true
+		r.table.SetInt(spaceSealed, int64(a), 1)
+		return nil
+	}
+	return fmt.Errorf("ledger: unknown write op %q", op)
+}

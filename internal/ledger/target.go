@@ -1,0 +1,45 @@
+package ledger
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the ledger to the random test harness. The mix leans on
+// Transfer (the method carrying the planted lock-order inversion) and keeps
+// Seal rare so most schedules exercise open accounts; sealing does not
+// hinder inversion discovery, since Transfer takes both locks before it
+// checks the latch.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Ledger-LockPair",
+		New: func(log *vyrd.Log) harness.Instance {
+			l := New(bug)
+			return harness.Instance{Methods: methods(l)}
+		},
+		NewSpec:     func() core.Spec { return spec.NewLedger() },
+		NewReplayer: func() core.Replayer { return NewReplayer() },
+	}
+}
+
+func methods(l *Ledger) []harness.Method {
+	return []harness.Method{
+		{Name: "Deposit", Weight: 30, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			l.Deposit(p, pick())
+		}},
+		{Name: "Transfer", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			a := pick()
+			l.Transfer(p, a, a+1)
+		}},
+		{Name: "Seal", Weight: 3, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			l.Seal(p, pick())
+		}},
+		{Name: "Get", Weight: 27, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			l.Get(p, pick())
+		}},
+	}
+}

@@ -1,0 +1,270 @@
+package ltl
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// DigestFunc resolves the `digest=` atom key: given an entry, it returns a
+// digest of the abstract view at that log position (and whether one is
+// available there). Typically wired to a view-table hash at commits. With
+// no hook installed, digest atoms are simply false.
+type DigestFunc func(*event.Entry) (uint64, bool)
+
+// matchKey identifies which entry field a matcher inspects.
+type matchKey uint8
+
+const (
+	mKind matchKey = iota
+	mMethod
+	mModule
+	mLabel
+	mWOp
+	mTid
+	mWorker
+	mDigest
+	mArg
+	mWArg
+	mRet
+)
+
+// valKind is the parsed type of a matcher's right-hand side.
+type valKind uint8
+
+const (
+	vString valKind = iota
+	vInt
+	vUint
+	vBool
+	vNil
+)
+
+// matcher is one key=value (or key!=value) predicate inside an atom.
+type matcher struct {
+	key    matchKey
+	keyStr string // canonical key text ("method", "arg0", ...)
+	idx    int    // arg/warg index
+	neg    bool   // != instead of =
+
+	vk     valKind
+	s      string
+	i      int64
+	u      uint64
+	b      bool
+	prefix bool // trailing * on a string value: prefix match
+	kind   event.Kind
+}
+
+// Match evaluates the matcher on an entry. A != matcher is the exact
+// negation of its = form, so e.g. `arg0!=5` also matches entries with no
+// argument 0 at all.
+func (m *matcher) match(e *event.Entry, digest DigestFunc) bool {
+	ok := m.matchPos(e, digest)
+	if m.neg {
+		return !ok
+	}
+	return ok
+}
+
+func (m *matcher) matchPos(e *event.Entry, digest DigestFunc) bool {
+	switch m.key {
+	case mKind:
+		return e.Kind == m.kind
+	case mMethod:
+		return m.matchStr(e.Method)
+	case mModule:
+		return m.matchStr(e.Module)
+	case mLabel:
+		return m.matchStr(e.Label)
+	case mWOp:
+		return m.matchStr(e.WOp)
+	case mTid:
+		return int64(e.Tid) == m.i
+	case mWorker:
+		return e.Worker == m.b
+	case mDigest:
+		if digest == nil {
+			return false
+		}
+		d, ok := digest(e)
+		return ok && d == m.u
+	case mArg:
+		if m.idx >= len(e.Args) {
+			return false
+		}
+		return m.matchVal(e.Args[m.idx])
+	case mWArg:
+		if m.idx >= len(e.WArgs) {
+			return false
+		}
+		return m.matchVal(e.WArgs[m.idx])
+	case mRet:
+		return m.matchVal(e.Ret)
+	}
+	return false
+}
+
+func (m *matcher) matchStr(s string) bool {
+	if m.prefix {
+		return strings.HasPrefix(s, m.s)
+	}
+	return s == m.s
+}
+
+// matchVal compares a logged value (argument, commit-write argument or
+// return) against the matcher. Numeric log values of any signed/unsigned
+// width compare against int matchers by value.
+func (m *matcher) matchVal(v event.Value) bool {
+	switch m.vk {
+	case vNil:
+		return v == nil
+	case vBool:
+		b, ok := v.(bool)
+		return ok && b == m.b
+	case vInt, vUint:
+		i, ok := asInt64(v)
+		return ok && i == m.i
+	case vString:
+		s, ok := v.(string)
+		return ok && m.matchStr(s)
+	}
+	return false
+}
+
+func asInt64(v event.Value) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int8:
+		return int64(x), true
+	case int16:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint:
+		return int64(x), true
+	case uint8:
+		return int64(x), true
+	case uint16:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	case uint64:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// valueString renders the matcher's right-hand side canonically, so that
+// reparsing yields the identical matcher.
+func (m *matcher) valueString() string {
+	var s string
+	switch m.vk {
+	case vNil:
+		return "nil"
+	case vBool:
+		return strconv.FormatBool(m.b)
+	case vInt:
+		return strconv.FormatInt(m.i, 10)
+	case vUint:
+		return "0x" + strconv.FormatUint(m.u, 16)
+	case vString:
+		s = m.s
+	}
+	if m.key == mKind {
+		return m.kind.String()
+	}
+	if bareSafe(s) {
+		if m.prefix {
+			return s + "*"
+		}
+		return s
+	}
+	q := strconv.Quote(s)
+	if m.prefix {
+		return q + "*"
+	}
+	return q
+}
+
+// bareSafe reports whether a string value can print unquoted and reparse to
+// the same string matcher (not confusable with an int/bool/nil literal, and
+// containing only bareword runes).
+func bareSafe(s string) bool {
+	if s == "" || s == "true" || s == "false" || s == "nil" {
+		return false
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return false
+	}
+	for _, r := range s {
+		if !isBareRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isBareRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '_' || r == '.' || r == '-' || r == '/' || r == ':' || r == '+':
+		return true
+	}
+	return false
+}
+
+// Atom is an atomic predicate over one log entry: the conjunction of its
+// matchers. `{}` (no matchers) would match every entry and is canonicalized
+// to `true` by the parser, so a constructed Atom always has at least one.
+type Atom struct {
+	ms  []matcher
+	src string // canonical source, computed at construction
+}
+
+// Match evaluates the atom on an entry.
+func (at *Atom) Match(e *event.Entry, digest DigestFunc) bool {
+	for i := range at.ms {
+		if !at.ms[i].match(e, digest) {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns the canonical source of the atom.
+func (at *Atom) String() string { return at.src }
+
+func newAtom(ms []matcher) *Atom {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range ms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ms[i].keyStr)
+		if ms[i].neg {
+			b.WriteString("!=")
+		} else {
+			b.WriteString("=")
+		}
+		b.WriteString(ms[i].valueString())
+	}
+	b.WriteByte('}')
+	return &Atom{ms: ms, src: b.String()}
+}
+
+// kindByName maps atom kind values to event kinds.
+func kindByName(s string) (event.Kind, bool) {
+	for k := event.KindCall; k <= event.KindEndBlock; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}

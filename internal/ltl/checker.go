@@ -1,0 +1,130 @@
+package ltl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// CheckerOption configures a Checker.
+type CheckerOption func(*Checker)
+
+// WithFailFast stops checking at the first violated property.
+func WithFailFast(on bool) CheckerOption { return func(c *Checker) { c.failFast = on } }
+
+// WithMaxViolations caps recorded violations (TotalViolations still counts
+// all of them). Default 16, mirroring the refinement checker.
+func WithMaxViolations(n int) CheckerOption { return func(c *Checker) { c.maxViolations = n } }
+
+// Checker adapts a property Set evaluation to core.EntryChecker, so LTL
+// checking rides every existing driver unchanged: the offline cursor
+// driver, core.Multi fan-out, the online wal pipeline and the fleet
+// scheduler. One incremental evaluator step per entry; state is the
+// residual formulas, never the trace.
+type Checker struct {
+	ev            *Eval
+	rep           *core.Report
+	maxViolations int
+	failFast      bool
+	done          bool
+	finished      bool
+}
+
+var _ core.EntryChecker = (*Checker)(nil)
+
+// NewChecker starts a checking run over the set's properties.
+func NewChecker(s *Set, opts ...CheckerOption) *Checker {
+	c := &Checker{
+		ev:            s.NewEval(),
+		rep:           &core.Report{Mode: core.ModeLTL},
+		maxViolations: 16,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Feed advances every undecided property by one entry. Calls after Done or
+// Finish are tolerated and ignored.
+func (c *Checker) Feed(e event.Entry) {
+	if c.finished || c.done {
+		return
+	}
+	c.rep.EntriesProcessed++
+	switch e.Kind {
+	case event.KindReturn:
+		c.rep.MethodsCompleted++
+	case event.KindCommit:
+		c.rep.CommitsApplied++
+	}
+	for _, m := range c.ev.Step(&e) {
+		if m.Verdict() != Violated {
+			continue
+		}
+		c.rep.TotalViolations++
+		if len(c.rep.Violations) < c.maxViolations {
+			c.rep.Violations = append(c.rep.Violations, core.Violation{
+				Kind:             core.ViolationTemporal,
+				Seq:              m.Witness(),
+				Tid:              e.Tid,
+				Method:           e.Method,
+				Detail:           fmt.Sprintf("property %q refuted: %s", m.Prop.Name, truncate(m.Prop.Source(), 160)),
+				MethodsCompleted: c.rep.MethodsCompleted,
+			})
+		}
+	}
+	if c.ev.Decided() || (c.failFast && c.rep.TotalViolations > 0) {
+		c.done = true
+	}
+}
+
+// Finish freezes the verdict: undecided properties become Inconclusive (the
+// honest LTL3 answer at log end) and the per-verdict counters are filled.
+func (c *Checker) Finish() *core.Report {
+	if c.finished {
+		return c.rep
+	}
+	c.finished = true
+	for _, m := range c.ev.Monitors() {
+		switch m.Verdict() {
+		case Satisfied:
+			c.rep.PropsSatisfied++
+		case Violated:
+			c.rep.PropsViolated++
+		default:
+			c.rep.PropsInconclusive++
+		}
+	}
+	return c.rep
+}
+
+// Done reports whether the checker needs no further entries.
+func (c *Checker) Done() bool { return c.done }
+
+// Report returns the current report; complete only after Finish.
+func (c *Checker) Report() *core.Report { return c.rep }
+
+// Monitors exposes the per-property monitors for diagnostics (residuals of
+// inconclusive properties, witnesses of decided ones).
+func (c *Checker) Monitors() []*Monitor { return c.ev.Monitors() }
+
+// CheckEntries evaluates the set over a decoded log, offline.
+func CheckEntries(s *Set, entries []event.Entry, opts ...CheckerOption) *core.Report {
+	c := NewChecker(s, opts...)
+	for i := range entries {
+		if c.Done() {
+			break
+		}
+		c.Feed(entries[i])
+	}
+	return c.Finish()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

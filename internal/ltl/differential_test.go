@@ -1,0 +1,127 @@
+package ltl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// randFormula generates a random formula source string over a small atom
+// alphabet, exercising the parser alongside both evaluators.
+func randFormula(r *rand.Rand, budget int) string {
+	atoms := []string{
+		"{kind=call}", "{kind=return}", "{kind=commit}", "{kind=write}",
+		"{method=A}", "{method=B}", "{tid=1}", "{tid=2}",
+		"{arg0=1}", "{arg0=2}", "{method=A, tid=1}", "{kind=write, arg0=1}",
+		"true", "false",
+	}
+	if budget <= 1 {
+		return atoms[r.Intn(len(atoms))]
+	}
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("!(%s)", randFormula(r, budget-1))
+	case 1:
+		return fmt.Sprintf("X(%s)", randFormula(r, budget-1))
+	case 2:
+		return fmt.Sprintf("F(%s)", randFormula(r, budget-1))
+	case 3:
+		return fmt.Sprintf("G(%s)", randFormula(r, budget-1))
+	case 4:
+		h := budget / 2
+		return fmt.Sprintf("(%s) && (%s)", randFormula(r, h), randFormula(r, budget-h))
+	case 5:
+		h := budget / 2
+		return fmt.Sprintf("(%s) || (%s)", randFormula(r, h), randFormula(r, budget-h))
+	case 6:
+		h := budget / 2
+		return fmt.Sprintf("(%s) U (%s)", randFormula(r, h), randFormula(r, budget-h))
+	default:
+		h := budget / 2
+		return fmt.Sprintf("(%s) R (%s)", randFormula(r, h), randFormula(r, budget-h))
+	}
+}
+
+func randTrace(r *rand.Rand, n int) []event.Entry {
+	kinds := []event.Kind{event.KindCall, event.KindReturn, event.KindCommit, event.KindWrite}
+	methods := []string{"A", "B", "C"}
+	out := make([]event.Entry, n)
+	for i := range out {
+		out[i] = event.Entry{
+			Seq:    int64(i + 1),
+			Kind:   kinds[r.Intn(len(kinds))],
+			Method: methods[r.Intn(len(methods))],
+			Tid:    int32(1 + r.Intn(3)),
+			Args:   []event.Value{r.Intn(3)},
+		}
+	}
+	return out
+}
+
+// TestDifferentialStreamingVsNaive pins the streaming hash-consed,
+// memoized evaluator against the independent whole-trace tree evaluator:
+// same verdict and same witness position on randomized formulas and
+// traces. This is the guard against memoization and simplification bugs —
+// a memo key collision or a divergent rewrite shows up as a verdict or
+// witness mismatch here.
+func TestDifferentialStreamingVsNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for round := 0; round < 400; round++ {
+		src := randFormula(r, 2+r.Intn(12))
+		p, err := ParseProp("p: " + src)
+		if err != nil {
+			t.Fatalf("round %d: parse %q: %v", round, src, err)
+		}
+		tr := randTrace(r, 1+r.Intn(40))
+
+		wantV, wantW := NaiveVerdict(p, tr, nil)
+
+		e := p.set.NewEval()
+		for i := range tr {
+			e.Step(&tr[i])
+			if e.Decided() {
+				break
+			}
+		}
+		m := e.Monitors()[0]
+		if m.Verdict() != wantV || m.Witness() != wantW {
+			t.Fatalf("round %d: formula %q (canonical %q): streaming %v@%d, naive %v@%d",
+				round, src, p.Source(), m.Verdict(), m.Witness(), wantV, wantW)
+		}
+	}
+}
+
+// TestDifferentialSharedSet runs many properties through ONE shared-arena
+// set (the production shape: shared atoms, shared memo) and pins each
+// against the naive evaluator individually.
+func TestDifferentialSharedSet(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for round := 0; round < 40; round++ {
+		s := NewSet()
+		n := 2 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			if _, err := s.Add(fmt.Sprintf("p%d", i), randFormula(r, 2+r.Intn(10))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := randTrace(r, 1+r.Intn(60))
+		e := s.NewEval()
+		for i := range tr {
+			e.Step(&tr[i])
+			if e.Decided() {
+				break
+			}
+		}
+		for _, m := range e.Monitors() {
+			wantV, wantW := NaiveVerdict(m.Prop, tr, nil)
+			// A monitor that decided early has the same verdict the
+			// full-trace naive run reaches (verdicts are final).
+			if m.Verdict() != wantV || m.Witness() != wantW {
+				t.Fatalf("round %d: prop %s: streaming %v@%d, naive %v@%d",
+					round, m.Prop, m.Verdict(), m.Witness(), wantV, wantW)
+			}
+		}
+	}
+}

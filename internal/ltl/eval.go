@@ -1,0 +1,264 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Prop is one named, compiled property.
+type Prop struct {
+	Name   string
+	root   *Node
+	source string // canonical printed form
+	set    *Set
+}
+
+// Source returns the canonical source of the property's formula (the
+// printer's output; reparsing it yields the same formula).
+func (p *Prop) Source() string { return p.source }
+
+// String renders "name: formula".
+func (p *Prop) String() string { return p.Name + ": " + p.source }
+
+// Set is a compiled collection of properties sharing one formula arena, so
+// common subformulas and atoms are evaluated once. A Set is built once and
+// then drives any number of (sequential) evaluations; it is not safe for
+// concurrent use by multiple evaluators.
+type Set struct {
+	ar     *arena
+	props  []*Prop
+	names  map[string]bool
+	digest DigestFunc
+
+	valIntern map[string]string // valuation bitset -> interned memo key
+}
+
+// NewSet returns an empty property set.
+func NewSet() *Set {
+	return &Set{ar: newArena(), names: make(map[string]bool), valIntern: make(map[string]string)}
+}
+
+// SetDigest installs the hook backing `digest=` atoms. Without one, digest
+// atoms evaluate to false.
+func (s *Set) SetDigest(fn DigestFunc) { s.digest = fn }
+
+// Props returns the compiled properties in addition order.
+func (s *Set) Props() []*Prop { return s.props }
+
+// Sources returns the properties as "name: formula" lines — the shape the
+// remote Hello handshake ships and ParseProps accepts back.
+func (s *Set) Sources() []string {
+	out := make([]string, len(s.props))
+	for i, p := range s.props {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// Add parses one formula and adds it under the given name.
+func (s *Set) Add(name, formula string) (*Prop, error) {
+	if !validPropName(name) {
+		return nil, fmt.Errorf("ltl: bad property name %q", name)
+	}
+	if s.names[name] {
+		return nil, fmt.Errorf("ltl: duplicate property name %q", name)
+	}
+	root, err := parseFormula(s.ar, formula)
+	if err != nil {
+		return nil, fmt.Errorf("ltl: property %q: %w", name, err)
+	}
+	p := &Prop{Name: name, root: root, source: s.ar.formatNode(root), set: s}
+	s.names[name] = true
+	s.props = append(s.props, p)
+	return p, nil
+}
+
+// AddSource parses a property document (named or bare formulas, one per
+// line, '#' comments) into the set. Bare formulas are named prop1, prop2,
+// ... by position.
+func (s *Set) AddSource(src string) error {
+	for i, line := range strings.Split(src, "\n") {
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, formula := splitProp(text)
+		if name == "" {
+			name = fmt.Sprintf("prop%d", len(s.props)+1)
+		}
+		if _, err := s.Add(name, formula); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// splitProp splits a "name: formula" line; a line without a name prefix is
+// all formula.
+func splitProp(line string) (name, formula string) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", line
+	}
+	cand := strings.TrimSpace(line[:i])
+	if !validPropName(cand) {
+		return "", line
+	}
+	return cand, line[i+1:]
+}
+
+func validPropName(name string) bool {
+	if name == "" || !isIdentStart(rune(name[0])) {
+		return false
+	}
+	for _, r := range name {
+		if !(isIdentRune(r) || r == '.' || r == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseProps parses a property document into a fresh Set. It never panics,
+// whatever the input.
+func ParseProps(src string) (*Set, error) {
+	s := NewSet()
+	if err := s.AddSource(src); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseProp parses a single property line ("name: formula" or a bare
+// formula) into a fresh single-property Set and returns the property. It
+// never panics, whatever the input.
+func ParseProp(line string) (*Prop, error) {
+	s := NewSet()
+	if err := s.AddSource(line); err != nil {
+		return nil, err
+	}
+	if len(s.props) != 1 {
+		return nil, fmt.Errorf("ltl: expected exactly one property, got %d", len(s.props))
+	}
+	return s.props[0], nil
+}
+
+// Monitor is the streaming LTL3 state of one property: the residual formula
+// that must hold over the remainder of the trace.
+type Monitor struct {
+	Prop    *Prop
+	cur     *Node
+	verdict Verdict
+	decided bool
+	witness int64 // seq of the deciding entry; -1 while undecided
+}
+
+// Verdict returns the monitor's current LTL3 verdict; Inconclusive until
+// (and unless) the residual collapses.
+func (m *Monitor) Verdict() Verdict { return m.verdict }
+
+// Decided reports whether the verdict is final (further entries cannot
+// change it).
+func (m *Monitor) Decided() bool { return m.decided }
+
+// Witness returns the log sequence number of the entry that decided the
+// verdict, or -1 while undecided. For a violation this is the witness
+// position: the step at which every infinite extension became refuting.
+func (m *Monitor) Witness() int64 { return m.witness }
+
+// Residual renders the current residual formula — what still has to hold —
+// for diagnostics on inconclusive verdicts.
+func (m *Monitor) Residual() string { return m.Prop.set.ar.formatNode(m.cur) }
+
+// Eval steps every property of a Set over one pass of the log. Not safe
+// for concurrent use.
+type Eval struct {
+	set       *Set
+	mons      []*Monitor
+	natoms    int
+	val       []uint64
+	keyBuf    []byte
+	undecided int
+	fresh     []*Monitor // scratch: monitors decided by the last Step
+}
+
+// NewEval starts a fresh evaluation of the set's properties. The atom
+// universe is frozen at this point; adding properties to the set afterwards
+// requires a new Eval.
+func (s *Set) NewEval() *Eval {
+	e := &Eval{
+		set:    s,
+		natoms: len(s.ar.atoms),
+	}
+	e.val = make([]uint64, (e.natoms+63)/64)
+	e.keyBuf = make([]byte, 8*len(e.val))
+	for _, p := range s.props {
+		m := &Monitor{Prop: p, cur: p.root, witness: -1}
+		// A constant formula is decided before any entry.
+		switch p.root {
+		case s.ar.tt:
+			m.verdict, m.decided = Satisfied, true
+		case s.ar.ff:
+			m.verdict, m.decided = Violated, true
+		default:
+			e.undecided++
+		}
+		e.mons = append(e.mons, m)
+	}
+	return e
+}
+
+// Monitors returns the per-property monitors, in set order.
+func (e *Eval) Monitors() []*Monitor { return e.mons }
+
+// Decided reports whether every property has reached a final verdict, so
+// further entries cannot change anything.
+func (e *Eval) Decided() bool { return e.undecided == 0 }
+
+// Step advances every undecided monitor by one entry and returns the
+// monitors whose verdict this entry decided (the slice is reused by the
+// next Step).
+func (e *Eval) Step(en *event.Entry) []*Monitor {
+	e.fresh = e.fresh[:0]
+	if e.undecided == 0 {
+		return e.fresh
+	}
+	ar := e.set.ar
+	for i := range e.val {
+		e.val[i] = 0
+	}
+	for i, at := range ar.atoms[:e.natoms] {
+		if at.Match(en, e.set.digest) {
+			e.val[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	for i, w := range e.val {
+		for b := 0; b < 8; b++ {
+			e.keyBuf[8*i+b] = byte(w >> (8 * b))
+		}
+	}
+	key, ok := e.set.valIntern[string(e.keyBuf)]
+	if !ok {
+		key = string(e.keyBuf)
+		e.set.valIntern[key] = key
+	}
+	for _, m := range e.mons {
+		if m.decided {
+			continue
+		}
+		m.cur = ar.prog(m.cur, e.val, key)
+		switch m.cur {
+		case ar.tt:
+			m.verdict, m.decided, m.witness = Satisfied, true, en.Seq
+		case ar.ff:
+			m.verdict, m.decided, m.witness = Violated, true, en.Seq
+		default:
+			continue
+		}
+		e.undecided--
+		e.fresh = append(e.fresh, m)
+	}
+	return e.fresh
+}

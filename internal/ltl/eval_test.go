@@ -1,0 +1,282 @@
+package ltl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// trace builds a toy log. Each spec is "kind method tid" with optional
+// args; Seq is assigned densely from 1.
+type tentry struct {
+	kind   event.Kind
+	method string
+	tid    int32
+	args   []event.Value
+	ret    event.Value
+}
+
+func mkTrace(specs []tentry) []event.Entry {
+	out := make([]event.Entry, len(specs))
+	for i, s := range specs {
+		out[i] = event.Entry{
+			Seq: int64(i + 1), Kind: s.kind, Method: s.method, Tid: s.tid,
+			Args: s.args, Ret: s.ret,
+		}
+	}
+	return out
+}
+
+func call(m string, t int32, args ...event.Value) tentry {
+	return tentry{kind: event.KindCall, method: m, tid: t, args: args}
+}
+func ret(m string, t int32, v event.Value) tentry {
+	return tentry{kind: event.KindReturn, method: m, tid: t, ret: v}
+}
+func commit(m string, t int32) tentry { return tentry{kind: event.KindCommit, method: m, tid: t} }
+func write(op string, t int32, args ...event.Value) tentry {
+	return tentry{kind: event.KindWrite, method: op, tid: t, args: args}
+}
+
+func evalOne(t *testing.T, formula string, entries []event.Entry) (Verdict, int64) {
+	t.Helper()
+	s := NewSet()
+	if _, err := s.Add("p", formula); err != nil {
+		t.Fatalf("Add(%q): %v", formula, err)
+	}
+	e := s.NewEval()
+	for i := range entries {
+		e.Step(&entries[i])
+		if e.Decided() {
+			break
+		}
+	}
+	m := e.Monitors()[0]
+	return m.Verdict(), m.Witness()
+}
+
+func TestEvalVerdicts(t *testing.T) {
+	tr := mkTrace([]tentry{
+		call("Insert", 1, 5),
+		commit("Insert", 1),
+		ret("Insert", 1, true),
+		call("Lookup", 2, 5),
+		ret("Lookup", 2, true),
+	})
+	cases := []struct {
+		formula string
+		want    Verdict
+		witness int64
+	}{
+		// F resolves at the first match.
+		{"F {kind=commit}", Satisfied, 2},
+		// F of something absent stays inconclusive.
+		{"F {method=Delete}", Inconclusive, -1},
+		// G is refuted by the first counterexample.
+		{"G {tid=1}", Violated, 4},
+		// G of an invariant that holds stays inconclusive (LTL3-honest).
+		{"G({kind=call} -> F {kind=return})", Inconclusive, -1},
+		// X steps exactly one entry.
+		{"X {kind=commit}", Satisfied, 2},
+		{"X {kind=return}", Violated, 2},
+		// Until resolves on its right arm...
+		{"{tid=1} U {kind=return, method=Insert}", Satisfied, 3},
+		// ...and is violated when the left arm breaks first.
+		{"{kind=call} U {method=Delete}", Violated, 2},
+		// Release: the planted commit-discipline shape.
+		{"G({kind=call, method=Insert, tid=1} -> X(!{kind=return, method=Insert, tid=1} U {kind=commit, method=Insert, tid=1}))",
+			Inconclusive, -1},
+		// Atom matchers: args, rets, negation.
+		{"F {kind=call, arg0=5}", Satisfied, 1},
+		{"F {kind=call, arg0=6}", Inconclusive, -1},
+		{"F {kind=return, ret=true, method=Lookup}", Satisfied, 5},
+		{"G {method!=Delete}", Inconclusive, -1},
+		{"F {method=Look*}", Satisfied, 4},
+	}
+	for _, c := range cases {
+		v, w := evalOne(t, c.formula, tr)
+		if v != c.want || w != c.witness {
+			t.Errorf("%q: verdict %v witness %d, want %v %d", c.formula, v, w, c.want, c.witness)
+		}
+	}
+}
+
+func TestEvalCommitDisciplineViolated(t *testing.T) {
+	// A mutator that returns before committing violates the discipline
+	// property with the return as witness.
+	tr := mkTrace([]tentry{
+		call("Insert", 1, 5),
+		ret("Insert", 1, true),
+		commit("Insert", 1),
+	})
+	src := CommitBeforeReturnProps([]string{"Insert"}, []int{1})[0]
+	p, err := ParseProp(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.set.NewEval()
+	for i := range tr {
+		e.Step(&tr[i])
+	}
+	m := e.Monitors()[0]
+	if m.Verdict() != Violated || m.Witness() != 2 {
+		t.Fatalf("verdict %v witness %d, want violated at 2", m.Verdict(), m.Witness())
+	}
+}
+
+func TestEvalLockReversal(t *testing.T) {
+	src := LockReversalProp("rev", "lock-acq", "lock-rel", []int{0, 1}, []int{1, 2})
+	p, err := ParseProp(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean: both threads acquire in canonical order.
+	clean := mkTrace([]tentry{
+		write("lock-acq", 1, 0), write("lock-acq", 1, 1),
+		write("lock-rel", 1, 1), write("lock-rel", 1, 0),
+		write("lock-acq", 2, 0), write("lock-acq", 2, 1),
+		write("lock-rel", 2, 1), write("lock-rel", 2, 0),
+	})
+	if v, _ := NaiveVerdict(p, clean, nil); v != Inconclusive {
+		t.Fatalf("clean trace: naive verdict %v, want inconclusive", v)
+	}
+	e := p.set.NewEval()
+	for i := range clean {
+		e.Step(&clean[i])
+	}
+	if v := e.Monitors()[0].Verdict(); v != Inconclusive {
+		t.Fatalf("clean trace: verdict %v, want inconclusive", v)
+	}
+
+	// Reversed: thread 2 nests 1-then-0 after thread 1 nested 0-then-1.
+	// The second acquire of the reversed nesting is the witness.
+	bad := mkTrace([]tentry{
+		write("lock-acq", 1, 0), write("lock-acq", 1, 1),
+		write("lock-rel", 1, 1), write("lock-rel", 1, 0),
+		write("lock-acq", 2, 1), write("lock-acq", 2, 0),
+		write("lock-rel", 2, 0), write("lock-rel", 2, 1),
+	})
+	e = p.set.NewEval()
+	var decided *Monitor
+	for i := range bad {
+		for _, m := range e.Step(&bad[i]) {
+			decided = m
+		}
+	}
+	if decided == nil || decided.Verdict() != Violated || decided.Witness() != 6 {
+		t.Fatalf("reversed trace: want violation at 6, got %+v", decided)
+	}
+
+	// An interleaved release breaks the nesting: no violation.
+	released := mkTrace([]tentry{
+		write("lock-acq", 1, 0), write("lock-acq", 1, 1),
+		write("lock-rel", 1, 1), write("lock-rel", 1, 0),
+		write("lock-acq", 2, 1), write("lock-rel", 2, 1),
+		write("lock-acq", 2, 0), write("lock-rel", 2, 0),
+	})
+	e = p.set.NewEval()
+	for i := range released {
+		e.Step(&released[i])
+	}
+	if v := e.Monitors()[0].Verdict(); v != Inconclusive {
+		t.Fatalf("released trace: verdict %v, want inconclusive", v)
+	}
+}
+
+func TestEvalSealedKeyLatch(t *testing.T) {
+	src := SealedKeyProps("acct-set", "acct-seal", []int{0, 1})
+	s := NewSet()
+	for _, line := range src {
+		if err := s.AddSource(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := mkTrace([]tentry{
+		write("acct-set", 1, 0, 10),
+		write("acct-seal", 1, 0),
+		write("acct-set", 2, 1, 5),  // key 1 not sealed: fine
+		write("acct-set", 2, 0, 11), // key 0 sealed: violation
+	})
+	rep := CheckEntries(s, tr)
+	if rep.TotalViolations != 1 || rep.PropsViolated != 1 {
+		t.Fatalf("want exactly one violated prop, got %+v", rep)
+	}
+	if v := rep.First(); v.Kind != core.ViolationTemporal || v.Seq != 4 {
+		t.Fatalf("violation = %+v, want temporal at seq 4", v)
+	}
+	if rep.PropsInconclusive != 1 {
+		t.Fatalf("props inconclusive = %d, want 1", rep.PropsInconclusive)
+	}
+}
+
+func TestCheckerContract(t *testing.T) {
+	// Feed after Done is tolerated; Finish is idempotent; fail-fast stops.
+	s := NewSet()
+	if _, err := s.Add("never", "G {kind=call}"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(s, WithFailFast(true))
+	tr := mkTrace([]tentry{call("A", 1), ret("A", 1, nil), call("B", 1)})
+	for i := range tr {
+		c.Feed(tr[i])
+	}
+	if !c.Done() {
+		t.Fatal("fail-fast checker not done after violation")
+	}
+	if got := c.Report().EntriesProcessed; got != 2 {
+		t.Fatalf("entries processed = %d, want 2 (fed after done ignored)", got)
+	}
+	rep := c.Finish()
+	if rep != c.Finish() {
+		t.Fatal("Finish not idempotent")
+	}
+	if rep.PropsViolated != 1 || rep.Ok() {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Mode != core.ModeLTL {
+		t.Fatalf("mode = %v, want ltl", rep.Mode)
+	}
+}
+
+func TestModeAndViolationKindRoundTrip(t *testing.T) {
+	// The new enum members survive the JSON round trip the remote
+	// protocol depends on.
+	var m core.Mode
+	if err := m.UnmarshalJSON([]byte(`"ltl"`)); err != nil || m != core.ModeLTL {
+		t.Fatalf("mode round trip: %v %v", m, err)
+	}
+	var k core.ViolationKind
+	if err := k.UnmarshalJSON([]byte(`"temporal"`)); err != nil || k != core.ViolationTemporal {
+		t.Fatalf("kind round trip: %v %v", k, err)
+	}
+}
+
+func TestDigestAtom(t *testing.T) {
+	s := NewSet()
+	if _, err := s.Add("d", "F {kind=commit, digest=0x2a}"); err != nil {
+		t.Fatal(err)
+	}
+	tr := mkTrace([]tentry{commit("A", 1), commit("B", 1)})
+
+	// Without a hook, digest atoms are false: inconclusive.
+	if rep := CheckEntries(s, tr); rep.PropsInconclusive != 1 {
+		t.Fatalf("no hook: %+v", rep)
+	}
+
+	s2 := NewSet()
+	s2.SetDigest(func(e *event.Entry) (uint64, bool) {
+		if e.Method == "B" {
+			return 42, true
+		}
+		return 0, false
+	})
+	if _, err := s2.Add("d", "F {kind=commit, digest=0x2a}"); err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckEntries(s2, tr)
+	if rep.PropsSatisfied != 1 {
+		t.Fatalf("with hook: %+v", rep)
+	}
+}

@@ -1,0 +1,51 @@
+package ltl
+
+import "testing"
+
+// FuzzParseProp: arbitrary bytes never panic the parser, and anything that
+// parses prints canonically — parse(print(f)) succeeds and is a fixed
+// point of the printer.
+func FuzzParseProp(f *testing.F) {
+	seeds := []string{
+		"",
+		"true",
+		"name: G({kind=call, tid=1} -> F {kind=return, tid=1})",
+		"{method=Ins*, arg0=5} U ({kind=commit} && !{worker=true})",
+		"F({kind=write, method=lock-acq, tid=1, arg0=0} && X(!{kind=write, method=lock-rel, tid=1, arg0=0} U {kind=write, method=lock-acq, tid=1, arg0=1}))",
+		"a: {ret=\"quo\\\"ted\"} R {label=x}",
+		"¬{kind=call} ∧ ({tid=2} ∨ true) → X false",
+		"p: {digest=0xdeadbeef} || {arg3=nil} || {warg1=-7}",
+		"#comment\n\nx: true\ny: false",
+		"((((true))))",
+		"{kind=call,}",
+		"{tid=999999999999999999999}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseProps(src) // must never panic
+		if err != nil {
+			return
+		}
+		for _, p := range s.Props() {
+			// The canonical print must reparse to the identical node in
+			// the same arena (printer/parser fixed point)...
+			again, err := parseFormula(s.ar, p.Source())
+			if err != nil {
+				t.Fatalf("reparse canonical %q: %v", p.Source(), err)
+			}
+			if again != p.root {
+				t.Fatalf("parse(print) not a fixed point: %q -> %q", p.Source(), s.ar.formatNode(again))
+			}
+			// ...and through a fresh arena print the same source.
+			p2, err := ParseProp(p.Name + ": " + p.Source())
+			if err != nil {
+				t.Fatalf("fresh reparse %q: %v", p.Source(), err)
+			}
+			if p2.Source() != p.Source() {
+				t.Fatalf("fresh arena print mismatch: %q vs %q", p2.Source(), p.Source())
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Built-in property generators. Each returns "name: formula" source lines
+// (ParseProps / Set.AddSource input) rather than compiled formulas, so the
+// same strings serve local checking, the vyrdd Hello handshake and the
+// property-file format uniformly.
+
+// LockReversalProp builds the lock-order-inversion (deadlock-potential)
+// property over lock acquire/release events logged as write entries
+// `{kind=write, method=<acqOp>, arg0=<lock>}` (and relOp for releases):
+// no two nestings in opposite order may both occur, by any pair of
+// threads. The returned formula is the negation of
+//
+//	OR over lock pairs x<y, thread pairs (t,s):
+//	    nested(t,x,y) && nested(s,y,x)
+//
+// where nested(t,x,y) = F(acq(t,x) && X(!rel(t,x) U acq(t,y))) — thread t
+// acquires y while still holding x. Violated exactly when the trace
+// completes both orders of some lock pair; the witness points at the
+// acquire that completed the second order.
+func LockReversalProp(name, acqOp, relOp string, locks []int, tids []int) string {
+	nested := func(t, x, y int) string {
+		return fmt.Sprintf(
+			"F({kind=write, method=%s, tid=%d, arg0=%d} && X(!{kind=write, method=%s, tid=%d, arg0=%d} U {kind=write, method=%s, tid=%d, arg0=%d}))",
+			acqOp, t, x, relOp, t, x, acqOp, t, y)
+	}
+	var pairs []string
+	for i, x := range locks {
+		for _, y := range locks[i+1:] {
+			for _, t := range tids {
+				for _, s := range tids {
+					pairs = append(pairs, fmt.Sprintf("(%s && %s)", nested(t, x, y), nested(s, y, x)))
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return name + ": true"
+	}
+	return fmt.Sprintf("%s: !(%s)", name, strings.Join(pairs, " || "))
+}
+
+// CallsReturnProps builds one property per thread: every call on the
+// thread is eventually followed by a return on it. A pure liveness
+// property: on finite traces it is never violated and never satisfied —
+// the verdict is honestly inconclusive — but its residual names the
+// threads with open invocations at log end.
+func CallsReturnProps(tids []int) []string {
+	out := make([]string, 0, len(tids))
+	for _, t := range tids {
+		out = append(out, fmt.Sprintf(
+			"calls-return-t%d: G({kind=call, tid=%d} -> F {kind=return, tid=%d})", t, t, t))
+	}
+	return out
+}
+
+// CommitBeforeReturnProps builds the commit-discipline property per
+// (mutator method, thread): after a call of the method on the thread, no
+// return of it on that thread may happen before its commit. Violated (with
+// the return as witness) exactly when a mutator execution returns
+// uncommitted — the instrumentation bug the refinement checker reports as
+// ViolationInstrumentation, here caught by a pure log-shape property.
+func CommitBeforeReturnProps(methods []string, tids []int) []string {
+	var out []string
+	for _, m := range methods {
+		for _, t := range tids {
+			out = append(out, fmt.Sprintf(
+				"commit-before-return-%s-t%d: G({kind=call, method=%s, tid=%d} -> X(!{kind=return, method=%s, tid=%d} U {kind=commit, method=%s, tid=%d}))",
+				m, t, m, t, m, t, m, t))
+		}
+	}
+	return out
+}
+
+// SealedKeyProps builds the per-key monotonicity (one-way latch)
+// property: once a key is sealed (written via sealOp), it is never
+// written via setOp again. Violated with the offending write as witness.
+func SealedKeyProps(setOp, sealOp string, keys []int) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf(
+			"sealed-key-%d: G({kind=write, method=%s, arg0=%d} -> G !{kind=write, method=%s, arg0=%d})",
+			k, sealOp, k, setOp, k))
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package ltl implements streaming runtime verification of linear temporal
+// logic properties over the VYRD execution log — the third first-class
+// verdict mode next to refinement (internal/core) and linearizability
+// (internal/linearize).
+//
+// The log is a totally-ordered trace of entries; a property is an LTL
+// formula over atomic predicates on those entries (method name, module,
+// tid, kind, argument/return matchers, view digests). Because the trace is
+// finite, verdicts follow the LTL3 semantics:
+//
+//   - Violated: every infinite extension of the observed prefix refutes
+//     the formula. A witness pointer records the log position whose entry
+//     collapsed the formula.
+//   - Satisfied: every infinite extension satisfies it.
+//   - Inconclusive: the prefix decided neither (the honest answer for
+//     e.g. a G-property that has not yet been refuted).
+//
+// The evaluator works by formula progression (expansion/derivatives): each
+// entry rewrites the residual formula by one step,
+//
+//	prog(X f)     = f
+//	prog(f U g)   = prog(g) ∨ (prog(f) ∧ f U g)
+//	prog(f R g)   = prog(g) ∧ (prog(f) ∨ f R g)
+//	prog(F g)     = prog(g) ∨ F g
+//	prog(G f)     = prog(f) ∧ G f
+//
+// with the boolean connectives distributed through. Residuals live in a
+// hash-consed arena whose smart constructors apply a fixed, documented set
+// of propositional simplifications (see newAnd/newOr/newNot); a residual
+// that collapses to the false node is a violation, the true node a
+// satisfaction. Progression never invents new atoms or temporal operators,
+// so every residual is a boolean combination over the closure of the
+// original formula: the monitor state is bounded by the formula, not the
+// trace, and no trace buffering happens beyond the formula's own
+// obligations. Steps are memoized on (residual node, atom valuation), so
+// steady-state evaluation is a handful of hash lookups per entry.
+package ltl
+
+import "fmt"
+
+// Verdict is the LTL3 outcome of one property over a finite trace.
+type Verdict uint8
+
+const (
+	// Inconclusive: the finite trace decided neither way.
+	Inconclusive Verdict = iota
+	// Satisfied: every infinite extension of the trace satisfies the
+	// property.
+	Satisfied
+	// Violated: every infinite extension refutes the property.
+	Violated
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Inconclusive:
+		return "inconclusive"
+	case Satisfied:
+		return "satisfied"
+	case Violated:
+		return "violated"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Op is a formula node operator.
+type Op uint8
+
+const (
+	// OpTrue and OpFalse are the boolean constants; each arena holds one
+	// node of each, so constant checks are pointer comparisons.
+	OpTrue Op = iota
+	OpFalse
+	// OpAtom is an atomic predicate over one log entry.
+	OpAtom
+	// OpNot, OpAnd, OpOr are the boolean connectives. And/Or are n-ary:
+	// operands are flattened, sorted and deduplicated by the constructors.
+	OpNot
+	OpAnd
+	OpOr
+	// OpNext (X), OpUntil (U), OpRelease (R), OpEventually (F) and
+	// OpAlways (G) are the temporal operators. F and G are kept as
+	// first-class nodes (rather than desugared to U/R) so formulas print
+	// the way users wrote them and progression stays one rule per node.
+	OpNext
+	OpUntil
+	OpRelease
+	OpEventually
+	OpAlways
+)
+
+// Node is an immutable, hash-consed formula node. Nodes are created only by
+// an arena's smart constructors; within one arena, pointer equality is
+// formula equality up to the constructors' simplification rules.
+type Node struct {
+	id   uint32
+	op   Op
+	atom int     // index into the arena's atom universe when op == OpAtom
+	kids []*Node // 1 operand for Not/Next/F/G, 2 for U/R, n for And/Or
+}
+
+// Op returns the node operator.
+func (n *Node) Op() Op { return n.op }

@@ -1,0 +1,592 @@
+package ltl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Property syntax
+//
+// A property document is line-oriented: blank lines and `#` comments are
+// skipped, every other line is one property, either named or bare:
+//
+//	# lock discipline for tids 1..2
+//	no-reversal: !(F({kind=write, method=lock-acq, tid=1, arg0=0}) && ...)
+//	G({kind=call, tid=1} -> F {kind=return, tid=1})
+//
+// Formula grammar, loosest-binding first (-> and U/R associate right):
+//
+//	formula := or [ '->' formula ]
+//	or      := and { '||' and }
+//	and     := until { '&&' until }
+//	until   := unary [ ('U' | 'R') until ]
+//	unary   := ('!' | 'X' | 'F' | 'G') unary | '(' formula ')'
+//	         | 'true' | 'false' | atom
+//	atom    := '{' [ key ('='|'!=') value { ',' key ('='|'!=') value } ] '}'
+//
+// `->` desugars to material implication. The unicode spellings ¬ ∧ ∨ →
+// and single `&`/`|` are accepted aliases. Atom keys: kind, method,
+// module, label, wop, tid, worker, digest, ret, argN, wargN. Values are
+// integers, true/false, nil, 0x-hex digests, or strings (bare or quoted;
+// a trailing `*` makes a prefix match). An empty atom `{}` matches every
+// entry and parses as `true`.
+
+// maxParseDepth bounds parser recursion so adversarial inputs (deep `!` or
+// `->` chains) return an error instead of exhausting the stack.
+const maxParseDepth = 500
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tAtom
+	tLParen
+	tRParen
+	tNot
+	tAndOp
+	tOrOp
+	tArrow
+)
+
+type token struct {
+	kind tokKind
+	text string // ident text, or atom body without braces
+	pos  int
+}
+
+type parser struct {
+	ar    *arena
+	src   string
+	pos   int
+	tok   token
+	depth int
+}
+
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("ltl: col %d: %s", pos+1, fmt.Sprintf(format, args...))
+}
+
+// next scans the next token. Lexing errors are returned, never panicked.
+func (p *parser) next() error {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.tok = token{kind: tEOF, pos: start}
+		return nil
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tLParen, pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tRParen, pos: start}
+	case c == '!':
+		p.pos++
+		p.tok = token{kind: tNot, pos: start}
+	case c == '&':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '&' {
+			p.pos++
+		}
+		p.tok = token{kind: tAndOp, pos: start}
+	case c == '|':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+		}
+		p.tok = token{kind: tOrOp, pos: start}
+	case c == '-':
+		if p.pos+1 < len(p.src) && p.src[p.pos+1] == '>' {
+			p.pos += 2
+			p.tok = token{kind: tArrow, pos: start}
+			return nil
+		}
+		return p.errf(start, "unexpected %q (did you mean '->'?)", "-")
+	case c == '{':
+		body, end, err := scanAtomBody(p.src, p.pos)
+		if err != nil {
+			return err
+		}
+		p.pos = end
+		p.tok = token{kind: tAtom, text: body, pos: start}
+	case isIdentStart(rune(c)):
+		end := p.pos
+		for end < len(p.src) && isIdentRune(rune(p.src[end])) {
+			end++
+		}
+		p.tok = token{kind: tIdent, text: p.src[p.pos:end], pos: start}
+		p.pos = end
+	default:
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		switch r {
+		case '¬':
+			p.pos += size
+			p.tok = token{kind: tNot, pos: start}
+		case '∧':
+			p.pos += size
+			p.tok = token{kind: tAndOp, pos: start}
+		case '∨':
+			p.pos += size
+			p.tok = token{kind: tOrOp, pos: start}
+		case '→':
+			p.pos += size
+			p.tok = token{kind: tArrow, pos: start}
+		default:
+			return p.errf(start, "unexpected character %q", r)
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return isIdentStart(r) || r >= '0' && r <= '9'
+}
+
+// scanAtomBody consumes a `{...}` atom starting at open, honoring quoted
+// strings (backslash escapes included), and returns the body and the
+// position just past the closing brace.
+func scanAtomBody(src string, open int) (string, int, error) {
+	i := open + 1
+	for i < len(src) {
+		switch src[i] {
+		case '}':
+			return src[open+1 : i], i + 1, nil
+		case '"':
+			i++
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(src) {
+				return "", 0, fmt.Errorf("ltl: col %d: unterminated string in atom", open+1)
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("ltl: col %d: unterminated atom (missing '}')", open+1)
+}
+
+// formula parses the top level: or [ '->' formula ].
+func (p *parser) formula() (*Node, error) {
+	if p.depth++; p.depth > maxParseDepth {
+		return nil, p.errf(p.tok.pos, "formula too deeply nested")
+	}
+	defer func() { p.depth-- }()
+	left, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tArrow {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return p.ar.newOr(p.ar.newNot(left), right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) or() (*Node, error) {
+	part, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Node{part}
+	for p.tok.kind == tOrOp {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		part, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return p.ar.newOr(parts...), nil
+}
+
+func (p *parser) and() (*Node, error) {
+	part, err := p.until()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Node{part}
+	for p.tok.kind == tAndOp {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		part, err := p.until()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return p.ar.newAnd(parts...), nil
+}
+
+func (p *parser) until() (*Node, error) {
+	if p.depth++; p.depth > maxParseDepth {
+		return nil, p.errf(p.tok.pos, "formula too deeply nested")
+	}
+	defer func() { p.depth-- }()
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tIdent && (p.tok.text == "U" || p.tok.text == "R") {
+		op := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.until()
+		if err != nil {
+			return nil, err
+		}
+		if op == "U" {
+			return p.ar.newUntil(left, right), nil
+		}
+		return p.ar.newRelease(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (*Node, error) {
+	if p.depth++; p.depth > maxParseDepth {
+		return nil, p.errf(p.tok.pos, "formula too deeply nested")
+	}
+	defer func() { p.depth-- }()
+	switch p.tok.kind {
+	case tNot:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return p.ar.newNot(x), nil
+	case tLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tRParen {
+			return nil, p.errf(p.tok.pos, "expected ')'")
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tAtom:
+		n, err := p.parseAtom(p.tok.text, p.tok.pos)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tIdent:
+		name, pos := p.tok.text, p.tok.pos
+		switch name {
+		case "true":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return p.ar.tt, nil
+		case "false":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return p.ar.ff, nil
+		case "X", "F", "G":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			switch name {
+			case "X":
+				return p.ar.newNext(x), nil
+			case "F":
+				return p.ar.newEventually(x), nil
+			default:
+				return p.ar.newAlways(x), nil
+			}
+		}
+		return nil, p.errf(pos, "unexpected identifier %q (expected atom, 'true', 'false' or an operator)", name)
+	case tEOF:
+		return nil, p.errf(p.tok.pos, "unexpected end of formula")
+	}
+	return nil, p.errf(p.tok.pos, "unexpected token")
+}
+
+// parseAtom parses the body of a `{...}` atom into a node. An empty body
+// matches every entry and canonicalizes to `true`.
+func (p *parser) parseAtom(body string, atomPos int) (*Node, error) {
+	s := atomScanner{src: body, base: atomPos + 1}
+	s.skipSpace()
+	if s.eof() {
+		return p.ar.tt, nil
+	}
+	var ms []matcher
+	for {
+		m, err := s.matcher()
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+		s.skipSpace()
+		if s.eof() {
+			break
+		}
+		if !s.consume(',') {
+			return nil, fmt.Errorf("ltl: col %d: expected ',' between atom fields", s.base+s.pos+1)
+		}
+		s.skipSpace()
+		if s.eof() {
+			return nil, fmt.Errorf("ltl: col %d: trailing ',' in atom", s.base+s.pos+1)
+		}
+	}
+	return p.ar.internAtom(newAtom(ms)), nil
+}
+
+// atomScanner parses the comma-separated key=value list inside an atom.
+type atomScanner struct {
+	src  string
+	pos  int
+	base int // source offset of src, for error positions
+}
+
+func (s *atomScanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *atomScanner) skipSpace() {
+	for !s.eof() {
+		switch s.src[s.pos] {
+		case ' ', '\t', '\r', '\n':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *atomScanner) consume(c byte) bool {
+	if !s.eof() && s.src[s.pos] == c {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+func (s *atomScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("ltl: col %d: %s", s.base+s.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (s *atomScanner) matcher() (matcher, error) {
+	s.skipSpace()
+	start := s.pos
+	for !s.eof() && isIdentRune(rune(s.src[s.pos])) {
+		s.pos++
+	}
+	key := s.src[start:s.pos]
+	if key == "" {
+		return matcher{}, s.errf("expected atom key")
+	}
+	s.skipSpace()
+	neg := false
+	if s.consume('!') {
+		neg = true
+	}
+	if !s.consume('=') {
+		return matcher{}, s.errf("expected '=' after atom key %q", key)
+	}
+	s.skipSpace()
+	raw, quoted, prefix, err := s.value()
+	if err != nil {
+		return matcher{}, err
+	}
+	return buildMatcher(key, raw, quoted, prefix, neg, s)
+}
+
+// value scans one right-hand side: a quoted string or a bareword, each with
+// an optional trailing '*'.
+func (s *atomScanner) value() (raw string, quoted, prefix bool, err error) {
+	if s.eof() {
+		return "", false, false, s.errf("expected atom value")
+	}
+	if s.src[s.pos] == '"' {
+		start := s.pos
+		s.pos++
+		for !s.eof() && s.src[s.pos] != '"' {
+			if s.src[s.pos] == '\\' {
+				s.pos++
+			}
+			s.pos++
+		}
+		if s.eof() {
+			return "", false, false, s.errf("unterminated quoted value")
+		}
+		s.pos++
+		unq, uerr := strconv.Unquote(s.src[start:s.pos])
+		if uerr != nil {
+			return "", false, false, s.errf("bad quoted value %s", s.src[start:s.pos])
+		}
+		return unq, true, s.consume('*'), nil
+	}
+	start := s.pos
+	for !s.eof() && isBareRune(rune(s.src[s.pos])) && s.src[s.pos] != ',' {
+		s.pos++
+	}
+	raw = s.src[start:s.pos]
+	if raw == "" {
+		return "", false, false, s.errf("expected atom value")
+	}
+	return raw, false, s.consume('*'), nil
+}
+
+// buildMatcher types and validates one key=value pair.
+func buildMatcher(key, raw string, quoted, prefix, neg bool, s *atomScanner) (matcher, error) {
+	m := matcher{keyStr: key, neg: neg, prefix: prefix}
+	stringVal := func() {
+		m.vk = vString
+		m.s = raw
+	}
+	switch key {
+	case "kind":
+		k, ok := kindByName(raw)
+		if !ok || prefix {
+			return matcher{}, s.errf("unknown entry kind %q (call, return, commit, write, begin-block, end-block)", raw)
+		}
+		m.key, m.kind = mKind, k
+		stringVal()
+		m.prefix = false
+	case "method", "module", "label", "wop":
+		switch key {
+		case "method":
+			m.key = mMethod
+		case "module":
+			m.key = mModule
+		case "label":
+			m.key = mLabel
+		case "wop":
+			m.key = mWOp
+		}
+		stringVal()
+	case "tid":
+		i, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil || quoted || prefix {
+			return matcher{}, s.errf("tid wants an integer, got %q", raw)
+		}
+		m.key, m.vk, m.i = mTid, vInt, i
+	case "worker":
+		switch raw {
+		case "true", "false":
+			m.key, m.vk, m.b = mWorker, vBool, raw == "true"
+		default:
+			return matcher{}, s.errf("worker wants true or false, got %q", raw)
+		}
+		if quoted || prefix {
+			return matcher{}, s.errf("worker wants a bare true or false")
+		}
+	case "digest":
+		u, err := strconv.ParseUint(raw, 0, 64)
+		if err != nil || quoted || prefix {
+			return matcher{}, s.errf("digest wants an unsigned integer, got %q", raw)
+		}
+		m.key, m.vk, m.u = mDigest, vUint, u
+	case "ret":
+		m.key = mRet
+		typeValue(&m, raw, quoted)
+	default:
+		base, rest := "", ""
+		switch {
+		case strings.HasPrefix(key, "arg"):
+			base, rest = "arg", key[3:]
+		case strings.HasPrefix(key, "warg"):
+			base, rest = "warg", key[4:]
+		}
+		idx, err := strconv.Atoi(rest)
+		if base == "" || err != nil || idx < 0 || idx > 64 || (rest != "0" && strings.HasPrefix(rest, "0")) {
+			return matcher{}, s.errf("unknown atom key %q (kind, method, module, label, wop, tid, worker, digest, ret, argN, wargN)", key)
+		}
+		if base == "arg" {
+			m.key = mArg
+		} else {
+			m.key = mWArg
+		}
+		m.idx = idx
+		typeValue(&m, raw, quoted)
+	}
+	return m, nil
+}
+
+// typeValue types a value-position right-hand side (ret/argN/wargN): bare
+// integers, true/false and nil are typed literals; everything else is a
+// string matcher. Quoting forces string.
+func typeValue(m *matcher, raw string, quoted bool) {
+	if !quoted && !m.prefix {
+		if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			m.vk, m.i = vInt, i
+			return
+		}
+		switch raw {
+		case "true", "false":
+			m.vk, m.b = vBool, raw == "true"
+			return
+		case "nil":
+			m.vk = vNil
+			return
+		}
+	}
+	m.vk, m.s = vString, raw
+}
+
+// parseFormula parses one formula into the arena.
+func parseFormula(ar *arena, src string) (*Node, error) {
+	p := &parser{ar: ar, src: src}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	n, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf(p.tok.pos, "unexpected trailing input")
+	}
+	return n, nil
+}

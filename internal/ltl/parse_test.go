@@ -1,0 +1,148 @@
+package ltl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	// Each case: input formula and its canonical print. Reparsing the
+	// canonical form must be a fixed point (same node in the same arena).
+	cases := []struct{ in, want string }{
+		{"true", "true"},
+		{"false", "false"},
+		{"{}", "true"},
+		{"{kind=call}", "{kind=call}"},
+		{"{ kind = call , tid = 3 }", "{kind=call, tid=3}"},
+		{"{method=Insert, arg0=5, ret=true}", "{method=Insert, arg0=5, ret=true}"},
+		{"{method=Ins*}", "{method=Ins*}"},
+		{"{method=\"odd name\"}", `{method="odd name"}`},
+		{"{arg0=\"5\"}", `{arg0="5"}`},
+		{"{arg1=nil}", "{arg1=nil}"},
+		{"{tid!=2}", "{tid!=2}"},
+		{"{digest=0xff}", "{digest=0xff}"},
+		{"{digest=255}", "{digest=0xff}"},
+		{"!{kind=call}", "!{kind=call}"},
+		{"!!{kind=call}", "{kind=call}"},
+		{"X {kind=call}", "X {kind=call}"},
+		{"F F {kind=call}", "F {kind=call}"},
+		{"G(G {kind=call})", "G {kind=call}"},
+		{"{kind=call} && true", "{kind=call}"},
+		{"{kind=call} && false", "false"},
+		{"{kind=call} || true", "true"},
+		{"{kind=call} && {kind=call}", "{kind=call}"},
+		{"{kind=call} && !{kind=call}", "false"},
+		{"{kind=call} || !{kind=call}", "true"},
+		{"{kind=call} U true", "true"},
+		{"true U {kind=call}", "F {kind=call}"},
+		{"false U {kind=call}", "{kind=call}"},
+		{"false R {kind=call}", "G {kind=call}"},
+		// Or operands sort by arena creation order, so the implication's
+		// right side (created before the negation node) prints first.
+		{"{kind=call} -> {kind=return}", "{kind=return} || !{kind=call}"},
+		{"¬{kind=call} ∧ true", "!{kind=call}"},
+		{"{kind=call} → {kind=return}", "{kind=return} || !{kind=call}"},
+		{
+			"G({kind=call, tid=1} -> F {kind=return, tid=1})",
+			"G (F {kind=return, tid=1} || !{kind=call, tid=1})",
+		},
+		{
+			"{kind=call} U ({kind=return} U {kind=commit})",
+			"{kind=call} U {kind=return} U {kind=commit}",
+		},
+		{
+			"({kind=call} U {kind=return}) U {kind=commit}",
+			"({kind=call} U {kind=return}) U {kind=commit}",
+		},
+	}
+	for _, c := range cases {
+		s := NewSet()
+		root, err := parseFormula(s.ar, c.in)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.in, err)
+			continue
+		}
+		got := s.ar.formatNode(root)
+		if got != c.want {
+			t.Errorf("parse %q: printed %q, want %q", c.in, got, c.want)
+			continue
+		}
+		again, err := parseFormula(s.ar, got)
+		if err != nil {
+			t.Errorf("reparse %q: %v", got, err)
+			continue
+		}
+		if again != root {
+			t.Errorf("reparse %q: not a fixed point (printed %q)", got, s.ar.formatNode(again))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		")",
+		"{kind=call",
+		"{kind=zebra}",
+		"{frobs=1}",
+		"{tid=x}",
+		"{worker=maybe}",
+		"{arg0=}",
+		"{arg99=1}",
+		"{kind=call,}",
+		"{kind=call} &&",
+		"{kind=call} {kind=call}",
+		"U {kind=call}",
+		"{kind=call} -",
+		"name with spaces: true",
+		strings.Repeat("!", 2000) + "true",
+		strings.Repeat("(", 2000) + "true" + strings.Repeat(")", 2000),
+		strings.Repeat("true->", 1000) + "true",
+	}
+	for _, src := range bad {
+		if _, err := ParseProp(src); err == nil {
+			t.Errorf("ParseProp(%.40q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParsePropsDocument(t *testing.T) {
+	src := `
+# lock discipline
+no-reversal: !F({kind=write, method=lock-acq, arg0=0})
+G({kind=call} -> F {kind=return})
+
+liveness.t2: G({kind=call, tid=2} -> F {kind=return, tid=2})
+`
+	s, err := ParseProps(src)
+	if err != nil {
+		t.Fatalf("ParseProps: %v", err)
+	}
+	props := s.Props()
+	if len(props) != 3 {
+		t.Fatalf("got %d props, want 3", len(props))
+	}
+	wantNames := []string{"no-reversal", "prop2", "liveness.t2"}
+	for i, p := range props {
+		if p.Name != wantNames[i] {
+			t.Errorf("prop %d name = %q, want %q", i, p.Name, wantNames[i])
+		}
+	}
+	// Sources round-trip through ParseProps (the Hello handshake path).
+	again, err := ParseProps(strings.Join(s.Sources(), "\n"))
+	if err != nil {
+		t.Fatalf("reparse sources: %v", err)
+	}
+	for i, p := range again.Props() {
+		if p.String() != props[i].String() {
+			t.Errorf("source round trip: %q != %q", p, props[i])
+		}
+	}
+}
+
+func TestParsePropsDuplicateName(t *testing.T) {
+	if _, err := ParseProps("a: true\na: false"); err == nil {
+		t.Fatal("duplicate names: expected error")
+	}
+}

@@ -92,9 +92,14 @@ type Hello struct {
 	Spec string `json:"spec"`
 	// Mode selects the verdict engine: "io" or "view" refinement,
 	// "linearize" for the linearizability checker (requires a registry
-	// entry with a linearizer), or "" for the server default (view when
-	// the spec has a replayer, io otherwise).
+	// entry with a linearizer), "ltl" for the temporal-property checker
+	// (requires a registry entry with a temporal factory), or "" for the
+	// server default (view when the spec has a replayer, io otherwise).
 	Mode string `json:"mode,omitempty"`
+	// Props carries the property sources for an "ltl" session, one
+	// "name: formula" line per element; empty selects the spec's built-in
+	// property set. Ignored in other modes.
+	Props []string `json:"props,omitempty"`
 	// FailFast stops the session's checker at the first violation.
 	FailFast bool `json:"fail_fast,omitempty"`
 	// Modular runs the spec's module set (Fig. 10 fan-out) instead of a

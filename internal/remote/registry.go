@@ -27,6 +27,12 @@ type SpecFactory struct {
 	// Hello.Mode "linearize" sessions; nil restricts the spec to
 	// refinement modes.
 	NewLinearizer func() core.EntryChecker
+	// NewTemporal builds the streaming temporal-property checker for
+	// Hello.Mode "ltl" sessions. The props argument carries the client's
+	// property sources from the handshake (one "name: formula" line each);
+	// empty means the spec's built-in property set. A parse error rejects
+	// the handshake. Nil restricts the spec to the other modes.
+	NewTemporal func(props []string, failFast bool) (core.EntryChecker, error)
 }
 
 // Registry maps spec names to factories. It is safe for concurrent use; a

@@ -365,6 +365,14 @@ func (s *Server) newSession(h Hello) (*session, error) {
 			return nil, fmt.Errorf("spec %q does not support linearizability checking", h.Spec)
 		}
 		checker = f.NewLinearizer()
+	} else if h.Mode == "ltl" {
+		if f.NewTemporal == nil {
+			return nil, fmt.Errorf("spec %q does not support temporal checking", h.Spec)
+		}
+		checker, err = f.NewTemporal(h.Props, h.FailFast)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		if f.NewSpec == nil {
 			return nil, fmt.Errorf("spec %q is modular-only", h.Spec)
@@ -384,7 +392,7 @@ func (s *Server) newSession(h Hello) (*session, error) {
 		case "io":
 			opts = append(opts, core.WithMode(core.ModeIO))
 		default:
-			return nil, fmt.Errorf("unknown mode %q (io, view or linearize)", h.Mode)
+			return nil, fmt.Errorf("unknown mode %q (io, view, linearize or ltl)", h.Mode)
 		}
 		opts = append(opts, core.WithFailFast(h.FailFast))
 		checker, err = core.New(f.NewSpec(), opts...)
@@ -420,7 +428,7 @@ func (s *Server) newSession(h Hello) (*session, error) {
 		// cooperative slices on the shared worker pool. The reader is
 		// only ever touched by the worker holding the task.
 		engine := &sessionEngine{multi: multi, checker: checker, cur: cur}
-		ss.task = s.sched.Register(cur, engine, ss.recv.Load, nil)
+		ss.task = s.sched.Register(ss.tenantName, cur, engine, ss.recv.Load, nil)
 		ss.wait = ss.task.Wait
 	} else {
 		// Goroutine mode: the classic one-pipeline-per-session shape.

@@ -1,0 +1,177 @@
+package spec
+
+import (
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// LedgerAccounts is the number of ledger accounts. It lives here (rather
+// than in internal/ledger, which imports this package for its Target) so
+// the spec and the implementation share one definition without a cycle;
+// LedgerAccounts aliases it.
+const LedgerAccounts = 2
+
+// Ledger is the executable specification of the two-account bank ledger
+// (internal/ledger): per-account integer balances and a one-way seal latch.
+// Locking is an implementation detail — the spec knows nothing of it; the
+// locking discipline is checked separately by the temporal engine over the
+// lock-acq/lock-rel entries in the log.
+//
+// Methods and return values:
+//
+//	Deposit(a) -> bool       mutator; true adds one unit to a, false is
+//	                         permitted only when a is sealed
+//	Transfer(f, t) -> bool   mutator; true moves one unit from f to t,
+//	                         false is permitted only when f==t or either
+//	                         account is sealed
+//	Seal(a) -> bool          mutator; true seals a (must not be sealed),
+//	                         false is permitted only when already sealed
+//	Get(a) -> int            observer; a's balance
+type Ledger struct {
+	bal    [LedgerAccounts]int64
+	sealed [LedgerAccounts]bool
+	table  *view.Table
+}
+
+// The view spaces mirror the ledger replayer's by name, so viewS and viewI
+// share a canonical form: "bal:<acct>" and "sealed:<acct>".
+var (
+	spaceLedgerBal    = view.NewSpace("bal")
+	spaceLedgerSealed = view.NewSpace("sealed")
+)
+
+// NewLedger returns the initial ledger specification (all balances zero,
+// nothing sealed).
+func NewLedger() *Ledger {
+	s := &Ledger{}
+	s.Reset()
+	return s
+}
+
+// Reset implements core.Spec.
+func (s *Ledger) Reset() {
+	s.bal = [LedgerAccounts]int64{}
+	s.sealed = [LedgerAccounts]bool{}
+	s.table = view.NewTable()
+}
+
+// View implements core.Spec.
+func (s *Ledger) View() *view.Table { return s.table }
+
+// IsMutator implements core.Spec.
+func (s *Ledger) IsMutator(method string) bool {
+	switch method {
+	case "Deposit", "Transfer", "Seal":
+		return true
+	case "Get":
+		return false
+	}
+	// Unknown methods reach ApplyMutator and are rejected there.
+	return true
+}
+
+// Balance returns account a's balance (test hook).
+func (s *Ledger) Balance(a int) int64 { return s.bal[a] }
+
+func (s *Ledger) setBal(a int, v int64) {
+	s.bal[a] = v
+	s.table.SetInt(spaceLedgerBal, int64(a), v)
+}
+
+func acctArg(v event.Value) (int, bool) {
+	a, ok := event.Int(v)
+	if !ok || a < 0 || a >= LedgerAccounts {
+		return 0, false
+	}
+	return a, true
+}
+
+// ApplyMutator implements core.Spec.
+func (s *Ledger) ApplyMutator(method string, args []event.Value, ret event.Value) error {
+	switch method {
+	case "Deposit":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one argument")
+		}
+		a, ok := acctArg(args[0])
+		if !ok {
+			return errRet(method, args, ret, "bad account")
+		}
+		success, ok := retSuccess(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool")
+		}
+		if !success {
+			if !s.sealed[a] {
+				return errRet(method, args, ret, "refused but account is not sealed")
+			}
+			return nil
+		}
+		if s.sealed[a] {
+			return errRet(method, args, ret, "deposit into sealed account")
+		}
+		s.setBal(a, s.bal[a]+1)
+		return nil
+
+	case "Transfer":
+		if len(args) != 2 {
+			return errRet(method, args, ret, "expected two arguments")
+		}
+		from, okf := acctArg(args[0])
+		to, okt := acctArg(args[1])
+		if !okf || !okt {
+			return errRet(method, args, ret, "bad account")
+		}
+		success, ok := retSuccess(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool")
+		}
+		if !success {
+			if from != to && !s.sealed[from] && !s.sealed[to] {
+				return errRet(method, args, ret, "refused but both accounts are open")
+			}
+			return nil
+		}
+		if from == to || s.sealed[from] || s.sealed[to] {
+			return errRet(method, args, ret, "transfer touching a sealed or identical account")
+		}
+		s.setBal(from, s.bal[from]-1)
+		s.setBal(to, s.bal[to]+1)
+		return nil
+
+	case "Seal":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one argument")
+		}
+		a, ok := acctArg(args[0])
+		if !ok {
+			return errRet(method, args, ret, "bad account")
+		}
+		success, ok := retSuccess(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be bool")
+		}
+		if success == s.sealed[a] {
+			return errRet(method, args, ret, "seal verdict disagrees with latch state")
+		}
+		if success {
+			s.sealed[a] = true
+			s.table.SetInt(spaceLedgerSealed, int64(a), 1)
+		}
+		return nil
+	}
+	return errRet(method, args, ret, "unknown mutator")
+}
+
+// CheckObserver implements core.Spec.
+func (s *Ledger) CheckObserver(method string, args []event.Value, ret event.Value) bool {
+	if method != "Get" || len(args) != 1 {
+		return false
+	}
+	a, ok := acctArg(args[0])
+	if !ok {
+		return false
+	}
+	got, ok := event.Int(ret)
+	return ok && int64(got) == s.bal[a]
+}

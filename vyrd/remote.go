@@ -16,8 +16,13 @@ type RemoteOptions struct {
 	Addr string
 	// Spec names the registered specification to check against.
 	Spec string
-	// Mode is "io", "view", or "" for the server-side default.
+	// Mode is "io", "view", "linearize", "ltl", or "" for the server-side
+	// default.
 	Mode string
+	// Props carries the property sources for Mode "ltl", one
+	// "name: formula" line per element; empty selects the spec's built-in
+	// property set on the server.
+	Props []string
 	// FailFast stops the remote checker at the first violation.
 	FailFast bool
 	// Modular runs the spec's module fan-out instead of a single checker.
@@ -54,6 +59,7 @@ func (l *Log) AttachRemote(opts RemoteOptions) (*RemoteSink, error) {
 		Hello: remote.Hello{
 			Spec:     opts.Spec,
 			Mode:     opts.Mode,
+			Props:    opts.Props,
 			FailFast: opts.FailFast,
 			Modular:  opts.Modular,
 		},

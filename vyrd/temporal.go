@@ -1,0 +1,28 @@
+package vyrd
+
+import "repro/internal/ltl"
+
+// PropSet is a parsed set of temporal (LTL3) properties over log entries;
+// see internal/ltl for the property language. A set is checked by the
+// temporal engine, the third verdict engine next to refinement and
+// linearizability:
+//
+//	set, err := vyrd.ParseProps("no-rev: !F {kind=write, method=lock-acq, arg0=1}")
+//	wait := log.StartEntryChecker(vyrd.NewTemporalChecker(set, true))
+type PropSet = ltl.Set
+
+// ParseProps parses a property document: one "name: formula" per line,
+// '#' comments, blank lines ignored, bare formulas auto-named.
+func ParseProps(src string) (*PropSet, error) { return ltl.ParseProps(src) }
+
+// NewTemporalChecker builds the streaming temporal checker over the set:
+// an EntryChecker for Log.StartEntryChecker or any cursor driver. With
+// failFast the checker stops at the first refuted property.
+func NewTemporalChecker(s *PropSet, failFast bool) EntryChecker {
+	return ltl.NewChecker(s, ltl.WithFailFast(failFast))
+}
+
+// CheckTemporal offline-checks a recorded trace against the property set.
+func CheckTemporal(s *PropSet, entries []Entry) *Report {
+	return ltl.CheckEntries(s, entries)
+}

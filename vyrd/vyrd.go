@@ -105,6 +105,9 @@ const (
 	// (internal/linearize): no serialization of the completed executions
 	// matches their return values.
 	ViolationLinearizability = core.ViolationLinearizability
+	// ViolationTemporal is reported by the temporal engine (internal/ltl):
+	// an LTL3 property over the log collapsed to false.
+	ViolationTemporal = core.ViolationTemporal
 )
 
 // Refinement modes.
@@ -114,6 +117,9 @@ const (
 	// ModeLinearize labels reports of the linearizability engine; the
 	// refinement Checker itself rejects it.
 	ModeLinearize = core.ModeLinearize
+	// ModeLTL labels reports of the temporal engine; the refinement
+	// Checker itself rejects it.
+	ModeLTL = core.ModeLTL
 )
 
 // Logging levels.
