@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke tables examples check clean
+.PHONY: all build vet test race bench bench-smoke bench-snapshot fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke dpor-smoke tables examples check clean
 
 all: check
 
@@ -33,7 +33,7 @@ bench-smoke:
 # including exploration throughput, shrink results and the sink-codec
 # durability A/B).
 bench-snapshot:
-	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR9.json
+	$(GO) run ./cmd/vyrdbench -table all -json BENCH_PR10.json
 	$(GO) test -run=NONE -bench 'AppendParallel|OnlinePipeline' -cpu 1,4,8 ./internal/wal/
 
 # Short fuzz smoke over the log codecs: a few seconds per target keeps the
@@ -117,6 +117,21 @@ ltl-smoke:
 	$(GO) build -o vyrdx.smoke ./cmd/vyrdx
 	./vyrdx.smoke -mode ltl -seeds 300 -stress 100 > /dev/null; st=$$?; rm -f vyrdx.smoke; test $$st -eq 2
 
+# Race-enabled DPOR smoke: the exhaustive-enumeration coverage gate (every
+# Mazurkiewicz class of two tiny configurations visited, verdicts agree),
+# the fingerprint dedup-counter suite, the weak-memory atomics subjects
+# (clean variants silent, planted one-step races found — all accesses
+# atomic, so the detector stays quiet by design), and the vyrdx exit-code
+# contract under -strategy dpor. The PCT-vs-DPOR differential additionally
+# runs detector-free so the lock-based planted-race subjects join the A/B.
+# CI runs this.
+dpor-smoke:
+	$(GO) test -race -count=1 -run '^TestDPORCoversAllEquivalenceClasses$$' ./internal/explore/
+	$(GO) test -race -count=1 -run '^TestFingerprintDedup$$' ./internal/sched/
+	$(GO) test -race -count=1 -run '^TestStrategyDifferential$$|^TestWeakMemoryCleanVariants$$' ./internal/bench/
+	$(GO) test -count=1 -run '^TestStrategyDifferential$$' ./internal/bench/
+	$(GO) test -race -count=1 ./cmd/vyrdx/ ./internal/tstack/ ./internal/seqlock/
+
 # Regenerate the paper's evaluation tables (Section 7).
 tables:
 	$(GO) run ./cmd/vyrdbench -table all
@@ -128,7 +143,7 @@ examples:
 	$(GO) run ./examples/atomized
 	$(GO) run ./examples/scanfs
 
-check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke
+check: build vet test race fuzz serve-smoke explore-smoke soak-smoke linearize-smoke shard-smoke fleet-smoke ltl-smoke dpor-smoke
 
 # Remove test binaries, profiles and fuzzing leftovers.
 clean:

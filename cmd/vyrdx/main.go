@@ -8,6 +8,19 @@
 //	vyrdx -repro 'vyrdsched/1;subject=...;...'   replay one schedule
 //	vyrdx -stress 200              uncontrolled-stress comparison runs
 //
+// With -strategy=dpor the search is driven by dynamic partial-order
+// reduction instead of PCT seeds: the first schedule is the pure
+// run-to-completion one, every later schedule reverses one observed
+// dependent pair at a planted backtrack point, and sleep sets prune
+// schedules provably equivalent to ones already run. The budget then
+// counts distinct Mazurkiewicz classes rather than random seeds, and the
+// default subject list grows by the weak-memory atomics subjects, whose
+// one-step race windows are what DPOR's access-typed dependence analysis
+// is for:
+//
+//	vyrdx -strategy dpor           DPOR search over the planted-bug subjects
+//	vyrdx -strategy dpor -subjects Seqlock-TornRead
+//
 // With -mode=ltl the search target changes engine: each schedule's log is
 // checked against temporal (LTL3) properties instead of the refinement
 // checker — the subject's built-in property set (internal/bench), or a
@@ -72,8 +85,22 @@ func run() int {
 		buggy    = flag.Bool("buggy", true, "explore the buggy variant of each subject (false: the correct one)")
 		mode     = flag.String("mode", "refine", "verdict engine: refine (refinement checker) or ltl (temporal properties)")
 		props    = flag.String("props", "", "property file for -mode=ltl (default: each subject's built-in property set)")
+		strategy = flag.String("strategy", "pct", "schedule search strategy: pct (randomized priorities) or dpor (partial-order reduction)")
 	)
 	flag.Parse()
+
+	if *strategy != "pct" && *strategy != sched.StrategyDPOR {
+		fmt.Fprintf(os.Stderr, "vyrdx: unknown strategy %q (pct or dpor)\n", *strategy)
+		return 1
+	}
+	if *strategy == sched.StrategyDPOR && *mode == "ltl" {
+		// DPOR's dependence relation is derived from the refinement probes'
+		// access annotations; the temporal subjects' hint-gated windows are
+		// not annotated that way, so the combination would silently explore
+		// a wrong equivalence.
+		fmt.Fprintf(os.Stderr, "vyrdx: -strategy dpor requires -mode refine\n")
+		return 1
+	}
 
 	if *repro != "" {
 		return replay(*repro, *buggy, *mode, *props)
@@ -85,6 +112,9 @@ func run() int {
 			subs = bench.TemporalSubjects()
 		} else {
 			subs = bench.ExplorationSubjects()
+			if *strategy == sched.StrategyDPOR {
+				subs = append(subs, bench.WeakMemorySubjects()...)
+			}
 		}
 	} else {
 		for _, name := range strings.Split(*subjects, ",") {
@@ -111,13 +141,23 @@ func run() int {
 			return 1
 		}
 
-		found, st, err := explore.ExploreWith(tgt, base, *seeds, verifier)
+		var found *explore.Found
+		var st explore.Stats
+		if *strategy == sched.StrategyDPOR {
+			found, st, err = explore.ExploreDPORWith(tgt, base, *seeds, verifier)
+		} else {
+			found, st, err = explore.ExploreWith(tgt, base, *seeds, verifier)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vyrdx: %s: %v\n", s.Name, err)
 			return 1
 		}
 		fmt.Printf("%s: %d schedules in %v (%.0f schedules/sec, %d free-runs)\n",
 			s.Name, st.Schedules, st.Elapsed.Round(1e6), st.SchedulesPerSec(), st.FreeRuns)
+		if *strategy == sched.StrategyDPOR {
+			fmt.Printf("%s: %d equivalence classes, %d sleep-set pruned, exhausted=%v\n",
+				s.Name, st.Classes, st.Pruned, st.Exhausted)
+		}
 		if found == nil {
 			fmt.Printf("%s: no violation within %d schedules\n", s.Name, *seeds)
 		} else {

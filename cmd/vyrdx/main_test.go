@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+)
+
+// TestMain lets the test binary double as the vyrdx command: re-exec'd with
+// VYRDX_MAIN_RUN=1 it runs main() and exits through run()'s codes, so the
+// shell contract is pinned by a real process boundary, not by calling run()
+// in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("VYRDX_MAIN_RUN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// vyrdx re-execs the test binary as the command and returns exit code and
+// combined output.
+func vyrdx(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "VYRDX_MAIN_RUN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("re-exec: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestExitCodes pins the documented shell contract — 0 no violation, 2
+// violation found, 1 error — and that -strategy dpor changes none of it.
+// The subject is the atomics seqlock: race-detector-clean (the planted bug
+// is all-atomic), correct variant silent within 25 controlled schedules
+// under both strategies, buggy variant found well within 40 by both.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean-pct", []string{"-subjects", "Seqlock-TornRead", "-buggy=false", "-seeds", "25"}, 0},
+		{"clean-dpor", []string{"-subjects", "Seqlock-TornRead", "-buggy=false", "-seeds", "25", "-strategy", "dpor"}, 0},
+		{"violation-pct", []string{"-subjects", "Seqlock-TornRead", "-seeds", "40"}, 2},
+		{"violation-dpor", []string{"-subjects", "Seqlock-TornRead", "-seeds", "40", "-strategy", "dpor"}, 2},
+		{"unknown-subject", []string{"-subjects", "NoSuchSubject"}, 1},
+		{"unknown-strategy", []string{"-strategy", "bfs"}, 1},
+		{"dpor-with-ltl", []string{"-strategy", "dpor", "-mode", "ltl"}, 1},
+		{"bad-repro", []string{"-repro", "not-a-repro-string"}, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := vyrdx(t, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit code %d, want %d\noutput:\n%s", code, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestDPORReproReplaysThroughCLI closes the loop the repro string promises:
+// a violating schedule found under -strategy dpor in-process replays
+// through `vyrdx -repro` — the script round-trips the grammar — and the
+// replayed violation exits 2 like any other.
+func TestDPORReproReplaysThroughCLI(t *testing.T) {
+	s, ok := bench.SubjectByName("Seqlock-TornRead")
+	if !ok {
+		t.Fatal("Seqlock-TornRead not in registry")
+	}
+	found, _, err := explore.ExploreDPOR(s.Buggy, bench.ExploreSpec(s.Name), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == nil {
+		t.Fatal("dpor found no violation in 40 schedules")
+	}
+	repro := found.Run.Spec.Repro()
+	if !strings.Contains(repro, "strategy=dpor") {
+		t.Fatalf("repro string does not carry the strategy: %s", repro)
+	}
+	code, out := vyrdx(t, "-repro", repro)
+	if code != 2 {
+		t.Fatalf("replay exit code %d, want 2\nrepro: %s\noutput:\n%s", code, repro, out)
+	}
+	if !strings.Contains(out, "replayed twice, byte-identical") {
+		t.Fatalf("replay did not report byte-identical runs\noutput:\n%s", out)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"repro/internal/msvector"
 	"repro/internal/multiset"
 	"repro/internal/scanfs"
+	"repro/internal/seqlock"
+	"repro/internal/tstack"
 	"repro/vyrd"
 )
 
@@ -140,6 +142,32 @@ func ExplorationSubjects() []Subject {
 	}
 }
 
+// WeakMemorySubjects returns the lock-free atomics subjects in the spirit
+// of the C11 weak-memory library benchmarks: no mutual exclusion anywhere,
+// every shared access an annotated atomic, correctness resting entirely on
+// operation ordering. Their planted bugs are invisible to the race detector
+// (all accesses are atomic) and to wall-clock stress (the windows are one
+// scheduler step wide); they are aimed at DPOR exploration, whose
+// access-typed yields see exactly which loads and stores conflict. They
+// are checked in I/O mode — their return values are self-validating — so
+// they are kept out of ExplorationSubjects (a view-mode list).
+func WeakMemorySubjects() []Subject {
+	return []Subject{
+		{
+			Name:    "TreiberStack-PublishRace",
+			BugName: "CAS publishes node before linking next (one-step window)",
+			Correct: tstack.Target(tstack.BugNone),
+			Buggy:   tstack.Target(tstack.BugPublishBeforeLink),
+		},
+		{
+			Name:    "Seqlock-TornRead",
+			BugName: "Reader skips sequence validation, accepts torn word pair",
+			Correct: seqlock.Target(seqlock.BugNone),
+			Buggy:   seqlock.Target(seqlock.BugTornRead),
+		},
+	}
+}
+
 // TemporalSubjects returns the planted-bug variants aimed at the temporal
 // engine (ModeLTL): bugs that corrupt no state — refinement and
 // linearizability stay clean — but leave a forbidden pattern in the log.
@@ -179,6 +207,7 @@ func LinearizeOnlySubjects() []Subject {
 // linearize-only subjects.
 func SubjectByName(name string) (Subject, bool) {
 	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, WeakMemorySubjects()...)
 	all = append(all, TemporalSubjects()...)
 	all = append(all, LinearizeOnlySubjects()...)
 	for _, s := range all {

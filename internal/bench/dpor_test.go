@@ -1,0 +1,116 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+	"repro/internal/racecheck"
+	"repro/internal/sched"
+)
+
+// dporSubjects is the differential set: every planted-bug subject both
+// strategies are expected to crack — the lock-based exploration subjects
+// plus the weak-memory atomics subjects. Under the race detector the
+// lock-based bugs are intentional data races (the detector aborts before
+// the checker verdicts), so only the atomics subjects — whose accesses are
+// all atomic and race-invisible — remain.
+func dporSubjects(t *testing.T) []bench.Subject {
+	t.Helper()
+	subs := bench.WeakMemorySubjects()
+	if racecheck.Enabled {
+		t.Log("race detector on: restricting to the atomics subjects")
+		return subs
+	}
+	return append(bench.ExplorationSubjects(), subs...)
+}
+
+// replayIdentical re-runs a found schedule from its spec alone and requires
+// byte-identical log bytes and a structurally identical verdict — the
+// repro-string contract: what exploration found, anyone can replay.
+func replayIdentical(t *testing.T, sub bench.Subject, found *explore.Found) {
+	t.Helper()
+	r, err := explore.RunSpec(sub.Buggy, found.Run.Spec)
+	if err != nil {
+		t.Fatalf("%s: replay: %v", sub.Name, err)
+	}
+	if r.Sched.FreeRun {
+		t.Fatalf("%s: replay fell back to free-running\nrepro: %s", sub.Name, found.Run.Spec.Repro())
+	}
+	if !explore.SameVerdict(found.Run, r) {
+		t.Fatalf("%s: replay diverged from the exploration run\nrepro: %s", sub.Name, found.Run.Spec.Repro())
+	}
+}
+
+// TestStrategyDifferential is the PCT-vs-DPOR A/B over every planted-bug
+// subject: both strategies must find a violation within their budget, every
+// found schedule must replay byte-for-byte from its repro spec (so DPOR
+// scripts round-trip exactly like PCT seeds), and DPOR must need strictly
+// fewer schedules than PCT on every subject — the reduction claim of this
+// PR, pinned as a regression test. Budgets are asymmetric on purpose: PCT's
+// worst observed case is 141 schedules (TreiberStack-PublishRace), DPOR's
+// is 26 (BLinkTree-DroppedLock).
+func TestStrategyDifferential(t *testing.T) {
+	for _, s := range dporSubjects(t) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			base := bench.ExploreSpec(s.Name)
+
+			dpor, dst, err := explore.ExploreDPOR(s.Buggy, base, 80)
+			if err != nil {
+				t.Fatalf("dpor: %v", err)
+			}
+			if dpor == nil {
+				t.Fatalf("dpor found no violation in 80 schedules (classes=%d pruned=%d exhausted=%v)",
+					dst.Classes, dst.Pruned, dst.Exhausted)
+			}
+			replayIdentical(t, s, dpor)
+
+			pct, _, err := explore.Explore(s.Buggy, base, 300)
+			if err != nil {
+				t.Fatalf("pct: %v", err)
+			}
+			if pct == nil {
+				t.Fatal("pct found no violation in 300 schedules")
+			}
+			replayIdentical(t, s, pct)
+
+			t.Logf("schedules to first violation: dpor %d (%s), pct %d (%s)",
+				dpor.SchedulesTried, dpor.Run.FirstKind(),
+				pct.SchedulesTried, pct.Run.FirstKind())
+			if dpor.SchedulesTried >= pct.SchedulesTried {
+				t.Errorf("dpor needed %d schedules, pct %d: partial-order reduction regressed",
+					dpor.SchedulesTried, pct.SchedulesTried)
+			}
+		})
+	}
+}
+
+// TestWeakMemoryCleanVariants runs the correct implementation of each
+// atomics subject under 25 controlled schedules per strategy and requires
+// silence: the planted windows, not the lock-free algorithms themselves,
+// are what the strategies flag.
+func TestWeakMemoryCleanVariants(t *testing.T) {
+	for _, s := range bench.WeakMemorySubjects() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			base := bench.ExploreSpec(s.Name)
+			for _, strat := range bench.ExploreStrategies {
+				var found *explore.Found
+				var err error
+				if strat == sched.StrategyDPOR {
+					found, _, err = explore.ExploreDPOR(s.Correct, base, 25)
+				} else {
+					found, _, err = explore.Explore(s.Correct, base, 25)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", strat, err)
+				}
+				if found != nil {
+					t.Fatalf("%s flagged the correct implementation at schedule %d (%s)\nrepro: %s",
+						strat, found.SchedulesTried, found.Run.FirstKind(), found.Run.Spec.Repro())
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,15 @@ func ExploreSpec(subject string) sched.Spec {
 		// Fewer, fatter ops: each Write copies a 32-byte buffer with
 		// yields inside, so schedules are long per op.
 		sp.Ops, sp.KeyPool = 6, 6
+	case "TreiberStack-PublishRace":
+		// Lock-free: a handful of ops suffices — the publish window is one
+		// step wide, so depth matters less than ordering, and the shorter
+		// trace keeps the first-level race frontier small.
+		sp.Ops = 4
+	case "Seqlock-TornRead":
+		// Spin-wait retries stretch schedules; keep ops low and the step
+		// cap generous enough for waited-out write windows.
+		sp.Ops, sp.K = 6, 400
 	case "Ledger-LockPair":
 		// The inversion needs a Deposit parked in its one-yield hint
 		// window while another thread runs a whole Transfer; short
@@ -33,49 +42,80 @@ func ExploreSpec(subject string) sched.Spec {
 	return sp
 }
 
-// ExploreRow is one subject's schedule-exploration summary: the budget,
-// where the first violation was found (0 = not found), the exploration
-// throughput, and what the shrinker did to the violating schedule.
+// ExploreRow is one subject x strategy schedule-exploration summary: the
+// budget, where the first violation was found (0 = not found), the
+// exploration throughput and class coverage, and what the shrinker did to
+// the violating schedule.
 type ExploreRow struct {
 	Subject         string
 	BugName         string
+	Strategy        string  // "pct" or "dpor"
 	Budget          int     // schedule budget given to exploration
 	FoundAt         int     // 1-based schedule index of first violation; 0 = none
 	Violation       string  // kind of the first violation
 	SchedulesPerSec float64 `json:"SchedulesPerSec"`
-	StepsBefore     int64   // violating schedule length before shrinking
-	StepsAfter      int64   // and after
-	Repro           string  // minimized repro string
+	// Classes counts distinct Mazurkiewicz equivalence classes among the
+	// schedules run before stopping: schedules-per-class is the dedup
+	// overhead of a strategy (PCT re-runs equivalent schedules; DPOR aims
+	// for one schedule per class).
+	Classes int
+	// Pruned counts sleep-set-pruned schedules (DPOR only).
+	Pruned int
+	// Exhausted is true when DPOR emptied its frontier within the budget.
+	Exhausted   bool  `json:",omitempty"`
+	StepsBefore int64 // violating schedule length before shrinking
+	StepsAfter  int64 // and after
+	Repro       string
 }
 
-// ExploreTable runs seeded schedule exploration over every planted-bug
-// subject with the given budget, shrinking each violating schedule.
+// ExploreStrategies are the search strategies the explore table compares.
+var ExploreStrategies = []string{"pct", sched.StrategyDPOR}
+
+// ExploreTable runs schedule exploration over every planted-bug subject —
+// the lock-based exploration set plus the weak-memory atomics set — under
+// both strategies with the given budget, shrinking each violating schedule.
+// Rows come out grouped by subject, PCT before DPOR, so the per-subject A/B
+// reads top-to-bottom.
 func ExploreTable(budget int) ([]ExploreRow, error) {
 	var rows []ExploreRow
-	for _, s := range ExplorationSubjects() {
-		base := ExploreSpec(s.Name)
-		found, st, err := explore.Explore(s.Buggy, base, budget)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		row := ExploreRow{
-			Subject:         s.Name,
-			BugName:         s.BugName,
-			Budget:          budget,
-			SchedulesPerSec: st.SchedulesPerSec(),
-		}
-		if found != nil {
-			row.FoundAt = found.SchedulesTried
-			row.Violation = found.Run.FirstKind().String()
-			min, shr, err := explore.ShrinkRun(s.Buggy, found.Run)
-			if err != nil {
-				return nil, fmt.Errorf("%s: shrink: %w", s.Name, err)
+	subjects := append(ExplorationSubjects(), WeakMemorySubjects()...)
+	for _, s := range subjects {
+		for _, strat := range ExploreStrategies {
+			base := ExploreSpec(s.Name)
+			var found *explore.Found
+			var st explore.Stats
+			var err error
+			if strat == sched.StrategyDPOR {
+				found, st, err = explore.ExploreDPOR(s.Buggy, base, budget)
+			} else {
+				found, st, err = explore.Explore(s.Buggy, base, budget)
 			}
-			row.StepsBefore = shr.StepsBefore
-			row.StepsAfter = shr.StepsAfter
-			row.Repro = min.Spec.Repro()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", s.Name, strat, err)
+			}
+			row := ExploreRow{
+				Subject:         s.Name,
+				BugName:         s.BugName,
+				Strategy:        strat,
+				Budget:          budget,
+				SchedulesPerSec: st.SchedulesPerSec(),
+				Classes:         st.Classes,
+				Pruned:          st.Pruned,
+				Exhausted:       st.Exhausted,
+			}
+			if found != nil {
+				row.FoundAt = found.SchedulesTried
+				row.Violation = found.Run.FirstKind().String()
+				min, shr, err := explore.ShrinkRun(s.Buggy, found.Run)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: shrink: %w", s.Name, strat, err)
+				}
+				row.StepsBefore = shr.StepsBefore
+				row.StepsAfter = shr.StepsAfter
+				row.Repro = min.Spec.Repro()
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -83,7 +123,7 @@ func ExploreTable(budget int) ([]ExploreRow, error) {
 // WriteExploreTable renders the exploration rows.
 func WriteExploreTable(w io.Writer, rows []ExploreRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Subject\tBug\tFound at\tSched/s\tShrink (steps)\tViolation")
+	fmt.Fprintln(tw, "Subject\tBug\tStrategy\tFound at\tClasses\tSched/s\tShrink (steps)\tViolation")
 	for _, r := range rows {
 		found := "not found"
 		shrink := "-"
@@ -91,13 +131,13 @@ func WriteExploreTable(w io.Writer, rows []ExploreRow) {
 			found = fmt.Sprintf("schedule %d/%d", r.FoundAt, r.Budget)
 			shrink = fmt.Sprintf("%d -> %d", r.StepsBefore, r.StepsAfter)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%s\t%s\n",
-			r.Subject, r.BugName, found, r.SchedulesPerSec, shrink, r.Violation)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%.0f\t%s\t%s\n",
+			r.Subject, r.BugName, r.Strategy, found, r.Classes, r.SchedulesPerSec, shrink, r.Violation)
 	}
 	tw.Flush()
 	for _, r := range rows {
 		if r.Repro != "" {
-			fmt.Fprintf(w, "repro %s: %s\n", r.Subject, r.Repro)
+			fmt.Fprintf(w, "repro %s (%s): %s\n", r.Subject, r.Strategy, r.Repro)
 		}
 	}
 }

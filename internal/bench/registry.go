@@ -15,6 +15,7 @@ import (
 func Registry() *remote.Registry {
 	r := remote.NewRegistry()
 	all := append(AllSubjects(), ExplorationSubjects()...)
+	all = append(all, WeakMemorySubjects()...)
 	all = append(all, TemporalSubjects()...)
 	all = append(all, LinearizeOnlySubjects()...)
 	for _, s := range all {

@@ -1,0 +1,125 @@
+package event
+
+import "hash/fnv"
+
+// Access classifies what one scheduling step touches, for dynamic
+// partial-order reduction (internal/sched). Every probe action — and every
+// explicit yield an implementation annotates — declares an Access before it
+// parks, so the scheduler knows, at each decision, what each enabled task
+// is *about* to do. Two steps of different threads are independent exactly
+// when swapping their order cannot change any later observation: the DPOR
+// engine only explores one order of each independent adjacent pair.
+//
+// The vocabulary distinguishes the two universes a step can touch:
+//
+//   - the execution log and the specification state it drives (logged call,
+//     return, write and commit actions), keyed by the probe's module; and
+//   - annotated shared memory (YieldLoad/YieldStore/YieldRMW on named
+//     variables), keyed by (module, variable).
+//
+// A bare Probe.Yield carries no information and is AccessOpaque: it marks
+// an unannotated shared access (the legacy planted-bug windows), so it is
+// conservatively dependent with everything except provably-local steps.
+type Access struct {
+	// Kind is the access class; the zero value is AccessOpaque, so an
+	// undeclared access is conservatively dependent with everything.
+	Kind AccessKind
+	// Module is the key of the probe's module scope for logged actions
+	// (AccessRead of the spec state, AccessWrite of a logged variable,
+	// AccessCommit); 0 for annotated memory accesses, which never conflict
+	// with log-order-only actions.
+	Module uint64
+	// Var is the accessed variable's key (VarKey) for AccessRead and
+	// AccessWrite; unused for the other kinds.
+	Var uint64
+	// Spin marks a retry iteration of a spin-wait: granting this step again
+	// cannot make progress until some other task changes the awaited state.
+	// It is a scheduling hint only — a cooperative scheduler deprioritizes
+	// spin-parked tasks so lock-free retry loops cannot livelock the run —
+	// and does not participate in the dependence relation (the step's read
+	// is still a real read).
+	Spin bool
+}
+
+// AccessKind is the dependency class of an Access.
+type AccessKind uint8
+
+const (
+	// AccessOpaque marks an unannotated shared access (a bare Probe.Yield,
+	// or a step whose declared access cannot be trusted, e.g. one whose
+	// turn was stolen mid-flight). Dependent with every non-local access.
+	AccessOpaque AccessKind = iota
+	// AccessLocal marks a step that touches nothing shared: harness
+	// operation boundaries, thread-private setup. Independent of everything.
+	AccessLocal
+	// AccessRead reads variable Var (an annotated atomic load, or a logged
+	// call/return action reading the module's spec-state trajectory —
+	// observer return values are judged against the spec states spanned by
+	// the call/return window, so their log positions relative to commits
+	// matter, but two reads never conflict with each other).
+	AccessRead
+	// AccessWrite writes variable Var (an annotated atomic store or RMW,
+	// or a logged write action keyed by its operation and first argument).
+	AccessWrite
+	// AccessCommit is a logged commit action: it advances the module's
+	// specification state and — in view mode — compares a digest over the
+	// module's whole replica, so it conflicts with every logged action of
+	// the same module, while commuting with annotated memory accesses
+	// (which append nothing to the log).
+	AccessCommit
+)
+
+// String names the kind for traces and test failures.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessOpaque:
+		return "opaque"
+	case AccessLocal:
+		return "local"
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessCommit:
+		return "commit"
+	}
+	return "invalid"
+}
+
+// Dependent reports whether two accesses by *different* threads conflict:
+// swapping adjacent steps with these accesses could change a later
+// observation. Same-thread steps are always ordered by the program and
+// must not be passed here. The relation is symmetric and errs toward
+// dependence: only pairs proven commutative are independent.
+func Dependent(a, b Access) bool {
+	if a.Kind == AccessLocal || b.Kind == AccessLocal {
+		return false
+	}
+	if a.Kind == AccessOpaque || b.Kind == AccessOpaque {
+		return true
+	}
+	if a.Kind == AccessCommit || b.Kind == AccessCommit {
+		// A commit conflicts with every logged action of its module
+		// (Module != 0) and commutes with annotated memory accesses
+		// (Module == 0 on the other side never matches).
+		return a.Module == b.Module
+	}
+	if a.Kind == AccessRead && b.Kind == AccessRead {
+		return false
+	}
+	// read/write or write/write: conflict exactly on the same variable.
+	return a.Var == b.Var
+}
+
+// VarKey hashes a variable identity from its string parts (FNV-64a with a
+// separator between parts, so ("ab","c") and ("a","bc") differ). Callers
+// namespace the parts: annotated memory variables use ("m", module, name),
+// logged write actions use ("w", module, op[, arg]).
+func VarKey(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,231 @@
+package explore
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/tstack"
+	"repro/vyrd"
+)
+
+// tornRegister is a test-only lock-free subject built for exhaustive
+// enumeration: a two-word register with NO synchronization at all, checked
+// against spec.Register. Unlike the real subjects it has no retry loops
+// and no locks, so every thread's step count is schedule-independent and
+// the interleaving tree is finite and small. The torn variant stores the
+// two words in separate scheduler steps — a reader between them observes a
+// torn pair, an observer violation; the atomic variant fuses both stores
+// into one step and is correct under every interleaving.
+type tornRegister struct {
+	a, b atomic.Int64
+	torn bool
+}
+
+func (r *tornRegister) write(p *vyrd.Probe, v int) {
+	inv := p.Call("Write", v)
+	if r.torn {
+		p.YieldStore("a")
+		r.a.Store(int64(v))
+		p.YieldStore("b") // the torn window: a new, b still old
+		r.b.Store(int64(v))
+	} else {
+		p.Yield()
+		r.a.Store(int64(v))
+		r.b.Store(int64(v))
+	}
+	inv.CommitFused("stored")
+	inv.Return(nil)
+}
+
+func (r *tornRegister) read(p *vyrd.Probe) int {
+	inv := p.Call("Read")
+	p.YieldLoad("a")
+	v1 := int(r.a.Load())
+	p.YieldLoad("b")
+	v2 := int(r.b.Load())
+	ret := v1<<spec.RegisterShift | v2
+	inv.Return(ret)
+	return ret
+}
+
+func tornRegisterTarget(torn bool) harness.Target {
+	return harness.Target{
+		Name: "TornRegister",
+		New: func(log *vyrd.Log) harness.Instance {
+			r := &tornRegister{torn: torn}
+			return harness.Instance{Methods: []harness.Method{
+				{Name: "Write", Weight: 50, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+					r.write(p, pick())
+				}},
+				{Name: "Read", Weight: 50, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+					r.read(p)
+				}},
+			}}
+		},
+		NewSpec: func() core.Spec { return spec.NewRegister() },
+	}
+}
+
+// tinySpec is a configuration small enough to enumerate exhaustively: two
+// threads, two operations each. Seed 0 is schedule-clean (no interleaving
+// of its operation mix triggers the planted bug); seed 3's mix reaches the
+// publish race, so its class partition carries more than one verdict.
+func tinySpec(seed int64) sched.Spec {
+	return sched.Spec{
+		Subject: "TreiberStack-PublishRace",
+		Threads: 2, Ops: 2, KeyPool: 2,
+		D: 3, K: 300, Seed: seed,
+	}
+}
+
+// verdict compresses a run's checker outcome for class comparison: "ok"
+// or the ordered list of violation kinds.
+func verdict(r *Run) string {
+	if !r.Violating() {
+		return "ok"
+	}
+	s := "violating:"
+	seen := map[core.ViolationKind]bool{}
+	for _, v := range r.Report.Violations {
+		if !seen[v.Kind] {
+			seen[v.Kind] = true
+			s += " " + v.Kind.String()
+		}
+	}
+	return s
+}
+
+// exhaustDPOR drives the DPOR engine to frontier exhaustion without
+// stopping at violations, returning fingerprint -> verdict over every
+// schedule-faithful run (the engine is fed only faithful traces, so its
+// tree is exact).
+func exhaustDPOR(t *testing.T, tgt harness.Target, base sched.Spec, budget int) (map[uint64]string, int) {
+	t.Helper()
+	eng := sched.NewDPOR()
+	classes := make(map[uint64]string)
+	schedules := 0
+	for {
+		script, ok := eng.Next()
+		if !ok {
+			return classes, schedules
+		}
+		if schedules >= budget {
+			t.Fatalf("DPOR did not exhaust within %d schedules", budget)
+		}
+		sp := base
+		sp.Strategy = sched.StrategyDPOR
+		sp.Script = script
+		r, err := enumRun(tgt, sp, Refinement())
+		if err != nil {
+			t.Fatalf("dpor run: %v", err)
+		}
+		schedules++
+		eng.Observe(r.Trace)
+		fp := sched.Fingerprint(r.Trace)
+		v := verdict(r)
+		if prev, seen := classes[fp]; seen && prev != v {
+			t.Fatalf("class %x visited with two verdicts: %q then %q", fp, prev, v)
+		}
+		classes[fp] = v
+	}
+}
+
+// TestDPORCoversAllEquivalenceClasses is the soundness gate for the
+// sleep-set pruning and the trace fingerprint: exhaustively enumerate
+// every interleaving of a tiny configuration, partition the runs into
+// Mazurkiewicz classes by fingerprint, and require that DPOR run to
+// frontier exhaustion (1) visits at least one representative of every
+// class, (2) agrees with the enumeration on every class's checker verdict,
+// and (3) sees every distinct verdict the full interleaving space
+// produces. Over-pruning — a sleep set or a missed backtrack point
+// dropping a class — fails (1); an unsound dependence relation — two
+// "equivalent" interleavings with different outcomes — fails the
+// uniformity check inside the partition.
+func TestDPORCoversAllEquivalenceClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		tgt  harness.Target
+		base sched.Spec
+		// wantViolating requires the interleaving space to produce more
+		// than one verdict (the planted bug is schedule-reachable).
+		wantViolating bool
+	}{
+		{
+			// A real registry subject, clean under every interleaving of
+			// this seed's operation mix: tests pure class coverage.
+			name: "treiber-clean-mix",
+			tgt:  tstack.Target(tstack.BugPublishBeforeLink),
+			base: tinySpec(0),
+		},
+		{
+			// The retry-free torn register at the minimal violating mix —
+			// one writer, one reader: interleavings parking the writer
+			// between its two stores observe the torn pair, so the class
+			// partition carries both verdicts.
+			name:          "torn-register",
+			tgt:           tornRegisterTarget(true),
+			base:          sched.Spec{Subject: "TornRegister", Threads: 2, Ops: 1, KeyPool: 4, D: 3, K: 300, Seed: 3},
+			wantViolating: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			runs, err := EnumerateAll(c.tgt, c.base, 30000, Refinement())
+			if err != nil {
+				t.Fatalf("enumerate: %v", err)
+			}
+			enum := make(map[uint64]string)
+			enumVerdicts := make(map[string]bool)
+			for _, r := range runs {
+				fp := sched.Fingerprint(r.Trace)
+				v := verdict(r)
+				if prev, seen := enum[fp]; seen && prev != v {
+					t.Fatalf("dependence relation unsound: class %x holds runs with verdicts %q and %q", fp, prev, v)
+				}
+				enum[fp] = v
+				enumVerdicts[v] = true
+			}
+			t.Logf("%d interleavings, %d classes, %d distinct verdicts",
+				len(runs), len(enum), len(enumVerdicts))
+
+			dpor, schedules := exhaustDPOR(t, c.tgt, c.base, len(runs)+1)
+			t.Logf("DPOR exhausted after %d schedules, %d classes", schedules, len(dpor))
+
+			missed := 0
+			for fp, v := range enum {
+				dv, ok := dpor[fp]
+				if !ok {
+					missed++
+					t.Errorf("class %x (verdict %q) never visited by DPOR", fp, v)
+					continue
+				}
+				if dv != v {
+					t.Errorf("class %x: enumeration verdict %q, DPOR verdict %q", fp, v, dv)
+				}
+			}
+			if missed > 0 {
+				t.Fatalf("DPOR missed %d of %d equivalence classes", missed, len(enum))
+			}
+			dporVerdicts := make(map[string]bool)
+			for _, v := range dpor {
+				dporVerdicts[v] = true
+			}
+			for v := range enumVerdicts {
+				if !dporVerdicts[v] {
+					t.Errorf("verdict %q produced by some interleaving but never by DPOR", v)
+				}
+			}
+			if c.wantViolating && len(enumVerdicts) < 2 {
+				t.Fatalf("mix should reach the planted bug; got only verdicts %v", enumVerdicts)
+			}
+			if schedules > len(enum)*3 {
+				t.Errorf("DPOR ran %d schedules for %d classes; reduction is not working", schedules, len(enum))
+			}
+		})
+	}
+}

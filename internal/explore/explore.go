@@ -37,6 +37,10 @@ type Run struct {
 	Entries []vyrd.Entry
 	// Sched is the controlled scheduler's run stats.
 	Sched sched.Stats
+	// Trace is the recorded decision sequence (always captured): the raw
+	// material for DPOR's race analysis and the equivalence-class
+	// fingerprint (sched.Fingerprint).
+	Trace []sched.Step
 	// Methods is the number of harness operations issued.
 	Methods int64
 	// Elapsed is the wall time of the harness run (excluding checking).
@@ -123,7 +127,9 @@ func RunSpecWith(t harness.Target, sp sched.Spec, v Verifier) (*Run, error) {
 }
 
 func runSpec(t harness.Target, sp sched.Spec, verify Verifier, diagnostics bool) (*Run, error) {
-	sch := sched.New(sp.Options())
+	o := sp.Options()
+	o.Record = true
+	sch := sched.New(o)
 	lvl := Level(t)
 	log := vyrd.NewLogWith(lvl, vyrd.LogOptions{})
 	var buf bytes.Buffer
@@ -160,6 +166,7 @@ func runSpec(t harness.Target, sp sched.Spec, verify Verifier, diagnostics bool)
 		LogBytes: append([]byte(nil), buf.Bytes()...),
 		Entries:  entries,
 		Sched:    stats,
+		Trace:    sch.Trace(),
 		Methods:  res.Methods,
 		Elapsed:  res.Elapsed,
 	}, nil
@@ -177,6 +184,16 @@ type Found struct {
 type Stats struct {
 	Schedules int
 	FreeRuns  int
+	// Classes counts distinct Mazurkiewicz equivalence classes among the
+	// reproducible schedules executed (sched.Fingerprint dedup): the
+	// exploration's effective coverage, as opposed to raw run count.
+	Classes int
+	// Pruned counts schedules the DPOR engine skipped via sleep sets
+	// (always 0 for PCT).
+	Pruned int
+	// Exhausted is true when the DPOR frontier emptied before the budget:
+	// every reversible race observed has been explored or pruned.
+	Exhausted bool
 	Elapsed   time.Duration
 }
 
@@ -202,6 +219,7 @@ func Explore(t harness.Target, base sched.Spec, seeds int) (*Found, Stats, error
 func ExploreWith(t harness.Target, base sched.Spec, seeds int, v Verifier) (*Found, Stats, error) {
 	start := time.Now()
 	var st Stats
+	classes := make(map[uint64]bool)
 	for i := 0; i < seeds; i++ {
 		sp := base
 		sp.Seed = base.Seed + int64(i)
@@ -216,6 +234,8 @@ func ExploreWith(t harness.Target, base sched.Spec, seeds int, v Verifier) (*Fou
 			st.FreeRuns++
 			continue
 		}
+		classes[sched.Fingerprint(r.Trace)] = true
+		st.Classes = len(classes)
 		if r.Violating() {
 			st.Elapsed = time.Since(start)
 			return &Found{SchedulesTried: i + 1, Run: r}, st, nil
@@ -223,6 +243,147 @@ func ExploreWith(t harness.Target, base sched.Spec, seeds int, v Verifier) (*Fou
 	}
 	st.Elapsed = time.Since(start)
 	return nil, st, nil
+}
+
+// ExploreDPOR drives exploration from the DPOR engine instead of PCT
+// seeds: the first schedule is the pure run-to-completion one, and every
+// later schedule reverses one observed dependent cross-task pair at a
+// backtrack point the engine planted (internal/sched dpor.go). base.Seed
+// still fixes the harness's per-operation randomness; Strategy and Script
+// on the returned run's spec make the violating schedule replayable via
+// the repro string. Exploration stops at the first violation, when
+// maxSchedules runs have executed, or when the frontier empties —
+// Stats.Exhausted then reports that every reversible race seen has been
+// covered.
+func ExploreDPOR(t harness.Target, base sched.Spec, maxSchedules int) (*Found, Stats, error) {
+	return ExploreDPORWith(t, base, maxSchedules, Refinement())
+}
+
+// ExploreDPORWith is ExploreDPOR under an explicit verifier.
+func ExploreDPORWith(t harness.Target, base sched.Spec, maxSchedules int, v Verifier) (*Found, Stats, error) {
+	start := time.Now()
+	eng := sched.NewDPOR()
+	var st Stats
+	classes := make(map[uint64]bool)
+	for st.Schedules < maxSchedules {
+		script, ok := eng.Next()
+		if !ok {
+			st.Exhausted = true
+			break
+		}
+		sp := base
+		sp.Strategy = sched.StrategyDPOR
+		sp.Script = script
+		sp.ChangePoints = nil
+		sp.Skips = nil
+		r, err := RunSpecWith(t, sp, v)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Schedules++
+		st.Pruned = eng.Stats().Pruned
+		if r.Sched.FreeRun {
+			// Do not feed a free-run trace to the engine: past the valve
+			// the decisions are not the scheduler's.
+			st.FreeRuns++
+			continue
+		}
+		eng.Observe(r.Trace)
+		classes[sched.Fingerprint(r.Trace)] = true
+		st.Classes = len(classes)
+		if r.Violating() {
+			st.Elapsed = time.Since(start)
+			return &Found{SchedulesTried: st.Schedules, Run: r}, st, nil
+		}
+	}
+	st.Pruned = eng.Stats().Pruned
+	st.Elapsed = time.Since(start)
+	return nil, st, nil
+}
+
+// EnumerateAll executes every maximal interleaving the controlled
+// scheduler can produce for base's configuration, by systematic script
+// extension: run a script, then for every decision at depth >= the
+// script's length and every enabled-but-not-chosen task there, queue the
+// observed prefix plus that divergence. Extending only at depths past the
+// script's end visits each maximal interleaving exactly once. It is the
+// ground truth the exhaustive DPOR soundness test partitions into
+// equivalence classes; keep configurations tiny (2-3 threads, <=4 ops).
+// limit bounds the number of runs — exceeding it, or any free-run or
+// script divergence (both break the "all interleavings" claim), is an
+// error.
+func EnumerateAll(t harness.Target, base sched.Spec, limit int, v Verifier) ([]*Run, error) {
+	stack := [][]int{{}}
+	var runs []*Run
+	for len(stack) > 0 {
+		script := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(runs) >= limit {
+			return nil, fmt.Errorf("explore: enumeration exceeds %d runs", limit)
+		}
+		sp := base
+		sp.Strategy = sched.StrategyDPOR
+		sp.Script = script
+		r, err := enumRun(t, sp, v)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+		for d := len(script); d < len(r.Trace); d++ {
+			st := r.Trace[d]
+			for _, q := range st.Enabled {
+				if q == st.Task {
+					continue
+				}
+				ext := make([]int, d+1)
+				for i := 0; i < d; i++ {
+					ext[i] = r.Trace[i].Task
+				}
+				ext[d] = q
+				stack = append(stack, ext)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// enumRun executes one enumeration script, retrying runs whose trace is
+// not schedule-faithful: a free-run (deadlock valve), a stolen turn (the
+// 1ms anti-block steal can fire spuriously when the host is loaded, and a
+// stolen task dashes through scheduling points uncontrolled), or a
+// divergence from the script. All three are wall-clock artifacts on a
+// lock-free subject, so a few retries get a clean replay; persistent
+// failure is a real infidelity and errors out.
+func enumRun(t harness.Target, sp sched.Spec, v Verifier) (*Run, error) {
+	const attempts = 5
+	var reason string
+	for a := 0; a < attempts; a++ {
+		r, err := RunSpecWith(t, sp, v)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sched.FreeRun {
+			reason = "went free-run"
+			continue
+		}
+		if r.Sched.Steals > 0 {
+			reason = "had a stolen turn"
+			continue
+		}
+		faithful := true
+		for i, want := range sp.Script {
+			if i >= len(r.Trace) || r.Trace[i].Task != want {
+				faithful = false
+				break
+			}
+		}
+		if !faithful {
+			reason = "diverged from its script"
+			continue
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("explore: enumeration run %s %d times (script %v)", reason, attempts, sp.Script)
 }
 
 // ShrinkRun minimizes a violating run's schedule with the delta-debugging

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/sched"
 	"repro/vyrd"
 )
@@ -242,7 +243,7 @@ func runControlled(inst Instance, cfg Config, log *vyrd.Log, pool []int, totalWe
 		wg.Add(1)
 		p := log.NewProbe()
 		task := tasks[th]
-		p.SetYield(task.Yield)
+		p.SetAccessYield(task.YieldAccess)
 		th := th
 		go func() {
 			defer wg.Done()
@@ -252,8 +253,11 @@ func runControlled(inst Instance, cfg Config, log *vyrd.Log, pool []int, totalWe
 				// Operation boundary: park even if the op is skipped (or
 				// its method logs nothing), so every task reaches the
 				// scheduler's start barrier and op boundaries are
-				// scheduling points.
-				task.Yield()
+				// scheduling points. The boundary step only does
+				// thread-private work (rng setup, argument draws) up to
+				// the method's first probe action, so it is declared
+				// local — DPOR never needs to reorder two op boundaries.
+				task.YieldAccess(event.Access{Kind: event.AccessLocal})
 				if cfg.SkipOp != nil && cfg.SkipOp(th, op) {
 					continue
 				}

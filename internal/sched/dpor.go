@@ -1,0 +1,341 @@
+package sched
+
+import "repro/internal/event"
+
+// This file implements dynamic partial-order reduction (Flanagan &
+// Godefroid, "Dynamic Partial-Order Reduction for Model Checking Software",
+// POPL 2005) over the scripted scheduler. The engine never executes
+// anything itself: the caller (internal/explore) alternates
+//
+//	script, ok := e.Next()      // next schedule prefix to run
+//	... run it under Options{Script: script, Record: true} ...
+//	e.Observe(sch.Trace())      // feed the recorded decisions back
+//
+// until Next reports an empty frontier or the caller's budget runs out.
+// Each observed trace grows an explicit prefix tree of scheduling
+// decisions; a vector-clock race analysis over the trace plants backtrack
+// points at the decision nodes where a dependent cross-task pair could be
+// reversed, and sleep sets prune backtrack choices whose exploration is
+// provably covered by an already-explored sibling subtree.
+//
+// The scheduler's run-to-completion default past a script's end is what
+// makes one planted divergence meaningful: the diverted task runs through
+// its whole operation in the reordered window instead of yielding straight
+// back. DPOR therefore works with short scripts — a prefix plus one
+// reversal — and lets the default policy complete every run.
+
+// dnode is one node of the decision prefix tree: the scheduler state
+// reached by the script leading here. Fields describing the state
+// (enabled, pending) are recorded on first visit; by structural
+// determinism every replay of the same prefix reproduces them.
+type dnode struct {
+	parent *dnode
+	choice int // decision taken at parent to reach this node
+	depth  int
+
+	enabled  []int          // task ids parked at this decision, ascending
+	pending  []event.Access // declared accesses, parallel to enabled
+	children map[int]*dnode
+	access   map[int]event.Access // decision -> effective step access observed
+	done     map[int]int          // decision -> 1-based exploration order from here
+	queued   map[int]bool         // decisions ever pushed on the frontier
+}
+
+func newDnode(parent *dnode, choice int) *dnode {
+	d := &dnode{
+		parent:   parent,
+		choice:   choice,
+		children: make(map[int]*dnode),
+		access:   make(map[int]event.Access),
+		done:     make(map[int]int),
+		queued:   make(map[int]bool),
+	}
+	if parent != nil {
+		d.depth = parent.depth + 1
+	}
+	return d
+}
+
+// pendingOf returns task id's declared access at this node, degraded to
+// opaque when the task was not recorded as enabled (conservative: opaque
+// is dependent with everything, so the sleep set keeps fewer members and
+// prunes less).
+func (n *dnode) pendingOf(id int) event.Access {
+	for i, e := range n.enabled {
+		if e == id {
+			return n.pending[i]
+		}
+	}
+	return event.Access{Kind: event.AccessOpaque}
+}
+
+// script reconstructs the decision prefix from the root to this node.
+func (n *dnode) script() []int {
+	depth := n.depth
+	s := make([]int, depth)
+	for m := n; m.parent != nil; m = m.parent {
+		depth--
+		s[depth] = m.choice
+	}
+	return s
+}
+
+// DPORStats summarizes one exploration.
+type DPORStats struct {
+	// Schedules counts observed runs.
+	Schedules int
+	// Races counts backtrack points planted by the race analysis.
+	Races int
+	// Pruned counts frontier choices skipped by their sleep set.
+	Pruned int
+	// Frontier is the number of backtrack choices still queued.
+	Frontier int
+}
+
+// DPOR is the exploration engine. Zero value is not usable; construct with
+// NewDPOR. Not safe for concurrent use: the caller strictly alternates
+// Next and Observe.
+type DPOR struct {
+	root    *dnode
+	started bool
+	// frontier is FIFO (breadth-first over divergence levels): every
+	// single-reversal schedule of the seed trace runs before any
+	// double-reversal one. Depth-first order (LIFO) spends the whole budget
+	// permuting the trace's tail — the deepest races are re-planted on every
+	// run — and in a budgeted exploration never reaches the mid-trace
+	// reversals where a planted window bug lives. Both orders reach the same
+	// fixpoint at exhaustion; breadth-first finds shallow bugs first, and the
+	// sleep-set computation (asleep) derives each item's sleep set from the
+	// tree rather than from exploration order, so it is order-independent.
+	frontier []frontierItem
+	head     int // frontier[:head] already popped
+	stats    DPORStats
+}
+
+type frontierItem struct {
+	n      *dnode
+	choice int
+}
+
+// NewDPOR returns an engine whose first Next is the empty script: the pure
+// run-to-completion schedule that seeds the tree.
+func NewDPOR() *DPOR {
+	return &DPOR{root: newDnode(nil, -1)}
+}
+
+// Stats returns the exploration counters so far.
+func (e *DPOR) Stats() DPORStats {
+	st := e.stats
+	st.Frontier = len(e.frontier) - e.head
+	return st
+}
+
+// Next returns the next schedule to run, or ok=false when the frontier is
+// exhausted — every reversible race seen so far has been explored or
+// sleep-pruned, i.e. the persistent-set exploration is complete for the
+// observed state space.
+func (e *DPOR) Next() ([]int, bool) {
+	if !e.started {
+		e.started = true
+		return []int{}, true
+	}
+	for e.head < len(e.frontier) {
+		it := e.frontier[e.head]
+		e.head++
+		if it.n.done[it.choice] != 0 {
+			continue // explored meanwhile via another run's walk
+		}
+		if e.asleep(it.n, it.choice) {
+			// Every schedule starting with this choice here is equivalent
+			// to one reachable from an earlier-explored sibling subtree.
+			// The choice is dropped, not marked done: done feeds the sleep
+			// sets of later siblings, and a pruned subtree was never
+			// actually explored, so nothing may defer to it. queued stays
+			// set, so the choice is never re-planted either.
+			e.stats.Pruned++
+			continue
+		}
+		return append(it.n.script(), it.choice), true
+	}
+	return nil, false
+}
+
+// asleep computes the sleep set along the path to n and reports whether
+// choice is in it. Walking from the root with an empty sleep set: at each
+// node m whose path edge is d, the siblings explored *before* d was first
+// explored join the set, and members whose pending access at m is
+// dependent with d's step access are woken (removed) — executing d can
+// change what they observe, so their subtrees are no longer covered.
+//
+// The before-d ordering is essential, not an optimization: sleeping on
+// *every* other explored sibling would let two siblings each defer to the
+// other (A pruned as covered by B's subtree, B pruned as covered by A's),
+// which is a coverage hole. Strict ordering makes the deferral acyclic,
+// exactly as in depth-first sleep sets where later siblings sleep earlier
+// ones only.
+func (e *DPOR) asleep(n *dnode, choice int) bool {
+	path := n.script()
+	sleep := make(map[int]bool)
+	m := e.root
+	for _, d := range path {
+		da := m.access[d]
+		before := m.done[d]
+		for q, ord := range m.done {
+			if q != d && ord < before {
+				sleep[q] = true
+			}
+		}
+		for q := range sleep {
+			if event.Dependent(m.pendingOf(q), da) {
+				delete(sleep, q)
+			}
+		}
+		next := m.children[d]
+		if next == nil {
+			return false // path never fully observed; cannot prune
+		}
+		m = next
+	}
+	return sleep[choice]
+}
+
+// Observe feeds back the recorded trace of the run Next most recently
+// requested: it grows the prefix tree along the trace, then runs the race
+// analysis that plants backtrack points.
+func (e *DPOR) Observe(trace []Step) {
+	e.stats.Schedules++
+	nodes := e.walk(trace)
+	e.analyze(trace, nodes)
+}
+
+// walk threads the trace through the tree, recording node state on first
+// visit and marking each taken decision done. nodes[i] is the node whose
+// decision executed trace[i].
+func (e *DPOR) walk(trace []Step) []*dnode {
+	nodes := make([]*dnode, len(trace))
+	cur := e.root
+	for i, st := range trace {
+		if cur.enabled == nil {
+			cur.enabled = st.Enabled
+			cur.pending = st.Pending
+		}
+		c := st.Task
+		if cur.done[c] == 0 {
+			cur.done[c] = len(cur.done) + 1
+		}
+		cur.access[c] = st.EffectiveAccess()
+		nodes[i] = cur
+		child := cur.children[c]
+		if child == nil {
+			child = newDnode(cur, c)
+			cur.children[c] = child
+		}
+		cur = child
+	}
+	return nodes
+}
+
+// analyze runs the Flanagan-Godefroid backtrack-point computation over one
+// observed trace. Happens-before is tracked with vector clocks joined on
+// dependent pairs; at every decision point, for every enabled task p, the
+// latest earlier event that is dependent with p's pending access, belongs
+// to another task, and does not already happen-before p is a reversible
+// race: exploring p at that event's node can reorder the pair. The
+// backtrack choice is p itself when p was enabled there, else (p was only
+// enabled later) every task enabled there, conservatively.
+func (e *DPOR) analyze(trace []Step, nodes []*dnode) {
+	maxTask := 0
+	for _, st := range trace {
+		if st.Task > maxTask {
+			maxTask = st.Task
+		}
+		for _, q := range st.Enabled {
+			if q > maxTask {
+				maxTask = q
+			}
+		}
+	}
+	T := maxTask + 1
+	clock := make([][]int, T) // per task: joined clocks of its executed events
+	for t := range clock {
+		clock[t] = make([]int, T)
+	}
+	ecv := make([][]int, len(trace)) // per event
+	idx := make([]int, len(trace))   // event's 1-based index within its task
+	count := make([]int, T)
+
+	for d, st := range trace {
+		// Backtrack analysis at the state before executing trace[d]. The
+		// classic algorithm plants only the *maximal* dependent event not
+		// ordered before p and relies on recursion to surface earlier races
+		// one reversal at a time; under a schedule budget that recursion is
+		// a long chain the exploration may never complete, so every
+		// non-ordered dependent event is planted instead (earliest first —
+		// planted windows cluster in early operations, when state is still
+		// fresh). A superset of backtrack points keeps every persistent set
+		// persistent, so soundness is unaffected; only the reduction is
+		// coarser, and the queued/done maps bound the frontier to one entry
+		// per (node, task) regardless of how many traces re-plant it.
+		for k, p := range st.Enabled {
+			ap := st.Pending[k]
+			if ap.Kind == event.AccessLocal {
+				continue
+			}
+			for i := 0; i < d; i++ {
+				ti := trace[i].Task
+				if ti == p || !event.Dependent(trace[i].EffectiveAccess(), ap) {
+					continue
+				}
+				if idx[i] <= clock[p][ti] {
+					// Already ordered before p: reordering is impossible.
+					continue
+				}
+				// A dependent event not ordered before p: a reversible race
+				// with p's next step.
+				e.backtrack(nodes[i], p)
+			}
+		}
+		// Execute trace[d]: join the clocks of its dependent predecessors.
+		t := st.Task
+		a := st.EffectiveAccess()
+		cv := make([]int, T)
+		copy(cv, clock[t])
+		for i := 0; i < d; i++ {
+			if trace[i].Task != t && event.Dependent(trace[i].EffectiveAccess(), a) {
+				joinClock(cv, ecv[i])
+			}
+		}
+		count[t]++
+		cv[t] = count[t]
+		idx[d] = count[t]
+		ecv[d] = cv
+		clock[t] = cv
+	}
+}
+
+// backtrack plants p (or, when p was not enabled, every enabled task) as a
+// pending choice at node n.
+func (e *DPOR) backtrack(n *dnode, p int) {
+	cand := n.enabled
+	for _, q := range n.enabled {
+		if q == p {
+			cand = []int{p}
+			break
+		}
+	}
+	for _, q := range cand {
+		if n.done[q] == 0 && !n.queued[q] {
+			n.queued[q] = true
+			e.frontier = append(e.frontier, frontierItem{n, q})
+			e.stats.Races++
+		}
+	}
+}
+
+func joinClock(dst, src []int) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// step builds a synthetic recorded step for fingerprint tests; Enabled and
+// Pending are irrelevant to canonicalization and left empty.
+func step(task int, kind event.AccessKind, varKey uint64) Step {
+	return Step{Task: task, Access: event.Access{Kind: kind, Var: varKey}}
+}
+
+// TestFingerprintDedup pins the three behaviors the class counter rests on:
+// identical traces collide, commuting an independent adjacent pair
+// collides (one class, counted once), and swapping a dependent pair does
+// not (a genuinely different schedule, counted separately).
+func TestFingerprintDedup(t *testing.T) {
+	t.Run("identical-traces", func(t *testing.T) {
+		mk := func() []Step {
+			return []Step{
+				step(1, event.AccessWrite, 7),
+				step(2, event.AccessRead, 7),
+				step(1, event.AccessWrite, 9),
+			}
+		}
+		if Fingerprint(mk()) != Fingerprint(mk()) {
+			t.Fatal("two identical traces fingerprint differently")
+		}
+	})
+
+	t.Run("commuted-independent-pair", func(t *testing.T) {
+		// Different tasks, different variables: swapping the adjacent pair
+		// cannot change any observation, so both orders are one class.
+		a := []Step{
+			step(1, event.AccessWrite, 7),
+			step(2, event.AccessWrite, 9),
+		}
+		b := []Step{
+			step(2, event.AccessWrite, 9),
+			step(1, event.AccessWrite, 7),
+		}
+		if Fingerprint(a) != Fingerprint(b) {
+			t.Fatal("commuted independent pair split into two classes")
+		}
+	})
+
+	t.Run("read-read-same-var", func(t *testing.T) {
+		// Two loads of the same variable are independent too.
+		a := []Step{
+			step(1, event.AccessRead, 7),
+			step(2, event.AccessRead, 7),
+		}
+		b := []Step{
+			step(2, event.AccessRead, 7),
+			step(1, event.AccessRead, 7),
+		}
+		if Fingerprint(a) != Fingerprint(b) {
+			t.Fatal("commuted read-read pair split into two classes")
+		}
+	})
+
+	t.Run("dependent-swap", func(t *testing.T) {
+		// Write-write on the same variable: order is observable, the two
+		// traces are distinct classes.
+		a := []Step{
+			step(1, event.AccessWrite, 7),
+			step(2, event.AccessWrite, 7),
+		}
+		b := []Step{
+			step(2, event.AccessWrite, 7),
+			step(1, event.AccessWrite, 7),
+		}
+		if Fingerprint(a) == Fingerprint(b) {
+			t.Fatal("dependent write-write swap collapsed into one class")
+		}
+	})
+
+	t.Run("write-read-dependent", func(t *testing.T) {
+		a := []Step{
+			step(1, event.AccessWrite, 7),
+			step(2, event.AccessRead, 7),
+		}
+		b := []Step{
+			step(2, event.AccessRead, 7),
+			step(1, event.AccessWrite, 7),
+		}
+		if Fingerprint(a) == Fingerprint(b) {
+			t.Fatal("write-read swap on one variable collapsed into one class")
+		}
+	})
+
+	t.Run("stolen-degrades-to-opaque", func(t *testing.T) {
+		// A stolen turn's declared access is untrustworthy; its effective
+		// access is opaque, dependent with everything, so the commuted pair
+		// that collided above stops colliding when one side was stolen.
+		a := []Step{
+			{Task: 1, Access: event.Access{Kind: event.AccessWrite, Var: 7}, Stolen: true},
+			step(2, event.AccessWrite, 9),
+		}
+		b := []Step{
+			step(2, event.AccessWrite, 9),
+			{Task: 1, Access: event.Access{Kind: event.AccessWrite, Var: 7}, Stolen: true},
+		}
+		if Fingerprint(a) == Fingerprint(b) {
+			t.Fatal("stolen step treated as independent; must degrade to opaque")
+		}
+	})
+
+	t.Run("canonical-is-stable", func(t *testing.T) {
+		// Canonicalizing a canonical trace is a fixpoint, and longer
+		// three-task shuffles of pairwise-independent steps all land on it.
+		steps := []Step{
+			step(1, event.AccessWrite, 1),
+			step(2, event.AccessWrite, 2),
+			step(3, event.AccessWrite, 3),
+		}
+		perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		want := Fingerprint(steps)
+		for _, p := range perms {
+			tr := []Step{steps[p[0]], steps[p[1]], steps[p[2]]}
+			if Fingerprint(tr) != want {
+				t.Fatalf("permutation %v of pairwise-independent steps is a new class", p)
+			}
+			can := Canonicalize(tr)
+			if Fingerprint(can) != want {
+				t.Fatalf("canonical form of permutation %v not a fixpoint", p)
+			}
+		}
+	})
+}

@@ -57,6 +57,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/event"
 )
 
 // Defaults for Options. The steal timeout must exceed the longest
@@ -91,6 +93,20 @@ type Options struct {
 	// at which the about-to-run task is demoted. nil derives D points from
 	// Seed. The shrinker edits this list.
 	ChangePoints []int
+	// Script, when non-nil, switches the scheduler from PCT priorities to
+	// scripted decisions: decision i grants the task with id Script[i]
+	// (when it is parked; otherwise, and for every decision past the end
+	// of the script, the run-to-completion default applies: keep granting
+	// the previously-granted task while it is parked, else the lowest-id
+	// parked task). A non-nil empty script is meaningful — the whole run
+	// follows the default policy. DPOR-discovered schedules replay through
+	// this field.
+	Script []int
+	// Record enables per-decision trace capture (Scheduler.Trace): the
+	// enabled set, each enabled task's declared pending access, and the
+	// granted task's step. DPOR both drives scripts and learns backtrack
+	// points from these traces.
+	Record bool
 	// StealTimeout bounds how long the scheduler waits for the granted
 	// task to reach a scheduling point before concluding it is blocked.
 	StealTimeout time.Duration
@@ -173,6 +189,38 @@ func (s Stats) String() string {
 		s.Tasks, s.Steps, s.Demotions, s.Steals, s.FreeRun)
 }
 
+// Step is one recorded scheduling decision (Options.Record): the enabled
+// set the scheduler chose from, each enabled task's declared pending
+// access, and the granted task. A trace ([]Step) is both a replayable
+// script (project the Task fields) and the raw material for DPOR's race
+// analysis and the canonical trace fingerprint.
+type Step struct {
+	// Task is the granted task's id.
+	Task int
+	// Access is what the granted step declared it would touch (its pending
+	// access at grant time).
+	Access event.Access
+	// Stolen marks a step whose turn was stolen: the granted task blocked
+	// on an implementation lock before reaching its next scheduling point.
+	// Its declared access is then incomplete (the step also performed a
+	// blocking acquire), so dependency analysis treats it as opaque.
+	Stolen bool
+	// Enabled lists the task ids parked at this decision, ascending.
+	Enabled []int
+	// Pending holds the declared access of each enabled task, parallel to
+	// Enabled.
+	Pending []event.Access
+}
+
+// EffectiveAccess is the access dependency analysis should use for the
+// step: the declared access, degraded to opaque when the turn was stolen.
+func (st Step) EffectiveAccess() event.Access {
+	if st.Stolen {
+		return event.Access{Kind: event.AccessOpaque}
+	}
+	return st.Access
+}
+
 type taskState uint8
 
 const (
@@ -184,7 +232,8 @@ const (
 )
 
 // Task is one registered worker goroutine. The goroutine it belongs to
-// calls Yield at scheduling points and Done exactly once when finished.
+// calls Yield (or YieldAccess) at scheduling points and Done exactly once
+// when finished.
 type Task struct {
 	s      *Scheduler
 	id     int
@@ -192,10 +241,19 @@ type Task struct {
 	daemon bool
 	grant  chan struct{}
 
+	// pending is the access the task declared at its most recent park: what
+	// its next step will touch. Written by the task goroutine before its
+	// park event is sent, read by the scheduler loop after receiving it
+	// (the event channel orders the two), so no lock is needed.
+	pending event.Access
+
 	// Owned by the scheduler loop after Start.
 	state taskState
 	prio  int
 }
+
+// ID returns the task's registration index (thread ids in DPOR scripts).
+func (t *Task) ID() int { return t.id }
 
 // Name returns the task's registration name.
 func (t *Task) Name() string { return t.name }
@@ -236,6 +294,8 @@ type Scheduler struct {
 	stats     Stats
 	limbo     int
 	liveCount int
+	last      *Task  // most recently granted task (script-mode default)
+	trace     []Step // recorded decisions (Options.Record)
 }
 
 // New returns a scheduler for one run. A zero Options{} is valid (seed 0,
@@ -325,8 +385,18 @@ func (s *Scheduler) AppQuiesced() bool { return s.appLive.Load() == 0 }
 
 // Yield parks the calling task at a scheduling point until the scheduler
 // grants it the next turn. Safe on a nil task (no-op), so uncontrolled
-// runs can share code paths with controlled ones.
+// runs can share code paths with controlled ones. The step's access is
+// declared opaque — conservatively dependent with every non-local step;
+// callers that know what the step touches use YieldAccess.
 func (t *Task) Yield() {
+	t.YieldAccess(event.Access{Kind: event.AccessOpaque})
+}
+
+// YieldAccess parks the calling task at a scheduling point, declaring what
+// its next step (from this grant to its next scheduling point) is about to
+// touch. The DPOR strategy reads these declarations off the recorded trace
+// to build the dependency relation online.
+func (t *Task) YieldAccess(a event.Access) {
 	if t == nil {
 		return
 	}
@@ -334,6 +404,7 @@ func (t *Task) Yield() {
 	if s.freeRun.Load() {
 		return
 	}
+	t.pending = a
 	s.events <- ev{t, evPark}
 	select {
 	case <-t.grant:
@@ -387,9 +458,33 @@ func (s *Scheduler) loop() {
 			continue
 		}
 		t.state = stateRunning
+		s.last = t
+		if s.opts.Record {
+			s.record(t)
+		}
 		t.grant <- struct{}{}
 		s.await(t)
 	}
+}
+
+// record captures the decision that granted t: the enabled set (parked
+// tasks plus t itself, which pick just moved to running), each one's
+// declared pending access, and t's step access.
+func (s *Scheduler) record(t *Task) {
+	st := Step{Task: t.id, Access: t.pending}
+	for _, x := range s.tasks {
+		if x == t || x.state == stateParked {
+			st.Enabled = append(st.Enabled, x.id)
+			st.Pending = append(st.Pending, x.pending)
+		}
+	}
+	s.trace = append(s.trace, st)
+}
+
+// Trace returns the recorded decisions (Options.Record). Valid only after
+// Wait has returned; callers must not mutate it.
+func (s *Scheduler) Trace() []Step {
+	return s.trace
 }
 
 // graceWait drains limbo parks for up to Grace.
@@ -406,9 +501,13 @@ func (s *Scheduler) graceWait() {
 	}
 }
 
-// pick selects the next task: the highest-priority parked one, after
-// applying a pending change-point demotion to the task about to run.
+// pick selects the next task: the scripted one under Options.Script, else
+// the highest-priority parked one after applying a pending change-point
+// demotion to the task about to run.
 func (s *Scheduler) pick() *Task {
+	if s.opts.Script != nil {
+		return s.pickScript()
+	}
 	best := s.best()
 	if best == nil {
 		return nil
@@ -425,14 +524,77 @@ func (s *Scheduler) pick() *Task {
 	return best
 }
 
+// pickScript applies the scripted strategy: decision i grants task
+// Script[i] when that task is parked. Past the script's end — or when the
+// scripted task cannot run (finished, or in limbo after a mutated script,
+// e.g. a shrinker candidate) — the run-to-completion default applies: keep
+// the previously-granted task running while it is parked, else grant the
+// lowest-id parked task. Run-to-completion is what makes a single DPOR
+// divergence meaningful: the diverted thread executes its whole operation
+// through the reordered window instead of bouncing back after one step.
+func (s *Scheduler) pickScript() *Task {
+	var t *Task
+	if idx := int(s.stats.Steps); idx < len(s.opts.Script) {
+		if id := s.opts.Script[idx]; id >= 0 && id < len(s.tasks) && s.tasks[id].state == stateParked {
+			t = s.tasks[id]
+		}
+	}
+	if t == nil {
+		// Run-to-completion default, with the same spin-wait deference as
+		// best(): a task parked on a spin retry only runs when every
+		// parked task is spinning.
+		if s.last != nil && s.last.state == stateParked && !s.last.pending.Spin {
+			t = s.last
+		} else {
+			var spin *Task
+			for _, x := range s.tasks {
+				if x.state != stateParked {
+					continue
+				}
+				if x.pending.Spin {
+					if spin == nil {
+						spin = x
+					}
+					continue
+				}
+				t = x
+				break
+			}
+			if t == nil {
+				t = spin
+			}
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	s.stats.Steps++
+	return t
+}
+
+// best returns the highest-priority parked task, preferring tasks not
+// parked in a spin-wait retry: re-granting a spinner cannot make progress
+// until another task changes the awaited state, so a spinning task wins
+// only when every parked task is spinning (in which case some limbo or
+// soon-to-park task must be the one to unblock them).
 func (s *Scheduler) best() *Task {
-	var best *Task
+	var best, bestSpin *Task
 	for _, t := range s.tasks {
-		if t.state == stateParked && (best == nil || t.prio > best.prio) {
+		if t.state != stateParked {
+			continue
+		}
+		if t.pending.Spin {
+			if bestSpin == nil || t.prio > bestSpin.prio {
+				bestSpin = t
+			}
+		} else if best == nil || t.prio > best.prio {
 			best = t
 		}
 	}
-	return best
+	if best != nil {
+		return best
+	}
+	return bestSpin
 }
 
 // await waits for the granted task to reach its next scheduling point (or
@@ -455,6 +617,11 @@ func (s *Scheduler) await(t *Task) {
 			t.state = stateLimbo
 			s.limbo++
 			s.stats.Steals++
+			if s.opts.Record && len(s.trace) > 0 {
+				// The step just granted never reached its next scheduling
+				// point: its declared access is incomplete.
+				s.trace[len(s.trace)-1].Stolen = true
+			}
 			return
 		}
 	}

@@ -20,6 +20,12 @@ package sched
 // dropped ops. The predicate "still violates in the same way" is supplied
 // by the caller (typically: first violation has the same Kind), so the
 // shrinker never trades the bug under study for a different one.
+//
+// For StrategyDPOR specs the schedule is the decision script, not the
+// change-point list, so phase 1 (and the final pass) run ddmin over Script
+// instead: dropping a scripted decision hands that slot to the
+// run-to-completion default, which usually absorbs the prefix decisions
+// that merely marched threads to the race window.
 
 // Outcome is what one run of a candidate spec reports back to the shrinker.
 type Outcome struct {
@@ -42,19 +48,33 @@ type ShrinkStats struct {
 	StepsAfter         int64
 	ChangePointsBefore int
 	ChangePointsAfter  int
-	OpsDropped         int
-	WorkerStepsBefore  int
-	WorkerStepsAfter   int
+	// ScriptBefore/ScriptAfter track the scripted-decision count for
+	// StrategyDPOR specs (the DPOR analogue of the change-point columns).
+	ScriptBefore      int
+	ScriptAfter       int
+	OpsDropped        int
+	WorkerStepsBefore int
+	WorkerStepsAfter  int
 }
 
 // Shrink minimizes a violating spec. The input spec must already violate
 // under run (the caller has observed it); Shrink re-establishes that as its
 // baseline and returns the original spec unchanged if it cannot reproduce.
-// The returned spec always has an explicit ChangePoints list.
+// The returned spec always has an explicit ChangePoints list (PCT) or
+// Script (StrategyDPOR).
 func Shrink(sp Spec, run RunFunc) (Spec, ShrinkStats, error) {
 	st := ShrinkStats{}
-	sp.ChangePoints = sp.EffectiveChangePoints()
-	st.ChangePointsBefore = len(sp.ChangePoints)
+	dpor := sp.Strategy == StrategyDPOR
+	if dpor {
+		if sp.Script == nil {
+			sp.Script = []int{}
+		}
+		st.ScriptBefore = len(sp.Script)
+		st.ScriptAfter = len(sp.Script)
+	} else {
+		sp.ChangePoints = sp.EffectiveChangePoints()
+		st.ChangePointsBefore = len(sp.ChangePoints)
+	}
 	if sp.WorkerSteps == 0 {
 		// Materialize the harness default so the worker-step phase (and
 		// the repro string) can pin and reduce it.
@@ -91,7 +111,22 @@ func Shrink(sp Spec, run RunFunc) (Spec, ShrinkStats, error) {
 		bestSteps = steps
 	}
 
-	shrinkCPs := func() {
+	// Phase 1: ddmin over the schedule's own representation — scripted
+	// decisions for DPOR, preemption points for PCT.
+	shrinkSched := func() {
+		if dpor {
+			script, steps := ddminInts(best.Script, func(cand []int) (bool, int64) {
+				c := best
+				c.Script = cand
+				return try(c)
+			})
+			if script != nil {
+				c := best
+				c.Script = script
+				accept(c, steps)
+			}
+			return
+		}
 		cps, steps := ddminInts(best.ChangePoints, func(cand []int) (bool, int64) {
 			c := best
 			c.ChangePoints = cand
@@ -104,7 +139,7 @@ func Shrink(sp Spec, run RunFunc) (Spec, ShrinkStats, error) {
 		}
 	}
 
-	shrinkCPs()
+	shrinkSched()
 
 	// Phase 2: drop whole harness operations, to fixpoint. Iterating in a
 	// fixed order keeps the shrink deterministic for a given RunFunc.
@@ -148,13 +183,15 @@ func Shrink(sp Spec, run RunFunc) (Spec, ShrinkStats, error) {
 		}
 	}
 
-	// Dropped ops may have made some preemption points redundant.
+	// Dropped ops may have made some preemption points (or scripted
+	// decisions) redundant.
 	if st.OpsDropped > 0 {
-		shrinkCPs()
+		shrinkSched()
 	}
 
 	st.StepsAfter = bestSteps
 	st.ChangePointsAfter = len(best.ChangePoints)
+	st.ScriptAfter = len(best.Script)
 	st.WorkerStepsAfter = best.WorkerSteps
 	return best, st, nil
 }

@@ -39,7 +39,23 @@ type Spec struct {
 	// passes often dominate a schedule's length without contributing to
 	// the violation.
 	WorkerSteps int
+	// Strategy selects the scheduling strategy. Empty means PCT (the
+	// original grammar, so every pre-strategy repro string still parses);
+	// StrategyDPOR means the scripted scheduler replaying Script. No other
+	// value is valid — "pct" is deliberately not an accepted spelling, so
+	// each spec has exactly one textual form.
+	Strategy string
+	// Script is the decision script for StrategyDPOR: decision i grants
+	// task Script[i] (see Options.Script). Valid task ids are [0, Threads]
+	// — the harness registers Threads application tasks plus one
+	// maintenance daemon with id Threads. A non-nil empty script (the pure
+	// run-to-completion schedule) is distinct from nil, like ChangePoints.
+	// Requires Strategy == StrategyDPOR.
+	Script []int
 }
+
+// StrategyDPOR is the Spec.Strategy value for scripted DPOR schedules.
+const StrategyDPOR = "dpor"
 
 // Skip identifies one harness operation: op Op of thread Thread.
 type Skip struct {
@@ -52,6 +68,15 @@ const reproPrefix = "vyrdsched/1"
 
 // Options returns the scheduler options the spec describes.
 func (sp Spec) Options() Options {
+	if sp.Strategy == StrategyDPOR {
+		script := sp.Script
+		if script == nil {
+			script = []int{}
+		}
+		// Seed still drives the harness's per-operation randomness; the
+		// scripted scheduler itself ignores priorities and change points.
+		return Options{Seed: sp.Seed, K: sp.K, ChangePoints: []int{}, Script: script}
+	}
 	return Options{Seed: sp.Seed, D: sp.D, K: sp.K, ChangePoints: sp.ChangePoints}
 }
 
@@ -80,6 +105,18 @@ func (sp Spec) Repro() string {
 	fmt.Fprintf(&b, ";subject=%s", sp.Subject)
 	fmt.Fprintf(&b, ";threads=%d;ops=%d;pool=%d", sp.Threads, sp.Ops, sp.KeyPool)
 	fmt.Fprintf(&b, ";seed=%d;d=%d;k=%d", sp.Seed, sp.D, sp.K)
+	if sp.Strategy != "" {
+		fmt.Fprintf(&b, ";strategy=%s", sp.Strategy)
+	}
+	if sp.Script != nil {
+		b.WriteString(";script=")
+		for i, id := range sp.Script {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(id))
+		}
+	}
 	if sp.WorkerSteps > 0 {
 		fmt.Fprintf(&b, ";wsteps=%d", sp.WorkerSteps)
 	}
@@ -182,6 +219,17 @@ func ParseRepro(s string) (Spec, error) {
 				return sp, err
 			}
 			sp.Skips = skips
+		case "strategy":
+			if val != StrategyDPOR {
+				return sp, fmt.Errorf("sched: unknown strategy %q (only %q has a textual form; PCT omits the field)", val, StrategyDPOR)
+			}
+			sp.Strategy = val
+		case "script":
+			script, err := parseScript(val)
+			if err != nil {
+				return sp, err
+			}
+			sp.Script = script
 		default:
 			return sp, fmt.Errorf("sched: unknown field %q", key)
 		}
@@ -201,7 +249,38 @@ func ParseRepro(s string) (Spec, error) {
 			return sp, fmt.Errorf("sched: skip %d.%d outside %dx%d run", sk.Thread, sk.Op, sp.Threads, sp.Ops)
 		}
 	}
+	if sp.Strategy == StrategyDPOR && sp.ChangePoints != nil {
+		return sp, fmt.Errorf("sched: cp is a PCT field; strategy=dpor schedules are scripted")
+	}
+	if sp.Script != nil && sp.Strategy != StrategyDPOR {
+		return sp, fmt.Errorf("sched: script requires strategy=%s", StrategyDPOR)
+	}
+	for _, id := range sp.Script {
+		// Valid ids are the Threads application tasks plus the maintenance
+		// daemon registered after them (id == Threads).
+		if id > sp.Threads {
+			return sp, fmt.Errorf("sched: script task id %d outside [0,%d]", id, sp.Threads)
+		}
+	}
 	return sp, nil
+}
+
+func parseScript(val string) ([]int, error) {
+	// script= (empty script) is meaningful: the pure run-to-completion
+	// schedule, distinct from absent script.
+	if val == "" {
+		return []int{}, nil
+	}
+	fields := strings.Split(val, ",")
+	script := make([]int, 0, len(fields))
+	for _, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sched: bad script task id %q", f)
+		}
+		script = append(script, n)
+	}
+	return script, nil
 }
 
 func parseBounded(key, val string, lo, hi int) (int, error) {

@@ -14,6 +14,16 @@ func FuzzReproRoundTrip(f *testing.F) {
 	f.Add("vyrdsched/1;subject=Cache;threads=2;ops=4;pool=3;seed=-7;d=0;k=64;cp=")
 	f.Add("vyrdsched/1;subject=B;threads=4;ops=16;pool=8;seed=1;d=5;k=512;wsteps=9;cp=12,57;skip=0.3,2.7")
 	f.Add("vyrdsched/1;subject=X;threads=1;ops=1;pool=1;seed=0;d=0;k=2")
+	// DPOR scripted schedules: non-empty script, the meaningful empty
+	// script (pure run-to-completion), and the invalid combinations the
+	// parser must reject without panicking (script without strategy, PCT cp
+	// with strategy, out-of-range script task id, unknown strategy).
+	f.Add("vyrdsched/1;subject=T;threads=3;ops=4;pool=4;seed=0;d=3;k=300;strategy=dpor;script=0,2,1,3,0")
+	f.Add("vyrdsched/1;subject=T;threads=2;ops=2;pool=2;seed=5;d=0;k=64;strategy=dpor;script=")
+	f.Add("vyrdsched/1;subject=T;threads=2;ops=2;pool=2;seed=5;d=0;k=64;script=0,1")
+	f.Add("vyrdsched/1;subject=T;threads=2;ops=2;pool=2;seed=5;d=0;k=64;strategy=dpor;cp=3")
+	f.Add("vyrdsched/1;subject=T;threads=2;ops=2;pool=2;seed=5;d=0;k=64;strategy=dpor;script=7")
+	f.Add("vyrdsched/1;subject=T;threads=2;ops=2;pool=2;seed=5;d=0;k=64;strategy=pct")
 	f.Add("vyrdsched/2;subject=X")
 	f.Add("")
 	f.Add(";;;=;=;")
@@ -28,6 +38,17 @@ func FuzzReproRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(sp, again) {
 			t.Fatalf("round trip drift:\n  first  %+v\n  second %+v", sp, again)
+		}
+		// Every accepted spec must derive scheduler options without
+		// panicking, and a scripted spec must actually be scripted: nil
+		// Script normalizes to the empty script so the scheduler never
+		// mistakes a DPOR spec for a seed-driven one.
+		opts := sp.Options()
+		if sp.Strategy == StrategyDPOR && opts.Script == nil {
+			t.Fatalf("dpor spec %q produced a nil script in options", sp.Repro())
+		}
+		if sp.Strategy == "" && opts.Script != nil {
+			t.Fatalf("pct spec %q produced a script in options", sp.Repro())
 		}
 	})
 }

@@ -1,0 +1,134 @@
+// Package seqlock implements a sequence lock protecting a two-word
+// register: writers bump an atomic sequence counter to odd, store both
+// data words, and publish by restoring the counter to the next even value;
+// readers snapshot the counter, read both words, and retry unless the
+// counter was even and unchanged across the reads. It is an atomics-based
+// subject in the spirit of the C11 weak-memory library benchmarks
+// (Dalvandi & Dongol): correctness rests entirely on the acquire/release
+// ordering of the sequence counter, with no mutual exclusion anywhere.
+// Every shared access is annotated for DPOR through the probe's
+// access-typed yields.
+//
+// The planted bug (BugTornRead) drops the reader's validation re-read: the
+// reader returns whatever the two words held, so a schedule that parks a
+// writer between its two stores hands the reader one old and one new word.
+// The packed return value then matches no state of the Register
+// specification — an observer I/O refinement violation — while every
+// access stays atomic and the race detector sees nothing.
+package seqlock
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation: readers validate the sequence
+	// counter after reading and retry on interference.
+	BugNone Bug = iota
+	// BugTornRead omits the reader's validation re-read of the sequence
+	// counter, accepting torn word pairs.
+	BugTornRead
+)
+
+// Lock is the seqlock-protected register.
+type Lock struct {
+	seq atomic.Uint64
+	d1  atomic.Int64
+	d2  atomic.Int64
+	bug Bug
+}
+
+// New returns a register holding zero.
+func New(bug Bug) *Lock {
+	return &Lock{bug: bug}
+}
+
+// Write sets the register to v, which must fit in spec.RegisterShift bits.
+// The CAS to an odd sequence number admits one writer; the two data stores
+// are separate scheduling points (the torn-read window); the final store
+// restoring the even sequence publishes, with the commit fused into its
+// step (a park between publication and the commit append would let a
+// concurrent Read commit against the old specification state after
+// observing the new words).
+func (l *Lock) Write(p *vyrd.Probe, v int) {
+	inv := p.Call("Write", v)
+	var s uint64
+	for spin := false; ; {
+		if spin {
+			p.YieldSpinLoad("seq")
+		} else {
+			p.YieldLoad("seq")
+		}
+		s = l.seq.Load()
+		if s&1 == 1 {
+			// Another writer holds the sequence: this retry cannot make
+			// progress until that writer runs, so mark it a spin-wait.
+			spin = true
+			continue
+		}
+		spin = false
+		p.YieldRMW("seq")
+		if l.seq.CompareAndSwap(s, s+1) {
+			break
+		}
+		// CAS failure means the counter moved under us; the reload can
+		// succeed without any other task running, so no spin mark.
+	}
+	p.YieldStore("d1")
+	l.d1.Store(int64(v))
+	p.YieldStore("d2")
+	l.d2.Store(int64(v))
+	p.Yield() // opaque: publishing store + fused commit
+	l.seq.Store(s + 2)
+	inv.CommitFused("published")
+	inv.Return(nil)
+}
+
+// Read returns the packed register value hi<<RegisterShift|lo. The correct
+// protocol re-reads the sequence counter and retries when it changed or
+// was odd; under BugTornRead the words are returned unvalidated.
+func (l *Lock) Read(p *vyrd.Probe) int {
+	inv := p.Call("Read")
+	for spin := false; ; {
+		if spin {
+			p.YieldSpinLoad("seq")
+		} else {
+			p.YieldLoad("seq")
+		}
+		s1 := l.seq.Load()
+		if s1&1 == 1 {
+			if l.bug == BugTornRead {
+				// The buggy reader does not even skip write windows; it
+				// reads the words below regardless.
+			} else {
+				// Waiting out a writer's window: spin until it publishes.
+				spin = true
+				continue
+			}
+		} else {
+			spin = false
+		}
+		p.YieldLoad("d1")
+		v1 := int(l.d1.Load())
+		p.YieldLoad("d2")
+		v2 := int(l.d2.Load())
+		if l.bug == BugTornRead {
+			// BUG: no validation re-read; v1 and v2 may straddle a write.
+			ret := v1<<spec.RegisterShift | v2
+			inv.Return(ret)
+			return ret
+		}
+		p.YieldLoad("seq")
+		if l.seq.Load() == s1 {
+			ret := v1<<spec.RegisterShift | v2
+			inv.Return(ret)
+			return ret
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package seqlock
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the seqlock register to the random test harness. Writes
+// and Reads are balanced: the planted torn read needs a reader inside a
+// writer's two-store window, and both sides park at every annotated
+// atomic access. No maintenance worker, no replayer — the subject is
+// checked in I/O mode, where the packed two-word return value is
+// self-validating.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "Seqlock-TornRead",
+		New: func(log *vyrd.Log) harness.Instance {
+			l := New(bug)
+			return harness.Instance{Methods: methods(l)}
+		},
+		NewSpec: func() core.Spec { return spec.NewRegister() },
+	}
+}
+
+func methods(l *Lock) []harness.Method {
+	return []harness.Method{
+		{Name: "Write", Weight: 50, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			l.Write(p, pick())
+		}},
+		{Name: "Read", Weight: 50, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+			l.Read(p)
+		}},
+	}
+}

@@ -100,6 +100,29 @@ func conformanceCases() []specCase {
 			observerName: "Read",
 		},
 		{
+			name: "Stack",
+			make: func() core.Spec { return NewStack() },
+			warmup: []call{
+				{"Push", []event.Value{3}, nil},
+				{"Push", []event.Value{5}, nil},
+			},
+			rejected:     call{"Pop", nil, 99},
+			observer:     call{"Top", nil, 5},
+			mutator:      "Push",
+			observerName: "Top",
+		},
+		{
+			name: "Register",
+			make: func() core.Spec { return NewRegister() },
+			warmup: []call{
+				{"Write", []event.Value{7}, nil},
+			},
+			rejected:     call{"Write", []event.Value{1 << RegisterShift}, nil},
+			observer:     call{"Read", nil, 7<<RegisterShift | 7},
+			mutator:      "Write",
+			observerName: "Read",
+		},
+		{
 			name: "FS",
 			make: func() core.Spec { return NewFS() },
 			warmup: []call{

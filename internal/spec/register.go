@@ -1,0 +1,98 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// RegisterShift is the encoding width of one seqlock data word: a Read
+// returns hi<<RegisterShift | lo, where hi and lo are the two words the
+// implementation stores. Written values must fit in RegisterShift bits
+// (the harness key pool does, by orders of magnitude).
+const RegisterShift = 12
+
+// Register is the executable specification of a single multi-word
+// register: the abstract data type implemented by the seqlock
+// (internal/seqlock). The implementation stores each written value into
+// two separate words; a Read returns both, packed. The specification
+// therefore accepts only "untorn" observations — both words from the same
+// Write — which is exactly what a seqlock's validation protocol
+// guarantees and what the planted torn-read bug breaks.
+//
+// Methods and return values:
+//
+//	Write(v) -> nil  mutator; sets the register to v (0 <= v < 1<<RegisterShift)
+//	Read() -> int    observer; v<<RegisterShift | v for the current v
+type Register struct {
+	v     int
+	table *view.Table
+}
+
+// spaceR is the view key family of the register's single cell ("r:0").
+var spaceR = view.NewSpace("r")
+
+// NewRegister returns a register specification holding zero.
+func NewRegister() *Register {
+	s := &Register{}
+	s.Reset()
+	return s
+}
+
+// Reset implements core.Spec.
+func (s *Register) Reset() {
+	s.v = 0
+	s.table = view.NewTable()
+	s.table.SetInt(spaceR, 0, 0)
+}
+
+// View implements core.Spec. The single key is "r:0"; the value is v.
+func (s *Register) View() *view.Table { return s.table }
+
+// IsMutator implements core.Spec.
+func (s *Register) IsMutator(method string) bool {
+	return method != "Read"
+}
+
+// Value returns the current register value.
+func (s *Register) Value() int { return s.v }
+
+// ApplyMutator implements core.Spec.
+func (s *Register) ApplyMutator(method string, args []event.Value, ret event.Value) error {
+	switch method {
+	case "Write":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one value")
+		}
+		v, ok := event.Int(args[0])
+		if !ok {
+			return errRet(method, args, ret, "non-integer value")
+		}
+		if v < 0 || v >= 1<<RegisterShift {
+			return errRet(method, args, ret, fmt.Sprintf("value outside [0,%d)", 1<<RegisterShift))
+		}
+		if ret != nil {
+			return errRet(method, args, ret, "Write returns nothing")
+		}
+		s.v = v
+		s.table.SetInt(spaceR, 0, int64(v))
+		return nil
+
+	case MethodCompress:
+		return nil
+	}
+	return fmt.Errorf("unknown mutator %q", method)
+}
+
+// CheckObserver implements core.Spec.
+func (s *Register) CheckObserver(method string, args []event.Value, ret event.Value) bool {
+	if method != "Read" || len(args) != 0 {
+		return false
+	}
+	got, ok := event.Int(ret)
+	if !ok {
+		return false
+	}
+	return got == s.v<<RegisterShift|s.v
+}

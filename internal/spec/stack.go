@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/view"
+)
+
+// Stack is the executable specification of a LIFO stack of integers: the
+// abstract data type implemented by the Treiber stack (internal/tstack).
+//
+// Methods and return values:
+//
+//	Push(v) -> nil   mutator; pushes v
+//	Pop() -> int     mutator; the popped value, or -1 when empty
+//	Top() -> int     observer; the top value, or -1 when empty
+//
+// Pop carries its own validation (the returned value must be the top at
+// the commit), so I/O refinement alone detects a lost-suffix bug the
+// moment a Pop returns -1 while the abstract stack is non-empty.
+type Stack struct {
+	xs    []int
+	table *view.Table
+}
+
+// spaceS is the view key family of stack slots ("s:<depth>").
+var spaceS = view.NewSpace("s")
+
+// NewStack returns an empty stack specification.
+func NewStack() *Stack {
+	s := &Stack{}
+	s.Reset()
+	return s
+}
+
+// Reset implements core.Spec.
+func (s *Stack) Reset() {
+	s.xs = s.xs[:0]
+	s.table = view.NewTable()
+}
+
+// View implements core.Spec. Keys are "s:<depth>" from the bottom; values
+// are the stored integers.
+func (s *Stack) View() *view.Table { return s.table }
+
+// IsMutator implements core.Spec.
+func (s *Stack) IsMutator(method string) bool {
+	return method != "Top"
+}
+
+// Len returns the number of stored values.
+func (s *Stack) Len() int { return len(s.xs) }
+
+// ApplyMutator implements core.Spec.
+func (s *Stack) ApplyMutator(method string, args []event.Value, ret event.Value) error {
+	switch method {
+	case "Push":
+		if len(args) != 1 {
+			return errRet(method, args, ret, "expected one value")
+		}
+		v, ok := event.Int(args[0])
+		if !ok {
+			return errRet(method, args, ret, "non-integer value")
+		}
+		if ret != nil {
+			return errRet(method, args, ret, "Push returns nothing")
+		}
+		s.table.SetInt(spaceS, int64(len(s.xs)), int64(v))
+		s.xs = append(s.xs, v)
+		return nil
+
+	case "Pop":
+		if len(args) != 0 {
+			return errRet(method, args, ret, "expected no arguments")
+		}
+		got, ok := event.Int(ret)
+		if !ok {
+			return errRet(method, args, ret, "return value must be int")
+		}
+		if len(s.xs) == 0 {
+			if got != -1 {
+				return errRet(method, args, ret, "Pop on an empty stack returns -1")
+			}
+			return nil
+		}
+		top := s.xs[len(s.xs)-1]
+		if got != top {
+			return errRet(method, args, ret, fmt.Sprintf("top of stack is %d", top))
+		}
+		s.xs = s.xs[:len(s.xs)-1]
+		s.table.DeleteInt(spaceS, int64(len(s.xs)))
+		return nil
+
+	case MethodCompress:
+		return nil
+	}
+	return fmt.Errorf("unknown mutator %q", method)
+}
+
+// CheckObserver implements core.Spec.
+func (s *Stack) CheckObserver(method string, args []event.Value, ret event.Value) bool {
+	if method != "Top" || len(args) != 0 {
+		return false
+	}
+	got, ok := event.Int(ret)
+	if !ok {
+		return false
+	}
+	if len(s.xs) == 0 {
+		return got == -1
+	}
+	return got == s.xs[len(s.xs)-1]
+}

@@ -1,0 +1,41 @@
+package tstack
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/spec"
+	"repro/vyrd"
+)
+
+// Target adapts the Treiber stack to the random test harness. The mix
+// leans on Push and Pop (the pair carrying the planted publication race);
+// Top gives the observer surface I/O refinement judges windows against.
+// There is no maintenance worker and no replayer: the subject is checked
+// in I/O mode, where Pop's self-validating return value already exposes
+// the lost-suffix bug.
+func Target(bug Bug) harness.Target {
+	return harness.Target{
+		Name: "TreiberStack-PublishRace",
+		New: func(log *vyrd.Log) harness.Instance {
+			s := New(bug)
+			return harness.Instance{Methods: methods(s)}
+		},
+		NewSpec: func() core.Spec { return spec.NewStack() },
+	}
+}
+
+func methods(s *Stack) []harness.Method {
+	return []harness.Method{
+		{Name: "Push", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, pick func() int) {
+			s.Push(p, pick())
+		}},
+		{Name: "Pop", Weight: 40, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+			s.Pop(p)
+		}},
+		{Name: "Top", Weight: 20, Run: func(p *vyrd.Probe, _ *rand.Rand, _ func() int) {
+			s.Top(p)
+		}},
+	}
+}

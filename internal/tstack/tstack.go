@@ -1,0 +1,129 @@
+// Package tstack implements a Treiber stack (Treiber, "Systems Programming:
+// Coping with Parallelism", 1986): a lock-free LIFO over a single
+// atomically-updated head pointer. It is the repository's first
+// atomics-based subject — there is no lock for the controlled scheduler to
+// steal around, every shared access is a sync/atomic operation, and the
+// interesting interleavings live between individual loads, stores and CAS
+// steps rather than between critical sections. Each such step is annotated
+// for DPOR through the probe's access-typed yields (YieldLoad/YieldStore/
+// Yield), so the scheduler knows which reorderings can matter.
+//
+// The planted bug (BugPublishBeforeLink) publishes a pushed node with its
+// next pointer still nil and links it only after the CAS — the classic
+// publish-before-initialize ordering error a release/acquire discipline
+// exists to prevent. A Pop landing in the window pops the new node and
+// installs its nil next as the head, silently discarding the rest of the
+// stack; the next Pop returns -1 while the specification stack is
+// non-empty, an I/O refinement violation. Every access is atomic, so the
+// buggy interleaving is invisible to the race detector — only refinement
+// checking over an explored schedule catches it.
+package tstack
+
+import (
+	"sync/atomic"
+
+	"repro/vyrd"
+)
+
+// Bug selects an injected concurrency error.
+type Bug uint8
+
+const (
+	// BugNone is the correct implementation: a node's next pointer is
+	// linked before the CAS publishes the node.
+	BugNone Bug = iota
+	// BugPublishBeforeLink publishes the node first and links next after,
+	// with a scheduling point (YieldStore) in the window so controlled
+	// schedules can park the pusher mid-publication.
+	BugPublishBeforeLink
+)
+
+type node struct {
+	val  int
+	next atomic.Pointer[node]
+}
+
+// Stack is the lock-free LIFO.
+type Stack struct {
+	head atomic.Pointer[node]
+	bug  Bug
+}
+
+// New returns an empty stack.
+func New(bug Bug) *Stack {
+	return &Stack{bug: bug}
+}
+
+// Push pushes v. The commit is fused with the successful CAS (the step is
+// declared opaque by the bare Yield before it): a scheduling point between
+// the CAS and the commit append would let a concurrent Pop of the new node
+// commit first and log an order the implementation never took.
+func (s *Stack) Push(p *vyrd.Probe, v int) {
+	inv := p.Call("Push", v)
+	n := &node{val: v}
+	for {
+		p.YieldLoad("head")
+		h := s.head.Load()
+		if s.bug == BugPublishBeforeLink && h != nil {
+			// BUG: publish before linking. With h == nil the unlinked
+			// next happens to be correct, so the empty-stack path is
+			// taken below even under the bug.
+			p.Yield()
+			if s.head.CompareAndSwap(h, n) {
+				inv.CommitFused("pushed")
+				// The window: n is reachable with a nil next. A Pop that
+				// runs here truncates the stack to nothing.
+				p.YieldStore("next")
+				n.next.Store(h)
+				inv.Return(nil)
+				return
+			}
+			continue
+		}
+		n.next.Store(h) // n is still private: no annotation needed
+		p.Yield()       // opaque: CAS + fused commit
+		if s.head.CompareAndSwap(h, n) {
+			inv.CommitFused("pushed")
+			inv.Return(nil)
+			return
+		}
+	}
+}
+
+// Pop pops and returns the top value, or -1 when the stack is empty. Both
+// linearization points — the nil head load and the successful CAS — fuse
+// their commit into the step, so each head inspection is declared opaque.
+func (s *Stack) Pop(p *vyrd.Probe) int {
+	inv := p.Call("Pop")
+	for {
+		p.Yield() // opaque: head load + (empty case) fused commit
+		h := s.head.Load()
+		if h == nil {
+			inv.CommitFused("empty")
+			inv.Return(-1)
+			return -1
+		}
+		p.YieldLoad("next")
+		nx := h.next.Load()
+		p.Yield() // opaque: CAS + fused commit
+		if s.head.CompareAndSwap(h, nx) {
+			inv.CommitFused("popped")
+			inv.Return(h.val)
+			return h.val
+		}
+	}
+}
+
+// Top returns the top value without removing it, or -1 when empty
+// (observer: only call and return are logged).
+func (s *Stack) Top(p *vyrd.Probe) int {
+	inv := p.Call("Top")
+	p.YieldLoad("head")
+	h := s.head.Load()
+	if h == nil {
+		inv.Return(-1)
+		return -1
+	}
+	inv.Return(h.val)
+	return h.val
+}

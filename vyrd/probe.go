@@ -2,6 +2,7 @@ package vyrd
 
 import (
 	"io"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -75,14 +76,18 @@ func (l *Log) Stats() LogStats { return l.wal.Stats() }
 // goroutine performing logged actions needs its own probe.
 func (l *Log) NewProbe() *Probe {
 	tid := l.wal.NewTid()
-	return &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level()}
+	p := &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level()}
+	p.modKey, p.specVar = moduleKeys("")
+	return p
 }
 
 // NewWorkerProbe allocates a probe for an internal data-structure worker
 // thread (Tid_ds), e.g. a compression or flush daemon.
 func (l *Log) NewWorkerProbe() *Probe {
 	tid := l.wal.NewTid()
-	return &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level(), worker: true}
+	p := &Probe{log: l.wal.AppenderFor(tid), tid: tid, level: l.wal.Level(), worker: true}
+	p.modKey, p.specVar = moduleKeys("")
+	return p
 }
 
 // StartChecker constructs a checker over spec and runs it on a fresh
@@ -154,42 +159,144 @@ type Probe struct {
 	child *Probe
 
 	// yield, when set, is invoked at the start of every probe action,
-	// before anything is appended to the log. It is the seam a controlled
-	// scheduler (internal/sched) rides: each instrumentation boundary
-	// becomes a scheduling point, with no extra annotation burden on
-	// implementations. nil (the default) costs one predictable branch.
-	yield func()
+	// before anything is appended to the log, carrying the action's
+	// declared Access. It is the seam a controlled scheduler
+	// (internal/sched) rides: each instrumentation boundary becomes a
+	// scheduling point, with no extra annotation burden on
+	// implementations, and the access lets the DPOR strategy decide which
+	// step reorderings are worth exploring. nil (the default) costs one
+	// predictable branch.
+	yield func(event.Access)
+
+	// modKey and specVar cache the module-scope keys every declared
+	// access of this probe carries.
+	modKey  uint64
+	specVar uint64
+}
+
+// moduleKeys derives the access-module keys for a module tag.
+func moduleKeys(module string) (modKey, specVar uint64) {
+	return event.VarKey("mod", module), event.VarKey("spec", module)
 }
 
 // SetYield installs fn as the probe's scheduling hook, called at the start
 // of every probe action before the corresponding log append. Controlled
 // runs pass the owning sched.Task's Yield; nil removes the hook. The hook
 // propagates to probes already derived via Scoped and to future ones.
+// Hooks installed this way see no access information; SetAccessYield is
+// the DPOR-aware variant.
 func (p *Probe) SetYield(fn func()) {
+	if fn == nil {
+		p.SetAccessYield(nil)
+		return
+	}
+	p.SetAccessYield(func(event.Access) { fn() })
+}
+
+// SetAccessYield installs fn as the probe's scheduling hook with access
+// information: every probe action (and every annotated yield) declares
+// what it is about to touch, so a DPOR scheduler can build the dependency
+// relation online. nil removes the hook. The hook propagates to probes
+// already derived via Scoped and to future ones.
+func (p *Probe) SetAccessYield(fn func(event.Access)) {
 	if p == nil {
 		return
 	}
 	p.yield = fn
 	if p.child != nil {
-		p.child.SetYield(fn)
+		p.child.SetAccessYield(fn)
 	}
 }
 
 // Yield is an explicit scheduling point for instrumented implementations
 // whose interesting race windows contain no probe action (e.g. between two
 // unsynchronized memory writes). Under a controlled scheduler it parks the
-// thread; otherwise it is a no-op, so correct builds pay nothing.
+// thread; otherwise it is a no-op, so correct builds pay nothing. The
+// access is opaque — conservatively dependent with every non-local step;
+// implementations that know what they touch should use YieldLoad,
+// YieldStore or YieldRMW instead, which DPOR can commute.
 func (p *Probe) Yield() {
 	if p != nil && p.yield != nil {
-		p.yield()
+		p.yield(event.Access{Kind: event.AccessOpaque})
+	}
+}
+
+// YieldLoad is a scheduling point annotating an atomic load (including
+// load-acquire) of the named shared variable. Two loads of the same
+// variable are independent; a load conflicts only with stores and RMWs of
+// the same (module, name) variable.
+func (p *Probe) YieldLoad(name string) {
+	if p != nil && p.yield != nil {
+		p.yield(event.Access{Kind: event.AccessRead, Var: event.VarKey("m", p.module, name)})
+	}
+}
+
+// YieldSpinLoad is YieldLoad for the retry iterations of a spin-wait
+// (seqlock readers awaiting an even sequence, writers awaiting the current
+// writer): it additionally tells a cooperative scheduler that re-granting
+// this task cannot make progress until another task changes the awaited
+// state, so the scheduler prefers every non-spinning task first and the
+// loop cannot livelock a controlled run. The first iteration of a wait
+// loop should use plain YieldLoad — it is an ordinary read that must
+// interleave normally.
+func (p *Probe) YieldSpinLoad(name string) {
+	if p != nil && p.yield != nil {
+		p.yield(event.Access{Kind: event.AccessRead, Var: event.VarKey("m", p.module, name), Spin: true})
+	}
+}
+
+// YieldStore is a scheduling point annotating an atomic store (including
+// store-release) to the named shared variable.
+func (p *Probe) YieldStore(name string) {
+	if p != nil && p.yield != nil {
+		p.yield(event.Access{Kind: event.AccessWrite, Var: event.VarKey("m", p.module, name)})
+	}
+}
+
+// YieldRMW is a scheduling point annotating an atomic read-modify-write
+// (CAS, fetch-add, swap) of the named shared variable. Classified as a
+// write: it conflicts with every other access of the variable except
+// nothing — like a store, plus it also reads, which a store's conflict
+// set already covers.
+func (p *Probe) YieldRMW(name string) {
+	if p != nil && p.yield != nil {
+		p.yield(event.Access{Kind: event.AccessWrite, Var: event.VarKey("m", p.module, name)})
 	}
 }
 
 // sched runs the scheduling hook at a probe action boundary.
-func (p *Probe) sched() {
+func (p *Probe) sched(a event.Access) {
 	if p.yield != nil {
-		p.yield()
+		p.yield(a)
 	}
+}
+
+// specRead is the access of a logged call/return action: a read of the
+// module's spec-state trajectory (observer windows are judged against the
+// spec states between call and return, so these log positions matter
+// relative to commits but commute with each other).
+func (p *Probe) specRead() event.Access {
+	return event.Access{Kind: event.AccessRead, Module: p.modKey, Var: p.specVar}
+}
+
+// commitAccess is the access of a logged commit (or commit-block marker):
+// it advances the module's spec state and, in view mode, digests the whole
+// replica, so it conflicts with every logged action of the module.
+func (p *Probe) commitAccess() event.Access {
+	return event.Access{Kind: event.AccessCommit, Module: p.modKey}
+}
+
+// writeAccess is the access of a logged write action, keyed by operation
+// and first integer argument when present (finer keys commute more; a
+// missing or non-integer argument falls back to the coarser per-op key).
+func (p *Probe) writeAccess(op string, args []Value) event.Access {
+	key := []string{"w", p.module, op}
+	if len(args) > 0 {
+		if n, ok := event.Int(args[0]); ok {
+			key = append(key, strconv.Itoa(n))
+		}
+	}
+	return event.Access{Kind: event.AccessWrite, Module: p.modKey, Var: event.VarKey(key...)}
 }
 
 // Tid returns the probe's thread identifier (0 for a nil probe).
@@ -214,6 +321,7 @@ func (p *Probe) Scoped(module string) *Probe {
 	if p.child == nil || p.child.module != module {
 		p.child = &Probe{log: p.log, tid: p.tid, level: p.level, worker: p.worker,
 			module: module, mod: event.InternSym(module), yield: p.yield}
+		p.child.modKey, p.child.specVar = moduleKeys(module)
 	}
 	return p.child
 }
@@ -232,7 +340,7 @@ func (p *Probe) Call(method string, args ...Value) *Invocation {
 	if p == nil {
 		return nil
 	}
-	p.sched()
+	p.sched(p.specRead())
 	if !p.active() {
 		return nil
 	}
@@ -251,7 +359,7 @@ func (p *Probe) Write(op string, args ...Value) {
 	if p == nil {
 		return
 	}
-	p.sched()
+	p.sched(p.writeAccess(op, args))
 	if !p.viewActive() {
 		return
 	}
@@ -276,7 +384,27 @@ func (inv *Invocation) Commit(label string) {
 	if inv == nil {
 		return
 	}
-	inv.p.sched()
+	inv.p.sched(inv.p.commitAccess())
+	inv.p.log.Append(event.Entry{
+		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
+		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
+	})
+}
+
+// CommitFused records the commit action without a scheduling point. It is
+// for lock-free methods, where the commit must stay in the same scheduler
+// step as the atomic operation that linearizes it: a controlled scheduler
+// parking between a successful CAS and the commit append would let another
+// method's effect commit first and log an order the implementation never
+// took. The caller places a bare Yield (opaque) immediately before the
+// linearizing operation, so the fused step — atomic op plus commit append
+// — is declared conservatively dependent with everything; lock-based
+// methods should keep using Commit, whose scheduling point is protected by
+// the lock they hold.
+func (inv *Invocation) CommitFused(label string) {
+	if inv == nil {
+		return
+	}
 	inv.p.log.Append(event.Entry{
 		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
 		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
@@ -291,7 +419,7 @@ func (inv *Invocation) CommitWrite(label, op string, args ...Value) {
 	if inv == nil {
 		return
 	}
-	inv.p.sched()
+	inv.p.sched(inv.p.commitAccess())
 	e := event.Entry{
 		Tid: inv.p.tid, Kind: event.KindCommit, Method: inv.method, Sym: inv.sym,
 		Label: label, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,
@@ -312,7 +440,7 @@ func (inv *Invocation) BeginCommitBlock() {
 	if inv == nil {
 		return
 	}
-	inv.p.sched()
+	inv.p.sched(inv.p.commitAccess())
 	if !inv.p.viewActive() {
 		return
 	}
@@ -325,7 +453,7 @@ func (inv *Invocation) EndCommitBlock() {
 	if inv == nil {
 		return
 	}
-	inv.p.sched()
+	inv.p.sched(inv.p.commitAccess())
 	if !inv.p.viewActive() {
 		return
 	}
@@ -339,7 +467,7 @@ func (inv *Invocation) Return(ret Value) {
 	if inv == nil {
 		return
 	}
-	inv.p.sched()
+	inv.p.sched(inv.p.specRead())
 	inv.p.log.Append(event.Entry{
 		Tid: inv.p.tid, Kind: event.KindReturn, Method: inv.method, Sym: inv.sym,
 		Ret: ret, Worker: inv.p.worker, Module: inv.p.module, Mod: inv.p.mod,

@@ -80,6 +80,9 @@ type (
 	Entry = event.Entry
 	// Value is a logged argument, return value or written datum.
 	Value = event.Value
+	// Access classifies what one scheduling step touches, for DPOR
+	// schedule exploration (see Probe.SetAccessYield).
+	Access = event.Access
 	// Exceptional models exceptional method termination as a return value.
 	Exceptional = event.Exceptional
 	// Level selects how much of the execution is recorded.
